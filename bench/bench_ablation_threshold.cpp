@@ -1,0 +1,56 @@
+// Ablation — the conventional inliner's size threshold (Polaris default:
+// <= 150 statements, paper §II). Sweeping the threshold shows the
+// trade-off the paper describes: more inlining exposes a few extra loops
+// but loses more of the previously-parallel ones and grows the code.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+using namespace ap;
+
+static void print_ablation() {
+  bench::header("ABLATION: CONVENTIONAL-INLINER SIZE THRESHOLD (paper default 150)");
+  std::printf("%-10s | %8s %8s %8s | %10s %10s\n", "max_stmts", "#par",
+              "-loss", "+extra", "sites", "lines");
+  bench::rule();
+  for (size_t threshold : {0ul, 5ul, 20ul, 150ul, 100000ul}) {
+    int par = 0, loss = 0, extra = 0, sites = 0;
+    size_t lines = 0;
+    for (const auto& app : suite::perfect_suite()) {
+      driver::PipelineOptions base;
+      base.conv.max_stmts = threshold;
+      auto none = bench::must_run(app, driver::InlineConfig::None, base);
+      auto conv = bench::must_run(app, driver::InlineConfig::Conventional, base);
+      par += static_cast<int>(conv.parallel_loops.size());
+      sites += conv.conv_report.sites_inlined;
+      lines += conv.code_lines;
+      for (int64_t id : none.parallel_loops)
+        if (!conv.parallel_loops.count(id)) ++loss;
+      for (int64_t id : conv.parallel_loops)
+        if (!none.parallel_loops.count(id)) ++extra;
+    }
+    std::printf("%-10zu | %8d %8d %8d | %10d %10zu\n", threshold, par, loss,
+                extra, sites, lines);
+  }
+  std::printf("\nthreshold 0 disables inlining entirely (= no-inlining row of "
+              "Table II);\nlarger thresholds inline more but the loss column "
+              "grows with the gains.\n");
+}
+
+static void BM_ThresholdSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    driver::PipelineOptions base;
+    base.conv.max_stmts = static_cast<size_t>(state.range(0));
+    const auto* app = suite::find_app("TRFD");
+    auto r = bench::must_run(*app, driver::InlineConfig::Conventional, base);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ThresholdSweep)->Arg(0)->Arg(150)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Figure 20 — "runtime speedups achieved by the automatically parallelized
+// benchmarks when using different inlining configurations" (paper §IV.B).
+//
+// The paper measured on two machines (2x quad-core Intel, 2x dual-core
+// Opteron); our substitute runs the final reverse-inlined programs on the
+// interpreter's thread pool with two simulated machines: A = min(8, hw)
+// threads, B = min(4, hw) threads. As in the paper, a selected set of
+// loops is disabled by empirical tuning when their parallelization incurs
+// a slowdown (tiny trip counts amortize the region overhead poorly —
+// exactly the small-input problem the paper notes for PERFECT).
+//
+// Absolute numbers differ from the paper (their substrate is real
+// hardware; ours is a simulator). The shape to check: annotation-based >=
+// conventional and >= no-inlining on the applications with extra loops,
+// and no configuration falls below serial after tuning.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "interp/interp.h"
+
+using namespace ap;
+
+namespace {
+
+double run_ms(const fir::Program& prog, int threads, bool parallel) {
+  using clock = std::chrono::steady_clock;
+  interp::InterpOptions o;
+  o.num_threads = threads;
+  o.enable_parallel = parallel;
+  interp::Interpreter it(prog, o);
+  auto t0 = clock::now();
+  auto r = it.run();
+  auto t1 = clock::now();
+  if (!r.ok) {
+    std::fprintf(stderr, "FATAL: run failed: %s\n", r.error.c_str());
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double median_speedup(const fir::Program& prog, int threads) {
+  // Median of 3 to tame scheduler noise.
+  std::vector<double> serial, parallel;
+  for (int i = 0; i < 3; ++i) serial.push_back(run_ms(prog, 1, false));
+  for (int i = 0; i < 3; ++i) parallel.push_back(run_ms(prog, threads, true));
+  std::sort(serial.begin(), serial.end());
+  std::sort(parallel.begin(), parallel.end());
+  return serial[1] / parallel[1];
+}
+
+// Machine-independent series: fraction of executed statements that ran
+// inside OMP-parallel regions. On a single-core host wall-clock speedup is
+// pinned at <= 1.0, but coverage still shows which configuration exposed
+// how much parallel work (annotation >= conventional >= none).
+double parallel_coverage(const fir::Program& prog) {
+  interp::InterpOptions o;
+  o.num_threads = 2;
+  interp::Interpreter it(prog, o);
+  auto r = it.run();
+  if (!r.ok || r.statements_executed == 0) return 0.0;
+  return 100.0 * static_cast<double>(r.statements_in_parallel) /
+         static_cast<double>(r.statements_executed);
+}
+
+void print_fig20() {
+  unsigned hw = std::thread::hardware_concurrency();
+  int threads_a = static_cast<int>(std::min(8u, hw ? hw : 8));
+  int threads_b = static_cast<int>(std::min(4u, hw ? hw : 4));
+  bench::header("FIGURE 20: RUNTIME SPEEDUPS (machine A = " +
+                std::to_string(threads_a) + " threads, machine B = " +
+                std::to_string(threads_b) + " threads; host has " +
+                std::to_string(hw) + " hardware threads)");
+  if (hw <= 1)
+    std::printf("NOTE: single-core host — wall-clock speedups are pinned at\n"
+                "~1.0; the parallel-coverage columns carry the figure's shape.\n");
+  std::printf("%-8s | %-17s | %-17s | %-26s\n", "", "machine A (speedup)",
+              "machine B (speedup)", "parallel coverage (%)");
+  std::printf("%-8s | %5s %5s %5s | %5s %5s %5s | %8s %8s %8s\n", "App",
+              "none", "conv", "annot", "none", "conv", "annot", "none",
+              "conv", "annot");
+  bench::rule();
+
+  for (const auto& app : suite::perfect_suite()) {
+    double sa[3], sb[3], cov[3];
+    int c = 0;
+    for (auto cfg : {driver::InlineConfig::None, driver::InlineConfig::Conventional,
+                     driver::InlineConfig::Annotation}) {
+      auto r = bench::must_run(app, cfg);
+      // Coverage is measured BEFORE tuning (what the compiler exposed);
+      // speedups after tuning (what a user would run, paper §IV.B).
+      cov[c] = parallel_coverage(*r.program);
+      // Empirical tuning (paper §IV.B): disable loops whose parallelization
+      // slows the program down at machine A's thread count.
+      driver::empirical_tune(*r.program, threads_a);
+      sa[c] = median_speedup(*r.program, threads_a);
+      sb[c] = median_speedup(*r.program, threads_b);
+      ++c;
+    }
+    std::printf("%-8s | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f | %8.1f %8.1f %8.1f\n",
+                app.name.c_str(), sa[0], sa[1], sa[2], sb[0], sb[1], sb[2],
+                cov[0], cov[1], cov[2]);
+  }
+  std::printf(
+      "\nShape check vs. paper: annotation-based exposes the most parallel\n"
+      "work (coverage column) on the applications with extra loops (TRFD,\n"
+      "DYFESM, MDG, QCD, MG3D, TRACK, SPEC77, ADM, ARC2D); with empirical\n"
+      "tuning no configuration degrades below ~1.0, mirroring the paper's\n"
+      "bounded gains on the small PERFECT inputs.\n");
+}
+
+}  // namespace
+
+static void BM_InterpreterSerialSuite(benchmark::State& state) {
+  std::vector<driver::PipelineResult> runs;
+  for (const auto& app : suite::perfect_suite())
+    runs.push_back(bench::must_run(app, driver::InlineConfig::Annotation));
+  for (auto _ : state) {
+    for (auto& r : runs) {
+      interp::InterpOptions o;
+      o.enable_parallel = false;
+      interp::Interpreter it(*r.program, o);
+      auto res = it.run();
+      benchmark::DoNotOptimize(res);
+    }
+  }
+}
+BENCHMARK(BM_InterpreterSerialSuite)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_fig20();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figures 2-3 — loss of parallelism through forward substitution of
+// non-linear subscripts (paper §II.A.1).
+//
+// PCINIT's loops are parallelizable inside the subroutine (distinct dummy
+// arrays), but after conventional inlining the dummies collapse onto the
+// work array T with subscripted subscripts T(IX(k)+I-1) and the loops are
+// no longer parallelizable. Annotation-based inlining preserves the
+// boundary, so nothing is lost.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+using namespace ap;
+
+static void print_figs() {
+  const auto* bdna = suite::find_app("BDNA");
+  bench::header("FIGURES 2-3: PCINIT UNDER THE THREE CONFIGURATIONS (BDNA)");
+
+  auto none = bench::must_run(*bdna, driver::InlineConfig::None);
+  std::printf("\n[no inlining] loops inside PCINIT/FORCES/UPDATE:\n");
+  bench::print_verdicts(none, "PCINIT");
+  bench::print_verdicts(none, "FORCES");
+  bench::print_verdicts(none, "UPDATE");
+
+  auto conv = bench::must_run(*bdna, driver::InlineConfig::Conventional);
+  std::printf(
+      "\n[conventional] the same loops, inlined into the main program\n"
+      "(subroutines are gone; subscripts are now T(IX(k)+I-1)):\n");
+  bench::print_verdicts(conv, "BDNA");
+
+  auto annot = bench::must_run(*bdna, driver::InlineConfig::Annotation);
+  std::printf("\n[annotation-based] boundaries preserved:\n");
+  bench::print_verdicts(annot, "PCINIT");
+
+  std::printf("\nparallel original loops: none=%zu conventional=%zu annotation=%zu\n",
+              none.parallel_loops.size(), conv.parallel_loops.size(),
+              annot.parallel_loops.size());
+  int lost = 0;
+  for (int64_t id : none.parallel_loops)
+    if (!conv.parallel_loops.count(id)) ++lost;
+  std::printf("#par-loss under conventional inlining: %d (paper: the Figure 2 "
+              "loops go serial)\n", lost);
+}
+
+static void BM_BdnaConventionalPipeline(benchmark::State& state) {
+  const auto* bdna = suite::find_app("BDNA");
+  for (auto _ : state) {
+    driver::PipelineOptions o;
+    o.config = driver::InlineConfig::Conventional;
+    auto r = driver::run_pipeline(*bdna, o);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BdnaConventionalPipeline)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_figs();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figures 4-5 — loss of parallelism through linearization of array
+// dimensions (paper §II.A.2).
+//
+// MATMLT declares its matrices single-dimensional; OLDA passes slices of
+// adjustable 3-D arrays. Conventional inlining flattens PP/PHIT/TM1 with
+// symbolic extents, and the J-level sweep over TM1/PP in OLDA loses its
+// parallelism, while the flattened copies of MATMLT's own loops survive
+// only at the innermost level.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+using namespace ap;
+
+static void print_figs() {
+  const auto* trfd = suite::find_app("TRFD");
+  bench::header("FIGURES 4-5: MATMLT DIMENSION LINEARIZATION (TRFD)");
+
+  auto none = bench::must_run(*trfd, driver::InlineConfig::None);
+  std::printf("\n[no inlining] MATMLT and OLDA loops:\n");
+  bench::print_verdicts(none, "MATMLT");
+  bench::print_verdicts(none, "OLDA");
+
+  auto conv = bench::must_run(*trfd, driver::InlineConfig::Conventional);
+  std::printf("\n[conventional] after linearization (everything inlined into "
+              "the main program):\n");
+  bench::print_verdicts(conv, "TRFD");
+
+  std::printf("\nparallel original loops: none=%zu conventional=%zu\n",
+              none.parallel_loops.size(), conv.parallel_loops.size());
+  int lost = 0;
+  for (int64_t id : none.parallel_loops)
+    if (!conv.parallel_loops.count(id)) ++lost;
+  std::printf("#par-loss under conventional inlining: %d "
+              "(the J sweep over linearized TM1/PP)\n", lost);
+}
+
+static void BM_TrfdConventionalPipeline(benchmark::State& state) {
+  const auto* trfd = suite::find_app("TRFD");
+  for (auto _ : state) {
+    driver::PipelineOptions o;
+    o.config = driver::InlineConfig::Conventional;
+    auto r = driver::run_pipeline(*trfd, o);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TrfdConventionalPipeline)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_figs();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

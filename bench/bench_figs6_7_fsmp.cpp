@@ -1,0 +1,69 @@
+// Figures 6-7 and 13 — the opaque compositional subroutine FSMP (paper
+// §II.B.1, §III.B.2).
+//
+// FSMP calls eight other routines and carries error-checking I/O, so
+// conventional inlining excludes it and the element loop (Fig. 7) stays
+// serial. The Fig. 13 annotation summarizes FSMP's side effects; after
+// annotation-based inlining the K loop parallelizes with the global
+// temporaries privatized, and reverse inlining restores CALL FSMP.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+using namespace ap;
+
+static void print_figs() {
+  const auto* dy = suite::find_app("DYFESM");
+  bench::header("FIGURES 6-7, 13: FSMP — OPAQUE COMPOSITIONAL SUBROUTINE (DYFESM)");
+
+  auto conv = bench::must_run(*dy, driver::InlineConfig::Conventional);
+  std::printf("\n[conventional] inliner decisions:\n");
+  for (const auto& n : conv.conv_report.notes)
+    if (n.find("FSMP") != std::string::npos || n.find("ASSEM") != std::string::npos)
+      std::printf("  %s\n", n.c_str());
+  std::printf("element/assembly loops in the main program:\n");
+  bench::print_verdicts(conv, "DYFESM");
+
+  auto annot = bench::must_run(*dy, driver::InlineConfig::Annotation);
+  std::printf("\n[annotation-based] the same loops with Fig. 13/14 annotations:\n");
+  bench::print_verdicts(annot, "DYFESM");
+  std::printf("regions reversed: %d (failed: %d)\n",
+              annot.reverse_report.regions_reversed,
+              annot.reverse_report.regions_failed);
+
+  // Show the OMP clause the K loop received (the privatized temporaries of
+  // §III.B.4: XY, NDX, NDY, WTDET, P and the scalar temps).
+  for (const auto& u : annot.program->units) {
+    fir::walk_stmts(u->body, [&](const fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Do && s.omp.parallel && s.do_var == "K") {
+        std::printf("\nK loop OMP clause: PRIVATE(");
+        for (size_t i = 0; i < s.omp.privates.size(); ++i)
+          std::printf("%s%s", i ? "," : "", s.omp.privates[i].c_str());
+        std::printf(")\n");
+      }
+      return true;
+    });
+  }
+
+  std::printf("\nparallel original loops: conv=%zu annot=%zu (extra from FSMP+ASSEM: %zu)\n",
+              conv.parallel_loops.size(), annot.parallel_loops.size(),
+              annot.parallel_loops.size() - conv.parallel_loops.size());
+}
+
+static void BM_DyfesmAnnotationPipeline(benchmark::State& state) {
+  const auto* dy = suite::find_app("DYFESM");
+  for (auto _ : state) {
+    driver::PipelineOptions o;
+    o.config = driver::InlineConfig::Annotation;
+    auto r = driver::run_pipeline(*dy, o);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DyfesmAnnotationPipeline)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_figs();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

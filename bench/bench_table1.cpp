@@ -1,0 +1,51 @@
+// Table I — "Summary of the PERFECT benchmarks": application inventory of
+// the mini-suite, with source sizes and annotation counts for reference.
+#include <benchmark/benchmark.h>
+
+#include "annot/parser.h"
+#include "bench/bench_util.h"
+#include "fir/parser.h"
+#include "fir/unparse.h"
+
+using namespace ap;
+
+static void print_table1() {
+  bench::header("TABLE I: SUMMARY OF THE PERFECT BENCHMARKS (mini-suite)");
+  std::printf("%-8s %-58s %6s %6s %6s\n", "App", "Description", "Lines",
+              "Units", "Annot");
+  bench::rule();
+  for (const auto& app : suite::perfect_suite()) {
+    DiagnosticEngine d;
+    auto prog = fir::parse_program(app.source, d);
+    annot::AnnotationRegistry reg;
+    if (!app.annotations.empty()) {
+      DiagnosticEngine ad;
+      reg.add(app.annotations, ad);
+    }
+    std::printf("%-8s %-58s %6zu %6zu %6zu\n", app.name.c_str(),
+                app.description.c_str(), fir::code_size_lines(*prog),
+                prog->units.size(), reg.size());
+  }
+}
+
+// Micro-benchmark: frontend throughput over the whole suite.
+static void BM_ParseSuite(benchmark::State& state) {
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& app : suite::perfect_suite()) {
+      DiagnosticEngine d;
+      auto prog = fir::parse_program(app.source, d);
+      benchmark::DoNotOptimize(prog);
+      bytes += app.source.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ParseSuite);
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table II — "number of automatically parallelized loops by the Polaris
+// compiler using three different inlining configurations" (paper §IV.A).
+//
+// For each application: #par-loops and resulting code size under
+// no-inlining / conventional / annotation-based inlining, with the
+// #par-loss / #par-extra breakdown relative to no-inlining. The totals row
+// carries the paper's headline claims (scaled to the mini-suite): extra
+// parallel loops found by annotations >> those found by conventional
+// inlining; conventional inlining loses many previously-parallel loops;
+// annotation-based inlining loses none and its code growth is only the
+// inserted OpenMP directives.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+using namespace ap;
+
+static void print_table2() {
+  bench::header("TABLE II: AUTOMATICALLY PARALLELIZED LOOPS PER CONFIGURATION");
+  std::printf("%-8s | %-17s | %-27s | %-27s\n", "", "no-inlining",
+              "conventional inlining", "annotation-based inlining");
+  std::printf("%-8s | %8s %8s | %5s %5s %6s %8s | %5s %5s %6s %8s\n", "App",
+              "#par", "lines", "#par", "-loss", "+extra", "lines", "#par",
+              "-loss", "+extra", "lines");
+  bench::rule();
+  driver::Table2Row total;
+  for (const auto& app : suite::perfect_suite()) {
+    auto r = driver::evaluate_table2_row(app);
+    std::printf("%-8s | %8d %8zu | %5d %5d %6d %8zu | %5d %5d %6d %8zu\n",
+                r.app.c_str(), r.par_none, r.lines_none, r.par_conv,
+                r.loss_conv, r.extra_conv, r.lines_conv, r.par_annot,
+                r.loss_annot, r.extra_annot, r.lines_annot);
+    total.par_none += r.par_none;
+    total.par_conv += r.par_conv;
+    total.par_annot += r.par_annot;
+    total.loss_conv += r.loss_conv;
+    total.extra_conv += r.extra_conv;
+    total.loss_annot += r.loss_annot;
+    total.extra_annot += r.extra_annot;
+    total.lines_none += r.lines_none;
+    total.lines_conv += r.lines_conv;
+    total.lines_annot += r.lines_annot;
+  }
+  bench::rule();
+  std::printf("%-8s | %8d %8zu | %5d %5d %6d %8zu | %5d %5d %6d %8zu\n",
+              "TOTAL", total.par_none, total.lines_none, total.par_conv,
+              total.loss_conv, total.extra_conv, total.lines_conv,
+              total.par_annot, total.loss_annot, total.extra_annot,
+              total.lines_annot);
+  std::printf(
+      "\nPaper shape check: extra(annot)=%d > extra(conv)=%d; "
+      "loss(annot)=%d (paper: 0); loss(conv)=%d (paper: 90, scaled); "
+      "annot code growth = %+.1f%% (directives only)\n",
+      total.extra_annot, total.extra_conv, total.loss_annot, total.loss_conv,
+      100.0 * (static_cast<double>(total.lines_annot) - total.lines_none) /
+          total.lines_none);
+}
+
+// Micro-benchmarks: full-pipeline cost per configuration over the suite.
+static void run_config(benchmark::State& state, driver::InlineConfig cfg) {
+  for (auto _ : state) {
+    for (const auto& app : suite::perfect_suite()) {
+      driver::PipelineOptions o;
+      o.config = cfg;
+      auto r = driver::run_pipeline(app, o);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+static void BM_PipelineNone(benchmark::State& s) {
+  run_config(s, driver::InlineConfig::None);
+}
+static void BM_PipelineConventional(benchmark::State& s) {
+  run_config(s, driver::InlineConfig::Conventional);
+}
+static void BM_PipelineAnnotation(benchmark::State& s) {
+  run_config(s, driver::InlineConfig::Annotation);
+}
+BENCHMARK(BM_PipelineNone)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelineConventional)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelineAnnotation)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Quickstart: run the full paper workflow (Fig. 1) on one mini-PERFECT
+// application and print what happened at every stage.
+//
+//   usage: quickstart [APP] [--config none|conv|annot] [--dump] [--run N]
+//                     [--check] [--autogen] [--explain]
+//                     [--file prog.f [--annot prog.annot]]
+//
+// APP names a mini-PERFECT application; alternatively --file (plus an
+// optional --annot) runs the pipeline on your own Fortran-subset source
+// and Fig. 12-style annotation file.
+//
+// With --dump the final program (OpenMP directives included) is printed;
+// with --run N the program is executed serially and with N threads and the
+// final states are compared (the paper's runtime tester, §III.D);
+// --check runs the static annotation-consistency checker over the app's
+// hand-written annotations; --autogen derives annotations automatically
+// from the leaf subroutines and prints them (both are the paper's future
+// work, see annot/checker.h and annot/generate.h); --explain collects
+// EVERY parallelization blocker per loop (opt-report style) instead of the
+// first one.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "annot/checker.h"
+#include "annot/generate.h"
+#include "driver/pipeline.h"
+#include "fir/parser.h"
+#include "fir/unparse.h"
+#include "interp/tester.h"
+#include "suite/suite.h"
+
+using namespace ap;
+
+int main(int argc, char** argv) {
+  std::string app_name = "TRFD";
+  driver::InlineConfig config = driver::InlineConfig::Annotation;
+  bool dump = false;
+  bool check = false;
+  bool autogen = false;
+  bool explain = false;
+  int run_threads = 0;
+  std::string file_path, annot_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--autogen") {
+      autogen = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--config" && i + 1 < argc) {
+      std::string c = argv[++i];
+      if (c == "none") config = driver::InlineConfig::None;
+      else if (c == "conv") config = driver::InlineConfig::Conventional;
+      else if (c == "annot") config = driver::InlineConfig::Annotation;
+      else {
+        std::fprintf(stderr, "unknown config '%s'\n", c.c_str());
+        return 1;
+      }
+    } else if (arg == "--run" && i + 1 < argc) {
+      run_threads = std::atoi(argv[++i]);
+    } else if (arg == "--file" && i + 1 < argc) {
+      file_path = argv[++i];
+    } else if (arg == "--annot" && i + 1 < argc) {
+      annot_path = argv[++i];
+    } else {
+      app_name = arg;
+    }
+  }
+
+  // --file mode builds a synthetic "app" from the user's sources.
+  suite::BenchmarkApp file_app;
+  const suite::BenchmarkApp* app = nullptr;
+  if (!file_path.empty()) {
+    auto slurp = [](const std::string& path, std::string& out) {
+      std::ifstream in(path);
+      if (!in) return false;
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      out = ss.str();
+      return true;
+    };
+    if (!slurp(file_path, file_app.source)) {
+      std::fprintf(stderr, "cannot read %s\n", file_path.c_str());
+      return 1;
+    }
+    if (!annot_path.empty() && !slurp(annot_path, file_app.annotations)) {
+      std::fprintf(stderr, "cannot read %s\n", annot_path.c_str());
+      return 1;
+    }
+    file_app.name = file_path;
+    file_app.description = "user program";
+    app = &file_app;
+  } else {
+    app = suite::find_app(app_name);
+  }
+  if (!app) {
+    std::fprintf(stderr, "unknown app '%s'; available:", app_name.c_str());
+    for (const auto& a : suite::perfect_suite())
+      std::fprintf(stderr, " %s", a.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  if (check || autogen) {
+    DiagnosticEngine d;
+    auto prog = fir::parse_program(app->source, d);
+    if (!prog) {
+      std::fprintf(stderr, "%s", d.render_all().c_str());
+      return 1;
+    }
+    if (check) {
+      std::printf("== consistency check of %s's annotations ==\n",
+                  app->name.c_str());
+      auto annots = annot::parse_annotations(app->annotations, d);
+      if (annots.empty()) std::printf("(no annotations shipped)\n");
+      for (const auto& a : annots) {
+        auto report = annot::check_annotation(*a, *prog);
+        std::printf("%s: %s\n", a->name.c_str(), report.render().c_str());
+      }
+    }
+    if (autogen) {
+      std::printf("== auto-generated annotations for %s ==\n",
+                  app->name.c_str());
+      std::vector<std::string> log;
+      std::string text = annot::generate_for_program(*prog, log);
+      for (const auto& l : log) std::printf("  %s\n", l.c_str());
+      std::printf("%s", text.c_str());
+    }
+    return 0;
+  }
+
+  driver::PipelineOptions opts;
+  opts.config = config;
+  opts.par.collect_all_blockers = explain;
+  driver::PipelineResult result = driver::run_pipeline(*app, opts);
+  if (!result.ok) {
+    std::fprintf(stderr, "pipeline failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  std::printf("== %s under %s ==\n", app->name.c_str(),
+              driver::config_name(config));
+  if (config == driver::InlineConfig::Conventional) {
+    std::printf("conventional inliner: %d sites inlined, %d skipped, %d dead units removed\n",
+                result.conv_report.sites_inlined, result.conv_report.sites_skipped,
+                result.conv_report.units_removed);
+    for (const auto& n : result.conv_report.notes)
+      std::printf("  note: %s\n", n.c_str());
+  }
+  if (config == driver::InlineConfig::Annotation) {
+    std::printf("annotation inliner: %d sites inlined, %d skipped\n",
+                result.annot_report.sites_inlined, result.annot_report.sites_skipped);
+    for (const auto& n : result.annot_report.notes)
+      std::printf("  note: %s\n", n.c_str());
+    std::printf("reverse inliner: %d regions reversed, %d failed\n",
+                result.reverse_report.regions_reversed,
+                result.reverse_report.regions_failed);
+  }
+  std::printf("loops analyzed: %zu, parallelized: %d\n", result.par.loops.size(),
+              result.par.parallelized);
+  for (const auto& v : result.par.loops) {
+    std::printf("  [%s] DO %s (origin %lld): %s\n", v.unit.c_str(),
+                v.do_var.c_str(), static_cast<long long>(v.origin_id),
+                v.reason.c_str());
+    if (explain && v.blockers.size() > 1) {
+      for (const auto& b : v.blockers)
+        std::printf("      blocker [%s] %s%s%s\n",
+                    par::blocker_kind_name(b.kind), b.subject.c_str(),
+                    b.subject.empty() ? "" : ": ", b.detail.c_str());
+    }
+  }
+  std::printf("original loops parallel in final program: %zu\n",
+              result.parallel_loops.size());
+  std::printf("code size (lines): %zu\n", result.code_lines);
+
+  if (dump) {
+    std::printf("---- final program ----\n%s",
+                fir::unparse(*result.program).c_str());
+  }
+  if (run_threads > 0) {
+    auto verdict = interp::compare_serial_parallel(*result.program, run_threads);
+    std::printf("runtime tester (%d threads): %s — %s\n", run_threads,
+                verdict.passed ? "PASS" : "FAIL", verdict.detail.c_str());
+    std::printf("serial output:\n%s", verdict.serial.output.c_str());
+    if (!verdict.passed) return 1;
+  }
+  return 0;
+}

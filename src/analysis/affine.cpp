@@ -1,0 +1,227 @@
+#include "analysis/affine.h"
+
+namespace ap::analysis {
+
+AffineForm& AffineForm::operator+=(const AffineForm& o) {
+  if (!affine || !o.affine) {
+    affine = false;
+    return *this;
+  }
+  constant += o.constant;
+  for (const auto& [v, c] : o.loop_coeffs) {
+    loop_coeffs[v] += c;
+    if (loop_coeffs[v] == 0) loop_coeffs.erase(v);
+  }
+  for (const auto& [v, c] : o.sym_coeffs) {
+    sym_coeffs[v] += c;
+    if (sym_coeffs[v] == 0) sym_coeffs.erase(v);
+  }
+  return *this;
+}
+
+AffineForm& AffineForm::operator-=(const AffineForm& o) {
+  AffineForm neg = o;
+  neg.negate();
+  return *this += neg;
+}
+
+void AffineForm::scale(int64_t k) {
+  if (!affine) return;
+  constant *= k;
+  if (k == 0) {
+    loop_coeffs.clear();
+    sym_coeffs.clear();
+    return;
+  }
+  for (auto& [v, c] : loop_coeffs) c *= k;
+  for (auto& [v, c] : sym_coeffs) c *= k;
+}
+
+AffineForm AffineForm::difference(const AffineForm& a, const AffineForm& b) {
+  AffineForm out = a;
+  out -= b;
+  return out;
+}
+
+std::string AffineForm::to_string() const {
+  if (!affine) return "<non-affine>";
+  std::string s = std::to_string(constant);
+  for (const auto& [v, c] : loop_coeffs)
+    s += " + " + std::to_string(c) + "*" + v;
+  for (const auto& [v, c] : sym_coeffs)
+    s += " + " + std::to_string(c) + "*{" + v + "}";
+  return s;
+}
+
+namespace {
+
+AffineForm non_affine() { return AffineForm{}; }
+
+AffineForm constant_form(int64_t v) {
+  AffineForm f;
+  f.affine = true;
+  f.constant = v;
+  return f;
+}
+
+// True if the form is a single symbol with coefficient 1 and nothing else
+// (used to build composite-product symbols).
+std::optional<std::string> single_symbol(const AffineForm& f) {
+  if (!f.affine || f.constant != 0 || !f.loop_coeffs.empty()) return std::nullopt;
+  if (f.sym_coeffs.size() != 1) return std::nullopt;
+  const auto& [name, coeff] = *f.sym_coeffs.begin();
+  if (coeff != 1) return std::nullopt;
+  return name;
+}
+
+AffineForm normalize_rec(const fir::Expr& e, const VarClassifier& classify,
+                         const OpaqueSymbolizer* symbolize) {
+  using fir::ExprKind;
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return constant_form(e.int_val);
+    case ExprKind::VarRef: {
+      switch (classify(e.name)) {
+        case VarClass::LoopIndex: {
+          AffineForm f;
+          f.affine = true;
+          f.loop_coeffs[e.name] = 1;
+          return f;
+        }
+        case VarClass::Invariant: {
+          AffineForm f;
+          f.affine = true;
+          f.sym_coeffs[e.name] = 1;
+          return f;
+        }
+        case VarClass::Variant:
+          return non_affine();
+      }
+      return non_affine();
+    }
+    case ExprKind::Unary: {
+      AffineForm f = normalize_rec(*e.args[0], classify, symbolize);
+      switch (e.un_op) {
+        case fir::UnOp::Neg:
+          f.negate();
+          return f;
+        case fir::UnOp::Plus:
+          return f;
+        case fir::UnOp::Not:
+          return non_affine();
+      }
+      return non_affine();
+    }
+    case ExprKind::Binary: {
+      AffineForm l = normalize_rec(*e.args[0], classify, symbolize);
+      AffineForm r = normalize_rec(*e.args[1], classify, symbolize);
+      if (!l.affine || !r.affine) return non_affine();
+      switch (e.bin_op) {
+        case fir::BinOp::Add:
+          l += r;
+          return l;
+        case fir::BinOp::Sub:
+          l -= r;
+          return l;
+        case fir::BinOp::Mul:
+          if (r.is_constant()) {
+            l.scale(r.constant);
+            return l;
+          }
+          if (l.is_constant()) {
+            r.scale(l.constant);
+            return r;
+          }
+          // Distribute a product of a purely-symbolic affine form with a
+          // single invariant symbol: (JN - 1) * NB becomes {(JN*NB)} - {NB}
+          // with canonical composite symbol names, so identical symbolic
+          // offsets cancel between the two sides of a dependence equation.
+          // Anything involving a loop variable (e.g. a linearized subscript
+          // K * <symbolic extent>) stays non-affine — the dimension-
+          // linearization pathology of paper §II.A.2.
+          {
+            const AffineForm* sym_side = nullptr;
+            std::optional<std::string> single;
+            if ((single = single_symbol(l)) && r.loop_coeffs.empty())
+              sym_side = &r;
+            else if ((single = single_symbol(r)) && l.loop_coeffs.empty())
+              sym_side = &l;
+            if (sym_side && single) {
+              AffineForm f;
+              f.affine = true;
+              for (const auto& [s, c] : sym_side->sym_coeffs) {
+                std::string an = s, bn = *single;
+                if (bn < an) std::swap(an, bn);  // canonical order
+                f.sym_coeffs["(" + an + "*" + bn + ")"] += c;
+              }
+              if (sym_side->constant != 0)
+                f.sym_coeffs[*single] += sym_side->constant;
+              for (auto it = f.sym_coeffs.begin(); it != f.sym_coeffs.end();) {
+                if (it->second == 0)
+                  it = f.sym_coeffs.erase(it);
+                else
+                  ++it;
+              }
+              return f;
+            }
+          }
+          return non_affine();
+        case fir::BinOp::Div:
+          // Exact division by a constant only.
+          if (r.is_constant() && r.constant != 0) {
+            int64_t d = r.constant;
+            if (l.constant % d != 0) return non_affine();
+            for (const auto& [v, c] : l.loop_coeffs)
+              if (c % d != 0) return non_affine();
+            for (const auto& [v, c] : l.sym_coeffs)
+              if (c % d != 0) return non_affine();
+            l.constant /= d;
+            for (auto& [v, c] : l.loop_coeffs) c /= d;
+            for (auto& [v, c] : l.sym_coeffs) c /= d;
+            return l;
+          }
+          return non_affine();
+        case fir::BinOp::Pow:
+        default:
+          return non_affine();
+      }
+    }
+    case ExprKind::ArrayRef:     // subscripted subscript: T(IX(7)+I)
+    case ExprKind::Intrinsic:    // MOD/ABS/... of loop vars
+      if (symbolize) {
+        if (auto sym = (*symbolize)(e)) {
+          AffineForm f;
+          f.affine = true;
+          f.sym_coeffs[*sym] = 1;
+          return f;
+        }
+      }
+      return non_affine();
+    case ExprKind::Unknown:      // opaque annotation value
+    case ExprKind::Unique:       // handled by the dedicated injectivity path
+    case ExprKind::Section:
+    case ExprKind::RealLit:
+    case ExprKind::LogicalLit:
+    case ExprKind::StrLit:
+      return non_affine();
+  }
+  return non_affine();
+}
+
+}  // namespace
+
+AffineForm normalize_affine(const fir::Expr& e, const VarClassifier& classify) {
+  return normalize_rec(e, classify, nullptr);
+}
+
+AffineForm normalize_affine(const fir::Expr& e, const VarClassifier& classify,
+                            const OpaqueSymbolizer& symbolize) {
+  return normalize_rec(e, classify, &symbolize);
+}
+
+AffineForm normalize_invariant(const fir::Expr& e) {
+  return normalize_rec(
+      e, [](const std::string&) { return VarClass::Invariant; }, nullptr);
+}
+
+}  // namespace ap::analysis

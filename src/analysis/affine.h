@@ -1,0 +1,85 @@
+// Affine (linear) normalization of subscript expressions.
+//
+// A subscript is usable by the dependence tests only when it normalizes to
+//     c0 + Σ ci * LOOPVARi + Σ sj * SYMBOLj
+// with integer ci/sj, where SYMBOLs are loop-invariant scalars (they take
+// the same value in both references of a dependence equation).
+//
+// Everything else — subscripted subscripts like T(IX(7)+I) created by
+// forward substitution (paper §II.A.1), products of a loop variable with a
+// symbolic array extent created by dimension linearization (paper §II.A.2),
+// `unknown(...)` values, MOD/division — is non-affine, and the dependence
+// tester must be conservative about it, which is precisely how the paper's
+// "loss of parallelism" pathologies manifest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "fir/ast.h"
+
+namespace ap::analysis {
+
+// How a scalar name behaves relative to the loop nest being analyzed.
+enum class VarClass : uint8_t {
+  LoopIndex,  // an index of one of the loops in the nest under analysis
+  Invariant,  // not modified inside the analyzed loop => a shared symbol
+  Variant,    // modified inside the loop and not a recognized index =>
+              // unanalyzable occurrence
+};
+
+using VarClassifier = std::function<VarClass(const std::string&)>;
+
+// Optional hook consulted for sub-expressions the linear rules cannot
+// handle (ArrayRef, Intrinsic). Returning a name folds the whole
+// sub-expression into a single invariant symbol of that name — used for
+// loop-invariant array elements such as IDBEGS(ISS) inside a K loop, which
+// Polaris handles via forward substitution + invariance (paper §II.B.1).
+// Returning nullopt keeps the expression non-affine.
+using OpaqueSymbolizer =
+    std::function<std::optional<std::string>(const fir::Expr&)>;
+
+struct AffineForm {
+  bool affine = false;
+  int64_t constant = 0;
+  // Loop-variable coefficients, keyed by upper-cased index name.
+  std::map<std::string, int64_t> loop_coeffs;
+  // Loop-invariant symbolic terms (name -> integer coefficient). A composite
+  // product of two invariants appears under a canonical "(A*B)" name.
+  std::map<std::string, int64_t> sym_coeffs;
+
+  bool is_constant() const {
+    return affine && loop_coeffs.empty() && sym_coeffs.empty();
+  }
+  bool has_loop_vars() const { return !loop_coeffs.empty(); }
+  int64_t coeff_of(const std::string& loop_var) const {
+    auto it = loop_coeffs.find(loop_var);
+    return it == loop_coeffs.end() ? 0 : it->second;
+  }
+
+  AffineForm& operator+=(const AffineForm& o);
+  AffineForm& operator-=(const AffineForm& o);
+  void scale(int64_t k);
+  void negate() { scale(-1); }
+
+  // a - b with both required affine; result non-affine otherwise.
+  static AffineForm difference(const AffineForm& a, const AffineForm& b);
+
+  std::string to_string() const;  // debugging / tests
+};
+
+// Normalize `e` into an affine form. The classifier decides how each scalar
+// name behaves. Returns a form with affine=false when the expression cannot
+// be linearized (see file comment for the catalogue of causes).
+AffineForm normalize_affine(const fir::Expr& e, const VarClassifier& classify);
+AffineForm normalize_affine(const fir::Expr& e, const VarClassifier& classify,
+                            const OpaqueSymbolizer& symbolize);
+
+// Convenience: normalize with "every scalar is invariant" (useful for loop
+// bounds, which may not reference the loop's own index).
+AffineForm normalize_invariant(const fir::Expr& e);
+
+}  // namespace ap::analysis

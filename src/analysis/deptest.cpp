@@ -1,0 +1,318 @@
+#include "analysis/deptest.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+namespace ap::analysis {
+
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+// A linear term of the dependence equation with side-tagged variables: the
+// same inner-loop variable on the two sides of the equation denotes two
+// independent instances.
+struct Term {
+  std::string var;   // original variable name (for bound lookup)
+  bool side_b;       // instance tag
+  int64_t coeff;
+};
+
+struct Interval {
+  int64_t lo = -kInf;
+  int64_t hi = kInf;
+  bool bounded() const { return lo > -kInf && hi < kInf; }
+};
+
+Interval term_range(const Term& t, const DepContext& ctx) {
+  auto it = ctx.bounds.find(t.var);
+  if (it == ctx.bounds.end() || !it->second.lo || !it->second.hi)
+    return Interval{};
+  int64_t a = t.coeff * *it->second.lo;
+  int64_t b = t.coeff * *it->second.hi;
+  return Interval{std::min(a, b), std::max(a, b)};
+}
+
+Interval sum_ranges(const std::vector<Term>& terms, const DepContext& ctx) {
+  Interval total{0, 0};
+  for (const auto& t : terms) {
+    Interval r = term_range(t, ctx);
+    total.lo = (total.lo <= -kInf || r.lo <= -kInf) ? -kInf : total.lo + r.lo;
+    total.hi = (total.hi >= kInf || r.hi >= kInf) ? kInf : total.hi + r.hi;
+  }
+  return total;
+}
+
+// Build the classifier for one side of the equation.
+VarClassifier side_classifier(const std::vector<InnerLoop>& loops,
+                              const DepContext& ctx) {
+  return [&loops, &ctx](const std::string& name) {
+    if (name == ctx.parallel_var) return VarClass::LoopIndex;
+    for (const auto& il : loops)
+      if (il.var == name) return VarClass::LoopIndex;
+    if (ctx.scalar_invariant && ctx.scalar_invariant(name))
+      return VarClass::Invariant;
+    return VarClass::Variant;
+  };
+}
+
+// Symbolize loop-invariant array elements: the array must be read-only in
+// the loop and every subscript must normalize with no loop variables.
+OpaqueSymbolizer side_symbolizer(const std::vector<InnerLoop>& loops,
+                                 const DepContext& ctx) {
+  return [&loops, &ctx](const fir::Expr& e) -> std::optional<std::string> {
+    if (e.kind != fir::ExprKind::ArrayRef) return std::nullopt;
+    if (!ctx.array_readonly || !ctx.array_readonly(e.name)) return std::nullopt;
+    VarClassifier cls = side_classifier(loops, ctx);
+    for (const auto& sub : e.args) {
+      if (!sub) return std::nullopt;
+      // Nested invariant elements (IX(IC(3))) recurse through the same hook.
+      OpaqueSymbolizer self = side_symbolizer(loops, ctx);
+      AffineForm f = normalize_affine(*sub, cls, self);
+      if (!f.affine || f.has_loop_vars()) return std::nullopt;
+    }
+    return fir::expr_to_string(e);
+  };
+}
+
+AffineForm side_normalize(const fir::Expr& e, const std::vector<InnerLoop>& loops,
+                          const DepContext& ctx) {
+  return normalize_affine(e, side_classifier(loops, ctx),
+                          side_symbolizer(loops, ctx));
+}
+
+// Widened value range of an affine form over its loop variables (used for
+// section bounds and Banerjee-style interval reasoning on one side).
+std::optional<Interval> form_range(const AffineForm& f, const DepContext& ctx) {
+  if (!f.affine) return std::nullopt;
+  if (!f.sym_coeffs.empty()) return std::nullopt;  // symbolic => unbounded
+  Interval total{f.constant, f.constant};
+  for (const auto& [v, c] : f.loop_coeffs) {
+    auto it = ctx.bounds.find(v);
+    if (it == ctx.bounds.end() || !it->second.lo || !it->second.hi)
+      return std::nullopt;
+    int64_t a = c * *it->second.lo;
+    int64_t b = c * *it->second.hi;
+    total.lo += std::min(a, b);
+    total.hi += std::max(a, b);
+  }
+  return total;
+}
+
+// Range of one dimension access: a plain expression is [e,e] widened over
+// loop vars; a section is [lo,hi]. nullopt => unanalyzable.
+std::optional<Interval> dim_range(const fir::Expr* e,
+                                  const std::vector<InnerLoop>& loops,
+                                  const DepContext& ctx) {
+  if (!e) return std::nullopt;
+  if (e->kind == fir::ExprKind::Section) {
+    const fir::Expr* lo = e->args[0].get();
+    const fir::Expr* hi = e->args[1].get();
+    if (!lo || !hi) return std::nullopt;  // open-ended section
+    auto rl = form_range(side_normalize(*lo, loops, ctx), ctx);
+    auto rh = form_range(side_normalize(*hi, loops, ctx), ctx);
+    if (!rl || !rh) return std::nullopt;
+    return Interval{rl->lo, rh->hi};
+  }
+  return form_range(side_normalize(*e, loops, ctx), ctx);
+}
+
+DimVerdict affine_dim_test(const fir::Expr& e1,
+                           const std::vector<InnerLoop>& a_loops,
+                           const fir::Expr& e2,
+                           const std::vector<InnerLoop>& b_loops,
+                           const DepContext& ctx) {
+  AffineForm f1 = side_normalize(e1, a_loops, ctx);
+  AffineForm f2 = side_normalize(e2, b_loops, ctx);
+  if (!f1.affine || !f2.affine) return DimVerdict::NoInfo;
+
+  // Shared symbols must cancel; a net symbolic part defeats the tests.
+  {
+    AffineForm net;
+    net.affine = true;
+    net.sym_coeffs = f1.sym_coeffs;
+    for (const auto& [v, c] : f2.sym_coeffs) {
+      net.sym_coeffs[v] -= c;
+      if (net.sym_coeffs[v] == 0) net.sym_coeffs.erase(v);
+    }
+    if (!net.sym_coeffs.empty()) return DimVerdict::NoInfo;
+  }
+
+  int64_t c = f1.constant - f2.constant;  // equation: terms + c = 0
+  std::vector<Term> terms;
+  int64_t aL = 0, bL = 0;
+  for (const auto& [v, k] : f1.loop_coeffs) {
+    if (v == ctx.parallel_var)
+      aL = k;
+    else
+      terms.push_back(Term{v, false, k});
+  }
+  for (const auto& [v, k] : f2.loop_coeffs) {
+    if (v == ctx.parallel_var)
+      bL = k;
+    else
+      terms.push_back(Term{v, true, -k});
+  }
+
+  // ZIV: no variables at all.
+  if (terms.empty() && aL == 0 && bL == 0)
+    return c != 0 ? DimVerdict::NeverEqual : DimVerdict::NoInfo;
+
+  // GCD test over every variable instance (i and i' are distinct instances).
+  {
+    int64_t g = 0;
+    for (const auto& t : terms) g = std::gcd(g, std::llabs(t.coeff));
+    g = std::gcd(g, std::llabs(aL));
+    g = std::gcd(g, std::llabs(bL));
+    if (g > 0 && c % g != 0) return DimVerdict::NeverEqual;
+  }
+
+  // Banerjee extreme-value test: aL*i - bL*i' + Σ terms + c = 0.
+  if (ctx.use_banerjee) {
+    std::vector<Term> all = terms;
+    if (aL) all.push_back(Term{ctx.parallel_var, false, aL});
+    if (bL) all.push_back(Term{ctx.parallel_var, true, -bL});
+    Interval r = sum_ranges(all, ctx);
+    if (r.bounded() && (-c < r.lo || -c > r.hi)) return DimVerdict::NeverEqual;
+  }
+
+  // Strong SIV family: equal parallel-loop coefficients.
+  if (ctx.use_siv_refinement && aL == bL && aL != 0) {
+    // a*(i - i') + R + c = 0 with R = Σ inner terms.
+    if (terms.empty()) {
+      // Pure strong SIV: distance must be -c/a.
+      if (c % aL != 0) return DimVerdict::NeverEqual;
+      int64_t d = -c / aL;
+      if (d == 0) return DimVerdict::ForcesZero;
+      auto it = ctx.bounds.find(ctx.parallel_var);
+      if (it != ctx.bounds.end()) {
+        auto trip = it->second.trip();
+        if (trip && std::llabs(d) >= *trip) return DimVerdict::NeverEqual;
+      }
+      return DimVerdict::NoInfo;
+    }
+    // Carried-satisfiability refinement: can a*delta = -c - R with delta!=0?
+    Interval rR = sum_ranges(terms, ctx);
+    if (rR.bounded()) {
+      int64_t max_delta = kInf;
+      auto it = ctx.bounds.find(ctx.parallel_var);
+      if (it != ctx.bounds.end()) {
+        if (auto trip = it->second.trip()) max_delta = *trip - 1;
+      }
+      auto delta_possible = [&](int64_t sign) {
+        // delta in [1, max_delta] (or [-max_delta, -1]); a*delta interval:
+        int64_t lo = aL * sign;
+        int64_t hi = (max_delta >= kInf) ? (aL > 0 ? kInf : -kInf)
+                                         : aL * sign * max_delta;
+        if (lo > hi) std::swap(lo, hi);
+        // need intersection with [-c - rR.hi, -c - rR.lo]
+        int64_t tlo = -c - rR.hi, thi = -c - rR.lo;
+        return !(hi < tlo || lo > thi);
+      };
+      if (!delta_possible(+1) && !delta_possible(-1)) {
+        // Only delta == 0 can satisfy the equation (if anything can).
+        return DimVerdict::ForcesZero;
+      }
+    }
+    return DimVerdict::NoInfo;
+  }
+
+  // Weak-zero SIV: the parallel variable appears on one side only
+  // (a*i + c1 == c2): the only candidate iteration is i = (c2-c1)/a; rule
+  // the dependence out when that is fractional or outside the loop range.
+  if (ctx.use_siv_refinement && terms.empty() &&
+      ((aL != 0 && bL == 0) || (aL == 0 && bL != 0))) {
+    int64_t a = (aL != 0) ? aL : -bL;
+    if (c % a != 0) return DimVerdict::NeverEqual;
+    int64_t i0 = -c / a;
+    auto it = ctx.bounds.find(ctx.parallel_var);
+    if (it != ctx.bounds.end() && it->second.lo && it->second.hi &&
+        (i0 < *it->second.lo || i0 > *it->second.hi))
+      return DimVerdict::NeverEqual;
+    return DimVerdict::NoInfo;
+  }
+
+  // Weak-crossing SIV (a*i + b*i' with a == -b): solutions satisfy
+  // i + i' = -c/a — a crossing point; integral/range reasoning rules many
+  // out (i + i' must be an integer in [2*lo, 2*hi]).
+  if (ctx.use_siv_refinement && terms.empty() && aL != 0 && aL == -bL) {
+    if (c % aL != 0) return DimVerdict::NeverEqual;
+    int64_t sum = -c / aL;
+    auto it = ctx.bounds.find(ctx.parallel_var);
+    if (it != ctx.bounds.end() && it->second.lo && it->second.hi &&
+        (sum < 2 * *it->second.lo || sum > 2 * *it->second.hi))
+      return DimVerdict::NeverEqual;
+    return DimVerdict::NoInfo;
+  }
+
+  // Parallel var appears on neither side: the dimension never distinguishes
+  // iterations; satisfiable => no information about L.
+  return DimVerdict::NoInfo;
+}
+
+DimVerdict section_dim_test(const fir::Expr* e1,
+                            const std::vector<InnerLoop>& a_loops,
+                            const fir::Expr* e2,
+                            const std::vector<InnerLoop>& b_loops,
+                            const DepContext& ctx) {
+  auto r1 = dim_range(e1, a_loops, ctx);
+  auto r2 = dim_range(e2, b_loops, ctx);
+  if (r1 && r2 && (r1->hi < r2->lo || r2->hi < r1->lo))
+    return DimVerdict::NeverEqual;
+  return DimVerdict::NoInfo;
+}
+
+}  // namespace
+
+DimVerdict test_dim(const fir::Expr* e1, const std::vector<InnerLoop>& a_loops,
+                    const fir::Expr* e2, const std::vector<InnerLoop>& b_loops,
+                    const DepContext& ctx) {
+  if (!e1 || !e2) return DimVerdict::NoInfo;
+
+  // Injectivity rule for the unique() annotation operator: equal outputs
+  // require equal operand tuples, so the operand tuple is tested like a
+  // nested multi-dimensional subscript.
+  if (e1->kind == fir::ExprKind::Unique && e2->kind == fir::ExprKind::Unique) {
+    if (e1->args.size() != e2->args.size()) return DimVerdict::NoInfo;
+    bool forces_zero = false;
+    for (size_t i = 0; i < e1->args.size(); ++i) {
+      DimVerdict v = test_dim(e1->args[i].get(), a_loops, e2->args[i].get(),
+                              b_loops, ctx);
+      if (v == DimVerdict::NeverEqual) return DimVerdict::NeverEqual;
+      if (v == DimVerdict::ForcesZero) forces_zero = true;
+    }
+    return forces_zero ? DimVerdict::ForcesZero : DimVerdict::NoInfo;
+  }
+  if (e1->kind == fir::ExprKind::Unique || e2->kind == fir::ExprKind::Unique)
+    return DimVerdict::NoInfo;
+
+  if (e1->kind == fir::ExprKind::Section || e2->kind == fir::ExprKind::Section)
+    return section_dim_test(e1, a_loops, e2, b_loops, ctx);
+
+  return affine_dim_test(*e1, a_loops, *e2, b_loops, ctx);
+}
+
+PairVerdict test_pair(const MemRef& a, const MemRef& b, const DepContext& ctx) {
+  if (!a.is_write && !b.is_write) return PairVerdict::Independent;
+  if (a.is_scalar || b.is_scalar) return PairVerdict::MayCarry;  // not ours
+
+  // Whole-array references overlap everything; no dimension can help.
+  if (a.whole_array || b.whole_array) return PairVerdict::MayCarry;
+
+  // Rank-mismatched views of one array (a linearized reference against the
+  // original multi-dimensional one) cannot be compared dimension-by-
+  // dimension: element addresses interleave across dimensions. Conservative.
+  if (a.subs.size() != b.subs.size()) return PairVerdict::MayCarry;
+
+  bool forces_zero = false;
+  for (size_t d = 0; d < a.subs.size(); ++d) {
+    DimVerdict v = test_dim(a.subs[d], a.inner_loops, b.subs[d], b.inner_loops, ctx);
+    if (v == DimVerdict::NeverEqual) return PairVerdict::Independent;
+    if (v == DimVerdict::ForcesZero) forces_zero = true;
+  }
+  return forces_zero ? PairVerdict::NotCarried : PairVerdict::MayCarry;
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,70 @@
+// Pairwise data-dependence testing for loop parallelization.
+//
+// The question answered here is the one the parallelizer asks for a
+// candidate loop L: can two references to the same array touch the same
+// element in DIFFERENT iterations of L?  Per-dimension verdicts:
+//
+//   NeverEqual  — this dimension's subscripts can never be equal: the pair
+//                 is independent outright (ZIV constant difference, GCD
+//                 non-divisibility, Banerjee bounds, disjoint sections).
+//   ForcesZero  — equality in this dimension implies equal L iterations
+//                 (strong SIV with equal coefficients and zero offset):
+//                 any dependence is loop-independent w.r.t. L, which does
+//                 not block parallelization of L.
+//   NoInfo      — satisfiable or unanalyzable (non-affine subscripts, net
+//                 symbolic terms, overlapping sections): conservative.
+//
+// Pair verdict: any NeverEqual dim => Independent; else any ForcesZero dim
+// => NotCarried; else MayCarry.
+//
+// The `unique` annotation operator (paper §III.A) is handled structurally:
+// unique(x1..xn) == unique(y1..yn) iff xk == yk for all k (injectivity), so
+// a Unique dimension recursively tests its operand tuple like a nested
+// multi-dimensional subscript. This replaces the paper's "linear expression
+// with unique combination constants" encoding with the same proof power but
+// no reliance on magic stride constants (see DESIGN.md §5).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "analysis/affine.h"
+#include "analysis/refs.h"
+
+namespace ap::analysis {
+
+enum class DimVerdict : uint8_t { NeverEqual, ForcesZero, NoInfo };
+enum class PairVerdict : uint8_t { Independent, NotCarried, MayCarry };
+
+struct DepContext {
+  // The loop being parallelized.
+  std::string parallel_var;
+  // Constant bounds for the parallel loop and any inner loops (by original
+  // variable name), when they folded to integers.
+  std::map<std::string, LoopBounds> bounds;
+  // True if the scalar `name` is not modified anywhere inside the parallel
+  // loop (after induction substitution / forward substitution).
+  std::function<bool(const std::string&)> scalar_invariant;
+  // True if the array `name` has no write references inside the loop; its
+  // elements with invariant subscripts act as shared symbols (this is what
+  // makes IDBEGS(ISS)+1+K analyzable and IX(7)+I conservatively opaque —
+  // paper §II.B.1 vs §II.A.1).
+  std::function<bool(const std::string&)> array_readonly;
+  // Ablation switches (bench_ablation_deptests): disable the Banerjee
+  // extreme-value test and/or the strong-SIV refinement, leaving GCD/ZIV.
+  bool use_banerjee = true;
+  bool use_siv_refinement = true;
+};
+
+// Test one pair of references to the same array. At least one must be a
+// write (callers enforce this; read/read pairs are trivially Independent).
+PairVerdict test_pair(const MemRef& a, const MemRef& b, const DepContext& ctx);
+
+// Exposed for unit tests: single-dimension verdict for a subscript pair.
+// `a_loops`/`b_loops` are the inner loops enclosing each reference.
+DimVerdict test_dim(const fir::Expr* e1, const std::vector<InnerLoop>& a_loops,
+                    const fir::Expr* e2, const std::vector<InnerLoop>& b_loops,
+                    const DepContext& ctx);
+
+}  // namespace ap::analysis

@@ -1,0 +1,49 @@
+// Scalar classification for one candidate parallel loop.
+//
+// Every scalar accessed in the loop body lands in exactly one class:
+//
+//   ReadOnly   — never written: shared.
+//   InnerIndex — index of an inner DO loop: always private.
+//   Reduction  — every access has the shape s = s OP expr (OP in +,-,*) or
+//                s = MIN/MAX(s, expr): parallelized with a reduction clause.
+//   Private    — written before any read on every path through one
+//                iteration (must-define) and written on every iteration:
+//                privatized with last-value copy-out (the paper's Polaris
+//                peels the last iteration for the same effect, §III.B.4).
+//   Blocker    — anything else: carries a dependence and the loop cannot be
+//                parallelized unless a prior normalization pass (induction
+//                substitution, forward substitution) removes the scalar.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fir/ast.h"
+#include "sema/symbols.h"
+
+namespace ap::analysis {
+
+enum class ScalarKind : uint8_t { ReadOnly, InnerIndex, Reduction, Private, Blocker };
+
+struct ScalarInfo {
+  ScalarKind kind = ScalarKind::ReadOnly;
+  std::string reduction_op;  // "+", "*", "MIN", "MAX" when kind == Reduction
+};
+
+struct ScalarClassification {
+  std::map<std::string, ScalarInfo> scalars;
+
+  std::vector<std::string> blockers() const;
+  std::vector<std::string> privates() const;  // Private + InnerIndex
+};
+
+// Classify every scalar referenced inside `loop`'s body. `unit` supplies
+// symbol info (to exclude arrays). The loop's own index variable is skipped.
+// `trip_at_least_one` callback answers whether a DO statement provably
+// executes at least once (used to credit must-defines inside inner loops).
+ScalarClassification classify_scalars(
+    const fir::Stmt& loop, const sema::UnitInfo& unit,
+    const std::function<bool(const fir::Stmt&)>& trip_at_least_one);
+
+}  // namespace ap::analysis

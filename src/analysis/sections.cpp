@@ -1,0 +1,321 @@
+#include "analysis/sections.h"
+
+#include <optional>
+#include <vector>
+
+#include "analysis/affine.h"
+
+namespace ap::analysis {
+
+namespace {
+
+// Dimension range with symbolic affine bounds (no loop vars after widening).
+struct Rng {
+  AffineForm lo, hi;
+};
+
+struct Section {
+  bool full = false;
+  bool unknown = false;  // unanalyzable subscript somewhere
+  std::vector<Rng> dims;
+};
+
+// form must be constant-only and >= 0 for a provable comparison.
+bool provably_ge0(const AffineForm& f) {
+  return f.affine && f.loop_coeffs.empty() && f.sym_coeffs.empty() &&
+         f.constant >= 0;
+}
+
+bool covers(const Section& w, const Section& r) {
+  if (w.unknown) return false;
+  if (w.full) return true;
+  if (r.full || r.unknown) return false;
+  if (w.dims.size() != r.dims.size()) return false;
+  for (size_t d = 0; d < w.dims.size(); ++d) {
+    AffineForm lo_ok = AffineForm::difference(r.dims[d].lo, w.dims[d].lo);
+    AffineForm hi_ok = AffineForm::difference(w.dims[d].hi, r.dims[d].hi);
+    if (!provably_ge0(lo_ok) || !provably_ge0(hi_ok)) return false;
+  }
+  return true;
+}
+
+bool covered_by_any(const std::vector<Section>& musts, const Section& r) {
+  for (const auto& w : musts)
+    if (covers(w, r)) return true;
+  return false;
+}
+
+class KillAnalyzer {
+ public:
+  KillAnalyzer(const std::string& array, const std::string& parallel_var,
+               const sema::UnitInfo& unit,
+               const std::function<bool(const fir::Stmt&)>& trip_ge1)
+      : array_(array), pvar_(parallel_var), unit_(unit), trip_ge1_(trip_ge1) {}
+
+  ArrayPrivVerdict run(const fir::Stmt& loop) {
+    std::vector<Section> musts;
+    scan(loop.body, musts);
+    ArrayPrivVerdict v;
+    if (!fail_.empty()) {
+      v.reason = fail_;
+      return v;
+    }
+    // Condition (2): every write inside the must region.
+    for (const auto& w : writes_) {
+      if (!covered_by_any(musts, w)) {
+        v.reason = "write section not covered by the must-written region";
+        return v;
+      }
+    }
+    // Condition (3): the must region must not vary with the parallel index.
+    for (const auto& m : musts) {
+      if (m.full) continue;
+      for (const auto& d : m.dims) {
+        if (depends_on_pvar(d.lo) || depends_on_pvar(d.hi)) {
+          v.reason = "must-written region varies with the parallel loop index";
+          return v;
+        }
+      }
+    }
+    if (!saw_write_) {
+      v.reason = "array is never written in the loop";
+      return v;
+    }
+    v.privatizable = true;
+    v.reason = "all reads killed by same-iteration writes";
+    return v;
+  }
+
+ private:
+  std::string array_, pvar_;
+  const sema::UnitInfo& unit_;
+  const std::function<bool(const fir::Stmt&)>& trip_ge1_;
+  std::string fail_;
+  std::vector<Section> writes_;  // every write section (for condition 2)
+  bool saw_write_ = false;
+
+  struct LoopFrame {
+    std::string var;
+    AffineForm lo, hi;
+    bool bounds_ok = false;
+  };
+  std::vector<LoopFrame> stack_;
+
+  bool depends_on_pvar(const AffineForm& f) const {
+    if (!f.affine) return true;
+    if (f.loop_coeffs.count(pvar_)) return true;
+    for (const auto& [s, c] : f.sym_coeffs) {
+      if (s == pvar_) return true;
+      // Composite symbols like "(K*N)" embed the index name.
+      if (s.find("(" + pvar_ + "*") != std::string::npos) return true;
+      if (s.find("*" + pvar_ + ")") != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  VarClassifier classifier() const {
+    return [this](const std::string& name) {
+      for (const auto& fr : stack_)
+        if (fr.var == name) return VarClass::LoopIndex;
+      // Everything else — including the parallel index and scalars assigned
+      // within the iteration — acts as a within-iteration symbol.
+      return VarClass::Invariant;
+    };
+  }
+
+  // Remove inner loop variables from a bound form by substituting the
+  // variable's own bound (minimize or maximize). Innermost first so that
+  // bound forms referencing outer indices resolve on later rounds.
+  std::optional<AffineForm> widen(AffineForm f, bool maximize) const {
+    if (!f.affine) return std::nullopt;
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      auto ci = f.loop_coeffs.find(it->var);
+      if (ci == f.loop_coeffs.end()) continue;
+      int64_t c = ci->second;
+      if (!it->bounds_ok) return std::nullopt;
+      f.loop_coeffs.erase(it->var);
+      AffineForm sub = (c > 0) == maximize ? it->hi : it->lo;
+      sub.scale(c);
+      f += sub;
+      if (!f.affine) return std::nullopt;
+    }
+    if (!f.loop_coeffs.empty()) return std::nullopt;  // unknown var remains
+    return f;
+  }
+
+  // Build the section touched by one reference.
+  Section section_of(const fir::Expr& e) {
+    Section s;
+    if (e.kind == fir::ExprKind::VarRef) {
+      s.full = true;
+      return s;
+    }
+    VarClassifier cls = classifier();
+    for (const auto& sub : e.args) {
+      if (!sub) {
+        s.unknown = true;
+        return s;
+      }
+      AffineForm lo_f, hi_f;
+      if (sub->kind == fir::ExprKind::Section) {
+        const fir::Expr* lo = sub->args[0].get();
+        const fir::Expr* hi = sub->args[1].get();
+        if (!lo || !hi) {
+          s.unknown = true;
+          return s;
+        }
+        lo_f = normalize_affine(*lo, cls);
+        hi_f = normalize_affine(*hi, cls);
+      } else {
+        lo_f = normalize_affine(*sub, cls);
+        hi_f = lo_f;
+      }
+      auto wlo = widen(lo_f, /*maximize=*/false);
+      auto whi = widen(hi_f, /*maximize=*/true);
+      if (!wlo || !whi) {
+        s.unknown = true;
+        return s;
+      }
+      s.dims.push_back(Rng{*wlo, *whi});
+    }
+    return s;
+  }
+
+  void read_event(const fir::Expr& e, const std::vector<Section>& musts) {
+    Section r = section_of(e);
+    if (!covered_by_any(musts, r) && fail_.empty())
+      fail_ = "read of " + array_ + " not covered by a preceding must-write";
+  }
+
+  void write_event(const fir::Expr& e, std::vector<Section>& musts,
+                   bool conditional) {
+    Section w = section_of(e);
+    saw_write_ = true;
+    writes_.push_back(w);
+    if (!conditional && !w.unknown) musts.push_back(w);
+  }
+
+  void scan_expr_reads(const fir::Expr& e, const std::vector<Section>& musts) {
+    fir::walk_expr_tree(e, [&](const fir::Expr& x) {
+      if ((x.kind == fir::ExprKind::VarRef || x.kind == fir::ExprKind::ArrayRef) &&
+          x.name == array_) {
+        // Whole-array read or element read.
+        read_event(x, musts);
+      }
+    });
+  }
+
+  void scan(const std::vector<fir::StmtPtr>& body, std::vector<Section>& musts,
+            bool conditional = false) {
+    for (const auto& sp : body) {
+      if (!sp || !fail_.empty()) return;
+      const fir::Stmt& s = *sp;
+      switch (s.kind) {
+        case fir::StmtKind::Assign:
+        case fir::StmtKind::TupleAssign: {
+          if (s.rhs) scan_expr_reads(*s.rhs, musts);
+          for (const auto& l : s.lhs) {
+            if (!l) continue;
+            if (l->name == array_ && (l->kind == fir::ExprKind::VarRef ||
+                                      l->kind == fir::ExprKind::ArrayRef)) {
+              if (l->kind == fir::ExprKind::ArrayRef)
+                for (const auto& sub : l->args)
+                  if (sub) scan_expr_reads(*sub, musts);
+              write_event(*l, musts, conditional);
+            } else if (l->kind == fir::ExprKind::ArrayRef) {
+              for (const auto& sub : l->args)
+                if (sub) scan_expr_reads(*sub, musts);
+            }
+          }
+          break;
+        }
+        case fir::StmtKind::Do: {
+          if (s.do_lo) scan_expr_reads(*s.do_lo, musts);
+          if (s.do_hi) scan_expr_reads(*s.do_hi, musts);
+          if (s.do_step) scan_expr_reads(*s.do_step, musts);
+          LoopFrame fr;
+          fr.var = s.do_var;
+          if (s.do_lo && s.do_hi && !s.do_step) {
+            AffineForm lo = normalize_affine(*s.do_lo, classifier());
+            AffineForm hi = normalize_affine(*s.do_hi, classifier());
+            if (lo.affine && hi.affine) {
+              fr.lo = lo;
+              fr.hi = hi;
+              fr.bounds_ok = true;
+            }
+          }
+          stack_.push_back(fr);
+          std::vector<Section> inner_musts = musts;
+          scan(s.body, inner_musts, conditional);
+          // Widen must-writes the body added over the inner index. They
+          // become must-writes here only if the loop provably runs.
+          bool runs = trip_ge1_ && trip_ge1_(s);
+          std::vector<Section> added(inner_musts.begin() + musts.size(),
+                                     inner_musts.end());
+          stack_.pop_back();
+          if (runs && !conditional) {
+            for (auto& a : added) {
+              if (a.full) {
+                musts.push_back(a);
+                continue;
+              }
+              Section widened;
+              bool ok = true;
+              for (auto& d : a.dims) {
+                // Bounds may still carry the inner var; substitute range.
+                stack_.push_back(fr);
+                auto wlo = widen(d.lo, false);
+                auto whi = widen(d.hi, true);
+                stack_.pop_back();
+                if (!wlo || !whi) {
+                  ok = false;
+                  break;
+                }
+                widened.dims.push_back(Rng{*wlo, *whi});
+              }
+              if (ok) musts.push_back(widened);
+            }
+          }
+          break;
+        }
+        case fir::StmtKind::If: {
+          if (s.cond) scan_expr_reads(*s.cond, musts);
+          std::vector<Section> t = musts;
+          scan(s.body, t, /*conditional=*/true);
+          std::vector<Section> e = musts;
+          scan(s.else_body, e, /*conditional=*/true);
+          // No must contributions from conditional branches.
+          break;
+        }
+        case fir::StmtKind::Call:
+          // Loops containing calls are rejected before privatization; be
+          // safe anyway.
+          fail_ = "opaque CALL inside loop";
+          return;
+        case fir::StmtKind::Write:
+          for (const auto& a : s.args)
+            if (a) scan_expr_reads(*a, musts);
+          break;
+        case fir::StmtKind::TaggedRegion:
+          scan(s.body, musts, conditional);
+          break;
+        case fir::StmtKind::Stop:
+        case fir::StmtKind::Return:
+        case fir::StmtKind::Continue:
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ArrayPrivVerdict array_privatizable(
+    const fir::Stmt& loop, const std::string& array,
+    const sema::UnitInfo& unit,
+    const std::function<bool(const fir::Stmt&)>& trip_at_least_one) {
+  KillAnalyzer ka(array, loop.do_var, unit, trip_at_least_one);
+  return ka.run(loop);
+}
+
+}  // namespace ap::analysis

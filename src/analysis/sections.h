@@ -1,0 +1,45 @@
+// Array-kill analysis for privatization (paper §II.B.3, §III.B.4).
+//
+// An array A is privatizable with respect to a loop L when
+//   (1) every read of A inside one iteration is covered by a must-write of
+//       the same iteration that precedes it (the "kill"),
+//   (2) every write section the loop performs lies inside the must-written
+//       region (so the loop's footprint is the must region), and
+//   (3) the must-written region does not depend directly on L's index
+//       (otherwise different iterations write different regions and the
+//       final state cannot be recovered from the last iteration).
+//
+// Sections are rectangular, dimension-wise [lo:hi] ranges with affine
+// symbolic bounds; whole-array assignments (the annotation idiom
+// "XY = unknown(...)") produce a Full section, which is what makes global
+// temporary arrays like XY/NDX/NDY/WTDET privatizable after annotation-
+// based inlining even when the real implementations only modify subsets
+// (paper Figures 8-9 and §III.B.4).
+//
+// Scalars that are re-assigned inside the iteration are treated as stable
+// symbols within that iteration; this matches Polaris' behaviour after
+// scalar renaming and is validated dynamically by the runtime tester.
+#pragma once
+
+#include <string>
+
+#include "analysis/refs.h"
+#include "fir/ast.h"
+#include "sema/symbols.h"
+
+namespace ap::analysis {
+
+struct ArrayPrivVerdict {
+  bool privatizable = false;
+  std::string reason;  // human-readable explanation for reports/tests
+};
+
+// Decide privatizability of `array` w.r.t. `loop`. `trip_at_least_one`
+// answers whether an inner DO provably executes (needed to credit must-
+// writes made inside inner loops).
+ArrayPrivVerdict array_privatizable(
+    const fir::Stmt& loop, const std::string& array,
+    const sema::UnitInfo& unit,
+    const std::function<bool(const fir::Stmt&)>& trip_at_least_one);
+
+}  // namespace ap::analysis

@@ -1,0 +1,191 @@
+#include "annot/checker.h"
+
+#include <functional>
+#include <map>
+
+#include "support/text.h"
+
+namespace ap::annot {
+
+std::string ConsistencyReport::render() const {
+  std::string out;
+  out += sound ? "SOUND" : "UNSOUND";
+  for (const auto& m : missing)
+    out += "\n  missing write: " + m + " (implementation writes it; annotation does not)";
+  for (const auto& s : spurious)
+    out += "\n  spurious write: " + s + " (annotation writes it; implementation does not)";
+  for (const auto& r : relaxations) out += "\n  note: " + r;
+  return out;
+}
+
+namespace {
+
+// Collect the names a unit's body may write, resolving callee effects
+// through actual arguments. Returns names meaningful at `unit` scope:
+// its own dummy names and global (common/implicit-global) names.
+class EffectCollector {
+ public:
+  explicit EffectCollector(const fir::Program& prog) : prog_(prog) {}
+
+  struct Effects {
+    std::set<std::string> writes;  // dummy names + global names
+    bool has_io = false;
+    bool has_stop = false;
+    bool incomplete = false;  // external-library callee reached
+  };
+
+  Effects collect(const fir::ProgramUnit& unit) {
+    auto it = cache_.find(unit.name);
+    if (it != cache_.end()) return clone(it->second);
+    // Break recursion cycles: a recursive reentry contributes what the
+    // first pass finds (fixpoint of one iteration is enough because write
+    // sets only grow through direct statements, already counted).
+    if (in_progress_.count(unit.name)) return Effects{};
+    in_progress_.insert(unit.name);
+
+    Effects eff;
+    walk(unit, unit.body, eff);
+    in_progress_.erase(unit.name);
+    cache_[unit.name] = clone(eff);
+    return eff;
+  }
+
+ private:
+  const fir::Program& prog_;
+  std::map<std::string, Effects> cache_;
+  std::set<std::string> in_progress_;
+
+  static Effects clone(const Effects& e) { return e; }
+
+  // Is `name` local to `unit` (neither dummy nor common)?
+  static bool is_local(const fir::ProgramUnit& unit, const std::string& name) {
+    if (unit.is_param(name)) return false;
+    for (const auto& blk : unit.commons)
+      for (const auto& v : blk.vars)
+        if (ieq(v, name)) return false;
+    return true;
+  }
+
+  void record_write(const fir::ProgramUnit& unit, const std::string& name,
+                    Effects& eff) {
+    if (!is_local(unit, name)) eff.writes.insert(name);
+  }
+
+  void walk(const fir::ProgramUnit& unit, const std::vector<fir::StmtPtr>& body,
+            Effects& eff) {
+    for (const auto& sp : body) {
+      if (!sp) continue;
+      const fir::Stmt& s = *sp;
+      switch (s.kind) {
+        case fir::StmtKind::Assign:
+        case fir::StmtKind::TupleAssign:
+          for (const auto& l : s.lhs)
+            if (l) record_write(unit, l->name, eff);
+          break;
+        case fir::StmtKind::Write:
+          eff.has_io = true;
+          break;
+        case fir::StmtKind::Stop:
+          eff.has_stop = true;
+          break;
+        case fir::StmtKind::Call: {
+          const fir::ProgramUnit* callee = prog_.find_unit(s.name);
+          if (!callee) {
+            eff.incomplete = true;
+            break;
+          }
+          Effects ceff = collect(*callee);
+          eff.has_io |= ceff.has_io;
+          eff.has_stop |= ceff.has_stop;
+          eff.incomplete |= ceff.incomplete;
+          // Map callee-scope names back to this unit's scope.
+          for (const auto& w : ceff.writes) {
+            if (callee->is_param(w)) {
+              // Find the matching actual.
+              for (size_t i = 0; i < callee->params.size(); ++i) {
+                if (!ieq(callee->params[i], w)) continue;
+                if (i >= s.args.size() || !s.args[i]) break;
+                const fir::Expr& a = *s.args[i];
+                if (a.kind == fir::ExprKind::VarRef ||
+                    a.kind == fir::ExprKind::ArrayRef)
+                  record_write(unit, a.name, eff);
+                // By-value expression actuals: callee writes a temp; no
+                // effect at this scope.
+              }
+            } else {
+              // Common/global name: visible here under the same name.
+              eff.writes.insert(w);
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      walk(unit, s.body, eff);
+      walk(unit, s.else_body, eff);
+    }
+  }
+};
+
+// The annotation's declared write set (formals and globals by name).
+std::set<std::string> annotation_writes(const fir::ProgramUnit& annotation) {
+  std::set<std::string> out;
+  fir::walk_stmts(annotation.body, [&](const fir::Stmt& s) {
+    if (s.kind == fir::StmtKind::Assign || s.kind == fir::StmtKind::TupleAssign) {
+      for (const auto& l : s.lhs)
+        if (l) out.insert(l->name);
+    }
+    return true;
+  });
+  // Annotation-local loop variables are not side effects.
+  fir::walk_stmts(annotation.body, [&](const fir::Stmt& s) {
+    if (s.kind == fir::StmtKind::Do) out.erase(s.do_var);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace
+
+ConsistencyReport check_annotation(const fir::ProgramUnit& annotation,
+                                   const fir::Program& prog) {
+  ConsistencyReport report;
+  const fir::ProgramUnit* impl = prog.find_unit(annotation.name);
+  if (!impl) {
+    report.relaxations.push_back(
+        "no implementation available for " + annotation.name +
+        "; only structural checks possible");
+    return report;
+  }
+
+  EffectCollector ec(prog);
+  auto eff = ec.collect(*impl);
+  auto declared = annotation_writes(annotation);
+
+  if (impl->external_library || eff.incomplete)
+    report.relaxations.push_back(
+        "implementation reaches external/unknown code; missing-write "
+        "detection is best-effort");
+
+  for (const auto& w : eff.writes) {
+    if (!declared.count(w)) {
+      report.missing.push_back(w);
+      report.sound = false;
+    }
+  }
+  for (const auto& w : declared) {
+    if (!eff.writes.count(w)) report.spurious.push_back(w);
+  }
+  if (eff.has_io)
+    report.relaxations.push_back(
+        "implementation performs I/O that the annotation omits (paper "
+        "§III.B.3 relaxation)");
+  if (eff.has_stop)
+    report.relaxations.push_back(
+        "implementation may STOP; the annotation relaxes precise "
+        "exception handling (paper §III.B.3)");
+  return report;
+}
+
+}  // namespace ap::annot

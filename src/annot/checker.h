@@ -1,0 +1,52 @@
+// Static annotation-consistency checking — a partial implementation of the
+// paper's future work (§III.D / §VI: "develop techniques ... to verify the
+// safety of manually supplied annotations").
+//
+// Given an annotation and the real subroutine body (when source is
+// available), the checker compares side-effect summaries:
+//
+//   * every global (COMMON) variable the implementation MAY WRITE —
+//     directly or through its callees, transitively — must be written by
+//     the annotation too; a write the annotation omits could let the
+//     parallelizer prove a loop independent when it is not (unsound);
+//   * every dummy argument the implementation may write must be written by
+//     the annotation under the same formal name;
+//   * writes the annotation declares but the implementation never performs
+//     are reported as warnings (over-approximation is safe but weakens
+//     analysis precision).
+//
+// Reads are intentionally NOT checked: missing read summaries cannot make
+// the parallelizer unsound w.r.t. privatization (extra reads only ever
+// block transformations), and the paper's annotations deliberately omit
+// reads of debugging state. I/O and STOP omissions (the paper's §III.B.3
+// relaxation) are reported as notes, never errors — dropping them is the
+// point of the mechanism, but the user should see what was dropped.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fir/ast.h"
+#include "support/diagnostics.h"
+
+namespace ap::annot {
+
+struct ConsistencyReport {
+  bool sound = true;                      // no missing writes
+  std::vector<std::string> missing;      // written by impl, absent in annot
+  std::vector<std::string> spurious;     // written by annot, never by impl
+  std::vector<std::string> relaxations;  // I/O / STOP omitted (paper §III.B.3)
+
+  std::string render() const;
+};
+
+// Check `annotation` against the implementation of the same-named unit in
+// `prog` (including everything reachable through its calls). Units without
+// source (external_library) contribute unknown effects and make missing-
+// write detection impossible; the checker then only validates formals and
+// reports the limitation.
+ConsistencyReport check_annotation(const fir::ProgramUnit& annotation,
+                                   const fir::Program& prog);
+
+}  // namespace ap::annot

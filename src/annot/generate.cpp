@@ -1,0 +1,613 @@
+#include "annot/generate.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/affine.h"
+#include "fir/parser.h"
+#include "sema/symbols.h"
+#include "support/text.h"
+#include "xform/subst.h"
+
+namespace ap::annot {
+
+namespace {
+
+using fir::Expr;
+using fir::ExprKind;
+using fir::ExprPtr;
+using fir::Stmt;
+using fir::StmtKind;
+using fir::StmtPtr;
+
+class Generator {
+ public:
+  Generator(const fir::ProgramUnit& unit, const fir::Program& prog,
+            const GenerateOptions& opts)
+      : unit_(unit), prog_(prog), opts_(opts) {}
+
+  GenerateResult run() {
+    GenerateResult result;
+    if (unit_.kind != fir::UnitKind::Subroutine) {
+      result.reason = "not a subroutine";
+      return result;
+    }
+    if (unit_.external_library) {
+      // The whole point of external-library annotations is that no source
+      // exists to derive them from; the body we hold is only the runtime's
+      // reference implementation.
+      result.reason = "external library: source not available for analysis";
+      return result;
+    }
+    // Leaf routines only: callee effects would need recursive summaries.
+    bool has_call = false;
+    int returns = 0;
+    fir::walk_stmts(unit_.body, [&](const Stmt& s) {
+      if (s.kind == StmtKind::Call) has_call = true;
+      if (s.kind == StmtKind::Return) ++returns;
+      return true;
+    });
+    if (has_call) {
+      result.reason = "calls other subroutines (only leaf routines supported)";
+      return result;
+    }
+    if (returns > 1 || (returns == 1 && (unit_.body.empty() ||
+                                         unit_.body.back()->kind !=
+                                             StmtKind::Return))) {
+      result.reason = "non-trailing RETURN";
+      return result;
+    }
+
+    classify_names();
+
+    std::vector<StmtPtr> body;
+    if (!summarize(unit_.body, body)) {
+      result.reason = fail_;
+      return result;
+    }
+    // Trailing reads (after the last write) still belong to the summary.
+    if (last_unknown_ && !pending_reads_.empty()) {
+      for (auto& r : pending_reads_) last_unknown_->args.push_back(std::move(r));
+      pending_reads_.clear();
+    }
+    if (body.empty()) {
+      result.reason = "no externally visible side effects to summarize";
+      return result;
+    }
+
+    auto annot = std::make_unique<fir::ProgramUnit>();
+    annot->kind = fir::UnitKind::Subroutine;
+    annot->name = unit_.name;
+    annot->params = unit_.params;
+    add_dimension_decls(*annot, body);
+    annot->body = std::move(body);
+    result.annotation = std::move(annot);
+    result.reason = "generated";
+    return result;
+  }
+
+ private:
+  const fir::ProgramUnit& unit_;
+  const fir::Program& prog_;
+  const GenerateOptions& opts_;
+  std::string fail_;
+
+  std::set<std::string> commons_;       // names living in COMMON
+  std::map<std::string, int64_t> consts_;  // folded PARAMETER constants
+  std::set<std::string> written_;       // names written anywhere
+  std::vector<ExprPtr> pending_reads_;  // reads awaiting the next write
+  std::set<std::string> read_keys_;     // global dedup of read summaries
+  Expr* last_unknown_ = nullptr;        // RHS of the last emitted write
+  std::set<std::string> emitted_keys_;  // dedupe of summary statements
+
+  bool is_nonlocal(const std::string& name) const {
+    return unit_.is_param(name) || commons_.count(name);
+  }
+  bool is_array(const std::string& name) const {
+    const fir::VarDecl* d = unit_.find_decl(name);
+    return d && !d->dims.empty();
+  }
+
+  void classify_names() {
+    for (const auto& blk : unit_.commons)
+      for (const auto& v : blk.vars) commons_.insert(fold_upper(v));
+    written_ = xform::written_names(unit_.body);
+    // PARAMETER constants are invariant and fold to literals in generated
+    // text (callers do not share the callee's PARAMETER statements).
+    DiagnosticEngine scratch;
+    sema::SemaContext sema(prog_, scratch);
+    for (const auto& d : unit_.decls) {
+      if (!d.is_param_const || !d.param_value) continue;
+      if (auto v = sema.fold_int(unit_.name, *d.param_value))
+        consts_[d.name] = *v;
+    }
+  }
+
+  // Replace PARAMETER-constant references by their literal values.
+  ExprPtr fold_consts(ExprPtr e) const {
+    return xform::rewrite_expr_tree(std::move(e),
+                                    [&](const Expr& x) -> ExprPtr {
+                                      if (x.kind != ExprKind::VarRef)
+                                        return nullptr;
+                                      auto it = consts_.find(x.name);
+                                      if (it == consts_.end()) return nullptr;
+                                      return fir::make_int(it->second);
+                                    });
+  }
+
+  // Read summaries are collected during the main walk (they need the loop
+  // context): each non-local read becomes a sectioned reference when its
+  // subscripts summarize, else a whole-array reference. Coarser is still
+  // sound — extra reads only ever block transformations — but sectioned
+  // reads let ULINK[1:4, IS]-style self-updates keep their independence.
+  // Reads are attached to the summary write AT OR AFTER the point they
+  // occur (globally deduplicated). Attaching a read earlier than its real
+  // position is conservative; attaching it later would let a caller-loop
+  // kill analysis privatize an array whose stale value the implementation
+  // still reads — so pending reads are consumed by the next emitted write
+  // and any residue is appended to the final one.
+  void note_read(const Expr& e) {
+    if (!is_nonlocal(e.name)) return;
+    ExprPtr summary;
+    if (e.kind == ExprKind::ArrayRef) {
+      std::vector<ExprPtr> subs;
+      bool ok = true;
+      for (const auto& sub : e.args) {
+        ExprPtr sum = sub ? summarize_sub(*sub) : nullptr;
+        if (!sum) {
+          ok = false;
+          break;
+        }
+        subs.push_back(std::move(sum));
+      }
+      summary = ok ? fir::make_array_ref(e.name, std::move(subs))
+                   : fir::make_var(e.name);
+    } else {
+      summary = fir::make_var(e.name);
+    }
+    std::string key = fir::expr_to_string(*summary);
+    if (!read_keys_.insert(key).second) return;
+    pending_reads_.push_back(std::move(summary));
+  }
+
+  void note_expr_reads(const Expr& e) {
+    fir::walk_expr_tree(e, [&](const Expr& x) {
+      if (x.kind == ExprKind::VarRef || x.kind == ExprKind::ArrayRef)
+        note_read(x);
+    });
+  }
+
+  std::vector<ExprPtr> unknown_args() {
+    std::vector<ExprPtr> args;
+    for (auto& r : pending_reads_) args.push_back(std::move(r));
+    pending_reads_.clear();
+    return args;
+  }
+
+  struct LoopFrame {
+    std::string var;
+    const Expr* lo;
+    const Expr* hi;
+  };
+  std::vector<LoopFrame> loops_;
+
+
+
+  // An expression is summary-invariant when it reads only never-written
+  // non-locals and literals — its value is fixed across the whole call.
+  bool invariant(const Expr& e) const {
+    bool ok = true;
+    fir::walk_expr_tree(e, [&](const Expr& x) {
+      if (x.kind == ExprKind::VarRef || x.kind == ExprKind::ArrayRef) {
+        bool is_const = x.kind == ExprKind::VarRef && consts_.count(x.name);
+        if (!is_const && (!is_nonlocal(x.name) || written_.count(x.name)))
+          ok = false;
+        for (const auto& fr : loops_)
+          if (fr.var == x.name) ok = false;
+      }
+      if (x.kind == ExprKind::Unknown || x.kind == ExprKind::Unique) ok = false;
+    });
+    return ok;
+  }
+
+  // Substitute a loop variable by a bound expression (clone-based).
+  ExprPtr subst_var(const Expr& e, const std::string& var, const Expr& bound) {
+    return xform::rewrite_expr_tree(
+        e.clone(), [&](const Expr& x) -> ExprPtr {
+          if (x.kind == ExprKind::VarRef && x.name == var) return bound.clone();
+          return nullptr;
+        });
+  }
+
+  // Summarize one write subscript; nullptr => generation must fail.
+  ExprPtr summarize_sub(const Expr& e) {
+    if (invariant(e)) return fold_consts(e.clone());
+    // Affine in exactly one enclosing loop variable with unit coefficient?
+    analysis::VarClassifier cls = [&](const std::string& n) {
+      for (const auto& fr : loops_)
+        if (fr.var == n) return analysis::VarClass::LoopIndex;
+      if (consts_.count(n)) return analysis::VarClass::Invariant;
+      if (is_nonlocal(n) && !written_.count(n))
+        return analysis::VarClass::Invariant;
+      return analysis::VarClass::Variant;
+    };
+    analysis::OpaqueSymbolizer sym = [&](const Expr& x)
+        -> std::optional<std::string> {
+      if (x.kind == ExprKind::ArrayRef && invariant(x))
+        return fir::expr_to_string(x);
+      return std::nullopt;
+    };
+    analysis::AffineForm f = analysis::normalize_affine(e, cls, sym);
+    if (!f.affine || f.loop_coeffs.size() != 1) return nullptr;
+    const auto& [var, coeff] = *f.loop_coeffs.begin();
+    if (coeff != 1 && coeff != -1) return nullptr;
+    const LoopFrame* frame = nullptr;
+    for (const auto& fr : loops_)
+      if (fr.var == var) frame = &fr;
+    if (!frame || !frame->lo || !frame->hi) return nullptr;
+    if (!invariant(*frame->lo) || !invariant(*frame->hi)) return nullptr;
+    ExprPtr at_lo = fold_consts(subst_var(e, var, *frame->lo));
+    ExprPtr at_hi = fold_consts(subst_var(e, var, *frame->hi));
+    if (coeff == 1) return fir::make_section(std::move(at_lo), std::move(at_hi));
+    return fir::make_section(std::move(at_hi), std::move(at_lo));
+  }
+
+  // Emit the summary statement for one write target; true on success.
+  bool emit_write(const Expr& lhs, std::vector<StmtPtr>& out) {
+    if (!is_nonlocal(lhs.name)) return true;  // locals vanish (paper §III.B.4)
+    ExprPtr target;
+    if (lhs.kind == ExprKind::VarRef || !is_array(lhs.name)) {
+      target = fir::make_var(lhs.name);
+    } else {
+      std::vector<ExprPtr> subs;
+      for (const auto& s : lhs.args) {
+        if (!s) return false;
+        ExprPtr sum = summarize_sub(*s);
+        if (!sum) {
+          fail_ = "write subscript of " + lhs.name +
+                  " not expressible as an invariant or unit-stride section: " +
+                  fir::expr_to_string(*s);
+          return false;
+        }
+        (void)0;
+        subs.push_back(std::move(sum));
+      }
+      target = fir::make_array_ref(lhs.name, std::move(subs));
+      upgrade_full_section(target);
+    }
+    std::string key = fir::expr_to_string(*target);
+    for (const auto& fr : loops_) key += "|" + fr.var;  // context-sensitive
+    if (!emitted_keys_.insert(key).second) return true;  // deduped
+    auto stmt = fir::make_assign(std::move(target),
+                                 fir::make_unknown(unknown_args()));
+    last_unknown_ = stmt->rhs.get();
+    out.push_back(std::move(stmt));
+    return true;
+  }
+
+  // A section write spanning the array's full declared extent is a whole-
+  // array kill: emit the VarRef form so array-kill analysis sees Full
+  // (constant extents only; symbolic extents stay as sections).
+  void upgrade_full_section(ExprPtr& target) {
+    const fir::VarDecl* d = unit_.find_decl(target->name);
+    if (!d || d->dims.size() != target->args.size()) return;
+    DiagnosticEngine scratch;
+    sema::SemaContext sema(prog_, scratch);
+    for (size_t i = 0; i < d->dims.size(); ++i) {
+      const Expr* sub = target->args[i].get();
+      if (!sub || sub->kind != ExprKind::Section) return;
+      if (!sub->args[0] || !sub->args[1] || sub->args[2]) return;
+      auto lo = sema.fold_int(unit_.name, *sub->args[0]);
+      auto hi = sema.fold_int(unit_.name, *sub->args[1]);
+      int64_t dlo = 1;
+      if (d->dims[i].lo) {
+        auto v = sema.fold_int(unit_.name, *d->dims[i].lo);
+        if (!v) return;
+        dlo = *v;
+      }
+      if (!d->dims[i].hi) return;
+      auto dhi = sema.fold_int(unit_.name, *d->dims[i].hi);
+      if (!lo || !hi || !dhi || *lo != dlo || *hi != *dhi) return;
+    }
+    target = fir::make_var(target->name);
+  }
+
+  // Condition guard: if (unknown(<non-local names read by cond>) > 0).
+  ExprPtr opaque_guard(const Expr& cond) {
+    std::vector<ExprPtr> args;
+    std::set<std::string> seen;
+    fir::walk_expr_tree(cond, [&](const Expr& x) {
+      if ((x.kind == ExprKind::VarRef || x.kind == ExprKind::ArrayRef) &&
+          is_nonlocal(x.name) && seen.insert(x.name).second &&
+          args.size() < opts_.max_unknown_args)
+        args.push_back(fir::make_var(x.name));
+    });
+    return fir::make_binary(fir::BinOp::Gt, fir::make_unknown(std::move(args)),
+                            fir::make_int(0));
+  }
+
+  bool summarize(const std::vector<StmtPtr>& body, std::vector<StmtPtr>& out) {
+    for (const auto& sp : body) {
+      if (!sp) continue;
+      const Stmt& s = *sp;
+      switch (s.kind) {
+        case StmtKind::Assign:
+        case StmtKind::TupleAssign:
+          if (s.rhs) note_expr_reads(*s.rhs);
+          for (const auto& l : s.lhs)
+            if (l)
+              for (const auto& sub : l->args)
+                if (sub) note_expr_reads(*sub);
+          for (const auto& l : s.lhs)
+            if (l && !emit_write(*l, out)) return false;
+          break;
+        case StmtKind::Do: {
+          if (s.do_lo) note_expr_reads(*s.do_lo);
+          if (s.do_hi) note_expr_reads(*s.do_hi);
+          loops_.push_back(LoopFrame{s.do_var, s.do_lo.get(), s.do_hi.get()});
+          // Summaries widen over the loop, so the loop structure itself
+          // vanishes; its body's summaries land in the current block.
+          bool ok = summarize(s.body, out);
+          loops_.pop_back();
+          if (!ok) return false;
+          break;
+        }
+        case StmtKind::If: {
+          if (s.cond) note_expr_reads(*s.cond);
+          std::vector<StmtPtr> then_out, else_out;
+          if (!summarize(s.body, then_out)) return false;
+          if (!summarize(s.else_body, else_out)) return false;
+          if (!then_out.empty() || !else_out.empty()) {
+            out.push_back(fir::make_if(opaque_guard(*s.cond),
+                                       std::move(then_out),
+                                       std::move(else_out)));
+          }
+          break;
+        }
+        case StmtKind::Write:
+        case StmtKind::Stop:
+          // The paper's §III.B.3 relaxation: omit I/O and error handling.
+          break;
+        case StmtKind::Return:
+        case StmtKind::Continue:
+          break;
+        case StmtKind::Call:
+        case StmtKind::TaggedRegion:
+          fail_ = "unsupported statement";
+          return false;
+      }
+    }
+    return true;
+  }
+
+  void add_dimension_decls(fir::ProgramUnit& annot,
+                           const std::vector<StmtPtr>& body) {
+    // Dimension declarations for every formal array the summary references;
+    // extents folded to literals when possible so shape checks succeed in
+    // callers that do not share this unit's PARAMETER constants.
+    DiagnosticEngine scratch;
+    sema::SemaContext sema(prog_, scratch);
+    std::set<std::string> mentioned;
+    fir::walk_stmts(body, [&](const Stmt& s) {
+      fir::walk_exprs(s, [&](const Expr& e) {
+        if (e.kind == ExprKind::VarRef || e.kind == ExprKind::ArrayRef)
+          mentioned.insert(e.name);
+      });
+      return true;
+    });
+    for (const auto& p : unit_.params) {
+      std::string nm = fold_upper(p);
+      if (!mentioned.count(nm)) continue;
+      const fir::VarDecl* d = unit_.find_decl(nm);
+      if (!d || d->dims.empty()) continue;
+      fir::VarDecl nd;
+      nd.name = nm;
+      nd.type = d->type;
+      for (const auto& dim : d->dims) {
+        fir::Dim out;
+        if (dim.lo) out.lo = dim.lo->clone();
+        if (dim.hi) {
+          auto v = sema.fold_int(unit_.name, *dim.hi);
+          out.hi = v ? fir::make_int(*v) : dim.hi->clone();
+        }
+        nd.dims.push_back(std::move(out));
+      }
+      annot.decls.push_back(std::move(nd));
+    }
+  }
+};
+
+}  // namespace
+
+
+namespace {
+
+// ---- DSL rendering ---------------------------------------------------------
+
+void render_expr(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      out += std::to_string(e.int_val);
+      return;
+    case ExprKind::RealLit:
+      out += std::to_string(e.real_val);
+      return;
+    case ExprKind::LogicalLit:
+      out += e.logical_val ? ".TRUE." : ".FALSE.";
+      return;
+    case ExprKind::StrLit:
+      out += "'" + e.str_val + "'";
+      return;
+    case ExprKind::VarRef:
+      out += e.name;
+      return;
+    case ExprKind::Section:
+      if (e.args[0]) render_expr(*e.args[0], out);
+      out += ":";
+      if (e.args[1]) render_expr(*e.args[1], out);
+      if (e.args[2]) {
+        out += ":";
+        render_expr(*e.args[2], out);
+      }
+      return;
+    case ExprKind::Unary:
+      out += (e.un_op == fir::UnOp::Neg) ? "(-"
+             : (e.un_op == fir::UnOp::Not) ? "(.NOT."
+                                           : "(+";
+      render_expr(*e.args[0], out);
+      out += ")";
+      return;
+    case ExprKind::Binary:
+      out += "(";
+      render_expr(*e.args[0], out);
+      out += fir::binop_spelling(e.bin_op);
+      render_expr(*e.args[1], out);
+      out += ")";
+      return;
+    case ExprKind::ArrayRef: {
+      out += e.name;
+      out += "[";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        if (e.args[i]) render_expr(*e.args[i], out);
+      }
+      out += "]";
+      return;
+    }
+    case ExprKind::Intrinsic:
+    case ExprKind::Unknown:
+    case ExprKind::Unique: {
+      out += e.kind == ExprKind::Unknown  ? "unknown"
+             : e.kind == ExprKind::Unique ? "unique"
+                                          : e.name;
+      out += "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        if (e.args[i]) render_expr(*e.args[i], out);
+      }
+      out += ")";
+      return;
+    }
+  }
+}
+
+std::string dsl(const Expr& e) {
+  std::string out;
+  render_expr(e, out);
+  return out;
+}
+
+void render_stmts(const std::vector<StmtPtr>& body, int indent,
+                  std::string& out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  for (const auto& sp : body) {
+    if (!sp) continue;
+    const Stmt& s = *sp;
+    switch (s.kind) {
+      case StmtKind::Assign:
+        out += pad + dsl(*s.lhs[0]) + " = " + dsl(*s.rhs) + ";\n";
+        break;
+      case StmtKind::TupleAssign: {
+        out += pad + "(";
+        for (size_t i = 0; i < s.lhs.size(); ++i) {
+          if (i) out += ", ";
+          out += dsl(*s.lhs[i]);
+        }
+        out += ") = " + dsl(*s.rhs) + ";\n";
+        break;
+      }
+      case StmtKind::Do:
+        out += pad + "do (" + s.do_var + " = " + dsl(*s.do_lo) + ":" +
+               dsl(*s.do_hi);
+        if (s.do_step) out += ":" + dsl(*s.do_step);
+        out += ") {\n";
+        render_stmts(s.body, indent + 1, out);
+        out += pad + "}\n";
+        break;
+      case StmtKind::If:
+        out += pad + "if (" + dsl(*s.cond) + ") {\n";
+        render_stmts(s.body, indent + 1, out);
+        out += pad + "}";
+        if (!s.else_body.empty()) {
+          out += " else {\n";
+          render_stmts(s.else_body, indent + 1, out);
+          out += pad + "}";
+        }
+        out += "\n";
+        break;
+      case StmtKind::Return:
+        out += pad + "return 0;\n";
+        break;
+      default:
+        break;  // no other statement kinds appear in annotations
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_annotation(const fir::ProgramUnit& annotation) {
+  std::string out = "subroutine " + annotation.name + "(";
+  for (size_t i = 0; i < annotation.params.size(); ++i) {
+    if (i) out += ", ";
+    out += annotation.params[i];
+  }
+  out += ") {\n";
+  for (const auto& d : annotation.decls) {
+    if (d.dims.empty()) continue;
+    out += "  dimension " + d.name + "[";
+    for (size_t i = 0; i < d.dims.size(); ++i) {
+      if (i) out += ", ";
+      if (d.dims[i].lo) out += dsl(*d.dims[i].lo) + ":";
+      out += d.dims[i].hi ? dsl(*d.dims[i].hi) : "*";
+    }
+    out += "];\n";
+  }
+  render_stmts(annotation.body, 1, out);
+  out += "}\n";
+  return out;
+}
+
+GenerateResult generate_annotation(const fir::ProgramUnit& unit,
+                                   const fir::Program& prog,
+                                   const GenerateOptions& opts) {
+  Generator g(unit, prog, opts);
+  return g.run();
+}
+
+std::string generate_for_program(const fir::Program& prog,
+                                 std::vector<std::string>& log,
+                                 const GenerateOptions& opts) {
+  // Callees invoked from inside a DO loop anywhere in the program.
+  std::set<std::string> candidates;
+  for (const auto& u : prog.units) {
+    std::function<void(const std::vector<fir::StmtPtr>&, int)> walk =
+        [&](const std::vector<fir::StmtPtr>& body, int depth) {
+          for (const auto& sp : body) {
+            if (!sp) continue;
+            if (sp->kind == fir::StmtKind::Call && depth > 0)
+              candidates.insert(sp->name);
+            walk(sp->body, depth + (sp->kind == fir::StmtKind::Do ? 1 : 0));
+            walk(sp->else_body, depth);
+          }
+        };
+    walk(u->body, 0);
+  }
+
+  std::string text;
+  for (const auto& name : candidates) {
+    const fir::ProgramUnit* callee = prog.find_unit(name);
+    if (!callee) continue;
+    GenerateResult r = generate_annotation(*callee, prog, opts);
+    if (r.annotation) {
+      text += render_annotation(*r.annotation);
+      text += "\n";
+      log.push_back(name + ": generated");
+    } else {
+      log.push_back(name + ": " + r.reason);
+    }
+  }
+  return text;
+}
+
+}  // namespace ap::annot

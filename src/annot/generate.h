@@ -1,0 +1,68 @@
+// Automatic annotation generation — a partial implementation of the
+// paper's future work (§IV.A / §VI: "automatically generating annotations
+// when possible", "automatically derive necessary annotations").
+//
+// For a LEAF subroutine (no further calls), the generator derives a sound
+// side-effect summary from the implementation:
+//
+//   * each written scalar formal/global S becomes `S = unknown(READS);`
+//   * each written array becomes a section write
+//     `A[sec1, ..., secn] = unknown(READS);` where every subscript
+//     dimension is either a loop-invariant expression (copied) or an
+//     affine +-1 traversal of an enclosing DO variable with invariant
+//     bounds (widened to `lo:hi`);
+//   * writes under an IF stay conditional — the guard becomes the opaque
+//     `if (unknown(<condition reads>) > 0)` so array-kill analysis keeps
+//     treating them as may-writes (claiming a must-kill the implementation
+//     does not guarantee would be unsound);
+//   * READS is the set of formals/globals the implementation reads
+//     (arrays as whole-array reads), truncated to `max_unknown_args` —
+//     over-approximating reads only ever blocks transformations, never
+//     enables wrong ones;
+//   * I/O and STOP are omitted, exactly the paper's §III.B.3 relaxation.
+//
+// Generation FAILS (returns no annotation, with a reason) when soundness
+// cannot be guaranteed: the routine calls others, a write subscript is not
+// expressible as invariant-or-linear-traversal, a formal is redefined, or
+// a RETURN appears mid-body. Auto-generated annotations are deliberately
+// weaker than hand-written ones — they never use `unique` and their read
+// sets are coarse — which is measured by bench_ablation_autogen: the
+// generator recovers the MDG/QCD/MG3D class of wins while the FSMP and
+// unique() cases still need the human (the reason the paper left this as
+// future work).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fir/ast.h"
+
+namespace ap::annot {
+
+struct GenerateOptions {
+  size_t max_unknown_args = 8;
+};
+
+struct GenerateResult {
+  std::unique_ptr<fir::ProgramUnit> annotation;  // null on failure
+  std::string reason;                            // why generation failed
+};
+
+GenerateResult generate_annotation(const fir::ProgramUnit& unit,
+                                   const fir::Program& prog,
+                                   const GenerateOptions& opts = {});
+
+// Convenience: attempt generation for every subroutine of `prog` that is
+// CALLed from inside a DO loop somewhere; returns the DSL text of all
+// successful generations (parsable by AnnotationRegistry::add) and appends
+// one line per failure to `log`.
+std::string generate_for_program(const fir::Program& prog,
+                                 std::vector<std::string>& log,
+                                 const GenerateOptions& opts = {});
+
+// Render an annotation unit back to the Fig. 12 DSL (round-trips through
+// the annotation parser). Used to surface generated annotations to humans
+// and to feed them into an AnnotationRegistry.
+std::string render_annotation(const fir::ProgramUnit& annotation);
+
+}  // namespace ap::annot

@@ -1,0 +1,524 @@
+#include "annot/parser.h"
+
+#include "fir/lexer.h"
+#include "support/text.h"
+
+namespace ap::annot {
+
+namespace {
+
+using namespace fir;
+
+class AnnotParser {
+ public:
+  AnnotParser(std::vector<Token> toks, DiagnosticEngine& diags)
+      : cur_(std::move(toks)), diags_(diags) {}
+
+  std::vector<std::unique_ptr<ProgramUnit>> parse() {
+    std::vector<std::unique_ptr<ProgramUnit>> out;
+    skip_ws();
+    while (!cur_.at(Tok::End)) {
+      auto u = parse_annotation();
+      if (!u) return {};
+      out.push_back(std::move(u));
+      skip_ws();
+    }
+    return out;
+  }
+
+ private:
+  TokenCursor cur_;
+  DiagnosticEngine& diags_;
+  ProgramUnit* unit_ = nullptr;
+
+  // The annotation grammar is brace/semicolon structured; newlines are
+  // insignificant everywhere.
+  void skip_ws() { cur_.skip_newlines(); }
+
+  void error_here(std::string msg) {
+    diags_.error(cur_.peek().loc, std::move(msg));
+  }
+
+  bool expect(Tok k) {
+    skip_ws();
+    if (cur_.accept(k)) return true;
+    error_here(std::string("expected ") + tok_name(k) + ", found " +
+               tok_name(cur_.peek().kind));
+    return false;
+  }
+
+  bool at(Tok k) {
+    skip_ws();
+    return cur_.at(k);
+  }
+  bool at_kw(std::string_view kw) {
+    skip_ws();
+    return cur_.at_ident(kw);
+  }
+  bool accept_kw(std::string_view kw) {
+    skip_ws();
+    return cur_.accept_ident(kw);
+  }
+
+  std::unique_ptr<ProgramUnit> parse_annotation() {
+    if (!accept_kw("SUBROUTINE")) {
+      error_here("expected 'subroutine'");
+      return nullptr;
+    }
+    auto u = std::make_unique<ProgramUnit>();
+    u->kind = UnitKind::Subroutine;
+    skip_ws();
+    if (!cur_.at(Tok::Ident)) {
+      error_here("expected subroutine name");
+      return nullptr;
+    }
+    u->loc = cur_.peek().loc;
+    u->name = cur_.advance().text;
+    if (!expect(Tok::LParen)) return nullptr;
+    skip_ws();
+    if (!cur_.at(Tok::RParen)) {
+      do {
+        skip_ws();
+        if (!cur_.at(Tok::Ident)) {
+          error_here("expected parameter name");
+          return nullptr;
+        }
+        u->params.push_back(cur_.advance().text);
+      } while (cur_.accept(Tok::Comma) || (skip_ws(), cur_.accept(Tok::Comma)));
+    }
+    if (!expect(Tok::RParen)) return nullptr;
+    if (!expect(Tok::LBrace)) return nullptr;
+    unit_ = u.get();
+    while (!at(Tok::RBrace) && !at(Tok::End)) {
+      if (!parse_decl_or_stmt(u->body)) return nullptr;
+      if (diags_.error_count() > 10) return nullptr;
+    }
+    unit_ = nullptr;
+    if (!expect(Tok::RBrace)) return nullptr;
+    return u;
+  }
+
+  // Returns false on unrecoverable error.
+  bool parse_decl_or_stmt(std::vector<StmtPtr>& out) {
+    skip_ws();
+    if (at_kw("DIMENSION")) {
+      cur_.advance();
+      return parse_dimension();
+    }
+    if (at_kw("INTEGER")) return parse_type_decl(Type::Integer);
+    if (at_kw("REAL") || at_kw("DOUBLE")) return parse_type_decl(Type::Real);
+    if (at_kw("LOGICAL")) return parse_type_decl(Type::Logical);
+    StmtPtr s = parse_stmt();
+    if (!s) return false;
+    out.push_back(std::move(s));
+    return true;
+  }
+
+  bool parse_type_decl(Type t) {
+    cur_.advance();  // keyword (for DOUBLE also accept following PRECISION)
+    accept_kw("PRECISION");
+    do {
+      skip_ws();
+      if (!cur_.at(Tok::Ident)) {
+        error_here("expected variable name in declaration");
+        return false;
+      }
+      SourceLoc loc = cur_.peek().loc;
+      std::string name = cur_.advance().text;
+      std::vector<Dim> dims;
+      if (cur_.accept(Tok::LBracket)) {
+        do {
+          dims.push_back(parse_dim());
+        } while (cur_.accept(Tok::Comma));
+        if (!expect(Tok::RBracket)) return false;
+      }
+      add_decl(name, t, std::move(dims), loc);
+    } while (cur_.accept(Tok::Comma));
+    return expect(Tok::Semicolon);
+  }
+
+  bool parse_dimension() {
+    do {
+      skip_ws();
+      if (!cur_.at(Tok::Ident)) {
+        error_here("expected array name in dimension");
+        return false;
+      }
+      SourceLoc loc = cur_.peek().loc;
+      std::string name = cur_.advance().text;
+      if (!expect(Tok::LBracket)) return false;
+      std::vector<Dim> dims;
+      do {
+        dims.push_back(parse_dim());
+      } while (cur_.accept(Tok::Comma));
+      if (!expect(Tok::RBracket)) return false;
+      add_decl(name, Type::Unknown, std::move(dims), loc);
+    } while (cur_.accept(Tok::Comma));
+    return expect(Tok::Semicolon);
+  }
+
+  void add_decl(const std::string& name, Type t, std::vector<Dim> dims,
+                SourceLoc loc) {
+    std::string nm = fold_upper(name);
+    VarDecl* existing = unit_->find_decl(nm);
+    if (existing) {
+      if (t != Type::Unknown) existing->type = t;
+      if (!dims.empty()) existing->dims = std::move(dims);
+      return;
+    }
+    VarDecl d;
+    d.name = nm;
+    d.type = (t == Type::Unknown)
+                 ? ((!nm.empty() && nm[0] >= 'I' && nm[0] <= 'N') ? Type::Integer
+                                                                  : Type::Real)
+                 : t;
+    d.dims = std::move(dims);
+    d.loc = loc;
+    unit_->decls.push_back(std::move(d));
+  }
+
+  Dim parse_dim() {
+    Dim d;
+    skip_ws();
+    if (cur_.accept(Tok::Star)) return d;
+    ExprPtr first = parse_expr();
+    if (cur_.accept(Tok::Colon)) {
+      d.lo = std::move(first);
+      skip_ws();
+      if (cur_.accept(Tok::Star)) return d;
+      d.hi = parse_expr();
+    } else {
+      d.hi = std::move(first);
+    }
+    return d;
+  }
+
+  StmtPtr parse_stmt() {
+    skip_ws();
+    SourceLoc loc = cur_.peek().loc;
+    if (cur_.accept(Tok::LBrace)) {
+      // Block: inline its statements into an If(true)? No — blocks only
+      // appear as bodies of do/if, handled there. A stray block becomes the
+      // body of an unconditional IF for structure preservation.
+      std::vector<StmtPtr> body;
+      while (!at(Tok::RBrace) && !at(Tok::End)) {
+        if (!parse_decl_or_stmt(body)) return nullptr;
+      }
+      if (!expect(Tok::RBrace)) return nullptr;
+      auto s = make_if(make_logical(true), std::move(body));
+      s->loc = loc;
+      return s;
+    }
+    if (accept_kw("IF")) {
+      if (!expect(Tok::LParen)) return nullptr;
+      ExprPtr cond = parse_expr();
+      if (!expect(Tok::RParen)) return nullptr;
+      std::vector<StmtPtr> then_body = parse_stmt_body();
+      std::vector<StmtPtr> else_body;
+      if (accept_kw("ELSE")) else_body = parse_stmt_body();
+      auto s = make_if(std::move(cond), std::move(then_body), std::move(else_body));
+      s->loc = loc;
+      return s;
+    }
+    if (accept_kw("DO")) {
+      if (!expect(Tok::LParen)) return nullptr;
+      skip_ws();
+      if (!cur_.at(Tok::Ident)) {
+        error_here("expected loop variable");
+        return nullptr;
+      }
+      std::string var = cur_.advance().text;
+      if (!expect(Tok::Assign)) return nullptr;
+      ExprPtr lo = parse_expr();
+      if (!expect(Tok::Colon)) return nullptr;
+      ExprPtr hi = parse_expr();
+      ExprPtr step;
+      if (cur_.accept(Tok::Colon)) step = parse_expr();
+      if (!expect(Tok::RParen)) return nullptr;
+      std::vector<StmtPtr> body = parse_stmt_body();
+      auto s = make_do(std::move(var), std::move(lo), std::move(hi),
+                       std::move(step), std::move(body));
+      s->loc = loc;
+      return s;
+    }
+    if (accept_kw("RETURN")) {
+      // Annotation `return e;` summarizes a function result; we record it
+      // as a no-op marker (our subset has subroutines only).
+      if (!at(Tok::Semicolon)) parse_expr();
+      if (!expect(Tok::Semicolon)) return nullptr;
+      auto s = make_return();
+      s->loc = loc;
+      return s;
+    }
+    // Tuple assignment: (a, b, c) = expr;
+    if (at(Tok::LParen)) {
+      cur_.advance();
+      std::vector<ExprPtr> targets;
+      do {
+        ExprPtr t = parse_designator();
+        if (!t) return nullptr;
+        targets.push_back(std::move(t));
+      } while (cur_.accept(Tok::Comma));
+      if (!expect(Tok::RParen)) return nullptr;
+      if (!expect(Tok::Assign)) return nullptr;
+      ExprPtr rhs = parse_expr();
+      if (!expect(Tok::Semicolon)) return nullptr;
+      auto s = make_tuple_assign(std::move(targets), std::move(rhs));
+      s->loc = loc;
+      return s;
+    }
+    // Plain assignment.
+    ExprPtr lhs = parse_designator();
+    if (!lhs) return nullptr;
+    if (!expect(Tok::Assign)) return nullptr;
+    ExprPtr rhs = parse_expr();
+    if (!expect(Tok::Semicolon)) return nullptr;
+    auto s = make_assign(std::move(lhs), std::move(rhs));
+    s->loc = loc;
+    return s;
+  }
+
+  // Body of if/do: either a block { ... } or a single statement.
+  std::vector<StmtPtr> parse_stmt_body() {
+    std::vector<StmtPtr> body;
+    skip_ws();
+    if (cur_.accept(Tok::LBrace)) {
+      while (!at(Tok::RBrace) && !at(Tok::End)) {
+        if (!parse_decl_or_stmt(body)) return body;
+      }
+      expect(Tok::RBrace);
+      return body;
+    }
+    StmtPtr s = parse_stmt();
+    if (s) body.push_back(std::move(s));
+    return body;
+  }
+
+  ExprPtr parse_designator() {
+    skip_ws();
+    if (!cur_.at(Tok::Ident)) {
+      error_here("expected a variable");
+      return nullptr;
+    }
+    SourceLoc loc = cur_.peek().loc;
+    std::string name = cur_.advance().text;
+    if (cur_.accept(Tok::LBracket)) {
+      std::vector<ExprPtr> subs;
+      do {
+        subs.push_back(parse_subscript());
+      } while (cur_.accept(Tok::Comma));
+      if (!expect(Tok::RBracket)) return nullptr;
+      auto e = make_array_ref(std::move(name), std::move(subs));
+      e->loc = loc;
+      return e;
+    }
+    auto e = make_var(std::move(name));
+    e->loc = loc;
+    return e;
+  }
+
+  ExprPtr parse_subscript() {
+    skip_ws();
+    ExprPtr lo;
+    if (!at(Tok::Colon)) {
+      lo = parse_expr();
+      if (!at(Tok::Colon)) return lo;
+    }
+    cur_.accept(Tok::Colon);
+    ExprPtr hi;
+    skip_ws();
+    if (!cur_.at(Tok::Comma) && !cur_.at(Tok::RBracket) && !cur_.at(Tok::RParen) &&
+        !cur_.at(Tok::Colon))
+      hi = parse_expr();
+    ExprPtr stride;
+    if (cur_.accept(Tok::Colon)) stride = parse_expr();
+    return make_section(std::move(lo), std::move(hi), std::move(stride));
+  }
+
+  // ---- expressions (same precedence ladder as the Fortran parser) --------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr l = parse_and();
+    while ((skip_ws(), cur_.accept(Tok::OrOr)))
+      l = make_binary(BinOp::Or, std::move(l), parse_and());
+    return l;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr l = parse_not();
+    while ((skip_ws(), cur_.accept(Tok::AndAnd)))
+      l = make_binary(BinOp::And, std::move(l), parse_not());
+    return l;
+  }
+
+  ExprPtr parse_not() {
+    skip_ws();
+    if (cur_.accept(Tok::NotNot)) return make_unary(UnOp::Not, parse_not());
+    return parse_rel();
+  }
+
+  ExprPtr parse_rel() {
+    ExprPtr l = parse_add();
+    skip_ws();
+    BinOp op;
+    switch (cur_.peek().kind) {
+      case Tok::EqEq: op = BinOp::Eq; break;
+      case Tok::NotEq: op = BinOp::Ne; break;
+      case Tok::Less: op = BinOp::Lt; break;
+      case Tok::LessEq: op = BinOp::Le; break;
+      case Tok::Greater: op = BinOp::Gt; break;
+      case Tok::GreaterEq: op = BinOp::Ge; break;
+      default: return l;
+    }
+    cur_.advance();
+    return make_binary(op, std::move(l), parse_add());
+  }
+
+  ExprPtr parse_add() {
+    skip_ws();
+    ExprPtr l;
+    if (cur_.accept(Tok::Minus))
+      l = make_unary(UnOp::Neg, parse_mul());
+    else {
+      cur_.accept(Tok::Plus);
+      l = parse_mul();
+    }
+    for (;;) {
+      skip_ws();
+      if (cur_.accept(Tok::Plus))
+        l = make_binary(BinOp::Add, std::move(l), parse_mul());
+      else if (cur_.accept(Tok::Minus))
+        l = make_binary(BinOp::Sub, std::move(l), parse_mul());
+      else
+        return l;
+    }
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr l = parse_pow();
+    for (;;) {
+      skip_ws();
+      if (cur_.accept(Tok::Star))
+        l = make_binary(BinOp::Mul, std::move(l), parse_pow());
+      else if (cur_.accept(Tok::Slash))
+        l = make_binary(BinOp::Div, std::move(l), parse_pow());
+      else
+        return l;
+    }
+  }
+
+  ExprPtr parse_pow() {
+    ExprPtr b = parse_primary();
+    skip_ws();
+    if (cur_.accept(Tok::Power))
+      return make_binary(BinOp::Pow, std::move(b), parse_pow());
+    return b;
+  }
+
+  ExprPtr parse_primary() {
+    skip_ws();
+    SourceLoc loc = cur_.peek().loc;
+    switch (cur_.peek().kind) {
+      case Tok::IntLit: {
+        int64_t v = cur_.advance().int_val;
+        return make_int(v);
+      }
+      case Tok::RealLit: {
+        double v = cur_.advance().real_val;
+        return make_real(v);
+      }
+      case Tok::StrLit: {
+        std::string s = cur_.advance().text;
+        return make_str(std::move(s));
+      }
+      case Tok::TrueLit: cur_.advance(); return make_logical(true);
+      case Tok::FalseLit: cur_.advance(); return make_logical(false);
+      case Tok::Minus: cur_.advance(); return make_unary(UnOp::Neg, parse_primary());
+      case Tok::LParen: {
+        cur_.advance();
+        ExprPtr inner = parse_expr();
+        expect(Tok::RParen);
+        return inner;
+      }
+      case Tok::Ident: {
+        std::string name = cur_.advance().text;
+        if (cur_.accept(Tok::LBracket)) {
+          std::vector<ExprPtr> subs;
+          do {
+            subs.push_back(parse_subscript());
+          } while (cur_.accept(Tok::Comma));
+          expect(Tok::RBracket);
+          auto e = make_array_ref(std::move(name), std::move(subs));
+          e->loc = loc;
+          return e;
+        }
+        if (cur_.accept(Tok::LParen)) {
+          std::vector<ExprPtr> args;
+          skip_ws();
+          if (!cur_.at(Tok::RParen)) {
+            do {
+              args.push_back(parse_expr());
+              skip_ws();
+            } while (cur_.accept(Tok::Comma));
+          }
+          expect(Tok::RParen);
+          ExprPtr e;
+          if (ieq(name, "UNKNOWN"))
+            e = make_unknown(std::move(args));
+          else if (ieq(name, "UNIQUE"))
+            e = make_unique(std::move(args));
+          else
+            e = make_intrinsic(std::move(name), std::move(args));
+          e->loc = loc;
+          return e;
+        }
+        auto e = make_var(std::move(name));
+        e->loc = loc;
+        return e;
+      }
+      default:
+        error_here(std::string("expected an expression, found ") +
+                   tok_name(cur_.peek().kind));
+        cur_.advance();
+        return make_int(0);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<fir::ProgramUnit>> parse_annotations(
+    std::string_view text, DiagnosticEngine& diags) {
+  auto toks = fir::lex(text, diags);
+  if (diags.has_errors()) return {};
+  AnnotParser p(std::move(toks), diags);
+  auto out = p.parse();
+  if (diags.has_errors()) return {};
+  return out;
+}
+
+bool AnnotationRegistry::add(std::string_view text, DiagnosticEngine& diags) {
+  auto units = parse_annotations(text, diags);
+  if (diags.has_errors()) return false;
+  for (auto& u : units) annots_[u->name] = std::move(u);
+  return true;
+}
+
+void AnnotationRegistry::add_unit(std::unique_ptr<fir::ProgramUnit> annotation) {
+  if (annotation) annots_[annotation->name] = std::move(annotation);
+}
+
+const fir::ProgramUnit* AnnotationRegistry::find(std::string_view sub) const {
+  auto it = annots_.find(fold_upper(sub));
+  return it == annots_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> AnnotationRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [n, u] : annots_) out.push_back(n);
+  return out;
+}
+
+}  // namespace ap::annot

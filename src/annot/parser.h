@@ -1,0 +1,67 @@
+// Parser for the annotation language of paper Fig. 12.
+//
+// Annotations summarize a subroutine's side effects and loop structure:
+//
+//   subroutine MATMLT(M1, M2, M3, L, M, N) {
+//     dimension M1[L,M], M2[M,N], M3[L,N];
+//     M3 = 0.0;
+//     do (JN=1:N)
+//       do (JM=1:M)
+//         M3[1:L,JN] = M3[1:L,JN] + M2[JM,JN] * M1[1:L,JM];
+//   }
+//
+//   subroutine FSMP(ID, IDE) {
+//     XY = unknown(XYG[1, ICOND[1,ID]], NSYMM);
+//     IRECT = IEGEOM[ID];
+//     (NDX, NDY, WTDET) = unknown(IRECT, XY, NNPED);
+//     if (IDEDON[IDE] == 0) {
+//       IDEDON[IDE] = 1;
+//       FE[1:NSFE, IDE] = unknown(WTDET, NNPED);
+//     }
+//     RHSB[unique(ID, IN)] = unknown(P);
+//   }
+//
+// Statements: blocks { }, if/else, do (id=lo:hi[:step]) stmt, assignments,
+// tuple assignments, type declarations (integer/real/double/logical and
+// dimension), and return. Array references use brackets; F90-style array
+// sections (lo:hi[:stride]) are allowed in subscripts; the special
+// operators unknown(...) and unique(...) are first-class expressions.
+//
+// The parse result is an ordinary fir::ProgramUnit so every downstream pass
+// (inlining, dependence analysis, unparser) handles annotations uniformly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "fir/ast.h"
+#include "support/diagnostics.h"
+
+namespace ap::annot {
+
+// Parse a file containing zero or more annotations. Returns the units, or
+// an empty vector after reporting errors.
+std::vector<std::unique_ptr<fir::ProgramUnit>> parse_annotations(
+    std::string_view text, DiagnosticEngine& diags);
+
+// Registry of annotations by subroutine name (upper-cased).
+class AnnotationRegistry {
+ public:
+  // Parse `text` and add every annotation found. Returns false (and leaves
+  // the registry unchanged) on parse errors.
+  bool add(std::string_view text, DiagnosticEngine& diags);
+
+  // Add an already-built annotation unit (e.g. from annot/generate.h).
+  void add_unit(std::unique_ptr<fir::ProgramUnit> annotation);
+
+  const fir::ProgramUnit* find(std::string_view subroutine) const;
+  size_t size() const { return annots_.size(); }
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<fir::ProgramUnit>> annots_;
+};
+
+}  // namespace ap::annot

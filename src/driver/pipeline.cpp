@@ -1,0 +1,159 @@
+#include "driver/pipeline.h"
+
+#include <chrono>
+
+#include "fir/parser.h"
+#include "fir/unparse.h"
+#include "interp/interp.h"
+
+namespace ap::driver {
+
+const char* config_name(InlineConfig c) {
+  switch (c) {
+    case InlineConfig::None: return "no-inlining";
+    case InlineConfig::Conventional: return "conventional";
+    case InlineConfig::Annotation: return "annotation-based";
+  }
+  return "?";
+}
+
+namespace {
+
+std::set<int64_t> collect_parallel_origins(const fir::Program& prog) {
+  std::set<int64_t> out;
+  for (const auto& u : prog.units) {
+    if (u->external_library) continue;
+    fir::walk_stmts(u->body, [&](const fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Do && s.omp.parallel && s.origin_id >= 0)
+        out.insert(s.origin_id);
+      return true;
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const suite::BenchmarkApp& app,
+                            const PipelineOptions& opts) {
+  PipelineResult result;
+  DiagnosticEngine diags;
+  diags.set_stream(app.name);
+
+  auto prog = fir::parse_program(app.source, diags);
+  if (!prog) {
+    result.error = "parse failed:\n" + diags.render_all();
+    return result;
+  }
+
+  annot::AnnotationRegistry registry;
+  if (!app.annotations.empty()) {
+    DiagnosticEngine adiags;
+    adiags.set_stream(app.name + ":annotations");
+    if (!registry.add(app.annotations, adiags)) {
+      result.error = "annotation parse failed:\n" + adiags.render_all();
+      return result;
+    }
+  }
+
+  switch (opts.config) {
+    case InlineConfig::None:
+      break;
+    case InlineConfig::Conventional:
+      result.conv_report = xform::inline_conventional(*prog, opts.conv, diags);
+      break;
+    case InlineConfig::Annotation:
+      result.annot_report =
+          xform::inline_annotations(*prog, registry, opts.annot, diags);
+      break;
+  }
+
+  result.par = par::parallelize(*prog, opts.par, diags);
+
+  if (opts.config == InlineConfig::Annotation) {
+    result.reverse_report =
+        xform::reverse_inline(*prog, registry, diags, opts.reverse);
+  }
+
+  result.parallel_loops = collect_parallel_origins(*prog);
+  result.code_lines = fir::code_size_lines(*prog);
+  result.program = std::move(prog);
+  result.ok = true;
+  return result;
+}
+
+Table2Row evaluate_table2_row(const suite::BenchmarkApp& app,
+                              const PipelineOptions& base) {
+  Table2Row row;
+  row.app = app.name;
+
+  PipelineOptions o = base;
+  o.config = InlineConfig::None;
+  PipelineResult none = run_pipeline(app, o);
+  o.config = InlineConfig::Conventional;
+  PipelineResult conv = run_pipeline(app, o);
+  o.config = InlineConfig::Annotation;
+  PipelineResult annot = run_pipeline(app, o);
+
+  row.par_none = static_cast<int>(none.parallel_loops.size());
+  row.par_conv = static_cast<int>(conv.parallel_loops.size());
+  row.par_annot = static_cast<int>(annot.parallel_loops.size());
+  row.lines_none = none.code_lines;
+  row.lines_conv = conv.code_lines;
+  row.lines_annot = annot.code_lines;
+
+  for (int64_t id : none.parallel_loops) {
+    if (!conv.parallel_loops.count(id)) ++row.loss_conv;
+    if (!annot.parallel_loops.count(id)) ++row.loss_annot;
+  }
+  for (int64_t id : conv.parallel_loops)
+    if (!none.parallel_loops.count(id)) ++row.extra_conv;
+  for (int64_t id : annot.parallel_loops)
+    if (!none.parallel_loops.count(id)) ++row.extra_annot;
+  return row;
+}
+
+int empirical_tune(fir::Program& prog, int threads) {
+  using clock = std::chrono::steady_clock;
+  auto run_ms = [&](bool parallel) {
+    interp::InterpOptions o;
+    o.num_threads = threads;
+    o.enable_parallel = parallel;
+    interp::Interpreter it(prog, o);
+    auto t0 = clock::now();
+    auto r = it.run();
+    auto t1 = clock::now();
+    if (!r.ok) return -1.0;
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  // Collect mutable pointers to the parallel loops of application units.
+  std::vector<fir::Stmt*> parallel_loops;
+  for (auto& u : prog.units) {
+    fir::walk_stmts(u->body, [&](fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Do && s.omp.parallel)
+        parallel_loops.push_back(&s);
+      return true;
+    });
+  }
+  if (parallel_loops.empty()) return 0;
+
+  double best = run_ms(true);
+  if (best < 0) return 0;
+  int disabled = 0;
+  // Greedy: try disabling each loop; keep the change when it helps by more
+  // than measurement noise.
+  for (fir::Stmt* loop : parallel_loops) {
+    loop->omp.parallel = false;
+    double t = run_ms(true);
+    if (t >= 0 && t < best * 0.97) {
+      best = t;
+      ++disabled;
+    } else {
+      loop->omp.parallel = true;
+    }
+  }
+  return disabled;
+}
+
+}  // namespace ap::driver

@@ -1,0 +1,79 @@
+// Pipeline orchestration: the three inlining configurations of Table II.
+//
+//   None          — parse, parallelize.
+//   Conventional  — parse, conventional inlining (Polaris heuristics),
+//                   dead-unit elimination, parallelize.
+//   Annotation    — parse, annotation-based inlining, parallelize, reverse
+//                   inlining (paper Fig. 15): output is the original source
+//                   plus OpenMP directives.
+//
+// The result carries the final program (runnable by the interpreter), the
+// per-loop verdicts, the set of original-loop ids parallelized in the final
+// program, and the code-size metric.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "annot/parser.h"
+#include "fir/ast.h"
+#include "par/parallelizer.h"
+#include "suite/suite.h"
+#include "xform/inline_annotation.h"
+#include "xform/inline_conventional.h"
+#include "xform/reverse_inline.h"
+
+namespace ap::driver {
+
+enum class InlineConfig { None, Conventional, Annotation };
+
+const char* config_name(InlineConfig c);
+
+struct PipelineOptions {
+  InlineConfig config = InlineConfig::None;
+  par::ParallelizeOptions par;
+  xform::ConvInlineOptions conv;
+  xform::AnnotInlineOptions annot;
+  xform::ReverseInlineOptions reverse;
+};
+
+struct PipelineResult {
+  bool ok = false;
+  std::string error;
+
+  std::unique_ptr<fir::Program> program;  // final (runnable) program
+  par::ParallelizeResult par;
+  xform::ConvInlineReport conv_report;
+  xform::AnnotInlineReport annot_report;
+  xform::ReverseInlineReport reverse_report;
+
+  // Original-loop ids (origin_id) carrying an OMP parallel mark in the
+  // final program, application units only. This is the paper's "each loop
+  // counted once" metric (§IV.A).
+  std::set<int64_t> parallel_loops;
+  size_t code_lines = 0;
+};
+
+PipelineResult run_pipeline(const suite::BenchmarkApp& app,
+                            const PipelineOptions& opts);
+
+// Table II row for one application: loop counts and code size under the
+// three configurations, plus the loss/extra breakdown vs. no-inlining.
+struct Table2Row {
+  std::string app;
+  int par_none = 0, par_conv = 0, par_annot = 0;
+  int loss_conv = 0, extra_conv = 0;
+  int loss_annot = 0, extra_annot = 0;
+  size_t lines_none = 0, lines_conv = 0, lines_annot = 0;
+};
+
+Table2Row evaluate_table2_row(const suite::BenchmarkApp& app,
+                              const PipelineOptions& base = {});
+
+// Empirical tuning (paper §IV.B): greedily disable parallel loops whose
+// parallelization slows the program down at `threads`. Measures with the
+// interpreter; mutates the program's OMP marks. Returns disabled count.
+int empirical_tune(fir::Program& prog, int threads);
+
+}  // namespace ap::driver

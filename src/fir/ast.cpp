@@ -1,0 +1,553 @@
+#include "fir/ast.h"
+
+#include <atomic>
+#include <cassert>
+
+#include "support/text.h"
+
+namespace ap::fir {
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::Integer: return "INTEGER";
+    case Type::Real: return "DOUBLE PRECISION";
+    case Type::Logical: return "LOGICAL";
+    case Type::Character: return "CHARACTER";
+    case Type::Unknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+const char* binop_spelling(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Pow: return "**";
+    case BinOp::Eq: return ".EQ.";
+    case BinOp::Ne: return ".NE.";
+    case BinOp::Lt: return ".LT.";
+    case BinOp::Le: return ".LE.";
+    case BinOp::Gt: return ".GT.";
+    case BinOp::Ge: return ".GE.";
+    case BinOp::And: return ".AND.";
+    case BinOp::Or: return ".OR.";
+  }
+  return "?";
+}
+
+bool binop_commutative(BinOp op) {
+  switch (op) {
+    case BinOp::Add:
+    case BinOp::Mul:
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::And:
+    case BinOp::Or:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expr
+// ---------------------------------------------------------------------------
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->loc = loc;
+  out->int_val = int_val;
+  out->real_val = real_val;
+  out->logical_val = logical_val;
+  out->str_val = str_val;
+  out->name = name;
+  out->un_op = un_op;
+  out->bin_op = bin_op;
+  out->args.reserve(args.size());
+  for (const auto& a : args) out->args.push_back(a ? a->clone() : nullptr);
+  return out;
+}
+
+ExprPtr make_int(int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::IntLit;
+  e->int_val = v;
+  return e;
+}
+
+ExprPtr make_real(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::RealLit;
+  e->real_val = v;
+  return e;
+}
+
+ExprPtr make_logical(bool v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::LogicalLit;
+  e->logical_val = v;
+  return e;
+}
+
+ExprPtr make_str(std::string s) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::StrLit;
+  e->str_val = std::move(s);
+  return e;
+}
+
+ExprPtr make_var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::VarRef;
+  e->name = fold_upper(name);
+  return e;
+}
+
+ExprPtr make_array_ref(std::string name, std::vector<ExprPtr> subs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::ArrayRef;
+  e->name = fold_upper(name);
+  e->args = std::move(subs);
+  return e;
+}
+
+ExprPtr make_section(ExprPtr lo, ExprPtr hi, ExprPtr stride) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Section;
+  e->args.push_back(std::move(lo));
+  e->args.push_back(std::move(hi));
+  e->args.push_back(std::move(stride));
+  return e;
+}
+
+ExprPtr make_unary(UnOp op, ExprPtr inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unary;
+  e->un_op = op;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->bin_op = op;
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr make_intrinsic(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Intrinsic;
+  e->name = fold_upper(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr make_unknown(std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unknown;
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr make_unique(std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unique;
+  e->args = std::move(args);
+  return e;
+}
+
+bool expr_equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::IntLit: return a.int_val == b.int_val;
+    case ExprKind::RealLit: return a.real_val == b.real_val;
+    case ExprKind::LogicalLit: return a.logical_val == b.logical_val;
+    case ExprKind::StrLit: return a.str_val == b.str_val;
+    case ExprKind::VarRef: return a.name == b.name;
+    case ExprKind::Unary:
+      if (a.un_op != b.un_op) return false;
+      break;
+    case ExprKind::Binary:
+      if (a.bin_op != b.bin_op) return false;
+      break;
+    case ExprKind::ArrayRef:
+    case ExprKind::Intrinsic:
+      if (a.name != b.name) return false;
+      break;
+    case ExprKind::Section:
+    case ExprKind::Unknown:
+    case ExprKind::Unique:
+      break;
+  }
+  if (a.args.size() != b.args.size()) return false;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    const Expr* ea = a.args[i].get();
+    const Expr* eb = b.args[i].get();
+    if ((ea == nullptr) != (eb == nullptr)) return false;
+    if (ea && !expr_equal(*ea, *eb)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void expr_to_string_rec(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      out += std::to_string(e.int_val);
+      return;
+    case ExprKind::RealLit: {
+      std::string s = std::to_string(e.real_val);
+      out += s;
+      return;
+    }
+    case ExprKind::LogicalLit:
+      out += e.logical_val ? ".TRUE." : ".FALSE.";
+      return;
+    case ExprKind::StrLit:
+      out += '\'';
+      out += e.str_val;
+      out += '\'';
+      return;
+    case ExprKind::VarRef:
+      out += e.name;
+      return;
+    case ExprKind::Section:
+      if (e.args[0]) expr_to_string_rec(*e.args[0], out);
+      out += ':';
+      if (e.args[1]) expr_to_string_rec(*e.args[1], out);
+      if (e.args[2]) {
+        out += ':';
+        expr_to_string_rec(*e.args[2], out);
+      }
+      return;
+    case ExprKind::Unary:
+      out += (e.un_op == UnOp::Neg ? "(-" : e.un_op == UnOp::Not ? "(.NOT." : "(+");
+      expr_to_string_rec(*e.args[0], out);
+      out += ')';
+      return;
+    case ExprKind::Binary:
+      out += '(';
+      expr_to_string_rec(*e.args[0], out);
+      out += binop_spelling(e.bin_op);
+      expr_to_string_rec(*e.args[1], out);
+      out += ')';
+      return;
+    case ExprKind::ArrayRef:
+    case ExprKind::Intrinsic:
+    case ExprKind::Unknown:
+    case ExprKind::Unique: {
+      if (e.kind == ExprKind::Unknown)
+        out += "UNKNOWN";
+      else if (e.kind == ExprKind::Unique)
+        out += "UNIQUE";
+      else
+        out += e.name;
+      out += '(';
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ',';
+        if (e.args[i]) expr_to_string_rec(*e.args[i], out);
+      }
+      out += ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string expr_to_string(const Expr& e) {
+  std::string out;
+  expr_to_string_rec(e, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stmt
+// ---------------------------------------------------------------------------
+
+StmtPtr Stmt::clone() const {
+  auto out = std::make_unique<Stmt>();
+  out->kind = kind;
+  out->loc = loc;
+  for (const auto& l : lhs) out->lhs.push_back(l ? l->clone() : nullptr);
+  out->rhs = rhs ? rhs->clone() : nullptr;
+  out->do_var = do_var;
+  out->do_lo = do_lo ? do_lo->clone() : nullptr;
+  out->do_hi = do_hi ? do_hi->clone() : nullptr;
+  out->do_step = do_step ? do_step->clone() : nullptr;
+  out->body = clone_stmts(body);
+  out->omp = omp;
+  out->origin_id = origin_id;
+  out->cond = cond ? cond->clone() : nullptr;
+  out->else_body = clone_stmts(else_body);
+  out->name = name;
+  for (const auto& a : args) out->args.push_back(a ? a->clone() : nullptr);
+  out->tag_id = tag_id;
+  for (const auto& a : arg_hints)
+    out->arg_hints.push_back(a ? a->clone() : nullptr);
+  return out;
+}
+
+std::vector<StmtPtr> clone_stmts(const std::vector<StmtPtr>& stmts) {
+  std::vector<StmtPtr> out;
+  out.reserve(stmts.size());
+  for (const auto& s : stmts) out.push_back(s->clone());
+  return out;
+}
+
+StmtPtr make_assign(ExprPtr lhs, ExprPtr rhs) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assign;
+  s->lhs.push_back(std::move(lhs));
+  s->rhs = std::move(rhs);
+  return s;
+}
+
+StmtPtr make_tuple_assign(std::vector<ExprPtr> lhs, ExprPtr rhs) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::TupleAssign;
+  s->lhs = std::move(lhs);
+  s->rhs = std::move(rhs);
+  return s;
+}
+
+StmtPtr make_do(std::string var, ExprPtr lo, ExprPtr hi, ExprPtr step,
+                std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Do;
+  s->do_var = fold_upper(var);
+  s->do_lo = std::move(lo);
+  s->do_hi = std::move(hi);
+  s->do_step = std::move(step);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::If;
+  s->cond = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr make_call(std::string name, std::vector<ExprPtr> args) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Call;
+  s->name = fold_upper(name);
+  s->args = std::move(args);
+  return s;
+}
+
+StmtPtr make_write(std::vector<ExprPtr> args) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Write;
+  s->args = std::move(args);
+  return s;
+}
+
+StmtPtr make_stop(std::string msg) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Stop;
+  s->name = std::move(msg);
+  return s;
+}
+
+StmtPtr make_return() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Return;
+  return s;
+}
+
+StmtPtr make_continue() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Continue;
+  return s;
+}
+
+StmtPtr make_tagged_region(std::string callee, int64_t tag_id,
+                           std::vector<StmtPtr> body,
+                           std::vector<ExprPtr> arg_hints) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::TaggedRegion;
+  s->name = fold_upper(callee);
+  s->tag_id = tag_id;
+  s->body = std::move(body);
+  s->arg_hints = std::move(arg_hints);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Decls / units
+// ---------------------------------------------------------------------------
+
+Dim Dim::clone() const {
+  Dim d;
+  d.lo = lo ? lo->clone() : nullptr;
+  d.hi = hi ? hi->clone() : nullptr;
+  return d;
+}
+
+VarDecl VarDecl::clone() const {
+  VarDecl v;
+  v.name = name;
+  v.type = type;
+  for (const auto& d : dims) v.dims.push_back(d.clone());
+  v.is_param_const = is_param_const;
+  v.param_value = param_value ? param_value->clone() : nullptr;
+  v.annot_imported = annot_imported;
+  v.loc = loc;
+  return v;
+}
+
+const VarDecl* ProgramUnit::find_decl(std::string_view nm) const {
+  for (const auto& d : decls)
+    if (ieq(d.name, nm)) return &d;
+  return nullptr;
+}
+
+VarDecl* ProgramUnit::find_decl(std::string_view nm) {
+  for (auto& d : decls)
+    if (ieq(d.name, nm)) return &d;
+  return nullptr;
+}
+
+bool ProgramUnit::is_param(std::string_view nm) const {
+  for (const auto& p : params)
+    if (ieq(p, nm)) return true;
+  return false;
+}
+
+std::unique_ptr<ProgramUnit> ProgramUnit::clone() const {
+  auto out = std::make_unique<ProgramUnit>();
+  out->kind = kind;
+  out->name = name;
+  out->params = params;
+  for (const auto& d : decls) out->decls.push_back(d.clone());
+  out->commons = commons;
+  out->body = clone_stmts(body);
+  out->external_library = external_library;
+  out->loc = loc;
+  return out;
+}
+
+ProgramUnit* Program::find_unit(std::string_view name) {
+  for (auto& u : units)
+    if (ieq(u->name, name)) return u.get();
+  return nullptr;
+}
+
+const ProgramUnit* Program::find_unit(std::string_view name) const {
+  for (const auto& u : units)
+    if (ieq(u->name, name)) return u.get();
+  return nullptr;
+}
+
+ProgramUnit* Program::main() {
+  for (auto& u : units)
+    if (u->kind == UnitKind::Program) return u.get();
+  return nullptr;
+}
+
+std::unique_ptr<Program> Program::clone() const {
+  auto out = std::make_unique<Program>();
+  out->units.reserve(units.size());
+  for (const auto& u : units) out->units.push_back(u->clone());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Traversal
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Body, typename Fn>
+void walk_stmts_impl(Body& body, const Fn& fn) {
+  for (auto& s : body) {
+    if (!s) continue;
+    if (!fn(*s)) continue;
+    walk_stmts_impl(s->body, fn);
+    walk_stmts_impl(s->else_body, fn);
+  }
+}
+
+}  // namespace
+
+void walk_stmts(std::vector<StmtPtr>& body,
+                const std::function<bool(Stmt&)>& fn) {
+  walk_stmts_impl(body, fn);
+}
+
+void walk_stmts(const std::vector<StmtPtr>& body,
+                const std::function<bool(const Stmt&)>& fn) {
+  walk_stmts_impl(body, fn);
+}
+
+namespace {
+
+template <typename E, typename Fn>
+void walk_expr_impl(E& e, const Fn& fn) {
+  fn(e);
+  for (auto& a : e.args)
+    if (a) walk_expr_impl(*a, fn);
+}
+
+}  // namespace
+
+void walk_expr_tree(Expr& e, const std::function<void(Expr&)>& fn) {
+  walk_expr_impl(e, fn);
+}
+
+void walk_expr_tree(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  walk_expr_impl(e, fn);
+}
+
+void walk_exprs(Stmt& s, const std::function<void(Expr&)>& fn) {
+  auto visit = [&](ExprPtr& e) {
+    if (e) walk_expr_impl(*e, fn);
+  };
+  for (auto& l : s.lhs) visit(l);
+  visit(s.rhs);
+  visit(s.do_lo);
+  visit(s.do_hi);
+  visit(s.do_step);
+  visit(s.cond);
+  for (auto& a : s.args) visit(a);
+  for (auto& a : s.arg_hints) visit(a);
+}
+
+void walk_exprs(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+  auto visit = [&](const ExprPtr& e) {
+    if (e) walk_expr_impl(*e, fn);
+  };
+  for (const auto& l : s.lhs) visit(l);
+  visit(s.rhs);
+  visit(s.do_lo);
+  visit(s.do_hi);
+  visit(s.do_step);
+  visit(s.cond);
+  for (const auto& a : s.args) visit(a);
+  for (const auto& a : s.arg_hints) visit(a);
+}
+
+void number_loops(Program& p) {
+  int64_t next = 0;
+  for (auto& u : p.units) {
+    walk_stmts(u->body, [&](Stmt& s) {
+      if (s.kind == StmtKind::Do) s.origin_id = next++;
+      return true;
+    });
+  }
+}
+
+}  // namespace ap::fir

@@ -1,0 +1,85 @@
+// Token stream shared by the Fortran-subset source parser (fir/parser.h)
+// and the annotation-DSL parser (annot/parser.h). The annotation language
+// (paper Fig. 12) uses braces/brackets/semicolons on top of the same
+// expression tokens, so one lexer emits the union; each parser simply never
+// requests the tokens that are not part of its grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/source_location.h"
+
+namespace ap::fir {
+
+enum class Tok : uint8_t {
+  End,
+  Newline,
+  Ident,      // upper-cased identifier or keyword
+  IntLit,
+  RealLit,
+  StrLit,
+  // punctuation
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Comma, Semicolon, Colon, Assign,        // '='
+  Plus, Minus, Star, Slash, Power,        // '**'
+  // relational / logical (dot forms and symbolic forms both map here)
+  EqEq, NotEq, Less, LessEq, Greater, GreaterEq,
+  AndAnd, OrOr, NotNot, TrueLit, FalseLit,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  SourceLoc loc;
+  std::string text;    // identifier (upper-cased) or string literal body
+  int64_t int_val = 0;
+  double real_val = 0.0;
+  // True when this token is the first on its line and is an IntLit: a
+  // Fortran statement label (e.g. "200 CONTINUE").
+  bool at_line_start = false;
+};
+
+const char* tok_name(Tok t);
+
+// Lex the whole input. Comment lines ('C '/'c '/'*' in column 1, or '!'
+// anywhere) are skipped. Directive comments of the form "C$<WORD>" are
+// surfaced as Ident tokens with text "$<WORD>" so the parser can consume
+// attributes such as C$LIBRARY (external-library subroutine marker).
+std::vector<Token> lex(std::string_view input, DiagnosticEngine& diags);
+
+// TokenCursor: shared peek/advance machinery for both parsers.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  const Token& peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : eof_;
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    if (pos_ < toks_.size()) ++pos_;
+    return t;
+  }
+  bool at(Tok k) const { return peek().kind == k; }
+  bool at_ident(std::string_view kw) const;
+  bool accept(Tok k) {
+    if (at(k)) { advance(); return true; }
+    return false;
+  }
+  bool accept_ident(std::string_view kw);
+  void skip_newlines() {
+    while (at(Tok::Newline)) advance();
+  }
+  size_t position() const { return pos_; }
+  void rewind(size_t pos) { pos_ = pos; }
+
+ private:
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  Token eof_;
+};
+
+}  // namespace ap::fir

@@ -1,0 +1,68 @@
+// Tree-walking interpreter for the F77 subset with OpenMP execution.
+//
+// This is the substitute for the paper's gfortran/ifort + multicore testbed
+// (DESIGN.md §2): it executes the final, reverse-inlined program — original
+// calls restored, OpenMP metadata on parallelized DO loops — either
+// serially or with a work-sharing thread pool, which is what bench_fig20
+// measures speedups on.
+//
+// OpenMP semantics implemented: PARALLEL DO with contiguous chunking,
+// PRIVATE (copy-in at region entry, last-iteration copy-out so sequential
+// final values are preserved — the paper's Polaris peels the last iteration
+// for the same effect, §III.B.4), and REDUCTION(+,*,MIN,MAX). Privatized
+// COMMON variables are redirected through a per-thread override table so
+// subroutines CALLed inside the parallel loop see the thread's private copy
+// (the runtime analogue of THREADPRIVATE, required because privatized
+// temporaries like XY live in COMMON and are touched only inside callees).
+//
+// Nested parallel loops execute serially inside an active region (the
+// default OpenMP behaviour on the paper's machines).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fir/ast.h"
+#include "interp/storage.h"
+
+namespace ap::interp {
+
+struct InterpOptions {
+  int num_threads = 1;
+  bool enable_parallel = true;   // false: ignore OMP metadata entirely
+  int64_t max_steps = 2'000'000'000;  // runaway-loop guard (per program run)
+  bool check_bounds = true;
+};
+
+struct RunResult {
+  bool ok = false;
+  bool stopped = false;        // program executed STOP
+  std::string stop_message;
+  std::string error;           // runtime error description when !ok
+  std::string output;          // accumulated WRITE output
+  uint64_t statements_executed = 0;
+  // Statements executed inside OMP-parallel regions (by all threads). The
+  // ratio to statements_executed is a machine-independent "parallel
+  // coverage" metric used by bench_fig20 alongside wall-clock speedup —
+  // wall-clock scaling needs physical cores, coverage does not.
+  uint64_t statements_in_parallel = 0;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const fir::Program& prog, InterpOptions opts);
+  ~Interpreter();
+
+  RunResult run();
+
+  GlobalStore& globals() { return *globals_; }
+  const GlobalStore& globals() const { return *globals_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<GlobalStore> globals_;
+};
+
+}  // namespace ap::interp

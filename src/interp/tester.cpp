@@ -1,0 +1,83 @@
+#include "interp/tester.h"
+
+#include <cmath>
+
+namespace ap::interp {
+
+namespace {
+
+bool close(double a, double b, double rel_tol) {
+  if (a == b) return true;
+  double diff = std::fabs(a - b);
+  double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * std::max(scale, 1.0);
+}
+
+}  // namespace
+
+TestVerdict compare_serial_parallel(const fir::Program& prog, int num_threads,
+                                    double rel_tol, int64_t max_steps) {
+  TestVerdict verdict;
+
+  InterpOptions serial_opts;
+  serial_opts.num_threads = 1;
+  serial_opts.enable_parallel = false;
+  serial_opts.max_steps = max_steps;
+  Interpreter serial(prog, serial_opts);
+  verdict.serial = serial.run();
+  if (!verdict.serial.ok) {
+    verdict.detail = "serial run failed: " + verdict.serial.error;
+    return verdict;
+  }
+
+  InterpOptions par_opts;
+  par_opts.num_threads = num_threads;
+  par_opts.enable_parallel = true;
+  par_opts.max_steps = max_steps;
+  Interpreter parallel(prog, par_opts);
+  verdict.parallel = parallel.run();
+  if (!verdict.parallel.ok) {
+    verdict.detail = "parallel run failed: " + verdict.parallel.error;
+    return verdict;
+  }
+
+  if (verdict.serial.stopped != verdict.parallel.stopped) {
+    verdict.detail = "STOP behaviour differs between serial and parallel runs";
+    return verdict;
+  }
+
+  auto sa = serial.globals().snapshot_arrays();
+  auto pa = parallel.globals().snapshot_arrays();
+  for (const auto& [key, sdata] : sa) {
+    auto it = pa.find(key);
+    if (it == pa.end() || it->second.size() != sdata.size()) {
+      verdict.detail = "array " + key + " missing or resized in parallel run";
+      return verdict;
+    }
+    for (size_t i = 0; i < sdata.size(); ++i) {
+      if (!close(sdata[i], it->second[i], rel_tol)) {
+        verdict.detail = "array " + key + "[" + std::to_string(i) +
+                         "]: serial=" + std::to_string(sdata[i]) +
+                         " parallel=" + std::to_string(it->second[i]);
+        return verdict;
+      }
+    }
+  }
+  auto ss = serial.globals().snapshot_scalars();
+  auto ps = parallel.globals().snapshot_scalars();
+  for (const auto& [key, v] : ss) {
+    auto it = ps.find(key);
+    if (it == ps.end() || !close(v, it->second, rel_tol)) {
+      verdict.detail = "scalar " + key + ": serial=" + std::to_string(v) +
+                       " parallel=" +
+                       (it == ps.end() ? "<missing>" : std::to_string(it->second));
+      return verdict;
+    }
+  }
+
+  verdict.passed = true;
+  verdict.detail = "serial and parallel states match";
+  return verdict;
+}
+
+}  // namespace ap::interp

@@ -1,0 +1,28 @@
+// Runtime correctness tester (paper §III.D: "we use runtime testers to
+// check and verify the correctness of our optimized code").
+//
+// Runs a program twice — serially (OpenMP metadata ignored) and in parallel
+// with the requested thread count — and compares the final COMMON storage
+// state and the WRITE output. Floating-point state is compared with a
+// relative tolerance to absorb reduction reassociation.
+#pragma once
+
+#include <string>
+
+#include "fir/ast.h"
+#include "interp/interp.h"
+
+namespace ap::interp {
+
+struct TestVerdict {
+  bool passed = false;
+  std::string detail;      // first mismatch or failure description
+  RunResult serial;
+  RunResult parallel;
+};
+
+TestVerdict compare_serial_parallel(const fir::Program& prog, int num_threads,
+                                    double rel_tol = 1e-9,
+                                    int64_t max_steps = 2'000'000'000);
+
+}  // namespace ap::interp

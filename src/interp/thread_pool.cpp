@@ -1,0 +1,100 @@
+#include "interp/thread_pool.h"
+
+namespace ap::interp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int extra = num_threads - 1;
+  if (extra < 0) extra = 0;
+  workers_.reserve(static_cast<size_t>(extra));
+  for (int i = 0; i < extra; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_main(int) {
+  uint64_t seen = 0;
+  for (;;) {
+    Task task;
+    const std::function<void(int64_t, int64_t, int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return shutdown_ || (generation_ != seen && next_task_ < tasks_.size());
+      });
+      if (shutdown_) return;
+      task = tasks_[next_task_++];
+      if (next_task_ >= tasks_.size()) seen = generation_;
+      fn = fn_;
+    }
+    try {
+      (*fn)(task.lo, task.hi, task.index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    int64_t lo, int64_t hi,
+    const std::function<void(int64_t, int64_t, int)>& fn) {
+  if (hi < lo) return;
+  int nthreads = size();
+  int64_t total = hi - lo + 1;
+  if (nthreads > total) nthreads = static_cast<int>(total);
+
+  // Contiguous chunking; chunk 0 runs on the caller.
+  std::vector<Task> chunks;
+  int64_t base = total / nthreads, rem = total % nthreads;
+  int64_t cur = lo;
+  for (int t = 0; t < nthreads; ++t) {
+    int64_t len = base + (t < rem ? 1 : 0);
+    chunks.push_back(Task{cur, cur + len - 1, t});
+    cur += len;
+  }
+
+  if (nthreads == 1 || workers_.empty()) {
+    for (const auto& c : chunks) fn(c.lo, c.hi, c.index);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.assign(chunks.begin() + 1, chunks.end());
+    next_task_ = 0;
+    pending_ = static_cast<int>(tasks_.size());
+    fn_ = &fn;
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    fn(chunks[0].lo, chunks[0].hi, 0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+    if (!caller_error && error_) caller_error = error_;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
+}  // namespace ap::interp

@@ -1,0 +1,277 @@
+#include "par/parallelizer.h"
+
+#include <memory>
+#include <set>
+
+#include "analysis/deptest.h"
+#include "analysis/refs.h"
+#include "analysis/scalars.h"
+#include "analysis/sections.h"
+#include "sema/symbols.h"
+#include "xform/normalize.h"
+
+namespace ap::par {
+
+const char* blocker_kind_name(Blocker::Kind k) {
+  switch (k) {
+    case Blocker::Kind::Call: return "call";
+    case Blocker::Kind::Io: return "io";
+    case Blocker::Kind::ErrorHandling: return "error-handling";
+    case Blocker::Kind::Return: return "return";
+    case Blocker::Kind::NonUnitStep: return "non-unit-step";
+    case Blocker::Kind::Profitability: return "profitability";
+    case Blocker::Kind::Scalar: return "scalar";
+    case Blocker::Kind::ArrayDependence: return "array-dependence";
+  }
+  return "?";
+}
+
+bool ParallelizeResult::is_parallel(int64_t origin_id) const {
+  for (const auto& l : loops)
+    if (l.origin_id == origin_id && l.parallel) return true;
+  return false;
+}
+
+namespace {
+
+class Parallelizer {
+ public:
+  Parallelizer(fir::Program& prog, const ParallelizeOptions& opts,
+               ParallelizeResult& result)
+      : prog_(prog), opts_(opts), result_(result) {
+    DiagnosticEngine scratch;
+    sema_ = std::make_unique<sema::SemaContext>(prog, scratch);
+  }
+
+  void run() {
+    for (auto& u : prog_.units) {
+      if (u->external_library) {
+        // Library internals are still executed, and their loops can be
+        // parallelized like any other unit's (vendors ship parallel
+        // libraries); but the paper's counts are about application source,
+        // so the driver filters by unit when aggregating.
+      }
+      if (opts_.normalize) {
+        xform::forward_propagate(u->body);
+        xform::substitute_inductions(u->body);
+        // Induction substitution may expose more propagation opportunities.
+        xform::forward_propagate(u->body);
+      }
+      unit_ = u.get();
+      process_loops(u->body, /*inside_parallel=*/false);
+    }
+  }
+
+ private:
+  fir::Program& prog_;
+  const ParallelizeOptions& opts_;
+  ParallelizeResult& result_;
+  std::unique_ptr<sema::SemaContext> sema_;
+  fir::ProgramUnit* unit_ = nullptr;
+
+  bool trip_at_least_one(const fir::Stmt& loop) const {
+    if (!loop.do_lo || !loop.do_hi || loop.do_step) return false;
+    auto lo = sema_->fold_int(unit_->name, *loop.do_lo);
+    auto hi = sema_->fold_int(unit_->name, *loop.do_hi);
+    return lo && hi && *hi >= *lo;
+  }
+
+  void process_loops(std::vector<fir::StmtPtr>& body, bool inside_parallel) {
+    for (auto& sp : body) {
+      if (!sp) continue;
+      fir::Stmt& s = *sp;
+      if (s.kind == fir::StmtKind::Do) {
+        bool marked = attempt(s);
+        if (!marked || opts_.mark_nested)
+          process_loops(s.body, inside_parallel || marked);
+        continue;
+      }
+      process_loops(s.body, inside_parallel);
+      process_loops(s.else_body, inside_parallel);
+    }
+  }
+
+  // Try to parallelize loop `L`; returns true when marked parallel.
+  bool attempt(fir::Stmt& L) {
+    LoopVerdict v;
+    v.origin_id = L.origin_id;
+    v.unit = unit_->name;
+    v.do_var = L.do_var;
+
+    const sema::UnitInfo* uinfo = sema_->unit_info(unit_->name);
+    if (!uinfo) return false;
+
+    auto block = [&](Blocker::Kind kind, std::string subject,
+                     std::string detail) {
+      v.blockers.push_back(Blocker{kind, std::move(subject), std::move(detail)});
+    };
+    auto fail = [&](std::string reason) {
+      v.parallel = false;
+      v.reason = std::move(reason);
+      result_.loops.push_back(std::move(v));
+      return false;
+    };
+    // In collect-all mode a blocker does not end the analysis; `bail`
+    // reports the first blocker immediately in the default mode.
+    auto bail = [&](Blocker::Kind kind, std::string subject,
+                    std::string reason) -> bool {
+      block(kind, std::move(subject), reason);
+      if (!opts_.collect_all_blockers) {
+        fail(std::move(reason));
+        return true;
+      }
+      return false;
+    };
+
+    if (L.do_step) {
+      auto st = sema_->fold_int(unit_->name, *L.do_step);
+      if (!st || *st != 1) {
+        if (bail(Blocker::Kind::NonUnitStep, L.do_var, "non-unit step"))
+          return false;
+      }
+    }
+
+    analysis::LoopRefs refs = analysis::collect_loop_refs(L, *uinfo);
+    if (refs.has_call &&
+        bail(Blocker::Kind::Call, "", "contains un-inlined CALL"))
+      return false;
+    if (refs.has_io && bail(Blocker::Kind::Io, "", "contains I/O"))
+      return false;
+    if (refs.has_stop && bail(Blocker::Kind::ErrorHandling, "",
+                              "contains STOP (error handling)"))
+      return false;
+    if (refs.has_return && bail(Blocker::Kind::Return, "", "contains RETURN"))
+      return false;
+
+    // Profitability first: cheap and mirrors Polaris' ordering.
+    {
+      analysis::LoopBounds b = analysis::fold_bounds(L, *sema_, unit_->name);
+      auto trip = b.trip();
+      if (trip && *trip < opts_.min_trip) {
+        if (bail(Blocker::Kind::Profitability, L.do_var,
+                 "trip count " + std::to_string(*trip) +
+                     " below profitability threshold"))
+          return false;
+      }
+    }
+
+    auto trip_ge1 = [this](const fir::Stmt& d) { return trip_at_least_one(d); };
+
+    // Scalars.
+    analysis::ScalarClassification scalars =
+        analysis::classify_scalars(L, *uinfo, trip_ge1);
+    for (const auto& name : scalars.blockers()) {
+      if (bail(Blocker::Kind::Scalar, name, "scalar dependence on " + name))
+        return false;
+      if (!opts_.collect_all_blockers) break;
+    }
+
+    // Build the dependence context.
+    std::set<std::string> written_arrays, written_scalars;
+    std::set<std::string> arrays;
+    for (const auto& r : refs.refs) {
+      if (r.is_scalar) {
+        if (r.is_write) written_scalars.insert(r.array);
+      } else {
+        arrays.insert(r.array);
+        if (r.is_write) written_arrays.insert(r.array);
+      }
+    }
+    written_scalars.insert(L.do_var);
+    fir::walk_stmts(L.body, [&](const fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Do) written_scalars.insert(s.do_var);
+      return true;
+    });
+
+    analysis::DepContext ctx;
+    ctx.parallel_var = L.do_var;
+    ctx.use_banerjee = opts_.use_banerjee;
+    ctx.use_siv_refinement = opts_.use_siv_refinement;
+    ctx.scalar_invariant = [&](const std::string& n) {
+      return !written_scalars.count(n);
+    };
+    ctx.array_readonly = [&](const std::string& n) {
+      return !written_arrays.count(n);
+    };
+    // Bounds of this loop and inner loops (for Banerjee / SIV ranges).
+    {
+      ctx.bounds[L.do_var] = analysis::fold_bounds(L, *sema_, unit_->name);
+      fir::walk_stmts(L.body, [&](const fir::Stmt& s) {
+        if (s.kind == fir::StmtKind::Do)
+          ctx.bounds[s.do_var] = analysis::fold_bounds(s, *sema_, unit_->name);
+        return true;
+      });
+    }
+
+    // Arrays: pairwise dependence tests, privatization fallback.
+    std::vector<std::string> private_arrays;
+    for (const auto& a : written_arrays) {
+      std::vector<const analysis::MemRef*> writes, all;
+      for (const auto& r : refs.refs) {
+        if (r.is_scalar || r.array != a) continue;
+        all.push_back(&r);
+        if (r.is_write) writes.push_back(&r);
+      }
+      bool carried = false;
+      for (const auto* w : writes) {
+        for (const auto* o : all) {
+          if (o == w && all.size() > 1) {
+            // self-pair still matters (same ref, different iterations)
+          }
+          analysis::PairVerdict pv = analysis::test_pair(*w, *o, ctx);
+          if (pv == analysis::PairVerdict::MayCarry) {
+            carried = true;
+            break;
+          }
+        }
+        if (carried) break;
+      }
+      if (!carried) continue;
+      analysis::ArrayPrivVerdict priv =
+          analysis::array_privatizable(L, a, *uinfo, trip_ge1);
+      if (priv.privatizable) {
+        private_arrays.push_back(a);
+      } else {
+        if (bail(Blocker::Kind::ArrayDependence, a,
+                 "loop-carried dependence on array " + a + " (" + priv.reason +
+                     ")"))
+          return false;
+      }
+    }
+
+    if (!v.blockers.empty()) {
+      // collect_all_blockers mode reaches here with the full list.
+      fail(v.blockers.front().detail);
+      return false;
+    }
+
+    // Mark parallel.
+    v.parallel = true;
+    v.reason = "parallel";
+    L.omp.parallel = true;
+    L.omp.privates.clear();
+    L.omp.reductions.clear();
+    for (const auto& p : scalars.privates()) L.omp.privates.push_back(p);
+    for (const auto& a : private_arrays) L.omp.privates.push_back(a);
+    for (const auto& [name, info] : scalars.scalars) {
+      if (info.kind == analysis::ScalarKind::Reduction)
+        L.omp.reductions.push_back({info.reduction_op, name});
+    }
+    result_.loops.push_back(v);
+    ++result_.parallelized;
+    return true;
+  }
+};
+
+}  // namespace
+
+ParallelizeResult parallelize(fir::Program& prog, const ParallelizeOptions& opts,
+                              DiagnosticEngine& diags) {
+  (void)diags;
+  ParallelizeResult result;
+  Parallelizer p(prog, opts, result);
+  p.run();
+  return result;
+}
+
+}  // namespace ap::par

@@ -1,0 +1,75 @@
+// ADM — "pseudospectral air pollution simulation".
+//
+// The column-smoothing callee SMOOTH is exactly the kind of routine
+// conventional inlining was made for: small, no I/O, no further calls, and
+// its dummy column maps cleanly onto a column of the caller's 2-D field
+// (leading extents match, so no linearization). Both conventional and
+// annotation-based inlining expose the column sweeps (#par-extra for both —
+// these are the paper's "subset of extra loops also found by conventional
+// inlining").
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_adm() {
+  BenchmarkApp app;
+  app.name = "ADM";
+  app.description = "Pseudospectral air pollution simulation";
+  app.source = R"(
+      PROGRAM ADM
+      PARAMETER (NX = 64, NY = 24, NIT = 16)
+      COMMON /FLD/ U(64,24), V(64,24), W(64,24)
+      COMMON /CHK/ CHKSUM
+      DO 1 J = 1, NY
+      DO 1 I = 1, NX
+        U(I,J) = (I + J * 2) * 0.001D0
+        V(I,J) = (I * 2 + J) * 0.001D0
+        W(I,J) = (I + J) * 0.002D0
+1     CONTINUE
+      DO 50 IT = 1, NIT
+        DO 20 J = 1, NY
+          CALL SMOOTH(U(1,J))
+20      CONTINUE
+        DO 22 J = 1, NY
+          CALL SMOOTH(V(1,J))
+22      CONTINUE
+        DO 24 J = 1, NY
+          CALL SMOOTH(W(1,J))
+24      CONTINUE
+C advection sweep (parallel in every configuration)
+        DO 26 J = 1, NY
+        DO 26 I = 1, NX
+          W(I,J) = W(I,J) + U(I,J) * 0.01D0 - V(I,J) * 0.005D0
+26      CONTINUE
+50    CONTINUE
+      S = 0.0D0
+      DO 90 J = 1, NY
+      DO 90 I = 1, NX
+        S = S + U(I,J) + V(I,J) + W(I,J)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'ADM CHECKSUM', S
+      END
+
+      SUBROUTINE SMOOTH(COL)
+      PARAMETER (NC = 64)
+      DOUBLE PRECISION COL(NC)
+      DOUBLE PRECISION TW(64)
+      DO 5 I = 1, NC
+        TW(I) = COL(I)
+5     CONTINUE
+      DO 6 I = 2, NC-1
+        COL(I) = (TW(I-1) + TW(I) * 2.0D0 + TW(I+1)) * 0.25D0
+6     CONTINUE
+      END
+)";
+  app.annotations = R"(
+subroutine SMOOTH(COL) {
+  dimension COL[64];
+  COL[1:64] = unknown(COL[1:64]);
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

@@ -1,0 +1,89 @@
+// ARC2D — "two-dimensional fluid solver of Euler equations".
+//
+// Second instance of the dimension-linearization pathology (paper §II.A.2)
+// with a different structure than TRFD: STEPX receives the field as an
+// adjustable 3-D array and hands planes W(1,1,KP) to the 1-D-declared
+// plane solver SOLVP. Conventional inlining flattens W with symbolic
+// extents and the J-level sweeps in STEPX lose their parallelism
+// (#par-loss); the annotation re-declares the plane as a 2-D matrix and
+// the KP plane loop becomes parallel (#par-extra).
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_arc2d() {
+  BenchmarkApp app;
+  app.name = "ARC2D";
+  app.description = "Two-dimensional fluid solver of Euler equations";
+  app.source = R"(
+      PROGRAM ARC2D
+      PARAMETER (NI = 24, NJ = 16, NK = 4, NIT = 12)
+      COMMON /AIR/ W(24,16,4), DW(24,16,4)
+      COMMON /SIZES/ NIC, NJC, NKC
+      COMMON /CHK/ CHKSUM
+      NIC = NI
+      NJC = NJ
+      NKC = NK
+      DO 1 KP = 1, NK
+      DO 1 J = 1, NJ
+      DO 1 I = 1, NI
+        W(I,J,KP) = (I + J * 2 + KP * 3) * 0.001D0
+        DW(I,J,KP) = 0.0D0
+1     CONTINUE
+      DO 50 IT = 1, NIT
+        CALL STEPX(W, DW, NIC, NJC, NKC)
+50    CONTINUE
+      S = 0.0D0
+      DO 90 KP = 1, NK
+      DO 90 J = 1, NJ
+      DO 90 I = 1, NI
+        S = S + W(I,J,KP)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'ARC2D CHECKSUM', S
+      END
+
+      SUBROUTINE STEPX(W, DW, NI, NJ, NK)
+      INTEGER NI, NJ, NK
+      DIMENSION W(NI,NJ,NK), DW(NI,NJ,NK)
+      DO 20 KP = 1, NK
+        CALL SOLVP(W(1,1,KP), NI, NJ)
+20    CONTINUE
+C residual smoothing sweeps (parallel until W/DW are linearized)
+      DO 30 KP = 1, NK
+      DO 28 J = 1, NJ
+      DO 26 I = 1, NI
+        DW(I,J,KP) = W(I,J,KP) * 0.1D0
+26    CONTINUE
+28    CONTINUE
+30    CONTINUE
+      DO 40 KP = 1, NK
+      DO 38 J = 1, NJ
+      DO 36 I = 1, NI
+        W(I,J,KP) = W(I,J,KP) - DW(I,J,KP) * 0.5D0
+36    CONTINUE
+38    CONTINUE
+40    CONTINUE
+      END
+
+      SUBROUTINE SOLVP(PL, NI, NJ)
+      INTEGER NI, NJ
+      DOUBLE PRECISION PL(*)
+      DO 10 J = 1, NJ
+      DO 8 I = 1, NI
+        PL(I + (J-1)*NI) = PL(I + (J-1)*NI) * 0.98D0 + 0.001D0
+8     CONTINUE
+10    CONTINUE
+      END
+)";
+  app.annotations = R"(
+subroutine SOLVP(PL, NI, NJ) {
+  dimension PL[NI, NJ];
+  do (J = 1:NJ)
+    PL[1:NI, J] = unknown(PL[1:NI, J]);
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

@@ -1,0 +1,92 @@
+// BDNA — "molecular dynamics package for the simulation of nucleic acids".
+//
+// Reproduces the PCINIT pathology (paper §II.A.1, Figures 2-3): the work
+// array T is partitioned through the index array IX, and regions are passed
+// to PCINIT/FORCES/UPDATE as separate dummy arrays. Inside the callees the
+// dummies are provably distinct (Fortran no-alias rule) and the loops
+// parallelize; after conventional inlining every reference collapses onto
+// T with subscripted subscripts T(IX(k)+I-1), dependence analysis turns
+// conservative, and the loops are lost (#par-loss). Annotation-based
+// inlining keeps the boundaries (no loss, no extra — inlining simply does
+// not help BDNA's call-free loops).
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_bdna() {
+  BenchmarkApp app;
+  app.name = "BDNA";
+  app.description =
+      "Molecular dynamics package for the simulation of nucleic acids";
+  app.source = R"(
+      PROGRAM BDNA
+      PARAMETER (NREG = 512, NIT = 24)
+      COMMON /WORK/ T(8192)
+      COMMON /IDX/ IX(32)
+      COMMON /SPEC/ NSPECI(8), DSUMM(8), TSTEP
+      COMMON /CHK/ CHKSUM
+      DO 1 I = 1, 32
+        IX(I) = (I-1) * 512 + 1
+1     CONTINUE
+      DO 2 N = 1, 8
+        NSPECI(N) = 64
+        DSUMM(N) = 1.0D0 + N * 0.25D0
+2     CONTINUE
+      TSTEP = 0.01D0
+      DO 3 I = 1, 8192
+        T(I) = I * 0.0001D0
+3     CONTINUE
+      DO 60 IT = 1, NIT
+        CALL FORCES(T(IX(1)), T(IX(2)), T(IX(3)), T(IX(4)), T(IX(5)), T(IX(6)))
+        CALL PCINIT(T(IX(7)), T(IX(8)), T(IX(9)), T(IX(4)), T(IX(5)), T(IX(6)))
+        CALL UPDATE(T(IX(1)), T(IX(2)), T(IX(3)), T(IX(7)), T(IX(8)), T(IX(9)))
+60    CONTINUE
+      S = 0.0D0
+      DO 90 I = 1, 8192
+        S = S + T(I)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'BDNA CHECKSUM', S
+      END
+
+      SUBROUTINE FORCES(X, Y, Z, FX, FY, FZ)
+      DOUBLE PRECISION X(*), Y(*), Z(*), FX(*), FY(*), FZ(*)
+      DO 10 I = 1, 512
+        FX(I) = -X(I) * 0.9D0 + 0.001D0
+        FY(I) = -Y(I) * 0.9D0 + 0.002D0
+        FZ(I) = -Z(I) * 0.9D0 + 0.003D0
+10    CONTINUE
+      END
+
+      SUBROUTINE PCINIT(X2, Y2, Z2, FX, FY, FZ)
+      DOUBLE PRECISION X2(*), Y2(*), Z2(*), FX(*), FY(*), FZ(*)
+      COMMON /SPEC/ NSPECI(8), DSUMM(8), TSTEP
+      I = 0
+      DO 200 N = 1, 8
+        NSP = NSPECI(N)
+        DO 201 J = 1, NSP
+          I = I + 1
+          X2(I) = FX(I) * TSTEP**2 / 2.0D0 / DSUMM(N)
+          Y2(I) = FY(I) * TSTEP**2 / 2.0D0 / DSUMM(N)
+          Z2(I) = FZ(I) * TSTEP**2 / 2.0D0 / DSUMM(N)
+201     CONTINUE
+200   CONTINUE
+      END
+
+      SUBROUTINE UPDATE(X, Y, Z, X2, Y2, Z2)
+      DOUBLE PRECISION X(*), Y(*), Z(*), X2(*), Y2(*), Z2(*)
+      DO 20 I = 1, 512
+        X(I) = X(I) + X2(I)
+        Y(I) = Y(I) + Y2(I)
+        Z(I) = Z(I) + Z2(I)
+20    CONTINUE
+      END
+)";
+  // Annotation-based inlining preserves the boundaries; BDNA needs no
+  // annotations (there is no extra parallelism to unlock), which is exactly
+  // the "inlining does not help" row of Table II.
+  app.annotations = "";
+  return app;
+}
+
+}  // namespace ap::suite

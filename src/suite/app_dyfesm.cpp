@@ -1,0 +1,280 @@
+// DYFESM — "structural dynamics benchmark (finite element)".
+//
+// Reproduces four phenomena from the paper in one application:
+//  * FSMP (Fig. 6) is an opaque compositional subroutine — it calls eight
+//    other routines and contains error-checking I/O + STOP, so conventional
+//    inlining excludes it; its annotation (Fig. 13) summarizes the column
+//    writes and the global temporaries, making the element loop (Fig. 7)
+//    parallel (#par-extra);
+//  * GETCR/SHAPE1 (Figs. 8-9) communicate through the global temporary
+//    array XY, privatized thanks to the whole-array `unknown` write in the
+//    annotation (§III.B.4);
+//  * the error-check in FSMP (lines 14-17 of Fig. 6) is omitted from the
+//    annotation (§III.B.3), so it no longer blocks parallelization;
+//  * ASSEM (Figs. 10-11) scatters through one-to-one index arrays
+//    IWHERB/IWHERI, summarized with `unique` (Fig. 14), making the
+//    assembly loop parallel.
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_dyfesm() {
+  BenchmarkApp app;
+  app.name = "DYFESM";
+  app.description = "Structural dynamics benchmark (finite element)";
+  app.source = R"(
+      PROGRAM DYFESM
+      PARAMETER (NSS = 4, NEP = 16, NE = 64, NSTEP = 6)
+      COMMON /ELEM/ FE(8,64), SE(8,64), ME(8,64), MNLE(8,64), PE(8,64)
+      DOUBLE PRECISION ME, MNLE
+      COMMON /GEOM/ XYG(2,256), ICOND(2,64), IEGEOM(64), IECURV(64)
+      COMMON /MATS/ AK1(8), AK2(8), AK12(8), PXY(2,256)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      COMMON /SCAL/ IRECT, K1, K2, K12, ISTRES
+      DOUBLE PRECISION K1, K2, K12
+      COMMON /ASM/ RHSB(520), RHSI(520), IWHERB(64), IWHERI(64), QE(8,64)
+      COMMON /CHK/ CHKSUM
+      NSYMM = 2
+      NNPED = 8
+      NSFEC = 8
+      NQDC = 6
+      DO 1 IG = 1, 256
+        XYG(1,IG) = IG * 0.01D0
+        XYG(2,IG) = IG * 0.02D0
+        PXY(1,IG) = IG * 0.003D0
+        PXY(2,IG) = IG * 0.004D0
+1     CONTINUE
+      DO 3 IE = 1, NE
+        ICOND(1,IE) = IE * 3 + 1
+        ICOND(2,IE) = IE * 2 + 5
+        IEGEOM(IE) = IE
+        IECURV(IE) = MOD(IE, 8) + 1
+        IDEDON(IE) = 0
+        IWHERB(IE) = (IE-1) * 8
+        IWHERI(IE) = (IE-1) * 8
+3     CONTINUE
+      DO 5 IK = 1, 8
+        AK1(IK) = 1.0D0 + IK * 0.1D0
+        AK2(IK) = 2.0D0 + IK * 0.1D0
+        AK12(IK) = 0.5D0 + IK * 0.05D0
+5     CONTINUE
+      DO 6 ISS = 1, NSS
+        IDBEGS(ISS) = (ISS-1) * NEP
+        NEPSS(ISS) = NEP
+6     CONTINUE
+      DO 7 IR = 1, 520
+        RHSB(IR) = 0.0D0
+        RHSI(IR) = 1.0D0
+7     CONTINUE
+      DO 8 IE = 1, NE
+      DO 8 I = 1, 8
+        QE(I,IE) = (I + IE) * 0.01D0
+8     CONTINUE
+C
+      DO 100 ISTEP = 1, NSTEP
+C . FORM THE ELEMENTAL ARRAYS .
+      DO 35 ISS = 1, NSS
+      DO 30 K = 1, NEPSS(ISS)
+        ID = IDBEGS(ISS) + K
+        IDE = K
+        CALL FSMP(ID, IDE)
+30    CONTINUE
+35    CONTINUE
+C . ASSEMBLE THE RIGHT HAND SIDES .
+      DO 40 IE = 1, NE
+        CALL ASSEM(IE)
+40    CONTINUE
+100   CONTINUE
+      S = 0.0D0
+      DO 90 IR = 1, 520
+        S = S + RHSB(IR) + RHSI(IR) * 0.5D0
+90    CONTINUE
+      DO 92 IE = 1, NE
+      DO 92 I = 1, 8
+        S = S + PE(I,IE) * 0.01D0 + FE(I,IE) * 0.001D0
+92    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'DYFESM CHECKSUM', S
+      END
+
+      SUBROUTINE FSMP(ID, IDE)
+      COMMON /ELEM/ FE(8,64), SE(8,64), ME(8,64), MNLE(8,64), PE(8,64)
+      DOUBLE PRECISION ME, MNLE
+      COMMON /GEOM/ XYG(2,256), ICOND(2,64), IEGEOM(64), IECURV(64)
+      COMMON /MATS/ AK1(8), AK2(8), AK12(8), PXY(2,256)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      COMMON /SCAL/ IRECT, K1, K2, K12, ISTRES
+      DOUBLE PRECISION K1, K2, K12
+      CALL GETCR(ID)
+      IRECT = IEGEOM(ID)
+      K1 = AK1(IECURV(ID))
+      K2 = AK2(IECURV(ID))
+      K12 = AK12(IECURV(ID))
+      ISTRES = 0
+      CALL SHAPE1
+      IF (IDEDON(IDE) .EQ. 0) THEN
+        IDEDON(IDE) = 1
+        CALL FORMF(FE(1,IDE))
+        CALL CHOFAC(FE(1,IDE), NSFEC, IERR)
+        IF (IERR .NE. 0) THEN
+          WRITE(*,*) 'F ELEMENT ', IDE, ' IS SINGULAR'
+          STOP 'F SINGULAR'
+        ENDIF
+        CALL FORMS(SE(1,IDE))
+        CALL FORMM(ME(1,IDE))
+        CALL FORMNL(MNLE(1,IDE))
+      ENDIF
+      CALL GETLD(ID)
+      CALL FORMP(PE(1,ID))
+      END
+
+      SUBROUTINE GETCR(ID)
+      COMMON /GEOM/ XYG(2,256), ICOND(2,64), IEGEOM(64), IECURV(64)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      DO 5 J = 1, NNPED
+        XY(1,J) = XYG(1, ICOND(1,ID)) + J * 0.01D0 * NSYMM
+        XY(2,J) = XYG(2, ICOND(2,ID)) + J * 0.02D0
+5     CONTINUE
+      END
+
+      SUBROUTINE SHAPE1
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      COMMON /SCAL/ IRECT, K1, K2, K12, ISTRES
+      DOUBLE PRECISION K1, K2, K12
+      DO 8 IQ = 1, NQDC
+        WTDET(IQ) = K1 * 0.001D0 + IRECT * 0.0001D0
+        DO 7 J = 1, NNPED
+          NDX(IQ,J) = XY(1,J) * IQ * 0.1D0 + K2 * 0.01D0
+          NDY(IQ,J) = XY(2,J) * IQ * 0.1D0 + K12 * 0.01D0
+          WTDET(IQ) = WTDET(IQ) + NDX(IQ,J) + NDY(IQ,J)
+7       CONTINUE
+8     CONTINUE
+      END
+
+      SUBROUTINE FORMF(FCOL)
+      DOUBLE PRECISION FCOL(*)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      DO 9 I = 1, NSFEC
+        FCOL(I) = 0.0D0
+        DO 85 IQ = 1, NQDC
+          FCOL(I) = FCOL(I) + WTDET(IQ) * (I + IQ) * 0.05D0
+85      CONTINUE
+9     CONTINUE
+      END
+
+      SUBROUTINE CHOFAC(FCOL, N, IERR)
+      DOUBLE PRECISION FCOL(*)
+      INTEGER N, IERR
+      IERR = 0
+      DO 11 I = 1, N
+        IF (FCOL(I) + 100.0D0 .LE. 0.0D0) THEN
+          IERR = I
+        ENDIF
+        FCOL(I) = FCOL(I) / (1.0D0 + I * 0.125D0)
+11    CONTINUE
+      END
+
+      SUBROUTINE FORMS(SCOL)
+      DOUBLE PRECISION SCOL(*)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      DO 12 I = 1, NSFEC
+        SCOL(I) = WTDET(1) * I * 0.02D0 + XY(1, 1) * 0.1D0
+12    CONTINUE
+      END
+
+      SUBROUTINE FORMM(MCOL)
+      DOUBLE PRECISION MCOL(*)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      DO 13 I = 1, NSFEC
+        MCOL(I) = WTDET(2) * I * 0.03D0 + XY(2, 2) * 0.2D0
+13    CONTINUE
+      END
+
+      SUBROUTINE FORMNL(CCOL)
+      DOUBLE PRECISION CCOL(*)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      DO 16 I = 1, NSFEC
+        CCOL(I) = 0.0D0
+        DO 14 IQ = 1, NQDC
+          CCOL(I) = CCOL(I) + NDX(IQ, 1) * 0.01D0 + NDY(IQ, 2) * 0.01D0
+14      CONTINUE
+16    CONTINUE
+      END
+
+      SUBROUTINE GETLD(ID)
+      COMMON /GEOM/ XYG(2,256), ICOND(2,64), IEGEOM(64), IECURV(64)
+      COMMON /MATS/ AK1(8), AK2(8), AK12(8), PXY(2,256)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      DO 17 I = 1, NSFEC
+        P(I) = PXY(1, IABS(ICOND(1,ID))) * I * 0.01D0 + PXY(2, IABS(ICOND(2,ID)))
+17    CONTINUE
+      END
+
+      SUBROUTINE FORMP(PCOL)
+      DOUBLE PRECISION PCOL(*)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      COMMON /TMPS/ XY(2,8), NDX(6,8), NDY(6,8), WTDET(6), P(8)
+      DOUBLE PRECISION NDX, NDY
+      DO 18 I = 1, NSFEC
+        PCOL(I) = P(I) * WTDET(1) * 0.1D0
+18    CONTINUE
+      END
+
+      SUBROUTINE ASSEM(ID)
+      COMMON /ASM/ RHSB(520), RHSI(520), IWHERB(64), IWHERI(64), QE(8,64)
+      COMMON /CTRL/ IDEDON(64), IDBEGS(4), NEPSS(4), NSYMM, NNPED, NSFEC, NQDC
+      DO 19 I = 1, NSFEC
+        RHSB(IWHERB(ID) + I) = RHSB(IWHERB(ID) + I) + QE(I, ID)
+        RHSI(IWHERI(ID) + I) = RHSI(IWHERI(ID) + I) * 0.99D0 + QE(I, ID)
+19    CONTINUE
+      END
+)";
+  app.annotations = R"(
+subroutine FSMP(ID, IDE) {
+  XY = unknown(XYG[1, ICOND[1, ID]], XYG[2, ICOND[2, ID]], NSYMM, NNPED);
+  IRECT = IEGEOM[ID];
+  K1 = AK1[IECURV[ID]];
+  K2 = AK2[IECURV[ID]];
+  K12 = AK12[IECURV[ID]];
+  ISTRES = 0;
+  (NDX, NDY, WTDET) = unknown(IRECT, XY, K1, K2, K12, NQDC, NNPED);
+  if (IDEDON[IDE] == 0) {
+    IDEDON[IDE] = 1;
+    FE[1:NSFEC, IDE] = unknown(WTDET, NQDC, NSFEC);
+    SE[1:NSFEC, IDE] = unknown(WTDET, XY, NSFEC);
+    ME[1:NSFEC, IDE] = unknown(WTDET, XY, NSFEC);
+    MNLE[1:NSFEC, IDE] = unknown(WTDET, NDX, NDY, NSFEC);
+  }
+  P = unknown(PXY[1, IABS(ICOND[1, ID])], PXY[2, IABS(ICOND[2, ID])], NSFEC);
+  PE[1:NSFEC, ID] = unknown(P, WTDET, NSFEC);
+}
+
+subroutine ASSEM(ID) {
+  do (I = 1:NSFEC) {
+    RHSB[unique(ID, I)] = unknown(RHSB[unique(ID, I)], QE[I, ID]);
+    RHSI[unique(ID, I)] = unknown(RHSI[unique(ID, I)], QE[I, ID]);
+  }
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

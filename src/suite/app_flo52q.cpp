@@ -1,0 +1,73 @@
+// FLO52Q — "transonic inviscid flow past an airfoil".
+//
+// A control row of Table II: the time-step driver calls only compositional
+// routines (EULER calls RESID and PSMOO), which every inlining heuristic
+// excludes, and no annotations are supplied. All three configurations
+// produce identical parallelization — the paper's "inlining does not help"
+// case.
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_flo52q() {
+  BenchmarkApp app;
+  app.name = "FLO52Q";
+  app.description = "Transonic inviscid flow past an airfoil";
+  app.source = R"(
+      PROGRAM FLO52Q
+      PARAMETER (NI = 48, NJ = 16, NSTEP = 24)
+      COMMON /FLOW/ Q(48,16), QOLD(48,16), RES(48,16), DT(48,16)
+      COMMON /CHK/ CHKSUM
+      DO 1 J = 1, NJ
+      DO 1 I = 1, NI
+        Q(I,J) = 1.0D0 + (I - J) * 0.001D0
+        QOLD(I,J) = Q(I,J)
+        RES(I,J) = 0.0D0
+        DT(I,J) = 0.001D0 + I * 0.00001D0
+1     CONTINUE
+      DO 50 ISTEP = 1, NSTEP
+        CALL EULER
+50    CONTINUE
+      S = 0.0D0
+      DO 90 J = 1, NJ
+      DO 90 I = 1, NI
+        S = S + Q(I,J)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'FLO52Q CHECKSUM', S
+      END
+
+      SUBROUTINE EULER
+      COMMON /FLOW/ Q(48,16), QOLD(48,16), RES(48,16), DT(48,16)
+      CALL RESID
+      CALL PSMOO
+      END
+
+      SUBROUTINE RESID
+      PARAMETER (NI = 48, NJ = 16)
+      COMMON /FLOW/ Q(48,16), QOLD(48,16), RES(48,16), DT(48,16)
+      DO 10 J = 2, NJ-1
+      DO 10 I = 2, NI-1
+        RES(I,J) = Q(I+1,J) + Q(I-1,J) + Q(I,J+1) + Q(I,J-1) - 4.0D0*Q(I,J)
+10    CONTINUE
+      DO 12 J = 1, NJ
+        RES(1,J) = 0.0D0
+        RES(NI,J) = 0.0D0
+12    CONTINUE
+      END
+
+      SUBROUTINE PSMOO
+      PARAMETER (NI = 48, NJ = 16)
+      COMMON /FLOW/ Q(48,16), QOLD(48,16), RES(48,16), DT(48,16)
+      DO 20 J = 1, NJ
+      DO 20 I = 1, NI
+        QOLD(I,J) = Q(I,J)
+        Q(I,J) = Q(I,J) + DT(I,J) * RES(I,J)
+20    CONTINUE
+      END
+)";
+  app.annotations = "";
+  return app;
+}
+
+}  // namespace ap::suite

@@ -1,0 +1,76 @@
+// MDG — "molecular dynamics for the simulation of liquid water".
+//
+// The pair-interaction routine INTERF holds debugging/error-checking I/O
+// (paper §II.B.2): a WRITE+STOP guard on a cutoff violation. Conventional
+// inlining therefore excludes it and gains nothing. The annotation omits
+// the error path (§III.B.3) and summarizes the global scratch vector TVEC
+// as a whole-array unknown write, so the molecule loop parallelizes
+// (#par-extra for the annotation configuration only).
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_mdg() {
+  BenchmarkApp app;
+  app.name = "MDG";
+  app.description = "Molecular dynamics for the simulation of liquid water";
+  app.source = R"(
+      PROGRAM MDG
+      PARAMETER (NMOL = 96, NIT = 10)
+      COMMON /MOL/ POS(3,96), VEL(3,96), RES(3,96)
+      COMMON /SCR/ TVEC(16), CUTOF2
+      COMMON /CHK/ CHKSUM
+      DO 1 IM = 1, NMOL
+      DO 1 IC = 1, 3
+        POS(IC,IM) = (IM * 3 + IC) * 0.001D0
+        VEL(IC,IM) = (IM - IC) * 0.0001D0
+        RES(IC,IM) = 0.0D0
+1     CONTINUE
+      CUTOF2 = 1000000.0D0
+      DO 50 IT = 1, NIT
+        DO 30 IM = 1, NMOL
+          CALL INTERF(IM)
+30      CONTINUE
+C integrate (parallel in every configuration)
+        DO 40 IM = 1, NMOL
+        DO 40 IC = 1, 3
+          VEL(IC,IM) = VEL(IC,IM) + RES(IC,IM) * 0.01D0
+          POS(IC,IM) = POS(IC,IM) + VEL(IC,IM) * 0.01D0
+40      CONTINUE
+50    CONTINUE
+      S = 0.0D0
+      DO 90 IM = 1, NMOL
+      DO 90 IC = 1, 3
+        S = S + POS(IC,IM) + VEL(IC,IM)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'MDG CHECKSUM', S
+      END
+
+      SUBROUTINE INTERF(IM)
+      COMMON /MOL/ POS(3,96), VEL(3,96), RES(3,96)
+      COMMON /SCR/ TVEC(16), CUTOF2
+      R2 = POS(1,IM)**2 + POS(2,IM)**2 + POS(3,IM)**2
+      IF (R2 .GT. CUTOF2) THEN
+        WRITE(*,*) 'MOLECULE ', IM, ' LEFT THE BOX'
+        STOP 'BOX OVERFLOW'
+      ENDIF
+      DO 10 K = 1, 16
+        TVEC(K) = R2 * K * 0.001D0 + POS(1,IM) * 0.01D0
+10    CONTINUE
+      DO 12 IC = 1, 3
+        RES(IC,IM) = TVEC(IC) + TVEC(IC + 3) * 0.5D0 + TVEC(IC + 6) * 0.25D0
+12    CONTINUE
+      END
+)";
+  app.annotations = R"(
+subroutine INTERF(IM) {
+  integer IM;
+  TVEC = unknown(POS[1, IM], POS[2, IM], POS[3, IM], CUTOF2);
+  RES[1:3, IM] = unknown(TVEC);
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

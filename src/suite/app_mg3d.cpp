@@ -1,0 +1,70 @@
+// MG3D — "depth migration code".
+//
+// The row transform is an external-library routine (C$LIBRARY): its source
+// is the vendor's, so conventional inlining cannot touch it at all (paper
+// §I). A one-line annotation summarizing "the row is rewritten from
+// itself" lets annotation-based inlining parallelize the row loop
+// (#par-extra, annotation only). The library body below is the reference
+// implementation the interpreter executes.
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_mg3d() {
+  BenchmarkApp app;
+  app.name = "MG3D";
+  app.description = "Depth migration code";
+  app.source = R"(
+      PROGRAM MG3D
+      PARAMETER (NX = 32, NR = 48, NDEPTH = 10)
+      COMMON /GRID/ G(32,48), VEL(32,48)
+      COMMON /CHK/ CHKSUM
+      DO 1 IR = 1, NR
+      DO 1 I = 1, NX
+        G(I,IR) = (I * 5 + IR) * 0.001D0
+        VEL(I,IR) = 1.0D0 + (I + IR) * 0.0001D0
+1     CONTINUE
+      DO 50 IZ = 1, NDEPTH
+        DO 20 IR = 1, NR
+          CALL FFTROW(G(1,IR), NX)
+20      CONTINUE
+C apply velocity correction (parallel in every configuration)
+        DO 30 IR = 1, NR
+        DO 30 I = 1, NX
+          G(I,IR) = G(I,IR) * VEL(I,IR) * 0.1D0 + 0.001D0
+30      CONTINUE
+50    CONTINUE
+      S = 0.0D0
+      DO 90 IR = 1, NR
+      DO 90 I = 1, NX
+        S = S + G(I,IR)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'MG3D CHECKSUM', S
+      END
+
+C$LIBRARY
+      SUBROUTINE FFTROW(ROW, N)
+      INTEGER N
+      DOUBLE PRECISION ROW(*)
+      DOUBLE PRECISION TMP(64)
+      DO 10 I = 1, N
+        TMP(I) = ROW(I)
+10    CONTINUE
+      DO 12 I = 1, N
+        IR = N + 1 - I
+        ROW(I) = (TMP(I) + TMP(IR)) * 0.5D0 + 0.01D0
+12    CONTINUE
+      END
+)";
+  app.annotations = R"(
+subroutine FFTROW(ROW, N) {
+  dimension ROW[N];
+  integer N;
+  ROW = unknown(ROW, N);
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

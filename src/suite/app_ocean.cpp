@@ -1,0 +1,65 @@
+// OCEAN — "two dimensional ocean simulation".
+//
+// Second control row: the parallelism is in reduction-dominated sweeps
+// (sum, min, max) and stencil updates with no calls inside loops, so the
+// three inlining configurations coincide. Exercises the reduction
+// recognizer (+, MIN, MAX) and loop-independent stencil dependences.
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_ocean() {
+  BenchmarkApp app;
+  app.name = "OCEAN";
+  app.description = "Two dimensional ocean simulation";
+  app.source = R"(
+      PROGRAM OCEAN
+      PARAMETER (NX = 64, NY = 32, NSTEP = 20)
+      COMMON /SEA/ PSI(64,32), VORT(64,32), WORK(64,32)
+      COMMON /STAT/ EMEAN, EMIN, EMAX
+      COMMON /CHK/ CHKSUM
+      DO 1 J = 1, NY
+      DO 1 I = 1, NX
+        PSI(I,J) = (I * 13 + J * 7) * 0.0001D0
+        VORT(I,J) = (I - J) * 0.0002D0
+        WORK(I,J) = 0.0D0
+1     CONTINUE
+      DO 50 ISTEP = 1, NSTEP
+C vorticity advection (stencil; parallel)
+        DO 10 J = 2, NY-1
+        DO 10 I = 2, NX-1
+          WORK(I,J) = VORT(I,J) + 0.05D0 * (PSI(I+1,J) - PSI(I-1,J))
+10      CONTINUE
+        DO 12 J = 2, NY-1
+        DO 12 I = 2, NX-1
+          VORT(I,J) = WORK(I,J)
+12      CONTINUE
+C streamfunction relaxation (parallel)
+        DO 14 J = 2, NY-1
+        DO 14 I = 2, NX-1
+          WORK(I,J) = 0.25D0 * (PSI(I+1,J) + PSI(I-1,J) + PSI(I,J+1) + PSI(I,J-1)) - VORT(I,J)
+14      CONTINUE
+        DO 16 J = 2, NY-1
+        DO 16 I = 2, NX-1
+          PSI(I,J) = PSI(I,J) + 0.8D0 * (WORK(I,J) - PSI(I,J))
+16      CONTINUE
+C energy statistics (reductions)
+        EMEAN = 0.0D0
+        EMIN = 1000000.0D0
+        EMAX = -1000000.0D0
+        DO 18 J = 1, NY
+        DO 18 I = 1, NX
+          EMEAN = EMEAN + PSI(I,J) * PSI(I,J)
+          EMIN = MIN(EMIN, PSI(I,J))
+          EMAX = MAX(EMAX, PSI(I,J))
+18      CONTINUE
+50    CONTINUE
+      CHKSUM = EMEAN + EMIN * 10.0D0 + EMAX * 10.0D0
+      WRITE(*,*) 'OCEAN CHECKSUM', CHKSUM
+      END
+)";
+  app.annotations = "";
+  return app;
+}
+
+}  // namespace ap::suite

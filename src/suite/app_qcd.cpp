@@ -1,0 +1,85 @@
+// QCD — "quantum chromodynamics".
+//
+// Lattice link update where the per-site routines carry debug WRITE
+// statements (tracing, not error aborts): still I/O, so the conventional
+// inliner's "no I/O" rule excludes them (paper §II.B.2). Annotations omit
+// the tracing and expose the site loops (#par-extra, annotation only).
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_qcd() {
+  BenchmarkApp app;
+  app.name = "QCD";
+  app.description = "Quantum chromodynamics";
+  app.source = R"(
+      PROGRAM QCD
+      PARAMETER (NSITE = 128, NIT = 12)
+      COMMON /LAT/ ULINK(4,128), STAPLE(4,128), ACTION(128)
+      COMMON /DBG/ ITRACE
+      COMMON /CHK/ CHKSUM
+      ITRACE = 0
+      DO 1 IS = 1, NSITE
+      DO 1 MU = 1, 4
+        ULINK(MU,IS) = 1.0D0 + (IS * 4 + MU) * 0.0001D0
+        STAPLE(MU,IS) = 0.0D0
+1     CONTINUE
+      DO 50 IT = 1, NIT
+        DO 20 IS = 1, NSITE
+          CALL STAPLS(IS)
+20      CONTINUE
+        DO 22 IS = 1, NSITE
+          CALL SUGAR(IS)
+22      CONTINUE
+50    CONTINUE
+      S = 0.0D0
+      DO 90 IS = 1, NSITE
+        S = S + ACTION(IS)
+      DO 90 MU = 1, 4
+        S = S + ULINK(MU,IS) * 0.1D0
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'QCD CHECKSUM', S
+      END
+
+      SUBROUTINE STAPLS(IS)
+      COMMON /LAT/ ULINK(4,128), STAPLE(4,128), ACTION(128)
+      COMMON /DBG/ ITRACE
+      DO 10 MU = 1, 4
+        STAPLE(MU,IS) = ULINK(MU,IS) * 0.9D0 + 0.05D0
+10    CONTINUE
+      IF (ITRACE .GT. 0) THEN
+        WRITE(*,*) 'STAPLE SITE ', IS
+      ENDIF
+      END
+
+      SUBROUTINE SUGAR(IS)
+      COMMON /LAT/ ULINK(4,128), STAPLE(4,128), ACTION(128)
+      COMMON /DBG/ ITRACE
+      A = 0.0D0
+      DO 12 MU = 1, 4
+        ULINK(MU,IS) = ULINK(MU,IS) * 0.999D0 + STAPLE(MU,IS) * 0.001D0
+        A = A + ULINK(MU,IS)
+12    CONTINUE
+      ACTION(IS) = A
+      IF (ITRACE .GT. 1) THEN
+        WRITE(*,*) 'SUGAR SITE ', IS, ' ACTION ', A
+      ENDIF
+      END
+)";
+  app.annotations = R"(
+subroutine STAPLS(IS) {
+  integer IS;
+  STAPLE[1:4, IS] = unknown(ULINK[1:4, IS]);
+}
+
+subroutine SUGAR(IS) {
+  integer IS;
+  ULINK[1:4, IS] = unknown(ULINK[1:4, IS], STAPLE[1:4, IS]);
+  ACTION[IS] = unknown(ULINK[1:4, IS]);
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

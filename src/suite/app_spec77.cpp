@@ -1,0 +1,80 @@
+// SPEC77 — "weather simulation (spectral)".
+//
+// The Legendre-recurrence helper LEGS is (self-)recursive, which rules out
+// conventional inlining outright (paper §I). Each call computes one
+// spectral column into PLEG(:,M) through the global scratch vector SCR,
+// so the annotation summarizes it as a scratch kill plus a column write
+// and the wavenumber loop parallelizes (#par-extra, annotation only).
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_spec77() {
+  BenchmarkApp app;
+  app.name = "SPEC77";
+  app.description = "Weather simulation (spectral)";
+  app.source = R"(
+      PROGRAM SPEC77
+      PARAMETER (NWAVE = 48, NL = 8, NIT = 10)
+      COMMON /SPC/ PLEG(8,48), COEF(48)
+      COMMON /SCRT/ SCR(8)
+      COMMON /CHK/ CHKSUM
+      DO 1 M = 1, NWAVE
+        COEF(M) = 1.0D0 + M * 0.01D0
+      DO 1 L = 1, NL
+        PLEG(L,M) = 0.0D0
+1     CONTINUE
+      DO 50 IT = 1, NIT
+        DO 20 M = 1, NWAVE
+          CALL LEGS(M)
+20      CONTINUE
+C spectral damping (parallel in every configuration)
+        DO 30 M = 1, NWAVE
+        DO 30 L = 1, NL
+          PLEG(L,M) = PLEG(L,M) * 0.995D0
+30      CONTINUE
+50    CONTINUE
+      S = 0.0D0
+      DO 90 M = 1, NWAVE
+      DO 90 L = 1, NL
+        S = S + PLEG(L,M)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'SPEC77 CHECKSUM', S
+      END
+
+      SUBROUTINE LEGS(M)
+      PARAMETER (NL = 8)
+      COMMON /SPC/ PLEG(8,48), COEF(48)
+      COMMON /SCRT/ SCR(8)
+      DO 10 L = 1, NL
+        SCR(L) = COEF(M) * L * 0.01D0
+10    CONTINUE
+      CALL RECURL(M, NL)
+      DO 12 L = 1, NL
+        PLEG(L,M) = PLEG(L,M) * 0.5D0 + SCR(L)
+12    CONTINUE
+      END
+
+      SUBROUTINE RECURL(M, LEV)
+      PARAMETER (NL = 8)
+      COMMON /SPC/ PLEG(8,48), COEF(48)
+      COMMON /SCRT/ SCR(8)
+      INTEGER M, LEV
+      IF (LEV .GT. 1) THEN
+        CALL RECURL(M, LEV - 1)
+      ENDIF
+      SCR(LEV) = SCR(LEV) + COEF(M) * 0.001D0 * LEV
+      END
+)";
+  app.annotations = R"(
+subroutine LEGS(M) {
+  integer M;
+  SCR = unknown(COEF[M]);
+  PLEG[1:8, M] = unknown(PLEG[1:8, M], SCR);
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

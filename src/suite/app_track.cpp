@@ -1,0 +1,68 @@
+// TRACK — "missile tracking".
+//
+// Indirect one-to-one index arrays (paper §III.B.5): each observation IOB
+// scatters into HITS(:, LINK(IOB)) where LINK is a permutation initialized
+// once. Conventional inlining of NEWHIT produces the subscripted subscript
+// HITS(c, LINK(IOB)) — non-analyzable for the observation loop — while the
+// `unique` annotation certifies injectivity and the loop parallelizes
+// (#par-extra, annotation only).
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_track() {
+  BenchmarkApp app;
+  app.name = "TRACK";
+  app.description = "Missile tracking";
+  app.source = R"(
+      PROGRAM TRACK
+      PARAMETER (NOB = 96, NIT = 12)
+      COMMON /OBS/ OBSX(96), OBSY(96), LINK(96)
+      COMMON /TRK/ HITS(4,96), SCORE(96)
+      COMMON /CHK/ CHKSUM
+      DO 1 I = 1, NOB
+        OBSX(I) = I * 0.01D0
+        OBSY(I) = (NOB - I) * 0.01D0
+        LINK(I) = MOD(I * 37, NOB) + 1
+        SCORE(I) = 0.0D0
+1     CONTINUE
+      DO 2 I = 1, NOB
+      DO 2 K = 1, 4
+        HITS(K,I) = 0.0D0
+2     CONTINUE
+      DO 50 IT = 1, NIT
+        DO 20 IOB = 1, NOB
+          CALL NEWHIT(IOB)
+20      CONTINUE
+C rescoring sweep (parallel in every configuration)
+        DO 30 I = 1, NOB
+          SCORE(I) = SCORE(I) * 0.9D0 + HITS(1,I) + HITS(2,I) * 0.5D0
+30      CONTINUE
+50    CONTINUE
+      S = 0.0D0
+      DO 90 I = 1, NOB
+        S = S + SCORE(I)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'TRACK CHECKSUM', S
+      END
+
+      SUBROUTINE NEWHIT(IOB)
+      COMMON /OBS/ OBSX(96), OBSY(96), LINK(96)
+      COMMON /TRK/ HITS(4,96), SCORE(96)
+      DO 10 K = 1, 4
+        HITS(K, LINK(IOB)) = HITS(K, LINK(IOB)) * 0.75D0 + OBSX(IOB) * K + OBSY(IOB)
+10    CONTINUE
+      END
+)";
+  app.annotations = R"(
+subroutine NEWHIT(IOB) {
+  integer IOB;
+  do (K = 1:4)
+    HITS[K, unique(IOB)] = unknown(HITS[K, unique(IOB)], OBSX[IOB], OBSY[IOB]);
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

@@ -1,0 +1,95 @@
+// TRFD — "a kernel simulating a two-electron integral transformation".
+//
+// Reproduces the paper's MATMLT story (Figures 4-5, 16-19):
+//  * MATMLT declares its matrix parameters single-dimensional (Fig. 4);
+//  * OLDA passes slices of 3-D adjustable arrays (Fig. 5);
+//  * conventional inlining linearizes PP/PHIT/TM1 in OLDA with symbolic
+//    extents, losing the J-level loops that touch them (#par-loss);
+//  * the MATMLT annotation (Fig. 16) redeclares the parameters as 2-D
+//    matrices, the KS loop privatizes TM1 and becomes parallel (#par-extra),
+//    and reverse inlining restores the original call (Figs. 17-19).
+#include "suite/suite.h"
+
+namespace ap::suite {
+
+BenchmarkApp make_trfd() {
+  BenchmarkApp app;
+  app.name = "TRFD";
+  app.description = "A kernel simulating a two-electron integral transformation";
+  app.source = R"(
+      PROGRAM TRFD
+      PARAMETER (NORB = 12, NPAIR = 16, NIT = 8)
+      COMMON /DATA/ PP(12,12,16), PHIT(12,12), OUT(12,12,16), TM1(12,12)
+      COMMON /SIZES/ NBC, NSC
+      COMMON /CHK/ CHKSUM
+      NBC = NORB
+      NSC = NPAIR
+      DO 2 KS = 1, NPAIR
+      DO 2 J = 1, NORB
+      DO 2 I = 1, NORB
+        PP(I,J,KS) = (I*7 + J*3 + KS) * 0.001D0
+        OUT(I,J,KS) = 0.0D0
+2     CONTINUE
+      DO 4 J = 1, NORB
+      DO 4 I = 1, NORB
+        PHIT(I,J) = (I + J*2) * 0.01D0
+        TM1(I,J) = 0.0D0
+4     CONTINUE
+      DO 10 IT = 1, NIT
+        CALL OLDA(PP, PHIT, OUT, TM1, NBC, NSC)
+10    CONTINUE
+      S = 0.0D0
+      DO 90 KS = 1, NPAIR
+      DO 90 J = 1, NORB
+      DO 90 I = 1, NORB
+        S = S + OUT(I,J,KS)
+90    CONTINUE
+      CHKSUM = S
+      WRITE(*,*) 'TRFD CHECKSUM', S
+      END
+
+      SUBROUTINE OLDA(PP, PHIT, OUT, TM1, NB, NS)
+      INTEGER NB, NS
+      DIMENSION PP(NB,NB,NS), PHIT(NB,NB), OUT(NB,NB,NS), TM1(NB,NB)
+      DO 20 KS = 2, NS
+        CALL MATMLT(PP(1,1,KS-1), PHIT(1,1), TM1(1,1), NB, NB, NB)
+        DO 15 J = 1, NB
+        DO 14 I = 1, NB
+          OUT(I,J,KS) = OUT(I,J,KS) + TM1(I,J)*0.5D0 + PP(I,J,KS)*0.125D0
+14      CONTINUE
+15      CONTINUE
+20    CONTINUE
+      END
+
+      SUBROUTINE MATMLT(M1, M2, M3, L, M, N)
+      INTEGER L, M, N
+      DOUBLE PRECISION M1(*), M2(*), M3(*)
+      K = 0
+      DO 22 JN = 1, N
+      DO 23 JL = 1, L
+        K = K + 1
+        M3(K) = 0.0D0
+23    CONTINUE
+22    CONTINUE
+      DO 26 JN = 1, N
+      DO 27 JM = 1, M
+      DO 28 JL = 1, L
+        M3(JL + (JN-1)*L) = M3(JL + (JN-1)*L) + M2(JM + (JN-1)*M) * M1(JL + (JM-1)*L)
+28    CONTINUE
+27    CONTINUE
+26    CONTINUE
+      END
+)";
+  app.annotations = R"(
+subroutine MATMLT(M1, M2, M3, L, M, N) {
+  dimension M1[L,M], M2[M,N], M3[L,N];
+  M3 = 0.0;
+  do (JN = 1:N)
+    do (JM = 1:M)
+      M3[1:L, JN] = M3[1:L, JN] + M2[JM, JN] * M1[1:L, JM];
+}
+)";
+  return app;
+}
+
+}  // namespace ap::suite

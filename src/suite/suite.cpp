@@ -1,0 +1,33 @@
+#include "suite/suite.h"
+
+#include "support/text.h"
+
+namespace ap::suite {
+
+const std::vector<BenchmarkApp>& perfect_suite() {
+  static const std::vector<BenchmarkApp> apps = [] {
+    std::vector<BenchmarkApp> v;
+    v.push_back(make_adm());
+    v.push_back(make_arc2d());
+    v.push_back(make_flo52q());
+    v.push_back(make_ocean());
+    v.push_back(make_bdna());
+    v.push_back(make_mdg());
+    v.push_back(make_qcd());
+    v.push_back(make_trfd());
+    v.push_back(make_dyfesm());
+    v.push_back(make_mg3d());
+    v.push_back(make_track());
+    v.push_back(make_spec77());
+    return v;
+  }();
+  return apps;
+}
+
+const BenchmarkApp* find_app(std::string_view name) {
+  for (const auto& a : perfect_suite())
+    if (ieq(a.name, name)) return &a;
+  return nullptr;
+}
+
+}  // namespace ap::suite

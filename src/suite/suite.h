@@ -1,0 +1,55 @@
+// The mini-PERFECT benchmark suite (substitution for the PERFECT Club
+// benchmarks of paper Table I; see DESIGN.md §2).
+//
+// Each application is a self-contained program in the F77 subset plus an
+// optional set of annotations for its key subroutines. The programs are
+// miniatures, but each reproduces the loop/call structure the paper
+// describes for its real counterpart — the phenomena that drive Table II:
+//
+//   BDNA    indirect element-base arguments (PCINIT, Figures 2-3)
+//   TRFD    dimension linearization (MATMLT, Figures 4-5, 16-19)
+//   DYFESM  opaque compositional subroutine + error checking + global
+//           temporary arrays + one-to-one index arrays
+//           (FSMP/GETCR/SHAPE1/ASSEM, Figures 6-11, 13-14)
+//   MDG     global temporary arrays behind an error-checked callee
+//   ADM     small clean callee both inliners handle
+//   ARC2D   reshaped (rank-mismatched) array arguments
+//   FLO52Q  no calls inside loops: inlining config is irrelevant
+//   OCEAN   reduction-dominated loops, no call-related parallelism
+//   QCD     debug I/O inside callees blocks conventional inlining
+//   TRACK   indirect one-to-one index arrays (unique operator)
+//   MG3D    external-library FFT callee (no source available)
+//   SPEC77  recursive helper subroutine
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ap::suite {
+
+struct BenchmarkApp {
+  std::string name;
+  std::string description;   // Table I entry
+  std::string source;        // F77-subset program text
+  std::string annotations;   // annotation DSL text ("" when none supplied)
+};
+
+const std::vector<BenchmarkApp>& perfect_suite();
+const BenchmarkApp* find_app(std::string_view name);
+
+// Individual apps (one translation unit each).
+BenchmarkApp make_adm();
+BenchmarkApp make_arc2d();
+BenchmarkApp make_flo52q();
+BenchmarkApp make_ocean();
+BenchmarkApp make_bdna();
+BenchmarkApp make_mdg();
+BenchmarkApp make_qcd();
+BenchmarkApp make_trfd();
+BenchmarkApp make_dyfesm();
+BenchmarkApp make_mg3d();
+BenchmarkApp make_track();
+BenchmarkApp make_spec77();
+
+}  // namespace ap::suite

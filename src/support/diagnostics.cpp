@@ -1,0 +1,47 @@
+#include "support/diagnostics.h"
+
+namespace ap {
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+}  // namespace
+
+std::string Diagnostic::render() const {
+  std::string out = stream;
+  out += ":";
+  out += to_string(loc);
+  out += ": ";
+  out += severity_name(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string stream,
+                              std::string msg) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(stream), std::move(msg)});
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+std::string DiagnosticEngine::render_all() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ap

@@ -1,0 +1,56 @@
+// Diagnostic sink shared by the FIR parser, the annotation parser, the
+// semantic checker, and every transformation pass. Passes report problems
+// here instead of throwing so a driver can batch-report and decide whether
+// to continue (e.g. skip annotating one subroutine but parallelize the rest).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace ap {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string stream;   // which input: source file tag or annotation tag
+  std::string message;
+
+  std::string render() const;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string stream, std::string msg);
+
+  void error(SourceLoc loc, std::string msg) {
+    report(Severity::Error, loc, stream_, std::move(msg));
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    report(Severity::Warning, loc, stream_, std::move(msg));
+  }
+  void note(SourceLoc loc, std::string msg) {
+    report(Severity::Note, loc, stream_, std::move(msg));
+  }
+
+  // Name used for subsequently reported diagnostics ("bdna.f", "annot:FSMP").
+  void set_stream(std::string name) { stream_ = std::move(name); }
+
+  bool has_errors() const { return error_count_ > 0; }
+  size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  void clear();
+
+  // Concatenated render of every diagnostic, one per line.
+  std::string render_all() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::string stream_ = "<input>";
+  size_t error_count_ = 0;
+};
+
+}  // namespace ap

@@ -1,0 +1,23 @@
+// Source locations for diagnostics across the FIR frontend and the
+// annotation DSL. Both languages are small enough that a (line, column)
+// pair plus a stream name is all we need; no file manager indirection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ap {
+
+struct SourceLoc {
+  uint32_t line = 0;    // 1-based; 0 means "unknown / synthesized"
+  uint32_t column = 0;  // 1-based
+
+  constexpr bool valid() const { return line != 0; }
+};
+
+inline std::string to_string(SourceLoc loc) {
+  if (!loc.valid()) return "<synthesized>";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace ap

@@ -1,0 +1,32 @@
+// Small text utilities. Fortran 77 is case-insensitive, so every identifier
+// comparison in the pipeline goes through fold_upper(); symbol tables store
+// upper-cased names only.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ap {
+
+// Upper-case ASCII fold; Fortran identifiers are ASCII-only.
+std::string fold_upper(std::string_view s);
+
+// Case-insensitive equality for identifiers/keywords.
+bool ieq(std::string_view a, std::string_view b);
+
+// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// Split on a delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Number of newline-terminated lines in a rendered program. The paper's
+// code-size metric is "number of source code lines with all comments
+// removed"; render first with comments stripped, then count here.
+size_t count_lines(std::string_view text);
+
+// True if `s` names a plausible Fortran identifier (letter then alnum/_).
+bool is_identifier(std::string_view s);
+
+}  // namespace ap

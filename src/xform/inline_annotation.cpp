@@ -1,0 +1,381 @@
+#include "xform/inline_annotation.h"
+
+#include <map>
+#include <set>
+
+#include "sema/symbols.h"
+#include "support/text.h"
+#include "xform/subst.h"
+
+namespace ap::xform {
+
+namespace {
+
+using fir::Expr;
+using fir::ExprKind;
+using fir::ExprPtr;
+using fir::Stmt;
+using fir::StmtKind;
+using fir::StmtPtr;
+
+ExprPtr extent_expr(const fir::Dim& d) {
+  if (!d.hi) return nullptr;
+  if (!d.lo) return d.hi->clone();
+  return fir::make_binary(
+      fir::BinOp::Add,
+      fir::make_binary(fir::BinOp::Sub, d.hi->clone(), d.lo->clone()),
+      fir::make_int(1));
+}
+
+struct ArrayMap {
+  std::string actual_array;
+  std::vector<ExprPtr> actual_subs;  // empty => whole-array rename
+};
+
+class AnnotInliner {
+ public:
+  AnnotInliner(fir::Program& prog, const annot::AnnotationRegistry& registry,
+               const AnnotInlineOptions& opts, AnnotInlineReport& report)
+      : prog_(prog), registry_(registry), opts_(opts), report_(report) {
+    DiagnosticEngine scratch;
+    sema_ = std::make_unique<sema::SemaContext>(prog, scratch);
+  }
+
+  void run() {
+    for (auto& u : prog_.units) {
+      if (u->external_library) continue;
+      process_body(u->body, *u, 0);
+    }
+  }
+
+ private:
+  fir::Program& prog_;
+  const annot::AnnotationRegistry& registry_;
+  const AnnotInlineOptions& opts_;
+  AnnotInlineReport& report_;
+  std::unique_ptr<sema::SemaContext> sema_;
+  // Per-invocation counters: fresh names must be deterministic for a given
+  // input program, independent of prior inliner runs in the process.
+  int64_t tag_counter_ = 0;
+  int64_t rename_counter_ = 0;
+
+  void note(std::string msg) { report_.notes.push_back(std::move(msg)); }
+
+  void process_body(std::vector<StmtPtr>& body, fir::ProgramUnit& caller,
+                    int loop_depth) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      Stmt& s = *body[i];
+      switch (s.kind) {
+        case StmtKind::Do:
+          process_body(s.body, caller, loop_depth + 1);
+          break;
+        case StmtKind::If:
+          process_body(s.body, caller, loop_depth);
+          process_body(s.else_body, caller, loop_depth);
+          break;
+        case StmtKind::Call: {
+          if (opts_.require_in_loop && loop_depth == 0) break;
+          const fir::ProgramUnit* tmpl = registry_.find(s.name);
+          if (!tmpl) break;
+          StmtPtr region = instantiate(*tmpl, s, caller);
+          if (region) {
+            body[i] = std::move(region);
+            ++report_.sites_inlined;
+          } else {
+            ++report_.sites_skipped;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Verify that the annotated formal shape can overlay the actual without
+  // stride mismatch: leading extents (all but the last formal dim) must
+  // match between the instantiated annotation dims and the actual's decl.
+  bool shape_compatible(const fir::VarDecl& fdecl,
+                        const std::map<std::string, const Expr*>& subst,
+                        const fir::VarDecl& adecl,
+                        const fir::ProgramUnit& caller) {
+    size_t k = fdecl.dims.size();
+    size_t n = adecl.dims.size();
+    if (k > n) return false;
+    // Strides must match for dims 1..k-1; when the view does not consume
+    // the full rank (k < n), the k-th extent must also fit inside the
+    // actual's k-th extent or the view would wrap across dimensions.
+    size_t checked = (k < n) ? k : (k > 0 ? k - 1 : 0);
+    for (size_t d = 0; d < checked; ++d) {
+      ExprPtr fe = extent_expr(fdecl.dims[d]);
+      ExprPtr ae = extent_expr(adecl.dims[d]);
+      if (!fe || !ae) return false;
+      // Instantiate formal-scalar names in the annotation extent.
+      std::vector<StmtPtr> tmp;
+      tmp.push_back(fir::make_assign(fir::make_var("APAR_X"), std::move(fe)));
+      substitute_vars(tmp, subst);
+      const Expr& inst = *tmp[0]->rhs;
+      if (fir::expr_equal(inst, *ae)) continue;
+      DiagnosticEngine scratch;
+      sema::SemaContext fresh(prog_, scratch);
+      auto va = fresh.fold_int(caller.name, inst);
+      auto vb = fresh.fold_int(caller.name, *ae);
+      bool last_dim = (d + 1 == k) && (k < n);
+      if (!(va && vb && (last_dim ? *va <= *vb : *va == *vb))) return false;
+    }
+    return true;
+  }
+
+  StmtPtr instantiate(const fir::ProgramUnit& tmpl, const Stmt& call,
+                      fir::ProgramUnit& caller) {
+    if (call.args.size() != tmpl.params.size()) {
+      note("skip " + call.name + ": argument count mismatch with annotation");
+      return nullptr;
+    }
+    std::vector<StmtPtr> body = fir::clone_stmts(tmpl.body);
+
+    // Annotations must not write scalar formals (documented restriction).
+    std::set<std::string> written = written_names(body);
+    std::map<std::string, const Expr*> scalar_subst;
+    std::map<std::string, ArrayMap> array_maps;
+
+    // Pass 1: bind scalar formals first — array-formal shape declarations
+    // (dimension M1[L,M]) reference them. A written scalar formal is fine
+    // when the actual is an lvalue: Fortran passes by reference, so the
+    // substituted write targets the actual directly and reverse matching
+    // re-derives the argument from the write target. Expression actuals
+    // have no caller-visible effect to summarize, so such sites are skipped.
+    for (size_t i = 0; i < tmpl.params.size(); ++i) {
+      std::string formal = fold_upper(tmpl.params[i]);
+      const fir::VarDecl* fdecl = tmpl.find_decl(formal);
+      if (fdecl && !fdecl->dims.empty()) continue;
+      const Expr* actual = call.args[i].get();
+      if (written.count(formal) && actual->kind != ExprKind::VarRef &&
+          actual->kind != ExprKind::ArrayRef) {
+        note("skip " + call.name + ": annotation writes scalar formal " +
+             formal + " bound to a non-lvalue actual");
+        return nullptr;
+      }
+      scalar_subst[formal] = actual;
+    }
+    // Pass 2: array formals.
+    for (size_t i = 0; i < tmpl.params.size(); ++i) {
+      std::string formal = fold_upper(tmpl.params[i]);
+      const Expr* actual = call.args[i].get();
+      const fir::VarDecl* fdecl = tmpl.find_decl(formal);
+      bool formal_is_array = fdecl && !fdecl->dims.empty();
+      if (!formal_is_array) continue;
+      // Array formal: actual must be a whole array or an element base.
+      if (actual->kind == ExprKind::VarRef) {
+        const fir::VarDecl* adecl = caller.find_decl(actual->name);
+        if (!adecl || adecl->dims.empty() ||
+            !shape_compatible(*fdecl, scalar_subst, *adecl, caller)) {
+          note("skip " + call.name + ": shape of " + formal +
+               " incompatible with actual " + actual->name);
+          return nullptr;
+        }
+        array_maps[formal] = ArrayMap{actual->name, {}};
+      } else if (actual->kind == ExprKind::ArrayRef) {
+        const fir::VarDecl* adecl = caller.find_decl(actual->name);
+        if (!adecl || adecl->dims.empty() ||
+            !shape_compatible(*fdecl, scalar_subst, *adecl, caller)) {
+          note("skip " + call.name + ": shape of " + formal +
+               " incompatible with actual element of " + actual->name);
+          return nullptr;
+        }
+        ArrayMap m;
+        m.actual_array = actual->name;
+        for (const auto& c : actual->args) m.actual_subs.push_back(c->clone());
+        array_maps[formal] = std::move(m);
+      } else {
+        note("skip " + call.name + ": unsupported actual for array formal " +
+             formal);
+        return nullptr;
+      }
+    }
+
+    // Freshen annotation loop variables (region-local names).
+    std::map<std::string, std::string> renames;
+    fir::walk_stmts(body, [&](Stmt& s) {
+      if (s.kind == StmtKind::Do && !renames.count(s.do_var) &&
+          !tmpl.is_param(s.do_var))
+        renames[s.do_var] = s.do_var + "_A" + std::to_string(rename_counter_++);
+      return true;
+    });
+    rename_identifiers(body, renames);
+    for (const auto& [from, to] : renames) {
+      if (!caller.find_decl(to)) {
+        fir::VarDecl d;
+        d.name = to;
+        d.type = fir::Type::Integer;
+        d.annot_imported = true;
+        caller.decls.push_back(std::move(d));
+      }
+    }
+
+    // Substitute scalar formals, then map array formals (bottom-up rewrite:
+    // subscripts already substituted when the ArrayRef is visited).
+    substitute_vars(body, scalar_subst);
+    rewrite_exprs(body, [&](const Expr& e) -> ExprPtr {
+      if (e.kind != ExprKind::ArrayRef && e.kind != ExprKind::VarRef)
+        return nullptr;
+      auto it = array_maps.find(e.name);
+      if (it == array_maps.end()) return nullptr;
+      const ArrayMap& m = it->second;
+      if (e.kind == ExprKind::VarRef) {
+        if (m.actual_subs.empty()) {
+          ExprPtr r = e.clone();
+          r->name = m.actual_array;
+          return r;
+        }
+        // Whole-formal reference over an element base: the annotated region
+        // F(1:d1, 1:d2) mapped onto the actual => per-dim sections.
+        const fir::VarDecl* fdecl = tmpl.find_decl(e.name);
+        std::vector<ExprPtr> subs;
+        for (size_t d = 0; d < m.actual_subs.size(); ++d) {
+          if (fdecl && d < fdecl->dims.size()) {
+            ExprPtr hi = extent_expr(fdecl->dims[d]);
+            if (!hi) return nullptr;
+            // Instantiate formals inside the extent.
+            std::vector<StmtPtr> tmp;
+            tmp.push_back(fir::make_assign(fir::make_var("APAR_X"), std::move(hi)));
+            substitute_vars(tmp, scalar_subst);
+            hi = tmp[0]->rhs->clone();
+            ExprPtr lo = m.actual_subs[d]->clone();
+            ExprPtr hi_shifted;
+            if (m.actual_subs[d]->is_int_lit(1)) {
+              hi_shifted = std::move(hi);  // 1 + ext - 1 == ext
+            } else {
+              hi_shifted = fir::make_binary(
+                  fir::BinOp::Sub,
+                  fir::make_binary(fir::BinOp::Add, m.actual_subs[d]->clone(),
+                                   std::move(hi)),
+                  fir::make_int(1));
+            }
+            subs.push_back(
+                fir::make_section(std::move(lo), std::move(hi_shifted)));
+          } else {
+            subs.push_back(m.actual_subs[d]->clone());
+          }
+        }
+        return fir::make_array_ref(m.actual_array, std::move(subs));
+      }
+      // Element reference F(i1..ik).
+      std::vector<ExprPtr> subs;
+      if (m.actual_subs.empty()) {
+        ExprPtr r = e.clone();
+        r->name = m.actual_array;
+        return r;
+      }
+      size_t k = e.args.size();
+      for (size_t d = 0; d < m.actual_subs.size(); ++d) {
+        if (d < k) {
+          // i_d + c_d - 1; fold the ubiquitous c_d == 1 case for readability.
+          if (m.actual_subs[d]->is_int_lit(1)) {
+            subs.push_back(e.args[d]->clone());
+          } else if (e.args[d]->kind == ExprKind::Section) {
+            // Shift both section bounds.
+            const Expr& sec = *e.args[d];
+            auto shift = [&](const ExprPtr& b) -> ExprPtr {
+              if (!b) return nullptr;
+              return fir::make_binary(
+                  fir::BinOp::Sub,
+                  fir::make_binary(fir::BinOp::Add, b->clone(),
+                                   m.actual_subs[d]->clone()),
+                  fir::make_int(1));
+            };
+            subs.push_back(fir::make_section(shift(sec.args[0]),
+                                             shift(sec.args[1]),
+                                             sec.args[2] ? sec.args[2]->clone()
+                                                         : nullptr));
+          } else {
+            subs.push_back(fir::make_binary(
+                fir::BinOp::Sub,
+                fir::make_binary(fir::BinOp::Add, e.args[d]->clone(),
+                                 m.actual_subs[d]->clone()),
+                fir::make_int(1)));
+          }
+        } else {
+          subs.push_back(m.actual_subs[d]->clone());
+        }
+      }
+      return fir::make_array_ref(m.actual_array, std::move(subs));
+    });
+
+    import_global_decls(body, tmpl, call.name, caller);
+
+    std::vector<ExprPtr> hints;
+    for (const auto& a : call.args) hints.push_back(a->clone());
+    auto region = fir::make_tagged_region(call.name, tag_counter_++,
+                                          std::move(body), std::move(hints));
+    region->loc = call.loc;
+    note("annotation-inlined " + call.name + " into " + caller.name);
+    return region;
+  }
+
+  // Make shapes of callee globals visible to the caller's analysis.
+  void import_global_decls(const std::vector<StmtPtr>& body,
+                           const fir::ProgramUnit& tmpl,
+                           const std::string& callee_name,
+                           fir::ProgramUnit& caller) {
+    const fir::ProgramUnit* callee = prog_.find_unit(callee_name);
+    std::set<std::string> mentioned;
+    fir::walk_stmts(body, [&](const Stmt& s) {
+      fir::walk_exprs(s, [&](const Expr& x) {
+        if (x.kind == ExprKind::VarRef || x.kind == ExprKind::ArrayRef)
+          mentioned.insert(x.name);
+      });
+      return true;
+    });
+    for (const auto& name : mentioned) {
+      if (caller.find_decl(name)) continue;
+      const fir::VarDecl* d = nullptr;
+      const fir::ProgramUnit* source = nullptr;
+      if (callee && (d = callee->find_decl(name))) source = callee;
+      if (!d && (d = tmpl.find_decl(name))) source = &tmpl;
+      // Only names the callee or the annotation declares need importing
+      // (shapes for arrays, explicit types). Everything else — e.g. the
+      // caller's own implicitly-typed scalars appearing through argument
+      // substitution — resolves by the implicit rules and must not acquire
+      // a declaration, or the reversed program would differ from the input.
+      if (!d) continue;
+      fir::VarDecl nd = d->clone();
+      nd.annot_imported = true;
+      caller.decls.push_back(std::move(nd));
+      // Preserve COMMON membership so the storage is shared.
+      if (source == callee && callee) {
+        for (const auto& blk : callee->commons) {
+          for (const auto& v : blk.vars) {
+            if (!ieq(v, name)) continue;
+            fir::CommonBlock* mine = nullptr;
+            for (auto& cb : caller.commons)
+              if (ieq(cb.name, blk.name)) mine = &cb;
+            if (!mine) {
+              caller.commons.push_back(fir::CommonBlock{blk.name, {}});
+              mine = &caller.commons.back();
+            }
+            bool have = false;
+            for (const auto& mv : mine->vars)
+              if (ieq(mv, name)) have = true;
+            if (!have) mine->vars.push_back(name);
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+AnnotInlineReport inline_annotations(fir::Program& prog,
+                                     const annot::AnnotationRegistry& registry,
+                                     const AnnotInlineOptions& opts,
+                                     DiagnosticEngine& diags) {
+  (void)diags;
+  AnnotInlineReport report;
+  AnnotInliner inl(prog, registry, opts, report);
+  inl.run();
+  return report;
+}
+
+}  // namespace ap::xform

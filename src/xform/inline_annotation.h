@@ -1,0 +1,56 @@
+// Annotation-based inlining (paper §III.C.1).
+//
+// A CALL whose callee has a registered annotation is replaced by the
+// annotation body — not the implementation — bracketed by a TaggedRegion
+// node (the AST form of the paper's "pair of special tags", Fig. 18):
+//
+//   CALL MATMLT(PP(1,1,KS-1), PHIT(1,1), TM1(1,1), 4, 4, 4)
+//     ==>
+//   C$ANNOT BEGIN MATMLT 7
+//     DO JN_A1 = 1, 4
+//       ...PP(JL_A0, JM_A2, KS-1)...    ! formals mapped, shape preserved
+//   C$ANNOT END MATMLT 7
+//
+// Differences from conventional inlining that realize the paper's claims:
+//   * works for external-library and recursive callees (no source needed);
+//   * never linearizes: the annotation's `dimension M1[L,M]` declarations
+//     reshape the actual with its declared multi-dimensional form, so no
+//     parallelism-destroying flattening happens (§III.C.1, Fig. 16); when
+//     leading extents cannot be verified the site is skipped, not degraded;
+//   * `unknown`/`unique` stay first-class expression nodes: `unknown` is a
+//     read of its operands producing an opaque value (semantically the
+//     paper's fresh-global-array encoding), `unique` an injective function
+//     handled by the dependence tester (DESIGN.md §5). The inlined code is
+//     analyzed, never executed — reverse inlining restores the real calls
+//     before the program runs.
+//
+// Declarations for callee globals referenced by the annotation are imported
+// into the caller (marked annot_imported) so shapes are known to analysis;
+// the reverse inliner removes them again.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "annot/parser.h"
+#include "fir/ast.h"
+#include "support/diagnostics.h"
+
+namespace ap::xform {
+
+struct AnnotInlineOptions {
+  bool require_in_loop = true;
+};
+
+struct AnnotInlineReport {
+  int sites_inlined = 0;
+  int sites_skipped = 0;
+  std::vector<std::string> notes;
+};
+
+AnnotInlineReport inline_annotations(fir::Program& prog,
+                                     const annot::AnnotationRegistry& registry,
+                                     const AnnotInlineOptions& opts,
+                                     DiagnosticEngine& diags);
+
+}  // namespace ap::xform

@@ -1,0 +1,588 @@
+#include "xform/inline_conventional.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "sema/symbols.h"
+#include "support/text.h"
+#include "xform/subst.h"
+
+namespace ap::xform {
+
+namespace {
+
+using fir::Expr;
+using fir::ExprKind;
+using fir::ExprPtr;
+using fir::Stmt;
+using fir::StmtKind;
+using fir::StmtPtr;
+
+// Extent expression of one declared dimension: (hi - lo + 1), simplified for
+// the common lo==1 case. Returns nullptr for assumed size.
+ExprPtr extent_expr(const fir::Dim& d) {
+  if (!d.hi) return nullptr;
+  if (!d.lo) return d.hi->clone();
+  return fir::make_binary(
+      fir::BinOp::Add,
+      fir::make_binary(fir::BinOp::Sub, d.hi->clone(), d.lo->clone()),
+      fir::make_int(1));
+}
+
+// Structural-or-constant equality of two extent expressions evaluated in
+// their respective units.
+bool extents_match(const fir::Dim& a, const sema::SemaContext& sema,
+                   const std::string& unit_a, const fir::Dim& b,
+                   const std::string& unit_b) {
+  ExprPtr ea = extent_expr(a);
+  ExprPtr eb = extent_expr(b);
+  if (!ea || !eb) return false;
+  if (fir::expr_equal(*ea, *eb)) return true;
+  auto va = sema.fold_int(unit_a, *ea);
+  auto vb = sema.fold_int(unit_b, *eb);
+  return va && vb && *va == *vb;
+}
+
+// One bound formal array: how references to it are rewritten.
+struct ArrayBinding {
+  enum class Kind {
+    Rename,     // F(i...) -> A(i...)
+    ElementMap, // F(i1..ik) -> A(i1+c1-1, ..., ik+ck-1, c_{k+1}.., cn)
+    Linearized, // F(subs) -> A(flat_index + base_offset)
+  };
+  Kind kind = Kind::Rename;
+  std::string actual_array;
+  std::vector<ExprPtr> actual_subs;   // ElementMap / Linearized base element
+  std::vector<ExprPtr> formal_extents;  // Linearized: formal dim extents
+  std::vector<ExprPtr> actual_extents;  // Linearized: caller dim extents
+};
+
+// Linear index of subs within extents (column-major, 1-based):
+//   e1 + (e2-1)*E1 + (e3-1)*E1*E2 + ...
+ExprPtr linear_index(const std::vector<ExprPtr>& subs,
+                     const std::vector<ExprPtr>& extents) {
+  ExprPtr idx = subs[0]->clone();
+  ExprPtr stride;
+  for (size_t d = 1; d < subs.size(); ++d) {
+    ExprPtr ed = extents[d - 1] ? extents[d - 1]->clone() : nullptr;
+    if (!ed) return nullptr;  // assumed-size before last dim: cannot flatten
+    stride = stride ? fir::make_binary(fir::BinOp::Mul, std::move(stride),
+                                       std::move(ed))
+                    : std::move(ed);
+    ExprPtr term = fir::make_binary(
+        fir::BinOp::Mul,
+        fir::make_binary(fir::BinOp::Sub, subs[d]->clone(), fir::make_int(1)),
+        stride->clone());
+    idx = fir::make_binary(fir::BinOp::Add, std::move(idx), std::move(term));
+  }
+  return idx;
+}
+
+class Inliner {
+ public:
+  Inliner(fir::Program& prog, const ConvInlineOptions& opts,
+          DiagnosticEngine& diags, ConvInlineReport& report)
+      : prog_(prog), opts_(opts), diags_(diags), report_(report) {}
+
+  bool run_pass() {
+    sema_ = std::make_unique<sema::SemaContext>(prog_, scratch_diags_);
+    bool changed = false;
+    for (auto& u : prog_.units) {
+      if (u->external_library) continue;
+      changed |= process_body(u->body, *u, /*loop_depth=*/0);
+    }
+    return changed;
+  }
+
+ private:
+  fir::Program& prog_;
+  const ConvInlineOptions& opts_;
+  DiagnosticEngine& diags_;
+  ConvInlineReport& report_;
+  std::unique_ptr<sema::SemaContext> sema_;
+  DiagnosticEngine scratch_diags_;
+  // Fresh-name counter lives in the report so multi-pass runs stay unique
+  // while distinct inline_conventional() invocations are deterministic.
+
+  void note(const std::string& msg) { report_.notes.push_back(msg); }
+
+  std::string fresh_name_(const std::string& base) {
+    return base + "_IL" + std::to_string(report_.fresh_counter++);
+  }
+
+  bool process_body(std::vector<StmtPtr>& body, fir::ProgramUnit& caller,
+                    int loop_depth) {
+    bool changed = false;
+    for (size_t i = 0; i < body.size(); ++i) {
+      Stmt& s = *body[i];
+      switch (s.kind) {
+        case StmtKind::Do:
+          changed |= process_body(s.body, caller, loop_depth + 1);
+          break;
+        case StmtKind::If:
+          changed |= process_body(s.body, caller, loop_depth);
+          changed |= process_body(s.else_body, caller, loop_depth);
+          break;
+        case StmtKind::TaggedRegion:
+          break;  // never inline inside annotation regions
+        case StmtKind::Call: {
+          if (opts_.require_in_loop && loop_depth == 0) break;
+          std::vector<StmtPtr> replacement;
+          if (try_inline(s, caller, replacement)) {
+            body.erase(body.begin() + static_cast<long>(i));
+            for (size_t k = 0; k < replacement.size(); ++k)
+              body.insert(body.begin() + static_cast<long>(i + k),
+                          std::move(replacement[k]));
+            ++report_.sites_inlined;
+            changed = true;
+            --i;  // re-examine from the spliced code? No: skip past it.
+            i += replacement.size();
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return changed;
+  }
+
+  bool eligible(const fir::ProgramUnit& callee, const Stmt& call) {
+    const sema::UnitInfo* info = sema_->unit_info(callee.name);
+    if (!info) return false;
+    if (callee.external_library) {
+      note("skip " + callee.name + ": external library (no source)");
+      return false;
+    }
+    if (sema_->is_recursive(callee.name)) {
+      note("skip " + callee.name + ": recursive");
+      return false;
+    }
+    if (info->has_io || info->has_stop) {
+      note("skip " + callee.name + ": contains I/O or STOP");
+      return false;
+    }
+    if (info->stmt_count > opts_.max_stmts) {
+      note("skip " + callee.name + ": too large (" +
+           std::to_string(info->stmt_count) + " stmts)");
+      return false;
+    }
+    if (static_cast<int>(info->callees.size()) > opts_.max_callee_calls) {
+      note("skip " + callee.name + ": makes further calls");
+      return false;
+    }
+    // Mid-body RETURN makes splicing unsound; only trailing RETURNs allowed.
+    bool mid_return = false;
+    int returns = 0;
+    fir::walk_stmts(callee.body, [&](const Stmt& st) {
+      if (st.kind == StmtKind::Return) ++returns;
+      return true;
+    });
+    if (returns > 1 ||
+        (returns == 1 && (callee.body.empty() ||
+                          callee.body.back()->kind != StmtKind::Return)))
+      mid_return = true;
+    if (mid_return) {
+      note("skip " + callee.name + ": non-trailing RETURN");
+      return false;
+    }
+    // A formal used as a DO variable complicates substitution; skip.
+    for (const auto& p : callee.params) {
+      bool is_dovar = false;
+      fir::walk_stmts(callee.body, [&](const Stmt& st) {
+        if (st.kind == StmtKind::Do && ieq(st.do_var, p)) is_dovar = true;
+        return true;
+      });
+      if (is_dovar) {
+        note("skip " + callee.name + ": formal used as DO variable");
+        return false;
+      }
+    }
+    (void)call;
+    return true;
+  }
+
+  bool try_inline(Stmt& call, fir::ProgramUnit& caller,
+                  std::vector<StmtPtr>& out) {
+    fir::ProgramUnit* callee = prog_.find_unit(call.name);
+    if (!callee || callee == &caller) return false;
+    if (!eligible(*callee, call)) {
+      ++report_.sites_skipped;
+      return false;
+    }
+    if (call.args.size() != callee->params.size()) return false;
+
+    // Clone the actual arguments: linearize_caller_array rewrites the whole
+    // caller body, including this CALL's own argument expressions, so any
+    // pointer into call.args would dangle.
+    std::vector<ExprPtr> actuals;
+    actuals.reserve(call.args.size());
+    for (const auto& a : call.args) {
+      if (!a) return false;
+      actuals.push_back(a->clone());
+    }
+
+    std::set<std::string> callee_written = written_names(callee->body);
+
+    // Classify formals and build bindings.
+    std::map<std::string, const Expr*> scalar_subst;   // formal -> actual expr
+    std::map<std::string, std::string> renames;        // locals + renamed arrays
+    std::map<std::string, ArrayBinding> array_bind;    // formal array -> binding
+    std::vector<StmtPtr> pre, post;
+
+    for (size_t i = 0; i < callee->params.size(); ++i) {
+      std::string formal = fold_upper(callee->params[i]);
+      const Expr* actual = actuals[i].get();
+      const sema::SymbolInfo* fsym = sema_->symbol(callee->name, formal);
+      bool formal_is_array = fsym && fsym->is_array();
+
+      if (!formal_is_array) {
+        if (!callee_written.count(formal)) {
+          scalar_subst[formal] = actual;
+        } else {
+          // Copy-in / copy-out temporary.
+          std::string tmp = fresh_name_(formal);
+          pre.push_back(fir::make_assign(fir::make_var(tmp), actual->clone()));
+          if (actual->kind == ExprKind::VarRef ||
+              actual->kind == ExprKind::ArrayRef)
+            post.push_back(fir::make_assign(actual->clone(), fir::make_var(tmp)));
+          renames[formal] = tmp;
+          fir::VarDecl d;
+          d.name = tmp;
+          d.type = fsym ? fsym->type : fir::Type::Real;
+          caller.decls.push_back(std::move(d));
+        }
+        continue;
+      }
+
+      // Array formal.
+      const fir::VarDecl* fdecl = callee->find_decl(formal);
+      if (!fdecl) return false;
+      if (actual->kind == ExprKind::VarRef) {
+        const fir::VarDecl* adecl = caller.find_decl(actual->name);
+        if (!adecl || adecl->dims.empty()) {
+          note("skip site: actual " + actual->name + " not an array");
+          ++report_.sites_skipped;
+          return false;
+        }
+        if (adecl->dims.size() == fdecl->dims.size() &&
+            leading_extents_match(*fdecl, *callee, *adecl, caller)) {
+          ArrayBinding b;
+          b.kind = ArrayBinding::Kind::Rename;
+          b.actual_array = actual->name;
+          array_bind[formal] = std::move(b);
+        } else {
+          if (!make_linearized_binding(formal, *fdecl, *callee, *actual,
+                                       *adecl, caller, array_bind))
+            return false;
+        }
+      } else if (actual->kind == ExprKind::ArrayRef) {
+        const fir::VarDecl* adecl = caller.find_decl(actual->name);
+        if (!adecl || adecl->dims.empty()) return false;
+        size_t k = fdecl->dims.size();
+        size_t n = adecl->dims.size();
+        bool can_map = k <= n && leading_extents_match(*fdecl, *callee, *adecl, caller);
+        if (can_map && k < n) {
+          // The formal's last extent must be known and fit within the
+          // actual's corresponding extent, or the view would wrap across
+          // the actual's higher dimensions.
+          ExprPtr fe = extent_expr(fdecl->dims[k - 1]);
+          ExprPtr ae = extent_expr(adecl->dims[k - 1]);
+          std::optional<int64_t> va, vb;
+          if (fe) va = sema_->fold_int(callee->name, *fe);
+          if (ae) vb = sema_->fold_int(caller.name, *ae);
+          can_map = va && vb && *va <= *vb;
+        }
+        if (can_map) {
+          ArrayBinding b;
+          b.kind = ArrayBinding::Kind::ElementMap;
+          b.actual_array = actual->name;
+          for (const auto& c : actual->args) b.actual_subs.push_back(c->clone());
+          array_bind[formal] = std::move(b);
+        } else {
+          if (!make_linearized_binding(formal, *fdecl, *callee, *actual,
+                                       *adecl, caller, array_bind))
+            return false;
+        }
+      } else {
+        note("skip site: unsupported actual for array formal " + formal);
+        ++report_.sites_skipped;
+        return false;
+      }
+    }
+
+    // Clone body, drop trailing RETURN.
+    std::vector<StmtPtr> body = fir::clone_stmts(callee->body);
+    while (!body.empty() && body.back()->kind == StmtKind::Return)
+      body.pop_back();
+
+    // Freshen callee locals (not params, not commons).
+    std::set<std::string> common_vars;
+    for (const auto& blk : callee->commons)
+      for (const auto& v : blk.vars) common_vars.insert(fold_upper(v));
+    for (const auto& d : callee->decls) {
+      if (callee->is_param(d.name) || common_vars.count(d.name) ||
+          d.is_param_const)
+        continue;
+      std::string nn = fresh_name_(d.name);
+      renames[d.name] = nn;
+      fir::VarDecl nd = d.clone();
+      nd.name = nn;
+      caller.decls.push_back(std::move(nd));
+    }
+    // Undeclared callee locals (implicit scalars) also need freshening.
+    {
+      std::set<std::string> mentioned;
+      fir::walk_stmts(body, [&](const Stmt& st) {
+        fir::walk_exprs(st, [&](const Expr& x) {
+          if (x.kind == ExprKind::VarRef || x.kind == ExprKind::ArrayRef)
+            mentioned.insert(x.name);
+        });
+        if (st.kind == StmtKind::Do) mentioned.insert(st.do_var);
+        return true;
+      });
+      for (const auto& m : mentioned) {
+        if (renames.count(m) || common_vars.count(m) || callee->is_param(m) ||
+            callee->find_decl(m))
+          continue;
+        std::string nn = fresh_name_(m);
+        renames[m] = nn;
+        fir::VarDecl nd;
+        nd.name = nn;
+        nd.type = (m[0] >= 'I' && m[0] <= 'N') ? fir::Type::Integer
+                                               : fir::Type::Real;
+        caller.decls.push_back(std::move(nd));
+      }
+    }
+    // Import PARAMETER constants used by the callee.
+    for (const auto& d : callee->decls) {
+      if (d.is_param_const && !caller.find_decl(d.name))
+        caller.decls.push_back(d.clone());
+    }
+    // Import callee COMMON blocks the caller does not have.
+    for (const auto& blk : callee->commons) {
+      bool have = false;
+      for (const auto& cblk : caller.commons)
+        if (ieq(cblk.name, blk.name)) have = true;
+      if (have) continue;
+      caller.commons.push_back(blk);
+      for (const auto& v : blk.vars) {
+        if (!caller.find_decl(v)) {
+          const fir::VarDecl* d = callee->find_decl(v);
+          if (d) caller.decls.push_back(d->clone());
+        }
+      }
+    }
+
+    rename_identifiers(body, renames);
+    substitute_vars(body, scalar_subst);
+    apply_array_bindings(body, array_bind);
+
+    out = std::move(pre);
+    for (auto& s : body) out.push_back(std::move(s));
+    for (auto& s : post) out.push_back(std::move(s));
+    note("inlined " + callee->name + " into " + caller.name);
+    return true;
+  }
+
+  bool leading_extents_match(const fir::VarDecl& fdecl,
+                             const fir::ProgramUnit& callee,
+                             const fir::VarDecl& adecl,
+                             const fir::ProgramUnit& caller) {
+    size_t k = fdecl.dims.size();
+    // Strides must agree for dims 1..k-1; the k-th dimension of the formal
+    // must not extend past the actual (checked when both fold).
+    for (size_t d = 0; d + 1 < k; ++d) {
+      if (!extents_match(fdecl.dims[d], *sema_, callee.name, adecl.dims[d],
+                         caller.name))
+        return false;
+    }
+    return true;
+  }
+
+  bool make_linearized_binding(const std::string& formal,
+                               const fir::VarDecl& fdecl,
+                               const fir::ProgramUnit& callee, const Expr& actual,
+                               const fir::VarDecl& adecl,
+                               fir::ProgramUnit& caller,
+                               std::map<std::string, ArrayBinding>& out) {
+    (void)callee;
+    ArrayBinding b;
+    b.kind = ArrayBinding::Kind::Linearized;
+    b.actual_array = actual.name;
+    if (actual.kind == ExprKind::ArrayRef)
+      for (const auto& c : actual.args) b.actual_subs.push_back(c->clone());
+    for (const auto& d : fdecl.dims) b.formal_extents.push_back(extent_expr(d));
+    for (const auto& d : adecl.dims) b.actual_extents.push_back(extent_expr(d));
+    // Flatten every reference to the actual array in the whole caller and
+    // degrade its declaration to assumed-size 1-D ("no explicit shape").
+    linearize_caller_array(caller, actual.name, b.actual_extents);
+    out[formal] = std::move(b);
+    return true;
+  }
+
+  // Rewrite all caller references A(e1..en) -> A(flat) and change the decl.
+  // `array` is taken by value: the rewrite below may destroy the expression
+  // node the caller's name was borrowed from.
+  void linearize_caller_array(fir::ProgramUnit& caller, const std::string array,
+                              const std::vector<ExprPtr>& extents) {
+    fir::VarDecl* decl = caller.find_decl(array);
+    if (!decl || decl->dims.size() <= 1) return;  // already linear
+    size_t rank = decl->dims.size();
+    rewrite_exprs(caller.body, [&](const Expr& e) -> ExprPtr {
+      if (e.kind != ExprKind::ArrayRef || e.name != array) return nullptr;
+      if (e.args.size() != rank) return nullptr;
+      std::vector<ExprPtr> subs;
+      for (const auto& a : e.args) {
+        if (!a || a->kind == ExprKind::Section) return nullptr;
+        subs.push_back(a->clone());
+      }
+      ExprPtr flat = linear_index(subs, extents);
+      if (!flat) return nullptr;
+      std::vector<ExprPtr> one;
+      one.push_back(std::move(flat));
+      return fir::make_array_ref(array, std::move(one));
+    });
+    // Degrade the declaration to one dimension. Dummy arrays keep assumed
+    // size (their storage is the caller's); COMMON/local arrays own storage,
+    // so fold the product of extents into the flat size when possible —
+    // either way the multi-dimensional shape information is gone, which is
+    // the point of the pathology (paper §II.A.2).
+    int64_t product = 1;
+    bool all_const = true;
+    for (const auto& e : extents) {
+      std::optional<int64_t> v;
+      if (e) v = sema_->fold_int(caller.name, *e);
+      if (!v) {
+        all_const = false;
+        break;
+      }
+      product *= *v;
+    }
+    decl->dims.clear();
+    fir::Dim flat;
+    if (all_const) flat.hi = fir::make_int(product);
+    decl->dims.push_back(std::move(flat));
+  }
+
+  void apply_array_bindings(std::vector<StmtPtr>& body,
+                            const std::map<std::string, ArrayBinding>& binds) {
+    if (binds.empty()) return;
+    rewrite_exprs(body, [&](const Expr& e) -> ExprPtr {
+      if (e.kind != ExprKind::ArrayRef && e.kind != ExprKind::VarRef)
+        return nullptr;
+      auto it = binds.find(e.name);
+      if (it == binds.end()) return nullptr;
+      const ArrayBinding& b = it->second;
+      switch (b.kind) {
+        case ArrayBinding::Kind::Rename: {
+          ExprPtr r = e.clone();
+          r->name = b.actual_array;
+          return r;
+        }
+        case ArrayBinding::Kind::ElementMap: {
+          if (e.kind != ExprKind::ArrayRef) return nullptr;  // whole-ref: keep
+          // F(i1..ik) -> A(i1 + c1 - 1, ..., ik + ck - 1, c_{k+1}, ..., cn)
+          std::vector<ExprPtr> subs;
+          size_t k = e.args.size();
+          for (size_t d = 0; d < b.actual_subs.size(); ++d) {
+            if (d < k) {
+              if (b.actual_subs[d]->is_int_lit(1)) {
+                subs.push_back(e.args[d]->clone());  // i + 1 - 1 == i
+              } else {
+                subs.push_back(fir::make_binary(
+                    fir::BinOp::Sub,
+                    fir::make_binary(fir::BinOp::Add, e.args[d]->clone(),
+                                     b.actual_subs[d]->clone()),
+                    fir::make_int(1)));
+              }
+            } else {
+              subs.push_back(b.actual_subs[d]->clone());
+            }
+          }
+          return fir::make_array_ref(b.actual_array, std::move(subs));
+        }
+        case ArrayBinding::Kind::Linearized: {
+          if (e.kind != ExprKind::ArrayRef) return nullptr;
+          std::vector<ExprPtr> fsubs;
+          for (const auto& a : e.args) {
+            if (!a || a->kind == ExprKind::Section) return nullptr;
+            fsubs.push_back(a->clone());
+          }
+          ExprPtr flat = linear_index(fsubs, b.formal_extents);
+          if (!flat) {
+            // 1-D assumed-size formal: the subscript itself is the offset.
+            flat = fsubs[0]->clone();
+          }
+          // Base offset of the actual element within the caller array.
+          if (!b.actual_subs.empty()) {
+            std::vector<ExprPtr> asubs;
+            for (const auto& c : b.actual_subs) asubs.push_back(c->clone());
+            ExprPtr base = linear_index(asubs, b.actual_extents);
+            if (base) {
+              flat = fir::make_binary(
+                  fir::BinOp::Sub,
+                  fir::make_binary(fir::BinOp::Add, std::move(flat),
+                                   std::move(base)),
+                  fir::make_int(1));
+            }
+          }
+          std::vector<ExprPtr> one;
+          one.push_back(std::move(flat));
+          return fir::make_array_ref(b.actual_array, std::move(one));
+        }
+      }
+      return nullptr;
+    });
+  }
+};
+
+}  // namespace
+
+int eliminate_dead_units(fir::Program& prog) {
+  std::set<std::string> reachable;
+  std::vector<const fir::ProgramUnit*> work;
+  for (const auto& u : prog.units)
+    if (u->kind == fir::UnitKind::Program) {
+      reachable.insert(u->name);
+      work.push_back(u.get());
+    }
+  while (!work.empty()) {
+    const fir::ProgramUnit* u = work.back();
+    work.pop_back();
+    fir::walk_stmts(u->body, [&](const fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Call && !reachable.count(s.name)) {
+        reachable.insert(s.name);
+        if (const fir::ProgramUnit* c = prog.find_unit(s.name))
+          work.push_back(c);
+      }
+      // Restored calls inside tagged regions count too.
+      return true;
+    });
+  }
+  int removed = 0;
+  for (auto it = prog.units.begin(); it != prog.units.end();) {
+    if ((*it)->kind == fir::UnitKind::Subroutine && !reachable.count((*it)->name)) {
+      it = prog.units.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+ConvInlineReport inline_conventional(fir::Program& prog,
+                                     const ConvInlineOptions& opts,
+                                     DiagnosticEngine& diags) {
+  ConvInlineReport report;
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    Inliner inl(prog, opts, diags, report);
+    if (!inl.run_pass()) break;
+  }
+  if (opts.eliminate_dead_units) report.units_removed = eliminate_dead_units(prog);
+  return report;
+}
+
+}  // namespace ap::xform

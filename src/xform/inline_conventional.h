@@ -1,0 +1,66 @@
+// Conventional procedure inlining, reproducing the Polaris strategy the
+// paper evaluates (§II):
+//
+//   * Heuristics — a call site is inlined only when it sits inside a DO
+//     loop; the callee must have source available (not an external-library
+//     routine), be non-recursive, contain no I/O or STOP, contain at most
+//     `max_stmts` statements (Polaris default 150), and make at most
+//     `max_callee_calls` further calls (0 by default: compositional
+//     routines like FSMP are excluded, paper §II.B.1).
+//
+//   * Dummy-argument binding —
+//       - read-only scalar formals are forward-substituted by the actual
+//         expression. When the actual is an indirect array element like
+//         T(IX(7)), the substitution creates subscripted subscripts that
+//         defeat dependence analysis (paper §II.A.1, Figures 2-3);
+//       - written scalar formals get a fresh temporary with copy-in/out;
+//       - array formals whose annotated shape matches the actual's leading
+//         extents map dimension-by-dimension;
+//       - on rank/extent mismatch the caller's array is LINEARIZED: its
+//         declaration degrades to a 1-D assumed-size array and every
+//         reference in the whole caller is rewritten to the flattened
+//         subscript, losing explicit shape information exactly as Polaris
+//         does (paper §II.A.2, Figures 4-5). With symbolic extents the
+//         flattened subscripts are non-affine and every loop touching the
+//         array — including loops far from the call site — loses
+//         parallelism.
+//
+//   * Cleanup — callee locals are renamed fresh, callee COMMON blocks are
+//     imported, and subroutines left without any caller are removed
+//     (dead-unit elimination), which is what turns "the copy lost its
+//     parallelism" into a measurable #par-loss in Table II.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fir/ast.h"
+#include "support/diagnostics.h"
+
+namespace ap::xform {
+
+struct ConvInlineOptions {
+  size_t max_stmts = 150;
+  int max_callee_calls = 0;
+  bool require_in_loop = true;
+  bool eliminate_dead_units = true;
+  int max_passes = 3;  // inlined bodies may expose further call sites
+};
+
+struct ConvInlineReport {
+  int sites_inlined = 0;
+  int sites_skipped = 0;
+  int units_removed = 0;
+  int64_t fresh_counter = 0;  // fresh-name counter shared across passes
+  std::vector<std::string> notes;  // one line per decision, for tests/logs
+};
+
+ConvInlineReport inline_conventional(fir::Program& prog,
+                                     const ConvInlineOptions& opts,
+                                     DiagnosticEngine& diags);
+
+// Remove subroutines unreachable from any PROGRAM unit. Exposed separately
+// for tests. Returns the number of removed units.
+int eliminate_dead_units(fir::Program& prog);
+
+}  // namespace ap::xform

@@ -1,0 +1,533 @@
+#include "xform/normalize.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "xform/subst.h"
+
+namespace ap::xform {
+
+// ---------------------------------------------------------------------------
+// Forward propagation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct EnvEntry {
+  fir::ExprPtr value;
+  std::set<std::string> deps;  // names (vars + array bases) the value reads
+};
+
+using Env = std::map<std::string, EnvEntry>;
+
+Env clone_env(const Env& env) {
+  Env out;
+  for (const auto& [k, v] : env)
+    out[k] = EnvEntry{v.value->clone(), v.deps};
+  return out;
+}
+
+constexpr size_t kMaxSubstNodes = 16;
+
+size_t expr_size(const fir::Expr& e) {
+  size_t n = 1;
+  for (const auto& a : e.args)
+    if (a) n += expr_size(*a);
+  return n;
+}
+
+// Substitutable values: pure arithmetic over variables, array elements and
+// intrinsics. unknown/unique/sections/strings are never propagated.
+bool substitutable(const fir::Expr& e) {
+  switch (e.kind) {
+    case fir::ExprKind::Unknown:
+    case fir::ExprKind::Unique:
+    case fir::ExprKind::Section:
+    case fir::ExprKind::StrLit:
+      return false;
+    default:
+      break;
+  }
+  for (const auto& a : e.args)
+    if (a && !substitutable(*a)) return false;
+  return true;
+}
+
+void invalidate(Env& env, const std::string& written) {
+  env.erase(written);
+  for (auto it = env.begin(); it != env.end();) {
+    if (it->second.deps.count(written))
+      it = env.erase(it);
+    else
+      ++it;
+  }
+}
+
+void invalidate_all(Env& env, const std::set<std::string>& written) {
+  for (const auto& w : written) invalidate(env, w);
+}
+
+fir::ExprPtr apply_env(fir::ExprPtr e, const Env& env) {
+  return rewrite_expr_tree(std::move(e), [&](const fir::Expr& x) -> fir::ExprPtr {
+    if (x.kind != fir::ExprKind::VarRef) return nullptr;
+    auto it = env.find(x.name);
+    if (it == env.end()) return nullptr;
+    return it->second.value->clone();
+  });
+}
+
+class ForwardPropagator {
+ public:
+  void block(std::vector<fir::StmtPtr>& body, Env& env) {
+    for (auto& sp : body) {
+      if (!sp) continue;
+      stmt(*sp, env);
+    }
+  }
+
+ private:
+  void rewrite_slot(fir::ExprPtr& slot, const Env& env) {
+    if (slot) slot = apply_env(std::move(slot), env);
+  }
+
+  void stmt(fir::Stmt& s, Env& env) {
+    using fir::StmtKind;
+    switch (s.kind) {
+      case StmtKind::Assign:
+      case StmtKind::TupleAssign: {
+        rewrite_slot(s.rhs, env);
+        // Subscripts of write targets are reads.
+        for (auto& l : s.lhs) {
+          if (!l) continue;
+          for (auto& sub : l->args) {
+            if (sub) sub = apply_env(std::move(sub), env);
+          }
+        }
+        // Record/invalidate targets.
+        for (const auto& l : s.lhs) {
+          if (!l) continue;
+          if (l->kind == fir::ExprKind::VarRef) {
+            invalidate(env, l->name);
+            if (s.kind == StmtKind::Assign && s.rhs && substitutable(*s.rhs) &&
+                expr_size(*s.rhs) <= kMaxSubstNodes) {
+              auto deps = referenced_names(*s.rhs);
+              if (!deps.count(l->name))
+                env[l->name] = EnvEntry{s.rhs->clone(), std::move(deps)};
+            }
+          } else {
+            invalidate(env, l->name);  // array write
+          }
+        }
+        return;
+      }
+      case StmtKind::Do: {
+        rewrite_slot(s.do_lo, env);
+        rewrite_slot(s.do_hi, env);
+        rewrite_slot(s.do_step, env);
+        auto written = written_names(s.body);
+        written.insert(s.do_var);
+        invalidate_all(env, written);
+        Env inner = clone_env(env);  // entries surviving the back-edge
+        block(s.body, inner);
+        // After the loop nothing new can be trusted (zero-trip possibility);
+        // env already excludes everything the body writes.
+        return;
+      }
+      case StmtKind::If: {
+        rewrite_slot(s.cond, env);
+        Env t = clone_env(env), e = clone_env(env);
+        block(s.body, t);
+        block(s.else_body, e);
+        auto written = written_names(s.body);
+        auto ew = written_names(s.else_body);
+        written.insert(ew.begin(), ew.end());
+        invalidate_all(env, written);
+        return;
+      }
+      case StmtKind::Call: {
+        for (auto& a : s.args) rewrite_slot(a, env);
+        env.clear();  // callee may write anything (commons, arguments)
+        return;
+      }
+      case StmtKind::Write:
+        for (auto& a : s.args) rewrite_slot(a, env);
+        return;
+      case StmtKind::TaggedRegion: {
+        block(s.body, env);
+        return;
+      }
+      case StmtKind::Stop:
+      case StmtKind::Return:
+      case StmtKind::Continue:
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+void forward_propagate(std::vector<fir::StmtPtr>& body) {
+  Env env;
+  ForwardPropagator fp;
+  fp.block(body, env);
+}
+
+// ---------------------------------------------------------------------------
+// Induction substitution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct IncrementSite {
+  fir::Stmt* stmt = nullptr;          // the S = S + c assignment
+  int64_t step = 0;
+  std::vector<fir::Stmt*> loop_path;  // loops strictly inside L enclosing it
+  std::vector<fir::Stmt*> container;  // innermost body (for position checks)
+  size_t index_in_container = 0;
+  bool conditional = false;
+  bool in_tagged_region = false;
+};
+
+// Matches S = S + <int literal> (or S - literal / literal + S).
+std::optional<std::pair<std::string, int64_t>> match_increment(const fir::Stmt& s) {
+  if (s.kind != fir::StmtKind::Assign || s.lhs.size() != 1 || !s.lhs[0] || !s.rhs)
+    return std::nullopt;
+  const fir::Expr& l = *s.lhs[0];
+  if (l.kind != fir::ExprKind::VarRef) return std::nullopt;
+  const fir::Expr& r = *s.rhs;
+  if (r.kind != fir::ExprKind::Binary) return std::nullopt;
+  if (r.bin_op != fir::BinOp::Add && r.bin_op != fir::BinOp::Sub)
+    return std::nullopt;
+  const fir::Expr* a = r.args[0].get();
+  const fir::Expr* b = r.args[1].get();
+  auto lit = [](const fir::Expr* e) -> std::optional<int64_t> {
+    if (!e) return std::nullopt;
+    if (e->kind == fir::ExprKind::IntLit) return e->int_val;
+    if (e->kind == fir::ExprKind::Unary && e->un_op == fir::UnOp::Neg &&
+        e->args[0] && e->args[0]->kind == fir::ExprKind::IntLit)
+      return -e->args[0]->int_val;
+    return std::nullopt;
+  };
+  if (a && a->kind == fir::ExprKind::VarRef && a->name == l.name) {
+    if (auto c = lit(b))
+      return std::make_pair(l.name, r.bin_op == fir::BinOp::Sub ? -*c : *c);
+  }
+  if (r.bin_op == fir::BinOp::Add && b && b->kind == fir::ExprKind::VarRef &&
+      b->name == l.name) {
+    if (auto c = lit(a)) return std::make_pair(l.name, *c);
+  }
+  return std::nullopt;
+}
+
+// Count of writes to `name` in a body (any kind).
+int count_writes(const std::vector<fir::StmtPtr>& body, const std::string& name) {
+  int n = 0;
+  fir::walk_stmts(body, [&](const fir::Stmt& s) {
+    if (s.kind == fir::StmtKind::Assign || s.kind == fir::StmtKind::TupleAssign) {
+      for (const auto& l : s.lhs)
+        if (l && l->name == name) ++n;
+    }
+    if (s.kind == fir::StmtKind::Do && s.do_var == name) ++n;
+    return true;
+  });
+  return n;
+}
+
+fir::ExprPtr trip_count_expr(const fir::Stmt& loop) {
+  // (hi - lo + 1), step 1 assumed (checked by caller).
+  return fir::make_binary(
+      fir::BinOp::Add,
+      fir::make_binary(fir::BinOp::Sub, loop.do_hi->clone(), loop.do_lo->clone()),
+      fir::make_int(1));
+}
+
+class InductionPass {
+ public:
+  explicit InductionPass(const InductionOptions& opts) : opts_(opts) {}
+
+  int run(std::vector<fir::StmtPtr>& body) {
+    // Process loops outermost-first: find DO statements at any depth and
+    // attempt the transformation on each.
+    int total = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!body[i]) continue;
+      fir::Stmt& s = *body[i];
+      if (s.kind == fir::StmtKind::Do) {
+        total += transform_loop(body, i);
+      }
+      total += run(s.body);
+      total += run(s.else_body);
+    }
+    return total;
+  }
+
+ private:
+  InductionOptions opts_;
+
+  // Locate the unique unconditional `S = S + c` increment sites in `loop`.
+  void find_increments(fir::Stmt& loop, std::vector<IncrementSite>& out) {
+    struct Walk {
+      std::vector<fir::Stmt*> loop_path;
+      bool conditional = false;
+      bool tagged = false;
+      std::vector<IncrementSite>* out;
+      void body(std::vector<fir::StmtPtr>& stmts) {
+        for (size_t i = 0; i < stmts.size(); ++i) {
+          fir::Stmt& s = *stmts[i];
+          if (auto m = match_increment(s)) {
+            IncrementSite site;
+            site.stmt = &s;
+            site.step = m->second;
+            site.loop_path = loop_path;
+            site.index_in_container = i;
+            site.conditional = conditional;
+            site.in_tagged_region = tagged;
+            out->push_back(site);
+          }
+          if (s.kind == fir::StmtKind::Do) {
+            loop_path.push_back(&s);
+            body(s.body);
+            loop_path.pop_back();
+          } else if (s.kind == fir::StmtKind::If) {
+            bool saved = conditional;
+            conditional = true;
+            body(s.body);
+            body(s.else_body);
+            conditional = saved;
+          } else if (s.kind == fir::StmtKind::TaggedRegion) {
+            bool saved = tagged;
+            tagged = true;
+            body(s.body);
+            tagged = saved;
+          }
+        }
+      }
+    };
+    Walk w;
+    w.out = &out;
+    w.body(loop.body);
+  }
+
+  int transform_loop(std::vector<fir::StmtPtr>& container, size_t loop_index) {
+    fir::Stmt& loop = *container[loop_index];
+    std::vector<IncrementSite> sites;
+    find_increments(loop, sites);
+
+    int transformed = 0;
+    for (const auto& site : sites) {
+      const std::string name = site.stmt->lhs[0]->name;
+      if (site.conditional) continue;
+      if (site.in_tagged_region && !opts_.transform_inside_tagged_regions)
+        continue;
+      if (name == loop.do_var) continue;
+      if (count_writes(loop.body, name) != 1) continue;
+      // Nothing to substitute when the variable is never read outside its
+      // own increment: the bare increment is already a recognizable
+      // reduction (this also makes the pass idempotent).
+      {
+        int reads = 0;
+        std::function<void(const std::vector<fir::StmtPtr>&)> count_reads =
+            [&](const std::vector<fir::StmtPtr>& stmts) {
+              for (const auto& sp : stmts) {
+                if (!sp) continue;
+                if (sp.get() == site.stmt) continue;
+                fir::walk_exprs(*sp, [&](const fir::Expr& x) {
+                  if (x.kind == fir::ExprKind::VarRef && x.name == name)
+                    ++reads;
+                });
+                count_reads(sp->body);
+                count_reads(sp->else_body);
+              }
+            };
+        count_reads(loop.body);
+        if (reads == 0) continue;
+      }
+
+      // Enclosing loops (path) need step 1 and bounds that do not depend on
+      // anything written in `loop` (including the indices themselves).
+      auto written = written_names(loop.body);
+      written.insert(loop.do_var);
+      bool ok = true;
+      for (const fir::Stmt* pl : site.loop_path) {
+        if (pl->do_step || !pl->do_lo || !pl->do_hi) {
+          ok = false;
+          break;
+        }
+        for (const fir::Expr* b : {pl->do_lo.get(), pl->do_hi.get()}) {
+          for (const auto& n : referenced_names(*b))
+            if (written.count(n)) ok = false;
+        }
+      }
+      if (loop.do_step || !loop.do_lo || !loop.do_hi) ok = false;
+      if (!ok) continue;
+
+      // Closed form for the number of completed increments at the point
+      // just after the increment in iteration (I, j1..jk):
+      //   (I - lo_I) * T1*...*Tk + Σ_m (j_m - lo_m) * Π_{n>m} T_n + 1
+      auto count = completed_increments(loop, site);
+      if (!count) continue;
+
+      // Snapshot the pre-loop value.
+      std::string base = "APAR_" + name + "_BASE";
+      auto snapshot = fir::make_assign(fir::make_var(base), fir::make_var(name));
+
+      // Replacement for reads after the increment: base + step*count.
+      fir::ExprPtr repl = fir::make_binary(
+          fir::BinOp::Add, fir::make_var(base),
+          fir::make_binary(fir::BinOp::Mul, fir::make_int(site.step),
+                           (*count)->clone()));
+
+      // Rewrite reads of `name` everywhere in the loop except the increment
+      // statement itself. The restriction "uses after the increment in the
+      // same innermost body" is enforced here: any read elsewhere aborts.
+      if (!rewrite_uses(loop, site, name, *repl)) continue;
+
+      container.insert(container.begin() + static_cast<long>(loop_index),
+                       std::move(snapshot));
+      ++transformed;
+      // Indices shifted; the loop reference is still valid (vector of
+      // unique_ptr moves pointers, not pointees), but restart to stay safe.
+      break;
+    }
+    // The increment statement itself stays: with its reads rewritten away
+    // from every other site, the scalar now matches the reduction pattern
+    // and the parallelizer emits REDUCTION(+:S), preserving the final value.
+    return transformed;
+  }
+
+  // Build the completed-increments expression; nullopt if a trip count is
+  // not expressible.
+  std::optional<fir::ExprPtr> completed_increments(const fir::Stmt& loop,
+                                                   const IncrementSite& site) {
+    // Product of trip counts of the loops inside the path.
+    auto product_from = [&](size_t from) -> fir::ExprPtr {
+      fir::ExprPtr p;
+      for (size_t n = from; n < site.loop_path.size(); ++n) {
+        fir::ExprPtr t = trip_count_expr(*site.loop_path[n]);
+        p = p ? fir::make_binary(fir::BinOp::Mul, std::move(p), std::move(t))
+              : std::move(t);
+      }
+      return p ? std::move(p) : fir::make_int(1);
+    };
+
+    // (I - lo_I) * T1..Tk
+    fir::ExprPtr total = fir::make_binary(
+        fir::BinOp::Mul,
+        fir::make_binary(fir::BinOp::Sub, fir::make_var(loop.do_var),
+                         loop.do_lo->clone()),
+        product_from(0));
+    for (size_t m = 0; m < site.loop_path.size(); ++m) {
+      const fir::Stmt* lm = site.loop_path[m];
+      fir::ExprPtr term = fir::make_binary(
+          fir::BinOp::Mul,
+          fir::make_binary(fir::BinOp::Sub, fir::make_var(lm->do_var),
+                           lm->do_lo->clone()),
+          product_from(m + 1));
+      total = fir::make_binary(fir::BinOp::Add, std::move(total), std::move(term));
+    }
+    total = fir::make_binary(fir::BinOp::Add, std::move(total), fir::make_int(1));
+    return total;
+  }
+
+  // Rewrite all reads of `name` in the loop body to `repl`, verifying they
+  // sit after the increment in the same innermost body. Returns false (and
+  // leaves the AST untouched) when a read violates the restriction.
+  bool rewrite_uses(fir::Stmt& loop, const IncrementSite& site,
+                    const std::string& name, const fir::Expr& repl) {
+    if (!validate_uses(loop.body, site, name, 0)) return false;
+    replace_reads(loop.body, site, name, repl);
+    return true;
+  }
+
+  // Depth: position along site.loop_path. Returns true if all reads are
+  // after the increment within the innermost body.
+  bool validate_uses(std::vector<fir::StmtPtr>& stmts, const IncrementSite& site,
+                     const std::string& name, size_t depth) {
+    bool innermost = depth == site.loop_path.size();
+    bool seen = false;
+    for (auto& sp : stmts) {
+      fir::Stmt& s = *sp;
+      if (&s == site.stmt) {
+        seen = true;
+        continue;
+      }
+      bool reads = false;
+      fir::walk_exprs(s, [&](const fir::Expr& x) {
+        if (x.kind == fir::ExprKind::VarRef && x.name == name) reads = true;
+      });
+      if (s.kind == fir::StmtKind::Do && depth < site.loop_path.size() &&
+          &s == site.loop_path[depth]) {
+        if (reads) return false;  // bounds read the induction variable
+        if (!validate_uses(s.body, site, name, depth + 1)) return false;
+        continue;
+      }
+      if (reads) {
+        if (!innermost || !seen) return false;
+        continue;
+      }
+      // Reads nested deeper (inside IFs after the increment) are fine when
+      // we are in the innermost body and past the increment; otherwise any
+      // nested read fails.
+      bool nested_reads = false;
+      fir::walk_stmts(s.body, [&](const fir::Stmt& n) {
+        fir::walk_exprs(n, [&](const fir::Expr& x) {
+          if (x.kind == fir::ExprKind::VarRef && x.name == name)
+            nested_reads = true;
+        });
+        return true;
+      });
+      fir::walk_stmts(s.else_body, [&](const fir::Stmt& n) {
+        fir::walk_exprs(n, [&](const fir::Expr& x) {
+          if (x.kind == fir::ExprKind::VarRef && x.name == name)
+            nested_reads = true;
+        });
+        return true;
+      });
+      if (nested_reads && (!innermost || !seen)) return false;
+    }
+    return true;
+  }
+
+  void replace_reads(std::vector<fir::StmtPtr>& stmts, const IncrementSite& site,
+                     const std::string& name, const fir::Expr& repl) {
+    for (auto& sp : stmts) {
+      fir::Stmt& s = *sp;
+      if (&s == site.stmt) continue;  // keep the increment intact
+      auto rewrite = [&](fir::ExprPtr& slot) {
+        slot = rewrite_expr_tree(std::move(slot),
+                                 [&](const fir::Expr& x) -> fir::ExprPtr {
+                                   if (x.kind == fir::ExprKind::VarRef &&
+                                       x.name == name)
+                                     return repl.clone();
+                                   return nullptr;
+                                 });
+      };
+      for (auto& l : s.lhs) {
+        if (!l) continue;
+        for (auto& sub : l->args) {
+          if (sub) rewrite(sub);
+        }
+      }
+      if (s.rhs) rewrite(s.rhs);
+      if (s.cond) rewrite(s.cond);
+      if (s.do_lo) rewrite(s.do_lo);
+      if (s.do_hi) rewrite(s.do_hi);
+      if (s.do_step) rewrite(s.do_step);
+      for (auto& a : s.args)
+        if (a) rewrite(a);
+      replace_reads(s.body, site, name, repl);
+      replace_reads(s.else_body, site, name, repl);
+    }
+  }
+};
+
+}  // namespace
+
+int substitute_inductions(std::vector<fir::StmtPtr>& body,
+                          const InductionOptions& opts) {
+  InductionPass pass(opts);
+  return pass.run(body);
+}
+
+}  // namespace ap::xform

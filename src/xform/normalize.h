@@ -1,0 +1,44 @@
+// Normalization passes the Polaris substitute applies before dependence
+// analysis (and which the reverse inliner therefore tolerates, paper
+// §III.C.3):
+//
+//   * forward propagation — block-local forward substitution of scalar
+//     assignments (covering constant propagation as a special case). This
+//     is what turns `ID = IDBEGS(ISS)+1+K; ... A(ID)` into an analyzable
+//     subscript `A(IDBEGS(ISS)+1+K)` — and, after conventional inlining of
+//     PCINIT-style callees, what creates the subscripted-subscript
+//     pathology `T(IX(7)+I)` of paper §II.A.1.
+//
+//   * induction-variable substitution — rewrites reads of the canonical
+//     `S = S + c` pattern into closed forms over the loop indices so the
+//     incremented scalar degenerates into a recognizable reduction. Scope
+//     (documented restriction, a subset of Polaris' full algorithm): one
+//     unconditional increment with a literal step, uses located after the
+//     increment in the same innermost body, enclosing trip counts invariant
+//     in the outer loop.
+#pragma once
+
+#include <vector>
+
+#include "fir/ast.h"
+
+namespace ap::xform {
+
+// Forward-propagate scalar assignments within `body` (recursing into nested
+// statements with sound invalidation on redefinition, array writes, calls,
+// branches and back-edges). Mutates the AST.
+void forward_propagate(std::vector<fir::StmtPtr>& body);
+
+struct InductionOptions {
+  // When false, increments located inside TaggedRegions are left alone so
+  // the reverse-inlining matcher sees the statement set it expects.
+  bool transform_inside_tagged_regions = false;
+};
+
+// Apply induction-variable substitution to every DO loop in `body`
+// (outermost first). Inserts base-snapshot assignments before transformed
+// loops; returns the number of substituted induction variables.
+int substitute_inductions(std::vector<fir::StmtPtr>& body,
+                          const InductionOptions& opts = {});
+
+}  // namespace ap::xform

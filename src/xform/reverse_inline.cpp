@@ -1,0 +1,501 @@
+#include "xform/reverse_inline.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "support/text.h"
+#include "xform/subst.h"
+
+namespace ap::xform {
+
+namespace {
+
+using fir::Expr;
+using fir::ExprKind;
+using fir::ExprPtr;
+using fir::Stmt;
+using fir::StmtKind;
+using fir::StmtPtr;
+
+// Matching state: unification bindings plus the tolerance environments.
+struct Binder {
+  const fir::ProgramUnit* tmpl = nullptr;
+  const Stmt* region = nullptr;  // for arg hints
+
+  std::map<std::string, ExprPtr> scalar_bindings;  // formal -> region expr
+  std::map<std::string, std::string> dovar_map;    // template var -> region var
+  std::map<std::string, ExprPtr> env;  // global -> last matched assigned value
+
+  bool is_scalar_formal(const std::string& name) const {
+    if (!tmpl->is_param(name)) return false;
+    const fir::VarDecl* d = tmpl->find_decl(name);
+    return !d || d->dims.empty();
+  }
+  bool is_array_formal(const std::string& name) const {
+    if (!tmpl->is_param(name)) return false;
+    const fir::VarDecl* d = tmpl->find_decl(name);
+    return d && !d->dims.empty();
+  }
+  const Expr* hint_for(const std::string& formal) const {
+    for (size_t i = 0; i < tmpl->params.size(); ++i)
+      if (ieq(tmpl->params[i], formal)) return region->arg_hints[i].get();
+    return nullptr;
+  }
+
+  Binder snapshot() const {
+    Binder b;
+    b.tmpl = tmpl;
+    b.region = region;
+    for (const auto& [k, v] : scalar_bindings)
+      b.scalar_bindings[k] = v->clone();
+    b.dovar_map = dovar_map;
+    for (const auto& [k, v] : env) b.env[k] = v->clone();
+    return b;
+  }
+};
+
+class Matcher {
+ public:
+  Matcher(const fir::ProgramUnit& tmpl, const Stmt& region,
+          const ReverseInlineOptions& opts)
+      : tmpl_(tmpl), region_(region), opts_(opts) {}
+
+  // Attempt the full match; fills `binder` on success.
+  bool run(Binder& binder) {
+    binder.tmpl = &tmpl_;
+    binder.region = &region_;
+    return match_block(tmpl_.body, region_.body, binder);
+  }
+
+ private:
+  const fir::ProgramUnit& tmpl_;
+  const Stmt& region_;
+  const ReverseInlineOptions& opts_;
+
+  // ---- expressions --------------------------------------------------------
+
+  bool bind_scalar(const std::string& formal, const Expr& r, Binder& b) {
+    auto it = b.scalar_bindings.find(formal);
+    if (it == b.scalar_bindings.end()) {
+      b.scalar_bindings[formal] = r.clone();
+      return true;
+    }
+    if (fir::expr_equal(*it->second, r)) return true;
+    // Constant propagation leniency: a literal occurrence is compatible
+    // with a non-literal binding (and upgrades a literal one).
+    if (r.kind == ExprKind::IntLit || r.kind == ExprKind::RealLit) return true;
+    if (it->second->kind == ExprKind::IntLit ||
+        it->second->kind == ExprKind::RealLit) {
+      b.scalar_bindings[formal] = r.clone();
+      return true;
+    }
+    return false;
+  }
+
+  // Match template expression t against region expression r.
+  bool match_expr(const Expr& t, const Expr& r, Binder& b) {
+    // Scalar formals unify with anything (consistently).
+    if (t.kind == ExprKind::VarRef && b.is_scalar_formal(t.name))
+      return bind_scalar(t.name, r, b);
+
+    // DO-variable renaming.
+    if (t.kind == ExprKind::VarRef) {
+      auto it = b.dovar_map.find(t.name);
+      if (it != b.dovar_map.end())
+        return r.kind == ExprKind::VarRef && r.name == it->second;
+    }
+
+    // Array formals: verified against the recorded hint mapping.
+    if ((t.kind == ExprKind::ArrayRef || t.kind == ExprKind::VarRef) &&
+        b.is_array_formal(t.name))
+      return match_mapped_array(t, r, b);
+
+    // Forward-substitution tolerance: a template global read may have been
+    // replaced by its (already matched) defining value in the region.
+    if (t.kind == ExprKind::VarRef && r.kind != ExprKind::VarRef) {
+      if (opts_.tolerate_forward_subst) {
+        auto it = b.env.find(t.name);
+        if (it != b.env.end() && match_region_value(*it->second, r, b))
+          return true;
+      }
+      // Constant-propagation tolerance (paper §III.C.3): the normalizer
+      // replaces a variable by a literal only when they are provably equal
+      // at that point, so a literal in a template-variable position is
+      // accepted.
+      if (opts_.tolerate_literals &&
+          (r.kind == ExprKind::IntLit || r.kind == ExprKind::RealLit ||
+           r.kind == ExprKind::LogicalLit))
+        return true;
+      return false;
+    }
+
+    if (t.kind != r.kind) return false;
+    switch (t.kind) {
+      case ExprKind::IntLit: return t.int_val == r.int_val;
+      case ExprKind::RealLit: return t.real_val == r.real_val;
+      case ExprKind::LogicalLit: return t.logical_val == r.logical_val;
+      case ExprKind::StrLit: return t.str_val == r.str_val;
+      case ExprKind::VarRef: return t.name == r.name;
+      case ExprKind::Unary:
+        return t.un_op == r.un_op && match_expr(*t.args[0], *r.args[0], b);
+      case ExprKind::Binary: {
+        if (t.bin_op != r.bin_op) return false;
+        Binder save = b.snapshot();
+        if (match_expr(*t.args[0], *r.args[0], b) &&
+            match_expr(*t.args[1], *r.args[1], b))
+          return true;
+        b = save.snapshot();
+        if (fir::binop_commutative(t.bin_op))
+          return match_expr(*t.args[0], *r.args[1], b) &&
+                 match_expr(*t.args[1], *r.args[0], b);
+        return false;
+      }
+      case ExprKind::ArrayRef:
+      case ExprKind::Intrinsic:
+        if (t.name != r.name || t.args.size() != r.args.size()) return false;
+        for (size_t i = 0; i < t.args.size(); ++i)
+          if (!match_optional(t.args[i].get(), r.args[i].get(), b)) return false;
+        return true;
+      case ExprKind::Unknown:
+      case ExprKind::Unique:
+      case ExprKind::Section:
+        if (t.args.size() != r.args.size()) return false;
+        for (size_t i = 0; i < t.args.size(); ++i)
+          if (!match_optional(t.args[i].get(), r.args[i].get(), b)) return false;
+        return true;
+    }
+    return false;
+  }
+
+  bool match_optional(const Expr* t, const Expr* r, Binder& b) {
+    if (!t || !r) return t == r;
+    return match_expr(*t, *r, b);
+  }
+
+  // Structural equality of two REGION-side expressions modulo further
+  // forward substitution (env on the left side).
+  bool match_region_value(const Expr& v, const Expr& r, Binder& b) {
+    if (fir::expr_equal(v, r)) return true;
+    if (v.kind == ExprKind::VarRef) {
+      auto it = b.env.find(v.name);
+      if (it != b.env.end()) return match_region_value(*it->second, r, b);
+      return false;
+    }
+    if (v.kind != r.kind || v.args.size() != r.args.size()) return false;
+    if (v.kind == ExprKind::Binary && v.bin_op != r.bin_op) return false;
+    if (v.kind == ExprKind::Unary && v.un_op != r.un_op) return false;
+    if ((v.kind == ExprKind::ArrayRef || v.kind == ExprKind::Intrinsic) &&
+        v.name != r.name)
+      return false;
+    for (size_t i = 0; i < v.args.size(); ++i) {
+      const Expr* a = v.args[i].get();
+      const Expr* c = r.args[i].get();
+      if (!a || !c) {
+        if (a != c) return false;
+        continue;
+      }
+      if (!match_region_value(*a, *c, b)) return false;
+    }
+    return true;
+  }
+
+  // A template subscript `t` that the inliner shifted by (c - 1): the region
+  // holds ((x + c) - 1) with x matching t (or plain x when c == 1).
+  bool match_shifted(const Expr& t, const Expr& c_hint, const Expr& r, Binder& b) {
+    if (c_hint.is_int_lit(1)) return match_expr(t, r, b);
+    if (r.kind == ExprKind::Binary && r.bin_op == fir::BinOp::Sub && r.args[1] &&
+        r.args[1]->is_int_lit(1) && r.args[0] &&
+        r.args[0]->kind == ExprKind::Binary &&
+        r.args[0]->bin_op == fir::BinOp::Add) {
+      const Expr& x = *r.args[0]->args[0];
+      const Expr& c = *r.args[0]->args[1];
+      Binder save = b.snapshot();
+      if (match_expr(t, x, b) &&
+          (fir::expr_equal(c, c_hint) || match_region_value(c_hint, c, b)))
+        return true;
+      b = save.snapshot();
+    }
+    return false;
+  }
+
+  bool match_mapped_array(const Expr& t, const Expr& r, Binder& b) {
+    const Expr* hint = b.hint_for(t.name);
+    if (!hint) return false;
+    if (hint->kind == ExprKind::VarRef) {
+      // Whole-array rename.
+      if (r.kind == ExprKind::VarRef)
+        return t.kind == ExprKind::VarRef && r.name == hint->name;
+      if (r.kind != ExprKind::ArrayRef || r.name != hint->name) return false;
+      if (t.kind == ExprKind::VarRef) return false;  // shape change: reject
+      if (t.args.size() != r.args.size()) return false;
+      for (size_t i = 0; i < t.args.size(); ++i)
+        if (!match_optional(t.args[i].get(), r.args[i].get(), b)) return false;
+      return true;
+    }
+    if (hint->kind != ExprKind::ArrayRef) return false;
+    // Element-base mapping.
+    if (r.kind != ExprKind::ArrayRef || r.name != hint->name) return false;
+    if (r.args.size() != hint->args.size()) return false;
+    size_t k = (t.kind == ExprKind::ArrayRef) ? t.args.size() : 0;
+    for (size_t d = 0; d < hint->args.size(); ++d) {
+      const Expr& c = *hint->args[d];
+      const Expr& rd = *r.args[d];
+      if (d < k) {
+        const Expr& td = *t.args[d];
+        if (td.kind == ExprKind::Section) {
+          if (c.is_int_lit(1)) {
+            if (!match_expr(td, rd, b)) return false;
+          } else {
+            if (rd.kind != ExprKind::Section) return false;
+            if (!td.args[0] || !rd.args[0] || !td.args[1] || !rd.args[1])
+              return false;
+            if (!match_shifted(*td.args[0], c, *rd.args[0], b)) return false;
+            if (!match_shifted(*td.args[1], c, *rd.args[1], b)) return false;
+          }
+        } else if (!match_shifted(td, c, rd, b)) {
+          return false;
+        }
+      } else if (t.kind == ExprKind::VarRef) {
+        // Whole-formal over an element base: sections for leading dims were
+        // generated by the inliner; accept sections or the trailing fixed
+        // subscripts.
+        if (rd.kind == ExprKind::Section) continue;  // bounds derived from dims
+        if (!fir::expr_equal(c, rd) && !match_region_value(c, rd, b))
+          return false;
+      } else {
+        // Trailing fixed subscript from the hint.
+        if (!fir::expr_equal(c, rd) && !match_region_value(c, rd, b))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  bool match_stmt(const Stmt& t, const Stmt& r, Binder& b) {
+    if (t.kind != r.kind) return false;
+    switch (t.kind) {
+      case StmtKind::Assign:
+      case StmtKind::TupleAssign: {
+        if (t.lhs.size() != r.lhs.size()) return false;
+        for (size_t i = 0; i < t.lhs.size(); ++i)
+          if (!match_optional(t.lhs[i].get(), r.lhs[i].get(), b)) return false;
+        if (!match_optional(t.rhs.get(), r.rhs.get(), b)) return false;
+        // Record the assigned value for forward-substitution tolerance.
+        for (size_t i = 0; i < t.lhs.size(); ++i) {
+          if (t.lhs[i] && t.lhs[i]->kind == ExprKind::VarRef && r.rhs &&
+              !b.is_scalar_formal(t.lhs[i]->name))
+            b.env[t.lhs[i]->name] = r.rhs->clone();
+        }
+        return true;
+      }
+      case StmtKind::Do: {
+        b.dovar_map[t.do_var] = r.do_var;
+        if (!match_optional(t.do_lo.get(), r.do_lo.get(), b)) return false;
+        if (!match_optional(t.do_hi.get(), r.do_hi.get(), b)) return false;
+        if (!match_optional(t.do_step.get(), r.do_step.get(), b)) return false;
+        return match_block(t.body, r.body, b);
+      }
+      case StmtKind::If:
+        if (!match_optional(t.cond.get(), r.cond.get(), b)) return false;
+        return match_block(t.body, r.body, b) &&
+               match_block(t.else_body, r.else_body, b);
+      case StmtKind::Return:
+      case StmtKind::Continue:
+        return true;
+      case StmtKind::Call:
+      case StmtKind::Write:
+      case StmtKind::Stop:
+      case StmtKind::TaggedRegion:
+        return false;  // annotations cannot contain these
+    }
+    return false;
+  }
+
+  // Order-insensitive block matching (statement-reordering tolerance).
+  bool match_block(const std::vector<StmtPtr>& ts, const std::vector<StmtPtr>& rs,
+                   Binder& b) {
+    std::vector<bool> used(rs.size(), false);
+    size_t next = 0;
+    for (const auto& t : ts) {
+      if (!t) continue;
+      if (t->kind == StmtKind::Return || t->kind == StmtKind::Continue)
+        continue;  // dropped by parsing/inlining; nothing to match
+      bool found = false;
+      if (opts_.tolerate_reordering) {
+        for (size_t j = 0; j < rs.size(); ++j) {
+          if (used[j] || !rs[j]) continue;
+          Binder save = b.snapshot();
+          if (match_stmt(*t, *rs[j], b)) {
+            used[j] = true;
+            found = true;
+            break;
+          }
+          b = save.snapshot();
+        }
+      } else {
+        if (next < rs.size() && rs[next]) {
+          Binder save = b.snapshot();
+          if (match_stmt(*t, *rs[next], b)) {
+            used[next] = true;
+            found = true;
+            ++next;
+          } else {
+            b = save.snapshot();
+          }
+        }
+      }
+      if (!found) return false;
+    }
+    for (size_t j = 0; j < rs.size(); ++j)
+      if (rs[j] && !used[j]) return false;  // extra region statement
+    return true;
+  }
+};
+
+class Reverser {
+ public:
+  Reverser(fir::Program& prog, const annot::AnnotationRegistry& registry,
+           DiagnosticEngine& diags, ReverseInlineReport& report,
+           const ReverseInlineOptions& opts)
+      : prog_(prog), registry_(registry), diags_(diags), report_(report),
+        opts_(opts) {}
+
+  void run() {
+    for (auto& u : prog_.units) {
+      process(u->body);
+      cleanup_imported_decls(*u);
+    }
+  }
+
+ private:
+  fir::Program& prog_;
+  const annot::AnnotationRegistry& registry_;
+  DiagnosticEngine& diags_;
+  ReverseInlineReport& report_;
+  const ReverseInlineOptions& opts_;
+
+  void process(std::vector<StmtPtr>& body) {
+    for (auto& sp : body) {
+      if (!sp) continue;
+      Stmt& s = *sp;
+      if (s.kind == StmtKind::TaggedRegion) {
+        sp = reverse_region(s);
+        continue;
+      }
+      process(s.body);
+      process(s.else_body);
+    }
+  }
+
+  StmtPtr reverse_region(Stmt& region) {
+    const fir::ProgramUnit* tmpl = registry_.find(region.name);
+    std::vector<ExprPtr> args;
+    bool matched = false;
+    if (tmpl) {
+      Matcher m(*tmpl, region, opts_);
+      Binder b;
+      if (m.run(b)) {
+        matched = true;
+        for (size_t i = 0; i < tmpl->params.size(); ++i) {
+          std::string formal = fold_upper(tmpl->params[i]);
+          auto it = b.scalar_bindings.find(formal);
+          const Expr* hint = i < region.arg_hints.size()
+                                 ? region.arg_hints[i].get()
+                                 : nullptr;
+          if (it != b.scalar_bindings.end() && !b.is_array_formal(formal)) {
+            // Prefer the hint spelling when it is equivalent (keeps the
+            // original source text); otherwise use the extracted binding.
+            if (hint && fir::expr_equal(*hint, *it->second))
+              args.push_back(hint->clone());
+            else
+              args.push_back(it->second->clone());
+          } else if (hint) {
+            args.push_back(hint->clone());
+          } else {
+            matched = false;
+            break;
+          }
+        }
+      }
+    }
+    if (!matched) {
+      ++report_.regions_failed;
+      if (!opts_.fallback_to_hints) {
+        diags_.error(region.loc, "reverse inlining: pattern match failed for " +
+                                     region.name);
+        // Leave the region in place; the caller sees the failure count.
+        return region.clone();
+      }
+      // The recorded hints are the original call's actual arguments; they
+      // remain a sound reversal even when extraction fails.
+      diags_.warning(region.loc, "reverse inlining: pattern match failed for " +
+                                     region.name + "; using recorded call-site");
+      args.clear();
+      for (const auto& h : region.arg_hints) args.push_back(h->clone());
+    } else {
+      ++report_.regions_reversed;
+    }
+    auto call = fir::make_call(region.name, std::move(args));
+    call->loc = region.loc;
+    return call;
+  }
+
+  void cleanup_imported_decls(fir::ProgramUnit& u) {
+    std::set<std::string> mentioned;
+    fir::walk_stmts(u.body, [&](const Stmt& s) {
+      fir::walk_exprs(s, [&](const Expr& x) {
+        if (x.kind == ExprKind::VarRef || x.kind == ExprKind::ArrayRef)
+          mentioned.insert(x.name);
+      });
+      if (s.kind == StmtKind::Do) {
+        mentioned.insert(s.do_var);
+        // OMP clauses keep privatized callee globals alive: the runtime
+        // resolves PRIVATE(XY) through this unit's declaration even though
+        // XY is only touched inside called subroutines.
+        for (const auto& p : s.omp.privates) mentioned.insert(p);
+        for (const auto& r : s.omp.reductions) mentioned.insert(r.var);
+      }
+      return true;
+    });
+    std::set<std::string> removed;
+    for (auto it = u.decls.begin(); it != u.decls.end();) {
+      if (it->annot_imported && !mentioned.count(it->name)) {
+        removed.insert(it->name);
+        it = u.decls.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& blk : u.commons) {
+      for (auto vit = blk.vars.begin(); vit != blk.vars.end();) {
+        if (removed.count(fold_upper(*vit)))
+          vit = blk.vars.erase(vit);
+        else
+          ++vit;
+      }
+    }
+    for (auto it = u.commons.begin(); it != u.commons.end();) {
+      if (it->vars.empty())
+        it = u.commons.erase(it);
+      else
+        ++it;
+    }
+  }
+};
+
+}  // namespace
+
+ReverseInlineReport reverse_inline(fir::Program& prog,
+                                   const annot::AnnotationRegistry& registry,
+                                   DiagnosticEngine& diags,
+                                   const ReverseInlineOptions& opts) {
+  ReverseInlineReport report;
+  Reverser rv(prog, registry, diags, report, opts);
+  rv.run();
+  return report;
+}
+
+}  // namespace ap::xform

@@ -1,0 +1,61 @@
+// Reverse inlining (paper §III.C.3).
+//
+// Every TaggedRegion created by annotation-based inlining is pattern-matched
+// against its annotation template and replaced by an equivalent CALL of the
+// original subroutine, keeping OpenMP directives on surrounding loops
+// intact. The matcher re-derives the actual arguments by unification and is
+// tolerant of the normalizations Polaris applies between inlining and
+// reversal (paper: "reordering of statements, induction variable
+// substitution, and constant propagation"):
+//
+//   * statement reordering — blocks match order-insensitively (greedy
+//     search over unmatched region statements);
+//   * forward substitution — a template read of a global G matches any
+//     region expression equal to the value G was last assigned in already-
+//     matched region statements (a local value environment);
+//   * constant propagation — a scalar formal may bind to both the original
+//     expression and a literal; the non-literal binding wins and the
+//     literal occurrence is accepted;
+//   * OpenMP directives — metadata on DO nodes, invisible to matching;
+//     directives inside the region vanish with it (the real callee is not
+//     parallelized), directives on enclosing loops survive (paper Fig. 19).
+//
+// Scalar formals are extracted by unification; array formals are verified
+// against the recorded call-site hints (the mapping from formal subscripts
+// to actual subscripts is not invertible in general). Formals that do not
+// occur in the template body fall back to the recorded hints. After
+// replacement, declarations imported by the annotation inliner that are no
+// longer referenced are removed so the output program is the original
+// source plus OpenMP directives (Table II: no code growth).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "annot/parser.h"
+#include "fir/ast.h"
+#include "support/diagnostics.h"
+
+namespace ap::xform {
+
+// Tolerance switches exist for the ablation study (bench_ablation_reverse):
+// disabling one shows which normalization would break naive reversal.
+struct ReverseInlineOptions {
+  bool tolerate_reordering = true;     // order-insensitive block matching
+  bool tolerate_forward_subst = true;  // value-environment matching
+  bool tolerate_literals = true;       // constant-propagation leniency
+  bool fallback_to_hints = true;       // emit recorded call on match failure
+};
+
+struct ReverseInlineReport {
+  int regions_reversed = 0;
+  int regions_failed = 0;
+  std::vector<std::string> notes;
+};
+
+ReverseInlineReport reverse_inline(fir::Program& prog,
+                                   const annot::AnnotationRegistry& registry,
+                                   DiagnosticEngine& diags,
+                                   const ReverseInlineOptions& opts = {});
+
+}  // namespace ap::xform

@@ -1,0 +1,115 @@
+#include "xform/subst.h"
+
+namespace ap::xform {
+
+namespace {
+
+void visit_slots(fir::Stmt& s, const std::function<void(fir::ExprPtr&)>& fn) {
+  for (auto& l : s.lhs)
+    if (l) fn(l);
+  if (s.rhs) fn(s.rhs);
+  if (s.do_lo) fn(s.do_lo);
+  if (s.do_hi) fn(s.do_hi);
+  if (s.do_step) fn(s.do_step);
+  if (s.cond) fn(s.cond);
+  for (auto& a : s.args)
+    if (a) fn(a);
+  for (auto& a : s.arg_hints)
+    if (a) fn(a);
+}
+
+}  // namespace
+
+void for_each_expr_slot(std::vector<fir::StmtPtr>& body,
+                        const std::function<void(fir::ExprPtr&)>& fn) {
+  for (auto& sp : body) {
+    if (!sp) continue;
+    visit_slots(*sp, fn);
+    for_each_expr_slot(sp->body, fn);
+    for_each_expr_slot(sp->else_body, fn);
+  }
+}
+
+fir::ExprPtr rewrite_expr_tree(fir::ExprPtr e, const ExprRewriter& fn) {
+  if (!e) return e;
+  for (auto& a : e->args) a = rewrite_expr_tree(std::move(a), fn);
+  fir::ExprPtr repl = fn(*e);
+  return repl ? std::move(repl) : std::move(e);
+}
+
+void rewrite_exprs(std::vector<fir::StmtPtr>& body, const ExprRewriter& fn) {
+  for_each_expr_slot(body, [&](fir::ExprPtr& slot) {
+    slot = rewrite_expr_tree(std::move(slot), fn);
+  });
+}
+
+void substitute_vars(std::vector<fir::StmtPtr>& body,
+                     const std::map<std::string, const fir::Expr*>& map) {
+  rewrite_exprs(body, [&](const fir::Expr& e) -> fir::ExprPtr {
+    if (e.kind != fir::ExprKind::VarRef) return nullptr;
+    auto it = map.find(e.name);
+    if (it == map.end()) return nullptr;
+    return it->second->clone();
+  });
+}
+
+void rename_identifiers(std::vector<fir::StmtPtr>& body,
+                        const std::map<std::string, std::string>& renames) {
+  rewrite_exprs(body, [&](const fir::Expr& e) -> fir::ExprPtr {
+    if (e.kind != fir::ExprKind::VarRef && e.kind != fir::ExprKind::ArrayRef)
+      return nullptr;
+    auto it = renames.find(e.name);
+    if (it == renames.end()) return nullptr;
+    fir::ExprPtr repl = e.clone();
+    repl->name = it->second;
+    return repl;
+  });
+  // DO variables are plain strings, not expression nodes.
+  fir::walk_stmts(body, [&](fir::Stmt& s) {
+    if (s.kind == fir::StmtKind::Do) {
+      auto it = renames.find(s.do_var);
+      if (it != renames.end()) s.do_var = it->second;
+    }
+    return true;
+  });
+}
+
+std::set<std::string> written_names(const std::vector<fir::StmtPtr>& body) {
+  std::set<std::string> out;
+  fir::walk_stmts(body, [&](const fir::Stmt& s) {
+    switch (s.kind) {
+      case fir::StmtKind::Assign:
+      case fir::StmtKind::TupleAssign:
+        for (const auto& l : s.lhs)
+          if (l) out.insert(l->name);
+        break;
+      case fir::StmtKind::Do:
+        out.insert(s.do_var);
+        break;
+      case fir::StmtKind::Call:
+        // Without interprocedural information, arguments and globals may be
+        // written; record argument bases conservatively.
+        for (const auto& a : s.args) {
+          if (!a) continue;
+          if (a->kind == fir::ExprKind::VarRef || a->kind == fir::ExprKind::ArrayRef)
+            out.insert(a->name);
+        }
+        break;
+      default:
+        break;
+    }
+    return true;
+  });
+  return out;
+}
+
+std::set<std::string> referenced_names(const fir::Expr& e) {
+  std::set<std::string> out;
+  fir::walk_expr_tree(e, [&](const fir::Expr& x) {
+    if (x.kind == fir::ExprKind::VarRef || x.kind == fir::ExprKind::ArrayRef)
+      out.insert(x.name);
+  });
+  return out;
+}
+
+}  // namespace ap::xform

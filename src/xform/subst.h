@@ -1,0 +1,48 @@
+// Expression rewriting utilities shared by the inliners and normalization
+// passes: visiting every expression slot of a statement tree, substituting
+// variables by expressions, and renaming identifiers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fir/ast.h"
+
+namespace ap::xform {
+
+// Visit every ExprPtr slot (lhs, rhs, bounds, cond, args, hints) of every
+// statement, recursing into nested statements. The callback may replace the
+// slot by assigning through the reference.
+void for_each_expr_slot(std::vector<fir::StmtPtr>& body,
+                        const std::function<void(fir::ExprPtr&)>& fn);
+
+// Bottom-up expression rewriter: children are transformed first, then `fn`
+// may return a replacement for the node (or nullptr to keep it).
+using ExprRewriter = std::function<fir::ExprPtr(const fir::Expr&)>;
+void rewrite_exprs(std::vector<fir::StmtPtr>& body, const ExprRewriter& fn);
+fir::ExprPtr rewrite_expr_tree(fir::ExprPtr e, const ExprRewriter& fn);
+
+// Substitute scalar variable reads/writes: every VarRef whose name is in
+// `map` becomes a clone of the mapped expression. ArrayRef base names are
+// NOT touched (use rename_identifiers or a custom rewriter for arrays).
+void substitute_vars(std::vector<fir::StmtPtr>& body,
+                     const std::map<std::string, const fir::Expr*>& map);
+
+// Rename identifiers wholesale: VarRef and ArrayRef base names, DO
+// variables. Used by the inliners to freshen callee locals.
+void rename_identifiers(std::vector<fir::StmtPtr>& body,
+                        const std::map<std::string, std::string>& renames);
+
+// All names written anywhere in `body` (scalar assignments, array
+// assignment bases, tuple targets, DO variables; CALL arguments are
+// conservatively counted as written).
+std::set<std::string> written_names(const std::vector<fir::StmtPtr>& body);
+
+// All identifier names referenced in an expression (variables and array
+// bases).
+std::set<std::string> referenced_names(const fir::Expr& e);
+
+}  // namespace ap::xform

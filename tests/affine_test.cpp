@@ -1,0 +1,198 @@
+// Unit tests for affine subscript normalization (analysis/affine.h).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/affine.h"
+#include "tests/test_util.h"
+
+namespace ap::analysis {
+namespace {
+
+using test::expr_ok;
+
+VarClassifier classify_with(std::set<std::string> loop_vars,
+                            std::set<std::string> variants = {}) {
+  return [loop_vars = std::move(loop_vars),
+          variants = std::move(variants)](const std::string& n) {
+    if (loop_vars.count(n)) return VarClass::LoopIndex;
+    if (variants.count(n)) return VarClass::Variant;
+    return VarClass::Invariant;
+  };
+}
+
+TEST(Affine, Constant) {
+  auto f = normalize_affine(*expr_ok("7"), classify_with({}));
+  EXPECT_TRUE(f.affine);
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_EQ(f.constant, 7);
+}
+
+TEST(Affine, LoopVariable) {
+  auto f = normalize_affine(*expr_ok("I"), classify_with({"I"}));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("I"), 1);
+}
+
+TEST(Affine, LinearCombination) {
+  auto f = normalize_affine(*expr_ok("2*I + 3*J - 4"), classify_with({"I", "J"}));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("I"), 2);
+  EXPECT_EQ(f.coeff_of("J"), 3);
+  EXPECT_EQ(f.constant, -4);
+}
+
+TEST(Affine, CoefficientOnRight) {
+  auto f = normalize_affine(*expr_ok("I*5"), classify_with({"I"}));
+  EXPECT_EQ(f.coeff_of("I"), 5);
+}
+
+TEST(Affine, NestedParensAndNegation) {
+  auto f = normalize_affine(*expr_ok("-(I - 2) * 3"), classify_with({"I"}));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("I"), -3);
+  EXPECT_EQ(f.constant, 6);
+}
+
+TEST(Affine, InvariantSymbol) {
+  auto f = normalize_affine(*expr_ok("N + I"), classify_with({"I"}));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.sym_coeffs.at("N"), 1);
+  EXPECT_EQ(f.coeff_of("I"), 1);
+}
+
+TEST(Affine, SymbolsCancelInDifference) {
+  auto a = normalize_affine(*expr_ok("N + I"), classify_with({"I"}));
+  auto b = normalize_affine(*expr_ok("N + I - 1"), classify_with({"I"}));
+  auto d = AffineForm::difference(a, b);
+  EXPECT_TRUE(d.affine);
+  EXPECT_TRUE(d.sym_coeffs.empty());
+  EXPECT_EQ(d.constant, 1);
+  EXPECT_TRUE(d.loop_coeffs.empty());
+}
+
+TEST(Affine, VariantScalarIsNonAffine) {
+  auto f = normalize_affine(*expr_ok("K + 1"), classify_with({}, {"K"}));
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, SubscriptedSubscriptIsNonAffine) {
+  // The PCINIT pathology: T(IX(7)+I) — without the symbolizer hook.
+  auto f = normalize_affine(*expr_ok("IX(7) + I"), classify_with({"I"}));
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, InvariantArrayElementViaSymbolizer) {
+  OpaqueSymbolizer sym = [](const fir::Expr& e) -> std::optional<std::string> {
+    if (e.kind == fir::ExprKind::ArrayRef) return fir::expr_to_string(e);
+    return std::nullopt;
+  };
+  auto f = normalize_affine(*expr_ok("IX(7) + I"), classify_with({"I"}), sym);
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("I"), 1);
+  EXPECT_EQ(f.sym_coeffs.size(), 1u);
+  EXPECT_EQ(f.sym_coeffs.begin()->first, "IX(7)");
+}
+
+TEST(Affine, DistinctArrayElementsAreDistinctSymbols) {
+  OpaqueSymbolizer sym = [](const fir::Expr& e) -> std::optional<std::string> {
+    if (e.kind == fir::ExprKind::ArrayRef) return fir::expr_to_string(e);
+    return std::nullopt;
+  };
+  auto a = normalize_affine(*expr_ok("IX(7) + I"), classify_with({"I"}), sym);
+  auto b = normalize_affine(*expr_ok("IX(8) + I"), classify_with({"I"}), sym);
+  auto d = AffineForm::difference(a, b);
+  EXPECT_FALSE(d.sym_coeffs.empty());  // cannot prove IX(7) == IX(8)
+}
+
+TEST(Affine, LoopVarTimesSymbolIsNonAffine) {
+  // The linearization pathology: K * NB.
+  auto f = normalize_affine(*expr_ok("K * NB"), classify_with({"K"}));
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, SymbolicProductDistributes) {
+  // (JN-1)*NB with JN invariant: {(JN*NB)} - {NB}.
+  auto f = normalize_affine(*expr_ok("(JN - 1) * NB"), classify_with({}));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.sym_coeffs.at("(JN*NB)"), 1);
+  EXPECT_EQ(f.sym_coeffs.at("NB"), -1);
+}
+
+TEST(Affine, SymbolicProductCanonicalOrder) {
+  auto a = normalize_affine(*expr_ok("NB * JN"), classify_with({}));
+  auto b = normalize_affine(*expr_ok("JN * NB"), classify_with({}));
+  auto d = AffineForm::difference(a, b);
+  EXPECT_TRUE(d.affine);
+  EXPECT_TRUE(d.sym_coeffs.empty());
+}
+
+TEST(Affine, TripleSymbolProduct) {
+  auto f = normalize_affine(*expr_ok("(KS - 1) * (NB * NB)"), classify_with({}));
+  ASSERT_TRUE(f.affine);
+  int64_t c = 0;
+  for (const char* name : {"((NB*NB)*KS)", "(KS*(NB*NB))"}) {
+    auto it = f.sym_coeffs.find(name);
+    if (it != f.sym_coeffs.end()) c += it->second;
+  }
+  EXPECT_EQ(c, 1);  // composite (KS * NB^2) term present exactly once
+  EXPECT_EQ(f.sym_coeffs.at("(NB*NB)"), -1);
+}
+
+TEST(Affine, ExactDivisionByConstant) {
+  auto f = normalize_affine(*expr_ok("(4*I + 8) / 4"), classify_with({"I"}));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("I"), 1);
+  EXPECT_EQ(f.constant, 2);
+}
+
+TEST(Affine, InexactDivisionIsNonAffine) {
+  auto f = normalize_affine(*expr_ok("(I + 1) / 2"), classify_with({"I"}));
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, PowerIsNonAffine) {
+  auto f = normalize_affine(*expr_ok("I ** 2"), classify_with({"I"}));
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, IntrinsicIsNonAffine) {
+  auto f = normalize_affine(*expr_ok("MOD(I, 4)"), classify_with({"I"}));
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, UnknownOperatorIsNonAffine) {
+  auto f = normalize_affine(*expr_ok("UNKNOWN(A, B) + I"), classify_with({"I"}));
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, RealLiteralIsNonAffine) {
+  auto f = normalize_affine(*expr_ok("1.5"), classify_with({}));
+  EXPECT_FALSE(f.affine);
+}
+
+TEST(Affine, ScaleAndNegate) {
+  auto f = normalize_affine(*expr_ok("2*I + N + 3"), classify_with({"I"}));
+  f.scale(-2);
+  EXPECT_EQ(f.coeff_of("I"), -4);
+  EXPECT_EQ(f.sym_coeffs.at("N"), -2);
+  EXPECT_EQ(f.constant, -6);
+}
+
+TEST(Affine, ZeroCoefficientsErased) {
+  auto a = normalize_affine(*expr_ok("I + J"), classify_with({"I", "J"}));
+  auto b = normalize_affine(*expr_ok("J"), classify_with({"I", "J"}));
+  a -= b;
+  EXPECT_EQ(a.loop_coeffs.count("J"), 0u);
+  EXPECT_EQ(a.coeff_of("I"), 1);
+}
+
+TEST(Affine, NormalizeInvariantTreatsAllAsSymbols) {
+  auto f = normalize_invariant(*expr_ok("N - 1"));
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.sym_coeffs.at("N"), 1);
+  EXPECT_EQ(f.constant, -1);
+}
+
+}  // namespace
+}  // namespace ap::analysis

@@ -1,0 +1,226 @@
+// Conformance tests for the annotation language parser (paper Fig. 12).
+#include <gtest/gtest.h>
+
+#include "annot/parser.h"
+#include "fir/unparse.h"
+
+namespace ap::annot {
+namespace {
+
+std::unique_ptr<fir::ProgramUnit> parse_one(std::string_view text) {
+  DiagnosticEngine d;
+  auto units = parse_annotations(text, d);
+  EXPECT_EQ(units.size(), 1u) << d.render_all();
+  if (units.empty()) return nullptr;
+  return std::move(units[0]);
+}
+
+TEST(AnnotParser, EmptyAnnotation) {
+  auto u = parse_one("subroutine S(A) { }");
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->name, "S");
+  ASSERT_EQ(u->params.size(), 1u);
+  EXPECT_TRUE(u->body.empty());
+}
+
+TEST(AnnotParser, CaseInsensitiveKeywords) {
+  auto u = parse_one("SUBROUTINE s(x) { X = 1; }");
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->name, "S");
+}
+
+TEST(AnnotParser, DimensionDeclaration) {
+  auto u = parse_one("subroutine M(M1, L, N) { dimension M1[L, N]; }");
+  ASSERT_NE(u, nullptr);
+  const fir::VarDecl* d = u->find_decl("M1");
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->dims.size(), 2u);
+  EXPECT_EQ(fir::expr_to_string(*d->dims[0].hi), "L");
+}
+
+TEST(AnnotParser, TypeDeclarations) {
+  auto u = parse_one(
+      "subroutine S(A) { integer I, J; double X; logical F; real Y[4]; }");
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->find_decl("I")->type, fir::Type::Integer);
+  EXPECT_EQ(u->find_decl("X")->type, fir::Type::Real);
+  EXPECT_EQ(u->find_decl("F")->type, fir::Type::Logical);
+  EXPECT_TRUE(u->find_decl("Y")->is_array());
+}
+
+TEST(AnnotParser, BracketArrayReferences) {
+  auto u = parse_one("subroutine S(ID) { IRECT = IEGEOM[ID]; }");
+  ASSERT_NE(u, nullptr);
+  const fir::Stmt& s = *u->body[0];
+  EXPECT_EQ(s.rhs->kind, fir::ExprKind::ArrayRef);
+  EXPECT_EQ(s.rhs->name, "IEGEOM");
+}
+
+TEST(AnnotParser, NestedBrackets) {
+  auto u = parse_one("subroutine S(ID) { X = XYG[1, ICOND[1, ID]]; }");
+  const fir::Expr& r = *u->body[0]->rhs;
+  ASSERT_EQ(r.args.size(), 2u);
+  EXPECT_EQ(r.args[1]->kind, fir::ExprKind::ArrayRef);
+  EXPECT_EQ(r.args[1]->name, "ICOND");
+}
+
+TEST(AnnotParser, UnknownOperator) {
+  auto u = parse_one("subroutine S(A) { X = unknown(A, NSYMM); }");
+  EXPECT_EQ(u->body[0]->rhs->kind, fir::ExprKind::Unknown);
+  EXPECT_EQ(u->body[0]->rhs->args.size(), 2u);
+}
+
+TEST(AnnotParser, UniqueOperatorInSubscript) {
+  auto u = parse_one("subroutine S(ID) { RHSB[unique(ID, I)] = 0.0; }");
+  const fir::Expr& lhs = *u->body[0]->lhs[0];
+  ASSERT_EQ(lhs.args.size(), 1u);
+  EXPECT_EQ(lhs.args[0]->kind, fir::ExprKind::Unique);
+}
+
+TEST(AnnotParser, TupleAssignment) {
+  auto u = parse_one("subroutine S(X) { (NDX, NDY, WTDET) = unknown(X); }");
+  const fir::Stmt& s = *u->body[0];
+  EXPECT_EQ(s.kind, fir::StmtKind::TupleAssign);
+  EXPECT_EQ(s.lhs.size(), 3u);
+}
+
+TEST(AnnotParser, ArraySectionAssignment) {
+  auto u = parse_one("subroutine S(IDE) { FE[1:NSFE, IDE] = unknown(W); }");
+  const fir::Expr& lhs = *u->body[0]->lhs[0];
+  EXPECT_EQ(lhs.args[0]->kind, fir::ExprKind::Section);
+  EXPECT_EQ(lhs.args[1]->kind, fir::ExprKind::VarRef);
+}
+
+TEST(AnnotParser, DoLoopWithBlock) {
+  auto u = parse_one(R"(
+subroutine S(N) {
+  do (JN = 1:N) {
+    A[JN] = 0.0;
+    B[JN] = 1.0;
+  }
+}
+)");
+  const fir::Stmt& loop = *u->body[0];
+  EXPECT_EQ(loop.kind, fir::StmtKind::Do);
+  EXPECT_EQ(loop.do_var, "JN");
+  EXPECT_EQ(loop.body.size(), 2u);
+}
+
+TEST(AnnotParser, DoLoopSingleStatement) {
+  auto u = parse_one("subroutine S(N) { do (J = 1:N) A[J] = 0.0; }");
+  EXPECT_EQ(u->body[0]->body.size(), 1u);
+}
+
+TEST(AnnotParser, DoLoopWithStride) {
+  auto u = parse_one("subroutine S(N) { do (J = 1:N:2) A[J] = 0.0; }");
+  EXPECT_NE(u->body[0]->do_step, nullptr);
+}
+
+TEST(AnnotParser, NestedDoLoops) {
+  auto u = parse_one(R"(
+subroutine M(M1, M2, M3, L, M, N) {
+  dimension M1[L,M], M2[M,N], M3[L,N];
+  M3 = 0.0;
+  do (JN = 1:N)
+    do (JM = 1:M)
+      M3[1:L, JN] = M3[1:L, JN] + M2[JM, JN] * M1[1:L, JM];
+}
+)");
+  ASSERT_EQ(u->body.size(), 2u);
+  const fir::Stmt& outer = *u->body[1];
+  EXPECT_EQ(outer.kind, fir::StmtKind::Do);
+  ASSERT_EQ(outer.body.size(), 1u);
+  EXPECT_EQ(outer.body[0]->kind, fir::StmtKind::Do);
+}
+
+TEST(AnnotParser, IfElse) {
+  auto u = parse_one(R"(
+subroutine S(IDE) {
+  if (IDEDON[IDE] == 0) {
+    IDEDON[IDE] = 1;
+  } else
+    X = 2;
+}
+)");
+  const fir::Stmt& s = *u->body[0];
+  EXPECT_EQ(s.kind, fir::StmtKind::If);
+  EXPECT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.else_body.size(), 1u);
+}
+
+TEST(AnnotParser, CStyleAndDotOperators) {
+  auto a = parse_one("subroutine S(X) { if (X == 0) Y = 1; }");
+  auto b = parse_one("subroutine S(X) { if (X .EQ. 0) Y = 1; }");
+  EXPECT_TRUE(fir::expr_equal(*a->body[0]->cond, *b->body[0]->cond));
+}
+
+TEST(AnnotParser, ReturnStatement) {
+  auto u = parse_one("subroutine S(X) { return X + 1; }");
+  EXPECT_EQ(u->body[0]->kind, fir::StmtKind::Return);
+}
+
+TEST(AnnotParser, IntrinsicCalls) {
+  auto u = parse_one("subroutine S(ID) { P = PXY[1, IABS(ICOND[1, ID])]; }");
+  const fir::Expr& r = *u->body[0]->rhs;
+  EXPECT_EQ(r.args[1]->kind, fir::ExprKind::Intrinsic);
+  EXPECT_EQ(r.args[1]->name, "IABS");
+}
+
+TEST(AnnotParser, MultipleAnnotationsInOneFile) {
+  DiagnosticEngine d;
+  auto units = parse_annotations(R"(
+subroutine A(X) { X1 = 1; }
+subroutine B(Y) { Y1 = 2; }
+)",
+                                 d);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0]->name, "A");
+  EXPECT_EQ(units[1]->name, "B");
+}
+
+TEST(AnnotParser, NewlinesInsignificant) {
+  auto u = parse_one("subroutine S(\nA\n)\n{\nX\n=\nA\n+\n1\n;\n}");
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->body.size(), 1u);
+}
+
+TEST(AnnotParser, ErrorMissingSemicolon) {
+  DiagnosticEngine d;
+  auto units = parse_annotations("subroutine S(A) { X = 1 }", d);
+  EXPECT_TRUE(units.empty());
+  EXPECT_TRUE(d.has_errors());
+}
+
+TEST(AnnotParser, ErrorUnbalancedBrace) {
+  DiagnosticEngine d;
+  auto units = parse_annotations("subroutine S(A) { X = 1;", d);
+  EXPECT_TRUE(units.empty());
+}
+
+TEST(AnnotRegistry, AddAndFind) {
+  AnnotationRegistry reg;
+  DiagnosticEngine d;
+  ASSERT_TRUE(reg.add("subroutine FSMP(ID, IDE) { ISTRES = 0; }", d));
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_NE(reg.find("fsmp"), nullptr);
+  EXPECT_EQ(reg.find("OTHER"), nullptr);
+}
+
+TEST(AnnotRegistry, RejectsOnParseError) {
+  AnnotationRegistry reg;
+  DiagnosticEngine d;
+  EXPECT_FALSE(reg.add("subroutine BAD {", d));
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(AnnotRegistry, LaterAddReplaces) {
+  AnnotationRegistry reg;
+  DiagnosticEngine d1, d2;
+  reg.add("subroutine S(A) { X = 1; }", d1);
+  reg.add("subroutine S(A) { X = 2; Y = 3; }", d2);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.find("S")->body.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ap::annot

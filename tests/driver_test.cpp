@@ -1,0 +1,166 @@
+// Tests for driver-level pieces not covered elsewhere: empirical tuning
+// (paper §IV.B) and interpreter error paths for malformed executions.
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.h"
+#include "fir/unparse.h"
+#include "interp/interp.h"
+#include "suite/suite.h"
+#include "tests/test_util.h"
+
+namespace ap {
+namespace {
+
+using test::parse_ok;
+
+TEST(EmpiricalTune, OnlyEverDisablesLoops) {
+  const auto* app = suite::find_app("TRFD");
+  driver::PipelineOptions o;
+  o.config = driver::InlineConfig::Annotation;
+  auto r = driver::run_pipeline(*app, o);
+  ASSERT_TRUE(r.ok);
+  auto count_parallel = [&] {
+    int n = 0;
+    for (const auto& u : r.program->units)
+      fir::walk_stmts(u->body, [&](const fir::Stmt& s) {
+        if (s.kind == fir::StmtKind::Do && s.omp.parallel) ++n;
+        return true;
+      });
+    return n;
+  };
+  int before = count_parallel();
+  int disabled = driver::empirical_tune(*r.program, 2);
+  int after = count_parallel();
+  EXPECT_EQ(after, before - disabled);
+  EXPECT_GE(disabled, 0);
+  // The tuned program still runs correctly.
+  interp::InterpOptions io;
+  io.num_threads = 2;
+  interp::Interpreter it(*r.program, io);
+  EXPECT_TRUE(it.run().ok);
+}
+
+TEST(EmpiricalTune, NoParallelLoopsIsNoop) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(4)
+      A(1) = 1.0
+      END
+)");
+  EXPECT_EQ(driver::empirical_tune(*prog, 4), 0);
+}
+
+TEST(InterpErrors, TaggedRegionReachedExecution) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(4)
+      A(1) = 1.0
+      END
+)");
+  // Splice a tagged region in by hand (models a skipped reverse-inline).
+  std::vector<fir::StmtPtr> body;
+  body.push_back(fir::make_assign(fir::make_var("X"), fir::make_int(1)));
+  prog->units[0]->body.push_back(
+      fir::make_tagged_region("GHOST", 1, std::move(body), {}));
+  interp::InterpOptions o;
+  o.enable_parallel = false;
+  interp::Interpreter it(*prog, o);
+  auto r = it.run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("reverse inlining"), std::string::npos);
+}
+
+TEST(InterpErrors, AnnotationOperatorReachedExecution) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(4)
+      A(1) = 1.0
+      END
+)");
+  std::vector<fir::ExprPtr> args;
+  args.push_back(fir::make_int(1));
+  prog->units[0]->body.push_back(
+      fir::make_assign(fir::make_var("X"), fir::make_unknown(std::move(args))));
+  interp::InterpOptions o;
+  o.enable_parallel = false;
+  interp::Interpreter it(*prog, o);
+  auto r = it.run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("annotation operator"), std::string::npos);
+}
+
+TEST(InterpErrors, WholeArrayInExpression) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(4), S
+      S = A
+      END
+)");
+  interp::InterpOptions o;
+  o.enable_parallel = false;
+  interp::Interpreter it(*prog, o);
+  auto r = it.run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("whole-array"), std::string::npos);
+}
+
+TEST(InterpErrors, DivisionByZero) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ K
+      K = 0
+      K = 5 / K
+      END
+)");
+  interp::InterpOptions o;
+  o.enable_parallel = false;
+  interp::Interpreter it(*prog, o);
+  auto r = it.run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("division by zero"), std::string::npos);
+}
+
+TEST(InterpErrors, MissingProgramUnit) {
+  auto prog = parse_ok(R"(
+      SUBROUTINE ONLY
+      END
+)");
+  interp::InterpOptions o;
+  interp::Interpreter it(*prog, o);
+  auto r = it.run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no PROGRAM unit"), std::string::npos);
+}
+
+TEST(Pipeline, ConfigNamesStable) {
+  EXPECT_STREQ(driver::config_name(driver::InlineConfig::None), "no-inlining");
+  EXPECT_STREQ(driver::config_name(driver::InlineConfig::Conventional),
+               "conventional");
+  EXPECT_STREQ(driver::config_name(driver::InlineConfig::Annotation),
+               "annotation-based");
+}
+
+TEST(Pipeline, ParseErrorSurfacesInResult) {
+  suite::BenchmarkApp bad;
+  bad.name = "BAD";
+  bad.source = "      PROGRAM T\n      THIS IS NOT FORTRAN(\n      END\n";
+  driver::PipelineOptions o;
+  auto r = driver::run_pipeline(bad, o);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("parse failed"), std::string::npos);
+}
+
+TEST(Pipeline, AnnotationParseErrorSurfaces) {
+  suite::BenchmarkApp bad;
+  bad.name = "BAD";
+  bad.source = "      PROGRAM T\n      X = 1\n      END\n";
+  bad.annotations = "subroutine S( {";
+  driver::PipelineOptions o;
+  o.config = driver::InlineConfig::Annotation;
+  auto r = driver::run_pipeline(bad, o);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("annotation parse failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ap

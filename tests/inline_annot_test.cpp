@@ -1,0 +1,282 @@
+// Unit tests for annotation-based inlining (xform/inline_annotation.h).
+#include <gtest/gtest.h>
+
+#include "annot/parser.h"
+#include "fir/unparse.h"
+#include "tests/test_util.h"
+#include "xform/inline_annotation.h"
+
+namespace ap::xform {
+namespace {
+
+using test::parse_ok;
+
+struct Result {
+  std::unique_ptr<fir::Program> prog;
+  AnnotInlineReport report;
+  std::string dump;
+  fir::Stmt* region = nullptr;  // first tagged region
+};
+
+Result inline_annot(const char* src, const char* annots,
+                    AnnotInlineOptions opts = {}) {
+  Result r;
+  r.prog = parse_ok(src);
+  annot::AnnotationRegistry reg;
+  DiagnosticEngine d;
+  EXPECT_TRUE(reg.add(annots, d)) << d.render_all();
+  r.report = inline_annotations(*r.prog, reg, opts, d);
+  r.dump = fir::unparse(*r.prog);
+  for (auto& u : r.prog->units) {
+    fir::walk_stmts(u->body, [&](fir::Stmt& s) {
+      if (!r.region && s.kind == fir::StmtKind::TaggedRegion) r.region = &s;
+      return true;
+    });
+  }
+  return r;
+}
+
+constexpr const char* kProgram = R"(
+      PROGRAM T
+      COMMON /C/ X(8,4), G(16)
+      DO J = 1, 4
+        CALL COLOP(X(1,J), 8)
+      ENDDO
+      END
+      SUBROUTINE COLOP(C, N)
+      DOUBLE PRECISION C(*)
+      INTEGER N
+      COMMON /C/ X(8,4), G(16)
+      DO I = 1, N
+        C(I) = C(I) + G(I)
+      ENDDO
+      END
+)";
+
+TEST(AnnotInline, CreatesTaggedRegionWithHints) {
+  auto r = inline_annot(kProgram,
+                        "subroutine COLOP(C, N) { dimension C[N];"
+                        "  C = unknown(C, G); }");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  ASSERT_NE(r.region, nullptr);
+  EXPECT_EQ(r.region->name, "COLOP");
+  ASSERT_EQ(r.region->arg_hints.size(), 2u);
+  EXPECT_EQ(fir::expr_to_string(*r.region->arg_hints[0]), "X(1,J)");
+  EXPECT_EQ(fir::expr_to_string(*r.region->arg_hints[1]), "8");
+}
+
+TEST(AnnotInline, WholeFormalBecomesSections) {
+  auto r = inline_annot(kProgram,
+                        "subroutine COLOP(C, N) { dimension C[N];"
+                        "  C = unknown(C, G); }");
+  // C over X(1,J) with extent N=8: X(1:8, J).
+  EXPECT_NE(r.dump.find("X(1:8,J)"), std::string::npos) << r.dump;
+}
+
+TEST(AnnotInline, ElementSubscriptsMapped) {
+  auto r = inline_annot(kProgram,
+                        "subroutine COLOP(C, N) { dimension C[N]; integer I2;"
+                        "  do (I2 = 1:N) C[I2] = unknown(C[I2], G[I2]); }");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  // C[I2] -> X(I2_A<k>, J).
+  EXPECT_NE(r.dump.find(",J) = UNKNOWN"), std::string::npos) << r.dump;
+}
+
+TEST(AnnotInline, LoopVariablesFreshened) {
+  auto r = inline_annot(kProgram,
+                        "subroutine COLOP(C, N) { dimension C[N];"
+                        "  do (I = 1:N) C[I] = unknown(C[I]); }");
+  ASSERT_NE(r.region, nullptr);
+  const fir::Stmt& loop = *r.region->body[0];
+  EXPECT_EQ(loop.kind, fir::StmtKind::Do);
+  EXPECT_NE(loop.do_var, "I");  // renamed to I_A<k>
+  EXPECT_EQ(loop.do_var.rfind("I_A", 0), 0u);
+}
+
+TEST(AnnotInline, ShapeMismatchSkipsSite) {
+  // Leading extent 5 does not match the actual's stride of 8: overlaying
+  // the annotated shape would misaddress; the site must be skipped (the
+  // annotation inliner never linearizes, paper §III.C.1).
+  auto r = inline_annot(kProgram,
+                        "subroutine COLOP(C, N) { dimension C[5, 2];"
+                        "  C = unknown(C); }");
+  EXPECT_EQ(r.report.sites_inlined, 0);
+  EXPECT_EQ(r.report.sites_skipped, 1);
+  EXPECT_EQ(r.region, nullptr);
+}
+
+TEST(AnnotInline, WrittenScalarFormalWithLvalueActualInlines) {
+  // N is written by the annotation; the actual (literal 8) is NOT an
+  // lvalue, so the site must be skipped...
+  auto r = inline_annot(kProgram,
+                        "subroutine COLOP(C, N) { dimension C[N];"
+                        "  N = 0; C = unknown(C); }");
+  EXPECT_EQ(r.report.sites_inlined, 0);
+  EXPECT_NE(r.report.notes.back().find("non-lvalue"), std::string::npos);
+
+  // ...while an lvalue actual binds by reference and inlines: the write to
+  // the formal lands on the actual.
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ V(32)
+      DO I = 1, 32
+        CALL SC(V(I), I)
+      ENDDO
+      END
+      SUBROUTINE SC(X, K)
+      INTEGER K
+      X = X + K * 0.5D0
+      END
+)";
+  auto r2 = inline_annot(src, "subroutine SC(X, K) { integer K;"
+                              "  X = unknown(X, K); }");
+  EXPECT_EQ(r2.report.sites_inlined, 1);
+  EXPECT_NE(r2.dump.find("V(I) = UNKNOWN(V(I),I)"), std::string::npos)
+      << r2.dump;
+}
+
+TEST(AnnotInline, CallOutsideLoopRespectsOption) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ G(16)
+      CALL SETUP
+      END
+      SUBROUTINE SETUP
+      COMMON /C/ G(16)
+      DO I = 1, 16
+        G(I) = I
+      ENDDO
+      END
+)";
+  auto keep = inline_annot(src, "subroutine SETUP() { G = unknown(G); }");
+  EXPECT_EQ(keep.report.sites_inlined, 0);
+  AnnotInlineOptions anywhere;
+  anywhere.require_in_loop = false;
+  auto done = inline_annot(src, "subroutine SETUP() { G = unknown(G); }", anywhere);
+  EXPECT_EQ(done.report.sites_inlined, 1);
+}
+
+TEST(AnnotInline, WorksOnExternalLibraryCallee) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ X(8,4)
+      DO J = 1, 4
+        CALL LIBROW(X(1,J))
+      ENDDO
+      END
+C$LIBRARY
+      SUBROUTINE LIBROW(R)
+      DOUBLE PRECISION R(*)
+      R(1) = 1.0
+      END
+)";
+  auto r = inline_annot(src,
+                        "subroutine LIBROW(R) { dimension R[8];"
+                        "  R = unknown(R); }");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+}
+
+TEST(AnnotInline, WorksOnRecursiveCallee) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ G(16)
+      DO I = 1, 16
+        CALL REC(I)
+      ENDDO
+      END
+      SUBROUTINE REC(N)
+      INTEGER N
+      COMMON /C/ G(16)
+      IF (N .GT. 1) CALL REC(N - 1)
+      G(N) = N
+      END
+)";
+  auto r = inline_annot(src,
+                        "subroutine REC(N) { integer N; G[unique(N)] = unknown(N); }");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+}
+
+TEST(AnnotInline, ImportsCalleeGlobalDeclsAsAnnotImported) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 8
+        CALL USE(I)
+      ENDDO
+      END
+      SUBROUTINE USE(K)
+      INTEGER K
+      COMMON /HIDDEN/ SCR(4)
+      COMMON /C/ X(8)
+      SCR(1) = K
+      X(K) = SCR(1)
+      END
+)";
+  auto r = inline_annot(src,
+                        "subroutine USE(K) { integer K;"
+                        "  SCR = unknown(K); X[K] = unknown(SCR); }");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  const fir::ProgramUnit* t = r.prog->find_unit("T");
+  const fir::VarDecl* scr = t->find_decl("SCR");
+  ASSERT_NE(scr, nullptr);
+  EXPECT_TRUE(scr->annot_imported);
+  EXPECT_EQ(scr->dims.size(), 1u);  // shape taken from the callee
+  bool in_common = false;
+  for (const auto& blk : t->commons)
+    if (blk.name == "HIDDEN")
+      for (const auto& v : blk.vars)
+        if (v == "SCR") in_common = true;
+  EXPECT_TRUE(in_common);
+}
+
+TEST(AnnotInline, UnknownAndUniqueSurviveAsNodes) {
+  auto r = inline_annot(kProgram,
+                        "subroutine COLOP(C, N) { dimension C[N];"
+                        "  C = unknown(C, unique(N)); }");
+  ASSERT_NE(r.region, nullptr);
+  bool has_unknown = false, has_unique = false;
+  fir::walk_stmts(r.region->body, [&](const fir::Stmt& s) {
+    fir::walk_exprs(s, [&](const fir::Expr& e) {
+      if (e.kind == fir::ExprKind::Unknown) has_unknown = true;
+      if (e.kind == fir::ExprKind::Unique) has_unique = true;
+    });
+    return true;
+  });
+  EXPECT_TRUE(has_unknown);
+  EXPECT_TRUE(has_unique);
+}
+
+TEST(AnnotInline, DistinctTagIdsPerSite) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ X(8,4)
+      DO J = 1, 4
+        CALL A1(X(1,J))
+        CALL A1(X(1,J))
+      ENDDO
+      END
+      SUBROUTINE A1(C)
+      DOUBLE PRECISION C(*)
+      C(1) = 1.0
+      END
+)";
+  auto r = inline_annot(src, "subroutine A1(C) { dimension C[8]; C = unknown(C); }");
+  EXPECT_EQ(r.report.sites_inlined, 2);
+  std::vector<int64_t> tags;
+  fir::walk_stmts(r.prog->find_unit("T")->body, [&](const fir::Stmt& s) {
+    if (s.kind == fir::StmtKind::TaggedRegion) tags.push_back(s.tag_id);
+    return true;
+  });
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_NE(tags[0], tags[1]);
+}
+
+TEST(AnnotInline, TagsRenderedAsComments) {
+  auto r = inline_annot(kProgram,
+                        "subroutine COLOP(C, N) { dimension C[N]; C = unknown(C); }");
+  EXPECT_NE(r.dump.find("C$ANNOT BEGIN COLOP"), std::string::npos);
+  EXPECT_NE(r.dump.find("C$ANNOT END COLOP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ap::xform

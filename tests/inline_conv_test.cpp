@@ -1,0 +1,454 @@
+// Unit tests for the conventional inliner (xform/inline_conventional.h):
+// the Polaris heuristics and the two binding pathologies of paper §II.A.
+#include <gtest/gtest.h>
+
+#include "fir/unparse.h"
+#include "tests/test_util.h"
+#include "xform/inline_conventional.h"
+
+namespace ap::xform {
+namespace {
+
+using test::parse_ok;
+
+struct Result {
+  std::unique_ptr<fir::Program> prog;
+  ConvInlineReport report;
+  std::string dump;
+};
+
+Result inline_src(const char* src, ConvInlineOptions opts = {}) {
+  Result r;
+  r.prog = parse_ok(src);
+  DiagnosticEngine d;
+  r.report = inline_conventional(*r.prog, opts, d);
+  r.dump = fir::unparse(*r.prog);
+  return r;
+}
+
+constexpr const char* kSmallCallee = R"(
+      SUBROUTINE INC(A, N)
+      DOUBLE PRECISION A(*)
+      INTEGER N
+      DO J = 1, N
+        A(J) = A(J) + 1.0
+      ENDDO
+      END
+)";
+
+TEST(ConvInline, InlinesSmallCalleeInLoop) {
+  std::string src = std::string(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL INC(X, 8)
+      ENDDO
+      END
+)") + kSmallCallee;
+  auto r = inline_src(src.c_str());
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  EXPECT_EQ(r.prog->find_unit("INC"), nullptr);  // dead unit removed
+  EXPECT_EQ(r.dump.find("CALL INC"), std::string::npos);
+}
+
+TEST(ConvInline, CallOutsideLoopNotInlined) {
+  std::string src = std::string(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      CALL INC(X, 8)
+      END
+)") + kSmallCallee;
+  auto r = inline_src(src.c_str());
+  EXPECT_EQ(r.report.sites_inlined, 0);
+  EXPECT_NE(r.prog->find_unit("INC"), nullptr);
+}
+
+TEST(ConvInline, RequireInLoopDisabled) {
+  std::string src = std::string(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      CALL INC(X, 8)
+      END
+)") + kSmallCallee;
+  ConvInlineOptions o;
+  o.require_in_loop = false;
+  auto r = inline_src(src.c_str(), o);
+  EXPECT_EQ(r.report.sites_inlined, 1);
+}
+
+TEST(ConvInline, IoCalleeExcluded) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL NOISY(X)
+      ENDDO
+      END
+      SUBROUTINE NOISY(A)
+      DOUBLE PRECISION A(*)
+      WRITE(*,*) 'HI'
+      A(1) = 1.0
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 0);
+  EXPECT_GE(r.report.sites_skipped, 1);
+}
+
+TEST(ConvInline, StopCalleeExcluded) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL GUARD(X)
+      ENDDO
+      END
+      SUBROUTINE GUARD(A)
+      DOUBLE PRECISION A(*)
+      IF (A(1) .LT. 0.0) STOP 'BAD'
+      A(1) = 1.0
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 0);
+}
+
+TEST(ConvInline, CompositionalCalleeExcluded) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL OUTER(X)
+      ENDDO
+      END
+      SUBROUTINE OUTER(A)
+      DOUBLE PRECISION A(*)
+      CALL INNER(A)
+      END
+      SUBROUTINE INNER(A)
+      DOUBLE PRECISION A(*)
+      A(1) = 1.0
+      END
+)");
+  // OUTER makes a call => excluded with the default max_callee_calls = 0;
+  // INNER's call site sits at loop depth 0 inside OUTER => also skipped.
+  EXPECT_EQ(r.report.sites_inlined, 0);
+}
+
+TEST(ConvInline, SizeThresholdRespected) {
+  std::string callee = "      SUBROUTINE BIG(A)\n      DOUBLE PRECISION A(*)\n";
+  for (int i = 1; i <= 40; ++i)
+    callee += "      A(" + std::to_string(i) + ") = " + std::to_string(i) + ".0\n";
+  callee += "      END\n";
+  std::string src = std::string(R"(
+      PROGRAM T
+      COMMON /C/ X(64)
+      DO I = 1, 4
+        CALL BIG(X)
+      ENDDO
+      END
+)") + callee;
+  ConvInlineOptions small;
+  small.max_stmts = 10;
+  EXPECT_EQ(inline_src(src.c_str(), small).report.sites_inlined, 0);
+  ConvInlineOptions large;
+  large.max_stmts = 150;
+  EXPECT_EQ(inline_src(src.c_str(), large).report.sites_inlined, 1);
+}
+
+TEST(ConvInline, RecursiveCalleeExcluded) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      DO I = 1, 4
+        CALL R(I)
+      ENDDO
+      END
+      SUBROUTINE R(N)
+      INTEGER N
+      IF (N .GT. 0) CALL R(N - 1)
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 0);
+}
+
+TEST(ConvInline, ExternalLibraryExcluded) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL LIBFN(X)
+      ENDDO
+      END
+C$LIBRARY
+      SUBROUTINE LIBFN(A)
+      DOUBLE PRECISION A(*)
+      A(1) = 1.0
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 0);
+  // Library units are never dead-eliminated while referenced.
+  EXPECT_NE(r.prog->find_unit("LIBFN"), nullptr);
+}
+
+TEST(ConvInline, ScalarFormalForwardSubstituted) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8), IX(4)
+      DO I = 1, 4
+        CALL SETV(X, IX(2))
+      ENDDO
+      END
+      SUBROUTINE SETV(A, K)
+      DOUBLE PRECISION A(*)
+      INTEGER K
+      A(K) = 1.0
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  // The indirect actual IX(2) lands inside the subscript: subscripted
+  // subscript (paper §II.A.1).
+  EXPECT_NE(r.dump.find("X(IX(2))"), std::string::npos) << r.dump;
+}
+
+TEST(ConvInline, WrittenScalarFormalGetsCopyInOut) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8), NERR
+      DO I = 1, 4
+        CALL CHECK(X, NERR)
+      ENDDO
+      END
+      SUBROUTINE CHECK(A, IERR)
+      DOUBLE PRECISION A(*)
+      INTEGER IERR
+      IERR = 0
+      A(1) = 1.0
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  EXPECT_NE(r.dump.find("IERR_IL"), std::string::npos) << r.dump;
+  EXPECT_NE(r.dump.find("NERR = IERR_IL"), std::string::npos) << r.dump;
+}
+
+TEST(ConvInline, ElementBaseMappingSameRank) {
+  // The PCINIT pattern: X2(*) bound to T(IX(7)) => X2(J) -> T(J + IX(7) - 1).
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ W(64), IX(8)
+      DO I = 1, 4
+        CALL FILL(W(IX(3)))
+      ENDDO
+      END
+      SUBROUTINE FILL(X2)
+      DOUBLE PRECISION X2(*)
+      DO J = 1, 8
+        X2(J) = J * 1.0
+      ENDDO
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  // The callee's J was freshened; check the shifted-base shape instead.
+  EXPECT_NE(r.dump.find("+IX(3))-1))"), std::string::npos) << r.dump;
+}
+
+TEST(ConvInline, ColumnMappingWhenExtentsMatch) {
+  // ADM pattern: COL(64) over U(1,J) of U(64,24) => per-dim mapping, no
+  // linearization.
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ U(64,24)
+      DO J = 1, 24
+        CALL SM(U(1,J))
+      ENDDO
+      END
+      SUBROUTINE SM(COL)
+      PARAMETER (NC = 64)
+      DOUBLE PRECISION COL(NC)
+      DO I = 2, 63
+        COL(I) = COL(I) * 0.5
+      ENDDO
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  EXPECT_NE(r.dump.find(",J)"), std::string::npos) << r.dump;  // 2-D ref kept
+  // U keeps its 2-D declaration.
+  const fir::VarDecl* d = r.prog->find_unit("T")->find_decl("U");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->dims.size(), 2u);
+}
+
+TEST(ConvInline, RankMismatchLinearizes) {
+  // The MATMLT pathology: V(*) over A(4,4) whole array => A flattened.
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ A(4,4)
+      DO I = 1, 4
+        CALL SWEEP(A)
+        A(2,3) = A(2,3) + 1.0
+      ENDDO
+      END
+      SUBROUTINE SWEEP(V)
+      DOUBLE PRECISION V(*)
+      DO J = 1, 16
+        V(J) = V(J) * 0.5
+      ENDDO
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  const fir::VarDecl* d = r.prog->find_unit("T")->find_decl("A");
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->dims.size(), 1u);  // declaration degraded to 1-D
+  // Caller's own A(2,3) reference was flattened: 2 + (3-1)*4 layout.
+  EXPECT_NE(r.dump.find("A((2+((3-1)*4)))"), std::string::npos) << r.dump;
+}
+
+TEST(ConvInline, CalleeLocalsFreshened) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      TMP = 7.0
+      DO I = 1, 4
+        CALL W2(X)
+      ENDDO
+      X(2) = TMP
+      END
+      SUBROUTINE W2(A)
+      DOUBLE PRECISION A(*)
+      TMP = 1.0
+      A(1) = TMP
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  EXPECT_NE(r.dump.find("TMP_IL"), std::string::npos) << r.dump;
+  // Caller's own TMP is untouched.
+  EXPECT_NE(r.dump.find("X(2) = TMP\n"), std::string::npos) << r.dump;
+}
+
+TEST(ConvInline, CommonBlocksImported) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL USEG(X)
+      ENDDO
+      END
+      SUBROUTINE USEG(A)
+      DOUBLE PRECISION A(*)
+      COMMON /GLOB/ G(4)
+      A(1) = G(2)
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  const fir::ProgramUnit* t = r.prog->find_unit("T");
+  bool has_glob = false;
+  for (const auto& blk : t->commons)
+    if (blk.name == "GLOB") has_glob = true;
+  EXPECT_TRUE(has_glob);
+}
+
+TEST(ConvInline, TrailingReturnDropped) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL S1(X)
+      ENDDO
+      END
+      SUBROUTINE S1(A)
+      DOUBLE PRECISION A(*)
+      A(1) = 1.0
+      RETURN
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 1);
+  EXPECT_EQ(test::count_kind(*r.prog->find_unit("T"), fir::StmtKind::Return), 0);
+}
+
+TEST(ConvInline, MidBodyReturnExcluded) {
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL S1(X)
+      ENDDO
+      END
+      SUBROUTINE S1(A)
+      DOUBLE PRECISION A(*)
+      IF (A(1) .GT. 0.0) RETURN
+      A(1) = 1.0
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 0);
+}
+
+TEST(ConvInline, DeadUnitEliminationKeepsReachable) {
+  std::string src = std::string(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL INC(X, 8)
+      ENDDO
+      CALL KEEPME(X)
+      END
+      SUBROUTINE KEEPME(A)
+      DOUBLE PRECISION A(*)
+      A(3) = 3.0
+      END
+)") + kSmallCallee;
+  auto r = inline_src(src.c_str());
+  EXPECT_EQ(r.prog->find_unit("INC"), nullptr);
+  EXPECT_NE(r.prog->find_unit("KEEPME"), nullptr);
+}
+
+TEST(ConvInline, SecondPassInlinesExposedCallees) {
+  // After INNER is inlined into MID, MID makes no calls and gets inlined
+  // into the main loop on the next pass.
+  auto r = inline_src(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL MID(X)
+      ENDDO
+      END
+      SUBROUTINE MID(A)
+      DOUBLE PRECISION A(*)
+      DO K = 1, 8
+        CALL INNER(A, K)
+      ENDDO
+      END
+      SUBROUTINE INNER(A, K)
+      DOUBLE PRECISION A(*)
+      INTEGER K
+      A(K) = K * 1.0
+      END
+)");
+  EXPECT_EQ(r.report.sites_inlined, 2);
+  EXPECT_EQ(r.prog->find_unit("MID"), nullptr);
+  EXPECT_EQ(r.prog->find_unit("INNER"), nullptr);
+}
+
+TEST(ConvInline, OriginIdsPreservedInCopies) {
+  std::string src = std::string(R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 4
+        CALL INC(X, 8)
+      ENDDO
+      END
+)") + kSmallCallee;
+  auto p0 = parse_ok(src);
+  int64_t inc_loop_origin = test::find_loop(*p0->find_unit("INC"), "J")->origin_id;
+  auto r = inline_src(src.c_str());
+  fir::Stmt* copy = test::find_loop(*r.prog->find_unit("T"), "J_IL0");
+  if (!copy) {
+    // Renamed with a different counter suffix: find by origin instead.
+    fir::walk_stmts(r.prog->find_unit("T")->body, [&](fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Do && s.origin_id == inc_loop_origin)
+        copy = &s;
+      return true;
+    });
+  }
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->origin_id, inc_loop_origin);
+}
+
+}  // namespace
+}  // namespace ap::xform

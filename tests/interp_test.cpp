@@ -1,0 +1,591 @@
+// Unit tests for the interpreter and its OpenMP runtime (interp/interp.h).
+#include <gtest/gtest.h>
+
+#include "interp/interp.h"
+#include "interp/tester.h"
+#include "par/parallelizer.h"
+#include "tests/test_util.h"
+
+namespace ap::interp {
+namespace {
+
+using test::parse_ok;
+
+RunResult run_serial(const fir::Program& prog) {
+  InterpOptions o;
+  o.enable_parallel = false;
+  Interpreter it(prog, o);
+  return it.run();
+}
+
+double scalar_of(const fir::Program& prog, const std::string& key) {
+  InterpOptions o;
+  o.enable_parallel = false;
+  Interpreter it(prog, o);
+  RunResult r = it.run();
+  EXPECT_TRUE(r.ok) << r.error;
+  auto snap = it.globals().snapshot_scalars();
+  auto itr = snap.find(key);
+  EXPECT_NE(itr, snap.end()) << key;
+  return itr == snap.end() ? 0.0 : itr->second;
+}
+
+TEST(Interp, ArithmeticAndIntrinsics) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      R = MAX(3, 5) + MIN(2.0, 1.0) + MOD(10, 3) + ABS(-4) + SQRT(16.0)
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 5 + 1.0 + 1 + 4 + 4.0);
+}
+
+TEST(Interp, IntegerDivisionTruncates) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ K
+      K = 7 / 2
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/K"), 3.0);
+}
+
+TEST(Interp, RealDivision) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      R = 7.0 / 2.0
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 3.5);
+}
+
+TEST(Interp, PowerOperator) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A, B
+      A = 2 ** 10
+      B = 2.0 ** 0.5
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/A"), 1024.0);
+}
+
+TEST(Interp, IntegerAssignmentTruncates) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ K
+      K = 3.9
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/K"), 3.0);
+}
+
+TEST(Interp, MoreIntrinsics) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R1, R2, R3, R4, R5
+      R1 = SIGN(5.0, -2.0) + SIGN(3.0, 4.0)
+      R2 = NINT(2.6) + INT(2.6)
+      R3 = EXP(0.0) + LOG(1.0)
+      R4 = IABS(-7) + DABS(-2.5D0)
+      R5 = DMOD(7.5D0, 2.0D0) + AMAX1(1.0, 9.0) + AMIN1(1.0, 9.0)
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R1"), -5.0 + 3.0);
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R2"), 3.0 + 2.0);
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R3"), 1.0 + 0.0);
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R4"), 7.0 + 2.5);
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R5"), 1.5 + 9.0 + 1.0);
+}
+
+TEST(Interp, TrigIntrinsics) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      R = SIN(0.0) + COS(0.0) + TAN(0.0)
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 1.0);
+}
+
+TEST(Interp, UnimplementedIntrinsicReported) {
+  // The parser treats DEXP/DLOG as intrinsics; feed one the interpreter
+  // does implement but misuse a runtime-unknown name via AST construction.
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      R = 1.0
+      END
+)");
+  std::vector<fir::ExprPtr> args;
+  args.push_back(fir::make_real(1.0));
+  p->units[0]->body.push_back(fir::make_assign(
+      fir::make_var("R"), fir::make_intrinsic("NOSUCH", std::move(args))));
+  auto r = run_serial(*p);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unimplemented intrinsic"), std::string::npos);
+}
+
+TEST(Interp, DoLoopAccumulates) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      S = 0.0
+      DO I = 1, 100
+        S = S + I
+      ENDDO
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/S"), 5050.0);
+}
+
+TEST(Interp, NegativeStepLoop) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      S = 0.0
+      DO I = 10, 1, -2
+        S = S + I
+      ENDDO
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/S"), 10 + 8 + 6 + 4 + 2);
+}
+
+TEST(Interp, ZeroTripLoop) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      S = 7.0
+      DO I = 5, 1
+        S = 0.0
+      ENDDO
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/S"), 7.0);
+}
+
+TEST(Interp, ColumnMajorLayout) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(2,3), R
+      DO J = 1, 3
+      DO I = 1, 2
+        A(I,J) = I * 10 + J
+      ENDDO
+      ENDDO
+      CALL FLAT(A, R)
+      END
+      SUBROUTINE FLAT(V, R)
+      DOUBLE PRECISION V(*)
+      V(1) = V(1)
+      R = V(2) * 100 + V(3)
+      END
+)");
+  // Column-major: V(2) = A(2,1) = 21, V(3) = A(1,2) = 12.
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 2112.0);
+}
+
+TEST(Interp, ElementBaseArgumentViews) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ W(16), R
+      DO I = 1, 16
+        W(I) = I
+      ENDDO
+      CALL PART(W(5), R)
+      END
+      SUBROUTINE PART(X, R)
+      DOUBLE PRECISION X(*)
+      R = X(1) + X(3)
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 5.0 + 7.0);
+}
+
+TEST(Interp, AdjustableDimensions) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(4,6), R
+      N = 4
+      M = 6
+      CALL FILL(A, N, M)
+      R = A(4,6) + A(1,2)
+      END
+      SUBROUTINE FILL(B, N, M)
+      INTEGER N, M
+      DIMENSION B(N, M)
+      DO J = 1, M
+      DO I = 1, N
+        B(I,J) = I * 100 + J
+      ENDDO
+      ENDDO
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 406.0 + 102.0);
+}
+
+TEST(Interp, ScalarPassedByReference) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      K = 1
+      CALL BUMP(K)
+      CALL BUMP(K)
+      R = K
+      END
+      SUBROUTINE BUMP(N)
+      INTEGER N
+      N = N + 10
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 21.0);
+}
+
+TEST(Interp, ExpressionArgumentByValue) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      K = 5
+      CALL TAKE(K + 1)
+      R = K
+      END
+      SUBROUTINE TAKE(N)
+      INTEGER N
+      N = 99
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 5.0);  // writes to a temp, discarded
+}
+
+TEST(Interp, ArrayElementScalarRef) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(4), R
+      A(2) = 1.0
+      CALL BUMPR(A(2))
+      R = A(2)
+      END
+      SUBROUTINE BUMPR(X)
+      X = X + 41.0
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 42.0);
+}
+
+TEST(Interp, RecursionWorks) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      R = 0.0
+      CALL FIB(10)
+      END
+      SUBROUTINE FIB(N)
+      INTEGER N
+      COMMON /C/ R
+      IF (N .GT. 0) THEN
+        R = R + N
+        CALL FIB(N - 1)
+      ENDIF
+      END
+)");
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 55.0);
+}
+
+TEST(Interp, StopTerminatesCleanly) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      R = 1.0
+      STOP 'EARLY'
+      R = 2.0
+      END
+)");
+  auto r = run_serial(*p);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.stop_message, "EARLY");
+}
+
+TEST(Interp, WriteProducesOutput) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      K = 7
+      WRITE(*,*) 'VALUE', K
+      END
+)");
+  auto r = run_serial(*p);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("VALUE 7"), std::string::npos) << r.output;
+}
+
+TEST(Interp, OutOfBoundsDetected) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(4)
+      A(5) = 1.0
+      END
+)");
+  auto r = run_serial(*p);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, StepBudgetGuardsRunaway) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      DO I = 1, 100000
+      DO J = 1, 100000
+        S = S + 1.0
+      ENDDO
+      ENDDO
+      END
+)");
+  InterpOptions o;
+  o.enable_parallel = false;
+  o.max_steps = 10000;
+  Interpreter it(*p, o);
+  auto r = it.run();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, LogicalOperatorsShortCircuit) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(2), R
+      R = 0.0
+      I = 5
+      IF (I .LT. 2 .AND. A(I) .GT. 0.0) THEN
+        R = 1.0
+      ENDIF
+      IF (I .GT. 2 .OR. A(I) .GT. 0.0) THEN
+        R = R + 2.0
+      ENDIF
+      END
+)");
+  // A(5) would be out of bounds: short-circuit must protect both accesses.
+  EXPECT_DOUBLE_EQ(scalar_of(*p, "C/R"), 2.0);
+}
+
+// ---- OpenMP execution -------------------------------------------------------
+
+std::unique_ptr<fir::Program> parallelized(const char* src) {
+  auto p = parse_ok(src);
+  DiagnosticEngine d;
+  par::ParallelizeOptions o;
+  par::parallelize(*p, o, d);
+  return p;
+}
+
+TEST(InterpOmp, ParallelLoopMatchesSerial) {
+  auto p = parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(1000)
+      DO I = 1, 1000
+        A(I) = I * 1.5
+      ENDDO
+      END
+)");
+  auto v = compare_serial_parallel(*p, 4);
+  EXPECT_TRUE(v.passed) << v.detail;
+}
+
+TEST(InterpOmp, ReductionCombines) {
+  auto p = parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(1000), S
+      DO I = 1, 1000
+        A(I) = I
+      ENDDO
+      S = 0.0
+      DO I = 1, 1000
+        S = S + A(I)
+      ENDDO
+      END
+)");
+  InterpOptions o;
+  o.num_threads = 4;
+  Interpreter it(*p, o);
+  ASSERT_TRUE(it.run().ok);
+  EXPECT_DOUBLE_EQ(it.globals().snapshot_scalars().at("C/S"), 500500.0);
+}
+
+TEST(InterpOmp, MinMaxReductions) {
+  auto p = parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(100), XLO, XHI
+      DO I = 1, 100
+        A(I) = (I - 50) * (I - 50) * 1.0
+      ENDDO
+      XLO = 1000000.0
+      XHI = -1000000.0
+      DO I = 1, 100
+        XLO = MIN(XLO, A(I))
+        XHI = MAX(XHI, A(I))
+      ENDDO
+      END
+)");
+  InterpOptions o;
+  o.num_threads = 4;
+  Interpreter it(*p, o);
+  ASSERT_TRUE(it.run().ok);
+  EXPECT_DOUBLE_EQ(it.globals().snapshot_scalars().at("C/XLO"), 0.0);
+  EXPECT_DOUBLE_EQ(it.globals().snapshot_scalars().at("C/XHI"), 2500.0);
+}
+
+TEST(InterpOmp, LastValueCopyOutForPrivates) {
+  auto p = parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(100), LASTT
+      DO I = 1, 100
+        T2 = I * 2
+        A(I) = T2
+      ENDDO
+      LASTT = T2
+      END
+)");
+  // T2 is private; sequential semantics leave T2 == 200 after the loop.
+  InterpOptions o;
+  o.num_threads = 4;
+  Interpreter it(*p, o);
+  ASSERT_TRUE(it.run().ok);
+  EXPECT_DOUBLE_EQ(it.globals().snapshot_scalars().at("C/LASTT"), 200.0);
+}
+
+TEST(InterpOmp, PrivateArraySemantics) {
+  auto p = parallelized(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(64)
+      DO I = 1, 64
+        DO J = 1, 8
+          W(J) = I * J * 1.0
+        ENDDO
+        A(I) = W(3) + W(5)
+      ENDDO
+      END
+)");
+  auto v = compare_serial_parallel(*p, 8);
+  EXPECT_TRUE(v.passed) << v.detail;
+}
+
+TEST(InterpOmp, PrivatizedCommonVisibleInCallee) {
+  // The THREADPRIVATE-analogue: W is privatized at the caller loop but only
+  // touched inside the callee.
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(64)
+      DO I = 1, 64
+        CALL KERNEL(I)
+      ENDDO
+      END
+      SUBROUTINE KERNEL(I)
+      INTEGER I
+      COMMON /C/ W(8), A(64)
+      DO J = 1, 8
+        W(J) = I * J * 1.0
+      ENDDO
+      A(I) = W(3) + W(5)
+      END
+)");
+  // Mark the loop parallel by hand with W private (this is what the
+  // annotation pipeline produces for DYFESM's XY).
+  fir::Stmt* loop = test::find_loop(*p->units[0], "I");
+  loop->omp.parallel = true;
+  loop->omp.privates = {"W"};
+  auto v = compare_serial_parallel(*p, 4);
+  EXPECT_TRUE(v.passed) << v.detail;
+}
+
+TEST(InterpOmp, NestedParallelRunsInnerSerially) {
+  auto p = parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(32,32)
+      DO J = 1, 32
+      DO I = 1, 32
+        A(I,J) = I + J * 100.0
+      ENDDO
+      ENDDO
+      END
+)");
+  // Both loops are marked parallel; execution must still be correct.
+  auto v = compare_serial_parallel(*p, 4);
+  EXPECT_TRUE(v.passed) << v.detail;
+}
+
+TEST(InterpOmp, StopInsideParallelLoopPropagates) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      DO I = 1, 64
+        A(I) = I
+      ENDDO
+      END
+)");
+  fir::Stmt* loop = test::find_loop(*p->units[0], "I");
+  loop->omp.parallel = true;
+  loop->body.push_back(fir::make_stop("INSIDE"));
+  InterpOptions o;
+  o.num_threads = 4;
+  Interpreter it(*p, o);
+  auto r = it.run();
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.stopped);
+}
+
+TEST(InterpOmp, MoreThreadsThanIterations) {
+  auto p = parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(5)
+      DO I = 1, 5
+        A(I) = I
+      ENDDO
+      END
+)");
+  fir::Stmt* loop = test::find_loop(*p->units[0], "I");
+  loop->omp.parallel = true;  // force despite profitability
+  auto v = compare_serial_parallel(*p, 16);
+  EXPECT_TRUE(v.passed) << v.detail;
+}
+
+TEST(InterpOmp, TesterDetectsIntentionalRace) {
+  // Deliberately mark a flow-dependent loop parallel: the runtime tester
+  // must notice the state divergence (validates the tester itself).
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(40000)
+      A(1) = 1.0
+      DO I = 2, 40000
+        A(I) = A(I-1) + 1.0
+      ENDDO
+      END
+)");
+  fir::Stmt* loop = test::find_loop(*p->units[0], "I");
+  loop->omp.parallel = true;
+  auto v = compare_serial_parallel(*p, 8);
+  EXPECT_FALSE(v.passed);
+}
+
+TEST(InterpOmp, DoVarHasExitValueAfterParallelLoop) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64), R
+      DO I = 1, 64
+        A(I) = I
+      ENDDO
+      R = I
+      END
+)");
+  fir::Stmt* loop = test::find_loop(*p->units[0], "I");
+  loop->omp.parallel = true;
+  InterpOptions o;
+  o.num_threads = 4;
+  Interpreter it(*p, o);
+  ASSERT_TRUE(it.run().ok);
+  EXPECT_DOUBLE_EQ(it.globals().snapshot_scalars().at("C/R"), 65.0);
+}
+
+}  // namespace
+}  // namespace ap::interp

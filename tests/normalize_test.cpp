@@ -1,0 +1,316 @@
+// Unit tests for the normalization passes (xform/normalize.h): forward
+// propagation and induction-variable substitution.
+#include <gtest/gtest.h>
+
+#include "fir/unparse.h"
+#include "interp/interp.h"
+#include "tests/test_util.h"
+#include "xform/normalize.h"
+
+namespace ap::xform {
+namespace {
+
+using test::parse_ok;
+
+std::string normalize_and_dump(const char* src, bool inductions = false) {
+  auto prog = parse_ok(src);
+  for (auto& u : prog->units) {
+    forward_propagate(u->body);
+    if (inductions) substitute_inductions(u->body);
+  }
+  return fir::unparse(*prog);
+}
+
+TEST(ForwardProp, SubstitutesScalarIntoSubscript) {
+  std::string out = normalize_and_dump(R"(
+      PROGRAM T
+      COMMON /C/ A(64), IDBEGS(8)
+      DO K = 1, 8
+        ID = IDBEGS(2) + K
+        A(ID) = 1.0
+      ENDDO
+      END
+)");
+  EXPECT_NE(out.find("A((IDBEGS(2)+K))"), std::string::npos) << out;
+}
+
+TEST(ForwardProp, ConstantPropagation) {
+  std::string out = normalize_and_dump(R"(
+      PROGRAM T
+      COMMON /C/ A(8), N
+      N = 4
+      A(N) = 1.0
+      END
+)");
+  EXPECT_NE(out.find("A(4)"), std::string::npos) << out;
+}
+
+TEST(ForwardProp, RedefinitionInvalidates) {
+  std::string out = normalize_and_dump(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      K = 1
+      K = K + 1
+      A(K) = 1.0
+      END
+)");
+  // K's second definition reads K (substituted to 1), giving K = 1 + 1; the
+  // propagated value of K at the use is (1+1).
+  EXPECT_NE(out.find("A((1+1))"), std::string::npos) << out;
+}
+
+TEST(ForwardProp, ArrayWriteInvalidatesDependents) {
+  std::string out = normalize_and_dump(R"(
+      PROGRAM T
+      COMMON /C/ A(8), B(8)
+      K = A(1)
+      A(1) = 9.0
+      B(2) = K
+      END
+)");
+  // K depends on A; after A is written the entry must be dropped.
+  EXPECT_NE(out.find("B(2) = K"), std::string::npos) << out;
+}
+
+TEST(ForwardProp, CallClearsEnvironment) {
+  std::string out = normalize_and_dump(R"(
+      PROGRAM T
+      COMMON /C/ A(8), N
+      N = 3
+      CALL S
+      A(N) = 1.0
+      END
+      SUBROUTINE S
+      COMMON /C/ A(8), N
+      N = 5
+      END
+)");
+  EXPECT_NE(out.find("A(N)"), std::string::npos) << out;
+}
+
+TEST(ForwardProp, BranchWritesInvalidateAfterIf) {
+  std::string out = normalize_and_dump(R"(
+      PROGRAM T
+      COMMON /C/ A(8), X
+      K = 2
+      IF (X .GT. 0.0) THEN
+        K = 3
+      ENDIF
+      A(K) = 1.0
+      END
+)");
+  EXPECT_NE(out.find("A(K)"), std::string::npos) << out;
+}
+
+TEST(ForwardProp, LoopBodyUsesSurvivingEntries) {
+  std::string out = normalize_and_dump(R"(
+      PROGRAM T
+      COMMON /C/ A(8,8), N
+      N = 4
+      DO I = 1, 8
+        A(N, I) = 1.0
+      ENDDO
+      END
+)");
+  EXPECT_NE(out.find("A(4,I)"), std::string::npos) << out;
+}
+
+TEST(ForwardProp, LoopWrittenEntriesInvalidated) {
+  std::string out = normalize_and_dump(R"(
+      PROGRAM T
+      COMMON /C/ A(8), N
+      N = 4
+      DO I = 1, 8
+        A(N) = A(N) + 1.0
+        N = N - 1
+      ENDDO
+      END
+)");
+  // N is written inside the loop: its pre-loop value must not propagate in.
+  EXPECT_NE(out.find("A(N)"), std::string::npos) << out;
+}
+
+TEST(ForwardProp, UnknownNeverPropagated) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      A(1) = 1.0
+      END
+)");
+  // Build "K = unknown(A); A(K) = 2.0" by hand (unknown is annotation-only).
+  auto& body = prog->units[0]->body;
+  std::vector<fir::ExprPtr> args;
+  args.push_back(fir::make_var("A"));
+  body.insert(body.begin(),
+              fir::make_assign(fir::make_var("K"), fir::make_unknown(std::move(args))));
+  std::vector<fir::ExprPtr> subs;
+  subs.push_back(fir::make_var("K"));
+  body.push_back(fir::make_assign(fir::make_array_ref("A", std::move(subs)),
+                                  fir::make_real(2.0)));
+  forward_propagate(body);
+  std::string out = fir::unparse(*prog);
+  EXPECT_NE(out.find("A(K) = 2.0"), std::string::npos) << out;
+}
+
+// ---- induction substitution --------------------------------------------------
+
+TEST(Induction, SimpleSingleLoop) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      K = 0
+      DO J = 1, 8
+        K = K + 1
+        A(K) = J * 1.0
+      ENDDO
+      END
+)");
+  int n = substitute_inductions(prog->units[0]->body);
+  EXPECT_EQ(n, 1);
+  std::string out = fir::unparse(*prog);
+  EXPECT_NE(out.find("APAR_K_BASE = K"), std::string::npos) << out;
+  // The subscript must reference the base, not K.
+  EXPECT_NE(out.find("APAR_K_BASE"), std::string::npos);
+  // The increment itself survives (it becomes a reduction).
+  EXPECT_NE(out.find("K = (K+1)"), std::string::npos) << out;
+}
+
+TEST(Induction, NestedLoopClosedForm) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      I = 0
+      DO N = 1, 8
+        DO J = 1, 8
+          I = I + 1
+          A(I) = N * 1.0
+        ENDDO
+      ENDDO
+      END
+)");
+  int n = substitute_inductions(prog->units[0]->body);
+  EXPECT_GE(n, 1);
+  std::string out = fir::unparse(*prog);
+  // Closed form references both loop indices.
+  EXPECT_NE(out.find("APAR_I_BASE"), std::string::npos) << out;
+}
+
+TEST(Induction, ConditionalIncrementSkipped) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64), B(64)
+      K = 0
+      DO J = 1, 8
+        IF (B(J) .GT. 0.0) THEN
+          K = K + 1
+        ENDIF
+        A(K + 1) = 1.0
+      ENDDO
+      END
+)");
+  EXPECT_EQ(substitute_inductions(prog->units[0]->body), 0);
+}
+
+TEST(Induction, MultipleWritesSkipped) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      K = 0
+      DO J = 1, 8
+        K = K + 1
+        K = K + 2
+        A(J) = K
+      ENDDO
+      END
+)");
+  EXPECT_EQ(substitute_inductions(prog->units[0]->body), 0);
+}
+
+TEST(Induction, UseBeforeIncrementSkipped) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      K = 0
+      DO J = 1, 8
+        A(K + 1) = 1.0
+        K = K + 1
+      ENDDO
+      END
+)");
+  EXPECT_EQ(substitute_inductions(prog->units[0]->body), 0);
+}
+
+TEST(Induction, VariableStepSkipped) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64), N
+      K = 0
+      DO J = 1, 8
+        K = K + N
+        A(J) = K
+      ENDDO
+      END
+)");
+  EXPECT_EQ(substitute_inductions(prog->units[0]->body), 0);
+}
+
+TEST(Induction, NoReadsNothingToDo) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      K = 0
+      DO J = 1, 8
+        K = K + 1
+        A(J) = 1.0
+      ENDDO
+      END
+)");
+  EXPECT_EQ(substitute_inductions(prog->units[0]->body), 0);
+}
+
+TEST(Induction, IdempotentOnSecondRun) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      K = 0
+      DO J = 1, 8
+        K = K + 1
+        A(K) = 1.0
+      ENDDO
+      END
+)");
+  EXPECT_EQ(substitute_inductions(prog->units[0]->body), 1);
+  EXPECT_EQ(substitute_inductions(prog->units[0]->body), 0);
+}
+
+TEST(Induction, SemanticsPreservedByInterpretation) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ A(64), CHK
+      I = 0
+      DO N = 1, 8
+        DO J = 1, 8
+          I = I + 1
+          A(I) = N * 10.0 + J
+        ENDDO
+      ENDDO
+      CHK = A(1) + A(9) + A(64) + I
+      END
+)";
+  // Interpreting the original and the induction-substituted program must
+  // give identical final state.
+  auto p1 = parse_ok(src);
+  auto p2 = parse_ok(src);
+  substitute_inductions(p2->units[0]->body);
+  interp::InterpOptions o;
+  o.enable_parallel = false;
+  interp::Interpreter i1(*p1, o), i2(*p2, o);
+  ASSERT_TRUE(i1.run().ok);
+  ASSERT_TRUE(i2.run().ok);
+  auto s1 = i1.globals().snapshot_scalars();
+  auto s2 = i2.globals().snapshot_scalars();
+  EXPECT_EQ(s1.at("C/CHK"), s2.at("C/CHK"));
+}
+
+}  // namespace
+}  // namespace ap::xform

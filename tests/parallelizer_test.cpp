@@ -1,0 +1,387 @@
+// Unit tests for the loop parallelizer (par/parallelizer.h).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "par/parallelizer.h"
+#include "tests/test_util.h"
+
+namespace ap::par {
+namespace {
+
+using test::parse_ok;
+
+struct Run {
+  std::unique_ptr<fir::Program> prog;
+  ParallelizeResult result;
+};
+
+Run par(const char* src, ParallelizeOptions opts = {}) {
+  Run r;
+  r.prog = parse_ok(src);
+  DiagnosticEngine d;
+  r.result = parallelize(*r.prog, opts, d);
+  return r;
+}
+
+const LoopVerdict* verdict_for(const Run& r, const char* var) {
+  for (const auto& v : r.result.loops)
+    if (v.do_var == var) return &v;
+  return nullptr;
+}
+
+TEST(Parallelizer, IndependentWritesParallel) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16)
+      DO I = 1, 16
+        A(I) = I * 2.0
+      ENDDO
+      END
+)");
+  const auto* v = verdict_for(r, "I");
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->parallel) << v->reason;
+}
+
+TEST(Parallelizer, FlowDependenceSerial) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(17)
+      DO I = 2, 16
+        A(I) = A(I-1) + 1.0
+      ENDDO
+      END
+)");
+  EXPECT_FALSE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, CallMakesLoopSerial) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16)
+      DO I = 1, 16
+        CALL F(I)
+      ENDDO
+      END
+      SUBROUTINE F(K)
+      INTEGER K
+      COMMON /C/ A(16)
+      A(K) = K
+      END
+)");
+  const auto* v = verdict_for(r, "I");
+  EXPECT_FALSE(v->parallel);
+  EXPECT_NE(v->reason.find("CALL"), std::string::npos);
+}
+
+TEST(Parallelizer, IoMakesLoopSerial) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16)
+      DO I = 1, 16
+        A(I) = I
+        WRITE(*,*) A(I)
+      ENDDO
+      END
+)");
+  EXPECT_FALSE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, StopMakesLoopSerial) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16)
+      DO I = 1, 16
+        IF (A(I) .LT. 0.0) STOP 'BAD'
+        A(I) = I
+      ENDDO
+      END
+)");
+  const auto* v = verdict_for(r, "I");
+  EXPECT_FALSE(v->parallel);
+  EXPECT_NE(v->reason.find("STOP"), std::string::npos);
+}
+
+TEST(Parallelizer, ProfitabilityThreshold) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(3)
+      DO I = 1, 3
+        A(I) = I
+      ENDDO
+      END
+)");
+  const auto* v = verdict_for(r, "I");
+  EXPECT_FALSE(v->parallel);
+  EXPECT_NE(v->reason.find("profitability"), std::string::npos);
+}
+
+TEST(Parallelizer, UnknownTripAssumedProfitable) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(64), N
+      DO I = 1, N
+        A(I) = I
+      ENDDO
+      END
+)");
+  EXPECT_TRUE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, ReductionRecognized) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16), S
+      DO I = 1, 16
+        S = S + A(I)
+      ENDDO
+      END
+)");
+  const auto* v = verdict_for(r, "I");
+  ASSERT_TRUE(v->parallel) << v->reason;
+  fir::Stmt* loop = test::find_loop(*r.prog->units[0], "I");
+  ASSERT_EQ(loop->omp.reductions.size(), 1u);
+  EXPECT_EQ(loop->omp.reductions[0].var, "S");
+  EXPECT_EQ(loop->omp.reductions[0].op, "+");
+}
+
+TEST(Parallelizer, PrivateScalarInClause) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16)
+      DO I = 1, 16
+        T2 = I * 2.0
+        A(I) = T2 * T2
+      ENDDO
+      END
+)");
+  fir::Stmt* loop = test::find_loop(*r.prog->units[0], "I");
+  ASSERT_TRUE(loop->omp.parallel);
+  EXPECT_NE(std::find(loop->omp.privates.begin(), loop->omp.privates.end(), "T2"),
+            loop->omp.privates.end());
+}
+
+TEST(Parallelizer, PrivatizableArrayInClause) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        DO J = 1, 8
+          W(J) = I * J * 1.0
+        ENDDO
+        A(I) = W(3) + W(5)
+      ENDDO
+      END
+)");
+  fir::Stmt* loop = test::find_loop(*r.prog->units[0], "I");
+  ASSERT_TRUE(loop->omp.parallel);
+  EXPECT_NE(std::find(loop->omp.privates.begin(), loop->omp.privates.end(), "W"),
+            loop->omp.privates.end());
+}
+
+TEST(Parallelizer, ScalarBlockerSerial) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16), LASTV
+      DO I = 1, 16
+        A(I) = LASTV
+        LASTV = A(I) + 1.0
+      ENDDO
+      END
+)");
+  const auto* v = verdict_for(r, "I");
+  EXPECT_FALSE(v->parallel);
+  EXPECT_NE(v->reason.find("LASTV"), std::string::npos);
+}
+
+TEST(Parallelizer, InductionSubstitutionEnablesInnerLoop) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      K = 0
+      DO N = 1, 8
+        DO J = 1, 8
+          K = K + 1
+          A(K) = N * 1.0
+        ENDDO
+      ENDDO
+      END
+)");
+  // With induction substitution the J loop writes distinct elements.
+  EXPECT_TRUE(verdict_for(r, "J")->parallel) << verdict_for(r, "J")->reason;
+}
+
+TEST(Parallelizer, NormalizeDisabledKeepsInduction) {
+  ParallelizeOptions o;
+  o.normalize = false;
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(64)
+      K = 0
+      DO N = 1, 8
+        DO J = 1, 8
+          K = K + 1
+          A(K) = N * 1.0
+        ENDDO
+      ENDDO
+      END
+)",
+               o);
+  EXPECT_FALSE(verdict_for(r, "J")->parallel);
+}
+
+TEST(Parallelizer, NestedLoopsBothMarked) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16,16)
+      DO J = 1, 16
+      DO I = 1, 16
+        A(I,J) = I + J
+      ENDDO
+      ENDDO
+      END
+)");
+  EXPECT_TRUE(verdict_for(r, "J")->parallel);
+  EXPECT_TRUE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, NonUnitStepSerial) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16)
+      DO I = 1, 16, 2
+        A(I) = I
+      ENDDO
+      END
+)");
+  EXPECT_FALSE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, IndirectSubscriptSerial) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16), IDX(16)
+      DO I = 1, 16
+        A(IDX(I)) = I
+      ENDDO
+      END
+)");
+  EXPECT_FALSE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, InvariantIndirectBaseParallel) {
+  // A(IX(3) + I): IX is read-only, so IX(3) is a shared symbol.
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(64), IX(8)
+      DO I = 1, 16
+        A(IX(3) + I) = I
+      ENDDO
+      END
+)");
+  EXPECT_TRUE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, TwoInvariantBasesConservative) {
+  // Writes at IX(3)+I, reads at IX(4)+I: regions cannot be proven disjoint.
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(64), IX(8)
+      DO I = 1, 16
+        A(IX(3) + I) = A(IX(4) + I) + 1.0
+      ENDDO
+      END
+)");
+  EXPECT_FALSE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, DifferentArraysNoAlias) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16), B(16)
+      DO I = 1, 16
+        A(I) = B(17 - I)
+      ENDDO
+      END
+)");
+  EXPECT_TRUE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, SectionsDrivePrivatization) {
+  // Annotation-style whole-array write then read: privatizable.
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        DO J = 1, 8
+          W(J) = I
+        ENDDO
+        A(I) = W(1)
+      ENDDO
+      END
+)");
+  EXPECT_TRUE(verdict_for(r, "I")->parallel);
+}
+
+TEST(Parallelizer, CollectAllBlockersReportsEveryReason) {
+  ParallelizeOptions o;
+  o.collect_all_blockers = true;
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16), B(17), LASTV
+      DO I = 2, 16
+        A(I) = LASTV
+        LASTV = A(I) + 1.0
+        B(I) = B(I-1) * 0.5
+        WRITE(*,*) B(I)
+      ENDDO
+      END
+)",
+               o);
+  const auto* v = verdict_for(r, "I");
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->parallel);
+  // Three independent blockers: the I/O, the scalar LASTV, and the carried
+  // dependence on B.
+  ASSERT_GE(v->blockers.size(), 3u);
+  std::set<std::string> kinds;
+  for (const auto& b : v->blockers) kinds.insert(blocker_kind_name(b.kind));
+  EXPECT_TRUE(kinds.count("io"));
+  EXPECT_TRUE(kinds.count("scalar"));
+  EXPECT_TRUE(kinds.count("array-dependence"));
+}
+
+TEST(Parallelizer, DefaultModeStopsAtFirstBlocker) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16), LASTV
+      DO I = 1, 16
+        A(I) = LASTV
+        LASTV = A(I) + 1.0
+        WRITE(*,*) A(I)
+      ENDDO
+      END
+)");
+  const auto* v = verdict_for(r, "I");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->blockers.size(), 1u);
+}
+
+TEST(Parallelizer, ResultQueryHelpers) {
+  auto r = par(R"(
+      PROGRAM T
+      COMMON /C/ A(16)
+      DO I = 1, 16
+        A(I) = I
+      ENDDO
+      END
+)");
+  ASSERT_EQ(r.result.loops.size(), 1u);
+  EXPECT_EQ(r.result.parallelized, 1);
+  EXPECT_TRUE(r.result.is_parallel(r.result.loops[0].origin_id));
+  EXPECT_FALSE(r.result.is_parallel(999));
+}
+
+}  // namespace
+}  // namespace ap::par

@@ -1,0 +1,268 @@
+// Integration tests: the full paper workflow (Fig. 1) over the mini-PERFECT
+// suite, checking the Table II invariants per application and the runtime
+// tester (paper §III.D) across thread counts.
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.h"
+#include "interp/tester.h"
+#include "suite/suite.h"
+#include "tests/test_util.h"
+
+namespace ap {
+namespace {
+
+using driver::InlineConfig;
+using driver::PipelineOptions;
+using driver::PipelineResult;
+
+PipelineResult run(const suite::BenchmarkApp& app, InlineConfig cfg) {
+  PipelineOptions opts;
+  opts.config = cfg;
+  PipelineResult r = driver::run_pipeline(app, opts);
+  EXPECT_TRUE(r.ok) << app.name << ": " << r.error;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Table II invariants that hold for EVERY application (parameterized).
+// ---------------------------------------------------------------------------
+
+class SuiteInvariantTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteInvariantTest, AnnotationInliningNeverLosesParallelLoops) {
+  const auto* app = suite::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  auto none = run(*app, InlineConfig::None);
+  auto annot = run(*app, InlineConfig::Annotation);
+  for (int64_t id : none.parallel_loops)
+    EXPECT_TRUE(annot.parallel_loops.count(id))
+        << app->name << ": loop " << id
+        << " parallel under no-inlining but lost under annotation-based inlining";
+}
+
+TEST_P(SuiteInvariantTest, AnnotationInliningFindsAtLeastAsManyLoops) {
+  const auto* app = suite::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  auto none = run(*app, InlineConfig::None);
+  auto annot = run(*app, InlineConfig::Annotation);
+  EXPECT_GE(annot.parallel_loops.size(), none.parallel_loops.size());
+}
+
+TEST_P(SuiteInvariantTest, ReverseInliningRestoresEveryRegion) {
+  const auto* app = suite::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  auto annot = run(*app, InlineConfig::Annotation);
+  EXPECT_EQ(annot.reverse_report.regions_failed, 0)
+      << app->name << ": pattern matching fell back to call-site hints";
+  // No tagged regions may survive into the final program.
+  for (const auto& u : annot.program->units) {
+    EXPECT_EQ(test::count_kind(*u, fir::StmtKind::TaggedRegion), 0)
+        << app->name << "/" << u->name;
+  }
+}
+
+TEST_P(SuiteInvariantTest, AnnotationCodeGrowthIsOnlyDirectives) {
+  const auto* app = suite::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  auto none = run(*app, InlineConfig::None);
+  auto annot = run(*app, InlineConfig::Annotation);
+  // Paper §IV.A: "the small increase in code size is mostly due to the
+  // extra OpenMP directives". Allow directives plus the few declarations
+  // kept alive for privatized COMMON temporaries.
+  EXPECT_LE(annot.code_lines, none.code_lines + 24) << app->name;
+  EXPECT_GE(annot.code_lines + 4, none.code_lines) << app->name;
+}
+
+TEST_P(SuiteInvariantTest, CallCountPreservedByAnnotationRoundTrip) {
+  const auto* app = suite::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  auto none = run(*app, InlineConfig::None);
+  auto annot = run(*app, InlineConfig::Annotation);
+  auto count_calls = [](const fir::Program& p) {
+    int n = 0;
+    for (const auto& u : p.units) n += test::count_kind(*u, fir::StmtKind::Call);
+    return n;
+  };
+  EXPECT_EQ(count_calls(*none.program), count_calls(*annot.program)) << app->name;
+}
+
+TEST_P(SuiteInvariantTest, RuntimeTesterPassesUnderEveryConfig) {
+  const auto* app = suite::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  for (InlineConfig cfg : {InlineConfig::None, InlineConfig::Conventional,
+                           InlineConfig::Annotation}) {
+    auto r = run(*app, cfg);
+    auto verdict = interp::compare_serial_parallel(*r.program, 4);
+    EXPECT_TRUE(verdict.passed)
+        << app->name << " under " << driver::config_name(cfg) << ": "
+        << verdict.detail;
+  }
+}
+
+TEST_P(SuiteInvariantTest, SerialExecutionDeterministicAcrossConfigs) {
+  const auto* app = suite::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  // The three configurations transform the program but must preserve its
+  // sequential semantics: identical WRITE output.
+  std::string baseline;
+  for (InlineConfig cfg : {InlineConfig::None, InlineConfig::Conventional,
+                           InlineConfig::Annotation}) {
+    auto r = run(*app, cfg);
+    interp::InterpOptions o;
+    o.enable_parallel = false;
+    interp::Interpreter it(*r.program, o);
+    auto res = it.run();
+    ASSERT_TRUE(res.ok) << app->name << "/" << driver::config_name(cfg) << ": "
+                        << res.error;
+    if (baseline.empty())
+      baseline = res.output;
+    else
+      EXPECT_EQ(res.output, baseline)
+          << app->name << " under " << driver::config_name(cfg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SuiteInvariantTest,
+    ::testing::Values("ADM", "ARC2D", "FLO52Q", "OCEAN", "BDNA", "MDG", "QCD",
+                      "TRFD", "DYFESM", "MG3D", "TRACK", "SPEC77"),
+    [](const ::testing::TestParamInfo<std::string>& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Thread-count sweep for the runtime tester (annotation config only: it has
+// the most parallelism to stress).
+// ---------------------------------------------------------------------------
+
+class ThreadSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ThreadSweepTest, AnnotationParallelMatchesSerial) {
+  const auto* app = suite::find_app(std::get<0>(GetParam()));
+  ASSERT_NE(app, nullptr);
+  auto r = run(*app, InlineConfig::Annotation);
+  auto verdict = interp::compare_serial_parallel(*r.program, std::get<1>(GetParam()));
+  EXPECT_TRUE(verdict.passed) << verdict.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThreadSweepTest,
+    ::testing::Combine(::testing::Values("TRFD", "DYFESM", "MDG", "TRACK",
+                                         "SPEC77", "MG3D"),
+                       ::testing::Values(2, 3, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      return std::get<0>(info.param) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// App-specific Table II expectations (the paper's qualitative claims).
+// ---------------------------------------------------------------------------
+
+driver::Table2Row row(const char* name) {
+  const auto* app = suite::find_app(name);
+  EXPECT_NE(app, nullptr);
+  return driver::evaluate_table2_row(*app);
+}
+
+TEST(Table2, TRFD_LinearizationLosesAndAnnotationGains) {
+  auto r = row("TRFD");
+  EXPECT_GT(r.loss_conv, 0);    // paper §II.A.2: dimension linearization
+  EXPECT_EQ(r.extra_conv, 0);
+  EXPECT_EQ(r.loss_annot, 0);
+  EXPECT_GT(r.extra_annot, 0);  // the KS loop of Fig. 17
+}
+
+TEST(Table2, BDNA_ForwardSubstitutionLosesParallelism) {
+  auto r = row("BDNA");
+  EXPECT_GE(r.loss_conv, 3);    // PCINIT/FORCES/UPDATE copies (Figs. 2-3)
+  EXPECT_EQ(r.loss_annot, 0);
+  EXPECT_EQ(r.extra_annot, 0);  // annotations do not help BDNA
+}
+
+TEST(Table2, DYFESM_OpaqueSubroutineOnlyViaAnnotations) {
+  auto r = row("DYFESM");
+  EXPECT_EQ(r.extra_conv, 0);   // FSMP excluded: compositional + STOP
+  EXPECT_EQ(r.loss_conv, 0);
+  EXPECT_EQ(r.extra_annot, 2);  // the K loop (Fig. 7) and the assembly loop
+  EXPECT_EQ(r.loss_annot, 0);
+}
+
+TEST(Table2, ADM_CleanCalleeHelpsBothInliners) {
+  auto r = row("ADM");
+  EXPECT_EQ(r.extra_conv, 3);
+  EXPECT_EQ(r.extra_annot, 3);
+  EXPECT_EQ(r.loss_conv, 0);
+  EXPECT_EQ(r.loss_annot, 0);
+}
+
+TEST(Table2, ControlAppsUnaffectedByInlining) {
+  for (const char* name : {"FLO52Q", "OCEAN"}) {
+    auto r = row(name);
+    EXPECT_EQ(r.par_none, r.par_conv) << name;
+    EXPECT_EQ(r.par_none, r.par_annot) << name;
+    EXPECT_EQ(r.lines_none, r.lines_conv) << name;
+  }
+}
+
+TEST(Table2, IOInCalleesBlocksConventionalOnly) {
+  for (const char* name : {"MDG", "QCD"}) {
+    auto r = row(name);
+    EXPECT_EQ(r.extra_conv, 0) << name;
+    EXPECT_EQ(r.loss_conv, 0) << name;
+    EXPECT_GT(r.extra_annot, 0) << name;
+  }
+}
+
+TEST(Table2, ExternalLibraryOnlyAnnotationsApply) {
+  auto r = row("MG3D");
+  EXPECT_EQ(r.extra_conv, 0);
+  EXPECT_EQ(r.extra_annot, 1);
+}
+
+TEST(Table2, RecursiveHelperOnlyAnnotationsApply) {
+  auto r = row("SPEC77");
+  EXPECT_EQ(r.extra_conv, 0);
+  EXPECT_EQ(r.extra_annot, 1);
+}
+
+TEST(Table2, IndirectIndexArraysNeedUnique) {
+  auto r = row("TRACK");
+  EXPECT_EQ(r.extra_conv, 0);   // LINK(IOB) subscript defeats analysis
+  EXPECT_EQ(r.extra_annot, 1);  // unique() certifies the permutation
+}
+
+TEST(Table2, AggregateShapeMatchesPaper) {
+  int total_extra_annot = 0, total_extra_conv = 0;
+  int total_loss_annot = 0, total_loss_conv = 0;
+  for (const auto& app : suite::perfect_suite()) {
+    auto r = driver::evaluate_table2_row(app);
+    total_extra_annot += r.extra_annot;
+    total_extra_conv += r.extra_conv;
+    total_loss_annot += r.loss_annot;
+    total_loss_conv += r.loss_conv;
+  }
+  // Paper §IV.A (scaled): annotation-based inlining finds strictly more
+  // extra parallel loops than conventional inlining (37 vs 12 in the
+  // paper), never loses any (0 vs 90), and conventional inlining loses
+  // many.
+  EXPECT_GT(total_extra_annot, total_extra_conv);
+  EXPECT_EQ(total_loss_annot, 0);
+  EXPECT_GT(total_loss_conv, total_extra_conv);
+  EXPECT_GT(total_extra_annot, 8);
+  EXPECT_GT(total_loss_conv, 4);
+}
+
+TEST(Table2, InliningHelpsAboutHalfTheSuite) {
+  // Paper: "inlining ... is able to improve the effectiveness of automatic
+  // parallelization for 6 out of the 12 PERFECT benchmarks".
+  int helped = 0;
+  for (const auto& app : suite::perfect_suite()) {
+    auto r = driver::evaluate_table2_row(app);
+    if (r.extra_annot > 0 || r.extra_conv > 0) ++helped;
+  }
+  EXPECT_GE(helped, 6);
+  EXPECT_LE(helped, 9);
+}
+
+}  // namespace
+}  // namespace ap

@@ -1,0 +1,161 @@
+// Property-style sweeps over the whole mini-PERFECT suite: invariants that
+// must hold for every application and configuration (TEST_P batteries).
+#include <gtest/gtest.h>
+
+#include "annot/checker.h"
+#include "driver/pipeline.h"
+#include "fir/parser.h"
+#include "fir/unparse.h"
+#include "interp/interp.h"
+#include "sema/symbols.h"
+#include "suite/suite.h"
+#include "tests/test_util.h"
+
+namespace ap {
+namespace {
+
+std::vector<std::string> app_names() {
+  std::vector<std::string> out;
+  for (const auto& a : suite::perfect_suite()) out.push_back(a.name);
+  return out;
+}
+
+class AppProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  const suite::BenchmarkApp& app() {
+    const auto* a = suite::find_app(GetParam());
+    EXPECT_NE(a, nullptr);
+    return *a;
+  }
+};
+
+TEST_P(AppProperty, UnparseIsAFixedPointOfParse) {
+  DiagnosticEngine d;
+  auto p1 = fir::parse_program(app().source, d);
+  ASSERT_NE(p1, nullptr) << d.render_all();
+  std::string t1 = fir::unparse(*p1);
+  auto p2 = fir::parse_program(t1, d);
+  ASSERT_NE(p2, nullptr) << d.render_all();
+  EXPECT_EQ(fir::unparse(*p2), t1);
+}
+
+TEST_P(AppProperty, SemaValidatesCleanly) {
+  DiagnosticEngine d;
+  auto p = fir::parse_program(app().source, d);
+  ASSERT_NE(p, nullptr);
+  sema::SemaContext sema(*p, d);
+  EXPECT_TRUE(sema.valid()) << d.render_all();
+}
+
+TEST_P(AppProperty, CloneIsDeepAndIndependent) {
+  DiagnosticEngine d;
+  auto p = fir::parse_program(app().source, d);
+  ASSERT_NE(p, nullptr);
+  auto c = p->clone();
+  std::string before = fir::unparse(*p);
+  // Mutate the clone heavily; the original must not change.
+  for (auto& u : c->units) u->body.clear();
+  EXPECT_EQ(fir::unparse(*p), before);
+}
+
+TEST_P(AppProperty, FinalProgramsRemainSemaValid) {
+  for (auto cfg : {driver::InlineConfig::None, driver::InlineConfig::Conventional,
+                   driver::InlineConfig::Annotation}) {
+    driver::PipelineOptions o;
+    o.config = cfg;
+    auto r = driver::run_pipeline(app(), o);
+    ASSERT_TRUE(r.ok) << r.error;
+    DiagnosticEngine d;
+    sema::SemaContext sema(*r.program, d);
+    EXPECT_TRUE(sema.valid())
+        << app().name << "/" << driver::config_name(cfg) << ":\n"
+        << d.render_all();
+  }
+}
+
+TEST_P(AppProperty, PipelineIsDeterministic) {
+  driver::PipelineOptions o;
+  o.config = driver::InlineConfig::Annotation;
+  auto r1 = driver::run_pipeline(app(), o);
+  auto r2 = driver::run_pipeline(app(), o);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(fir::unparse(*r1.program), fir::unparse(*r2.program));
+  EXPECT_EQ(r1.parallel_loops, r2.parallel_loops);
+}
+
+TEST_P(AppProperty, SerialRunTerminatesAndWritesChecksum) {
+  driver::PipelineOptions o;
+  o.config = driver::InlineConfig::None;
+  auto r = driver::run_pipeline(app(), o);
+  ASSERT_TRUE(r.ok);
+  interp::InterpOptions io;
+  io.enable_parallel = false;
+  interp::Interpreter it(*r.program, io);
+  auto res = it.run();
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_FALSE(res.stopped) << "error-handling path triggered: " << res.stop_message;
+  EXPECT_NE(res.output.find("CHECKSUM"), std::string::npos);
+  EXPECT_GT(res.statements_executed, 1000u);  // nontrivial work
+}
+
+TEST_P(AppProperty, ConventionalInliningPreservesSemantics) {
+  // The inlined program must compute the same output as the original.
+  driver::PipelineOptions o;
+  o.config = driver::InlineConfig::None;
+  auto none = driver::run_pipeline(app(), o);
+  o.config = driver::InlineConfig::Conventional;
+  auto conv = driver::run_pipeline(app(), o);
+  ASSERT_TRUE(none.ok && conv.ok);
+  interp::InterpOptions io;
+  io.enable_parallel = false;
+  interp::Interpreter i1(*none.program, io), i2(*conv.program, io);
+  auto r1 = i1.run();
+  auto r2 = i2.run();
+  ASSERT_TRUE(r1.ok) << r1.error;
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(r1.output, r2.output) << app().name;
+}
+
+TEST_P(AppProperty, ParallelMarksOnlyOnDoLoops) {
+  driver::PipelineOptions o;
+  o.config = driver::InlineConfig::Annotation;
+  auto r = driver::run_pipeline(app(), o);
+  ASSERT_TRUE(r.ok);
+  for (const auto& u : r.program->units) {
+    fir::walk_stmts(u->body, [&](const fir::Stmt& s) {
+      if (s.omp.parallel) {
+        EXPECT_EQ(s.kind, fir::StmtKind::Do);
+      }
+      // Every privatized name must resolve to a declaration or be an
+      // implicit scalar (never an array without shape).
+      return true;
+    });
+  }
+}
+
+TEST_P(AppProperty, VerdictsCoverEveryLoopOnce) {
+  driver::PipelineOptions o;
+  o.config = driver::InlineConfig::None;
+  auto r = driver::run_pipeline(app(), o);
+  ASSERT_TRUE(r.ok);
+  // Count DO loops in application units of the final program.
+  int loops = 0;
+  for (const auto& u : r.program->units) {
+    if (u->external_library) continue;
+    loops += test::count_kind(*u, fir::StmtKind::Do);
+  }
+  int verdicts = 0;
+  for (const auto& v : r.par.loops)
+    if (r.program->find_unit(v.unit) &&
+        !r.program->find_unit(v.unit)->external_library)
+      ++verdicts;
+  EXPECT_EQ(verdicts, loops) << app().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppProperty, ::testing::ValuesIn(app_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace ap

@@ -1,0 +1,340 @@
+// Unit tests for the reverse inliner (xform/reverse_inline.h): round trips,
+// tolerance to normalization (paper §III.C.3), and argument extraction.
+#include <gtest/gtest.h>
+
+#include "annot/parser.h"
+#include "fir/unparse.h"
+#include "par/parallelizer.h"
+#include "tests/test_util.h"
+#include "xform/inline_annotation.h"
+#include "xform/normalize.h"
+#include "xform/reverse_inline.h"
+
+namespace ap::xform {
+namespace {
+
+using test::parse_ok;
+
+struct RoundTrip {
+  std::unique_ptr<fir::Program> prog;
+  annot::AnnotationRegistry reg;
+  AnnotInlineReport inl;
+  ReverseInlineReport rev;
+  std::string dump;
+};
+
+// inline -> (optional normalization/parallelization) -> reverse.
+RoundTrip round_trip(const char* src, const char* annots,
+                     bool normalize = false, bool parallelize_first = false) {
+  RoundTrip rt;
+  rt.prog = parse_ok(src);
+  DiagnosticEngine d;
+  EXPECT_TRUE(rt.reg.add(annots, d)) << d.render_all();
+  AnnotInlineOptions opts;
+  rt.inl = inline_annotations(*rt.prog, rt.reg, opts, d);
+  if (normalize) {
+    for (auto& u : rt.prog->units) {
+      forward_propagate(u->body);
+      substitute_inductions(u->body);
+    }
+  }
+  if (parallelize_first) {
+    par::ParallelizeOptions po;
+    par::parallelize(*rt.prog, po, d);
+  }
+  rt.rev = reverse_inline(*rt.prog, rt.reg, d);
+  rt.dump = fir::unparse(*rt.prog);
+  return rt;
+}
+
+constexpr const char* kColProgram = R"(
+      PROGRAM T
+      COMMON /C/ X(8,4), G(16)
+      DO J = 1, 4
+        CALL COLOP(X(1,J), 8)
+      ENDDO
+      END
+      SUBROUTINE COLOP(C, N)
+      DOUBLE PRECISION C(*)
+      INTEGER N
+      COMMON /C/ X(8,4), G(16)
+      DO I = 1, N
+        C(I) = C(I) + G(I)
+      ENDDO
+      END
+)";
+
+constexpr const char* kColAnnot =
+    "subroutine COLOP(C, N) { dimension C[N]; integer I2;"
+    "  do (I2 = 1:N) C[I2] = unknown(C[I2], G[I2]); }";
+
+TEST(Reverse, PlainRoundTripRestoresCall) {
+  auto rt = round_trip(kColProgram, kColAnnot);
+  EXPECT_EQ(rt.inl.sites_inlined, 1);
+  EXPECT_EQ(rt.rev.regions_reversed, 1);
+  EXPECT_EQ(rt.rev.regions_failed, 0);
+  EXPECT_NE(rt.dump.find("CALL COLOP(X(1,J), 8)"), std::string::npos) << rt.dump;
+  EXPECT_EQ(rt.dump.find("C$ANNOT"), std::string::npos);
+}
+
+TEST(Reverse, RoundTripIsTextuallyIdentitySansDirectives) {
+  auto before = parse_ok(kColProgram);
+  std::string before_text = fir::unparse(*before);
+  auto rt = round_trip(kColProgram, kColAnnot);
+  EXPECT_EQ(rt.dump, before_text);
+}
+
+TEST(Reverse, OmpDirectiveOnEnclosingLoopSurvives) {
+  auto rt = round_trip(kColProgram, kColAnnot, /*normalize=*/true,
+                       /*parallelize_first=*/true);
+  EXPECT_EQ(rt.rev.regions_failed, 0);
+  // The J loop was parallelized over the inlined region and must keep its
+  // directive around the restored CALL (paper Fig. 19).
+  size_t omp = rt.dump.find("!$OMP PARALLEL DO");
+  size_t call = rt.dump.find("CALL COLOP");
+  ASSERT_NE(omp, std::string::npos) << rt.dump;
+  ASSERT_NE(call, std::string::npos);
+  EXPECT_LT(omp, call);
+}
+
+TEST(Reverse, ToleratesForwardSubstitution) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ A(64), IDBEGS(8), G(16)
+      DO K = 1, 8
+        ID = IDBEGS(2) + K
+        CALL PUT(ID)
+      ENDDO
+      END
+      SUBROUTINE PUT(ID)
+      INTEGER ID
+      COMMON /C/ A(64), IDBEGS(8), G(16)
+      A(ID) = 1.0
+      END
+)";
+  auto rt = round_trip(src, "subroutine PUT(ID) { integer ID;"
+                            "  A[unique(ID)] = unknown(ID); }",
+                       /*normalize=*/true);
+  EXPECT_EQ(rt.rev.regions_failed, 0);
+  // The extracted actual is the substituted expression — semantically the
+  // original ID.
+  EXPECT_NE(rt.dump.find("CALL PUT((IDBEGS(2)+K))"), std::string::npos) << rt.dump;
+}
+
+TEST(Reverse, ToleratesConstantPropagation) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ G(16), N
+      N = 16
+      DO J = 1, 4
+        CALL FILLG(N)
+      ENDDO
+      END
+      SUBROUTINE FILLG(N)
+      INTEGER N
+      COMMON /C/ G(16), NN
+      DO I = 1, N
+        G(I) = I
+      ENDDO
+      END
+)";
+  auto rt = round_trip(src, "subroutine FILLG(N) { integer N, I2;"
+                            "  do (I2 = 1:N) G[I2] = unknown(I2); }",
+                       /*normalize=*/true);
+  EXPECT_EQ(rt.rev.regions_failed, 0);
+  EXPECT_NE(rt.dump.find("CALL FILLG"), std::string::npos);
+}
+
+TEST(Reverse, ToleratesStatementReordering) {
+  auto rt = [&] {
+    RoundTrip r;
+    r.prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ P(8), Q(8)
+      DO J = 1, 4
+        CALL TWO(J)
+      ENDDO
+      END
+      SUBROUTINE TWO(J)
+      INTEGER J
+      COMMON /C/ P(8), Q(8)
+      P(J) = 1.0
+      Q(J) = 2.0
+      END
+)");
+    DiagnosticEngine d;
+    r.reg.add("subroutine TWO(J) { integer J;"
+              "  P[J] = unknown(J); Q[J] = unknown(J); }", d);
+    AnnotInlineOptions opts;
+    r.inl = inline_annotations(*r.prog, r.reg, opts, d);
+    // Swap the two region statements by hand (models an aggressive
+    // reordering normalization).
+    fir::walk_stmts(r.prog->find_unit("T")->body, [&](fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::TaggedRegion && s.body.size() == 2)
+        std::swap(s.body[0], s.body[1]);
+      return true;
+    });
+    r.rev = reverse_inline(*r.prog, r.reg, d);
+    r.dump = fir::unparse(*r.prog);
+    return r;
+  }();
+  EXPECT_EQ(rt.rev.regions_failed, 0);
+  EXPECT_NE(rt.dump.find("CALL TWO(J)"), std::string::npos) << rt.dump;
+}
+
+TEST(Reverse, ToleratesCommutativeReordering) {
+  auto rt = [&] {
+    RoundTrip r;
+    r.prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ P(8), A(8), B(8)
+      DO J = 1, 4
+        CALL ADDIT(J)
+      ENDDO
+      END
+      SUBROUTINE ADDIT(J)
+      INTEGER J
+      COMMON /C/ P(8), A(8), B(8)
+      P(J) = A(J) + B(J)
+      END
+)");
+    DiagnosticEngine d;
+    r.reg.add("subroutine ADDIT(J) { integer J; P[J] = A[J] + B[J]; }", d);
+    AnnotInlineOptions opts;
+    r.inl = inline_annotations(*r.prog, r.reg, opts, d);
+    // Swap operands of the + inside the region.
+    fir::walk_stmts(r.prog->find_unit("T")->body, [&](fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::TaggedRegion)
+        std::swap(s.body[0]->rhs->args[0], s.body[0]->rhs->args[1]);
+      return true;
+    });
+    r.rev = reverse_inline(*r.prog, r.reg, d);
+    r.dump = fir::unparse(*r.prog);
+    return r;
+  }();
+  EXPECT_EQ(rt.rev.regions_failed, 0);
+}
+
+TEST(Reverse, ExtractsScalarBindingByUnification) {
+  // The binding for N is re-derived from the region body, not taken on
+  // faith from the hint: corrupt the hint and check the call still carries
+  // a correct (equivalent) argument.
+  RoundTrip r;
+  r.prog = parse_ok(kColProgram);
+  DiagnosticEngine d;
+  r.reg.add(kColAnnot, d);
+  AnnotInlineOptions opts;
+  r.inl = inline_annotations(*r.prog, r.reg, opts, d);
+  fir::walk_stmts(r.prog->find_unit("T")->body, [&](fir::Stmt& s) {
+    if (s.kind == fir::StmtKind::TaggedRegion)
+      s.arg_hints[1] = fir::make_int(999);  // lie about N
+    return true;
+  });
+  r.rev = reverse_inline(*r.prog, r.reg, d);
+  r.dump = fir::unparse(*r.prog);
+  EXPECT_EQ(r.rev.regions_failed, 0);
+  EXPECT_NE(r.dump.find("CALL COLOP(X(1,J), 8)"), std::string::npos) << r.dump;
+}
+
+TEST(Reverse, ExtraStatementInRegionFallsBackToHints) {
+  RoundTrip r;
+  r.prog = parse_ok(kColProgram);
+  DiagnosticEngine d;
+  r.reg.add(kColAnnot, d);
+  AnnotInlineOptions opts;
+  r.inl = inline_annotations(*r.prog, r.reg, opts, d);
+  fir::walk_stmts(r.prog->find_unit("T")->body, [&](fir::Stmt& s) {
+    if (s.kind == fir::StmtKind::TaggedRegion)
+      s.body.push_back(fir::make_assign(fir::make_var("ROGUE"), fir::make_int(1)));
+    return true;
+  });
+  r.rev = reverse_inline(*r.prog, r.reg, d);
+  r.dump = fir::unparse(*r.prog);
+  EXPECT_EQ(r.rev.regions_failed, 1);
+  // The hint-based fallback still restores a correct call (§III.C.3: the
+  // recorded call site is sound).
+  EXPECT_NE(r.dump.find("CALL COLOP(X(1,J), 8)"), std::string::npos) << r.dump;
+}
+
+TEST(Reverse, ImportedDeclsRemovedWhenUnreferenced) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 8
+        CALL USE(I)
+      ENDDO
+      END
+      SUBROUTINE USE(K)
+      INTEGER K
+      COMMON /HIDDEN/ SCR(4)
+      COMMON /C/ X(8)
+      SCR(1) = K
+      X(K) = SCR(1)
+      END
+)";
+  auto rt = round_trip(src,
+                       "subroutine USE(K) { integer K;"
+                       "  SCR2 = unknown(K); X[unique(K)] = unknown(K); }");
+  EXPECT_EQ(rt.rev.regions_failed, 0);
+  // SCR2 was imported for analysis and must be gone after reversal.
+  EXPECT_EQ(rt.prog->find_unit("T")->find_decl("SCR2"), nullptr);
+}
+
+TEST(Reverse, ImportedDeclKeptWhenNamedInOmpClause) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ X(8)
+      DO I = 1, 8
+        CALL USE(I)
+      ENDDO
+      END
+      SUBROUTINE USE(K)
+      INTEGER K
+      COMMON /HIDDEN/ SCR(4)
+      COMMON /C/ X(8)
+      DO J = 1, 4
+        SCR(J) = K
+      ENDDO
+      X(K) = SCR(1) + SCR(4)
+      END
+)";
+  auto rt = round_trip(src,
+                       "subroutine USE(K) { integer K;"
+                       "  SCR = unknown(K); X[unique(K)] = unknown(SCR); }",
+                       /*normalize=*/true, /*parallelize_first=*/true);
+  EXPECT_EQ(rt.rev.regions_failed, 0);
+  // SCR is privatized on the parallel I loop: its imported declaration must
+  // survive for the runtime.
+  EXPECT_NE(rt.prog->find_unit("T")->find_decl("SCR"), nullptr);
+  EXPECT_NE(rt.dump.find("PRIVATE"), std::string::npos);
+}
+
+TEST(Reverse, MultipleSitesAllRestored) {
+  const char* src = R"(
+      PROGRAM T
+      COMMON /C/ X(8,4), G(16)
+      DO J = 1, 4
+        CALL COLOP(X(1,J), 8)
+      ENDDO
+      DO J = 1, 2
+        CALL COLOP(X(1,J), 4)
+      ENDDO
+      END
+      SUBROUTINE COLOP(C, N)
+      DOUBLE PRECISION C(*)
+      INTEGER N
+      COMMON /C/ X(8,4), G(16)
+      DO I = 1, N
+        C(I) = C(I) + G(I)
+      ENDDO
+      END
+)";
+  auto rt = round_trip(src, kColAnnot);
+  EXPECT_EQ(rt.inl.sites_inlined, 2);
+  EXPECT_EQ(rt.rev.regions_reversed, 2);
+  EXPECT_NE(rt.dump.find("CALL COLOP(X(1,J), 8)"), std::string::npos);
+  EXPECT_NE(rt.dump.find("CALL COLOP(X(1,J), 4)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ap::xform

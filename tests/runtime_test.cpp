@@ -1,0 +1,167 @@
+// Unit tests for the runtime building blocks: ArrayStore/ArrayView layout,
+// GlobalStore, and the work-sharing ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "interp/storage.h"
+#include "interp/thread_pool.h"
+
+namespace ap::interp {
+namespace {
+
+TEST(ArrayStore, ColumnMajorOffsets) {
+  ArrayStore st(fir::Type::Real, {1, 1}, {3, 4});
+  EXPECT_EQ(st.size(), 12u);
+  EXPECT_EQ(st.linear_offset({1, 1}), 0);
+  EXPECT_EQ(st.linear_offset({2, 1}), 1);   // column-major: rows adjacent
+  EXPECT_EQ(st.linear_offset({1, 2}), 3);
+  EXPECT_EQ(st.linear_offset({3, 4}), 11);
+}
+
+TEST(ArrayStore, LowerBoundsRespected) {
+  ArrayStore st(fir::Type::Integer, {0, 2}, {4, 3});
+  EXPECT_EQ(st.linear_offset({0, 2}), 0);
+  EXPECT_EQ(st.linear_offset({3, 4}), 11);
+  EXPECT_FALSE(st.linear_offset({-1, 2}).has_value());
+  EXPECT_FALSE(st.linear_offset({0, 5}).has_value());
+}
+
+TEST(ArrayStore, RankMismatchRejected) {
+  ArrayStore st(fir::Type::Real, {1}, {8});
+  EXPECT_FALSE(st.linear_offset({1, 1}).has_value());
+}
+
+TEST(ArrayView, ElementBaseWindow) {
+  auto st = std::make_shared<ArrayStore>(fir::Type::Real, std::vector<int64_t>{1},
+                                         std::vector<int64_t>{16});
+  std::iota(st->raw().begin(), st->raw().end(), 0.0);
+  // View starting at element 5 (offset 4), assumed size.
+  ArrayView v{st, 4, {1}, {-1}, false};
+  auto c1 = v.cell({1});
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_DOUBLE_EQ(st->data()[*c1], 4.0);
+  auto c3 = v.cell({3});
+  EXPECT_DOUBLE_EQ(st->data()[*c3], 6.0);
+  // Beyond the underlying store: rejected.
+  EXPECT_FALSE(v.cell({13}).has_value());
+}
+
+TEST(ArrayView, ReshapedWindow) {
+  // A 12-element store viewed as (3,4) from its start.
+  auto st = std::make_shared<ArrayStore>(fir::Type::Real, std::vector<int64_t>{1},
+                                         std::vector<int64_t>{12});
+  ArrayView v{st, 0, {1, 1}, {3, 4}, false};
+  EXPECT_EQ(*v.cell({1, 1}), 0);
+  EXPECT_EQ(*v.cell({3, 4}), 11);
+  EXPECT_FALSE(v.cell({4, 1}).has_value());  // exceeds view extent
+}
+
+TEST(GlobalStore, SharedByKey) {
+  GlobalStore g;
+  auto a1 = g.get_or_create_array("BLK/A", fir::Type::Real, {1}, {8});
+  auto a2 = g.get_or_create_array("BLK/A", fir::Type::Real, {1}, {8});
+  EXPECT_EQ(a1.get(), a2.get());
+  auto b = g.get_or_create_array("BLK/B", fir::Type::Real, {1}, {8});
+  EXPECT_NE(a1.get(), b.get());
+}
+
+TEST(GlobalStore, ScalarCellsStableAndTyped) {
+  GlobalStore g;
+  double* s1 = g.get_or_create_scalar("C/S", false);
+  double* s2 = g.get_or_create_scalar("C/S", false);
+  EXPECT_EQ(s1, s2);
+  *s1 = 42.0;
+  EXPECT_TRUE(g.get_or_create_scalar("C/K", true) != nullptr);
+  EXPECT_TRUE(g.scalar_is_int("C/K"));
+  EXPECT_FALSE(g.scalar_is_int("C/S"));
+  auto snap = g.snapshot_scalars();
+  EXPECT_DOUBLE_EQ(snap.at("C/S"), 42.0);
+}
+
+TEST(ThreadPool, CoversEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1, 1000, [&](int64_t lo, int64_t hi, int) {
+    for (int64_t i = lo; i <= hi; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (size_t i = 1; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 4, [&](int64_t, int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleIterationRunsOnCaller) {
+  ThreadPool pool(8);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(3, 3, [&](int64_t lo, int64_t hi, int idx) {
+    EXPECT_EQ(lo, 3);
+    EXPECT_EQ(hi, 3);
+    EXPECT_EQ(idx, 0);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndOrdered) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.parallel_for(1, 10, [&](int64_t lo, int64_t hi, int) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back({lo, hi});
+  });
+  std::sort(chunks.begin(), chunks.end());
+  int64_t expect = 1;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expect);
+    EXPECT_GE(hi, lo);
+    expect = hi + 1;
+  }
+  EXPECT_EQ(expect, 11);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1, 100,
+                        [&](int64_t lo, int64_t, int) {
+                          if (lo > 1) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(1, 40, [&](int64_t lo, int64_t hi, int) {
+      total.fetch_add(hi - lo + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * 40);
+}
+
+TEST(ThreadPool, CallerExceptionStillJoinsWorkers) {
+  ThreadPool pool(4);
+  // Chunk 0 (caller) throws; workers must be drained without deadlock and
+  // the pool must stay usable.
+  EXPECT_THROW(pool.parallel_for(1, 100,
+                                 [&](int64_t lo, int64_t, int idx) {
+                                   if (idx == 0) throw std::runtime_error("c");
+                                   (void)lo;
+                                 }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.parallel_for(1, 8, [&](int64_t, int64_t, int) { ok++; });
+  EXPECT_GT(ok.load(), 0);
+}
+
+}  // namespace
+}  // namespace ap::interp

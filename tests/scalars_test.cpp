@@ -1,0 +1,337 @@
+// Unit tests for scalar classification (analysis/scalars.h).
+#include <gtest/gtest.h>
+
+#include "analysis/scalars.h"
+#include "sema/symbols.h"
+#include "tests/test_util.h"
+
+namespace ap::analysis {
+namespace {
+
+using test::parse_ok;
+
+ScalarClassification classify(const char* src, const char* loop_var) {
+  auto prog = parse_ok(src);
+  DiagnosticEngine d;
+  sema::SemaContext sema(*prog, d);
+  EXPECT_TRUE(sema.valid()) << d.render_all();
+  fir::Stmt* loop = test::find_loop(*prog->units[0], loop_var);
+  EXPECT_NE(loop, nullptr);
+  const sema::UnitInfo* ui = sema.unit_info(prog->units[0]->name);
+  auto trip_ge1 = [&](const fir::Stmt& s) {
+    if (!s.do_lo || !s.do_hi || s.do_step) return false;
+    auto lo = sema.fold_int(prog->units[0]->name, *s.do_lo);
+    auto hi = sema.fold_int(prog->units[0]->name, *s.do_hi);
+    return lo && hi && *hi >= *lo;
+  };
+  return classify_scalars(*loop, *ui, trip_ge1);
+}
+
+ScalarKind kind_of(const ScalarClassification& c, const std::string& name) {
+  auto it = c.scalars.find(name);
+  EXPECT_NE(it, c.scalars.end()) << name << " not classified";
+  return it == c.scalars.end() ? ScalarKind::Blocker : it->second.kind;
+}
+
+TEST(Scalars, ReadOnly) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), N
+      DO I = 1, 8
+        A(I) = N * 2
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "N"), ScalarKind::ReadOnly);
+}
+
+TEST(Scalars, PrivateWriteBeforeRead) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      DO I = 1, 8
+        T2 = I * 2.0
+        A(I) = T2 + T2
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "T2"), ScalarKind::Private);
+}
+
+TEST(Scalars, BlockerReadBeforeWrite) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      DO I = 1, 8
+        A(I) = T2
+        T2 = I * 2.0
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "T2"), ScalarKind::Blocker);
+}
+
+TEST(Scalars, SumReduction) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), S
+      DO I = 1, 8
+        S = S + A(I)
+      ENDDO
+      END
+)",
+                    "I");
+  auto it = c.scalars.find("S");
+  ASSERT_NE(it, c.scalars.end());
+  EXPECT_EQ(it->second.kind, ScalarKind::Reduction);
+  EXPECT_EQ(it->second.reduction_op, "+");
+}
+
+TEST(Scalars, SubtractionIsPlusReduction) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), S
+      DO I = 1, 8
+        S = S - A(I)
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(c.scalars.at("S").reduction_op, "+");
+}
+
+TEST(Scalars, ProductReduction) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), P
+      DO I = 1, 8
+        P = P * A(I)
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(c.scalars.at("P").kind, ScalarKind::Reduction);
+  EXPECT_EQ(c.scalars.at("P").reduction_op, "*");
+}
+
+TEST(Scalars, MinMaxReductions) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), XLO, XHI
+      DO I = 1, 8
+        XLO = MIN(XLO, A(I))
+        XHI = MAX(A(I), XHI)
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(c.scalars.at("XLO").reduction_op, "MIN");
+  EXPECT_EQ(c.scalars.at("XHI").reduction_op, "MAX");
+}
+
+TEST(Scalars, MixedOpsKillReduction) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), S
+      DO I = 1, 8
+        S = S + A(I)
+        S = S * 2.0
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "S"), ScalarKind::Blocker);
+}
+
+TEST(Scalars, ReadElsewhereKillsReduction) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), S
+      DO I = 1, 8
+        S = S + A(I)
+        A(I) = S
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "S"), ScalarKind::Blocker);
+}
+
+TEST(Scalars, SelfReferencingRhsKillsReduction) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), S
+      DO I = 1, 8
+        S = S + S * A(I)
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "S"), ScalarKind::Blocker);
+}
+
+TEST(Scalars, InnerLoopIndexIsPrivate) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8,8)
+      DO I = 1, 8
+      DO J = 1, 8
+        A(J,I) = 1.0
+      ENDDO
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "J"), ScalarKind::InnerIndex);
+}
+
+TEST(Scalars, ConditionalWriteNotMust) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), F
+      DO I = 1, 8
+        IF (A(I) .GT. 0.0) THEN
+          F = A(I)
+        ENDIF
+        A(I) = F
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "F"), ScalarKind::Blocker);
+}
+
+TEST(Scalars, BothBranchesWriteIsMust) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      DO I = 1, 8
+        IF (A(I) .GT. 0.0) THEN
+          F = 1.0
+        ELSE
+          F = 2.0
+        ENDIF
+        A(I) = F
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "F"), ScalarKind::Private);
+}
+
+TEST(Scalars, WriteInsideProvableInnerLoopIsMust) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8,4)
+      DO I = 1, 8
+        DO J = 1, 4
+          T2 = J * 1.0
+          A(I,J) = T2
+        ENDDO
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "T2"), ScalarKind::Private);
+}
+
+TEST(Scalars, WriteInsideSymbolicTripLoopNotMust) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8,4), N
+      DO I = 1, 8
+        DO J = 1, N
+          T2 = J * 1.0
+        ENDDO
+        A(I,1) = T2
+      ENDDO
+      END
+)",
+                    "I");
+  // The inner loop may run zero times: T2 could be read uninitialized.
+  EXPECT_EQ(kind_of(c, "T2"), ScalarKind::Blocker);
+}
+
+TEST(Scalars, WriteNeverReadMustIsPrivate) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      DO I = 1, 8
+        LAST = I
+        A(I) = 1.0
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "LAST"), ScalarKind::Private);
+}
+
+TEST(Scalars, ConditionReadsCount) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      DO I = 1, 8
+        IF (F .GT. 0.0) THEN
+          A(I) = 1.0
+        ENDIF
+        F = A(I)
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "F"), ScalarKind::Blocker);
+}
+
+TEST(Scalars, LoopIndexItselfSkipped) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      DO I = 1, 8
+        A(I) = I
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(c.scalars.count("I"), 0u);
+}
+
+TEST(Scalars, ConditionalReductionStillReduction) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8), S
+      DO I = 1, 8
+        IF (A(I) .GT. 0.0) THEN
+          S = S + A(I)
+        ENDIF
+      ENDDO
+      END
+)",
+                    "I");
+  EXPECT_EQ(kind_of(c, "S"), ScalarKind::Reduction);
+}
+
+TEST(Scalars, PrivatesAndBlockersLists) {
+  auto c = classify(R"(
+      PROGRAM T
+      COMMON /C/ A(8)
+      DO I = 1, 8
+      DO J = 1, 2
+        T2 = I + J
+        A(I) = T2 + B
+        B = T2
+      ENDDO
+      ENDDO
+      END
+)",
+                    "I");
+  auto privs = c.privates();
+  auto blocks = c.blockers();
+  EXPECT_NE(std::find(privs.begin(), privs.end(), "J"), privs.end());
+  EXPECT_NE(std::find(blocks.begin(), blocks.end(), "B"), blocks.end());
+}
+
+}  // namespace
+}  // namespace ap::analysis

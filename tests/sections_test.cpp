@@ -1,0 +1,253 @@
+// Unit tests for array-kill privatization analysis (analysis/sections.h).
+#include <gtest/gtest.h>
+
+#include "analysis/sections.h"
+#include "sema/symbols.h"
+#include "tests/test_util.h"
+
+namespace ap::analysis {
+namespace {
+
+using test::parse_ok;
+
+ArrayPrivVerdict verdict(const char* src, const char* loop_var,
+                         const char* array) {
+  auto prog = parse_ok(src);
+  DiagnosticEngine d;
+  sema::SemaContext sema(*prog, d);
+  EXPECT_TRUE(sema.valid()) << d.render_all();
+  fir::Stmt* loop = test::find_loop(*prog->units[0], loop_var);
+  EXPECT_NE(loop, nullptr);
+  const sema::UnitInfo* ui = sema.unit_info(prog->units[0]->name);
+  auto trip_ge1 = [&](const fir::Stmt& s) {
+    if (!s.do_lo || !s.do_hi || s.do_step) return false;
+    auto lo = sema.fold_int(prog->units[0]->name, *s.do_lo);
+    auto hi = sema.fold_int(prog->units[0]->name, *s.do_hi);
+    return lo && hi && *hi >= *lo;
+  };
+  return array_privatizable(*loop, array, *ui, trip_ge1);
+}
+
+TEST(ArrayKill, FullWriteThenReadPrivatizable) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        DO J = 1, 8
+          W(J) = I * J * 1.0
+        ENDDO
+        A(I) = W(3) + W(5)
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_TRUE(v.privatizable) << v.reason;
+}
+
+TEST(ArrayKill, ReadBeforeWriteFails) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        A(I) = W(3)
+        DO J = 1, 8
+          W(J) = I * J * 1.0
+        ENDDO
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_FALSE(v.privatizable);
+}
+
+TEST(ArrayKill, PartialWriteDoesNotCoverRead) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        DO J = 1, 4
+          W(J) = I * J * 1.0
+        ENDDO
+        A(I) = W(7)
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_FALSE(v.privatizable);
+}
+
+TEST(ArrayKill, SymbolicBoundsCoverWhenIdentical) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16), N
+      DO I = 1, 16
+        DO J = 1, N
+          W(J) = I * J * 1.0
+        ENDDO
+        DO J = 1, N
+          A(I) = A(I) + W(J)
+        ENDDO
+      ENDDO
+      END
+)",
+                   "I", "W");
+  // Inner loops may run zero times together, so reads are only attempted
+  // when writes happened; the must-write is not credited though (trip not
+  // provable) and the analysis stays conservative.
+  EXPECT_FALSE(v.privatizable);
+}
+
+TEST(ArrayKill, WholeArrayAnnotationWrite) {
+  // The FSMP idiom: XY = unknown(...) kills the whole array.
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ XY(2,8), A(16)
+      DO I = 1, 16
+        A(I) = 1.0
+      ENDDO
+      END
+)");
+  // Splice an annotation-style whole-array write + read into the loop.
+  fir::Stmt* loop = test::find_loop(*prog->units[0], "I");
+  std::vector<fir::ExprPtr> args;
+  args.push_back(fir::make_var("A"));
+  auto wr = fir::make_assign(fir::make_var("XY"), fir::make_unknown(std::move(args)));
+  std::vector<fir::ExprPtr> args2;
+  args2.push_back(fir::make_var("XY"));
+  std::vector<fir::ExprPtr> subs;
+  subs.push_back(fir::make_int(1));
+  auto rd = fir::make_assign(fir::make_array_ref("A", std::move(subs)),
+                             fir::make_unknown(std::move(args2)));
+  loop->body.insert(loop->body.begin(), std::move(wr));
+  loop->body.push_back(std::move(rd));
+
+  DiagnosticEngine d;
+  sema::SemaContext sema(*prog, d);
+  const sema::UnitInfo* ui = sema.unit_info("T");
+  auto trip = [](const fir::Stmt&) { return true; };
+  auto v = array_privatizable(*loop, "XY", *ui, trip);
+  EXPECT_TRUE(v.privatizable) << v.reason;
+}
+
+TEST(ArrayKill, SectionWriteCoversSectionRead) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        DO J = 1, 8
+          W(J) = I * 1.0
+        ENDDO
+        DO J = 2, 7
+          A(I) = A(I) + W(J)
+        ENDDO
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_TRUE(v.privatizable) << v.reason;
+}
+
+TEST(ArrayKill, RegionVaryingWithParallelIndexFails) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(32), A(16)
+      DO I = 1, 16
+        W(I) = 1.0
+        A(I) = W(I)
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_FALSE(v.privatizable);
+  EXPECT_NE(v.reason.find("varies with the parallel"), std::string::npos);
+}
+
+TEST(ArrayKill, ConditionalWriteInsideMustRegionOk) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        DO J = 1, 8
+          W(J) = 0.0
+        ENDDO
+        IF (A(I) .GT. 0.0) THEN
+          W(3) = 1.0
+        ENDIF
+        A(I) = W(3) + W(4)
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_TRUE(v.privatizable) << v.reason;
+}
+
+TEST(ArrayKill, ConditionalWriteOutsideMustRegionFails) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        DO J = 1, 4
+          W(J) = 0.0
+        ENDDO
+        IF (A(I) .GT. 0.0) THEN
+          W(7) = 1.0
+        ENDIF
+        A(I) = W(3)
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_FALSE(v.privatizable);
+}
+
+TEST(ArrayKill, NeverWrittenIsNotPrivatizable) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16)
+      DO I = 1, 16
+        A(I) = W(3)
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_FALSE(v.privatizable);
+}
+
+TEST(ArrayKill, NonAffineWriteSubscriptFails) {
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ W(8), A(16), IDX(16)
+      DO I = 1, 16
+        W(IDX(I)) = 1.0
+        A(I) = W(3)
+      ENDDO
+      END
+)",
+                   "I", "W");
+  EXPECT_FALSE(v.privatizable);
+}
+
+TEST(ArrayKill, ReadViaInnerLoopCoveredAfterFullInit) {
+  // The GETCR/SHAPE1 pattern at Fortran level: full init then nested reads.
+  auto v = verdict(R"(
+      PROGRAM T
+      COMMON /C/ XY(2,8), S(16)
+      DO I = 1, 16
+        DO J = 1, 8
+          XY(1,J) = I * 1.0
+          XY(2,J) = I * 2.0
+        ENDDO
+        DO IQ = 1, 4
+        DO J = 1, 8
+          S(I) = S(I) + XY(1,J) + XY(2,J)
+        ENDDO
+        ENDDO
+      ENDDO
+      END
+)",
+                   "I", "XY");
+  EXPECT_TRUE(v.privatizable) << v.reason;
+}
+
+}  // namespace
+}  // namespace ap::analysis

@@ -1,0 +1,289 @@
+// Unit tests for the semantic layer (sema/symbols.h).
+#include <gtest/gtest.h>
+
+#include "sema/symbols.h"
+#include "tests/test_util.h"
+
+namespace ap::sema {
+namespace {
+
+using test::parse_ok;
+
+TEST(Sema, StorageClasses) {
+  auto prog = parse_ok(R"(
+      SUBROUTINE S(A, N)
+      DOUBLE PRECISION A(*)
+      INTEGER N
+      COMMON /BLK/ G(4), GS
+      X = 1.0
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  ASSERT_TRUE(sema.valid()) << d.render_all();
+  EXPECT_EQ(sema.symbol("S", "A")->storage, Storage::Param);
+  EXPECT_EQ(sema.symbol("S", "N")->storage, Storage::Param);
+  EXPECT_EQ(sema.symbol("S", "G")->storage, Storage::Common);
+  EXPECT_EQ(sema.symbol("S", "G")->common_block, "BLK");
+  EXPECT_EQ(sema.symbol("S", "GS")->storage, Storage::Common);
+  EXPECT_EQ(sema.symbol("S", "X")->storage, Storage::Local);
+}
+
+TEST(Sema, ImplicitTyping) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      I = 1
+      X = 2.0
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_EQ(sema.symbol("T", "I")->type, fir::Type::Integer);
+  EXPECT_EQ(sema.symbol("T", "X")->type, fir::Type::Real);
+}
+
+TEST(Sema, ParameterFolding) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      PARAMETER (N = 8, M = N * 2, K = M + N - 4)
+      COMMON /C/ A(K)
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_EQ(sema.symbol("T", "N")->const_value, 8);
+  EXPECT_EQ(sema.symbol("T", "M")->const_value, 16);
+  EXPECT_EQ(sema.symbol("T", "K")->const_value, 20);
+  EXPECT_EQ(sema.symbol("T", "A")->dims[0].extent(), 20);
+}
+
+TEST(Sema, DimInfoLowerBounds) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(0:7), B(2:5, 8)
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  const SymbolInfo* a = sema.symbol("T", "A");
+  EXPECT_EQ(a->dims[0].lower, 0);
+  EXPECT_EQ(a->dims[0].extent(), 8);
+  const SymbolInfo* b = sema.symbol("T", "B");
+  EXPECT_EQ(b->dims[0].lower, 2);
+  EXPECT_EQ(b->dims[0].extent(), 4);
+  EXPECT_EQ(b->element_count(), 32);
+}
+
+TEST(Sema, AssumedSizeHasNoExtent) {
+  auto prog = parse_ok(R"(
+      SUBROUTINE S(A)
+      DOUBLE PRECISION A(*)
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_FALSE(sema.symbol("S", "A")->dims[0].extent().has_value());
+  EXPECT_FALSE(sema.symbol("S", "A")->element_count().has_value());
+}
+
+TEST(Sema, CallGraphAndCounts) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      CALL A
+      END
+      SUBROUTINE A
+      CALL B
+      CALL C
+      END
+      SUBROUTINE B
+      X = 1
+      END
+      SUBROUTINE C
+      WRITE(*,*) 'HI'
+      STOP
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  ASSERT_TRUE(sema.valid()) << d.render_all();
+  auto t = sema.transitive_callees("T");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.count("B"));
+  EXPECT_FALSE(sema.is_recursive("A"));
+  EXPECT_TRUE(sema.unit_info("C")->has_io);
+  EXPECT_TRUE(sema.unit_info("C")->has_stop);
+  EXPECT_FALSE(sema.unit_info("B")->has_io);
+  EXPECT_EQ(sema.unit_info("A")->callees.size(), 2u);
+}
+
+TEST(Sema, RecursionDetected) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      CALL R(4)
+      END
+      SUBROUTINE R(N)
+      INTEGER N
+      IF (N .GT. 0) THEN
+        CALL R(N - 1)
+      ENDIF
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_TRUE(sema.is_recursive("R"));
+  EXPECT_FALSE(sema.is_recursive("T"));
+}
+
+TEST(Sema, MutualRecursionDetected) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      CALL A(2)
+      END
+      SUBROUTINE A(N)
+      INTEGER N
+      IF (N .GT. 0) CALL B(N - 1)
+      END
+      SUBROUTINE B(N)
+      INTEGER N
+      IF (N .GT. 0) CALL A(N - 1)
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_TRUE(sema.is_recursive("A"));
+  EXPECT_TRUE(sema.is_recursive("B"));
+}
+
+TEST(Sema, UndefinedCallReported) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      CALL NOWHERE(X)
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_FALSE(sema.valid());
+  EXPECT_TRUE(d.has_errors());
+}
+
+TEST(Sema, ArgCountMismatchReported) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      CALL S(X)
+      END
+      SUBROUTINE S(A, B)
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_FALSE(sema.valid());
+}
+
+TEST(Sema, FoldIntHandlesOperators) {
+  auto prog = parse_ok("      PROGRAM T\n      PARAMETER (N = 6)\n      END\n");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  auto check = [&](const char* e, int64_t v) {
+    DiagnosticEngine ed;
+    auto expr = fir::parse_expression(e, ed);
+    ASSERT_TRUE(expr);
+    EXPECT_EQ(sema.fold_int("T", *expr), v) << e;
+  };
+  check("N + 2", 8);
+  check("N * N", 36);
+  check("N / 4", 1);
+  check("2 ** 5", 32);
+  check("-N", -6);
+  check("MAX(N, 10)", 10);
+  check("MIN(N, 10)", 6);
+}
+
+TEST(Sema, FoldIntRejectsNonConstant) {
+  auto prog = parse_ok("      PROGRAM T\n      X = 1\n      END\n");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  DiagnosticEngine ed;
+  auto expr = fir::parse_expression("J + 1", ed);
+  EXPECT_FALSE(sema.fold_int("T", *expr).has_value());
+}
+
+TEST(Sema, StmtCountForInlineHeuristic) {
+  auto prog = parse_ok(R"(
+      SUBROUTINE S
+      X = 1
+      Y = 2
+      DO I = 1, 4
+        Z = I
+      ENDDO
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  // X=1, Y=2, DO, Z=I => 4 executable statements.
+  EXPECT_EQ(sema.unit_info("S")->stmt_count, 4u);
+}
+
+TEST(Sema, RankMismatchReported) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(4,4)
+      A(3) = 1.0
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_FALSE(sema.valid());
+  EXPECT_NE(d.render_all().find("rank"), std::string::npos);
+}
+
+TEST(Sema, UndeclaredArrayReported) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      GHOST(3) = 1.0
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_FALSE(sema.valid());
+  EXPECT_NE(d.render_all().find("undeclared array"), std::string::npos);
+}
+
+TEST(Sema, SubscriptedScalarReported) {
+  auto prog = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      S(2) = 1.0
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_FALSE(sema.valid());
+  EXPECT_NE(d.render_all().find("not an array"), std::string::npos);
+}
+
+TEST(Sema, AssumedSizeRankStillChecked) {
+  auto prog = parse_ok(R"(
+      SUBROUTINE S(A)
+      DOUBLE PRECISION A(4, *)
+      A(1, 2) = 1.0
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_TRUE(sema.valid()) << d.render_all();
+}
+
+TEST(Sema, DuplicateUnitReported) {
+  auto prog = parse_ok(R"(
+      SUBROUTINE S
+      END
+      SUBROUTINE S
+      END
+)");
+  DiagnosticEngine d;
+  SemaContext sema(*prog, d);
+  EXPECT_FALSE(sema.valid());
+}
+
+}  // namespace
+}  // namespace ap::sema

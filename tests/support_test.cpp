@@ -1,0 +1,102 @@
+// Unit tests for support utilities (text, diagnostics) and the suite
+// registry itself.
+#include <gtest/gtest.h>
+
+#include "annot/parser.h"
+#include "suite/suite.h"
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace ap {
+namespace {
+
+TEST(Text, FoldUpper) {
+  EXPECT_EQ(fold_upper("abC_d1"), "ABC_D1");
+  EXPECT_EQ(fold_upper(""), "");
+}
+
+TEST(Text, CaseInsensitiveEquality) {
+  EXPECT_TRUE(ieq("Matmlt", "MATMLT"));
+  EXPECT_FALSE(ieq("MAT", "MATM"));
+  EXPECT_TRUE(ieq("", ""));
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Text, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Text, CountLines) {
+  EXPECT_EQ(count_lines(""), 0u);
+  EXPECT_EQ(count_lines("a\nb\n"), 2u);
+  EXPECT_EQ(count_lines("a\nb"), 2u);
+  EXPECT_EQ(count_lines("\n"), 1u);
+}
+
+TEST(Text, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("A1_B"));
+  EXPECT_FALSE(is_identifier("1A"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("A-B"));
+}
+
+TEST(Diagnostics, CountsAndRenders) {
+  DiagnosticEngine d;
+  d.set_stream("test.f");
+  d.warning(SourceLoc{1, 2}, "watch out");
+  EXPECT_FALSE(d.has_errors());
+  d.error(SourceLoc{3, 4}, "boom");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1u);
+  std::string all = d.render_all();
+  EXPECT_NE(all.find("test.f:3:4: error: boom"), std::string::npos);
+  EXPECT_NE(all.find("warning: watch out"), std::string::npos);
+  d.clear();
+  EXPECT_FALSE(d.has_errors());
+  EXPECT_TRUE(d.all().empty());
+}
+
+TEST(Diagnostics, SynthesizedLocation) {
+  Diagnostic diag{Severity::Note, SourceLoc{}, "s", "m"};
+  EXPECT_NE(diag.render().find("<synthesized>"), std::string::npos);
+}
+
+TEST(Suite, TwelveApplicationsRegistered) {
+  const auto& apps = suite::perfect_suite();
+  EXPECT_EQ(apps.size(), 12u);
+  std::set<std::string> names;
+  for (const auto& a : apps) {
+    names.insert(a.name);
+    EXPECT_FALSE(a.description.empty()) << a.name;
+    EXPECT_FALSE(a.source.empty()) << a.name;
+  }
+  EXPECT_EQ(names.size(), 12u);  // unique names
+}
+
+TEST(Suite, FindAppCaseInsensitive) {
+  EXPECT_NE(suite::find_app("trfd"), nullptr);
+  EXPECT_NE(suite::find_app("DYFESM"), nullptr);
+  EXPECT_EQ(suite::find_app("NOPE"), nullptr);
+}
+
+TEST(Suite, AnnotatedAppsHaveParsableAnnotations) {
+  for (const auto& a : suite::perfect_suite()) {
+    if (a.annotations.empty()) continue;
+    DiagnosticEngine d;
+    annot::AnnotationRegistry reg;
+    EXPECT_TRUE(reg.add(a.annotations, d)) << a.name << ": " << d.render_all();
+    EXPECT_GE(reg.size(), 1u) << a.name;
+  }
+}
+
+}  // namespace
+}  // namespace ap

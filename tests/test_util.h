@@ -1,0 +1,51 @@
+// Shared helpers for the AnnoPar test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "fir/ast.h"
+#include "fir/parser.h"
+#include "support/diagnostics.h"
+
+namespace ap::test {
+
+// Parse a program and fail the test on any diagnostic.
+inline std::unique_ptr<fir::Program> parse_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  auto prog = fir::parse_program(src, diags);
+  EXPECT_TRUE(prog != nullptr) << diags.render_all();
+  return prog;
+}
+
+// Parse a single expression.
+inline fir::ExprPtr expr_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  auto e = fir::parse_expression(src, diags);
+  EXPECT_TRUE(e != nullptr) << diags.render_all();
+  return e;
+}
+
+// Find the first DO loop with the given induction variable in a unit.
+inline fir::Stmt* find_loop(fir::ProgramUnit& unit, std::string_view var) {
+  fir::Stmt* found = nullptr;
+  fir::walk_stmts(unit.body, [&](fir::Stmt& s) {
+    if (!found && s.kind == fir::StmtKind::Do && s.do_var == var) found = &s;
+    return true;
+  });
+  return found;
+}
+
+// Count statements of a given kind in a unit.
+inline int count_kind(const fir::ProgramUnit& unit, fir::StmtKind k) {
+  int n = 0;
+  fir::walk_stmts(unit.body, [&](const fir::Stmt& s) {
+    if (s.kind == k) ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace ap::test
