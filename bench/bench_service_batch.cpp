@@ -1,0 +1,104 @@
+// Service batch throughput: cold vs warm-cache wall time for the full
+// 12×3 suite matrix at 1, 4, and hardware-concurrency threads.
+//
+// The headline table is printed as a BENCH_service.json-friendly JSON
+// document (redirect stdout or copy the block into BENCH_service.json);
+// the google-benchmark timers below re-measure the cold and warm paths
+// under the standard harness.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "service/scheduler.h"
+
+using namespace ap;
+
+namespace {
+
+int hw_threads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 4;
+}
+
+void print_service_json() {
+  bench::header("SERVICE BATCH: COLD VS WARM CACHE (BENCH_service.json)");
+  auto jobs = service::suite_matrix();
+
+  std::printf("{\n  \"bench\": \"service_batch\",\n  \"jobs\": %zu,\n"
+              "  \"runs\": [\n",
+              jobs.size());
+  std::vector<int> thread_counts = {1, 4, hw_threads()};
+  for (size_t t = 0; t < thread_counts.size(); ++t) {
+    int threads = thread_counts[t];
+    service::ResultCache cache(256);  // fresh per thread count => cold first
+    service::Scheduler::Options so;
+    so.threads = threads;
+    so.cache = &cache;
+    service::Scheduler sched(so);
+
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    sched.run_batch(jobs);
+    double cold_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+
+    service::Telemetry warm_telemetry;
+    service::Scheduler::Options so2 = so;
+    so2.telemetry = &warm_telemetry;
+    service::Scheduler sched2(so2);
+    t0 = clock::now();
+    sched2.run_batch(jobs);
+    double warm_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+
+    std::printf("    {\"threads\": %d, \"cold_ms\": %.3f, \"warm_ms\": %.3f, "
+                "\"warm_hits\": %zu, \"warm_hit_rate\": %.3f, "
+                "\"warm_speedup\": %.2f}%s\n",
+                threads, cold_ms, warm_ms, warm_telemetry.cache_hits(),
+                warm_telemetry.hit_rate(),
+                warm_ms > 0 ? cold_ms / warm_ms : 0.0,
+                t + 1 < thread_counts.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+void BM_BatchCold(benchmark::State& state) {
+  auto jobs = service::suite_matrix();
+  for (auto _ : state) {
+    service::ResultCache cache(256);
+    service::Scheduler::Options so;
+    so.threads = static_cast<int>(state.range(0));
+    so.cache = &cache;
+    service::Scheduler sched(so);
+    auto r = sched.run_batch(jobs);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_BatchWarm(benchmark::State& state) {
+  auto jobs = service::suite_matrix();
+  service::ResultCache cache(256);
+  service::Scheduler::Options so;
+  so.threads = static_cast<int>(state.range(0));
+  so.cache = &cache;
+  service::Scheduler sched(so);
+  sched.run_batch(jobs);  // prewarm
+  for (auto _ : state) {
+    auto r = sched.run_batch(jobs);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_BatchCold)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchWarm)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_service_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,197 @@
+// apserve — batch compilation service CLI.
+//
+// Compiles the full 12×3 suite matrix (every mini-PERFECT app under the
+// three inlining configurations of Table II) concurrently through the
+// service scheduler and content-addressed result cache, then prints the
+// Table-II-style summary and the JSON telemetry report.
+//
+//   apserve [--threads N] [--cache-dir DIR] [--cache-capacity N]
+//           [--json FILE] [--min-hit-rate F] [--check-sequential] [--quiet]
+//
+//   --threads N         worker lanes (default: hardware concurrency)
+//   --cache-dir DIR     enable the on-disk cache tier under DIR
+//   --cache-capacity N  memory-tier LRU capacity in entries (default 256)
+//   --json FILE         write the telemetry JSON to FILE ("-" = stdout,
+//                       the default)
+//   --min-hit-rate F    exit 2 unless cache hits / jobs >= F (CI warm-run
+//                       guard)
+//   --check-sequential  re-run the matrix sequentially without the cache
+//                       and exit 3 on any verdict mismatch (determinism
+//                       proof)
+//   --quiet             suppress the Table II summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "service/scheduler.h"
+
+using namespace ap;
+
+namespace {
+
+struct Args {
+  int threads = 0;  // 0 = hardware concurrency
+  std::string cache_dir;
+  size_t cache_capacity = 256;
+  std::string json_out = "-";
+  double min_hit_rate = -1;
+  bool check_sequential = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage_error(const char* msg) {
+  std::fprintf(stderr,
+               "apserve: %s\nusage: apserve [--threads N] [--cache-dir DIR] "
+               "[--cache-capacity N] [--json FILE] [--min-hit-rate F] "
+               "[--check-sequential] [--quiet]\n",
+               msg);
+  std::exit(64);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing option value");
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      a.threads = std::atoi(value());
+      if (a.threads < 1) usage_error("--threads must be >= 1");
+    } else if (arg == "--cache-dir") {
+      a.cache_dir = value();
+    } else if (arg == "--cache-capacity") {
+      long v = std::atol(value());
+      if (v < 1) usage_error("--cache-capacity must be >= 1");
+      a.cache_capacity = static_cast<size_t>(v);
+    } else if (arg == "--json") {
+      a.json_out = value();
+    } else if (arg == "--min-hit-rate") {
+      a.min_hit_rate = std::atof(value());
+    } else if (arg == "--check-sequential") {
+      a.check_sequential = true;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else {
+      usage_error("unknown option");
+    }
+  }
+  return a;
+}
+
+// Table-II-style summary from the batch results. suite_matrix() emits the
+// three configs consecutively per app, in suite order.
+void print_table(const std::vector<service::CompileJob>& jobs,
+                 const std::vector<service::CompileResult>& results) {
+  std::printf("%-8s | %-14s | %-24s | %-24s\n", "", "no-inlining",
+              "conventional inlining", "annotation-based inlining");
+  std::printf("%-8s | %5s %8s | %5s %5s %6s %8s | %5s %5s %6s %8s\n", "App",
+              "#par", "lines", "#par", "-loss", "+extra", "lines", "#par",
+              "-loss", "+extra", "lines");
+  for (size_t i = 0; i + 2 < results.size(); i += 3) {
+    const auto& none = results[i];
+    const auto& conv = results[i + 1];
+    const auto& annot = results[i + 2];
+    int loss_conv = 0, extra_conv = 0, loss_annot = 0, extra_annot = 0;
+    for (int64_t id : none.parallel_loops) {
+      if (!conv.parallel_loops.count(id)) ++loss_conv;
+      if (!annot.parallel_loops.count(id)) ++loss_annot;
+    }
+    for (int64_t id : conv.parallel_loops)
+      if (!none.parallel_loops.count(id)) ++extra_conv;
+    for (int64_t id : annot.parallel_loops)
+      if (!none.parallel_loops.count(id)) ++extra_annot;
+    std::printf("%-8s | %5zu %8zu | %5zu %5d %6d %8zu | %5zu %5d %6d %8zu\n",
+                jobs[i].app.name.c_str(), none.parallel_loops.size(),
+                none.code_lines, conv.parallel_loops.size(), loss_conv,
+                extra_conv, conv.code_lines, annot.parallel_loops.size(),
+                loss_annot, extra_annot, annot.code_lines);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  if (args.threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    args.threads = hw ? static_cast<int>(hw) : 1;
+  }
+
+  service::ResultCache cache(args.cache_capacity, args.cache_dir);
+  service::Telemetry telemetry;
+  service::Scheduler::Options sopts;
+  sopts.threads = args.threads;
+  sopts.cache = &cache;
+  sopts.telemetry = &telemetry;
+  service::Scheduler scheduler(sopts);
+
+  auto jobs = service::suite_matrix();
+  auto results = scheduler.run_batch(jobs);
+
+  int failed = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) {
+      ++failed;
+      std::fprintf(stderr, "apserve: job %s/%s FAILED: %s\n",
+                   jobs[i].app.name.c_str(),
+                   driver::config_name(jobs[i].opts.config),
+                   results[i].error.c_str());
+    }
+  }
+
+  if (!args.quiet) print_table(jobs, results);
+
+  if (args.check_sequential) {
+    int mismatches = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      auto seq =
+          service::to_compile_result(driver::run_pipeline(jobs[i].app,
+                                                          jobs[i].opts));
+      if (seq.parallel_loops != results[i].parallel_loops ||
+          seq.code_lines != results[i].code_lines ||
+          seq.program_text != results[i].program_text) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "apserve: DETERMINISM MISMATCH for %s/%s vs sequential\n",
+                     jobs[i].app.name.c_str(),
+                     driver::config_name(jobs[i].opts.config));
+      }
+    }
+    if (mismatches) return 3;
+    std::fprintf(stderr,
+                 "apserve: sequential check passed (%zu jobs identical)\n",
+                 jobs.size());
+  }
+
+  std::string json = telemetry.to_json();
+  if (args.json_out == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream f(args.json_out, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "apserve: cannot write %s\n",
+                   args.json_out.c_str());
+      return 1;
+    }
+    f << json;
+  }
+
+  size_t hits = telemetry.cache_hits();
+  std::fprintf(stderr,
+               "apserve: %zu jobs, %d failed, %zu cache hits (%.0f%%), "
+               "%d threads\n",
+               jobs.size(), failed, hits, 100.0 * telemetry.hit_rate(),
+               scheduler.threads());
+
+  if (failed) return 1;
+  if (args.min_hit_rate >= 0 && telemetry.hit_rate() < args.min_hit_rate) {
+    std::fprintf(stderr, "apserve: hit rate %.2f below required %.2f\n",
+                 telemetry.hit_rate(), args.min_hit_rate);
+    return 2;
+  }
+  return 0;
+}

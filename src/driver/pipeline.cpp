@@ -36,13 +36,23 @@ std::set<int64_t> collect_parallel_origins(const fir::Program& prog) {
 
 PipelineResult run_pipeline(const suite::BenchmarkApp& app,
                             const PipelineOptions& opts) {
+  using clock = std::chrono::steady_clock;
+  auto ms_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0)
+        .count();
+  };
+  auto t_start = clock::now();
+
   PipelineResult result;
   DiagnosticEngine diags;
   diags.set_stream(app.name);
 
+  auto t0 = clock::now();
   auto prog = fir::parse_program(app.source, diags);
+  result.timings.parse_ms = ms_since(t0);
   if (!prog) {
     result.error = "parse failed:\n" + diags.render_all();
+    result.timings.total_ms = ms_since(t_start);
     return result;
   }
 
@@ -52,10 +62,12 @@ PipelineResult run_pipeline(const suite::BenchmarkApp& app,
     adiags.set_stream(app.name + ":annotations");
     if (!registry.add(app.annotations, adiags)) {
       result.error = "annotation parse failed:\n" + adiags.render_all();
+      result.timings.total_ms = ms_since(t_start);
       return result;
     }
   }
 
+  t0 = clock::now();
   switch (opts.config) {
     case InlineConfig::None:
       break;
@@ -67,18 +79,25 @@ PipelineResult run_pipeline(const suite::BenchmarkApp& app,
           xform::inline_annotations(*prog, registry, opts.annot, diags);
       break;
   }
+  if (opts.config != InlineConfig::None)
+    result.timings.inline_ms = ms_since(t0);
 
+  t0 = clock::now();
   result.par = par::parallelize(*prog, opts.par, diags);
+  result.timings.parallelize_ms = ms_since(t0);
 
   if (opts.config == InlineConfig::Annotation) {
+    t0 = clock::now();
     result.reverse_report =
         xform::reverse_inline(*prog, registry, diags, opts.reverse);
+    result.timings.reverse_ms = ms_since(t0);
   }
 
   result.parallel_loops = collect_parallel_origins(*prog);
   result.code_lines = fir::code_size_lines(*prog);
   result.program = std::move(prog);
   result.ok = true;
+  result.timings.total_ms = ms_since(t_start);
   return result;
 }
 

@@ -38,9 +38,21 @@ struct PipelineOptions {
   xform::ReverseInlineOptions reverse;
 };
 
+// Per-pass wall times for one pipeline run, populated for every config
+// (passes a config skips stay 0). Consumers (service telemetry, benches)
+// read these instead of re-running passes under a stopwatch.
+struct PipelineTimings {
+  double parse_ms = 0;
+  double inline_ms = 0;       // conventional or annotation inlining
+  double parallelize_ms = 0;
+  double reverse_ms = 0;      // reverse inlining (Annotation config only)
+  double total_ms = 0;
+};
+
 struct PipelineResult {
   bool ok = false;
   std::string error;
+  PipelineTimings timings;
 
   std::unique_ptr<fir::Program> program;  // final (runnable) program
   par::ParallelizeResult par;

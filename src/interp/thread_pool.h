@@ -1,50 +1,13 @@
-// Minimal work-sharing thread pool for executing `!$OMP PARALLEL DO`
-// regions. One pool per Interpreter instance; workers park on a condition
-// variable between regions so per-region overhead stays in the microsecond
-// range (parallel regions in the mini-suite run for milliseconds).
+// The interpreter's work-sharing pool for `!$OMP PARALLEL DO` regions is
+// the shared pool in support/thread_pool.h (also used by the compilation
+// service scheduler); this header preserves the historical interp-local
+// name. One pool per Interpreter instance.
 #pragma once
 
-#include <condition_variable>
-#include <cstdint>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "support/thread_pool.h"
 
 namespace ap::interp {
 
-class ThreadPool {
- public:
-  explicit ThreadPool(int num_threads);
-  ~ThreadPool();
-
-  int size() const { return static_cast<int>(workers_.size()) + 1; }
-
-  // Split [lo, hi] (inclusive, step 1) into one contiguous chunk per
-  // thread and run `fn(chunk_lo, chunk_hi, thread_index)` on each; the
-  // calling thread executes chunk 0. Blocks until every chunk finishes.
-  // Exceptions thrown by `fn` are rethrown on the caller (first one wins).
-  void parallel_for(int64_t lo, int64_t hi,
-                    const std::function<void(int64_t, int64_t, int)>& fn);
-
- private:
-  struct Task {
-    int64_t lo, hi;
-    int index;
-  };
-
-  void worker_main(int worker_index);
-
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_work_, cv_done_;
-  const std::function<void(int64_t, int64_t, int)>* fn_ = nullptr;
-  std::vector<Task> tasks_;      // tasks for workers (caller runs its own)
-  size_t next_task_ = 0;
-  int pending_ = 0;
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr error_;
-};
+using ap::ThreadPool;
 
 }  // namespace ap::interp

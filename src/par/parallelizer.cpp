@@ -218,6 +218,7 @@ class Parallelizer {
           if (o == w && all.size() > 1) {
             // self-pair still matters (same ref, different iterations)
           }
+          ++result_.dep_tests;
           analysis::PairVerdict pv = analysis::test_pair(*w, *o, ctx);
           if (pv == analysis::PairVerdict::MayCarry) {
             carried = true;

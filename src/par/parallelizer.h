@@ -78,6 +78,9 @@ struct LoopVerdict {
 struct ParallelizeResult {
   std::vector<LoopVerdict> loops;
   int parallelized = 0;
+  // Number of pairwise dependence tests issued (telemetry; the dominant
+  // analysis cost, so the service reports it per compilation).
+  size_t dep_tests = 0;
 
   bool is_parallel(int64_t origin_id) const;
 };

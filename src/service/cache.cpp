@@ -1,0 +1,200 @@
+#include "service/cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fir/unparse.h"
+
+namespace ap::service {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex16(uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, key);
+  return buf;
+}
+
+}  // namespace
+
+CompileResult to_compile_result(const driver::PipelineResult& r) {
+  CompileResult out;
+  out.ok = r.ok;
+  out.error = r.error;
+  out.parallel_loops = r.parallel_loops;
+  out.code_lines = r.code_lines;
+  out.dep_tests = r.par.dep_tests;
+  out.timings = r.timings;
+  if (r.program) out.program_text = fir::unparse(*r.program);
+  return out;
+}
+
+std::string options_fingerprint(const driver::PipelineOptions& o) {
+  std::ostringstream s;
+  s << "v" << kCacheFormatVersion << ";cfg=" << static_cast<int>(o.config)
+    << ";par=" << o.par.min_trip << ',' << o.par.normalize << ','
+    << o.par.mark_nested << ',' << o.par.use_banerjee << ','
+    << o.par.use_siv_refinement << ',' << o.par.collect_all_blockers
+    << ";conv=" << o.conv.max_stmts << ',' << o.conv.max_callee_calls << ','
+    << o.conv.require_in_loop << ',' << o.conv.eliminate_dead_units << ','
+    << o.conv.max_passes << ";annot=" << o.annot.require_in_loop
+    << ";rev=" << o.reverse.tolerate_reordering << ','
+    << o.reverse.tolerate_forward_subst << ',' << o.reverse.tolerate_literals
+    << ',' << o.reverse.fallback_to_hints;
+  return s.str();
+}
+
+uint64_t cache_key(std::string_view source, std::string_view annotations,
+                   const driver::PipelineOptions& opts) {
+  uint64_t h = kFnvOffset;
+  h = fnv1a(h, options_fingerprint(opts));
+  h = fnv1a(h, std::string_view("\0", 1));
+  h = fnv1a(h, source);
+  h = fnv1a(h, std::string_view("\0", 1));
+  h = fnv1a(h, annotations);
+  return h;
+}
+
+std::string serialize_result(const CompileResult& r) {
+  std::ostringstream s;
+  s << "APCACHE " << kCacheFormatVersion << "\n";
+  s << "ok " << (r.ok ? 1 : 0) << "\n";
+  s << "code_lines " << r.code_lines << "\n";
+  s << "dep_tests " << r.dep_tests << "\n";
+  char t[160];
+  std::snprintf(t, sizeof(t), "timings %.6f %.6f %.6f %.6f %.6f\n",
+                r.timings.parse_ms, r.timings.inline_ms,
+                r.timings.parallelize_ms, r.timings.reverse_ms,
+                r.timings.total_ms);
+  s << t;
+  s << "parallel_loops " << r.parallel_loops.size();
+  for (int64_t id : r.parallel_loops) s << ' ' << id;
+  s << "\n";
+  s << "program " << r.program_text.size() << "\n";
+  s << r.program_text;
+  return s.str();
+}
+
+std::optional<CompileResult> deserialize_result(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string tag;
+  uint32_t version = 0;
+  if (!(in >> tag >> version) || tag != "APCACHE" ||
+      version != kCacheFormatVersion)
+    return std::nullopt;
+
+  CompileResult r;
+  int ok = 0;
+  size_t nloops = 0, nbytes = 0;
+  if (!(in >> tag >> ok) || tag != "ok") return std::nullopt;
+  r.ok = ok != 0;
+  if (!(in >> tag >> r.code_lines) || tag != "code_lines") return std::nullopt;
+  if (!(in >> tag >> r.dep_tests) || tag != "dep_tests") return std::nullopt;
+  if (!(in >> tag >> r.timings.parse_ms >> r.timings.inline_ms >>
+        r.timings.parallelize_ms >> r.timings.reverse_ms >>
+        r.timings.total_ms) ||
+      tag != "timings")
+    return std::nullopt;
+  if (!(in >> tag >> nloops) || tag != "parallel_loops") return std::nullopt;
+  for (size_t i = 0; i < nloops; ++i) {
+    int64_t id;
+    if (!(in >> id)) return std::nullopt;
+    r.parallel_loops.insert(id);
+  }
+  if (!(in >> tag >> nbytes) || tag != "program") return std::nullopt;
+  in.get();  // the newline terminating the program header
+  r.program_text.resize(nbytes);
+  in.read(r.program_text.data(), static_cast<std::streamsize>(nbytes));
+  if (in.gcount() != static_cast<std::streamsize>(nbytes)) return std::nullopt;
+  return r;
+}
+
+ResultCache::ResultCache(size_t capacity, std::string disk_dir)
+    : capacity_(capacity < 1 ? 1 : capacity), disk_dir_(std::move(disk_dir)) {
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(disk_dir_, ec);
+  }
+}
+
+std::string ResultCache::disk_path(uint64_t key) const {
+  return disk_dir_ + "/" + hex16(key) + ".apc";
+}
+
+std::optional<CompileResult> ResultCache::find(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.memory_hits;
+    return it->second->second;
+  }
+  if (!disk_dir_.empty()) {
+    std::ifstream f(disk_path(key), std::ios::binary);
+    if (f) {
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      auto r = deserialize_result(buf.str());
+      if (r) {
+        insert_memory_locked(key, *r);
+        ++stats_.disk_hits;
+        return r;
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(uint64_t key, const CompileResult& r) {
+  if (!r.ok) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_memory_locked(key, r);
+  ++stats_.stores;
+  if (!disk_dir_.empty()) {
+    std::ofstream f(disk_path(key), std::ios::binary | std::ios::trunc);
+    if (f) f << serialize_result(r);
+  }
+}
+
+void ResultCache::insert_memory_locked(uint64_t key, const CompileResult& r) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = r;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, r);
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ResultCache::memory_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace ap::service

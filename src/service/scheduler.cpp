@@ -1,0 +1,90 @@
+#include "service/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace ap::service {
+
+std::vector<CompileJob> suite_matrix(const driver::PipelineOptions& base) {
+  std::vector<CompileJob> jobs;
+  for (const auto& app : suite::perfect_suite()) {
+    for (auto cfg :
+         {driver::InlineConfig::None, driver::InlineConfig::Conventional,
+          driver::InlineConfig::Annotation}) {
+      CompileJob j;
+      j.app = app;
+      j.opts = base;
+      j.opts.config = cfg;
+      jobs.push_back(std::move(j));
+    }
+  }
+  return jobs;
+}
+
+Scheduler::Scheduler(const Options& opts)
+    : opts_(opts), pool_(opts.threads < 1 ? 1 : opts.threads) {}
+
+CompileResult Scheduler::run_one(const CompileJob& job) {
+  uint64_t key = cache_key(job.app.source, job.app.annotations, job.opts);
+  if (opts_.cache) {
+    if (auto hit = opts_.cache->find(key)) {
+      hit->cache_hit = true;
+      return *hit;
+    }
+  }
+  CompileResult r = to_compile_result(driver::run_pipeline(job.app, job.opts));
+  if (opts_.cache) opts_.cache->store(key, r);
+  return r;
+}
+
+std::vector<CompileResult> Scheduler::run_batch(
+    const std::vector<CompileJob>& jobs) {
+  using clock = std::chrono::steady_clock;
+  auto t_batch = clock::now();
+
+  std::vector<CompileResult> results(jobs.size());
+  std::vector<double> wall_ms(jobs.size(), 0);
+  std::atomic<int64_t> started{0};
+
+  pool_.for_each_index(
+      static_cast<int64_t>(jobs.size()), [&](int64_t i, int) {
+        // Queue depth = jobs not yet picked up by any lane.
+        int64_t remaining =
+            static_cast<int64_t>(jobs.size()) - (++started);
+        if (opts_.telemetry) opts_.telemetry->sample_queue_depth(remaining);
+        auto t0 = clock::now();
+        results[static_cast<size_t>(i)] = run_one(jobs[static_cast<size_t>(i)]);
+        wall_ms[static_cast<size_t>(i)] =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count();
+      });
+
+  double batch_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t_batch)
+          .count();
+
+  if (opts_.telemetry) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const auto& r = results[i];
+      JobRecord rec;
+      rec.app = jobs[i].app.name;
+      rec.config = driver::config_name(jobs[i].opts.config);
+      rec.ok = r.ok;
+      rec.cache_hit = r.cache_hit;
+      rec.wall_ms = wall_ms[i];
+      rec.dep_tests = r.dep_tests;
+      rec.parallel_loops = r.parallel_loops.size();
+      rec.code_lines = r.code_lines;
+      // A hit's stored timings describe the original compilation, not work
+      // done in this batch; report zeros so pass totals stay additive.
+      if (!r.cache_hit) rec.timings = r.timings;
+      opts_.telemetry->record_job(rec);
+    }
+    if (opts_.cache) opts_.telemetry->record_cache_stats(opts_.cache->stats());
+    opts_.telemetry->record_batch_wall_ms(batch_ms);
+    opts_.telemetry->record_threads(pool_.size());
+  }
+  return results;
+}
+
+}  // namespace ap::service

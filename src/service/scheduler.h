@@ -1,0 +1,61 @@
+// Concurrent job scheduler for the compilation service.
+//
+// A batch is a vector of CompileJobs (one app × one PipelineOptions each).
+// Jobs run on the shared ap::ThreadPool (support/thread_pool.h) with
+// dynamic load balancing — compilation units are uneven, so lanes pull one
+// job at a time. Results land in slots indexed by job position, so the
+// returned vector (and everything derived from it: Table II rows, the
+// telemetry report) is deterministic regardless of completion order.
+//
+// Each job first probes the ResultCache under its content hash; a hit
+// skips the pipeline entirely. Misses compile via driver::run_pipeline and
+// store the serialized outcome. Cache and telemetry are both optional.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/telemetry.h"
+#include "suite/suite.h"
+#include "support/thread_pool.h"
+
+namespace ap::service {
+
+struct CompileJob {
+  // The job owns its inputs so batches can outlive suite storage and tests
+  // can synthesize programs freely.
+  suite::BenchmarkApp app;
+  driver::PipelineOptions opts;
+};
+
+// The full 12×3 evaluation matrix (every suite app under every inlining
+// configuration), in deterministic (app, config) order.
+std::vector<CompileJob> suite_matrix(const driver::PipelineOptions& base = {});
+
+class Scheduler {
+ public:
+  struct Options {
+    int threads = 1;                // lanes, including the calling thread
+    ResultCache* cache = nullptr;   // optional
+    Telemetry* telemetry = nullptr; // optional
+  };
+
+  explicit Scheduler(const Options& opts);
+
+  // Runs the batch concurrently; results[i] corresponds to jobs[i].
+  // Records per-job rows (in job order), cache stats, queue depth, and
+  // batch wall time into the telemetry sink when one is attached.
+  std::vector<CompileResult> run_batch(const std::vector<CompileJob>& jobs);
+
+  // Compile one job through the cache (no telemetry, no pool).
+  CompileResult run_one(const CompileJob& job);
+
+  int threads() const { return pool_.size(); }
+
+ private:
+  Options opts_;
+  ThreadPool pool_;
+};
+
+}  // namespace ap::service

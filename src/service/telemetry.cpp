@@ -1,0 +1,151 @@
+#include "service/telemetry.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ap::service {
+
+namespace {
+
+std::string fmt_ms(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Telemetry::sample_queue_depth(int64_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++queue_samples_;
+  queue_depth_sum_ += depth;
+  if (depth > queue_depth_max_) queue_depth_max_ = depth;
+}
+
+void Telemetry::record_job(const JobRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_.push_back(rec);
+}
+
+void Telemetry::record_cache_stats(const CacheStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_ = stats;
+}
+
+void Telemetry::record_batch_wall_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_wall_ms_ = ms;
+}
+
+void Telemetry::record_threads(int threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_ = threads;
+}
+
+size_t Telemetry::jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+size_t Telemetry::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& j : jobs_)
+    if (j.cache_hit) ++n;
+  return n;
+}
+
+double Telemetry::hit_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (jobs_.empty()) return 0;
+  size_t n = 0;
+  for (const auto& j : jobs_)
+    if (j.cache_hit) ++n;
+  return static_cast<double>(n) / static_cast<double>(jobs_.size());
+}
+
+std::string Telemetry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  size_t ok = 0, hits = 0, dep_tests = 0;
+  driver::PipelineTimings pass{};
+  for (const auto& j : jobs_) {
+    if (j.ok) ++ok;
+    if (j.cache_hit) ++hits;
+    dep_tests += j.dep_tests;
+    pass.parse_ms += j.timings.parse_ms;
+    pass.inline_ms += j.timings.inline_ms;
+    pass.parallelize_ms += j.timings.parallelize_ms;
+    pass.reverse_ms += j.timings.reverse_ms;
+    pass.total_ms += j.timings.total_ms;
+  }
+
+  std::ostringstream s;
+  s << "{\n";
+  s << "  \"summary\": {\"jobs\": " << jobs_.size() << ", \"ok\": " << ok
+    << ", \"failed\": " << jobs_.size() - ok << ", \"cache_hits\": " << hits
+    << ", \"cache_misses\": " << jobs_.size() - hits
+    << ", \"threads\": " << threads_
+    << ", \"batch_wall_ms\": " << fmt_ms(batch_wall_ms_)
+    << ", \"dep_tests\": " << dep_tests << "},\n";
+  s << "  \"passes_ms\": {\"parse\": " << fmt_ms(pass.parse_ms)
+    << ", \"inline\": " << fmt_ms(pass.inline_ms)
+    << ", \"parallelize\": " << fmt_ms(pass.parallelize_ms)
+    << ", \"reverse\": " << fmt_ms(pass.reverse_ms)
+    << ", \"pipeline_total\": " << fmt_ms(pass.total_ms) << "},\n";
+  s << "  \"cache\": {\"memory_hits\": " << cache_.memory_hits
+    << ", \"disk_hits\": " << cache_.disk_hits
+    << ", \"misses\": " << cache_.misses << ", \"stores\": " << cache_.stores
+    << ", \"evictions\": " << cache_.evictions << "},\n";
+  double queue_mean =
+      queue_samples_ ? static_cast<double>(queue_depth_sum_) /
+                           static_cast<double>(queue_samples_)
+                     : 0;
+  s << "  \"queue\": {\"samples\": " << queue_samples_
+    << ", \"max_depth\": " << queue_depth_max_
+    << ", \"mean_depth\": " << fmt_ms(queue_mean) << "},\n";
+  s << "  \"jobs\": [\n";
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    const auto& j = jobs_[i];
+    s << "    {\"app\": \"" << json_escape(j.app) << "\", \"config\": \""
+      << json_escape(j.config) << "\", \"ok\": " << (j.ok ? "true" : "false")
+      << ", \"cache_hit\": " << (j.cache_hit ? "true" : "false")
+      << ", \"wall_ms\": " << fmt_ms(j.wall_ms)
+      << ", \"dep_tests\": " << j.dep_tests
+      << ", \"parallel_loops\": " << j.parallel_loops
+      << ", \"code_lines\": " << j.code_lines << ", \"passes_ms\": {\"parse\": "
+      << fmt_ms(j.timings.parse_ms)
+      << ", \"inline\": " << fmt_ms(j.timings.inline_ms)
+      << ", \"parallelize\": " << fmt_ms(j.timings.parallelize_ms)
+      << ", \"reverse\": " << fmt_ms(j.timings.reverse_ms) << "}}"
+      << (i + 1 < jobs_.size() ? ",\n" : "\n");
+  }
+  s << "  ]\n";
+  s << "}\n";
+  return s.str();
+}
+
+}  // namespace ap::service

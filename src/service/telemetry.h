@@ -1,0 +1,65 @@
+// Telemetry for the compilation service: per-pass wall time, dependence
+// test counts, cache hit/miss/evict counters, and scheduler queue depth,
+// rendered as one machine-readable JSON report.
+//
+// Live recording (queue-depth samples, job wall times) is thread-safe;
+// per-job rows are recorded in job-index order after a batch finishes, so
+// the report is deterministic regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/cache.h"
+
+namespace ap::service {
+
+struct JobRecord {
+  std::string app;
+  std::string config;
+  bool ok = false;
+  bool cache_hit = false;
+  double wall_ms = 0;  // scheduler-observed job time (hit or miss)
+  size_t dep_tests = 0;
+  size_t parallel_loops = 0;
+  size_t code_lines = 0;
+  driver::PipelineTimings timings;  // of the compiling run (zero on hits)
+};
+
+class Telemetry {
+ public:
+  // Thread-safe; called by scheduler lanes while a batch is in flight.
+  void sample_queue_depth(int64_t depth);
+
+  // Deterministic post-batch recording (called in job-index order).
+  void record_job(const JobRecord& rec);
+  void record_cache_stats(const CacheStats& stats);
+  void record_batch_wall_ms(double ms);
+  void record_threads(int threads);
+
+  // Aggregates (over recorded jobs).
+  size_t jobs() const;
+  size_t cache_hits() const;
+  double hit_rate() const;  // hits / jobs, 0 when empty
+
+  // The JSON report: summary, pass totals, cache counters, queue stats,
+  // and one row per job.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<JobRecord> jobs_;
+  CacheStats cache_;
+  double batch_wall_ms_ = 0;
+  int threads_ = 1;
+  int64_t queue_samples_ = 0;
+  int64_t queue_depth_max_ = 0;
+  int64_t queue_depth_sum_ = 0;
+};
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(std::string_view s);
+
+}  // namespace ap::service

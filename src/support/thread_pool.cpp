@@ -1,6 +1,6 @@
-#include "interp/thread_pool.h"
+#include "support/thread_pool.h"
 
-namespace ap::interp {
+namespace ap {
 
 ThreadPool::ThreadPool(int num_threads) {
   int extra = num_threads - 1;
@@ -97,4 +97,63 @@ void ThreadPool::parallel_for(
   if (caller_error) std::rethrow_exception(caller_error);
 }
 
-}  // namespace ap::interp
+void ThreadPool::for_each_index(
+    int64_t count, const std::function<void(int64_t, int)>& fn) {
+  if (count <= 0) return;
+
+  if (workers_.empty()) {
+    for (int64_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+
+  // Every index is its own task; the worker trampoline passes (lo, hi,
+  // index) so reuse lo as the task index and index as the lane ordinal.
+  auto trampoline = [&fn](int64_t lo, int64_t, int index) { fn(lo, index); };
+  const std::function<void(int64_t, int64_t, int)> tramp_fn = trampoline;
+
+  std::vector<Task> all;
+  all.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i)
+    all.push_back(Task{i, i, static_cast<int>(i)});
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = std::move(all);
+    next_task_ = 0;
+    pending_ = static_cast<int>(count);
+    fn_ = &tramp_fn;
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The caller pulls from the same queue alongside the workers.
+  std::exception_ptr caller_error;
+  for (;;) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_task_ >= tasks_.size()) break;
+      task = tasks_[next_task_++];
+    }
+    try {
+      tramp_fn(task.lo, task.hi, task.index);
+    } catch (...) {
+      if (!caller_error) caller_error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+    if (!caller_error && error_) caller_error = error_;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
+}  // namespace ap

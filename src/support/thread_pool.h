@@ -1,0 +1,69 @@
+// Shared worker pool used by both the interpreter (work-sharing execution
+// of `!$OMP PARALLEL DO` regions) and the compilation service (concurrent
+// pipeline jobs). Workers park on a condition variable between batches so
+// per-batch overhead stays in the microsecond range.
+//
+// Two entry points over the same worker loop:
+//
+//   parallel_for   — split [lo, hi] into one contiguous chunk per thread;
+//                    chunk 0 always runs on the calling thread (the
+//                    interpreter relies on this for thread-index-stable
+//                    reduction slots).
+//   for_each_index — run `count` independent tasks, one index per task,
+//                    pulled dynamically by workers AND the caller; right
+//                    for jobs of uneven size (compilation units).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ap {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  // Total execution lanes, including the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Split [lo, hi] (inclusive, step 1) into one contiguous chunk per
+  // thread and run `fn(chunk_lo, chunk_hi, thread_index)` on each; the
+  // calling thread executes chunk 0. Blocks until every chunk finishes.
+  // Exceptions thrown by `fn` are rethrown on the caller (first one wins).
+  void parallel_for(int64_t lo, int64_t hi,
+                    const std::function<void(int64_t, int64_t, int)>& fn);
+
+  // Run `fn(index, lane)` for every index in [0, count), dynamically load
+  // balanced: workers and the calling thread pull one index at a time, so
+  // slow tasks don't serialize behind a static partition. `lane` is a
+  // dense task ordinal, NOT a stable thread id. Blocks until all tasks
+  // finish; first exception is rethrown on the caller.
+  void for_each_index(int64_t count,
+                      const std::function<void(int64_t, int)>& fn);
+
+ private:
+  struct Task {
+    int64_t lo, hi;
+    int index;
+  };
+
+  void worker_main(int worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_, cv_done_;
+  const std::function<void(int64_t, int64_t, int)>* fn_ = nullptr;
+  std::vector<Task> tasks_;      // tasks for workers (caller may also pull)
+  size_t next_task_ = 0;
+  int pending_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace ap

@@ -1,0 +1,348 @@
+// Tests for the compilation service: content-addressed cache keys,
+// result serialization, LRU eviction, the on-disk tier, scheduler
+// determinism (concurrent 12×3 matrix == sequential runs), and the
+// PipelineTimings satellite.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "service/scheduler.h"
+#include "suite/suite.h"
+#include "tests/test_util.h"
+
+namespace ap {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A tiny single-loop app: fast to compile, enough to exercise the cache.
+suite::BenchmarkApp tiny_app(const std::string& name,
+                             const std::string& extra_stmt = "") {
+  suite::BenchmarkApp app;
+  app.name = name;
+  app.description = "synthetic cache-test app";
+  app.source = "      PROGRAM TINY\n"
+               "      REAL A(100)\n"
+               "      INTEGER I\n"
+               "      DO 10 I = 1, 100\n"
+               "        A(I) = I * 2.0\n" +
+               (extra_stmt.empty() ? std::string()
+                                   : "        " + extra_stmt + "\n") +
+               "   10 CONTINUE\n"
+               "      END\n";
+  return app;
+}
+
+service::CompileJob tiny_job(const std::string& name = "TINY") {
+  service::CompileJob j;
+  j.app = tiny_app(name);
+  j.opts = driver::PipelineOptions{};
+  return j;
+}
+
+// A unique per-test temp directory, removed on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ap_service_test_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+TEST(CacheKey, StableForIdenticalInputs) {
+  auto j = tiny_job();
+  uint64_t k1 = service::cache_key(j.app.source, j.app.annotations, j.opts);
+  uint64_t k2 = service::cache_key(j.app.source, j.app.annotations, j.opts);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(CacheKey, ChangesWithSourceAnnotationsAndEveryOptionGroup) {
+  auto j = tiny_job();
+  uint64_t base = service::cache_key(j.app.source, j.app.annotations, j.opts);
+
+  EXPECT_NE(base, service::cache_key(j.app.source + " ", j.app.annotations,
+                                     j.opts));
+  EXPECT_NE(base, service::cache_key(j.app.source, "inline fsmp always",
+                                     j.opts));
+
+  auto o = j.opts;
+  o.config = driver::InlineConfig::Annotation;
+  EXPECT_NE(base, service::cache_key(j.app.source, j.app.annotations, o));
+  o = j.opts;
+  o.par.min_trip = 99;
+  EXPECT_NE(base, service::cache_key(j.app.source, j.app.annotations, o));
+  o = j.opts;
+  o.conv.max_stmts = 1;
+  EXPECT_NE(base, service::cache_key(j.app.source, j.app.annotations, o));
+  o = j.opts;
+  o.annot.require_in_loop = false;
+  EXPECT_NE(base, service::cache_key(j.app.source, j.app.annotations, o));
+  o = j.opts;
+  o.reverse.fallback_to_hints = false;
+  EXPECT_NE(base, service::cache_key(j.app.source, j.app.annotations, o));
+}
+
+TEST(CacheSerialization, RoundTripPreservesResult) {
+  auto j = tiny_job();
+  auto r = service::to_compile_result(driver::run_pipeline(j.app, j.opts));
+  ASSERT_TRUE(r.ok);
+  ASSERT_FALSE(r.program_text.empty());
+
+  auto back = service::deserialize_result(service::serialize_result(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ok, r.ok);
+  EXPECT_EQ(back->parallel_loops, r.parallel_loops);
+  EXPECT_EQ(back->code_lines, r.code_lines);
+  EXPECT_EQ(back->dep_tests, r.dep_tests);
+  EXPECT_EQ(back->program_text, r.program_text);
+}
+
+TEST(CacheSerialization, RejectsGarbageAndWrongVersion) {
+  EXPECT_FALSE(service::deserialize_result("").has_value());
+  EXPECT_FALSE(service::deserialize_result("not a cache entry").has_value());
+  EXPECT_FALSE(service::deserialize_result("APCACHE 999\nok 1\n").has_value());
+}
+
+TEST(ResultCache, HitOnIdenticalSourceAndOptions) {
+  service::ResultCache cache(8);
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  service::Scheduler sched(so);
+
+  auto j = tiny_job();
+  auto first = sched.run_one(j);
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.cache_hit);
+
+  auto second = sched.run_one(j);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.parallel_loops, first.parallel_loops);
+  EXPECT_EQ(second.program_text, first.program_text);
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, MissOnChangedOptions) {
+  service::ResultCache cache(8);
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  service::Scheduler sched(so);
+
+  auto j = tiny_job();
+  sched.run_one(j);
+  j.opts.par.min_trip = 500;  // trips the profitability threshold
+  auto r = sched.run_one(j);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(cache.stats().memory_hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // And the semantic outcome really differs: the loop is no longer
+  // profitable, so nothing is parallelized.
+  EXPECT_TRUE(r.parallel_loops.empty());
+}
+
+TEST(ResultCache, LruEvictionAtCapacity) {
+  service::ResultCache cache(2);
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  service::Scheduler sched(so);
+
+  auto a = tiny_job("A"), b = tiny_job("B"), c = tiny_job("C");
+  // Distinct sources => distinct keys.
+  b.app.source += "*\n";
+  c.app.source += "**\n";
+
+  sched.run_one(a);
+  sched.run_one(b);
+  EXPECT_EQ(cache.memory_entries(), 2u);
+
+  // Touch A so B becomes least-recently-used, then insert C.
+  EXPECT_TRUE(sched.run_one(a).cache_hit);
+  sched.run_one(c);
+  EXPECT_EQ(cache.memory_entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  EXPECT_TRUE(sched.run_one(a).cache_hit);   // survived
+  EXPECT_TRUE(sched.run_one(c).cache_hit);   // just inserted
+  EXPECT_FALSE(sched.run_one(b).cache_hit);  // evicted
+}
+
+TEST(ResultCache, DiskTierRoundTrip) {
+  TempDir dir("disk");
+  auto j = tiny_job();
+  service::CompileResult original;
+  {
+    service::ResultCache cache(8, dir.path.string());
+    service::Scheduler::Options so;
+    so.cache = &cache;
+    service::Scheduler sched(so);
+    original = sched.run_one(j);
+    ASSERT_TRUE(original.ok);
+  }
+  // A fresh cache instance (empty memory tier) over the same directory
+  // serves the entry from disk and promotes it.
+  service::ResultCache cache(8, dir.path.string());
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  service::Scheduler sched(so);
+  auto warm = sched.run_one(j);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  EXPECT_EQ(warm.parallel_loops, original.parallel_loops);
+  EXPECT_EQ(warm.code_lines, original.code_lines);
+  EXPECT_EQ(warm.program_text, original.program_text);
+  // Promoted: the next lookup is a memory hit.
+  EXPECT_TRUE(sched.run_one(j).cache_hit);
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+}
+
+TEST(ResultCache, FailedCompilationsAreNotCached) {
+  service::ResultCache cache(8);
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  service::Scheduler sched(so);
+
+  service::CompileJob bad;
+  bad.app.name = "BAD";
+  bad.app.source = "      THIS IS NOT FORTRAN(\n";
+  auto r1 = sched.run_one(bad);
+  EXPECT_FALSE(r1.ok);
+  auto r2 = sched.run_one(bad);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+// The acceptance criterion: a concurrent run of the full 12×3 matrix is
+// verdict-for-verdict identical to sequential pipeline runs.
+TEST(Scheduler, ConcurrentMatrixMatchesSequential) {
+  unsigned hw = std::thread::hardware_concurrency();
+  service::ResultCache cache(128);
+  service::Telemetry telemetry;
+  service::Scheduler::Options so;
+  so.threads = hw ? static_cast<int>(hw) : 4;
+  so.cache = &cache;
+  so.telemetry = &telemetry;
+  service::Scheduler sched(so);
+
+  auto jobs = service::suite_matrix();
+  ASSERT_EQ(jobs.size(), suite::perfect_suite().size() * 3);
+  auto concurrent = sched.run_batch(jobs);
+  ASSERT_EQ(concurrent.size(), jobs.size());
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(jobs[i].app.name + "/" +
+                 driver::config_name(jobs[i].opts.config));
+    auto seq =
+        service::to_compile_result(driver::run_pipeline(jobs[i].app,
+                                                        jobs[i].opts));
+    ASSERT_TRUE(concurrent[i].ok);
+    EXPECT_EQ(concurrent[i].parallel_loops, seq.parallel_loops);
+    EXPECT_EQ(concurrent[i].code_lines, seq.code_lines);
+    EXPECT_EQ(concurrent[i].program_text, seq.program_text);
+  }
+
+  // A second batch over the same matrix is served entirely from cache and
+  // still deterministic.
+  service::Telemetry telemetry2;
+  service::Scheduler::Options so2 = so;
+  so2.telemetry = &telemetry2;
+  service::Scheduler sched2(so2);
+  auto warm = sched2.run_batch(jobs);
+  EXPECT_EQ(telemetry2.cache_hits(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(warm[i].cache_hit);
+    EXPECT_EQ(warm[i].parallel_loops, concurrent[i].parallel_loops);
+  }
+}
+
+TEST(Telemetry, JsonReportIsWellFormedAndComplete) {
+  service::ResultCache cache(128);
+  service::Telemetry telemetry;
+  service::Scheduler::Options so;
+  so.threads = 2;
+  so.cache = &cache;
+  so.telemetry = &telemetry;
+  service::Scheduler sched(so);
+
+  std::vector<service::CompileJob> jobs = {tiny_job("T1"), tiny_job("T2")};
+  jobs[1].app.source += "*\n";
+  sched.run_batch(jobs);
+
+  std::string json = telemetry.to_json();
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"passes_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"app\": \"T1\""), std::string::npos);
+  EXPECT_NE(json.find("\"app\": \"T2\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Telemetry, JsonEscaping) {
+  EXPECT_EQ(service::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(service::json_escape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+// Satellite: PipelineTimings populated for all three configurations.
+TEST(PipelineTimings, PopulatedForEveryConfig) {
+  const auto* app = suite::find_app("DYFESM");
+  ASSERT_NE(app, nullptr);
+  for (auto cfg :
+       {driver::InlineConfig::None, driver::InlineConfig::Conventional,
+        driver::InlineConfig::Annotation}) {
+    driver::PipelineOptions o;
+    o.config = cfg;
+    auto r = driver::run_pipeline(*app, o);
+    ASSERT_TRUE(r.ok);
+    EXPECT_GT(r.timings.parse_ms, 0) << driver::config_name(cfg);
+    EXPECT_GT(r.timings.parallelize_ms, 0) << driver::config_name(cfg);
+    EXPECT_GE(r.timings.total_ms,
+              r.timings.parse_ms + r.timings.parallelize_ms)
+        << driver::config_name(cfg);
+    if (cfg == driver::InlineConfig::None)
+      EXPECT_EQ(r.timings.inline_ms + r.timings.reverse_ms, 0);
+    else
+      EXPECT_GT(r.timings.inline_ms, 0) << driver::config_name(cfg);
+    EXPECT_GT(r.par.dep_tests, 0u) << driver::config_name(cfg);
+  }
+}
+
+// Satellite: the shared pool's dynamic entry point.
+TEST(SupportThreadPool, ForEachIndexRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(100);
+  pool.for_each_index(100, [&](int64_t i, int) {
+    counts[static_cast<size_t>(i)]++;
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(SupportThreadPool, ForEachIndexPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each_index(50,
+                                   [&](int64_t i, int) {
+                                     if (i == 23)
+                                       throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ap
