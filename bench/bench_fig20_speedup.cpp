@@ -83,25 +83,32 @@ void print_fig20() {
               "conv", "annot");
   bench::rule();
 
-  for (const auto& app : suite::perfect_suite()) {
+  struct Row {
+    std::string app;
     double sa[3], sb[3], cov[3];
+  };
+  std::vector<Row> rows;
+  for (const auto& app : suite::perfect_suite()) {
+    Row row;
+    row.app = app.name;
     int c = 0;
     for (auto cfg : {driver::InlineConfig::None, driver::InlineConfig::Conventional,
                      driver::InlineConfig::Annotation}) {
       auto r = bench::must_run(app, cfg);
       // Coverage is measured BEFORE tuning (what the compiler exposed);
       // speedups after tuning (what a user would run, paper §IV.B).
-      cov[c] = parallel_coverage(*r.program);
+      row.cov[c] = parallel_coverage(*r.program);
       // Empirical tuning (paper §IV.B): disable loops whose parallelization
       // slows the program down at machine A's thread count.
       driver::empirical_tune(*r.program, threads_a);
-      sa[c] = median_speedup(*r.program, threads_a);
-      sb[c] = median_speedup(*r.program, threads_b);
+      row.sa[c] = median_speedup(*r.program, threads_a);
+      row.sb[c] = median_speedup(*r.program, threads_b);
       ++c;
     }
     std::printf("%-8s | %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f | %8.1f %8.1f %8.1f\n",
-                app.name.c_str(), sa[0], sa[1], sa[2], sb[0], sb[1], sb[2],
-                cov[0], cov[1], cov[2]);
+                row.app.c_str(), row.sa[0], row.sa[1], row.sa[2], row.sb[0],
+                row.sb[1], row.sb[2], row.cov[0], row.cov[1], row.cov[2]);
+    rows.push_back(row);
   }
   std::printf(
       "\nShape check vs. paper: annotation-based exposes the most parallel\n"
@@ -109,6 +116,24 @@ void print_fig20() {
       "DYFESM, MDG, QCD, MG3D, TRACK, SPEC77, ADM, ARC2D); with empirical\n"
       "tuning no configuration degrades below ~1.0, mirroring the paper's\n"
       "bounded gains on the small PERFECT inputs.\n");
+
+  // Machine-readable companion block (BENCH_fig20.json).
+  bench::header("FIGURE 20 SERIES (BENCH_fig20.json)");
+  std::printf("{\n  \"bench\": \"fig20_speedup\",\n"
+              "  \"threads_a\": %d,\n  \"threads_b\": %d,\n  \"apps\": [\n",
+              threads_a, threads_b);
+  static const char* kCfg[3] = {"none", "conv", "annot"};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("    {\"app\": \"%s\", \"configs\": [", row.app.c_str());
+    for (int c = 0; c < 3; ++c)
+      std::printf("{\"config\": \"%s\", \"speedup_a\": %.2f, "
+                  "\"speedup_b\": %.2f, \"coverage_pct\": %.1f}%s",
+                  kCfg[c], row.sa[c], row.sb[c], row.cov[c],
+                  c < 2 ? ", " : "");
+    std::printf("]}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
 }
 
 }  // namespace

@@ -1,0 +1,172 @@
+// Bytecode VM vs tree-walking interpreter: single-thread execution time of
+// the final reverse-inlined program for every suite application, per-app
+// speedup, and the geometric mean (the tentpole target is >= 3x).
+//
+// The headline block is printed as a BENCH_interp_vm.json-friendly JSON
+// document (redirect stdout or copy the block into BENCH_interp_vm.json);
+// the google-benchmark timers below re-measure both engines under the
+// standard harness.
+//
+// `--smoke` runs a reduced-repetition variant for CI: it skips the
+// google-benchmark pass and exits non-zero if the bytecode engine is slower
+// than the tree engine on ANY application — a coarse, noise-tolerant
+// regression tripwire (the real margin is ~an order of magnitude).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "interp/interp.h"
+
+using namespace ap;
+
+namespace {
+
+struct EngineTiming {
+  double ms = 0;                    // best-of-reps wall time
+  double compile_ms = 0;            // bytecode only
+  uint64_t instructions = 0;        // bytecode only
+  uint64_t statements = 0;
+};
+
+// Best-of-`reps` single-thread serial run (min is the standard
+// noise-robust estimator for tiny workloads).
+EngineTiming run_engine(const fir::Program& prog, interp::Engine engine,
+                        int reps) {
+  using clock = std::chrono::steady_clock;
+  EngineTiming out;
+  out.ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    interp::InterpOptions o;
+    o.engine = engine;
+    o.enable_parallel = false;
+    interp::Interpreter it(prog, o);
+    auto t0 = clock::now();
+    auto r = it.run();
+    double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (!r.ok) {
+      std::fprintf(stderr, "FATAL: run failed: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+    if (ms < out.ms) {
+      out.ms = ms;
+      out.compile_ms = r.bytecode_compile_ms;
+      out.instructions = r.instructions_executed;
+      out.statements = r.statements_executed;
+    }
+  }
+  return out;
+}
+
+// Returns the geomean speedup; `*any_regression` is set if some app ran
+// slower on the bytecode engine.
+double print_interp_vm_json(int reps, bool* any_regression) {
+  bench::header("INTERP VM: BYTECODE VS TREE, SERIAL (BENCH_interp_vm.json)");
+  std::printf("{\n  \"bench\": \"interp_vm\",\n  \"threads\": 1,\n"
+              "  \"reps\": %d,\n  \"apps\": [\n", reps);
+  double log_sum = 0;
+  size_t n = 0;
+  *any_regression = false;
+  const auto& apps = suite::perfect_suite();
+  for (size_t i = 0; i < apps.size(); ++i) {
+    auto r = bench::must_run(apps[i], driver::InlineConfig::Annotation);
+    EngineTiming tree = run_engine(*r.program, interp::Engine::Tree, reps);
+    EngineTiming bc = run_engine(*r.program, interp::Engine::Bytecode, reps);
+    double speedup = bc.ms > 0 ? tree.ms / bc.ms : 0.0;
+    if (speedup < 1.0) *any_regression = true;
+    log_sum += std::log(speedup);
+    ++n;
+    std::printf("    {\"app\": \"%s\", \"tree_ms\": %.3f, "
+                "\"bytecode_ms\": %.3f, \"speedup\": %.2f, "
+                "\"compile_ms\": %.3f, \"instructions\": %llu, "
+                "\"statements\": %llu}%s\n",
+                apps[i].name.c_str(), tree.ms, bc.ms, speedup, bc.compile_ms,
+                static_cast<unsigned long long>(bc.instructions),
+                static_cast<unsigned long long>(bc.statements),
+                i + 1 < apps.size() ? "," : "");
+  }
+  double geomean = n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+  std::printf("  ],\n  \"geomean_speedup\": %.2f\n}\n", geomean);
+  return geomean;
+}
+
+}  // namespace
+
+static void BM_TreeWalkSuite(benchmark::State& state) {
+  std::vector<driver::PipelineResult> runs;
+  for (const auto& app : suite::perfect_suite())
+    runs.push_back(bench::must_run(app, driver::InlineConfig::Annotation));
+  for (auto _ : state) {
+    for (auto& r : runs) {
+      interp::InterpOptions o;
+      o.engine = interp::Engine::Tree;
+      o.enable_parallel = false;
+      interp::Interpreter it(*r.program, o);
+      auto res = it.run();
+      benchmark::DoNotOptimize(res);
+    }
+  }
+}
+BENCHMARK(BM_TreeWalkSuite)->Unit(benchmark::kMillisecond);
+
+static void BM_BytecodeSuite(benchmark::State& state) {
+  std::vector<driver::PipelineResult> runs;
+  for (const auto& app : suite::perfect_suite())
+    runs.push_back(bench::must_run(app, driver::InlineConfig::Annotation));
+  for (auto _ : state) {
+    for (auto& r : runs) {
+      interp::InterpOptions o;
+      o.engine = interp::Engine::Bytecode;
+      o.enable_parallel = false;
+      interp::Interpreter it(*r.program, o);
+      auto res = it.run();
+      benchmark::DoNotOptimize(res);
+    }
+  }
+}
+BENCHMARK(BM_BytecodeSuite)->Unit(benchmark::kMillisecond);
+
+static void BM_BytecodeCompileSuite(benchmark::State& state) {
+  std::vector<driver::PipelineResult> runs;
+  for (const auto& app : suite::perfect_suite())
+    runs.push_back(bench::must_run(app, driver::InlineConfig::Annotation));
+  for (auto _ : state) {
+    for (auto& r : runs) {
+      interp::InterpOptions o;  // construction compiles to bytecode
+      interp::Interpreter it(*r.program, o);
+      benchmark::DoNotOptimize(it);
+    }
+  }
+}
+BENCHMARK(BM_BytecodeCompileSuite)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  bool any_regression = false;
+  double geomean = print_interp_vm_json(smoke ? 3 : 7, &any_regression);
+  if (smoke) {
+    if (any_regression) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: bytecode engine slower than tree on some app\n");
+      return 1;
+    }
+    std::printf("SMOKE OK: geomean speedup %.2fx, no per-app regression\n",
+                geomean);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -7,6 +7,7 @@
 //
 //   apserve [--threads N] [--cache-dir DIR] [--cache-capacity N]
 //           [--json FILE] [--min-hit-rate F] [--check-sequential] [--quiet]
+//           [--run] [--engine tree|bytecode] [--run-threads N]
 //
 //   --threads N         worker lanes (default: hardware concurrency)
 //   --cache-dir DIR     enable the on-disk cache tier under DIR
@@ -19,12 +20,22 @@
 //                       and exit 3 on any verdict mismatch (determinism
 //                       proof)
 //   --quiet             suppress the Table II summary
+//   --run               execute every successfully compiled program on the
+//                       interpreter and record per-run telemetry (engine,
+//                       wall time, bytecode compile time, instruction and
+//                       statement counters) in the JSON "execs" section;
+//                       exit 4 if any run fails
+//   --engine E          interpreter engine for --run: "bytecode" (default)
+//                       or "tree" (the reference walker)
+//   --run-threads N     interpreter threads for --run (default 4)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <thread>
 
+#include "interp/interp.h"
 #include "service/scheduler.h"
 
 using namespace ap;
@@ -39,13 +50,17 @@ struct Args {
   double min_hit_rate = -1;
   bool check_sequential = false;
   bool quiet = false;
+  bool run = false;
+  interp::Engine engine = interp::Engine::Bytecode;
+  int run_threads = 4;
 };
 
 [[noreturn]] void usage_error(const char* msg) {
   std::fprintf(stderr,
                "apserve: %s\nusage: apserve [--threads N] [--cache-dir DIR] "
                "[--cache-capacity N] [--json FILE] [--min-hit-rate F] "
-               "[--check-sequential] [--quiet]\n",
+               "[--check-sequential] [--quiet] [--run] "
+               "[--engine tree|bytecode] [--run-threads N]\n",
                msg);
   std::exit(64);
 }
@@ -75,6 +90,16 @@ Args parse_args(int argc, char** argv) {
       a.check_sequential = true;
     } else if (arg == "--quiet") {
       a.quiet = true;
+    } else if (arg == "--run") {
+      a.run = true;
+    } else if (arg == "--engine") {
+      std::string_view e = value();
+      if (e == "tree") a.engine = interp::Engine::Tree;
+      else if (e == "bytecode") a.engine = interp::Engine::Bytecode;
+      else usage_error("--engine must be tree or bytecode");
+    } else if (arg == "--run-threads") {
+      a.run_threads = std::atoi(value());
+      if (a.run_threads < 1) usage_error("--run-threads must be >= 1");
     } else {
       usage_error("unknown option");
     }
@@ -167,6 +192,55 @@ int main(int argc, char** argv) {
                  jobs.size());
   }
 
+  int run_failed = 0;
+  if (args.run) {
+    const char* engine_name =
+        args.engine == interp::Engine::Tree ? "tree" : "bytecode";
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok) continue;
+      service::ExecRecord er;
+      er.app = jobs[i].app.name;
+      er.config = driver::config_name(jobs[i].opts.config);
+      er.engine = engine_name;
+      er.threads = args.run_threads;
+
+      // The cached program_text loses the in-memory OMP metadata (the
+      // parser treats !$OMP as a comment), so re-run the pipeline and
+      // execute the annotated AST.
+      auto pr = driver::run_pipeline(jobs[i].app, jobs[i].opts);
+      if (!pr.ok || !pr.program) {
+        ++run_failed;
+        std::fprintf(stderr, "apserve: %s/%s: recompile for --run failed\n",
+                     er.app.c_str(), er.config.c_str());
+        telemetry.record_exec(er);
+        continue;
+      }
+      interp::InterpOptions io;
+      io.engine = args.engine;
+      io.num_threads = args.run_threads;
+      using clock = std::chrono::steady_clock;
+      auto t0 = clock::now();
+      interp::Interpreter it(*pr.program, io);
+      auto r = it.run();
+      er.wall_ms =
+          std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+      er.ok = r.ok;
+      er.bytecode_compile_ms = r.bytecode_compile_ms;
+      er.instructions = r.instructions_executed;
+      er.statements = r.statements_executed;
+      er.statements_parallel = r.statements_in_parallel;
+      telemetry.record_exec(er);
+      if (!r.ok) {
+        ++run_failed;
+        std::fprintf(stderr, "apserve: %s/%s: run FAILED: %s\n",
+                     er.app.c_str(), er.config.c_str(), r.error.c_str());
+      }
+    }
+    std::fprintf(stderr, "apserve: executed %zu programs on the %s engine, "
+                 "%d failed\n", results.size() - static_cast<size_t>(failed),
+                 engine_name, run_failed);
+  }
+
   std::string json = telemetry.to_json();
   if (args.json_out == "-") {
     std::fputs(json.c_str(), stdout);
@@ -188,6 +262,7 @@ int main(int argc, char** argv) {
                scheduler.threads());
 
   if (failed) return 1;
+  if (run_failed) return 4;
   if (args.min_hit_rate >= 0 && telemetry.hit_rate() < args.min_hit_rate) {
     std::fprintf(stderr, "apserve: hit rate %.2f below required %.2f\n",
                  telemetry.hit_rate(), args.min_hit_rate);

@@ -1,6 +1,7 @@
 #include "interp/interp.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <deque>
@@ -10,8 +11,10 @@
 #include <stdexcept>
 #include <vector>
 
-#include "interp/thread_pool.h"
+#include "interp/bytecode.h"
+#include "interp/vm.h"
 #include "support/text.h"
+#include "support/thread_pool.h"
 
 namespace ap::interp {
 
@@ -707,13 +710,22 @@ struct Interpreter::Impl {
 };
 
 Interpreter::Interpreter(const fir::Program& prog, InterpOptions opts)
-    : globals_(std::make_unique<GlobalStore>()) {
-  impl_ = std::make_unique<Impl>(prog, opts, *globals_);
+    : opts_(opts), globals_(std::make_unique<GlobalStore>()) {
+  if (opts.engine == Engine::Bytecode) {
+    auto t0 = std::chrono::steady_clock::now();
+    module_ = std::make_unique<bc::Module>(bc::compile(prog));
+    compile_ms_ = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  } else {
+    impl_ = std::make_unique<Impl>(prog, opts, *globals_);
+  }
 }
 
 Interpreter::~Interpreter() = default;
 
 RunResult Interpreter::run() {
+  if (module_) return bc::execute(*module_, opts_, *globals_, compile_ms_);
   RunResult result;
   const fir::ProgramUnit* main = nullptr;
   for (const auto& u : impl_->prog.units)

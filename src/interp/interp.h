@@ -28,11 +28,22 @@
 
 namespace ap::interp {
 
+namespace bc {
+struct Module;
+}
+
+// Execution engine selection. Bytecode (the default) compiles the program
+// to a slot-resolved register IR at Interpreter construction and runs it on
+// the VM in vm.h; Tree is the original AST walker, kept as the reference
+// implementation (the two are differentially tested against each other).
+enum class Engine : uint8_t { Tree, Bytecode };
+
 struct InterpOptions {
   int num_threads = 1;
   bool enable_parallel = true;   // false: ignore OMP metadata entirely
   int64_t max_steps = 2'000'000'000;  // runaway-loop guard (per program run)
   bool check_bounds = true;
+  Engine engine = Engine::Bytecode;
 };
 
 struct RunResult {
@@ -47,6 +58,11 @@ struct RunResult {
   // coverage" metric used by bench_fig20 alongside wall-clock speedup —
   // wall-clock scaling needs physical cores, coverage does not.
   uint64_t statements_in_parallel = 0;
+  // Bytecode engine only: instructions dispatched by the VM and the
+  // AST-to-bytecode compile time. Both stay 0 under Engine::Tree, and
+  // neither participates in engine differential comparisons.
+  uint64_t instructions_executed = 0;
+  double bytecode_compile_ms = 0.0;
 };
 
 class Interpreter {
@@ -61,7 +77,10 @@ class Interpreter {
 
  private:
   struct Impl;
-  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<Impl> impl_;        // tree-walking engine
+  std::unique_ptr<bc::Module> module_;  // bytecode engine
+  double compile_ms_ = 0.0;
+  InterpOptions opts_;
   std::unique_ptr<GlobalStore> globals_;
 };
 

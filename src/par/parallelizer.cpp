@@ -1,7 +1,10 @@
 #include "par/parallelizer.h"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "analysis/deptest.h"
 #include "analysis/refs.h"
@@ -204,6 +207,49 @@ class Parallelizer {
     }
 
     // Arrays: pairwise dependence tests, privatization fallback.
+    //
+    // Many loops present the same reference pair repeatedly (e.g. the same
+    // A(I) write tested against identical reads scattered over statements,
+    // or duplicated pairs after inlining multiplies call sites). test_pair
+    // is pure in (w, o, ctx) and ctx is fixed for the whole loop, so within
+    // one loop's pass we memoize verdicts keyed by the *textual* identity of
+    // the pair. The test battery is also symmetric in the two references,
+    // so the key is unordered. `dep_tests` keeps counting logical tests
+    // (Table-II-style telemetry must not change); `dep_tests_unique` counts
+    // the tests actually executed.
+    std::map<std::string, int> ref_sig_ids;
+    auto sig_id = [&](const analysis::MemRef& r) {
+      std::string s = r.array;
+      s += r.is_write ? "|w" : "|r";
+      if (r.is_scalar) s += "|s";
+      if (r.whole_array) s += "|*";
+      for (const auto* e : r.subs) {
+        s += '|';
+        s += e ? fir::expr_to_string(*e) : std::string("?");
+      }
+      for (const auto& il : r.inner_loops) {
+        s += "|L" + il.var + '=';
+        s += il.lo ? fir::expr_to_string(*il.lo) : std::string("?");
+        s += ':';
+        s += il.hi ? fir::expr_to_string(*il.hi) : std::string("?");
+        if (il.step) s += ':' + fir::expr_to_string(*il.step);
+      }
+      auto [it, _] = ref_sig_ids.emplace(std::move(s), static_cast<int>(ref_sig_ids.size()));
+      return it->second;
+    };
+    std::map<std::pair<int, int>, analysis::PairVerdict> pair_memo;
+    auto test_pair_memo = [&](const analysis::MemRef& w,
+                              const analysis::MemRef& o) {
+      int iw = sig_id(w), io = sig_id(o);
+      std::pair<int, int> key{std::min(iw, io), std::max(iw, io)};
+      auto it = pair_memo.find(key);
+      if (it != pair_memo.end()) return it->second;
+      ++result_.dep_tests_unique;
+      analysis::PairVerdict pv = analysis::test_pair(w, o, ctx);
+      pair_memo.emplace(key, pv);
+      return pv;
+    };
+
     std::vector<std::string> private_arrays;
     for (const auto& a : written_arrays) {
       std::vector<const analysis::MemRef*> writes, all;
@@ -219,7 +265,7 @@ class Parallelizer {
             // self-pair still matters (same ref, different iterations)
           }
           ++result_.dep_tests;
-          analysis::PairVerdict pv = analysis::test_pair(*w, *o, ctx);
+          analysis::PairVerdict pv = test_pair_memo(*w, *o);
           if (pv == analysis::PairVerdict::MayCarry) {
             carried = true;
             break;

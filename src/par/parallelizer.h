@@ -79,8 +79,11 @@ struct ParallelizeResult {
   std::vector<LoopVerdict> loops;
   int parallelized = 0;
   // Number of pairwise dependence tests issued (telemetry; the dominant
-  // analysis cost, so the service reports it per compilation).
+  // analysis cost, so the service reports it per compilation). `dep_tests`
+  // counts logical tests; duplicated pairs within one loop are memoized,
+  // and `dep_tests_unique` counts the tests actually executed.
   size_t dep_tests = 0;
+  size_t dep_tests_unique = 0;
 
   bool is_parallel(int64_t origin_id) const;
 };

@@ -38,6 +38,7 @@ CompileResult to_compile_result(const driver::PipelineResult& r) {
   out.parallel_loops = r.parallel_loops;
   out.code_lines = r.code_lines;
   out.dep_tests = r.par.dep_tests;
+  out.dep_tests_unique = r.par.dep_tests_unique;
   out.timings = r.timings;
   if (r.program) out.program_text = fir::unparse(*r.program);
   return out;
@@ -75,6 +76,7 @@ std::string serialize_result(const CompileResult& r) {
   s << "ok " << (r.ok ? 1 : 0) << "\n";
   s << "code_lines " << r.code_lines << "\n";
   s << "dep_tests " << r.dep_tests << "\n";
+  s << "dep_tests_unique " << r.dep_tests_unique << "\n";
   char t[160];
   std::snprintf(t, sizeof(t), "timings %.6f %.6f %.6f %.6f %.6f\n",
                 r.timings.parse_ms, r.timings.inline_ms,
@@ -104,6 +106,8 @@ std::optional<CompileResult> deserialize_result(std::string_view text) {
   r.ok = ok != 0;
   if (!(in >> tag >> r.code_lines) || tag != "code_lines") return std::nullopt;
   if (!(in >> tag >> r.dep_tests) || tag != "dep_tests") return std::nullopt;
+  if (!(in >> tag >> r.dep_tests_unique) || tag != "dep_tests_unique")
+    return std::nullopt;
   if (!(in >> tag >> r.timings.parse_ms >> r.timings.inline_ms >>
         r.timings.parallelize_ms >> r.timings.reverse_ms >>
         r.timings.total_ms) ||

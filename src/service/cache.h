@@ -40,7 +40,8 @@ struct CompileResult {
   bool cache_hit = false;  // set by the scheduler, not serialized
   std::set<int64_t> parallel_loops;
   size_t code_lines = 0;
-  size_t dep_tests = 0;
+  size_t dep_tests = 0;         // logical pairwise tests
+  size_t dep_tests_unique = 0;  // tests actually executed (memoized pass)
   driver::PipelineTimings timings;  // of the original (miss) compilation
   std::string program_text;         // unparsed final program
 };
@@ -52,7 +53,7 @@ CompileResult to_compile_result(const driver::PipelineResult& r);
 // Content hash of (source, annotations, options). Stable across runs and
 // platforms; bump kCacheFormatVersion when CompileResult serialization or
 // pipeline semantics change.
-inline constexpr uint32_t kCacheFormatVersion = 1;
+inline constexpr uint32_t kCacheFormatVersion = 2;
 
 uint64_t cache_key(std::string_view source, std::string_view annotations,
                    const driver::PipelineOptions& opts);

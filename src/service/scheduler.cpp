@@ -73,6 +73,7 @@ std::vector<CompileResult> Scheduler::run_batch(
       rec.cache_hit = r.cache_hit;
       rec.wall_ms = wall_ms[i];
       rec.dep_tests = r.dep_tests;
+      rec.dep_tests_unique = r.dep_tests_unique;
       rec.parallel_loops = r.parallel_loops.size();
       rec.code_lines = r.code_lines;
       // A hit's stored timings describe the original compilation, not work

@@ -50,6 +50,11 @@ void Telemetry::record_job(const JobRecord& rec) {
   jobs_.push_back(rec);
 }
 
+void Telemetry::record_exec(const ExecRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  execs_.push_back(rec);
+}
+
 void Telemetry::record_cache_stats(const CacheStats& stats) {
   std::lock_guard<std::mutex> lock(mu_);
   cache_ = stats;
@@ -90,12 +95,13 @@ double Telemetry::hit_rate() const {
 std::string Telemetry::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
 
-  size_t ok = 0, hits = 0, dep_tests = 0;
+  size_t ok = 0, hits = 0, dep_tests = 0, dep_tests_unique = 0;
   driver::PipelineTimings pass{};
   for (const auto& j : jobs_) {
     if (j.ok) ++ok;
     if (j.cache_hit) ++hits;
     dep_tests += j.dep_tests;
+    dep_tests_unique += j.dep_tests_unique;
     pass.parse_ms += j.timings.parse_ms;
     pass.inline_ms += j.timings.inline_ms;
     pass.parallelize_ms += j.timings.parallelize_ms;
@@ -110,7 +116,8 @@ std::string Telemetry::to_json() const {
     << ", \"cache_misses\": " << jobs_.size() - hits
     << ", \"threads\": " << threads_
     << ", \"batch_wall_ms\": " << fmt_ms(batch_wall_ms_)
-    << ", \"dep_tests\": " << dep_tests << "},\n";
+    << ", \"dep_tests\": " << dep_tests
+    << ", \"dep_tests_unique\": " << dep_tests_unique << "},\n";
   s << "  \"passes_ms\": {\"parse\": " << fmt_ms(pass.parse_ms)
     << ", \"inline\": " << fmt_ms(pass.inline_ms)
     << ", \"parallelize\": " << fmt_ms(pass.parallelize_ms)
@@ -135,6 +142,7 @@ std::string Telemetry::to_json() const {
       << ", \"cache_hit\": " << (j.cache_hit ? "true" : "false")
       << ", \"wall_ms\": " << fmt_ms(j.wall_ms)
       << ", \"dep_tests\": " << j.dep_tests
+      << ", \"dep_tests_unique\": " << j.dep_tests_unique
       << ", \"parallel_loops\": " << j.parallel_loops
       << ", \"code_lines\": " << j.code_lines << ", \"passes_ms\": {\"parse\": "
       << fmt_ms(j.timings.parse_ms)
@@ -142,6 +150,21 @@ std::string Telemetry::to_json() const {
       << ", \"parallelize\": " << fmt_ms(j.timings.parallelize_ms)
       << ", \"reverse\": " << fmt_ms(j.timings.reverse_ms) << "}}"
       << (i + 1 < jobs_.size() ? ",\n" : "\n");
+  }
+  s << "  ],\n";
+  s << "  \"execs\": [\n";
+  for (size_t i = 0; i < execs_.size(); ++i) {
+    const auto& e = execs_[i];
+    s << "    {\"app\": \"" << json_escape(e.app) << "\", \"config\": \""
+      << json_escape(e.config) << "\", \"engine\": \"" << json_escape(e.engine)
+      << "\", \"threads\": " << e.threads
+      << ", \"ok\": " << (e.ok ? "true" : "false")
+      << ", \"wall_ms\": " << fmt_ms(e.wall_ms)
+      << ", \"bytecode_compile_ms\": " << fmt_ms(e.bytecode_compile_ms)
+      << ", \"instructions\": " << e.instructions
+      << ", \"statements\": " << e.statements
+      << ", \"statements_parallel\": " << e.statements_parallel << "}"
+      << (i + 1 < execs_.size() ? ",\n" : "\n");
   }
   s << "  ]\n";
   s << "}\n";

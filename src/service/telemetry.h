@@ -22,10 +22,27 @@ struct JobRecord {
   bool ok = false;
   bool cache_hit = false;
   double wall_ms = 0;  // scheduler-observed job time (hit or miss)
-  size_t dep_tests = 0;
+  size_t dep_tests = 0;         // logical pairwise tests
+  size_t dep_tests_unique = 0;  // tests actually executed (memoized pass)
   size_t parallel_loops = 0;
   size_t code_lines = 0;
   driver::PipelineTimings timings;  // of the compiling run (zero on hits)
+};
+
+// One interpreter execution of a compiled program (apserve --run): which
+// engine ran it, how long bytecode compilation took, and the VM's
+// instruction/statement counters.
+struct ExecRecord {
+  std::string app;
+  std::string config;
+  std::string engine;  // "tree" or "bytecode"
+  int threads = 1;
+  bool ok = false;
+  double wall_ms = 0;
+  double bytecode_compile_ms = 0;  // 0 for the tree engine
+  uint64_t instructions = 0;       // 0 for the tree engine
+  uint64_t statements = 0;
+  uint64_t statements_parallel = 0;
 };
 
 class Telemetry {
@@ -35,6 +52,7 @@ class Telemetry {
 
   // Deterministic post-batch recording (called in job-index order).
   void record_job(const JobRecord& rec);
+  void record_exec(const ExecRecord& rec);
   void record_cache_stats(const CacheStats& stats);
   void record_batch_wall_ms(double ms);
   void record_threads(int threads);
@@ -51,6 +69,7 @@ class Telemetry {
  private:
   mutable std::mutex mu_;
   std::vector<JobRecord> jobs_;
+  std::vector<ExecRecord> execs_;
   CacheStats cache_;
   double batch_wall_ms_ = 0;
   int threads_ = 1;

@@ -20,6 +20,7 @@
 #include "driver/pipeline.h"
 #include "fir/parser.h"
 #include "fir/unparse.h"
+#include "interp/interp.h"
 #include "interp/tester.h"
 #include "par/parallelizer.h"
 #include "xform/inline_conventional.h"
@@ -270,6 +271,36 @@ TEST_P(FuzzTest, ParallelizationIsSound) {
       << verdict.detail << "\nparallelized " << res.parallelized
       << " loops in:\n"
       << fir::unparse(*prog);
+}
+
+TEST_P(FuzzTest, EnginesAgreeOnGeneratedPrograms) {
+  // The bytecode VM must be indistinguishable from the tree walker on
+  // programs nobody hand-tuned: same output, same statement counters,
+  // serially and through parallelized OMP regions.
+  ProgramGen g(GetParam());
+  std::string src = g.generate();
+  DiagnosticEngine d;
+  auto prog = fir::parse_program(src, d);
+  ASSERT_NE(prog, nullptr);
+  par::ParallelizeOptions po;
+  par::parallelize(*prog, po, d);
+  for (int threads : {1, 3}) {
+    interp::InterpOptions o;
+    o.num_threads = threads;
+    o.engine = interp::Engine::Tree;
+    interp::Interpreter ti(*prog, o);
+    auto tr = ti.run();
+    o.engine = interp::Engine::Bytecode;
+    interp::Interpreter bi(*prog, o);
+    auto br = bi.run();
+    ASSERT_TRUE(tr.ok) << tr.error << "\n" << src;
+    ASSERT_TRUE(br.ok) << br.error << "\n" << src;
+    EXPECT_EQ(tr.output, br.output) << src;
+    EXPECT_EQ(tr.statements_executed, br.statements_executed) << src;
+    EXPECT_EQ(tr.statements_in_parallel, br.statements_in_parallel) << src;
+    EXPECT_EQ(ti.globals().snapshot_scalars(), bi.globals().snapshot_scalars())
+        << src;
+  }
 }
 
 TEST_P(FuzzTest, ParallelizationAfterInliningIsSound) {

@@ -552,13 +552,22 @@ TEST(InterpOmp, MoreThreadsThanIterations) {
 
 TEST(InterpOmp, TesterDetectsIntentionalRace) {
   // Deliberately mark a flow-dependent loop parallel: the runtime tester
-  // must notice the state divergence (validates the tester itself).
+  // must notice the state divergence (validates the tester itself). The
+  // inner busywork loop keeps each chunk running far longer than worker
+  // wake-up latency, so the cross-chunk read of A(I-1) is guaranteed to
+  // happen before the neighbouring chunk has finished writing it — without
+  // it, a fast engine can drain whole chunks before the next worker starts
+  // and the race would only fire probabilistically.
   auto p = parse_ok(R"(
       PROGRAM T
       COMMON /C/ A(40000)
       A(1) = 1.0
       DO I = 2, 40000
-        A(I) = A(I-1) + 1.0
+        S = 0.0
+        DO K = 1, 40
+          S = S + 1.0
+        ENDDO
+        A(I) = A(I-1) + S - 39.0
       ENDDO
       END
 )");

@@ -1,0 +1,357 @@
+// Differential tests for the bytecode VM (interp/bytecode.h + interp/vm.h)
+// against the reference tree-walking interpreter.
+//
+// The contract under test: for any program, Engine::Bytecode and
+// Engine::Tree produce bit-identical RunResult fields (ok, stopped,
+// stop_message, error, output, statements_executed, statements_in_parallel)
+// and identical global scalar state. The bytecode-only counters
+// (instructions_executed, bytecode_compile_ms) are excluded by design.
+//
+// Coverage: the whole mini-PERFECT suite through the full pipeline at 1 and
+// 4 threads, plus targeted micro-programs for the paths where the two
+// engines are easiest to drive apart — deferred constant-folding faults,
+// the statement budget, bounds errors, privatization/reduction regions,
+// recursion, and element-base argument views.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "driver/pipeline.h"
+#include "fir/unparse.h"
+#include "interp/interp.h"
+#include "par/parallelizer.h"
+#include "suite/suite.h"
+#include "tests/test_util.h"
+
+namespace ap::interp {
+namespace {
+
+using test::parse_ok;
+
+RunResult run_engine(const fir::Program& prog, Engine e, int threads,
+                     int64_t max_steps,
+                     std::map<std::string, double>* scalars = nullptr) {
+  InterpOptions o;
+  o.engine = e;
+  o.num_threads = threads;
+  o.max_steps = max_steps;
+  Interpreter it(prog, o);
+  RunResult r = it.run();
+  if (scalars) *scalars = it.globals().snapshot_scalars();
+  return r;
+}
+
+// Run `prog` under both engines and require identical observable results.
+// Returns the bytecode result for further assertions.
+RunResult run_both(const fir::Program& prog, int threads = 1,
+                   int64_t max_steps = 2'000'000'000,
+                   const std::string& label = "") {
+  std::map<std::string, double> tree_scalars, bc_scalars;
+  RunResult t = run_engine(prog, Engine::Tree, threads, max_steps, &tree_scalars);
+  RunResult b =
+      run_engine(prog, Engine::Bytecode, threads, max_steps, &bc_scalars);
+  EXPECT_EQ(t.ok, b.ok) << label << ": tree='" << t.error << "' bytecode='"
+                        << b.error << "'";
+  EXPECT_EQ(t.stopped, b.stopped) << label;
+  EXPECT_EQ(t.stop_message, b.stop_message) << label;
+  EXPECT_EQ(t.error, b.error) << label;
+  EXPECT_EQ(t.output, b.output) << label;
+  EXPECT_EQ(t.statements_executed, b.statements_executed) << label;
+  EXPECT_EQ(t.statements_in_parallel, b.statements_in_parallel) << label;
+  EXPECT_EQ(tree_scalars, bc_scalars) << label;
+  // The tree engine never reports bytecode counters.
+  EXPECT_EQ(t.instructions_executed, 0u) << label;
+  EXPECT_EQ(t.bytecode_compile_ms, 0.0) << label;
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-suite differential: every app, full pipeline, both thread counts.
+// ---------------------------------------------------------------------------
+
+class VmSuiteDifferentialTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VmSuiteDifferentialTest, EnginesAgreeAfterFullPipeline) {
+  const auto* app = suite::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  for (driver::InlineConfig cfg :
+       {driver::InlineConfig::None, driver::InlineConfig::Annotation}) {
+    driver::PipelineOptions opts;
+    opts.config = cfg;
+    driver::PipelineResult r = driver::run_pipeline(*app, opts);
+    ASSERT_TRUE(r.ok) << app->name << ": " << r.error;
+    ASSERT_NE(r.program, nullptr);
+    for (int threads : {1, 4}) {
+      RunResult b = run_both(*r.program, threads, 2'000'000'000,
+                             app->name + "/" + driver::config_name(cfg) +
+                                 "/t" + std::to_string(threads));
+      EXPECT_TRUE(b.ok) << app->name << ": " << b.error;
+      EXPECT_GT(b.instructions_executed, 0u) << app->name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, VmSuiteDifferentialTest,
+    ::testing::Values("ADM", "ARC2D", "BDNA", "DYFESM", "FLO52Q", "MDG",
+                      "MG3D", "OCEAN", "QCD", "SPEC77", "TRACK", "TRFD"),
+    [](const ::testing::TestParamInfo<std::string>& i) { return i.param; });
+
+// ---------------------------------------------------------------------------
+// Engine selection and bytecode-only counters.
+// ---------------------------------------------------------------------------
+
+TEST(VmEngine, BytecodeIsTheDefault) {
+  InterpOptions o;
+  EXPECT_EQ(o.engine, Engine::Bytecode);
+}
+
+TEST(VmEngine, InstructionCounterAndCompileTimeReported) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      S = 0.0
+      DO I = 1, 100
+        S = S + I
+      ENDDO
+      END
+)");
+  RunResult r = run_engine(*p, Engine::Bytecode, 1, 1'000'000);
+  ASSERT_TRUE(r.ok) << r.error;
+  // At least one instruction per executed statement.
+  EXPECT_GE(r.instructions_executed, r.statements_executed);
+  EXPECT_GE(r.bytecode_compile_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Micro-programs aimed at engine-divergence risks.
+// ---------------------------------------------------------------------------
+
+TEST(VmDifferential, ConstantFoldFaultIsDeferredToRuntime) {
+  // 1/0 is a compile-time-visible fault; folding must not turn it into a
+  // compile failure nor swallow it — both engines fault at run time with
+  // the same message. (Real division by zero is IEEE inf, not a fault.)
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ K
+      K = 1 / 0
+      END
+)");
+  RunResult b = run_both(*p);
+  EXPECT_FALSE(b.ok);
+  EXPECT_NE(b.error.find("integer division by zero"), std::string::npos)
+      << b.error;
+}
+
+TEST(VmDifferential, UnreachableFaultingConstantIsHarmless) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ R
+      R = 1.0
+      IF (R .GT. 2.0) THEN
+        R = 1 / 0
+      ENDIF
+      END
+)");
+  RunResult b = run_both(*p);
+  EXPECT_TRUE(b.ok) << b.error;
+}
+
+TEST(VmDifferential, StatementBudgetExhaustsIdentically) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      S = 0.0
+      DO I = 1, 1000000
+        S = S + 1.0
+      ENDDO
+      END
+)");
+  RunResult b = run_both(*p, 1, /*max_steps=*/500);
+  EXPECT_FALSE(b.ok);
+  EXPECT_NE(b.error.find("statement budget exhausted"), std::string::npos)
+      << b.error;
+}
+
+TEST(VmDifferential, SubscriptOutOfBoundsMessageMatches) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(10)
+      DO I = 1, 20
+        A(I) = I
+      ENDDO
+      END
+)");
+  RunResult b = run_both(*p);
+  EXPECT_FALSE(b.ok);
+  EXPECT_NE(b.error.find("subscript out of bounds"), std::string::npos)
+      << b.error;
+}
+
+TEST(VmDifferential, StopMessagePropagates) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      S = 3.0
+      IF (S .GT. 2.0) THEN
+        STOP 'TOO BIG'
+      ENDIF
+      END
+)");
+  RunResult b = run_both(*p);
+  EXPECT_TRUE(b.ok);
+  EXPECT_TRUE(b.stopped);
+  EXPECT_EQ(b.stop_message, "TOO BIG");
+}
+
+TEST(VmDifferential, WriteFormattingMatches) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(3)
+      DO I = 1, 3
+        A(I) = I * 1.5
+      ENDDO
+      WRITE(*,*) 'VALS', A(1), A(2), A(3), 7
+      END
+)");
+  RunResult b = run_both(*p);
+  EXPECT_TRUE(b.ok) << b.error;
+  EXPECT_FALSE(b.output.empty());
+}
+
+TEST(VmDifferential, ElementBaseArgumentViews) {
+  // CALL with A(5) as the actual: the callee's assumed-size formal windows
+  // the store starting at offset 4 in both engines.
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ A(10), S
+      DO I = 1, 10
+        A(I) = I
+      ENDDO
+      CALL SHIFT(A(5))
+      S = A(5) + A(6)
+      END
+      SUBROUTINE SHIFT(X)
+      DOUBLE PRECISION X(*)
+      X(1) = X(1) * 10.0
+      X(2) = X(2) + 0.5
+      END
+)");
+  std::map<std::string, double> scalars;
+  RunResult b = run_both(*p);
+  EXPECT_TRUE(b.ok) << b.error;
+  run_engine(*p, Engine::Bytecode, 1, 1'000'000, &scalars);
+  EXPECT_DOUBLE_EQ(scalars.at("C/S"), 50.0 + 6.5);
+}
+
+TEST(VmDifferential, RecursionDepth) {
+  auto p = parse_ok(R"(
+      PROGRAM T
+      COMMON /C/ S
+      S = 0.0
+      CALL REC(6)
+      END
+      SUBROUTINE REC(N)
+      INTEGER N
+      COMMON /C/ S
+      S = S + N
+      IF (N .GT. 1) THEN
+        CALL REC(N - 1)
+      ENDIF
+      END
+)");
+  std::map<std::string, double> scalars;
+  RunResult b = run_both(*p);
+  EXPECT_TRUE(b.ok) << b.error;
+  run_engine(*p, Engine::Bytecode, 1, 1'000'000, &scalars);
+  EXPECT_DOUBLE_EQ(scalars.at("C/S"), 21.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel regions: privatization, reductions, nested serialization.
+// ---------------------------------------------------------------------------
+
+// Parse, parallelize, then require both engines to agree at `threads`.
+RunResult run_both_parallelized(const std::string& src, int threads) {
+  auto p = parse_ok(src);
+  DiagnosticEngine d;
+  par::ParallelizeOptions po;
+  par::parallelize(*p, po, d);
+  return run_both(*p, threads, 2'000'000'000, fir::unparse(*p));
+}
+
+TEST(VmParallel, ReductionLoopMatchesAcrossEngines) {
+  RunResult b = run_both_parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(1000), S, P
+      DO I = 1, 1000
+        A(I) = I * 0.001
+      ENDDO
+      S = 0.0
+      DO I = 1, 1000
+        S = S + A(I)
+      ENDDO
+      P = 1000.0
+      DO I = 1, 1000
+        P = MIN(P, A(I))
+      ENDDO
+      WRITE(*,*) 'S', S, 'P', P
+      END
+)",
+                                      4);
+  EXPECT_TRUE(b.ok) << b.error;
+  EXPECT_GT(b.statements_in_parallel, 0u);
+}
+
+TEST(VmParallel, PrivateTempAndLastIterationCopyOut) {
+  RunResult b = run_both_parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(500), S
+      DO I = 1, 500
+        T = I * 2.0
+        A(I) = T + 1.0
+      ENDDO
+      S = T + A(250)
+      WRITE(*,*) S
+      END
+)",
+                                      4);
+  EXPECT_TRUE(b.ok) << b.error;
+}
+
+TEST(VmParallel, DoVariableExitValueMatches) {
+  RunResult b = run_both_parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(100), S
+      DO I = 1, 100
+        A(I) = I * 1.0
+      ENDDO
+      S = I * 1.0
+      WRITE(*,*) S
+      END
+)",
+                                      4);
+  EXPECT_TRUE(b.ok) << b.error;
+}
+
+TEST(VmParallel, SingleThreadPoolStillChunksIdentically) {
+  RunResult b = run_both_parallelized(R"(
+      PROGRAM T
+      COMMON /C/ A(64), S
+      DO I = 1, 64
+        A(I) = I * 0.5
+      ENDDO
+      S = 0.0
+      DO I = 1, 64
+        S = S + A(I)
+      ENDDO
+      WRITE(*,*) S
+      END
+)",
+                                      1);
+  EXPECT_TRUE(b.ok) << b.error;
+}
+
+}  // namespace
+}  // namespace ap::interp

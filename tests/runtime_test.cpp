@@ -6,7 +6,7 @@
 #include <numeric>
 
 #include "interp/storage.h"
-#include "interp/thread_pool.h"
+#include "support/thread_pool.h"
 
 namespace ap::interp {
 namespace {

@@ -105,6 +105,7 @@ TEST(CacheSerialization, RoundTripPreservesResult) {
   EXPECT_EQ(back->parallel_loops, r.parallel_loops);
   EXPECT_EQ(back->code_lines, r.code_lines);
   EXPECT_EQ(back->dep_tests, r.dep_tests);
+  EXPECT_EQ(back->dep_tests_unique, r.dep_tests_unique);
   EXPECT_EQ(back->program_text, r.program_text);
 }
 
@@ -321,6 +322,11 @@ TEST(PipelineTimings, PopulatedForEveryConfig) {
     else
       EXPECT_GT(r.timings.inline_ms, 0) << driver::config_name(cfg);
     EXPECT_GT(r.par.dep_tests, 0u) << driver::config_name(cfg);
+    // Memoized dependence testing: every logical test maps to at most one
+    // executed test, and at least one pair is actually tested.
+    EXPECT_GT(r.par.dep_tests_unique, 0u) << driver::config_name(cfg);
+    EXPECT_LE(r.par.dep_tests_unique, r.par.dep_tests)
+        << driver::config_name(cfg);
   }
 }
 
