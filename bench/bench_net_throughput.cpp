@@ -1,0 +1,218 @@
+// Serving-layer throughput: requests/sec and p50/p95 latency through a
+// live in-process apserved core, cold cache vs warm, at 1 connection and
+// at hardware-concurrency connections.
+//
+// The headline block is printed as a BENCH_net.json-friendly JSON
+// document (redirect stdout or copy the block into BENCH_net.json); the
+// google-benchmark timers below re-measure the single-request round-trip
+// under the standard harness.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using namespace ap;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+int hw_threads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 4;
+}
+
+struct BenchServer {
+  service::ResultCache cache{256};
+  service::Scheduler scheduler;
+  net::Server server;
+
+  BenchServer()
+      : scheduler(sched_opts()), server(server_opts()) {
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "bench_net: server start failed: %s\n",
+                   err.c_str());
+      std::exit(1);
+    }
+  }
+  ~BenchServer() {
+    server.begin_drain();
+    server.wait();
+  }
+
+  service::Scheduler::Options sched_opts() {
+    service::Scheduler::Options so;
+    so.threads = 1;
+    so.cache = &cache;
+    return so;
+  }
+  net::ServerOptions server_opts() {
+    net::ServerOptions no;
+    no.port = 0;
+    no.threads = hw_threads();
+    no.max_queue = 1024;
+    no.request_timeout_ms = 0;
+    no.scheduler = &scheduler;
+    return no;
+  }
+};
+
+struct Measurement {
+  double rps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+};
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+// Drive the full matrix `rounds` times over `connections` parallel
+// clients, collecting per-request latencies.
+Measurement drive(int port, int connections, int rounds) {
+  auto jobs = service::suite_matrix();
+  std::vector<double> latencies;
+  std::mutex lat_mu;
+  std::atomic<size_t> next{0};
+  size_t total = jobs.size() * static_cast<size_t>(rounds);
+
+  auto t_start = clock_type::now();
+  auto lane = [&]() {
+    net::Client client;
+    std::string err;
+    if (!client.connect(port, &err, 120'000)) return;
+    std::vector<double> mine;
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= total) break;
+      const auto& job = jobs[i % jobs.size()];
+      net::Request req;
+      req.type = net::RequestType::Compile;
+      req.name = job.app.name;
+      req.source = job.app.source;
+      req.annotations = job.app.annotations;
+      req.options = job.opts;
+      net::Response resp;
+      auto t0 = clock_type::now();
+      if (!client.call(std::move(req), &resp, &err)) break;
+      mine.push_back(
+          std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+              .count());
+    }
+    std::lock_guard<std::mutex> lock(lat_mu);
+    latencies.insert(latencies.end(), mine.begin(), mine.end());
+  };
+  std::vector<std::thread> threads;
+  for (int i = 1; i < connections; ++i) threads.emplace_back(lane);
+  lane();
+  for (auto& t : threads) t.join();
+  double wall_s =
+      std::chrono::duration<double>(clock_type::now() - t_start).count();
+
+  Measurement m;
+  std::sort(latencies.begin(), latencies.end());
+  m.rps = wall_s > 0 ? static_cast<double>(latencies.size()) / wall_s : 0;
+  m.p50_ms = percentile(latencies, 0.50);
+  m.p95_ms = percentile(latencies, 0.95);
+  return m;
+}
+
+void print_net_json() {
+  bench::header("NET THROUGHPUT: COLD VS WARM CACHE (BENCH_net.json)");
+  std::vector<int> connection_counts = {1, hw_threads()};
+  std::printf("{\n  \"bench\": \"net_throughput\",\n"
+              "  \"jobs_per_round\": 36,\n  \"runs\": [\n");
+  for (size_t c = 0; c < connection_counts.size(); ++c) {
+    int connections = connection_counts[c];
+    BenchServer bs;  // fresh server and cache => first round is cold
+    Measurement cold = drive(bs.server.port(), connections, 1);
+    Measurement warm = drive(bs.server.port(), connections, 5);
+    std::printf(
+        "    {\"connections\": %d, "
+        "\"cold_rps\": %.1f, \"cold_p50_ms\": %.3f, \"cold_p95_ms\": %.3f, "
+        "\"warm_rps\": %.1f, \"warm_p50_ms\": %.3f, \"warm_p95_ms\": %.3f}"
+        "%s\n",
+        connections, cold.rps, cold.p50_ms, cold.p95_ms, warm.rps,
+        warm.p50_ms, warm.p95_ms,
+        c + 1 < connection_counts.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+void BM_RoundTripWarm(benchmark::State& state) {
+  BenchServer bs;
+  auto jobs = service::suite_matrix();
+  net::Client client;
+  std::string err;
+  if (!client.connect(bs.server.port(), &err, 120'000)) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  // Prewarm the cache with the app this timer loops on.
+  const auto& job = jobs[0];
+  size_t i = 0;
+  auto make_req = [&]() {
+    net::Request req;
+    req.type = net::RequestType::Compile;
+    req.name = job.app.name;
+    req.source = job.app.source;
+    req.annotations = job.app.annotations;
+    req.options = job.opts;
+    return req;
+  };
+  net::Response resp;
+  client.call(make_req(), &resp, &err);
+  for (auto _ : state) {
+    if (!client.call(make_req(), &resp, &err)) {
+      state.SkipWithError(err.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(resp);
+    ++i;
+  }
+}
+
+void BM_Ping(benchmark::State& state) {
+  BenchServer bs;
+  net::Client client;
+  std::string err;
+  if (!client.connect(bs.server.port(), &err, 120'000)) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  for (auto _ : state) {
+    net::Request req;
+    req.type = net::RequestType::Ping;
+    net::Response resp;
+    if (!client.call(std::move(req), &resp, &err)) {
+      state.SkipWithError(err.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(resp);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RoundTripWarm)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Ping)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  print_net_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

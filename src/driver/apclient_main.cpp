@@ -1,0 +1,392 @@
+// apclient — submit work to a running apserved over the wire protocol.
+//
+// Single-shot mode compiles (or compiles and runs) one program: a suite
+// app by name, or a .f source file with an optional annotation file.
+// Matrix mode drives the full 12×3 suite evaluation through the daemon
+// and prints the same Table-II summary as the batch CLI — with --check it
+// also recompiles everything in-process and exits nonzero on any
+// divergence, making the wire path's equivalence a testable claim.
+//
+//   apclient --port N [mode] [options]
+//
+// Modes (exactly one):
+//   FILE.f               compile the given source file
+//   --app NAME           compile the named suite app
+//   --matrix             drive the full 12×3 suite matrix
+//   --ping               liveness probe
+//   --metrics            print the server's cache/server counters
+//
+// Options:
+//   --annot FILE         annotation DSL file (FILE.f mode)
+//   --config C           inlining config: none | conv | annot (default
+//                        annot; --matrix covers all three)
+//   --run                also execute the compiled program and print its
+//                        output
+//   --engine E           interpreter engine for --run: tree | bytecode
+//                        (default bytecode)
+//   --run-threads N      interpreter threads for --run (default 4)
+//   --connections N      concurrent connections for --matrix (default 1)
+//   --check              (--matrix) recompile in-process and exit 3 on
+//                        any mismatch in verdicts or program text
+//   --min-hit-rate F     (--matrix) exit 2 unless the server answered at
+//                        least this fraction of jobs from cache
+//   --deadline-ms N      per-request deadline override
+//   --timeout-ms N       client-side receive timeout (default 120000)
+//   --quiet              suppress the Table II summary
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "service/scheduler.h"
+#include "suite/suite.h"
+
+using namespace ap;
+
+namespace {
+
+struct Args {
+  int port = -1;
+  std::string source_file;
+  std::string annot_file;
+  std::string app_name;
+  bool matrix = false;
+  bool ping = false;
+  bool metrics = false;
+  bool run = false;
+  bool check = false;
+  bool quiet = false;
+  driver::InlineConfig config = driver::InlineConfig::Annotation;
+  interp::Engine engine = interp::Engine::Bytecode;
+  int run_threads = 4;
+  int connections = 1;
+  double min_hit_rate = -1;
+  int64_t deadline_ms = 0;
+  int timeout_ms = 120'000;
+};
+
+[[noreturn]] void usage_error(const char* msg) {
+  std::fprintf(stderr,
+               "apclient: %s\nusage: apclient --port N [FILE.f | --app NAME "
+               "| --matrix | --ping | --metrics] [--annot FILE] "
+               "[--config none|conv|annot] [--run] [--engine tree|bytecode] "
+               "[--run-threads N] [--connections N] [--check] "
+               "[--min-hit-rate F] [--deadline-ms N] [--timeout-ms N] "
+               "[--quiet]\n",
+               msg);
+  std::exit(64);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing option value");
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      a.port = std::atoi(value());
+      if (a.port < 1 || a.port > 65535) usage_error("--port out of range");
+    } else if (arg == "--app") {
+      a.app_name = value();
+    } else if (arg == "--annot") {
+      a.annot_file = value();
+    } else if (arg == "--matrix") {
+      a.matrix = true;
+    } else if (arg == "--ping") {
+      a.ping = true;
+    } else if (arg == "--metrics") {
+      a.metrics = true;
+    } else if (arg == "--run") {
+      a.run = true;
+    } else if (arg == "--check") {
+      a.check = true;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else if (arg == "--config") {
+      std::string_view c = value();
+      if (c == "none") a.config = driver::InlineConfig::None;
+      else if (c == "conv") a.config = driver::InlineConfig::Conventional;
+      else if (c == "annot") a.config = driver::InlineConfig::Annotation;
+      else usage_error("--config must be none, conv, or annot");
+    } else if (arg == "--engine") {
+      std::string_view e = value();
+      if (e == "tree") a.engine = interp::Engine::Tree;
+      else if (e == "bytecode") a.engine = interp::Engine::Bytecode;
+      else usage_error("--engine must be tree or bytecode");
+    } else if (arg == "--run-threads") {
+      a.run_threads = std::atoi(value());
+      if (a.run_threads < 1) usage_error("--run-threads must be >= 1");
+    } else if (arg == "--connections") {
+      a.connections = std::atoi(value());
+      if (a.connections < 1) usage_error("--connections must be >= 1");
+    } else if (arg == "--min-hit-rate") {
+      a.min_hit_rate = std::atof(value());
+    } else if (arg == "--deadline-ms") {
+      a.deadline_ms = std::atol(value());
+      if (a.deadline_ms < 0) usage_error("--deadline-ms must be >= 0");
+    } else if (arg == "--timeout-ms") {
+      a.timeout_ms = std::atoi(value());
+      if (a.timeout_ms < 1) usage_error("--timeout-ms must be >= 1");
+    } else if (!arg.empty() && arg[0] != '-') {
+      a.source_file = arg;
+    } else {
+      usage_error("unknown option");
+    }
+  }
+  if (a.port < 0) usage_error("--port is required");
+  int modes = (!a.source_file.empty()) + (!a.app_name.empty()) + a.matrix +
+              a.ping + a.metrics;
+  if (modes != 1)
+    usage_error("pick exactly one of FILE.f, --app, --matrix, --ping, "
+                "--metrics");
+  return a;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// One matrix job submitted over the wire and the response it drew.
+struct WireResult {
+  net::Response resp;
+  bool transport_ok = false;
+  std::string transport_err;
+};
+
+int run_matrix(const Args& args) {
+  auto jobs = service::suite_matrix();
+  std::vector<WireResult> wire(jobs.size());
+
+  // `connections` clients each pull the next unclaimed job; results land
+  // in job-index slots so the summary is deterministic.
+  std::atomic<size_t> next{0};
+  std::atomic<int> connect_failures{0};
+  auto lane = [&]() {
+    net::Client client;
+    std::string err;
+    if (!client.connect(args.port, &err, args.timeout_ms)) {
+      ++connect_failures;
+      return;
+    }
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      net::Request req;
+      req.type = args.run ? net::RequestType::Run : net::RequestType::Compile;
+      req.name = jobs[i].app.name;
+      req.source = jobs[i].app.source;
+      req.annotations = jobs[i].app.annotations;
+      req.options = jobs[i].opts;
+      req.deadline_ms = args.deadline_ms;
+      if (args.run) {
+        req.interp.engine = args.engine;
+        req.interp.num_threads = args.run_threads;
+      }
+      wire[i].transport_ok =
+          client.call(std::move(req), &wire[i].resp, &wire[i].transport_err);
+      if (!wire[i].transport_ok) return;  // connection is unusable
+    }
+  };
+  int lanes = std::min<int>(args.connections, static_cast<int>(jobs.size()));
+  std::vector<std::thread> threads;
+  for (int i = 1; i < lanes; ++i) threads.emplace_back(lane);
+  lane();
+  for (auto& t : threads) t.join();
+  if (connect_failures.load() == lanes) {
+    std::fprintf(stderr, "apclient: could not connect to port %d\n",
+                 args.port);
+    return 1;
+  }
+
+  int failed = 0;
+  size_t hits = 0, answered = 0;
+  std::vector<service::CompileResult> results(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const auto& w = wire[i];
+    const char* app = jobs[i].app.name.c_str();
+    const char* cfg = driver::config_name(jobs[i].opts.config);
+    if (!w.transport_ok) {
+      ++failed;
+      std::fprintf(stderr, "apclient: %s/%s: transport error: %s\n", app, cfg,
+                   w.transport_err.c_str());
+      continue;
+    }
+    ++answered;
+    if (w.resp.status != net::Status::Ok) {
+      ++failed;
+      std::fprintf(stderr, "apclient: %s/%s: %s: %s\n", app, cfg,
+                   net::status_name(w.resp.status), w.resp.error.c_str());
+      continue;
+    }
+    results[i] = w.resp.result;
+    if (w.resp.result.cache_hit) ++hits;
+    if (args.run && (!w.resp.has_run || !w.resp.run.ok)) {
+      ++failed;
+      std::fprintf(stderr, "apclient: %s/%s: run failed: %s\n", app, cfg,
+                   w.resp.run.error.c_str());
+    }
+  }
+
+  if (!args.quiet)
+    std::fputs(service::table2_summary(jobs, results).c_str(), stdout);
+
+  int mismatches = 0;
+  if (args.check) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (!wire[i].transport_ok) continue;
+      auto local = service::to_compile_result(
+          driver::run_pipeline(jobs[i].app, jobs[i].opts));
+      if (local.ok != results[i].ok ||
+          local.parallel_loops != results[i].parallel_loops ||
+          local.code_lines != results[i].code_lines ||
+          local.program_text != results[i].program_text) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "apclient: WIRE/IN-PROCESS MISMATCH for %s/%s\n",
+                     jobs[i].app.name.c_str(),
+                     driver::config_name(jobs[i].opts.config));
+      }
+    }
+    if (!mismatches)
+      std::fprintf(stderr,
+                   "apclient: check passed (%zu jobs identical to "
+                   "in-process compilation)\n",
+                   jobs.size());
+  }
+
+  double hit_rate = answered ? static_cast<double>(hits) / answered : 0.0;
+  std::fprintf(stderr,
+               "apclient: %zu jobs over %d connection(s), %d failed, "
+               "%zu cache hits (%.0f%%)\n",
+               jobs.size(), lanes, failed, hits, 100.0 * hit_rate);
+
+  if (failed) return 1;
+  if (mismatches) return 3;
+  if (args.min_hit_rate >= 0 && hit_rate < args.min_hit_rate) {
+    std::fprintf(stderr, "apclient: hit rate %.2f below required %.2f\n",
+                 hit_rate, args.min_hit_rate);
+    return 2;
+  }
+  return 0;
+}
+
+int run_single(const Args& args) {
+  net::Request req;
+  req.deadline_ms = args.deadline_ms;
+  if (!args.app_name.empty()) {
+    const suite::BenchmarkApp* app = suite::find_app(args.app_name);
+    if (!app) {
+      std::fprintf(stderr, "apclient: unknown suite app: %s\n",
+                   args.app_name.c_str());
+      return 64;
+    }
+    req.name = app->name;
+    req.source = app->source;
+    req.annotations = app->annotations;
+  } else {
+    if (!read_file(args.source_file, &req.source)) {
+      std::fprintf(stderr, "apclient: cannot read %s\n",
+                   args.source_file.c_str());
+      return 1;
+    }
+    req.name = args.source_file;
+    if (!args.annot_file.empty() &&
+        !read_file(args.annot_file, &req.annotations)) {
+      std::fprintf(stderr, "apclient: cannot read %s\n",
+                   args.annot_file.c_str());
+      return 1;
+    }
+  }
+  req.options.config = args.config;
+  req.type = args.run ? net::RequestType::Run : net::RequestType::Compile;
+  if (args.run) {
+    req.interp.engine = args.engine;
+    req.interp.num_threads = args.run_threads;
+  }
+
+  std::string name = req.name;
+
+  net::Client client;
+  std::string err;
+  if (!client.connect(args.port, &err, args.timeout_ms)) {
+    std::fprintf(stderr, "apclient: %s\n", err.c_str());
+    return 1;
+  }
+  net::Response resp;
+  if (!client.call(std::move(req), &resp, &err)) {
+    std::fprintf(stderr, "apclient: %s\n", err.c_str());
+    return 1;
+  }
+  if (resp.status != net::Status::Ok) {
+    std::fprintf(stderr, "apclient: %s: %s\n", net::status_name(resp.status),
+                 resp.error.c_str());
+    return 1;
+  }
+  if (resp.has_result) {
+    std::fprintf(stderr,
+                 "apclient: compiled %s under %s: %zu parallel loops, "
+                 "%zu lines%s\n",
+                 name.c_str(), driver::config_name(args.config),
+                 resp.result.parallel_loops.size(), resp.result.code_lines,
+                 resp.result.cache_hit ? " (cache hit)" : "");
+  }
+  if (args.run && resp.has_run) {
+    std::fputs(resp.run.output.c_str(), stdout);
+    std::fprintf(stderr,
+                 "apclient: ran %s: %llu statements (%llu parallel) in "
+                 "%.2f ms\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(resp.run.statements),
+                 static_cast<unsigned long long>(resp.run.statements_parallel),
+                 resp.run.wall_ms);
+  }
+  return 0;
+}
+
+int run_probe(const Args& args, net::RequestType type) {
+  net::Client client;
+  std::string err;
+  if (!client.connect(args.port, &err, args.timeout_ms)) {
+    std::fprintf(stderr, "apclient: %s\n", err.c_str());
+    return 1;
+  }
+  net::Request req;
+  req.type = type;
+  net::Response resp;
+  if (!client.call(std::move(req), &resp, &err)) {
+    std::fprintf(stderr, "apclient: %s\n", err.c_str());
+    return 1;
+  }
+  if (resp.status != net::Status::Ok) {
+    std::fprintf(stderr, "apclient: %s: %s\n", net::status_name(resp.status),
+                 resp.error.c_str());
+    return 1;
+  }
+  if (type == net::RequestType::Metrics)
+    std::printf("%s\n", resp.metrics.dump(2).c_str());
+  else
+    std::printf("pong\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  if (args.matrix) return run_matrix(args);
+  if (args.ping) return run_probe(args, net::RequestType::Ping);
+  if (args.metrics) return run_probe(args, net::RequestType::Metrics);
+  return run_single(args);
+}

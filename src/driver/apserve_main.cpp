@@ -6,12 +6,15 @@
 // Table-II-style summary and the JSON telemetry report.
 //
 //   apserve [--threads N] [--cache-dir DIR] [--cache-capacity N]
-//           [--json FILE] [--min-hit-rate F] [--check-sequential] [--quiet]
+//           [--cache-max-mb N] [--json FILE] [--min-hit-rate F]
+//           [--check-sequential] [--quiet]
 //           [--run] [--engine tree|bytecode] [--run-threads N]
 //
 //   --threads N         worker lanes (default: hardware concurrency)
 //   --cache-dir DIR     enable the on-disk cache tier under DIR
 //   --cache-capacity N  memory-tier LRU capacity in entries (default 256)
+//   --cache-max-mb N    disk-tier byte budget in MiB; oldest entries are
+//                       evicted on store once exceeded (0 = unlimited)
 //   --json FILE         write the telemetry JSON to FILE ("-" = stdout,
 //                       the default)
 //   --min-hit-rate F    exit 2 unless cache hits / jobs >= F (CI warm-run
@@ -46,6 +49,7 @@ struct Args {
   int threads = 0;  // 0 = hardware concurrency
   std::string cache_dir;
   size_t cache_capacity = 256;
+  size_t cache_max_mb = 0;  // disk-tier byte budget; 0 = unlimited
   std::string json_out = "-";
   double min_hit_rate = -1;
   bool check_sequential = false;
@@ -58,7 +62,8 @@ struct Args {
 [[noreturn]] void usage_error(const char* msg) {
   std::fprintf(stderr,
                "apserve: %s\nusage: apserve [--threads N] [--cache-dir DIR] "
-               "[--cache-capacity N] [--json FILE] [--min-hit-rate F] "
+               "[--cache-capacity N] [--cache-max-mb N] [--json FILE] "
+               "[--min-hit-rate F] "
                "[--check-sequential] [--quiet] [--run] "
                "[--engine tree|bytecode] [--run-threads N]\n",
                msg);
@@ -82,6 +87,10 @@ Args parse_args(int argc, char** argv) {
       long v = std::atol(value());
       if (v < 1) usage_error("--cache-capacity must be >= 1");
       a.cache_capacity = static_cast<size_t>(v);
+    } else if (arg == "--cache-max-mb") {
+      long v = std::atol(value());
+      if (v < 0) usage_error("--cache-max-mb must be >= 0");
+      a.cache_max_mb = static_cast<size_t>(v);
     } else if (arg == "--json") {
       a.json_out = value();
     } else if (arg == "--min-hit-rate") {
@@ -107,36 +116,6 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
-// Table-II-style summary from the batch results. suite_matrix() emits the
-// three configs consecutively per app, in suite order.
-void print_table(const std::vector<service::CompileJob>& jobs,
-                 const std::vector<service::CompileResult>& results) {
-  std::printf("%-8s | %-14s | %-24s | %-24s\n", "", "no-inlining",
-              "conventional inlining", "annotation-based inlining");
-  std::printf("%-8s | %5s %8s | %5s %5s %6s %8s | %5s %5s %6s %8s\n", "App",
-              "#par", "lines", "#par", "-loss", "+extra", "lines", "#par",
-              "-loss", "+extra", "lines");
-  for (size_t i = 0; i + 2 < results.size(); i += 3) {
-    const auto& none = results[i];
-    const auto& conv = results[i + 1];
-    const auto& annot = results[i + 2];
-    int loss_conv = 0, extra_conv = 0, loss_annot = 0, extra_annot = 0;
-    for (int64_t id : none.parallel_loops) {
-      if (!conv.parallel_loops.count(id)) ++loss_conv;
-      if (!annot.parallel_loops.count(id)) ++loss_annot;
-    }
-    for (int64_t id : conv.parallel_loops)
-      if (!none.parallel_loops.count(id)) ++extra_conv;
-    for (int64_t id : annot.parallel_loops)
-      if (!none.parallel_loops.count(id)) ++extra_annot;
-    std::printf("%-8s | %5zu %8zu | %5zu %5d %6d %8zu | %5zu %5d %6d %8zu\n",
-                jobs[i].app.name.c_str(), none.parallel_loops.size(),
-                none.code_lines, conv.parallel_loops.size(), loss_conv,
-                extra_conv, conv.code_lines, annot.parallel_loops.size(),
-                loss_annot, extra_annot, annot.code_lines);
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -146,7 +125,8 @@ int main(int argc, char** argv) {
     args.threads = hw ? static_cast<int>(hw) : 1;
   }
 
-  service::ResultCache cache(args.cache_capacity, args.cache_dir);
+  service::ResultCache cache(args.cache_capacity, args.cache_dir,
+                             args.cache_max_mb * 1024 * 1024);
   service::Telemetry telemetry;
   service::Scheduler::Options sopts;
   sopts.threads = args.threads;
@@ -168,7 +148,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!args.quiet) print_table(jobs, results);
+  if (!args.quiet)
+    std::fputs(service::table2_summary(jobs, results).c_str(), stdout);
 
   if (args.check_sequential) {
     int mismatches = 0;

@@ -1,0 +1,196 @@
+// apserved — the compilation service as a long-lived network daemon.
+//
+// Serves the length-prefixed JSON protocol of src/net on loopback TCP,
+// dispatching compile/run requests through the same scheduler and
+// content-addressed cache as the batch CLI (apserve). Runs until SIGINT or
+// SIGTERM, then drains gracefully: stops accepting, finishes in-flight
+// work, flushes responses, writes the telemetry report, exits 0.
+//
+//   apserved [--port N] [--threads N] [--cache-dir DIR]
+//            [--cache-capacity N] [--cache-max-mb N] [--max-queue N]
+//            [--request-timeout-ms N] [--drain-timeout-ms N] [--json FILE]
+//
+//   --port N               listen port; 0 (default) picks an ephemeral
+//                          port. Either way the bound port is printed to
+//                          stdout as "apserved: listening on port N"
+//   --threads N            worker lanes (default: hardware concurrency)
+//   --cache-dir DIR        enable the on-disk cache tier under DIR
+//   --cache-capacity N     memory-tier LRU capacity (default 256)
+//   --cache-max-mb N       disk-tier byte budget in MiB (0 = unlimited)
+//   --max-queue N          admission-queue bound; beyond it requests are
+//                          answered `overloaded` (default 256)
+//   --request-timeout-ms N default per-request deadline; expired requests
+//                          are answered `deadline_exceeded` (default
+//                          30000, 0 = no deadline)
+//   --drain-timeout-ms N   hard bound on graceful drain (default 30000)
+//   --json FILE            write the telemetry JSON on shutdown ("-" =
+//                          stdout, the default)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+#include "net/server.h"
+
+using namespace ap;
+
+namespace {
+
+struct Args {
+  int port = 0;
+  int threads = 0;  // 0 = hardware concurrency
+  std::string cache_dir;
+  size_t cache_capacity = 256;
+  size_t cache_max_mb = 0;
+  size_t max_queue = 256;
+  int64_t request_timeout_ms = 30'000;
+  int64_t drain_timeout_ms = 30'000;
+  std::string json_out = "-";
+};
+
+[[noreturn]] void usage_error(const char* msg) {
+  std::fprintf(
+      stderr,
+      "apserved: %s\nusage: apserved [--port N] [--threads N] "
+      "[--cache-dir DIR] [--cache-capacity N] [--cache-max-mb N] "
+      "[--max-queue N] [--request-timeout-ms N] [--drain-timeout-ms N] "
+      "[--json FILE]\n",
+      msg);
+  std::exit(64);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing option value");
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      a.port = std::atoi(value());
+      if (a.port < 0 || a.port > 65535) usage_error("--port out of range");
+    } else if (arg == "--threads") {
+      a.threads = std::atoi(value());
+      if (a.threads < 1) usage_error("--threads must be >= 1");
+    } else if (arg == "--cache-dir") {
+      a.cache_dir = value();
+    } else if (arg == "--cache-capacity") {
+      long v = std::atol(value());
+      if (v < 1) usage_error("--cache-capacity must be >= 1");
+      a.cache_capacity = static_cast<size_t>(v);
+    } else if (arg == "--cache-max-mb") {
+      long v = std::atol(value());
+      if (v < 0) usage_error("--cache-max-mb must be >= 0");
+      a.cache_max_mb = static_cast<size_t>(v);
+    } else if (arg == "--max-queue") {
+      long v = std::atol(value());
+      if (v < 1) usage_error("--max-queue must be >= 1");
+      a.max_queue = static_cast<size_t>(v);
+    } else if (arg == "--request-timeout-ms") {
+      a.request_timeout_ms = std::atol(value());
+      if (a.request_timeout_ms < 0)
+        usage_error("--request-timeout-ms must be >= 0");
+    } else if (arg == "--drain-timeout-ms") {
+      a.drain_timeout_ms = std::atol(value());
+      if (a.drain_timeout_ms < 1)
+        usage_error("--drain-timeout-ms must be >= 1");
+    } else if (arg == "--json") {
+      a.json_out = value();
+    } else {
+      usage_error("unknown option");
+    }
+  }
+  return a;
+}
+
+// Signal handlers may only touch async-signal-safe state: write one byte
+// to the server's self-pipe to begin the drain.
+volatile sig_atomic_t g_wake_fd = -1;
+
+void on_signal(int) {
+  int fd = g_wake_fd;
+  if (fd >= 0) {
+    char c = 'q';
+    [[maybe_unused]] ssize_t n = ::write(fd, &c, 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  if (args.threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    args.threads = hw ? static_cast<int>(hw) : 1;
+  }
+
+  service::ResultCache cache(args.cache_capacity, args.cache_dir,
+                             args.cache_max_mb * 1024 * 1024);
+  service::Telemetry telemetry;
+  // The daemon's own worker lanes provide the concurrency; the scheduler
+  // is used for its cache-aware dispatch, not its pool.
+  service::Scheduler::Options sopts;
+  sopts.threads = 1;
+  sopts.cache = &cache;
+  sopts.telemetry = &telemetry;
+  service::Scheduler scheduler(sopts);
+
+  net::ServerOptions nopts;
+  nopts.port = args.port;
+  nopts.threads = args.threads;
+  nopts.max_queue = args.max_queue;
+  nopts.request_timeout_ms = args.request_timeout_ms;
+  nopts.drain_timeout_ms = args.drain_timeout_ms;
+  nopts.scheduler = &scheduler;
+  nopts.telemetry = &telemetry;
+
+  net::Server server(nopts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "apserved: %s\n", err.c_str());
+    return 1;
+  }
+
+  g_wake_fd = server.wake_fd();
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("apserved: listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  server.wait();  // returns when a signal (or begin_drain) finished draining
+
+  service::ServerStats ss = server.stats();
+  telemetry.record_cache_stats(cache.stats());
+  std::string json = telemetry.to_json();
+  if (args.json_out == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream f(args.json_out, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "apserved: cannot write %s\n",
+                   args.json_out.c_str());
+      return 1;
+    }
+    f << json;
+  }
+
+  std::fprintf(stderr,
+               "apserved: drained; %llu connections, %llu accepted, "
+               "%llu completed, %llu overloaded, %llu timed out, "
+               "%llu protocol errors, queue peak %lld\n",
+               static_cast<unsigned long long>(ss.connections),
+               static_cast<unsigned long long>(ss.accepted),
+               static_cast<unsigned long long>(ss.completed),
+               static_cast<unsigned long long>(ss.rejected_overload),
+               static_cast<unsigned long long>(ss.timed_out),
+               static_cast<unsigned long long>(ss.protocol_errors),
+               static_cast<long long>(ss.queue_depth_peak));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Blocking client for the apserved wire protocol: one TCP connection, one
+// outstanding request at a time. Intended for apclient, tests, and the
+// throughput bench — callers wanting concurrency open several Clients.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/wire.h"
+
+namespace ap::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  // Connects to 127.0.0.1:port. `recv_timeout_ms` bounds each blocking
+  // read (0 = wait forever).
+  bool connect(int port, std::string* err, int recv_timeout_ms = 0);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends the request and blocks for the matching response. False with
+  // *err on transport failure (send/recv error, timeout, connection
+  // closed, undecodable response) — protocol-level failures (overloaded,
+  // deadline_exceeded, ...) are successful calls with that status in
+  // *resp. Assigns a fresh id when req.id == 0.
+  bool call(Request req, Response* resp, std::string* err);
+
+  // Raw frame transport (exposed for protocol-hardening tests that must
+  // send malformed payloads).
+  bool send_frame(std::string_view payload, std::string* err);
+  bool send_raw(std::string_view bytes, std::string* err);
+  std::optional<std::string> recv_frame(std::string* err);
+
+ private:
+  int fd_ = -1;
+  int64_t next_id_ = 1;
+  FrameReader reader_{kDefaultMaxFrame};
+};
+
+}  // namespace ap::net

@@ -1,0 +1,366 @@
+#include "net/protocol.h"
+
+namespace ap::net {
+
+namespace {
+
+// Reads a field with a kind check; absent fields keep the default.
+bool get_bool(const json::Value& obj, std::string_view key, bool def) {
+  const json::Value* v = obj.find(key);
+  return v ? v->as_bool(def) : def;
+}
+
+int64_t get_int(const json::Value& obj, std::string_view key, int64_t def) {
+  const json::Value* v = obj.find(key);
+  return v && v->is_number() ? v->as_int(def) : def;
+}
+
+std::string get_string(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  return v ? v->as_string() : std::string();
+}
+
+}  // namespace
+
+const char* request_type_name(RequestType t) {
+  switch (t) {
+    case RequestType::Compile: return "compile";
+    case RequestType::Run: return "run";
+    case RequestType::Metrics: return "metrics";
+    case RequestType::Ping: return "ping";
+  }
+  return "?";
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Error: return "error";
+    case Status::Overloaded: return "overloaded";
+    case Status::DeadlineExceeded: return "deadline_exceeded";
+    case Status::ProtocolError: return "protocol_error";
+  }
+  return "?";
+}
+
+json::Value pipeline_options_to_json(const driver::PipelineOptions& o) {
+  json::Value par = json::Value::object();
+  par.set("min_trip", o.par.min_trip)
+      .set("normalize", o.par.normalize)
+      .set("mark_nested", o.par.mark_nested)
+      .set("use_banerjee", o.par.use_banerjee)
+      .set("use_siv_refinement", o.par.use_siv_refinement)
+      .set("collect_all_blockers", o.par.collect_all_blockers);
+  json::Value conv = json::Value::object();
+  conv.set("max_stmts", static_cast<int64_t>(o.conv.max_stmts))
+      .set("max_callee_calls", o.conv.max_callee_calls)
+      .set("require_in_loop", o.conv.require_in_loop)
+      .set("eliminate_dead_units", o.conv.eliminate_dead_units)
+      .set("max_passes", o.conv.max_passes);
+  json::Value annot = json::Value::object();
+  annot.set("require_in_loop", o.annot.require_in_loop);
+  json::Value reverse = json::Value::object();
+  reverse.set("tolerate_reordering", o.reverse.tolerate_reordering)
+      .set("tolerate_forward_subst", o.reverse.tolerate_forward_subst)
+      .set("tolerate_literals", o.reverse.tolerate_literals)
+      .set("fallback_to_hints", o.reverse.fallback_to_hints);
+
+  const char* config = "none";
+  switch (o.config) {
+    case driver::InlineConfig::None: config = "none"; break;
+    case driver::InlineConfig::Conventional: config = "conv"; break;
+    case driver::InlineConfig::Annotation: config = "annot"; break;
+  }
+  json::Value out = json::Value::object();
+  out.set("config", config)
+      .set("par", std::move(par))
+      .set("conv", std::move(conv))
+      .set("annot", std::move(annot))
+      .set("reverse", std::move(reverse));
+  return out;
+}
+
+bool pipeline_options_from_json(const json::Value& v,
+                                driver::PipelineOptions* out,
+                                std::string* err) {
+  driver::PipelineOptions o;  // field defaults are the wire defaults
+  if (!v.is_object()) {
+    if (err) *err = "options must be an object";
+    return false;
+  }
+  std::string config = get_string(v, "config");
+  if (config.empty() || config == "none") {
+    o.config = driver::InlineConfig::None;
+  } else if (config == "conv") {
+    o.config = driver::InlineConfig::Conventional;
+  } else if (config == "annot") {
+    o.config = driver::InlineConfig::Annotation;
+  } else {
+    if (err) *err = "unknown config: " + config;
+    return false;
+  }
+  if (const json::Value* par = v.find("par")) {
+    o.par.min_trip = get_int(*par, "min_trip", o.par.min_trip);
+    o.par.normalize = get_bool(*par, "normalize", o.par.normalize);
+    o.par.mark_nested = get_bool(*par, "mark_nested", o.par.mark_nested);
+    o.par.use_banerjee = get_bool(*par, "use_banerjee", o.par.use_banerjee);
+    o.par.use_siv_refinement =
+        get_bool(*par, "use_siv_refinement", o.par.use_siv_refinement);
+    o.par.collect_all_blockers =
+        get_bool(*par, "collect_all_blockers", o.par.collect_all_blockers);
+  }
+  if (const json::Value* conv = v.find("conv")) {
+    o.conv.max_stmts = static_cast<size_t>(
+        get_int(*conv, "max_stmts", static_cast<int64_t>(o.conv.max_stmts)));
+    o.conv.max_callee_calls = static_cast<int>(
+        get_int(*conv, "max_callee_calls", o.conv.max_callee_calls));
+    o.conv.require_in_loop =
+        get_bool(*conv, "require_in_loop", o.conv.require_in_loop);
+    o.conv.eliminate_dead_units =
+        get_bool(*conv, "eliminate_dead_units", o.conv.eliminate_dead_units);
+    o.conv.max_passes =
+        static_cast<int>(get_int(*conv, "max_passes", o.conv.max_passes));
+  }
+  if (const json::Value* annot = v.find("annot")) {
+    o.annot.require_in_loop =
+        get_bool(*annot, "require_in_loop", o.annot.require_in_loop);
+  }
+  if (const json::Value* reverse = v.find("reverse")) {
+    o.reverse.tolerate_reordering =
+        get_bool(*reverse, "tolerate_reordering", o.reverse.tolerate_reordering);
+    o.reverse.tolerate_forward_subst = get_bool(
+        *reverse, "tolerate_forward_subst", o.reverse.tolerate_forward_subst);
+    o.reverse.tolerate_literals =
+        get_bool(*reverse, "tolerate_literals", o.reverse.tolerate_literals);
+    o.reverse.fallback_to_hints =
+        get_bool(*reverse, "fallback_to_hints", o.reverse.fallback_to_hints);
+  }
+  *out = o;
+  return true;
+}
+
+json::Value interp_options_to_json(const interp::InterpOptions& o) {
+  json::Value out = json::Value::object();
+  out.set("engine", o.engine == interp::Engine::Tree ? "tree" : "bytecode")
+      .set("threads", o.num_threads)
+      .set("enable_parallel", o.enable_parallel)
+      .set("max_steps", o.max_steps)
+      .set("check_bounds", o.check_bounds);
+  return out;
+}
+
+bool interp_options_from_json(const json::Value& v,
+                              interp::InterpOptions* out, std::string* err) {
+  interp::InterpOptions o;
+  if (!v.is_object()) {
+    if (err) *err = "interp options must be an object";
+    return false;
+  }
+  std::string engine = get_string(v, "engine");
+  if (engine.empty() || engine == "bytecode") {
+    o.engine = interp::Engine::Bytecode;
+  } else if (engine == "tree") {
+    o.engine = interp::Engine::Tree;
+  } else {
+    if (err) *err = "unknown engine: " + engine;
+    return false;
+  }
+  o.num_threads = static_cast<int>(get_int(v, "threads", o.num_threads));
+  if (o.num_threads < 1) o.num_threads = 1;
+  o.enable_parallel = get_bool(v, "enable_parallel", o.enable_parallel);
+  o.max_steps = get_int(v, "max_steps", o.max_steps);
+  o.check_bounds = get_bool(v, "check_bounds", o.check_bounds);
+  *out = o;
+  return true;
+}
+
+namespace {
+
+json::Value compile_result_to_json(const service::CompileResult& r) {
+  json::Value loops = json::Value::array();
+  for (int64_t id : r.parallel_loops) loops.push(id);
+  json::Value timings = json::Value::object();
+  timings.set("parse_ms", r.timings.parse_ms)
+      .set("inline_ms", r.timings.inline_ms)
+      .set("parallelize_ms", r.timings.parallelize_ms)
+      .set("reverse_ms", r.timings.reverse_ms)
+      .set("total_ms", r.timings.total_ms);
+  json::Value out = json::Value::object();
+  out.set("ok", r.ok)
+      .set("error", r.error)
+      .set("cache_hit", r.cache_hit)
+      .set("parallel_loops", std::move(loops))
+      .set("code_lines", static_cast<int64_t>(r.code_lines))
+      .set("dep_tests", static_cast<int64_t>(r.dep_tests))
+      .set("dep_tests_unique", static_cast<int64_t>(r.dep_tests_unique))
+      .set("timings", std::move(timings))
+      .set("program", r.program_text);
+  return out;
+}
+
+service::CompileResult compile_result_from_json(const json::Value& v) {
+  service::CompileResult r;
+  r.ok = get_bool(v, "ok", false);
+  r.error = get_string(v, "error");
+  r.cache_hit = get_bool(v, "cache_hit", false);
+  if (const json::Value* loops = v.find("parallel_loops")) {
+    for (const json::Value& id : loops->items())
+      r.parallel_loops.insert(id.as_int());
+  }
+  r.code_lines = static_cast<size_t>(get_int(v, "code_lines", 0));
+  r.dep_tests = static_cast<size_t>(get_int(v, "dep_tests", 0));
+  r.dep_tests_unique = static_cast<size_t>(get_int(v, "dep_tests_unique", 0));
+  if (const json::Value* t = v.find("timings")) {
+    auto ms = [&](std::string_view key) {
+      const json::Value* f = t->find(key);
+      return f ? f->as_double() : 0.0;
+    };
+    r.timings.parse_ms = ms("parse_ms");
+    r.timings.inline_ms = ms("inline_ms");
+    r.timings.parallelize_ms = ms("parallelize_ms");
+    r.timings.reverse_ms = ms("reverse_ms");
+    r.timings.total_ms = ms("total_ms");
+  }
+  r.program_text = get_string(v, "program");
+  return r;
+}
+
+json::Value run_payload_to_json(const RunPayload& r) {
+  json::Value out = json::Value::object();
+  out.set("ok", r.ok)
+      .set("stopped", r.stopped)
+      .set("stop_message", r.stop_message)
+      .set("error", r.error)
+      .set("output", r.output)
+      .set("statements", r.statements)
+      .set("statements_parallel", r.statements_parallel)
+      .set("instructions", r.instructions)
+      .set("wall_ms", r.wall_ms);
+  return out;
+}
+
+RunPayload run_payload_from_json(const json::Value& v) {
+  RunPayload r;
+  r.ok = get_bool(v, "ok", false);
+  r.stopped = get_bool(v, "stopped", false);
+  r.stop_message = get_string(v, "stop_message");
+  r.error = get_string(v, "error");
+  r.output = get_string(v, "output");
+  r.statements = static_cast<uint64_t>(get_int(v, "statements", 0));
+  r.statements_parallel =
+      static_cast<uint64_t>(get_int(v, "statements_parallel", 0));
+  r.instructions = static_cast<uint64_t>(get_int(v, "instructions", 0));
+  if (const json::Value* w = v.find("wall_ms")) r.wall_ms = w->as_double();
+  return r;
+}
+
+}  // namespace
+
+json::Value request_to_json(const Request& r) {
+  json::Value out = json::Value::object();
+  out.set("v", kProtocolVersion)
+      .set("type", request_type_name(r.type))
+      .set("id", r.id);
+  if (r.type == RequestType::Compile || r.type == RequestType::Run) {
+    out.set("name", r.name)
+        .set("source", r.source)
+        .set("annotations", r.annotations)
+        .set("options", pipeline_options_to_json(r.options));
+    if (r.deadline_ms > 0) out.set("deadline_ms", r.deadline_ms);
+  }
+  if (r.type == RequestType::Run)
+    out.set("interp", interp_options_to_json(r.interp));
+  return out;
+}
+
+bool request_from_json(const json::Value& v, Request* out, std::string* err) {
+  if (!v.is_object()) {
+    if (err) *err = "request must be a JSON object";
+    return false;
+  }
+  int64_t version = get_int(v, "v", 0);
+  if (version != kProtocolVersion) {
+    if (err)
+      *err = "unsupported protocol version " + std::to_string(version) +
+             " (want " + std::to_string(kProtocolVersion) + ")";
+    return false;
+  }
+  Request r;
+  std::string type = get_string(v, "type");
+  if (type == "compile") r.type = RequestType::Compile;
+  else if (type == "run") r.type = RequestType::Run;
+  else if (type == "metrics") r.type = RequestType::Metrics;
+  else if (type == "ping") r.type = RequestType::Ping;
+  else {
+    if (err) *err = "unknown request type: " + type;
+    return false;
+  }
+  r.id = get_int(v, "id", 0);
+  if (r.type == RequestType::Compile || r.type == RequestType::Run) {
+    const json::Value* source = v.find("source");
+    if (!source || !source->is_string()) {
+      if (err) *err = "compile/run request requires a string \"source\"";
+      return false;
+    }
+    r.source = source->as_string();
+    r.name = get_string(v, "name");
+    r.annotations = get_string(v, "annotations");
+    r.deadline_ms = get_int(v, "deadline_ms", 0);
+    if (const json::Value* opts = v.find("options")) {
+      if (!pipeline_options_from_json(*opts, &r.options, err)) return false;
+    }
+    if (r.type == RequestType::Run) {
+      if (const json::Value* io = v.find("interp")) {
+        if (!interp_options_from_json(*io, &r.interp, err)) return false;
+      }
+    }
+  }
+  *out = r;
+  return true;
+}
+
+json::Value response_to_json(const Response& r) {
+  json::Value out = json::Value::object();
+  out.set("v", kProtocolVersion)
+      .set("id", r.id)
+      .set("status", status_name(r.status));
+  if (!r.error.empty()) out.set("error", r.error);
+  if (r.has_result) out.set("result", compile_result_to_json(r.result));
+  if (r.has_run) out.set("run", run_payload_to_json(r.run));
+  if (r.metrics.is_object()) out.set("metrics", r.metrics);
+  return out;
+}
+
+bool response_from_json(const json::Value& v, Response* out,
+                        std::string* err) {
+  if (!v.is_object()) {
+    if (err) *err = "response must be a JSON object";
+    return false;
+  }
+  Response r;
+  r.id = get_int(v, "id", 0);
+  std::string status = get_string(v, "status");
+  if (status == "ok") r.status = Status::Ok;
+  else if (status == "error") r.status = Status::Error;
+  else if (status == "overloaded") r.status = Status::Overloaded;
+  else if (status == "deadline_exceeded") r.status = Status::DeadlineExceeded;
+  else if (status == "protocol_error") r.status = Status::ProtocolError;
+  else {
+    if (err) *err = "unknown response status: " + status;
+    return false;
+  }
+  r.error = get_string(v, "error");
+  if (const json::Value* result = v.find("result")) {
+    r.has_result = true;
+    r.result = compile_result_from_json(*result);
+  }
+  if (const json::Value* run = v.find("run")) {
+    r.has_run = true;
+    r.run = run_payload_from_json(*run);
+  }
+  if (const json::Value* metrics = v.find("metrics")) r.metrics = *metrics;
+  *out = r;
+  return true;
+}
+
+}  // namespace ap::net

@@ -1,0 +1,113 @@
+// The versioned JSON wire protocol spoken between apserved and apclient.
+//
+// Every frame payload is one JSON object. Requests carry `"v"` (protocol
+// version, must equal kProtocolVersion), `"type"`, a client-chosen `"id"`
+// echoed in the response, and per-type fields:
+//
+//   compile — source text, annotation text, full PipelineOptions
+//   run     — compile fields plus a full InterpOptions encoding; the
+//             server compiles (uncached path: execution needs the live
+//             AST with its OMP metadata) and executes the result
+//   metrics — no payload; returns cache + server counters
+//   ping    — no payload; liveness probe
+//
+// Responses carry the echoed id and a `"status"`:
+//
+//   ok                — per-type payload (result / run / metrics)
+//   error             — request was valid but the work failed
+//   overloaded        — bounded admission queue was full (or draining);
+//                       the request was NOT accepted, retry later
+//   deadline_exceeded — accepted, but not finished within the deadline;
+//                       the result was discarded
+//   protocol_error    — unparseable/oversized frame or bad version; the
+//                       server closes the connection after sending it
+//
+// Options encodings are total: every PipelineOptions and InterpOptions
+// field has a named key, so a compile over the wire is bit-equivalent to
+// an in-process run with the same options (tests/net_e2e_test.cpp holds
+// this as an invariant). Unknown request keys are ignored (forward
+// compatibility); unknown enum strings are errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "driver/pipeline.h"
+#include "interp/interp.h"
+#include "service/cache.h"
+#include "support/json.h"
+
+namespace ap::net {
+
+inline constexpr int kProtocolVersion = 1;
+
+enum class RequestType : uint8_t { Compile, Run, Metrics, Ping };
+const char* request_type_name(RequestType t);
+
+enum class Status : uint8_t {
+  Ok,
+  Error,
+  Overloaded,
+  DeadlineExceeded,
+  ProtocolError,
+};
+const char* status_name(Status s);
+
+struct Request {
+  RequestType type = RequestType::Ping;
+  int64_t id = 0;
+  std::string name;         // display label (app name); not semantic
+  std::string source;       // F77-subset program text
+  std::string annotations;  // annotation DSL text ("" = none)
+  driver::PipelineOptions options;
+  interp::InterpOptions interp;  // run requests only
+  // Per-request deadline override in milliseconds; 0 = use the server's
+  // --request-timeout-ms default.
+  int64_t deadline_ms = 0;
+};
+
+// One interpreter execution, for run responses.
+struct RunPayload {
+  bool ok = false;
+  bool stopped = false;
+  std::string stop_message;
+  std::string error;
+  std::string output;
+  uint64_t statements = 0;
+  uint64_t statements_parallel = 0;
+  uint64_t instructions = 0;
+  double wall_ms = 0;
+};
+
+struct Response {
+  int64_t id = 0;
+  Status status = Status::Ok;
+  std::string error;  // human-readable reason for non-ok statuses
+
+  bool has_result = false;
+  service::CompileResult result;  // compile and run responses
+
+  bool has_run = false;
+  RunPayload run;  // run responses
+
+  json::Value metrics;  // metrics responses (object); null otherwise
+};
+
+// Options <-> JSON (every field, round-trip exact).
+json::Value pipeline_options_to_json(const driver::PipelineOptions& o);
+bool pipeline_options_from_json(const json::Value& v,
+                                driver::PipelineOptions* out,
+                                std::string* err);
+json::Value interp_options_to_json(const interp::InterpOptions& o);
+bool interp_options_from_json(const json::Value& v,
+                              interp::InterpOptions* out, std::string* err);
+
+// Messages <-> JSON. The *_from_json decoders validate kinds and enum
+// strings and never throw; on failure they return false with *err set.
+json::Value request_to_json(const Request& r);
+bool request_from_json(const json::Value& v, Request* out, std::string* err);
+json::Value response_to_json(const Response& r);
+bool response_from_json(const json::Value& v, Response* out,
+                        std::string* err);
+
+}  // namespace ap::net

@@ -1,0 +1,610 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "interp/interp.h"
+
+namespace ap::net {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+constexpr char kWakeDrain = 'q';
+constexpr char kWakeNudge = 'n';
+
+double ms_since(clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& opts) : opts_(opts) {
+  if (opts_.threads < 1) opts_.threads = 1;
+  if (opts_.max_queue < 1) opts_.max_queue = 1;
+}
+
+Server::~Server() {
+  if (started_ && !stopped_.load()) {
+    begin_drain();
+    wait();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+}
+
+bool Server::start(std::string* err) {
+  if (!opts_.scheduler) {
+    if (err) *err = "ServerOptions.scheduler is required";
+    return false;
+  }
+  listen_fd_ = listen_tcp(opts_.port, &port_, err);
+  if (listen_fd_ < 0) return false;
+  set_nonblocking(listen_fd_);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    if (err) *err = "pipe failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_r_ = pipe_fds[0];
+  wake_w_ = pipe_fds[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+
+  started_ = true;
+  for (int i = 0; i < opts_.threads; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+  loop_thread_ = std::thread([this] { loop_main(); });
+  return true;
+}
+
+void Server::begin_drain() {
+  if (wake_w_ >= 0) {
+    char c = kWakeDrain;
+    [[maybe_unused]] ssize_t n = ::write(wake_w_, &c, 1);
+  }
+}
+
+void Server::nudge() {
+  if (wake_w_ >= 0) {
+    char c = kWakeNudge;
+    [[maybe_unused]] ssize_t n = ::write(wake_w_, &c, 1);
+  }
+}
+
+void Server::wait() {
+  if (!started_) return;
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+  stopped_.store(true);
+  if (opts_.telemetry) opts_.telemetry->record_server_stats(stats());
+}
+
+service::ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void Server::loop_main() {
+  clock::time_point drain_deadline = clock::time_point::max();
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn;  // conn id per pollfd slot (0 = not a conn)
+
+  while (true) {
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_r_, POLLIN, 0});
+    fd_conn.push_back(0);
+    if (!draining_.load() && listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [id, conn] : conns_) {
+        short events = 0;
+        if (!conn->closing) events |= POLLIN;
+        {
+          std::lock_guard<std::mutex> out_lock(conn->out_mu);
+          if (!conn->outbox.empty()) events |= POLLOUT;
+        }
+        if (events == 0) events = POLLERR;  // still watch for hangup
+        fds.push_back({conn->fd, events, 0});
+        fd_conn.push_back(id);
+      }
+    }
+
+    // Poll timeout: nearest deadline (request or drain), else idle tick.
+    auto now = clock::now();
+    clock::time_point nearest = drain_deadline;
+    for (const auto& job : deadline_watch_)
+      nearest = std::min(nearest, job->deadline);
+    int timeout_ms = -1;
+    if (nearest != clock::time_point::max()) {
+      auto delta =
+          std::chrono::duration_cast<std::chrono::milliseconds>(nearest - now)
+              .count();
+      timeout_ms = static_cast<int>(std::clamp<int64_t>(delta, 0, 60'000));
+    }
+    ::poll(fds.data(), fds.size(), timeout_ms);
+    now = clock::now();
+
+    // Wake pipe: drain any pending bytes; 'q' starts the drain.
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      ssize_t n;
+      while ((n = ::read(wake_r_, buf, sizeof(buf))) > 0) {
+        for (ssize_t i = 0; i < n; ++i) {
+          if (buf[i] == kWakeDrain && !draining_.load()) {
+            draining_.store(true);
+            drain_deadline =
+                opts_.drain_timeout_ms > 0
+                    ? now + std::chrono::milliseconds(opts_.drain_timeout_ms)
+                    : clock::time_point::max();
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+          }
+        }
+      }
+    }
+
+    if (!draining_.load() && listen_fd_ >= 0) accept_new_connections();
+
+    // Socket I/O per connection. Collect ids first: handlers mutate conns_.
+    std::vector<std::pair<uint64_t, short>> ready;
+    for (size_t i = 0; i < fds.size(); ++i)
+      if (fd_conn[i] != 0 && fds[i].revents != 0)
+        ready.emplace_back(fd_conn[i], fds[i].revents);
+    for (auto& [conn_id, revents] : ready) {
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        auto it = conns_.find(conn_id);
+        if (it == conns_.end()) continue;
+        conn = it->second;
+      }
+      if (revents & (POLLERR | POLLNVAL)) {
+        close_connection(conn_id);
+        continue;
+      }
+      if (revents & (POLLIN | POLLHUP)) read_connection(conn);
+      if (revents & POLLOUT) flush_connection(conn);
+    }
+
+    sweep_deadlines(now);
+
+    // Opportunistic flush: handlers above may have queued responses on
+    // connections that polled readable but not writable this round.
+    {
+      std::vector<std::shared_ptr<Connection>> all;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        all.reserve(conns_.size());
+        for (auto& [id, conn] : conns_) all.push_back(conn);
+      }
+      for (auto& conn : all) flush_connection(conn);
+    }
+
+    if (draining_.load()) {
+      bool work_done;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        work_done = queue_.empty() && jobs_running_ == 0;
+        if (work_done && !queue_closed_) {
+          queue_closed_ = true;
+          queue_cv_.notify_all();
+        }
+      }
+      bool flushed = true;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (auto& [id, conn] : conns_) {
+          std::lock_guard<std::mutex> out_lock(conn->out_mu);
+          if (!conn->outbox.empty()) flushed = false;
+        }
+      }
+      if ((work_done && flushed) || now >= drain_deadline) break;
+    }
+  }
+
+  // Drain complete (or timed out): close every connection.
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) ids.push_back(id);
+  }
+  for (uint64_t id : ids) close_connection(id);
+}
+
+void Server::accept_new_connections() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN or transient error: try next poll round
+    set_nonblocking(fd);
+    auto conn = std::make_shared<Connection>(opts_.max_frame_bytes);
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn->id = next_conn_id_++;
+      conns_[conn->id] = conn;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections;
+  }
+}
+
+void Server::read_connection(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->reader.feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // half-open or orderly close from the client
+      close_connection(conn->id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(conn->id);
+    return;
+  }
+
+  while (auto payload = conn->reader.next()) {
+    handle_frame(conn, *payload);
+    if (conn->closing) return;  // protocol error: stop consuming the stream
+  }
+  if (conn->reader.error() && !conn->closing) {
+    Response resp;
+    resp.status = Status::ProtocolError;
+    resp.error = conn->reader.error_message();
+    {
+      std::lock_guard<std::mutex> out_lock(conn->out_mu);
+      conn->outbox += encode_frame(response_to_json(resp).dump());
+    }
+    conn->closing = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+  }
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          const std::string& payload) {
+  auto reply = [&](const Response& resp) {
+    std::lock_guard<std::mutex> out_lock(conn->out_mu);
+    conn->outbox += encode_frame(response_to_json(resp).dump());
+  };
+
+  std::string parse_err;
+  auto doc = json::parse(payload, &parse_err);
+  Request req;
+  std::string decode_err;
+  if (!doc || !request_from_json(*doc, &req, &decode_err)) {
+    Response resp;
+    resp.status = Status::ProtocolError;
+    resp.error = doc ? decode_err : "malformed JSON payload: " + parse_err;
+    reply(resp);
+    conn->closing = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+    return;
+  }
+
+  switch (req.type) {
+    case RequestType::Ping: {
+      Response resp;
+      resp.id = req.id;
+      reply(resp);
+      return;
+    }
+    case RequestType::Metrics: {
+      Response resp;
+      resp.id = req.id;
+      resp.metrics = build_metrics();
+      reply(resp);
+      return;
+    }
+    case RequestType::Compile:
+    case RequestType::Run: {
+      if (draining_.load()) {
+        Response resp;
+        resp.id = req.id;
+        resp.status = Status::Overloaded;
+        resp.error = "server is draining";
+        reply(resp);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.rejected_overload;
+        return;
+      }
+      auto job = std::make_shared<JobState>();
+      job->conn_id = conn->id;
+      int64_t timeout = req.deadline_ms > 0 ? req.deadline_ms
+                                            : opts_.request_timeout_ms;
+      job->deadline = timeout > 0
+                          ? clock::now() + std::chrono::milliseconds(timeout)
+                          : clock::time_point::max();
+      job->req = std::move(req);
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (queue_.size() >= opts_.max_queue) {
+          Response resp;
+          resp.id = job->req.id;
+          resp.status = Status::Overloaded;
+          resp.error = "admission queue full (" +
+                       std::to_string(opts_.max_queue) + " requests)";
+          reply(resp);
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.rejected_overload;
+          return;
+        }
+        queue_.push_back(job);
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.accepted;
+        stats_.queue_depth_peak = std::max(
+            stats_.queue_depth_peak, static_cast<int64_t>(queue_.size()));
+      }
+      queue_cv_.notify_one();
+      if (job->deadline != clock::time_point::max())
+        deadline_watch_.push_back(job);
+      return;
+    }
+  }
+}
+
+void Server::flush_connection(const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> out_lock(conn->out_mu);
+    while (!conn->outbox.empty()) {
+      ssize_t n = ::send(conn->fd, conn->outbox.data(), conn->outbox.size(),
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->outbox.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_now = true;  // broken pipe / reset
+      break;
+    }
+    if (conn->outbox.empty() && conn->closing) close_now = true;
+  }
+  if (close_now) close_connection(conn->id);
+}
+
+void Server::close_connection(uint64_t conn_id) {
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    conn = it->second;
+    conns_.erase(it);
+  }
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+void Server::sweep_deadlines(clock::time_point now) {
+  for (auto& job : deadline_watch_) {
+    if (!job) continue;
+    int phase = job->phase.load();
+    if (phase == kDone || phase == kAbandoned) {
+      job.reset();
+      continue;
+    }
+    if (now < job->deadline) continue;
+    // Expired while queued or running: abandon, answer now. The CAS loses
+    // only to a worker completing at this instant — then the real answer
+    // is already on its way and this sweep does nothing.
+    int expected = kPending;
+    bool abandoned = job->phase.compare_exchange_strong(expected, kAbandoned);
+    if (!abandoned) {
+      expected = kRunning;
+      abandoned = job->phase.compare_exchange_strong(expected, kAbandoned);
+    }
+    if (abandoned) {
+      Response resp;
+      resp.id = job->req.id;
+      resp.status = Status::DeadlineExceeded;
+      resp.error = "request missed its deadline";
+      deliver(job->conn_id, resp);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.timed_out;
+    }
+    job.reset();
+  }
+  deadline_watch_.erase(
+      std::remove(deadline_watch_.begin(), deadline_watch_.end(), nullptr),
+      deadline_watch_.end());
+}
+
+json::Value Server::build_metrics() const {
+  json::Value out = json::Value::object();
+  if (opts_.scheduler && opts_.scheduler->cache()) {
+    service::CacheStats cs = opts_.scheduler->cache()->stats();
+    json::Value cache = json::Value::object();
+    cache.set("memory_hits", cs.memory_hits)
+        .set("disk_hits", cs.disk_hits)
+        .set("misses", cs.misses)
+        .set("stores", cs.stores)
+        .set("evictions", cs.evictions)
+        .set("disk_evictions", cs.disk_evictions)
+        .set("disk_bytes", cs.disk_bytes);
+    out.set("cache", std::move(cache));
+  }
+  service::ServerStats ss = stats();
+  json::Value server = json::Value::object();
+  server.set("connections", ss.connections)
+      .set("accepted", ss.accepted)
+      .set("completed", ss.completed)
+      .set("rejected_overload", ss.rejected_overload)
+      .set("timed_out", ss.timed_out)
+      .set("protocol_errors", ss.protocol_errors)
+      .set("queue_depth_peak", ss.queue_depth_peak)
+      .set("draining", draining_.load());
+  out.set("server", std::move(server));
+  return out;
+}
+
+bool Server::deliver(uint64_t conn_id, const Response& resp) {
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return false;  // client went away
+    conn = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> out_lock(conn->out_mu);
+    conn->outbox += encode_frame(response_to_json(resp).dump());
+  }
+  nudge();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+void Server::worker_main() {
+  while (true) {
+    std::shared_ptr<JobState> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || queue_closed_; });
+      if (queue_.empty()) return;  // closed and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++jobs_running_;
+    }
+
+    int expected = kPending;
+    if (job->phase.compare_exchange_strong(expected, kRunning)) {
+      Response resp = execute(job->req);
+      expected = kRunning;
+      if (job->phase.compare_exchange_strong(expected, kDone)) {
+        deliver(job->conn_id, resp);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.completed;
+      }
+      // else: abandoned mid-run — the loop already answered
+      // deadline_exceeded; this result is discarded.
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --jobs_running_;
+    }
+    nudge();  // let the loop re-evaluate drain completion
+  }
+}
+
+Response Server::execute(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  try {
+    service::CompileJob job;
+    job.app.name = req.name.empty() ? "WIRE" : req.name;
+    job.app.source = req.source;
+    job.app.annotations = req.annotations;
+    job.opts = req.options;
+
+    if (req.type == RequestType::Compile) {
+      auto t0 = clock::now();
+      resp.result = opts_.scheduler->run_one(job);
+      resp.has_result = true;
+      if (!resp.result.ok) {
+        resp.status = Status::Error;
+        resp.error = "compilation failed: " + resp.result.error;
+      }
+      if (opts_.telemetry) {
+        service::JobRecord rec;
+        rec.app = job.app.name;
+        rec.config = driver::config_name(job.opts.config);
+        rec.ok = resp.result.ok;
+        rec.cache_hit = resp.result.cache_hit;
+        rec.wall_ms = ms_since(t0);
+        rec.dep_tests = resp.result.dep_tests;
+        rec.dep_tests_unique = resp.result.dep_tests_unique;
+        rec.parallel_loops = resp.result.parallel_loops.size();
+        rec.code_lines = resp.result.code_lines;
+        if (!resp.result.cache_hit) rec.timings = resp.result.timings;
+        opts_.telemetry->record_job(rec);
+      }
+      return resp;
+    }
+
+    // Run: execution needs the live AST with its OMP metadata (the cached
+    // program text parses the directives as comments), so run the pipeline
+    // directly instead of through the cache.
+    auto pr = driver::run_pipeline(job.app, job.opts);
+    resp.result = service::to_compile_result(pr);
+    resp.has_result = true;
+    if (!pr.ok || !pr.program) {
+      resp.status = Status::Error;
+      resp.error = "compilation failed: " + pr.error;
+      return resp;
+    }
+    auto t0 = clock::now();
+    interp::Interpreter interp(*pr.program, req.interp);
+    interp::RunResult rr = interp.run();
+    double wall_ms = ms_since(t0);
+    resp.has_run = true;
+    resp.run.ok = rr.ok;
+    resp.run.stopped = rr.stopped;
+    resp.run.stop_message = rr.stop_message;
+    resp.run.error = rr.error;
+    resp.run.output = rr.output;
+    resp.run.statements = rr.statements_executed;
+    resp.run.statements_parallel = rr.statements_in_parallel;
+    resp.run.instructions = rr.instructions_executed;
+    resp.run.wall_ms = wall_ms;
+    if (!rr.ok) {
+      resp.status = Status::Error;
+      resp.error = "execution failed: " + rr.error;
+    }
+    if (opts_.telemetry) {
+      service::ExecRecord er;
+      er.app = job.app.name;
+      er.config = driver::config_name(job.opts.config);
+      er.engine =
+          req.interp.engine == interp::Engine::Tree ? "tree" : "bytecode";
+      er.threads = req.interp.num_threads;
+      er.ok = rr.ok;
+      er.wall_ms = wall_ms;
+      er.bytecode_compile_ms = rr.bytecode_compile_ms;
+      er.instructions = rr.instructions_executed;
+      er.statements = rr.statements_executed;
+      er.statements_parallel = rr.statements_in_parallel;
+      opts_.telemetry->record_exec(er);
+    }
+  } catch (const std::exception& e) {
+    resp.status = Status::Error;
+    resp.error = std::string("internal error: ") + e.what();
+  }
+  return resp;
+}
+
+}  // namespace ap::net

@@ -1,0 +1,163 @@
+// The apserved serving core: a poll()-based event loop over nonblocking
+// loopback TCP sockets, speaking the length-prefixed JSON protocol of
+// protocol.h.
+//
+// Threading model
+//   One event-loop thread owns all socket I/O: accepting, reading frames,
+//   and flushing per-connection write queues. Compile/run work never runs
+//   on the loop thread; admitted requests enter a bounded queue drained by
+//   `threads` worker lanes, each dispatching through the compilation
+//   service (`service::Scheduler::run_one`), so the daemon shares the
+//   content-addressed cache — and its warm-hit fast path — with the batch
+//   CLI. Workers deliver finished responses into the owning connection's
+//   outbox and nudge the loop through a self-pipe.
+//
+// Robustness invariants (tested in tests/net_test.cpp)
+//   - Backpressure, not buffering: when the admission queue holds
+//     `max_queue` requests, new work is answered `overloaded` immediately.
+//     An accepted request is always answered (ok/error/deadline_exceeded)
+//     unless its client disconnects first.
+//   - Deadlines are enforced by the event loop: a request that misses its
+//     deadline is answered `deadline_exceeded` right then; whatever a
+//     worker later computes for it is discarded.
+//   - A malformed or oversized frame draws a `protocol_error` response and
+//     the connection is closed (the stream cannot be resynchronized).
+//   - Graceful drain (begin_drain(), or a byte 'q' on wake_fd() — the
+//     async-signal-safe path for SIGINT/SIGTERM handlers): stop accepting
+//     connections, answer new requests `overloaded`, finish all queued and
+//     running jobs, flush every outbox, then shut down. A hard
+//     `drain_timeout_ms` bounds the wait against clients that never read.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/wire.h"
+#include "service/scheduler.h"
+
+namespace ap::net {
+
+struct ServerOptions {
+  int port = 0;          // 0 = kernel-assigned ephemeral port
+  int threads = 1;       // worker lanes executing compile/run jobs
+  size_t max_queue = 256;  // admission-queue bound (backpressure threshold)
+  // Default per-request deadline; requests may override with a smaller or
+  // larger "deadline_ms". 0 disables deadlines entirely.
+  int64_t request_timeout_ms = 30'000;
+  int64_t drain_timeout_ms = 30'000;  // hard bound on graceful drain
+  size_t max_frame_bytes = kDefaultMaxFrame;
+  service::Scheduler* scheduler = nullptr;  // required (cache-aware dispatch)
+  service::Telemetry* telemetry = nullptr;  // optional: job/exec/server rows
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& opts);
+  ~Server();  // begins drain and waits if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and spawns the loop + worker threads. False with *err
+  // on failure (nothing spawned).
+  bool start(std::string* err);
+
+  // The bound port (valid after start()).
+  int port() const { return port_; }
+
+  // Write end of the self-pipe. write(wake_fd(), "q", 1) begins a graceful
+  // drain and is async-signal-safe — this is the SIGTERM/SIGINT hook.
+  int wake_fd() const { return wake_w_; }
+
+  // Thread-safe graceful-drain trigger (not for signal handlers).
+  void begin_drain();
+
+  // Blocks until drain completes and all threads are joined. Records
+  // server stats into the telemetry sink (when attached) before returning.
+  void wait();
+
+  bool draining() const { return draining_.load(); }
+
+  service::ServerStats stats() const;
+
+ private:
+  enum JobPhase : int { kPending = 0, kRunning = 1, kDone = 2, kAbandoned = 3 };
+
+  struct JobState {
+    Request req;
+    uint64_t conn_id = 0;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+    std::atomic<int> phase{kPending};
+  };
+
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameReader reader;
+    std::mutex out_mu;
+    std::string outbox;     // encoded frames awaiting the socket
+    bool closing = false;   // loop thread only: close once outbox drains
+    explicit Connection(size_t max_frame) : reader(max_frame) {}
+  };
+
+  void loop_main();
+  void worker_main();
+
+  // Loop thread helpers.
+  void accept_new_connections();
+  void read_connection(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const std::string& payload);
+  void flush_connection(const std::shared_ptr<Connection>& conn);
+  void close_connection(uint64_t conn_id);
+  void sweep_deadlines(std::chrono::steady_clock::time_point now);
+  json::Value build_metrics() const;
+
+  // Any thread: queue an encoded response on a live connection and nudge
+  // the loop. False when the connection is gone.
+  bool deliver(uint64_t conn_id, const Response& resp);
+  void nudge();
+
+  // Worker thread: execute one admitted request.
+  Response execute(const Request& req);
+
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int wake_r_ = -1, wake_w_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<JobState>> queue_;
+  int jobs_running_ = 0;
+  bool queue_closed_ = false;
+
+  // Jobs with real deadlines, watched by the loop (loop thread only).
+  std::vector<std::shared_ptr<JobState>> deadline_watch_;
+
+  mutable std::mutex stats_mu_;
+  service::ServerStats stats_;
+};
+
+}  // namespace ap::net

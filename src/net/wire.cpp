@@ -1,0 +1,124 @@
+#include "net/wire.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ap::net {
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  out += static_cast<char>((n >> 24) & 0xFF);
+  out += static_cast<char>((n >> 16) & 0xFF);
+  out += static_cast<char>((n >> 8) & 0xFF);
+  out += static_cast<char>(n & 0xFF);
+  out += payload;
+  return out;
+}
+
+void FrameReader::feed(const char* data, size_t n) {
+  if (error_) return;  // the stream is already unsynchronized
+  buf_.append(data, n);
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (error_ || buf_.size() < 4) return std::nullopt;
+  uint32_t n = (static_cast<uint32_t>(static_cast<unsigned char>(buf_[0]))
+                << 24) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(buf_[1]))
+                << 16) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(buf_[2]))
+                << 8) |
+               static_cast<uint32_t>(static_cast<unsigned char>(buf_[3]));
+  if (n > max_frame_) {
+    error_ = true;
+    error_msg_ = "frame length " + std::to_string(n) +
+                 " exceeds maximum " + std::to_string(max_frame_);
+    buf_.clear();
+    return std::nullopt;
+  }
+  if (buf_.size() < 4 + static_cast<size_t>(n)) return std::nullopt;
+  std::string payload = buf_.substr(4, n);
+  buf_.erase(0, 4 + static_cast<size_t>(n));
+  return payload;
+}
+
+int listen_tcp(int port, int* bound_port, std::string* err) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (err) *err = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) < 0) {
+    if (err) *err = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0)
+      *bound_port = ntohs(actual.sin_port);
+    else
+      *bound_port = port;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, int port, std::string* err) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "invalid IPv4 address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (err) *err = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_recv_timeout_ms(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace ap::net

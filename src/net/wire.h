@@ -1,0 +1,76 @@
+// Wire framing and socket plumbing for the serving layer.
+//
+// Every message — request or response — travels as one frame:
+//
+//   +----------------------------+----------------------+
+//   | 4-byte big-endian length N | N bytes JSON payload |
+//   +----------------------------+----------------------+
+//
+// The length counts payload bytes only. A length prefix larger than the
+// receiver's configured maximum is a protocol error: the receiver answers
+// with a `protocol_error` response and closes the connection (it cannot
+// resynchronize inside an untrusted stream). FrameReader is the
+// incremental decoder used by both sides; it consumes bytes as they
+// arrive and yields complete payloads, so it works unchanged over
+// nonblocking sockets that deliver frames in arbitrary fragments.
+//
+// The socket helpers below are the thin POSIX layer the server and client
+// share: loopback TCP listen/connect and nonblocking mode. Everything
+// returns -1 and fills *err instead of throwing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ap::net {
+
+// Default per-frame payload ceiling (largest suite source is ~10 KB; this
+// leaves three orders of magnitude of headroom for real programs while
+// bounding per-connection buffering).
+inline constexpr size_t kDefaultMaxFrame = 16 * 1024 * 1024;
+
+// Prepends the 4-byte big-endian length prefix.
+std::string encode_frame(std::string_view payload);
+
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame = kDefaultMaxFrame)
+      : max_frame_(max_frame) {}
+
+  // Append raw bytes received from the socket.
+  void feed(const char* data, size_t n);
+
+  // The next complete payload, or nullopt when more bytes are needed.
+  // After an oversized length prefix, enters a sticky error state:
+  // next() always returns nullopt and error() is true.
+  std::optional<std::string> next();
+
+  bool error() const { return error_; }
+  const std::string& error_message() const { return error_msg_; }
+
+  // Bytes currently buffered (partial frame), for tests.
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  size_t max_frame_;
+  bool error_ = false;
+  std::string error_msg_;
+};
+
+// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+// port). Returns the listening fd, or -1 with *err set. *bound_port
+// receives the actual port.
+int listen_tcp(int port, int* bound_port, std::string* err);
+
+// Blocking connect to host:port. Returns the fd, or -1 with *err set.
+int connect_tcp(const std::string& host, int port, std::string* err);
+
+bool set_nonblocking(int fd);
+
+// Sets SO_RCVTIMEO so blocking reads fail instead of hanging forever.
+bool set_recv_timeout_ms(int fd, int timeout_ms);
+
+}  // namespace ap::net

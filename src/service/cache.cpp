@@ -1,10 +1,12 @@
 #include "service/cache.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "fir/unparse.h"
 
@@ -127,11 +129,22 @@ std::optional<CompileResult> deserialize_result(std::string_view text) {
   return r;
 }
 
-ResultCache::ResultCache(size_t capacity, std::string disk_dir)
-    : capacity_(capacity < 1 ? 1 : capacity), disk_dir_(std::move(disk_dir)) {
+ResultCache::ResultCache(size_t capacity, std::string disk_dir,
+                         size_t disk_max_bytes)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      disk_dir_(std::move(disk_dir)),
+      disk_max_bytes_(disk_max_bytes) {
   if (!disk_dir_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(disk_dir_, ec);
+    // Pre-existing entries (warm restarts) count against the byte budget.
+    for (const auto& entry :
+         std::filesystem::directory_iterator(disk_dir_, ec)) {
+      if (entry.path().extension() != ".apc") continue;
+      std::error_code sec;
+      auto size = std::filesystem::file_size(entry.path(), sec);
+      if (!sec) stats_.disk_bytes += size;
+    }
   }
 }
 
@@ -170,9 +183,61 @@ void ResultCache::store(uint64_t key, const CompileResult& r) {
   insert_memory_locked(key, r);
   ++stats_.stores;
   if (!disk_dir_.empty()) {
-    std::ofstream f(disk_path(key), std::ios::binary | std::ios::trunc);
-    if (f) f << serialize_result(r);
+    const std::string path = disk_path(key);
+    std::error_code ec;
+    auto old_size = std::filesystem::file_size(path, ec);
+    if (!ec) stats_.disk_bytes -= std::min<uint64_t>(stats_.disk_bytes,
+                                                     old_size);
+    std::string payload = serialize_result(r);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (f) {
+      f << payload;
+      f.close();
+      stats_.disk_bytes += payload.size();
+      if (disk_max_bytes_ > 0 && stats_.disk_bytes > disk_max_bytes_)
+        evict_disk_locked(key);
+    }
   }
+}
+
+// Removes oldest-mtime .apc files until the tier fits the byte budget.
+// `keep_key` (the entry whose store triggered the eviction) is exempt so a
+// store can never evict its own result.
+void ResultCache::evict_disk_locked(uint64_t keep_key) {
+  namespace fs = std::filesystem;
+  struct DiskEntry {
+    fs::file_time_type mtime;
+    uint64_t size;
+    fs::path path;
+  };
+  std::vector<DiskEntry> entries;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(disk_dir_, ec)) {
+    if (entry.path().extension() != ".apc") continue;
+    std::error_code sec, tec;
+    uint64_t size = fs::file_size(entry.path(), sec);
+    auto mtime = fs::last_write_time(entry.path(), tec);
+    if (sec || tec) continue;
+    total += size;
+    entries.push_back({mtime, size, entry.path()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const DiskEntry& a, const DiskEntry& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;  // deterministic tie-break
+            });
+  const std::string keep = disk_path(keep_key);
+  for (const auto& e : entries) {
+    if (total <= disk_max_bytes_) break;
+    if (e.path == keep) continue;
+    std::error_code rec;
+    if (fs::remove(e.path, rec)) {
+      total -= e.size;
+      ++stats_.disk_evictions;
+    }
+  }
+  stats_.disk_bytes = total;
 }
 
 void ResultCache::insert_memory_locked(uint64_t key, const CompileResult& r) {

@@ -13,7 +13,10 @@
 //   disk   — optional, under `disk_dir`: one `<hex-key>.apc` file per
 //            entry, written on store and promoted into the memory tier on
 //            hit. Survives process restarts (warm service restarts, CI
-//            reruns). Unlimited; entries are only superseded, never stale.
+//            reruns). Entries are only superseded, never stale; an
+//            optional byte budget (`disk_max_bytes`, default unlimited)
+//            evicts oldest-mtime files on store so a long-lived daemon
+//            cannot grow the tier without bound.
 //
 // Only successful compilations are cached; failures re-run so their
 // diagnostics stay fresh.
@@ -71,7 +74,9 @@ struct CacheStats {
   uint64_t disk_hits = 0;
   uint64_t misses = 0;
   uint64_t stores = 0;
-  uint64_t evictions = 0;
+  uint64_t evictions = 0;       // memory-tier LRU evictions
+  uint64_t disk_evictions = 0;  // disk files removed by the byte budget
+  uint64_t disk_bytes = 0;      // current on-disk tier size
   uint64_t hits() const { return memory_hits + disk_hits; }
   uint64_t lookups() const { return hits() + misses; }
 };
@@ -80,7 +85,13 @@ class ResultCache {
  public:
   // `capacity` bounds the memory tier (entry count, >= 1); `disk_dir`
   // enables the disk tier when non-empty (created on demand).
-  explicit ResultCache(size_t capacity = 256, std::string disk_dir = "");
+  // `disk_max_bytes` caps the disk tier: when a store pushes the tier past
+  // the budget, oldest-mtime entries are removed until it fits (the entry
+  // just stored is never evicted by its own store). 0 = unlimited,
+  // preserving historical behavior. Pre-existing files in `disk_dir` are
+  // counted against the budget at construction.
+  explicit ResultCache(size_t capacity = 256, std::string disk_dir = "",
+                       size_t disk_max_bytes = 0);
 
   // Thread-safe. On hit the entry becomes most-recently-used; disk hits
   // are promoted into the memory tier.
@@ -97,10 +108,12 @@ class ResultCache {
 
  private:
   void insert_memory_locked(uint64_t key, const CompileResult& r);
+  void evict_disk_locked(uint64_t keep_key);
   std::string disk_path(uint64_t key) const;
 
   const size_t capacity_;
   const std::string disk_dir_;
+  const size_t disk_max_bytes_;
 
   mutable std::mutex mu_;
   // MRU-first list; map values point into it.

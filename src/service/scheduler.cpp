@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 
 namespace ap::service {
 
@@ -19,6 +20,41 @@ std::vector<CompileJob> suite_matrix(const driver::PipelineOptions& base) {
     }
   }
   return jobs;
+}
+
+std::string table2_summary(const std::vector<CompileJob>& jobs,
+                           const std::vector<CompileResult>& results) {
+  std::string out;
+  char line[256];
+  auto emit = [&](auto... args) {
+    std::snprintf(line, sizeof(line), args...);
+    out += line;
+  };
+  emit("%-8s | %-14s | %-24s | %-24s\n", "", "no-inlining",
+       "conventional inlining", "annotation-based inlining");
+  emit("%-8s | %5s %8s | %5s %5s %6s %8s | %5s %5s %6s %8s\n", "App", "#par",
+       "lines", "#par", "-loss", "+extra", "lines", "#par", "-loss", "+extra",
+       "lines");
+  for (size_t i = 0; i + 2 < results.size(); i += 3) {
+    const auto& none = results[i];
+    const auto& conv = results[i + 1];
+    const auto& annot = results[i + 2];
+    int loss_conv = 0, extra_conv = 0, loss_annot = 0, extra_annot = 0;
+    for (int64_t id : none.parallel_loops) {
+      if (!conv.parallel_loops.count(id)) ++loss_conv;
+      if (!annot.parallel_loops.count(id)) ++loss_annot;
+    }
+    for (int64_t id : conv.parallel_loops)
+      if (!none.parallel_loops.count(id)) ++extra_conv;
+    for (int64_t id : annot.parallel_loops)
+      if (!none.parallel_loops.count(id)) ++extra_annot;
+    emit("%-8s | %5zu %8zu | %5zu %5d %6d %8zu | %5zu %5d %6d %8zu\n",
+         jobs[i].app.name.c_str(), none.parallel_loops.size(), none.code_lines,
+         conv.parallel_loops.size(), loss_conv, extra_conv, conv.code_lines,
+         annot.parallel_loops.size(), loss_annot, extra_annot,
+         annot.code_lines);
+  }
+  return out;
 }
 
 Scheduler::Scheduler(const Options& opts)

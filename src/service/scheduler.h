@@ -33,6 +33,12 @@ struct CompileJob {
 // configuration), in deterministic (app, config) order.
 std::vector<CompileJob> suite_matrix(const driver::PipelineOptions& base = {});
 
+// The Table-II-style summary of a suite_matrix() batch (three configs
+// consecutively per app). Shared by apserve, apclient, and the e2e tests,
+// which compare the rendered text byte-for-byte across transports.
+std::string table2_summary(const std::vector<CompileJob>& jobs,
+                           const std::vector<CompileResult>& results);
+
 class Scheduler {
  public:
   struct Options {
@@ -52,6 +58,7 @@ class Scheduler {
   CompileResult run_one(const CompileJob& job);
 
   int threads() const { return pool_.size(); }
+  ResultCache* cache() const { return opts_.cache; }
 
  private:
   Options opts_;

@@ -15,29 +15,6 @@ std::string fmt_ms(double v) {
 
 }  // namespace
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
-
 void Telemetry::sample_queue_depth(int64_t depth) {
   std::lock_guard<std::mutex> lock(mu_);
   ++queue_samples_;
@@ -58,6 +35,12 @@ void Telemetry::record_exec(const ExecRecord& rec) {
 void Telemetry::record_cache_stats(const CacheStats& stats) {
   std::lock_guard<std::mutex> lock(mu_);
   cache_ = stats;
+}
+
+void Telemetry::record_server_stats(const ServerStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  server_ = stats;
+  has_server_ = true;
 }
 
 void Telemetry::record_batch_wall_ms(double ms) {
@@ -126,7 +109,18 @@ std::string Telemetry::to_json() const {
   s << "  \"cache\": {\"memory_hits\": " << cache_.memory_hits
     << ", \"disk_hits\": " << cache_.disk_hits
     << ", \"misses\": " << cache_.misses << ", \"stores\": " << cache_.stores
-    << ", \"evictions\": " << cache_.evictions << "},\n";
+    << ", \"evictions\": " << cache_.evictions
+    << ", \"disk_evictions\": " << cache_.disk_evictions
+    << ", \"disk_bytes\": " << cache_.disk_bytes << "},\n";
+  if (has_server_) {
+    s << "  \"server\": {\"connections\": " << server_.connections
+      << ", \"accepted\": " << server_.accepted
+      << ", \"completed\": " << server_.completed
+      << ", \"rejected_overload\": " << server_.rejected_overload
+      << ", \"timed_out\": " << server_.timed_out
+      << ", \"protocol_errors\": " << server_.protocol_errors
+      << ", \"queue_depth_peak\": " << server_.queue_depth_peak << "},\n";
+  }
   double queue_mean =
       queue_samples_ ? static_cast<double>(queue_depth_sum_) /
                            static_cast<double>(queue_samples_)

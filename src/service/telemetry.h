@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "service/cache.h"
+#include "support/json.h"
 
 namespace ap::service {
 
@@ -45,6 +46,20 @@ struct ExecRecord {
   uint64_t statements_parallel = 0;
 };
 
+// Counters from the network serving layer (src/net): connection and
+// request admission outcomes plus the admission-queue high-water mark.
+// Recorded by the server when it drains; rendered as the report's
+// "server" section.
+struct ServerStats {
+  uint64_t connections = 0;        // TCP connections accepted
+  uint64_t accepted = 0;           // requests admitted to the work queue
+  uint64_t completed = 0;          // responses delivered for accepted work
+  uint64_t rejected_overload = 0;  // answered `overloaded` (full queue/drain)
+  uint64_t timed_out = 0;          // answered `deadline_exceeded`
+  uint64_t protocol_errors = 0;    // malformed or oversized frames
+  int64_t queue_depth_peak = 0;    // admission-queue high-water mark
+};
+
 class Telemetry {
  public:
   // Thread-safe; called by scheduler lanes while a batch is in flight.
@@ -54,6 +69,7 @@ class Telemetry {
   void record_job(const JobRecord& rec);
   void record_exec(const ExecRecord& rec);
   void record_cache_stats(const CacheStats& stats);
+  void record_server_stats(const ServerStats& stats);
   void record_batch_wall_ms(double ms);
   void record_threads(int threads);
 
@@ -71,6 +87,8 @@ class Telemetry {
   std::vector<JobRecord> jobs_;
   std::vector<ExecRecord> execs_;
   CacheStats cache_;
+  ServerStats server_;
+  bool has_server_ = false;  // "server" section emitted only when recorded
   double batch_wall_ms_ = 0;
   int threads_ = 1;
   int64_t queue_samples_ = 0;
@@ -78,7 +96,8 @@ class Telemetry {
   int64_t queue_depth_sum_ = 0;
 };
 
-// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string json_escape(std::string_view s);
+// JSON string escaping, shared with the wire protocol (support/json.h);
+// kept under its historical name for existing callers.
+inline std::string json_escape(std::string_view s) { return json::escape(s); }
 
 }  // namespace ap::service

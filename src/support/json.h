@@ -1,0 +1,109 @@
+// Minimal JSON: a value model, a strict recursive-descent parser, and a
+// deterministic serializer. One implementation serves every producer and
+// consumer of JSON in the tree — the service telemetry report (which
+// previously owned the escaping helper) and the network wire protocol
+// (src/net), which must also *parse* untrusted payloads.
+//
+// Design constraints, in order:
+//   - Deterministic output: objects preserve insertion order (no hash-map
+//     reordering), numbers round-trip via the shortest %g form that parses
+//     back exactly, so identical inputs serialize to identical bytes.
+//   - Hostile input is survivable: the parser enforces a nesting-depth
+//     limit, rejects trailing garbage, and never throws — a malformed wire
+//     frame must degrade to a protocol error, not a crash.
+//   - Integers up to 2^63-1 are preserved exactly (statement counters and
+//     byte sizes exceed double's 2^53 integer range).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ap::json {
+
+// Escape for embedding inside a JSON string literal (quotes, backslashes,
+// control characters; no surrounding quotes added).
+std::string escape(std::string_view s);
+
+class Value {
+ public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() = default;
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(int v) : kind_(Kind::Int), int_(v) {}
+  Value(int64_t v) : kind_(Kind::Int), int_(v) {}
+  Value(uint64_t v) : kind_(Kind::Int), int_(static_cast<int64_t>(v)) {}
+  Value(double v) : kind_(Kind::Double), double_(v) {}
+  Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Value(std::string_view s) : kind_(Kind::String), string_(s) {}
+  Value(const char* s) : kind_(Kind::String), string_(s) {}
+
+  static Value array() { Value v; v.kind_ = Kind::Array; return v; }
+  static Value object() { Value v; v.kind_ = Kind::Object; return v; }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Int || kind_ == Kind::Double; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  // Typed readers with defaults (no throwing on kind mismatch).
+  bool as_bool(bool def = false) const {
+    return kind_ == Kind::Bool ? bool_ : def;
+  }
+  int64_t as_int(int64_t def = 0) const {
+    if (kind_ == Kind::Int) return int_;
+    if (kind_ == Kind::Double) return static_cast<int64_t>(double_);
+    return def;
+  }
+  double as_double(double def = 0) const {
+    if (kind_ == Kind::Double) return double_;
+    if (kind_ == Kind::Int) return static_cast<double>(int_);
+    return def;
+  }
+  const std::string& as_string() const {
+    static const std::string empty;
+    return kind_ == Kind::String ? string_ : empty;
+  }
+
+  // Array access. push() asserts nothing: on a non-array it first becomes
+  // an empty array (builder convenience).
+  void push(Value v);
+  const std::vector<Value>& items() const { return items_; }
+  size_t size() const;
+
+  // Object access. Keys keep insertion order; set() overwrites in place.
+  Value& set(std::string_view key, Value v);
+  const Value* find(std::string_view key) const;  // nullptr when absent
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  // Serialize. indent < 0: compact single line; indent >= 0: pretty-print
+  // with that many leading spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+// Strict parse of exactly one JSON document (trailing whitespace allowed,
+// trailing content is an error). Returns nullopt on any syntax error, with
+// a human-readable reason in *error when provided. Never throws.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace ap::json

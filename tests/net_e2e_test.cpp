@@ -1,0 +1,194 @@
+// End-to-end equivalence for the serving layer: an in-process apserved
+// core on an ephemeral port, the full 12×3 evaluation matrix driven
+// through the client path, and byte-identical results against in-process
+// compilation — the wire adds a transport, never a semantic.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "service/scheduler.h"
+
+namespace ap {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ap_net_e2e_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+net::Request to_request(const service::CompileJob& job) {
+  net::Request req;
+  req.type = net::RequestType::Compile;
+  req.name = job.app.name;
+  req.source = job.app.source;
+  req.annotations = job.app.annotations;
+  req.options = job.opts;
+  return req;
+}
+
+// Submit every job over `connections` parallel client connections;
+// results land in job-index slots.
+std::vector<net::Response> submit_matrix(
+    int port, const std::vector<service::CompileJob>& jobs, int connections,
+    net::RequestType type = net::RequestType::Compile,
+    interp::InterpOptions interp = {}) {
+  std::vector<net::Response> responses(jobs.size());
+  std::atomic<size_t> next{0};
+  auto lane = [&]() {
+    net::Client client;
+    std::string err;
+    ASSERT_TRUE(client.connect(port, &err, 120'000)) << err;
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      net::Request req = to_request(jobs[i]);
+      req.type = type;
+      req.interp = interp;
+      ASSERT_TRUE(client.call(std::move(req), &responses[i], &err))
+          << jobs[i].app.name << ": " << err;
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 1; i < connections; ++i) threads.emplace_back(lane);
+  lane();
+  for (auto& t : threads) t.join();
+  return responses;
+}
+
+TEST(NetE2E, MatrixOverWireMatchesInProcess) {
+  TempDir dir("matrix");
+  service::ResultCache cache(64, (dir.path / "cache").string());
+  service::Scheduler::Options so;
+  so.threads = 1;
+  so.cache = &cache;
+  service::Scheduler scheduler(so);
+
+  net::ServerOptions nopts;
+  nopts.threads = 2;
+  nopts.scheduler = &scheduler;
+  nopts.request_timeout_ms = 120'000;
+  net::Server server(nopts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ASSERT_GT(server.port(), 0);
+
+  auto jobs = service::suite_matrix();
+
+  // Cold pass over the wire, two connections.
+  auto cold = submit_matrix(server.port(), jobs, 2);
+  std::vector<service::CompileResult> wire_results(jobs.size());
+  size_t cold_hits = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(cold[i].status, net::Status::Ok)
+        << jobs[i].app.name << ": " << cold[i].error;
+    ASSERT_TRUE(cold[i].has_result);
+    wire_results[i] = cold[i].result;
+    if (cold[i].result.cache_hit) ++cold_hits;
+  }
+
+  // The wire path must reproduce in-process compilation exactly: same
+  // verdicts, same line counts, same emitted program text.
+  std::vector<service::CompileResult> local_results(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    local_results[i] =
+        service::to_compile_result(driver::run_pipeline(jobs[i].app,
+                                                        jobs[i].opts));
+    EXPECT_EQ(wire_results[i].ok, local_results[i].ok) << jobs[i].app.name;
+    EXPECT_EQ(wire_results[i].parallel_loops, local_results[i].parallel_loops)
+        << jobs[i].app.name;
+    EXPECT_EQ(wire_results[i].code_lines, local_results[i].code_lines)
+        << jobs[i].app.name;
+    EXPECT_EQ(wire_results[i].program_text, local_results[i].program_text)
+        << jobs[i].app.name;
+  }
+
+  // And therefore the same Table II.
+  EXPECT_EQ(service::table2_summary(jobs, wire_results),
+            service::table2_summary(jobs, local_results));
+
+  // Warm pass: every response served from cache (>= 0.9 required, full
+  // hit expected — the matrix is deterministic).
+  auto warm = submit_matrix(server.port(), jobs, 2);
+  size_t warm_hits = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(warm[i].status, net::Status::Ok) << warm[i].error;
+    EXPECT_EQ(warm[i].result.parallel_loops, wire_results[i].parallel_loops);
+    if (warm[i].result.cache_hit) ++warm_hits;
+  }
+  EXPECT_GE(static_cast<double>(warm_hits) / jobs.size(), 0.9);
+
+  server.begin_drain();
+  server.wait();
+  service::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, stats.completed);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(NetE2E, RunOverWireMatchesInProcessExecution) {
+  service::Scheduler::Options so;
+  so.threads = 1;
+  service::Scheduler scheduler(so);
+  net::ServerOptions nopts;
+  nopts.threads = 1;
+  nopts.scheduler = &scheduler;
+  nopts.request_timeout_ms = 120'000;
+  net::Server server(nopts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  interp::InterpOptions io;
+  io.engine = interp::Engine::Bytecode;
+  io.num_threads = 2;  // deterministic: reductions merge in thread order
+
+  // One representative app per inlining config.
+  std::vector<service::CompileJob> jobs;
+  for (auto cfg :
+       {driver::InlineConfig::None, driver::InlineConfig::Conventional,
+        driver::InlineConfig::Annotation}) {
+    service::CompileJob j;
+    j.app = *suite::find_app("QCD");
+    j.opts.config = cfg;
+    jobs.push_back(std::move(j));
+  }
+
+  auto responses =
+      submit_matrix(server.port(), jobs, 1, net::RequestType::Run, io);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(responses[i].status, net::Status::Ok) << responses[i].error;
+    ASSERT_TRUE(responses[i].has_run);
+    EXPECT_TRUE(responses[i].run.ok) << responses[i].run.error;
+
+    auto pr = driver::run_pipeline(jobs[i].app, jobs[i].opts);
+    ASSERT_TRUE(pr.ok && pr.program);
+    interp::Interpreter local(*pr.program, io);
+    interp::RunResult lr = local.run();
+    ASSERT_TRUE(lr.ok) << lr.error;
+    EXPECT_EQ(responses[i].run.output, lr.output)
+        << driver::config_name(jobs[i].opts.config);
+    EXPECT_EQ(responses[i].run.statements, lr.statements_executed);
+    EXPECT_EQ(responses[i].run.statements_parallel, lr.statements_in_parallel);
+  }
+
+  server.begin_drain();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace ap

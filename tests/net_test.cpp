@@ -1,0 +1,526 @@
+// Protocol-hardening tests for the serving layer (src/net): wire framing,
+// options/message round-trips, and a live in-process server driven through
+// hostile inputs — truncated frames, oversized length prefixes, garbage
+// JSON, half-open disconnects, overload, deadlines, drain. The server must
+// answer with structured errors, never crash, and never leak an fd.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "suite/suite.h"
+
+namespace ap {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(Framing, EncodeDecodeRoundTrip) {
+  std::string frame = net::encode_frame("hello");
+  ASSERT_EQ(frame.size(), 9u);
+  EXPECT_EQ(frame.substr(4), "hello");
+  net::FrameReader r;
+  r.feed(frame.data(), frame.size());
+  auto payload = r.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "hello");
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST(Framing, ByteAtATimeDelivery) {
+  std::string frame = net::encode_frame("fragmented payload") +
+                      net::encode_frame("second");
+  net::FrameReader r;
+  std::vector<std::string> got;
+  for (char c : frame) {
+    r.feed(&c, 1);
+    while (auto p = r.next()) got.push_back(*p);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "fragmented payload");
+  EXPECT_EQ(got[1], "second");
+}
+
+TEST(Framing, TruncatedFrameIsNotAnError) {
+  std::string frame = net::encode_frame("truncated");
+  net::FrameReader r;
+  r.feed(frame.data(), frame.size() - 3);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.error());
+  r.feed(frame.data() + frame.size() - 3, 3);
+  auto payload = r.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "truncated");
+}
+
+TEST(Framing, OversizedPrefixIsStickyError) {
+  net::FrameReader r(/*max_frame=*/64);
+  std::string frame = net::encode_frame(std::string(65, 'x'));
+  r.feed(frame.data(), frame.size());
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_TRUE(r.error());
+  EXPECT_NE(r.error_message().find("exceeds maximum"), std::string::npos);
+  // Sticky: later well-formed frames are not resynchronized.
+  std::string ok = net::encode_frame("ok");
+  r.feed(ok.data(), ok.size());
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_TRUE(r.error());
+}
+
+TEST(Framing, EmptyPayloadRoundTrips) {
+  std::string frame = net::encode_frame("");
+  net::FrameReader r;
+  r.feed(frame.data(), frame.size());
+  auto payload = r.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "");
+}
+
+// ---------------------------------------------------------------------------
+// Message round-trips
+// ---------------------------------------------------------------------------
+
+driver::PipelineOptions nondefault_pipeline_options() {
+  driver::PipelineOptions o;
+  o.config = driver::InlineConfig::Conventional;
+  o.par.min_trip = 7;
+  o.par.normalize = false;
+  o.par.mark_nested = true;
+  o.par.use_banerjee = false;
+  o.par.use_siv_refinement = false;
+  o.par.collect_all_blockers = true;
+  o.conv.max_stmts = 99;
+  o.conv.max_callee_calls = 3;
+  o.conv.require_in_loop = false;
+  o.conv.eliminate_dead_units = false;
+  o.conv.max_passes = 5;
+  o.annot.require_in_loop = false;
+  o.reverse.tolerate_reordering = false;
+  o.reverse.tolerate_forward_subst = false;
+  o.reverse.tolerate_literals = false;
+  o.reverse.fallback_to_hints = false;
+  return o;
+}
+
+TEST(Protocol, RequestRoundTripPreservesEveryField) {
+  for (auto type : {net::RequestType::Compile, net::RequestType::Run,
+                    net::RequestType::Metrics, net::RequestType::Ping}) {
+    net::Request r;
+    r.type = type;
+    r.id = 42;
+    r.name = "APP \"quoted\"";
+    r.source = "      PROGRAM X\n      END\n";
+    r.annotations = "inline matmlt\n";
+    r.options = nondefault_pipeline_options();
+    r.interp.num_threads = 3;
+    r.interp.enable_parallel = false;
+    r.interp.max_steps = 12345;
+    r.interp.check_bounds = false;
+    r.interp.engine = interp::Engine::Tree;
+    r.deadline_ms = 777;
+
+    net::Request back;
+    std::string err;
+    ASSERT_TRUE(net::request_from_json(net::request_to_json(r), &back, &err))
+        << net::request_type_name(type) << ": " << err;
+    EXPECT_EQ(back.type, r.type);
+    EXPECT_EQ(back.id, r.id);
+    // ping/metrics intentionally carry no payload; the interp encoding
+    // rides only on run requests.
+    bool has_payload = type == net::RequestType::Compile ||
+                       type == net::RequestType::Run;
+    if (!has_payload) continue;
+    EXPECT_EQ(back.name, r.name);
+    EXPECT_EQ(back.source, r.source);
+    EXPECT_EQ(back.annotations, r.annotations);
+    EXPECT_EQ(back.deadline_ms, r.deadline_ms);
+    // Options fingerprint covers every PipelineOptions field, so equality
+    // there is equality everywhere.
+    EXPECT_EQ(service::options_fingerprint(back.options),
+              service::options_fingerprint(r.options));
+    if (type != net::RequestType::Run) continue;
+    EXPECT_EQ(back.interp.num_threads, 3);
+    EXPECT_FALSE(back.interp.enable_parallel);
+    EXPECT_EQ(back.interp.max_steps, 12345);
+    EXPECT_FALSE(back.interp.check_bounds);
+    EXPECT_EQ(back.interp.engine, interp::Engine::Tree);
+  }
+}
+
+TEST(Protocol, ResponseRoundTripEveryStatus) {
+  for (auto status :
+       {net::Status::Ok, net::Status::Error, net::Status::Overloaded,
+        net::Status::DeadlineExceeded, net::Status::ProtocolError}) {
+    net::Response r;
+    r.id = 9;
+    r.status = status;
+    r.error = "reason\nwith newline";
+    r.has_result = true;
+    r.result.ok = true;
+    r.result.cache_hit = true;
+    r.result.parallel_loops = {3, 17, 42};
+    r.result.code_lines = 120;
+    r.result.dep_tests = 55;
+    r.result.dep_tests_unique = 33;
+    r.result.program_text = "      PROGRAM X\n      END\n";
+    r.has_run = true;
+    r.run.ok = true;
+    r.run.output = "CHECKSUM 1.5\n";
+    r.run.statements = 1000;
+    r.run.statements_parallel = 900;
+    r.run.instructions = 5000;
+    r.run.wall_ms = 1.25;
+
+    net::Response back;
+    std::string err;
+    ASSERT_TRUE(net::response_from_json(net::response_to_json(r), &back, &err))
+        << net::status_name(status) << ": " << err;
+    EXPECT_EQ(back.status, r.status);
+    EXPECT_EQ(back.id, r.id);
+    EXPECT_EQ(back.error, r.error);
+    ASSERT_TRUE(back.has_result);
+    EXPECT_EQ(back.result.parallel_loops, r.result.parallel_loops);
+    EXPECT_EQ(back.result.code_lines, r.result.code_lines);
+    EXPECT_EQ(back.result.dep_tests, r.result.dep_tests);
+    EXPECT_EQ(back.result.dep_tests_unique, r.result.dep_tests_unique);
+    EXPECT_EQ(back.result.program_text, r.result.program_text);
+    EXPECT_TRUE(back.result.cache_hit);
+    ASSERT_TRUE(back.has_run);
+    EXPECT_EQ(back.run.output, r.run.output);
+    EXPECT_EQ(back.run.statements, r.run.statements);
+    EXPECT_EQ(back.run.statements_parallel, r.run.statements_parallel);
+    EXPECT_EQ(back.run.instructions, r.run.instructions);
+    EXPECT_DOUBLE_EQ(back.run.wall_ms, r.run.wall_ms);
+  }
+}
+
+TEST(Protocol, RejectsWrongVersionAndMissingFields) {
+  net::Request out;
+  std::string err;
+  auto doc = json::parse(R"({"v": 99, "type": "ping", "id": 1})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(net::request_from_json(*doc, &out, &err));
+  EXPECT_NE(err.find("version"), std::string::npos);
+
+  doc = json::parse(R"({"v": 1, "type": "compile", "id": 1})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(net::request_from_json(*doc, &out, &err));
+
+  doc = json::parse(R"({"v": 1, "type": "nonsense", "id": 1})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(net::request_from_json(*doc, &out, &err));
+}
+
+// ---------------------------------------------------------------------------
+// Live server
+// ---------------------------------------------------------------------------
+
+int open_fd_count() {
+  int n = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator("/proc/self/fd"))
+    ++n;
+  return n;
+}
+
+// A program whose execution is long enough to observe queueing (hundreds
+// of milliseconds on the tree engine).
+suite::BenchmarkApp spin_app() {
+  suite::BenchmarkApp app;
+  app.name = "SPIN";
+  app.source = "      PROGRAM SPIN\n"
+               "      REAL A(10)\n"
+               "      INTEGER I, J\n"
+               "      DO 20 J = 1, 2000000\n"
+               "      DO 10 I = 1, 10\n"
+               "        A(I) = A(I) + 1.0\n"
+               "   10 CONTINUE\n"
+               "   20 CONTINUE\n"
+               "      END\n";
+  return app;
+}
+
+suite::BenchmarkApp quick_app() {
+  suite::BenchmarkApp app;
+  app.name = "QUICK";
+  app.source = "      PROGRAM QUICK\n"
+               "      REAL A(10)\n"
+               "      INTEGER I\n"
+               "      DO 10 I = 1, 10\n"
+               "        A(I) = I * 2.0\n"
+               "   10 CONTINUE\n"
+               "      END\n";
+  return app;
+}
+
+struct LiveServer {
+  service::ResultCache cache{64};
+  service::Scheduler scheduler;
+  net::Server server;
+
+  explicit LiveServer(net::ServerOptions opts = {})
+      : scheduler(make_sched_opts()), server(patch(opts)) {
+    std::string err;
+    if (!server.start(&err)) ADD_FAILURE() << "server start failed: " << err;
+  }
+
+  service::Scheduler::Options make_sched_opts() {
+    service::Scheduler::Options so;
+    so.threads = 1;
+    so.cache = &cache;
+    return so;
+  }
+
+  net::ServerOptions patch(net::ServerOptions opts) {
+    opts.port = 0;
+    opts.scheduler = &scheduler;
+    return opts;
+  }
+
+  ~LiveServer() {
+    server.begin_drain();
+    server.wait();
+  }
+};
+
+net::Request compile_request(const suite::BenchmarkApp& app) {
+  net::Request req;
+  req.type = net::RequestType::Compile;
+  req.name = app.name;
+  req.source = app.source;
+  req.annotations = app.annotations;
+  return req;
+}
+
+net::Request run_request(const suite::BenchmarkApp& app) {
+  net::Request req = compile_request(app);
+  req.type = net::RequestType::Run;
+  req.interp.engine = interp::Engine::Tree;
+  req.interp.num_threads = 1;
+  req.interp.max_steps = 100'000'000;
+  return req;
+}
+
+TEST(Server, PingMetricsAndCompile) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  net::Request ping;
+  ping.type = net::RequestType::Ping;
+  net::Response resp;
+  ASSERT_TRUE(client.call(std::move(ping), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+
+  net::Response cresp;
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &cresp, &err)) << err;
+  EXPECT_EQ(cresp.status, net::Status::Ok);
+  ASSERT_TRUE(cresp.has_result);
+  EXPECT_TRUE(cresp.result.ok);
+  EXPECT_FALSE(cresp.result.cache_hit);
+  EXPECT_EQ(cresp.result.parallel_loops.size(), 1u);
+
+  // Identical resubmission is a cache hit.
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &cresp, &err)) << err;
+  EXPECT_EQ(cresp.status, net::Status::Ok);
+  EXPECT_TRUE(cresp.result.cache_hit);
+
+  net::Request metrics;
+  metrics.type = net::RequestType::Metrics;
+  ASSERT_TRUE(client.call(std::move(metrics), &resp, &err)) << err;
+  ASSERT_TRUE(resp.metrics.is_object());
+  const json::Value* cache = resp.metrics.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->find("memory_hits")->as_int(), 1);
+  const json::Value* server = resp.metrics.find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_GE(server->find("accepted")->as_int(), 2);
+}
+
+TEST(Server, GarbageJsonDrawsProtocolErrorAndClose) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+  ASSERT_TRUE(client.send_frame("this is not json {", &err)) << err;
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  net::Response resp;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::ProtocolError);
+  // The server closes after a protocol error.
+  EXPECT_FALSE(client.recv_frame(&err).has_value());
+  EXPECT_GE(live.server.stats().protocol_errors, 1u);
+}
+
+TEST(Server, OversizedPrefixDrawsProtocolErrorAndClose) {
+  net::ServerOptions opts;
+  opts.max_frame_bytes = 1024;
+  LiveServer live(opts);
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+  // 4-byte prefix announcing 1 GiB; no payload needed to trip the limit.
+  std::string prefix = {0x40, 0x00, 0x00, 0x00};
+  ASSERT_TRUE(client.send_raw(prefix, &err)) << err;
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  net::Response resp;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::ProtocolError);
+  EXPECT_FALSE(client.recv_frame(&err).has_value());
+}
+
+TEST(Server, WellFormedFrameBadRequestDrawsProtocolError) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+  ASSERT_TRUE(client.send_frame(R"({"v": 1, "type": "compile"})", &err));
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  net::Response resp;
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::ProtocolError);
+}
+
+TEST(Server, HalfOpenDisconnectMidRequestLeaksNoFd) {
+  LiveServer live;
+  int fds_before = open_fd_count();
+  for (int round = 0; round < 3; ++round) {
+    net::Client client;
+    std::string err;
+    ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+    // Half a frame: a correct prefix announcing more bytes than we send.
+    std::string frame =
+        net::encode_frame(net::request_to_json(compile_request(quick_app()))
+                              .dump());
+    ASSERT_TRUE(client.send_raw(
+        std::string_view(frame).substr(0, frame.size() / 2), &err));
+    client.close();  // disconnect mid-request
+  }
+  // Give the loop a moment to reap the closed sockets.
+  for (int i = 0; i < 50; ++i) {
+    if (open_fd_count() <= fds_before) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(open_fd_count(), fds_before);
+
+  // The server remains fully usable.
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+  net::Response resp;
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+}
+
+TEST(Server, OverloadDrawsStructuredRejection) {
+  net::ServerOptions opts;
+  opts.threads = 1;
+  opts.max_queue = 1;
+  opts.request_timeout_ms = 0;  // no deadlines in this test
+  LiveServer live(opts);
+
+  // Occupy the single worker with a slow run, then fill the queue.
+  net::Client blocker;
+  std::string err;
+  ASSERT_TRUE(blocker.connect(live.server.port(), &err, 60'000)) << err;
+  ASSERT_TRUE(
+      blocker.send_frame(net::request_to_json(run_request(spin_app())).dump(),
+                         &err))
+      << err;
+  // Wait until the worker has picked the job up (queue empty again).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  net::Client filler;
+  ASSERT_TRUE(filler.connect(live.server.port(), &err, 60'000)) << err;
+  ASSERT_TRUE(filler.send_frame(
+      net::request_to_json(compile_request(quick_app())).dump(), &err));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Queue now holds one request; the next must be rejected immediately.
+  net::Client rejected;
+  ASSERT_TRUE(rejected.connect(live.server.port(), &err, 60'000)) << err;
+  net::Response resp;
+  ASSERT_TRUE(rejected.call(compile_request(quick_app()), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Overloaded);
+  EXPECT_GE(live.server.stats().rejected_overload, 1u);
+
+  // The accepted requests are still answered — never dropped.
+  auto blocked_payload = blocker.recv_frame(&err);
+  ASSERT_TRUE(blocked_payload.has_value()) << err;
+  auto filled_payload = filler.recv_frame(&err);
+  ASSERT_TRUE(filled_payload.has_value()) << err;
+}
+
+TEST(Server, DeadlineExceededWhileRunning) {
+  net::ServerOptions opts;
+  opts.threads = 1;
+  LiveServer live(opts);
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 60'000)) << err;
+  net::Request req = run_request(spin_app());
+  req.deadline_ms = 100;  // far less than the spin takes
+  net::Response resp;
+  ASSERT_TRUE(client.call(std::move(req), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::DeadlineExceeded);
+  EXPECT_GE(live.server.stats().timed_out, 1u);
+
+  // The worker eventually finishes the abandoned job and the server stays
+  // healthy for new work on the same connection.
+  net::Response ok;
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &ok, &err)) << err;
+  EXPECT_EQ(ok.status, net::Status::Ok);
+}
+
+TEST(Server, DrainRejectsNewWorkAndFinishesAccepted) {
+  net::ServerOptions opts;
+  opts.threads = 1;
+  opts.request_timeout_ms = 0;
+  LiveServer live(opts);
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 60'000)) << err;
+  // An in-flight slow request...
+  ASSERT_TRUE(
+      client.send_frame(net::request_to_json(run_request(spin_app())).dump(),
+                        &err));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // ...then drain. The accepted request must still be answered.
+  live.server.begin_drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(live.server.draining());
+
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  net::Response resp;
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+
+  live.server.wait();
+  service::ServerStats stats = live.server.stats();
+  EXPECT_EQ(stats.accepted, stats.completed + stats.timed_out);
+}
+
+}  // namespace
+}  // namespace ap

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -206,6 +207,81 @@ TEST(ResultCache, DiskTierRoundTrip) {
   // Promoted: the next lookup is a memory hit.
   EXPECT_TRUE(sched.run_one(j).cache_hit);
   EXPECT_EQ(cache.stats().memory_hits, 1u);
+}
+
+TEST(ResultCache, DiskBudgetEvictsOldestEntries) {
+  TempDir dir("budget");
+  // Budget sized to hold roughly two serialized tiny-app entries: storing
+  // a third must evict the oldest file.
+  auto a = tiny_job("A"), b = tiny_job("B"), c = tiny_job("C");
+  b.app.source += "*\n";
+  c.app.source += "**\n";
+
+  size_t one_entry;
+  {
+    service::ResultCache probe(8, (dir.path / "probe").string());
+    service::Scheduler::Options so;
+    so.cache = &probe;
+    service::Scheduler(so).run_one(a);
+    one_entry = probe.stats().disk_bytes;
+    ASSERT_GT(one_entry, 0u);
+  }
+
+  service::ResultCache cache(8, (dir.path / "capped").string(),
+                             /*disk_max_bytes=*/one_entry * 2 + one_entry / 2);
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  service::Scheduler sched(so);
+  sched.run_one(a);
+  // Distinct mtimes so "oldest" is well defined at filesystem resolution.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  sched.run_one(b);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  sched.run_one(c);
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.disk_evictions, 1u);
+  EXPECT_LE(stats.disk_bytes, one_entry * 2 + one_entry / 2);
+
+  // A fresh cache over the directory confirms which entries survived on
+  // disk: the oldest (A) is gone, B and C remain.
+  service::ResultCache fresh(8, (dir.path / "capped").string());
+  service::Scheduler::Options fo;
+  fo.cache = &fresh;
+  service::Scheduler fsched(fo);
+  EXPECT_FALSE(fsched.run_one(a).cache_hit);
+  EXPECT_TRUE(fsched.run_one(b).cache_hit);
+  EXPECT_TRUE(fsched.run_one(c).cache_hit);
+}
+
+TEST(ResultCache, DiskBudgetCountsPreexistingFiles) {
+  TempDir dir("preexist");
+  auto j = tiny_job();
+  {
+    service::ResultCache cache(8, dir.path.string());
+    service::Scheduler::Options so;
+    so.cache = &cache;
+    service::Scheduler(so).run_one(j);
+  }
+  // A new instance over the same directory starts with the tier's real
+  // size, not zero.
+  service::ResultCache cache(8, dir.path.string());
+  EXPECT_GT(cache.stats().disk_bytes, 0u);
+}
+
+TEST(ResultCache, UnlimitedBudgetNeverEvicts) {
+  TempDir dir("unlimited");
+  service::ResultCache cache(8, dir.path.string());  // disk_max_bytes = 0
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  service::Scheduler sched(so);
+  for (int i = 0; i < 6; ++i) {
+    auto j = tiny_job("APP" + std::to_string(i));
+    j.app.source += std::string(static_cast<size_t>(i) + 1, '*') + "\n";
+    sched.run_one(j);
+  }
+  EXPECT_EQ(cache.stats().disk_evictions, 0u);
+  EXPECT_EQ(cache.stats().stores, 6u);
 }
 
 TEST(ResultCache, FailedCompilationsAreNotCached) {

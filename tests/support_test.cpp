@@ -5,6 +5,7 @@
 #include "annot/parser.h"
 #include "suite/suite.h"
 #include "support/diagnostics.h"
+#include "support/json.h"
 #include "support/text.h"
 
 namespace ap {
@@ -95,6 +96,74 @@ TEST(Suite, AnnotatedAppsHaveParsableAnnotations) {
     annot::AnnotationRegistry reg;
     EXPECT_TRUE(reg.add(a.annotations, d)) << a.name << ": " << d.render_all();
     EXPECT_GE(reg.size(), 1u) << a.name;
+  }
+}
+
+TEST(Json, EscapeSpecials) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json::escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(Json, BuildAndDumpDeterministic) {
+  json::Value obj = json::Value::object();
+  obj.set("b", 2).set("a", 1).set("b", 3);  // overwrite keeps position
+  json::Value arr = json::Value::array();
+  arr.push(true);
+  arr.push("x");
+  arr.push(json::Value());
+  obj.set("arr", std::move(arr));
+  EXPECT_EQ(obj.dump(), R"({"b": 3, "a": 1, "arr": [true, "x", null]})");
+}
+
+TEST(Json, ParseRoundTripsTypes) {
+  auto v = json::parse(
+      R"({"i": -42, "big": 9007199254740993, "d": 1.5, "s": "é\n",)"
+      R"( "t": true, "n": null, "nested": {"a": [1, 2]}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("i")->as_int(), -42);
+  // Past double's 2^53 integer range; must survive as int64.
+  EXPECT_EQ(v->find("big")->as_int(), 9007199254740993LL);
+  EXPECT_DOUBLE_EQ(v->find("d")->as_double(), 1.5);
+  EXPECT_EQ(v->find("s")->as_string(), "\xc3\xa9\n");
+  EXPECT_TRUE(v->find("t")->as_bool());
+  EXPECT_TRUE(v->find("n")->is_null());
+  ASSERT_NE(v->find("nested"), nullptr);
+  EXPECT_EQ(v->find("nested")->find("a")->items()[1].as_int(), 2);
+  // Dump then re-parse is a fixed point.
+  auto again = json::parse(v->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->dump(), v->dump());
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(json::parse("", &err).has_value());
+  EXPECT_FALSE(json::parse("{", &err).has_value());
+  EXPECT_FALSE(json::parse("[1,]", &err).has_value());
+  EXPECT_FALSE(json::parse("{\"a\": 1} trailing", &err).has_value());
+  EXPECT_FALSE(json::parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(json::parse("{'a': 1}", &err).has_value());
+  EXPECT_FALSE(json::parse("nul", &err).has_value());
+  // Raw control characters inside strings are invalid JSON.
+  EXPECT_FALSE(json::parse("\"a\nb\"", &err).has_value());
+}
+
+TEST(Json, ParseRejectsExcessiveNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  std::string err;
+  EXPECT_FALSE(json::parse(deep, &err).has_value());
+  EXPECT_NE(err.find("deep"), std::string::npos);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (double d : {0.1, 1.0 / 3.0, 1e-300, 123456789.123456789}) {
+    json::Value v(d);
+    auto back = json::parse(v.dump());
+    ASSERT_TRUE(back.has_value()) << v.dump();
+    EXPECT_EQ(back->as_double(), d) << v.dump();
   }
 }
 
