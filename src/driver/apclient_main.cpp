@@ -30,6 +30,11 @@
 //                        any mismatch in verdicts or program text
 //   --min-hit-rate F     (--matrix) exit 2 unless the server answered at
 //                        least this fraction of jobs from cache
+//   --stop-after PASS    stop the pipeline after the named pass (parse,
+//                        conv-inline, annot-inline, normalize, parallelize,
+//                        reverse-inline, collect-metrics)
+//   --print-after PASS   print the program as unparsed after the named
+//                        pass (single-shot modes print it to stdout)
 //   --deadline-ms N      per-request deadline override
 //   --timeout-ms N       client-side receive timeout (default 120000)
 //   --quiet              suppress the Table II summary
@@ -68,6 +73,8 @@ struct Args {
   double min_hit_rate = -1;
   int64_t deadline_ms = 0;
   int timeout_ms = 120'000;
+  std::string stop_after;
+  std::string print_after;
 };
 
 [[noreturn]] void usage_error(const char* msg) {
@@ -76,7 +83,8 @@ struct Args {
                "| --matrix | --ping | --metrics] [--annot FILE] "
                "[--config none|conv|annot] [--run] [--engine tree|bytecode] "
                "[--run-threads N] [--connections N] [--check] "
-               "[--min-hit-rate F] [--deadline-ms N] [--timeout-ms N] "
+               "[--min-hit-rate F] [--stop-after PASS] [--print-after PASS] "
+               "[--deadline-ms N] [--timeout-ms N] "
                "[--quiet]\n",
                msg);
   std::exit(64);
@@ -128,6 +136,10 @@ Args parse_args(int argc, char** argv) {
       if (a.connections < 1) usage_error("--connections must be >= 1");
     } else if (arg == "--min-hit-rate") {
       a.min_hit_rate = std::atof(value());
+    } else if (arg == "--stop-after") {
+      a.stop_after = value();
+    } else if (arg == "--print-after") {
+      a.print_after = value();
     } else if (arg == "--deadline-ms") {
       a.deadline_ms = std::atol(value());
       if (a.deadline_ms < 0) usage_error("--deadline-ms must be >= 0");
@@ -166,7 +178,10 @@ struct WireResult {
 };
 
 int run_matrix(const Args& args) {
-  auto jobs = service::suite_matrix();
+  driver::PipelineOptions base;
+  base.stop_after = args.stop_after;
+  base.print_after = args.print_after;
+  auto jobs = service::suite_matrix(base);
   std::vector<WireResult> wire(jobs.size());
 
   // `connections` clients each pull the next unclaimed job; results land
@@ -310,6 +325,8 @@ int run_single(const Args& args) {
     }
   }
   req.options.config = args.config;
+  req.options.stop_after = args.stop_after;
+  req.options.print_after = args.print_after;
   req.type = args.run ? net::RequestType::Run : net::RequestType::Compile;
   if (args.run) {
     req.interp.engine = args.engine;
@@ -337,10 +354,13 @@ int run_single(const Args& args) {
   if (resp.has_result) {
     std::fprintf(stderr,
                  "apclient: compiled %s under %s: %zu parallel loops, "
-                 "%zu lines%s\n",
+                 "%zu lines%s%s\n",
                  name.c_str(), driver::config_name(args.config),
                  resp.result.parallel_loops.size(), resp.result.code_lines,
+                 resp.result.stopped_early ? " (stopped early)" : "",
                  resp.result.cache_hit ? " (cache hit)" : "");
+    if (!args.print_after.empty())
+      std::fputs(resp.result.print_dump.c_str(), stdout);
   }
   if (args.run && resp.has_run) {
     std::fputs(resp.run.output.c_str(), stdout);

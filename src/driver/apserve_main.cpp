@@ -8,6 +8,7 @@
 //   apserve [--threads N] [--cache-dir DIR] [--cache-capacity N]
 //           [--cache-max-mb N] [--json FILE] [--min-hit-rate F]
 //           [--check-sequential] [--quiet]
+//           [--stop-after PASS] [--print-after PASS]
 //           [--run] [--engine tree|bytecode] [--run-threads N]
 //
 //   --threads N         worker lanes (default: hardware concurrency)
@@ -23,6 +24,12 @@
 //                       and exit 3 on any verdict mismatch (determinism
 //                       proof)
 //   --quiet             suppress the Table II summary
+//   --stop-after PASS   stop every pipeline after the named pass (parse,
+//                       conv-inline, annot-inline, normalize, parallelize,
+//                       reverse-inline, collect-metrics); later metrics
+//                       are empty
+//   --print-after PASS  print each job's program as unparsed after the
+//                       named pass (debugging aid)
 //   --run               execute every successfully compiled program on the
 //                       interpreter and record per-run telemetry (engine,
 //                       wall time, bytecode compile time, instruction and
@@ -54,6 +61,8 @@ struct Args {
   double min_hit_rate = -1;
   bool check_sequential = false;
   bool quiet = false;
+  std::string stop_after;
+  std::string print_after;
   bool run = false;
   interp::Engine engine = interp::Engine::Bytecode;
   int run_threads = 4;
@@ -64,7 +73,8 @@ struct Args {
                "apserve: %s\nusage: apserve [--threads N] [--cache-dir DIR] "
                "[--cache-capacity N] [--cache-max-mb N] [--json FILE] "
                "[--min-hit-rate F] "
-               "[--check-sequential] [--quiet] [--run] "
+               "[--check-sequential] [--quiet] "
+               "[--stop-after PASS] [--print-after PASS] [--run] "
                "[--engine tree|bytecode] [--run-threads N]\n",
                msg);
   std::exit(64);
@@ -99,6 +109,10 @@ Args parse_args(int argc, char** argv) {
       a.check_sequential = true;
     } else if (arg == "--quiet") {
       a.quiet = true;
+    } else if (arg == "--stop-after") {
+      a.stop_after = value();
+    } else if (arg == "--print-after") {
+      a.print_after = value();
     } else if (arg == "--run") {
       a.run = true;
     } else if (arg == "--engine") {
@@ -134,7 +148,10 @@ int main(int argc, char** argv) {
   sopts.telemetry = &telemetry;
   service::Scheduler scheduler(sopts);
 
-  auto jobs = service::suite_matrix();
+  driver::PipelineOptions base;
+  base.stop_after = args.stop_after;
+  base.print_after = args.print_after;
+  auto jobs = service::suite_matrix(base);
   auto results = scheduler.run_batch(jobs);
 
   int failed = 0;
@@ -145,6 +162,15 @@ int main(int argc, char** argv) {
                    jobs[i].app.name.c_str(),
                    driver::config_name(jobs[i].opts.config),
                    results[i].error.c_str());
+    }
+  }
+
+  if (!args.print_after.empty()) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok) continue;
+      std::printf("=== %s/%s after %s ===\n%s", jobs[i].app.name.c_str(),
+                  driver::config_name(jobs[i].opts.config),
+                  args.print_after.c_str(), results[i].print_dump.c_str());
     }
   }
 

@@ -2,9 +2,9 @@
 
 #include <chrono>
 
-#include "fir/parser.h"
-#include "fir/unparse.h"
+#include "driver/passes.h"
 #include "interp/interp.h"
+#include "support/thread_pool.h"
 
 namespace ap::driver {
 
@@ -17,95 +17,93 @@ const char* config_name(InlineConfig c) {
   return "?";
 }
 
-namespace {
-
-std::set<int64_t> collect_parallel_origins(const fir::Program& prog) {
-  std::set<int64_t> out;
-  for (const auto& u : prog.units) {
-    if (u->external_library) continue;
-    fir::walk_stmts(u->body, [&](const fir::Stmt& s) {
-      if (s.kind == fir::StmtKind::Do && s.omp.parallel && s.origin_id >= 0)
-        out.insert(s.origin_id);
-      return true;
-    });
-  }
-  return out;
+const pm::PassRecord* PipelineTimings::find(std::string_view name) const {
+  for (const auto& rec : passes)
+    if (rec.name == name) return &rec;
+  return nullptr;
 }
 
-}  // namespace
+double PipelineTimings::pass_ms(std::string_view name) const {
+  const pm::PassRecord* rec = find(name);
+  return rec ? rec->wall_ms : 0;
+}
 
 PipelineResult run_pipeline(const suite::BenchmarkApp& app,
                             const PipelineOptions& opts) {
   using clock = std::chrono::steady_clock;
-  auto ms_since = [](clock::time_point t0) {
-    return std::chrono::duration<double, std::milli>(clock::now() - t0)
-        .count();
-  };
   auto t_start = clock::now();
 
   PipelineResult result;
   DiagnosticEngine diags;
   diags.set_stream(app.name);
 
-  auto t0 = clock::now();
-  auto prog = fir::parse_program(app.source, diags);
-  result.timings.parse_ms = ms_since(t0);
-  if (!prog) {
-    result.error = "parse failed:\n" + diags.render_all();
-    result.timings.total_ms = ms_since(t_start);
+  PipelineContext cx;
+  cx.app = &app;
+  cx.opts = opts;
+  cx.result = &result;
+
+  pm::PassManagerOptions mopts;
+  mopts.verify = opts.verify || pm::verify_enabled();
+  mopts.stop_after = opts.stop_after;
+  mopts.print_after = opts.print_after;
+  std::unique_ptr<ThreadPool> local_pool;
+  if (opts.unit_pool) {
+    mopts.pool = opts.unit_pool;
+  } else if (opts.unit_threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(opts.unit_threads);
+    mopts.pool = local_pool.get();
+  }
+
+  pm::PassManager manager(mopts);
+  for (auto& p : build_pass_sequence(cx)) manager.add(std::move(p));
+
+  pm::PassState st;
+  st.diags = &diags;
+  bool ok = manager.run(st);
+
+  result.timings.passes = manager.records();
+  result.print_dump = manager.print_dump();
+  result.stopped_early = manager.stopped_early();
+  result.timings.total_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t_start)
+          .count();
+  if (!ok) {
+    result.error = manager.error();
     return result;
   }
-
-  annot::AnnotationRegistry registry;
-  if (!app.annotations.empty()) {
-    DiagnosticEngine adiags;
-    adiags.set_stream(app.name + ":annotations");
-    if (!registry.add(app.annotations, adiags)) {
-      result.error = "annotation parse failed:\n" + adiags.render_all();
-      result.timings.total_ms = ms_since(t_start);
-      return result;
-    }
-  }
-
-  t0 = clock::now();
-  switch (opts.config) {
-    case InlineConfig::None:
-      break;
-    case InlineConfig::Conventional:
-      result.conv_report = xform::inline_conventional(*prog, opts.conv, diags);
-      break;
-    case InlineConfig::Annotation:
-      result.annot_report =
-          xform::inline_annotations(*prog, registry, opts.annot, diags);
-      break;
-  }
-  if (opts.config != InlineConfig::None)
-    result.timings.inline_ms = ms_since(t0);
-
-  t0 = clock::now();
-  result.par = par::parallelize(*prog, opts.par, diags);
-  result.timings.parallelize_ms = ms_since(t0);
-
-  if (opts.config == InlineConfig::Annotation) {
-    t0 = clock::now();
-    result.reverse_report =
-        xform::reverse_inline(*prog, registry, diags, opts.reverse);
-    result.timings.reverse_ms = ms_since(t0);
-  }
-
-  result.parallel_loops = collect_parallel_origins(*prog);
-  result.code_lines = fir::code_size_lines(*prog);
-  result.program = std::move(prog);
+  result.program = std::move(st.program);
   result.ok = true;
-  result.timings.total_ms = ms_since(t_start);
   return result;
+}
+
+Table2Row make_table2_row(const std::string& app,
+                          const std::set<int64_t>& none_loops,
+                          size_t none_lines,
+                          const std::set<int64_t>& conv_loops,
+                          size_t conv_lines,
+                          const std::set<int64_t>& annot_loops,
+                          size_t annot_lines) {
+  Table2Row row;
+  row.app = app;
+  row.par_none = static_cast<int>(none_loops.size());
+  row.par_conv = static_cast<int>(conv_loops.size());
+  row.par_annot = static_cast<int>(annot_loops.size());
+  row.lines_none = none_lines;
+  row.lines_conv = conv_lines;
+  row.lines_annot = annot_lines;
+  for (int64_t id : none_loops) {
+    if (!conv_loops.count(id)) ++row.loss_conv;
+    if (!annot_loops.count(id)) ++row.loss_annot;
+  }
+  for (int64_t id : conv_loops)
+    if (!none_loops.count(id)) ++row.extra_conv;
+  for (int64_t id : annot_loops)
+    if (!none_loops.count(id)) ++row.extra_annot;
+  return row;
 }
 
 Table2Row evaluate_table2_row(const suite::BenchmarkApp& app,
                               const PipelineOptions& base) {
-  Table2Row row;
-  row.app = app.name;
-
   PipelineOptions o = base;
   o.config = InlineConfig::None;
   PipelineResult none = run_pipeline(app, o);
@@ -114,22 +112,9 @@ Table2Row evaluate_table2_row(const suite::BenchmarkApp& app,
   o.config = InlineConfig::Annotation;
   PipelineResult annot = run_pipeline(app, o);
 
-  row.par_none = static_cast<int>(none.parallel_loops.size());
-  row.par_conv = static_cast<int>(conv.parallel_loops.size());
-  row.par_annot = static_cast<int>(annot.parallel_loops.size());
-  row.lines_none = none.code_lines;
-  row.lines_conv = conv.code_lines;
-  row.lines_annot = annot.code_lines;
-
-  for (int64_t id : none.parallel_loops) {
-    if (!conv.parallel_loops.count(id)) ++row.loss_conv;
-    if (!annot.parallel_loops.count(id)) ++row.loss_annot;
-  }
-  for (int64_t id : conv.parallel_loops)
-    if (!none.parallel_loops.count(id)) ++row.extra_conv;
-  for (int64_t id : annot.parallel_loops)
-    if (!none.parallel_loops.count(id)) ++row.extra_annot;
-  return row;
+  return make_table2_row(app.name, none.parallel_loops, none.code_lines,
+                         conv.parallel_loops, conv.code_lines,
+                         annot.parallel_loops, annot.code_lines);
 }
 
 int empirical_tune(fir::Program& prog, int threads) {

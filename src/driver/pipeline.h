@@ -1,28 +1,42 @@
-// Pipeline orchestration: the three inlining configurations of Table II.
+// Pipeline orchestration: the three inlining configurations of Table II,
+// implemented as a declarative pass sequence on the pm::PassManager
+// (driver/passes.h has the catalogue):
 //
-//   None          — parse, parallelize.
-//   Conventional  — parse, conventional inlining (Polaris heuristics),
-//                   dead-unit elimination, parallelize.
-//   Annotation    — parse, annotation-based inlining, parallelize, reverse
-//                   inlining (paper Fig. 15): output is the original source
-//                   plus OpenMP directives.
+//   None          — parse → normalize → parallelize → collect-metrics.
+//   Conventional  — parse → conv-inline (Polaris heuristics, dead-unit
+//                   elimination) → normalize → parallelize → collect-metrics.
+//   Annotation    — parse → annot-inline → normalize → parallelize →
+//                   reverse-inline (paper Fig. 15: output is the original
+//                   source plus OpenMP directives) → collect-metrics.
+//
+// The per-unit passes (normalize, parallelize) fan out over ProgramUnits
+// when `unit_threads` > 1 (or a shared `unit_pool` is supplied), with
+// results and diagnostics merged in unit order — output is bit-identical
+// to a sequential run.
 //
 // The result carries the final program (runnable by the interpreter), the
 // per-loop verdicts, the set of original-loop ids parallelized in the final
-// program, and the code-size metric.
+// program, the code-size metric, and one timing record per executed pass.
 #pragma once
 
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "annot/parser.h"
 #include "fir/ast.h"
 #include "par/parallelizer.h"
+#include "pm/pass.h"
 #include "suite/suite.h"
 #include "xform/inline_annotation.h"
 #include "xform/inline_conventional.h"
 #include "xform/reverse_inline.h"
+
+namespace ap {
+class ThreadPool;
+}
 
 namespace ap::driver {
 
@@ -36,17 +50,30 @@ struct PipelineOptions {
   xform::ConvInlineOptions conv;
   xform::AnnotInlineOptions annot;
   xform::ReverseInlineOptions reverse;
+
+  // Pass-manager controls. stop_after/print_after name a pass from the
+  // catalogue in driver/passes.h; both affect the produced result and are
+  // part of the cache key. The execution knobs below are semantics-neutral
+  // (the golden tests prove lane-count independence) and are NOT part of
+  // the key.
+  std::string stop_after;   // stop the sequence after this pass ("" = all)
+  std::string print_after;  // capture unparsed program after this pass
+  int unit_threads = 1;     // lanes for per-unit passes; <= 1 = sequential
+  ThreadPool* unit_pool = nullptr;  // shared pool (overrides unit_threads)
+  bool verify = false;  // force the AST verifier (also on via AP_VERIFY)
 };
 
-// Per-pass wall times for one pipeline run, populated for every config
-// (passes a config skips stay 0). Consumers (service telemetry, benches)
-// read these instead of re-running passes under a stopwatch.
+// Per-pass wall times for one pipeline run: one record per executed pass,
+// in execution order (passes a config skips don't appear). Consumers
+// (service telemetry, benches, the wire protocol) read these instead of
+// re-running passes under a stopwatch.
 struct PipelineTimings {
-  double parse_ms = 0;
-  double inline_ms = 0;       // conventional or annotation inlining
-  double parallelize_ms = 0;
-  double reverse_ms = 0;      // reverse inlining (Annotation config only)
+  std::vector<pm::PassRecord> passes;
   double total_ms = 0;
+
+  // Wall ms of the named pass, 0 when it did not run.
+  double pass_ms(std::string_view name) const;
+  const pm::PassRecord* find(std::string_view name) const;
 };
 
 struct PipelineResult {
@@ -65,6 +92,11 @@ struct PipelineResult {
   // counted once" metric (§IV.A).
   std::set<int64_t> parallel_loops;
   size_t code_lines = 0;
+
+  // Unparsed program captured by print_after ("" when unset).
+  std::string print_dump;
+  // True when stop_after cut the sequence short (later metrics are empty).
+  bool stopped_early = false;
 };
 
 PipelineResult run_pipeline(const suite::BenchmarkApp& app,
@@ -82,6 +114,17 @@ struct Table2Row {
 
 Table2Row evaluate_table2_row(const suite::BenchmarkApp& app,
                               const PipelineOptions& base = {});
+
+// Assemble a row from the three per-config results (None, Conventional,
+// Annotation order). Shared by evaluate_table2_row and the service-side
+// scheduler dispatch, which computes the same row from batched results.
+Table2Row make_table2_row(const std::string& app,
+                          const std::set<int64_t>& none_loops,
+                          size_t none_lines,
+                          const std::set<int64_t>& conv_loops,
+                          size_t conv_lines,
+                          const std::set<int64_t>& annot_loops,
+                          size_t annot_lines);
 
 // Empirical tuning (paper §IV.B): greedily disable parallel loops whose
 // parallelization slows the program down at `threads`. Measures with the

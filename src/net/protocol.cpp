@@ -77,6 +77,10 @@ json::Value pipeline_options_to_json(const driver::PipelineOptions& o) {
       .set("conv", std::move(conv))
       .set("annot", std::move(annot))
       .set("reverse", std::move(reverse));
+  // Pass-manager controls travel only when set: absent fields decode to the
+  // defaults, so v2 payloads without them stay byte-identical to v1 bodies.
+  if (!o.stop_after.empty()) out.set("stop_after", o.stop_after);
+  if (!o.print_after.empty()) out.set("print_after", o.print_after);
   return out;
 }
 
@@ -135,6 +139,8 @@ bool pipeline_options_from_json(const json::Value& v,
     o.reverse.fallback_to_hints =
         get_bool(*reverse, "fallback_to_hints", o.reverse.fallback_to_hints);
   }
+  o.stop_after = get_string(v, "stop_after");
+  o.print_after = get_string(v, "print_after");
   *out = o;
   return true;
 }
@@ -179,12 +185,18 @@ namespace {
 json::Value compile_result_to_json(const service::CompileResult& r) {
   json::Value loops = json::Value::array();
   for (int64_t id : r.parallel_loops) loops.push(id);
+  json::Value passes = json::Value::array();
+  for (const auto& p : r.timings.passes) {
+    json::Value rec = json::Value::object();
+    rec.set("name", p.name)
+        .set("wall_ms", p.wall_ms)
+        .set("units", static_cast<int64_t>(p.units))
+        .set("diags", static_cast<int64_t>(p.diagnostics));
+    passes.push(std::move(rec));
+  }
   json::Value timings = json::Value::object();
-  timings.set("parse_ms", r.timings.parse_ms)
-      .set("inline_ms", r.timings.inline_ms)
-      .set("parallelize_ms", r.timings.parallelize_ms)
-      .set("reverse_ms", r.timings.reverse_ms)
-      .set("total_ms", r.timings.total_ms);
+  timings.set("total_ms", r.timings.total_ms)
+      .set("passes", std::move(passes));
   json::Value out = json::Value::object();
   out.set("ok", r.ok)
       .set("error", r.error)
@@ -194,7 +206,9 @@ json::Value compile_result_to_json(const service::CompileResult& r) {
       .set("dep_tests", static_cast<int64_t>(r.dep_tests))
       .set("dep_tests_unique", static_cast<int64_t>(r.dep_tests_unique))
       .set("timings", std::move(timings))
+      .set("stopped_early", r.stopped_early)
       .set("program", r.program_text);
+  if (!r.print_dump.empty()) out.set("print_dump", r.print_dump);
   return out;
 }
 
@@ -211,16 +225,22 @@ service::CompileResult compile_result_from_json(const json::Value& v) {
   r.dep_tests = static_cast<size_t>(get_int(v, "dep_tests", 0));
   r.dep_tests_unique = static_cast<size_t>(get_int(v, "dep_tests_unique", 0));
   if (const json::Value* t = v.find("timings")) {
-    auto ms = [&](std::string_view key) {
-      const json::Value* f = t->find(key);
-      return f ? f->as_double() : 0.0;
-    };
-    r.timings.parse_ms = ms("parse_ms");
-    r.timings.inline_ms = ms("inline_ms");
-    r.timings.parallelize_ms = ms("parallelize_ms");
-    r.timings.reverse_ms = ms("reverse_ms");
-    r.timings.total_ms = ms("total_ms");
+    if (const json::Value* total = t->find("total_ms"))
+      r.timings.total_ms = total->as_double();
+    if (const json::Value* passes = t->find("passes")) {
+      for (const json::Value& rec : passes->items()) {
+        pm::PassRecord p;
+        p.name = get_string(rec, "name");
+        if (const json::Value* w = rec.find("wall_ms"))
+          p.wall_ms = w->as_double();
+        p.units = static_cast<int>(get_int(rec, "units", 0));
+        p.diagnostics = static_cast<int>(get_int(rec, "diags", 0));
+        r.timings.passes.push_back(std::move(p));
+      }
+    }
   }
+  r.stopped_early = get_bool(v, "stopped_early", false);
+  r.print_dump = get_string(v, "print_dump");
   r.program_text = get_string(v, "program");
   return r;
 }

@@ -39,7 +39,9 @@
 
 namespace ap::net {
 
-inline constexpr int kProtocolVersion = 1;
+// v2: per-pass timing records replace the fixed timing fields in compile
+// results; pipeline options gained stop_after/print_after.
+inline constexpr int kProtocolVersion = 2;
 
 enum class RequestType : uint8_t { Compile, Run, Metrics, Ping };
 const char* request_type_name(RequestType t);

@@ -1,6 +1,7 @@
 #include "par/parallelizer.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <set>
@@ -37,45 +38,34 @@ bool ParallelizeResult::is_parallel(int64_t origin_id) const {
 
 namespace {
 
+// Per-unit worker: analyzes and marks the loops of exactly one unit against
+// an immutable program-wide SemaContext. The pass manager runs one instance
+// per unit, possibly concurrently; nothing here touches state outside the
+// unit and the result it owns.
 class Parallelizer {
  public:
-  Parallelizer(fir::Program& prog, const ParallelizeOptions& opts,
-               ParallelizeResult& result)
-      : prog_(prog), opts_(opts), result_(result) {
-    DiagnosticEngine scratch;
-    sema_ = std::make_unique<sema::SemaContext>(prog, scratch);
-  }
+  Parallelizer(fir::ProgramUnit& unit, const sema::SemaContext& sema,
+               const ParallelizeOptions& opts, ParallelizeResult& result)
+      : sema_(sema), opts_(opts), result_(result), unit_(&unit) {}
 
   void run() {
-    for (auto& u : prog_.units) {
-      if (u->external_library) {
-        // Library internals are still executed, and their loops can be
-        // parallelized like any other unit's (vendors ship parallel
-        // libraries); but the paper's counts are about application source,
-        // so the driver filters by unit when aggregating.
-      }
-      if (opts_.normalize) {
-        xform::forward_propagate(u->body);
-        xform::substitute_inductions(u->body);
-        // Induction substitution may expose more propagation opportunities.
-        xform::forward_propagate(u->body);
-      }
-      unit_ = u.get();
-      process_loops(u->body, /*inside_parallel=*/false);
-    }
+    // Library internals are still processed: their loops can be
+    // parallelized like any other unit's (vendors ship parallel
+    // libraries); but the paper's counts are about application source,
+    // so the driver filters by unit when aggregating.
+    process_loops(unit_->body, /*inside_parallel=*/false);
   }
 
  private:
-  fir::Program& prog_;
+  const sema::SemaContext& sema_;
   const ParallelizeOptions& opts_;
   ParallelizeResult& result_;
-  std::unique_ptr<sema::SemaContext> sema_;
   fir::ProgramUnit* unit_ = nullptr;
 
   bool trip_at_least_one(const fir::Stmt& loop) const {
     if (!loop.do_lo || !loop.do_hi || loop.do_step) return false;
-    auto lo = sema_->fold_int(unit_->name, *loop.do_lo);
-    auto hi = sema_->fold_int(unit_->name, *loop.do_hi);
+    auto lo = sema_.fold_int(unit_->name, *loop.do_lo);
+    auto hi = sema_.fold_int(unit_->name, *loop.do_hi);
     return lo && hi && *hi >= *lo;
   }
 
@@ -101,7 +91,7 @@ class Parallelizer {
     v.unit = unit_->name;
     v.do_var = L.do_var;
 
-    const sema::UnitInfo* uinfo = sema_->unit_info(unit_->name);
+    const sema::UnitInfo* uinfo = sema_.unit_info(unit_->name);
     if (!uinfo) return false;
 
     auto block = [&](Blocker::Kind kind, std::string subject,
@@ -127,7 +117,7 @@ class Parallelizer {
     };
 
     if (L.do_step) {
-      auto st = sema_->fold_int(unit_->name, *L.do_step);
+      auto st = sema_.fold_int(unit_->name, *L.do_step);
       if (!st || *st != 1) {
         if (bail(Blocker::Kind::NonUnitStep, L.do_var, "non-unit step"))
           return false;
@@ -148,7 +138,7 @@ class Parallelizer {
 
     // Profitability first: cheap and mirrors Polaris' ordering.
     {
-      analysis::LoopBounds b = analysis::fold_bounds(L, *sema_, unit_->name);
+      analysis::LoopBounds b = analysis::fold_bounds(L, sema_, unit_->name);
       auto trip = b.trip();
       if (trip && *trip < opts_.min_trip) {
         if (bail(Blocker::Kind::Profitability, L.do_var,
@@ -198,10 +188,10 @@ class Parallelizer {
     };
     // Bounds of this loop and inner loops (for Banerjee / SIV ranges).
     {
-      ctx.bounds[L.do_var] = analysis::fold_bounds(L, *sema_, unit_->name);
+      ctx.bounds[L.do_var] = analysis::fold_bounds(L, sema_, unit_->name);
       fir::walk_stmts(L.body, [&](const fir::Stmt& s) {
         if (s.kind == fir::StmtKind::Do)
-          ctx.bounds[s.do_var] = analysis::fold_bounds(s, *sema_, unit_->name);
+          ctx.bounds[s.do_var] = analysis::fold_bounds(s, sema_, unit_->name);
         return true;
       });
     }
@@ -312,12 +302,39 @@ class Parallelizer {
 
 }  // namespace
 
+ParallelizeResult parallelize_unit(fir::ProgramUnit& unit,
+                                   const sema::SemaContext& sema,
+                                   const ParallelizeOptions& opts) {
+  ParallelizeResult result;
+  Parallelizer p(unit, sema, opts, result);
+  p.run();
+  return result;
+}
+
+void merge_results(ParallelizeResult& into, ParallelizeResult&& other) {
+  into.parallelized += other.parallelized;
+  into.dep_tests += other.dep_tests;
+  into.dep_tests_unique += other.dep_tests_unique;
+  into.loops.insert(into.loops.end(),
+                    std::make_move_iterator(other.loops.begin()),
+                    std::make_move_iterator(other.loops.end()));
+  other.loops.clear();
+}
+
 ParallelizeResult parallelize(fir::Program& prog, const ParallelizeOptions& opts,
                               DiagnosticEngine& diags) {
   (void)diags;
+  // The semantic context reflects the program before normalization; nothing
+  // normalization changes (PARAMETER constants, declarations, call targets)
+  // feeds the parallelizer's queries, so building it once up front matches
+  // the pass pipeline, which normalizes every unit before this point.
+  DiagnosticEngine scratch;
+  sema::SemaContext sema(prog, scratch);
   ParallelizeResult result;
-  Parallelizer p(prog, opts, result);
-  p.run();
+  for (auto& u : prog.units) {
+    if (opts.normalize) xform::normalize_unit(*u);
+    merge_results(result, parallelize_unit(*u, sema, opts));
+  }
   return result;
 }
 

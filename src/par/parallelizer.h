@@ -32,6 +32,10 @@
 #include "fir/ast.h"
 #include "support/diagnostics.h"
 
+namespace ap::sema {
+class SemaContext;
+}
+
 namespace ap::par {
 
 struct ParallelizeOptions {
@@ -91,5 +95,18 @@ struct ParallelizeResult {
 ParallelizeResult parallelize(fir::Program& prog,
                               const ParallelizeOptions& opts,
                               DiagnosticEngine& diags);
+
+// Parallelize the loops of one unit against a shared program-wide semantic
+// context, without normalizing (run xform::normalize_unit first when
+// ParallelizeOptions::normalize is wanted). SemaContext is immutable after
+// construction, so concurrent calls on distinct units are safe — this is
+// the unit-granular entry point the pass manager fans out.
+ParallelizeResult parallelize_unit(fir::ProgramUnit& unit,
+                                   const sema::SemaContext& sema,
+                                   const ParallelizeOptions& opts);
+
+// Fold `other` into `into` preserving unit order: verdicts appended,
+// counters summed. Used by callers that parallelize unit-by-unit.
+void merge_results(ParallelizeResult& into, ParallelizeResult&& other);
 
 }  // namespace ap::par

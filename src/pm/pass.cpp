@@ -1,0 +1,103 @@
+#include "pm/pass.h"
+
+#include <chrono>
+
+#include "fir/unparse.h"
+
+namespace ap::pm {
+
+bool PassManager::has_pass(std::string_view name) const {
+  for (const auto& p : passes_)
+    if (p->name() == name) return true;
+  return false;
+}
+
+bool PassManager::run(PassState& st) {
+  records_.clear();
+  error_.clear();
+  print_dump_.clear();
+  stopped_early_ = false;
+  vopts_ = VerifyOptions{};
+
+  for (const std::string* flag : {&opts_.stop_after, &opts_.print_after}) {
+    if (!flag->empty() && !has_pass(*flag)) {
+      error_ = "unknown pass name '" + *flag + "'";
+      return false;
+    }
+  }
+
+  for (const auto& pass : passes_) {
+    if (!run_one(*pass, st)) return false;
+    if (!opts_.print_after.empty() && pass->name() == opts_.print_after &&
+        st.program)
+      print_dump_ = fir::unparse(*st.program);
+    if (!opts_.stop_after.empty() && pass->name() == opts_.stop_after) {
+      stopped_early_ = &pass != &passes_.back();
+      break;
+    }
+  }
+  return true;
+}
+
+bool PassManager::run_one(Pass& pass, PassState& st) {
+  using clock = std::chrono::steady_clock;
+  auto t0 = clock::now();
+
+  PassRecord rec;
+  rec.name = std::string(pass.name());
+  size_t diags_before = st.diags ? st.diags->all().size() : 0;
+
+  if (pass.kind() == PassKind::WholeProgram) {
+    pass.run(st);
+  } else {
+    pass.begin(st);
+    if (!st.failed && st.program) {
+      auto& units = st.program->units;
+      int64_t n = static_cast<int64_t>(units.size());
+      rec.units = static_cast<int>(n);
+      std::vector<DiagnosticEngine> unit_diags(units.size());
+      if (st.diags)
+        for (auto& d : unit_diags) d.set_stream(st.diags->stream());
+      auto run_unit = [&](int64_t i) {
+        pass.run_unit(*units[static_cast<size_t>(i)], static_cast<size_t>(i),
+                      unit_diags[static_cast<size_t>(i)]);
+      };
+      if (opts_.pool && opts_.pool->size() > 1 && n > 1) {
+        opts_.pool->for_each_index(n, [&](int64_t i, int) { run_unit(i); });
+      } else {
+        for (int64_t i = 0; i < n; ++i) run_unit(i);
+      }
+      // Deterministic merge: unit-index order, independent of which lane
+      // finished first.
+      if (st.diags)
+        for (auto& d : unit_diags) st.diags->merge(std::move(d));
+    }
+    if (!st.failed) pass.end(st);
+  }
+
+  rec.diagnostics =
+      static_cast<int>((st.diags ? st.diags->all().size() : 0) - diags_before);
+  rec.wall_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  records_.push_back(std::move(rec));
+
+  if (st.failed) {
+    error_ = st.error;
+    return false;
+  }
+
+  if (opts_.verify && st.program) {
+    pass.adjust_verify(vopts_);
+    std::string v = verify_program(*st.program, vopts_);
+    if (v.empty()) v = pass.verify_after(*st.program);
+    if (!v.empty()) {
+      error_ = "verifier failed after pass '" + std::string(pass.name()) +
+               "': " + v;
+      st.fail(error_);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ap::pm

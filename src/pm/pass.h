@@ -1,0 +1,133 @@
+// The pass manager: the pipeline as a declarative sequence of named passes.
+//
+// A Pass is either WholeProgram (one run() over the whole state) or PerUnit
+// (begin → run_unit per ProgramUnit → end). Per-unit passes fan out onto an
+// ap::ThreadPool when one is supplied: each unit runs with a private
+// DiagnosticEngine, and the manager merges the buffers back into the shared
+// engine in unit-index order — output is bit-identical to a sequential run
+// regardless of lane count or completion order.
+//
+// After every pass (when verification is on) the manager runs the AST
+// verifier (pm/verify.h) plus the pass's own verify_after hook. Passes
+// evolve the verifier's strictness via adjust_verify as the program moves
+// through legal phases (inlining legalizes duplicate origin_ids, annotation
+// inlining opens the tagged-region window, reverse inlining closes it).
+//
+// The manager records one PassRecord per executed pass — name, wall ms,
+// units fanned out, diagnostics added — which the driver exposes as
+// PipelineTimings and the service forwards into telemetry, the cache and
+// the wire protocol. --stop-after/--print-after map to PassManagerOptions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fir/ast.h"
+#include "pm/verify.h"
+#include "support/diagnostics.h"
+#include "support/thread_pool.h"
+
+namespace ap::pm {
+
+enum class PassKind : uint8_t { WholeProgram, PerUnit };
+
+// One executed pass, in execution order.
+struct PassRecord {
+  std::string name;
+  double wall_ms = 0;
+  int units = 0;        // units fanned out (0 for whole-program passes)
+  int diagnostics = 0;  // diagnostics this pass added to the shared engine
+};
+
+// Mutable state threaded through the sequence. The program starts null; a
+// parse-like first pass populates it.
+struct PassState {
+  std::unique_ptr<fir::Program> program;
+  DiagnosticEngine* diags = nullptr;
+
+  // Set by a pass to abort the sequence (e.g. parse errors). The manager
+  // stops immediately; `error` becomes the manager's error.
+  bool failed = false;
+  std::string error;
+
+  void fail(std::string err) {
+    failed = true;
+    error = std::move(err);
+  }
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual PassKind kind() const { return PassKind::WholeProgram; }
+
+  // WholeProgram passes implement run().
+  virtual void run(PassState&) {}
+
+  // PerUnit passes implement begin / run_unit / end. run_unit may be called
+  // concurrently (one call per unit, any order, no two calls for the same
+  // unit); everything it touches must be confined to its unit, its slot in
+  // pass-owned per-unit storage, and the private DiagnosticEngine handed in
+  // (pre-seeded with the shared engine's stream name, merged back in unit
+  // order). begin/end run on the caller and may touch PassState freely.
+  virtual void begin(PassState&) {}
+  virtual void run_unit(fir::ProgramUnit&, size_t /*unit_index*/,
+                        DiagnosticEngine&) {}
+  virtual void end(PassState&) {}
+
+  // Pass-specific invariant check, run after the structural verifier.
+  // Returns "" when fine, else a description of the violation.
+  virtual std::string verify_after(const fir::Program&) { return {}; }
+
+  // Evolve the verifier options for this pass's post-check and every later
+  // pass (called before verifying this pass's output).
+  virtual void adjust_verify(VerifyOptions&) {}
+};
+
+struct PassManagerOptions {
+  // Lanes for PerUnit passes; null or a 1-lane pool means sequential.
+  ThreadPool* pool = nullptr;
+  // Run the verifier after every pass.
+  bool verify = false;
+  // Stop the sequence after the named pass (it still runs and verifies).
+  std::string stop_after;
+  // Capture fir::unparse of the program after the named pass.
+  std::string print_after;
+};
+
+class PassManager {
+ public:
+  explicit PassManager(PassManagerOptions opts) : opts_(std::move(opts)) {}
+
+  void add(std::unique_ptr<Pass> p) { passes_.push_back(std::move(p)); }
+  bool has_pass(std::string_view name) const;
+
+  // Runs the sequence over `st`. Returns false when a pass failed or a
+  // verifier rejected its output; see error(). Records are populated for
+  // every pass that ran, even on failure.
+  bool run(PassState& st);
+
+  const std::vector<PassRecord>& records() const { return records_; }
+  const std::string& error() const { return error_; }
+  // True when stop_after cut the sequence short.
+  bool stopped_early() const { return stopped_early_; }
+  // Unparsed program captured by print_after ("" when unset).
+  const std::string& print_dump() const { return print_dump_; }
+
+ private:
+  bool run_one(Pass& pass, PassState& st);
+
+  PassManagerOptions opts_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<PassRecord> records_;
+  VerifyOptions vopts_;
+  std::string error_;
+  std::string print_dump_;
+  bool stopped_early_ = false;
+};
+
+}  // namespace ap::pm

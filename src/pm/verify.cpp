@@ -1,0 +1,209 @@
+#include "pm/verify.h"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace ap::pm {
+
+namespace {
+
+// First-violation verifier: walks every unit; `err_` is set once and
+// short-circuits the rest of the traversal.
+class Verifier {
+ public:
+  Verifier(const fir::Program& prog, const VerifyOptions& opts)
+      : prog_(prog), opts_(opts) {}
+
+  std::string run() {
+    for (const auto& u : prog_.units) {
+      if (!u) return "null program unit";
+      unit_ = u.get();
+      check_commons(*u);
+      walk_body(u->body, /*inside_tagged=*/false);
+      if (!err_.empty()) return err_;
+    }
+    return err_;
+  }
+
+ private:
+  const fir::Program& prog_;
+  const VerifyOptions& opts_;
+  const fir::ProgramUnit* unit_ = nullptr;
+  std::set<int64_t> seen_origins_;
+  std::string err_;
+
+  void fail(const fir::Stmt* s, const std::string& msg) {
+    if (!err_.empty()) return;
+    err_ = "unit " + unit_->name;
+    if (s) err_ += " at " + ap::to_string(s->loc);
+    err_ += ": " + msg;
+  }
+
+  void check_commons(const fir::ProgramUnit& u) {
+    std::map<std::string, std::string> member_of;
+    for (const auto& cb : u.commons) {
+      for (const auto& var : cb.vars) {
+        auto [it, inserted] = member_of.emplace(var, cb.name);
+        if (!inserted && it->second != cb.name)
+          fail(nullptr, "variable " + var + " is a member of two COMMON " +
+                            "blocks (/" + it->second + "/ and /" + cb.name +
+                            "/)");
+      }
+    }
+  }
+
+  void walk_body(const std::vector<fir::StmtPtr>& body, bool inside_tagged) {
+    for (const auto& sp : body) {
+      if (!err_.empty()) return;
+      if (!sp) {
+        fail(nullptr, "null statement in body");
+        return;
+      }
+      check_stmt(*sp, inside_tagged);
+    }
+  }
+
+  void check_stmt(const fir::Stmt& s, bool inside_tagged) {
+    using K = fir::StmtKind;
+
+    // OMP metadata is only meaningful on DO statements: the unparser and
+    // the interpreter look at omp solely on Do nodes.
+    if (s.kind != K::Do &&
+        (s.omp.parallel || !s.omp.privates.empty() ||
+         !s.omp.firstprivates.empty() || !s.omp.reductions.empty()))
+      fail(&s, "OMP metadata on non-DO statement");
+
+    // origin_id marks loop identity; any other statement carrying one is a
+    // malformed clone.
+    if (s.kind != K::Do && s.origin_id >= 0)
+      fail(&s, "origin_id " + std::to_string(s.origin_id) +
+                   " on non-DO statement");
+
+    switch (s.kind) {
+      case K::Assign:
+        if (s.lhs.size() != 1 || !s.lhs[0])
+          fail(&s, "assignment without a single target");
+        else if (s.lhs[0]->kind != fir::ExprKind::VarRef &&
+                 s.lhs[0]->kind != fir::ExprKind::ArrayRef)
+          fail(&s, "assignment target is neither VarRef nor ArrayRef");
+        if (!s.rhs) fail(&s, "assignment without a value");
+        break;
+      case K::TupleAssign:
+        if (s.lhs.empty()) fail(&s, "tuple assignment without targets");
+        if (!s.rhs) fail(&s, "tuple assignment without a value");
+        if (!opts_.allow_annotation_ops)
+          fail(&s, "tuple assignment outside the annotation-inlining window");
+        break;
+      case K::Do:
+        if (s.do_var.empty()) fail(&s, "DO without an induction variable");
+        if (!s.do_lo || !s.do_hi) fail(&s, "DO without bounds");
+        if (s.origin_id < 0 && !inside_tagged)
+          fail(&s, "unnumbered DO loop outside a tagged region");
+        if (s.origin_id >= 0 && opts_.unique_origin_ids &&
+            !seen_origins_.insert(s.origin_id).second)
+          fail(&s, "duplicate origin_id " + std::to_string(s.origin_id));
+        break;
+      case K::If:
+        if (!s.cond) fail(&s, "IF without a condition");
+        break;
+      case K::Call: {
+        if (s.name.empty()) {
+          fail(&s, "CALL without a callee name");
+          break;
+        }
+        if (!prog_.find_unit(s.name))
+          fail(&s, "CALL to undefined unit " + s.name);
+        break;
+      }
+      case K::Write:
+      case K::Stop:
+      case K::Return:
+      case K::Continue:
+        break;
+      case K::TaggedRegion:
+        if (!opts_.allow_tagged_regions)
+          fail(&s, "tagged region outside the annotation-inlining window");
+        if (s.name.empty()) fail(&s, "tagged region without a callee name");
+        if (s.tag_id < 0) fail(&s, "tagged region without a tag id");
+        break;
+    }
+    if (!err_.empty()) return;
+
+    fir::walk_exprs(s, [&](const fir::Expr& e) { check_expr(s, e); });
+    if (!err_.empty()) return;
+
+    bool tagged = inside_tagged || s.kind == K::TaggedRegion;
+    walk_body(s.body, tagged);
+    walk_body(s.else_body, tagged);
+  }
+
+  void check_expr(const fir::Stmt& s, const fir::Expr& e) {
+    if (!err_.empty()) return;
+    switch (e.kind) {
+      case fir::ExprKind::Binary:
+        if (e.args.size() != 2 || !e.args[0] || !e.args[1])
+          fail(&s, "binary expression without two operands");
+        break;
+      case fir::ExprKind::Unary:
+        if (e.args.size() != 1 || !e.args[0])
+          fail(&s, "unary expression without an operand");
+        break;
+      case fir::ExprKind::VarRef:
+      case fir::ExprKind::Intrinsic:
+        if (e.name.empty()) fail(&s, "reference without a name");
+        break;
+      case fir::ExprKind::ArrayRef: {
+        if (e.name.empty()) {
+          fail(&s, "array reference without a name");
+          break;
+        }
+        if (e.args.empty()) {
+          fail(&s, "array reference " + e.name + " without subscripts");
+          break;
+        }
+        for (const auto& a : e.args)
+          if (!a) fail(&s, "null subscript in reference to " + e.name);
+        const fir::VarDecl* d = unit_->find_decl(e.name);
+        if (!d || !d->is_array())
+          fail(&s, "subscripted reference to " + e.name +
+                       " does not resolve to an array declaration");
+        else if (d->dims.size() != e.args.size())
+          fail(&s, "reference to " + e.name + " has " +
+                       std::to_string(e.args.size()) + " subscripts, declared" +
+                       " rank is " + std::to_string(d->dims.size()));
+        break;
+      }
+      case fir::ExprKind::Unknown:
+      case fir::ExprKind::Unique:
+        if (!opts_.allow_annotation_ops)
+          fail(&s, std::string(e.kind == fir::ExprKind::Unknown ? "unknown()"
+                                                                : "unique()") +
+                       " operator outside the annotation-inlining window");
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::string verify_program(const fir::Program& prog,
+                           const VerifyOptions& opts) {
+  return Verifier(prog, opts).run();
+}
+
+bool verify_enabled() {
+  static const bool enabled = [] {
+#ifdef AP_VERIFY
+    return true;
+#else
+    const char* env = std::getenv("AP_VERIFY");
+    return env && *env && std::string(env) != "0";
+#endif
+  }();
+  return enabled;
+}
+
+}  // namespace ap::pm

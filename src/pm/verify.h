@@ -1,0 +1,58 @@
+// Always-on AST verifier for the pass manager (src/pm).
+//
+// Every pass boundary must leave the program in a state the next pass can
+// consume; the verifier makes that contract checkable instead of implicit.
+// It walks the whole program and enforces the structural invariants the
+// pipeline relies on:
+//
+//   * node shape — assignments have a target and a value, DO loops have an
+//     induction variable and both bounds, IFs have a condition, CALLs and
+//     tagged regions are named;
+//   * OMP marks only on DO statements — OmpInfo lives on every Stmt, so a
+//     buggy pass could mark an IF parallel; the unparser and interpreter
+//     only honor marks on DO nodes;
+//   * origin_id discipline — every DO outside a TaggedRegion carries an
+//     origin_id (Table II counts by origin), origin_ids appear only on DO
+//     nodes (well-formed clones), and before any inlining pass has run they
+//     are unique program-wide (inliner copies legalize duplicates);
+//   * resolved references — every CALL targets a unit that exists in the
+//     program, every subscripted array resolves to an array declaration of
+//     matching rank, and no variable is a member of two COMMON blocks;
+//   * phase-legal nodes — TaggedRegions and the annotation operators
+//     unknown()/unique() are only legal between annotation inlining and
+//     reverse inlining.
+//
+// The pass manager runs this after every pass when verification is enabled
+// (AP_VERIFY=1 in the environment, the ANNOPAR_VERIFY build option, or
+// PipelineOptions::verify); passes relax/tighten the options via
+// Pass::adjust_verify as the program moves through legal phases.
+#pragma once
+
+#include <string>
+
+#include "fir/ast.h"
+
+namespace ap::pm {
+
+struct VerifyOptions {
+  // Origin ids must be unique program-wide (true until an inlining pass
+  // clones loops across procedure boundaries).
+  bool unique_origin_ids = true;
+  // TaggedRegion statements are legal (between annotation inlining and
+  // reverse inlining).
+  bool allow_tagged_regions = false;
+  // unknown()/unique() annotation operators are legal (same window).
+  bool allow_annotation_ops = false;
+};
+
+// Returns "" when every invariant holds, else a one-line description of the
+// first violation (unit and statement context included).
+std::string verify_program(const fir::Program& prog,
+                           const VerifyOptions& opts = {});
+
+// True when the process should verify after every pass: compiled with
+// -DAP_VERIFY (the ANNOPAR_VERIFY CMake option) or run with AP_VERIFY=1 in
+// the environment. Read once; the result is cached.
+bool verify_enabled();
+
+}  // namespace ap::pm

@@ -42,6 +42,8 @@ CompileResult to_compile_result(const driver::PipelineResult& r) {
   out.dep_tests = r.par.dep_tests;
   out.dep_tests_unique = r.par.dep_tests_unique;
   out.timings = r.timings;
+  out.print_dump = r.print_dump;
+  out.stopped_early = r.stopped_early;
   if (r.program) out.program_text = fir::unparse(*r.program);
   return out;
 }
@@ -57,7 +59,10 @@ std::string options_fingerprint(const driver::PipelineOptions& o) {
     << o.conv.max_passes << ";annot=" << o.annot.require_in_loop
     << ";rev=" << o.reverse.tolerate_reordering << ','
     << o.reverse.tolerate_forward_subst << ',' << o.reverse.tolerate_literals
-    << ',' << o.reverse.fallback_to_hints;
+    << ',' << o.reverse.fallback_to_hints
+    // stop_after/print_after change the produced result; the execution
+    // knobs (unit_threads/unit_pool/verify) do not and stay out of the key.
+    << ";stop=" << o.stop_after << ";print=" << o.print_after;
   return s.str();
 }
 
@@ -76,15 +81,21 @@ std::string serialize_result(const CompileResult& r) {
   std::ostringstream s;
   s << "APCACHE " << kCacheFormatVersion << "\n";
   s << "ok " << (r.ok ? 1 : 0) << "\n";
+  s << "stopped_early " << (r.stopped_early ? 1 : 0) << "\n";
   s << "code_lines " << r.code_lines << "\n";
   s << "dep_tests " << r.dep_tests << "\n";
   s << "dep_tests_unique " << r.dep_tests_unique << "\n";
   char t[160];
-  std::snprintf(t, sizeof(t), "timings %.6f %.6f %.6f %.6f %.6f\n",
-                r.timings.parse_ms, r.timings.inline_ms,
-                r.timings.parallelize_ms, r.timings.reverse_ms,
-                r.timings.total_ms);
+  std::snprintf(t, sizeof(t), "total_ms %.6f\n", r.timings.total_ms);
   s << t;
+  s << "passes " << r.timings.passes.size() << "\n";
+  for (const auto& p : r.timings.passes) {
+    std::snprintf(t, sizeof(t), "pass %s %.6f %d %d\n", p.name.c_str(),
+                  p.wall_ms, p.units, p.diagnostics);
+    s << t;
+  }
+  s << "print_dump " << r.print_dump.size() << "\n";
+  s << r.print_dump << "\n";
   s << "parallel_loops " << r.parallel_loops.size();
   for (int64_t id : r.parallel_loops) s << ' ' << id;
   s << "\n";
@@ -106,15 +117,30 @@ std::optional<CompileResult> deserialize_result(std::string_view text) {
   size_t nloops = 0, nbytes = 0;
   if (!(in >> tag >> ok) || tag != "ok") return std::nullopt;
   r.ok = ok != 0;
+  int stopped = 0;
+  if (!(in >> tag >> stopped) || tag != "stopped_early") return std::nullopt;
+  r.stopped_early = stopped != 0;
   if (!(in >> tag >> r.code_lines) || tag != "code_lines") return std::nullopt;
   if (!(in >> tag >> r.dep_tests) || tag != "dep_tests") return std::nullopt;
   if (!(in >> tag >> r.dep_tests_unique) || tag != "dep_tests_unique")
     return std::nullopt;
-  if (!(in >> tag >> r.timings.parse_ms >> r.timings.inline_ms >>
-        r.timings.parallelize_ms >> r.timings.reverse_ms >>
-        r.timings.total_ms) ||
-      tag != "timings")
+  if (!(in >> tag >> r.timings.total_ms) || tag != "total_ms")
     return std::nullopt;
+  size_t npasses = 0;
+  if (!(in >> tag >> npasses) || tag != "passes") return std::nullopt;
+  for (size_t i = 0; i < npasses; ++i) {
+    pm::PassRecord p;
+    if (!(in >> tag >> p.name >> p.wall_ms >> p.units >> p.diagnostics) ||
+        tag != "pass")
+      return std::nullopt;
+    r.timings.passes.push_back(std::move(p));
+  }
+  size_t ndump = 0;
+  if (!(in >> tag >> ndump) || tag != "print_dump") return std::nullopt;
+  in.get();  // the newline terminating the print_dump header
+  r.print_dump.resize(ndump);
+  in.read(r.print_dump.data(), static_cast<std::streamsize>(ndump));
+  if (in.gcount() != static_cast<std::streamsize>(ndump)) return std::nullopt;
   if (!(in >> tag >> nloops) || tag != "parallel_loops") return std::nullopt;
   for (size_t i = 0; i < nloops; ++i) {
     int64_t id;

@@ -47,6 +47,8 @@ struct CompileResult {
   size_t dep_tests_unique = 0;  // tests actually executed (memoized pass)
   driver::PipelineTimings timings;  // of the original (miss) compilation
   std::string program_text;         // unparsed final program
+  std::string print_dump;           // --print-after capture ("" when unset)
+  bool stopped_early = false;       // --stop-after cut the sequence short
 };
 
 // Build a CompileResult from a finished pipeline run (unparses the final
@@ -56,7 +58,7 @@ CompileResult to_compile_result(const driver::PipelineResult& r);
 // Content hash of (source, annotations, options). Stable across runs and
 // platforms; bump kCacheFormatVersion when CompileResult serialization or
 // pipeline semantics change.
-inline constexpr uint32_t kCacheFormatVersion = 2;
+inline constexpr uint32_t kCacheFormatVersion = 3;
 
 uint64_t cache_key(std::string_view source, std::string_view annotations,
                    const driver::PipelineOptions& opts);

@@ -57,6 +57,26 @@ std::string table2_summary(const std::vector<CompileJob>& jobs,
   return out;
 }
 
+driver::Table2Row evaluate_table2_row(const suite::BenchmarkApp& app,
+                                      const driver::PipelineOptions& base,
+                                      Scheduler& sched) {
+  std::vector<CompileJob> jobs;
+  for (auto cfg :
+       {driver::InlineConfig::None, driver::InlineConfig::Conventional,
+        driver::InlineConfig::Annotation}) {
+    CompileJob j;
+    j.app = app;
+    j.opts = base;
+    j.opts.config = cfg;
+    jobs.push_back(std::move(j));
+  }
+  std::vector<CompileResult> results = sched.run_batch(jobs);
+  return driver::make_table2_row(
+      app.name, results[0].parallel_loops, results[0].code_lines,
+      results[1].parallel_loops, results[1].code_lines,
+      results[2].parallel_loops, results[2].code_lines);
+}
+
 Scheduler::Scheduler(const Options& opts)
     : opts_(opts), pool_(opts.threads < 1 ? 1 : opts.threads) {}
 

@@ -39,6 +39,16 @@ std::vector<CompileJob> suite_matrix(const driver::PipelineOptions& base = {});
 std::string table2_summary(const std::vector<CompileJob>& jobs,
                            const std::vector<CompileResult>& results);
 
+class Scheduler;
+
+// One app's Table II row with its three per-config compilations dispatched
+// as a batch through the scheduler — all lanes (and the cache) are used
+// even for a single app, unlike driver::evaluate_table2_row, which runs
+// the configs sequentially with no service in the loop.
+driver::Table2Row evaluate_table2_row(const suite::BenchmarkApp& app,
+                                      const driver::PipelineOptions& base,
+                                      Scheduler& sched);
+
 class Scheduler {
  public:
   struct Options {

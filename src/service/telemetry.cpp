@@ -13,6 +13,16 @@ std::string fmt_ms(double v) {
   return buf;
 }
 
+// Render one timings vector as {"<pass>": ms, ..., "pipeline_total": ms}.
+std::string passes_json(const driver::PipelineTimings& t) {
+  std::string out = "{";
+  for (const auto& p : t.passes) {
+    out += "\"" + json_escape(p.name) + "\": " + fmt_ms(p.wall_ms) + ", ";
+  }
+  out += "\"pipeline_total\": " + fmt_ms(t.total_ms) + "}";
+  return out;
+}
+
 }  // namespace
 
 void Telemetry::sample_queue_depth(int64_t depth) {
@@ -79,16 +89,26 @@ std::string Telemetry::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
 
   size_t ok = 0, hits = 0, dep_tests = 0, dep_tests_unique = 0;
+  // Aggregate per-pass wall time by pass name, ordered by first appearance
+  // across jobs (job order is deterministic, so the rendering is too).
   driver::PipelineTimings pass{};
   for (const auto& j : jobs_) {
     if (j.ok) ++ok;
     if (j.cache_hit) ++hits;
     dep_tests += j.dep_tests;
     dep_tests_unique += j.dep_tests_unique;
-    pass.parse_ms += j.timings.parse_ms;
-    pass.inline_ms += j.timings.inline_ms;
-    pass.parallelize_ms += j.timings.parallelize_ms;
-    pass.reverse_ms += j.timings.reverse_ms;
+    for (const auto& p : j.timings.passes) {
+      pm::PassRecord* agg = nullptr;
+      for (auto& a : pass.passes)
+        if (a.name == p.name) agg = &a;
+      if (!agg) {
+        pass.passes.push_back({p.name, 0, 0, 0});
+        agg = &pass.passes.back();
+      }
+      agg->wall_ms += p.wall_ms;
+      agg->units += p.units;
+      agg->diagnostics += p.diagnostics;
+    }
     pass.total_ms += j.timings.total_ms;
   }
 
@@ -101,11 +121,7 @@ std::string Telemetry::to_json() const {
     << ", \"batch_wall_ms\": " << fmt_ms(batch_wall_ms_)
     << ", \"dep_tests\": " << dep_tests
     << ", \"dep_tests_unique\": " << dep_tests_unique << "},\n";
-  s << "  \"passes_ms\": {\"parse\": " << fmt_ms(pass.parse_ms)
-    << ", \"inline\": " << fmt_ms(pass.inline_ms)
-    << ", \"parallelize\": " << fmt_ms(pass.parallelize_ms)
-    << ", \"reverse\": " << fmt_ms(pass.reverse_ms)
-    << ", \"pipeline_total\": " << fmt_ms(pass.total_ms) << "},\n";
+  s << "  \"passes_ms\": " << passes_json(pass) << ",\n";
   s << "  \"cache\": {\"memory_hits\": " << cache_.memory_hits
     << ", \"disk_hits\": " << cache_.disk_hits
     << ", \"misses\": " << cache_.misses << ", \"stores\": " << cache_.stores
@@ -138,11 +154,8 @@ std::string Telemetry::to_json() const {
       << ", \"dep_tests\": " << j.dep_tests
       << ", \"dep_tests_unique\": " << j.dep_tests_unique
       << ", \"parallel_loops\": " << j.parallel_loops
-      << ", \"code_lines\": " << j.code_lines << ", \"passes_ms\": {\"parse\": "
-      << fmt_ms(j.timings.parse_ms)
-      << ", \"inline\": " << fmt_ms(j.timings.inline_ms)
-      << ", \"parallelize\": " << fmt_ms(j.timings.parallelize_ms)
-      << ", \"reverse\": " << fmt_ms(j.timings.reverse_ms) << "}}"
+      << ", \"code_lines\": " << j.code_lines
+      << ", \"passes_ms\": " << passes_json(j.timings) << "}"
       << (i + 1 < jobs_.size() ? ",\n" : "\n");
   }
   s << "  ],\n";

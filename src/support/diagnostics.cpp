@@ -1,5 +1,7 @@
 #include "support/diagnostics.h"
 
+#include <iterator>
+
 namespace ap {
 
 namespace {
@@ -28,6 +30,14 @@ void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string stream,
                               std::string msg) {
   if (sev == Severity::Error) ++error_count_;
   diags_.push_back(Diagnostic{sev, loc, std::move(stream), std::move(msg)});
+}
+
+void DiagnosticEngine::merge(DiagnosticEngine&& other) {
+  if (other.diags_.empty()) return;
+  error_count_ += other.error_count_;
+  diags_.insert(diags_.end(), std::make_move_iterator(other.diags_.begin()),
+                std::make_move_iterator(other.diags_.end()));
+  other.clear();
 }
 
 void DiagnosticEngine::clear() {

@@ -38,6 +38,13 @@ class DiagnosticEngine {
 
   // Name used for subsequently reported diagnostics ("bdna.f", "annot:FSMP").
   void set_stream(std::string name) { stream_ = std::move(name); }
+  const std::string& stream() const { return stream_; }
+
+  // Append every diagnostic of `other` (in its order) to this engine.
+  // Per-unit parallel passes report into private engines and merge them
+  // back in unit-index order, so rendered output is deterministic no matter
+  // which lane finished first.
+  void merge(DiagnosticEngine&& other);
 
   bool has_errors() const { return error_count_ > 0; }
   size_t error_count() const { return error_count_; }

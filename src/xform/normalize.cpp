@@ -530,4 +530,11 @@ int substitute_inductions(std::vector<fir::StmtPtr>& body,
   return pass.run(body);
 }
 
+void normalize_unit(fir::ProgramUnit& unit) {
+  forward_propagate(unit.body);
+  substitute_inductions(unit.body);
+  // Induction substitution may expose more propagation opportunities.
+  forward_propagate(unit.body);
+}
+
 }  // namespace ap::xform

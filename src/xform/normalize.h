@@ -41,4 +41,10 @@ struct InductionOptions {
 int substitute_inductions(std::vector<fir::StmtPtr>& body,
                           const InductionOptions& opts = {});
 
+// The full pre-analysis normalization of one unit: forward propagation,
+// induction substitution, then forward propagation again (substitution
+// exposes more propagation opportunities). Units are independent, so the
+// pipeline's normalize pass fans this out one call per unit.
+void normalize_unit(fir::ProgramUnit& unit);
+
 }  // namespace ap::xform

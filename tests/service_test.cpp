@@ -377,7 +377,7 @@ TEST(Telemetry, JsonEscaping) {
   EXPECT_EQ(service::json_escape(std::string("x\x01y", 3)), "x\\u0001y");
 }
 
-// Satellite: PipelineTimings populated for all three configurations.
+// Satellite: per-pass PipelineTimings populated for all three configurations.
 TEST(PipelineTimings, PopulatedForEveryConfig) {
   const auto* app = suite::find_app("DYFESM");
   ASSERT_NE(app, nullptr);
@@ -388,15 +388,29 @@ TEST(PipelineTimings, PopulatedForEveryConfig) {
     o.config = cfg;
     auto r = driver::run_pipeline(*app, o);
     ASSERT_TRUE(r.ok);
-    EXPECT_GT(r.timings.parse_ms, 0) << driver::config_name(cfg);
-    EXPECT_GT(r.timings.parallelize_ms, 0) << driver::config_name(cfg);
-    EXPECT_GE(r.timings.total_ms,
-              r.timings.parse_ms + r.timings.parallelize_ms)
+    EXPECT_GT(r.timings.pass_ms("parse"), 0) << driver::config_name(cfg);
+    EXPECT_GT(r.timings.pass_ms("parallelize"), 0)
         << driver::config_name(cfg);
-    if (cfg == driver::InlineConfig::None)
-      EXPECT_EQ(r.timings.inline_ms + r.timings.reverse_ms, 0);
-    else
-      EXPECT_GT(r.timings.inline_ms, 0) << driver::config_name(cfg);
+    EXPECT_GE(r.timings.total_ms, r.timings.pass_ms("parse") +
+                                      r.timings.pass_ms("parallelize"))
+        << driver::config_name(cfg);
+    // Pass presence follows the configuration: inline passes only appear
+    // in the sequences that perform inlining, reverse-inline only in the
+    // annotation sequence.
+    EXPECT_EQ(r.timings.find("conv-inline") != nullptr,
+              cfg == driver::InlineConfig::Conventional)
+        << driver::config_name(cfg);
+    EXPECT_EQ(r.timings.find("annot-inline") != nullptr,
+              cfg == driver::InlineConfig::Annotation)
+        << driver::config_name(cfg);
+    EXPECT_EQ(r.timings.find("reverse-inline") != nullptr,
+              cfg == driver::InlineConfig::Annotation)
+        << driver::config_name(cfg);
+    // Every record carries the pass name and unit count; per-unit passes
+    // report one entry per program unit.
+    const auto* par = r.timings.find("parallelize");
+    ASSERT_NE(par, nullptr);
+    EXPECT_EQ(par->units, static_cast<int>(r.program->units.size()));
     EXPECT_GT(r.par.dep_tests, 0u) << driver::config_name(cfg);
     // Memoized dependence testing: every logical test maps to at most one
     // executed test, and at least one pair is actually tested.
