@@ -1,0 +1,57 @@
+// In-process fleet harness: one coordinator plus N workers on ephemeral
+// loopback ports, each worker with its own result cache. This is the
+// deployment the CLIs assemble across processes, packaged for tests and
+// the fleet benchmark — same classes, same wire traffic (the loopback
+// sockets are real), no process management.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "service/cache.h"
+
+namespace ap::dist {
+
+struct FleetOptions {
+  int workers = 2;
+  int worker_threads = 2;
+  size_t cache_capacity = 256;        // per-worker memory tier
+  std::string cache_dir_base;          // "" = memory-only; else <base>/w<i>
+  int64_t heartbeat_interval_ms = 200;
+  Membership::Options membership{/*suspect_after_ms=*/1'000,
+                                 /*dead_after_ms=*/3'000};
+  int probe_peers = 2;
+  int replicate = 1;
+  int64_t request_timeout_ms = 120'000;
+  service::Telemetry* telemetry = nullptr;  // coordinator's sink
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetOptions& opts) : opts_(opts) {}
+
+  // Starts the coordinator, then every worker joined to it. False with
+  // *err on the first failure (started components are drained).
+  bool start(std::string* err);
+
+  int coordinator_port() const { return coordinator_->port(); }
+  Coordinator* coordinator() { return coordinator_.get(); }
+  size_t size() const { return workers_.size(); }
+  Worker* worker(size_t i) { return workers_[i].get(); }
+  service::ResultCache* cache(size_t i) { return caches_[i].get(); }
+
+  // Graceful whole-fleet drain: workers first (each announces `leaving`),
+  // then the coordinator.
+  void drain_all();
+
+ private:
+  FleetOptions opts_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<service::ResultCache>> caches_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace ap::dist

@@ -1,0 +1,43 @@
+#include "dist/shard.h"
+
+#include <algorithm>
+
+namespace ap::dist {
+
+namespace {
+
+uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: full-avalanche mix of the combined 64-bit state.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t hrw_score(uint64_t key, std::string_view worker_id) {
+  return mix(key ^ mix(fnv1a(worker_id)));
+}
+
+std::vector<std::string> rank_workers(uint64_t key,
+                                      std::vector<std::string> ids) {
+  std::sort(ids.begin(), ids.end(),
+            [key](const std::string& a, const std::string& b) {
+              uint64_t sa = hrw_score(key, a), sb = hrw_score(key, b);
+              if (sa != sb) return sa > sb;
+              return a < b;
+            });
+  return ids;
+}
+
+}  // namespace ap::dist

@@ -1,0 +1,37 @@
+// Rendezvous (highest-random-weight) sharding for the compilation fleet.
+//
+// Every request already has a content fingerprint — the 64-bit cache key
+// over (source, annotations, options) — so routing reuses it: each worker
+// id is scored against the key and candidates are ranked by descending
+// score. The properties the fleet relies on:
+//
+//   - Stability under churn: when a worker leaves, only the keys it owned
+//     remap (each key's ranking of the *surviving* workers is unchanged);
+//     when a worker joins, it steals only the keys it now wins. There is
+//     no ring state to rebalance and no token metadata to gossip.
+//   - Failover order for free: the ranking *is* the retry order. The
+//     coordinator walks it on transport failure, and a worker probes the
+//     same ranking for the peer most likely to hold a key — which is
+//     exactly the previous owner after a membership change.
+//   - Determinism: scores depend only on (key, worker id), so every node
+//     computes the same ranking from the same membership view.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ap::dist {
+
+// The HRW score of one worker for one content key. Mixes an FNV-1a hash
+// of the worker id with the key through a splitmix64 finalizer, so near-
+// identical ids ("w1"/"w2") still land uniformly.
+uint64_t hrw_score(uint64_t key, std::string_view worker_id);
+
+// Worker ids ranked best-first for `key`. Ties (astronomically unlikely)
+// break toward the lexicographically smaller id so every node agrees.
+std::vector<std::string> rank_workers(uint64_t key,
+                                      std::vector<std::string> ids);
+
+}  // namespace ap::dist

@@ -17,6 +17,12 @@
 //   --metrics            print the server's cache/server counters
 //
 // Options:
+//   --coordinator        expect a fleet coordinator behind --port: perform
+//                        a `hello` handshake first and fail fast unless
+//                        the endpoint's role is "coordinator" and its
+//                        advertised protocol range overlaps ours. Requests
+//                        themselves are unchanged — the coordinator speaks
+//                        the same wire protocol as a single node.
 //   --annot FILE         annotation DSL file (FILE.f mode)
 //   --config C           inlining config: none | conv | annot (default
 //                        annot; --matrix covers all three)
@@ -57,6 +63,7 @@ namespace {
 
 struct Args {
   int port = -1;
+  bool coordinator = false;
   std::string source_file;
   std::string annot_file;
   std::string app_name;
@@ -79,7 +86,8 @@ struct Args {
 
 [[noreturn]] void usage_error(const char* msg) {
   std::fprintf(stderr,
-               "apclient: %s\nusage: apclient --port N [FILE.f | --app NAME "
+               "apclient: %s\nusage: apclient --port N [--coordinator] "
+               "[FILE.f | --app NAME "
                "| --matrix | --ping | --metrics] [--annot FILE] "
                "[--config none|conv|annot] [--run] [--engine tree|bytecode] "
                "[--run-threads N] [--connections N] [--check] "
@@ -101,6 +109,8 @@ Args parse_args(int argc, char** argv) {
     if (arg == "--port") {
       a.port = std::atoi(value());
       if (a.port < 1 || a.port > 65535) usage_error("--port out of range");
+    } else if (arg == "--coordinator") {
+      a.coordinator = true;
     } else if (arg == "--app") {
       a.app_name = value();
     } else if (arg == "--annot") {
@@ -401,10 +411,49 @@ int run_probe(const Args& args, net::RequestType type) {
   return 0;
 }
 
+// --coordinator: negotiate before submitting. Verifies the endpoint is a
+// coordinator and that the advertised protocol range overlaps ours.
+int check_coordinator(const Args& args) {
+  net::Client client;
+  std::string err;
+  if (!client.connect(args.port, &err, args.timeout_ms)) {
+    std::fprintf(stderr, "apclient: %s\n", err.c_str());
+    return 1;
+  }
+  net::HelloInfo info;
+  if (!client.hello(&info, &err)) {
+    std::fprintf(stderr, "apclient: %s\n", err.c_str());
+    return 1;
+  }
+  if (info.role != "coordinator") {
+    std::fprintf(stderr,
+                 "apclient: endpoint on port %d is a \"%s\", not a "
+                 "coordinator\n",
+                 args.port, info.role.c_str());
+    return 1;
+  }
+  if (info.max_version < net::kMinProtocolVersion ||
+      info.min_version > net::kProtocolVersion) {
+    std::fprintf(stderr,
+                 "apclient: no protocol overlap: server speaks v%d..v%d, "
+                 "client v%d..v%d\n",
+                 info.min_version, info.max_version, net::kMinProtocolVersion,
+                 net::kProtocolVersion);
+    return 1;
+  }
+  if (info.draining)
+    std::fprintf(stderr, "apclient: warning: coordinator is draining\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
+  if (args.coordinator) {
+    int rc = check_coordinator(args);
+    if (rc) return rc;
+  }
   if (args.matrix) return run_matrix(args);
   if (args.ping) return run_probe(args, net::RequestType::Ping);
   if (args.metrics) return run_probe(args, net::RequestType::Metrics);

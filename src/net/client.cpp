@@ -115,4 +115,20 @@ bool Client::call(Request req, Response* resp, std::string* err) {
   return true;
 }
 
+bool Client::hello(HelloInfo* info, std::string* err) {
+  Request req;
+  req.type = RequestType::Hello;
+  Response resp;
+  if (!call(std::move(req), &resp, err)) return false;
+  if (resp.status != Status::Ok || !resp.has_hello) {
+    if (err)
+      *err = "server did not answer hello: " +
+             std::string(status_name(resp.status)) +
+             (resp.error.empty() ? "" : " (" + resp.error + ")");
+    return false;
+  }
+  if (info) *info = resp.hello;
+  return true;
+}
+
 }  // namespace ap::net

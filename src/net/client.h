@@ -34,6 +34,11 @@ class Client {
   // *resp. Assigns a fresh id when req.id == 0.
   bool call(Request req, Response* resp, std::string* err);
 
+  // Version negotiation: sends a `hello` and returns the server's
+  // advertised version range, role, and drain state. False with *err on
+  // transport failure or a server that does not answer hello.
+  bool hello(HelloInfo* info, std::string* err);
+
   // Raw frame transport (exposed for protocol-hardening tests that must
   // send malformed payloads).
   bool send_frame(std::string_view payload, std::string* err);

@@ -1,5 +1,7 @@
 #include "net/protocol.h"
 
+#include <cstdio>
+
 namespace ap::net {
 
 namespace {
@@ -28,8 +30,27 @@ const char* request_type_name(RequestType t) {
     case RequestType::Run: return "run";
     case RequestType::Metrics: return "metrics";
     case RequestType::Ping: return "ping";
+    case RequestType::Hello: return "hello";
+    case RequestType::Register: return "register";
+    case RequestType::Heartbeat: return "heartbeat";
+    case RequestType::CacheProbe: return "cache_probe";
+    case RequestType::CacheFill: return "cache_fill";
+    case RequestType::Forward: return "forward";
   }
   return "?";
+}
+
+bool request_type_requires_v3(RequestType t) {
+  switch (t) {
+    case RequestType::Register:
+    case RequestType::Heartbeat:
+    case RequestType::CacheProbe:
+    case RequestType::CacheFill:
+    case RequestType::Forward:
+      return true;
+    default:
+      return false;
+  }
 }
 
 const char* status_name(Status s) {
@@ -38,9 +59,33 @@ const char* status_name(Status s) {
     case Status::Error: return "error";
     case Status::Overloaded: return "overloaded";
     case Status::DeadlineExceeded: return "deadline_exceeded";
+    case Status::UnsupportedVersion: return "unsupported_version";
+    case Status::WorkerLost: return "worker_lost";
     case Status::ProtocolError: return "protocol_error";
   }
   return "?";
+}
+
+std::string format_key(uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+bool parse_key(std::string_view hex, uint64_t* out) {
+  if (hex.empty() || hex.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = v;
+  return true;
 }
 
 json::Value pipeline_options_to_json(const driver::PipelineOptions& o) {
@@ -274,6 +319,48 @@ RunPayload run_payload_from_json(const json::Value& v) {
   return r;
 }
 
+json::Value worker_info_to_json(const WorkerInfo& w) {
+  json::Value out = json::Value::object();
+  out.set("id", w.id).set("host", w.host).set("port", w.port);
+  return out;
+}
+
+WorkerInfo worker_info_from_json(const json::Value& v) {
+  WorkerInfo w;
+  w.id = get_string(v, "id");
+  w.host = get_string(v, "host");
+  w.port = static_cast<int>(get_int(v, "port", 0));
+  return w;
+}
+
+json::Value worker_load_to_json(const WorkerLoad& l) {
+  json::Value out = json::Value::object();
+  out.set("queue_depth", l.queue_depth)
+      .set("running", l.running)
+      .set("cache_entries", l.cache_entries)
+      .set("cache_hits", l.cache_hits)
+      .set("cache_misses", l.cache_misses)
+      .set("peer_hits", l.peer_hits);
+  return out;
+}
+
+WorkerLoad worker_load_from_json(const json::Value& v) {
+  WorkerLoad l;
+  l.queue_depth = get_int(v, "queue_depth", 0);
+  l.running = get_int(v, "running", 0);
+  l.cache_entries = static_cast<uint64_t>(get_int(v, "cache_entries", 0));
+  l.cache_hits = static_cast<uint64_t>(get_int(v, "cache_hits", 0));
+  l.cache_misses = static_cast<uint64_t>(get_int(v, "cache_misses", 0));
+  l.peer_hits = static_cast<uint64_t>(get_int(v, "peer_hits", 0));
+  return l;
+}
+
+// Compile/run/forward bodies share the same payload fields.
+bool carries_compile_payload(RequestType t) {
+  return t == RequestType::Compile || t == RequestType::Run ||
+         t == RequestType::Forward;
+}
+
 }  // namespace
 
 json::Value request_to_json(const Request& r) {
@@ -281,15 +368,38 @@ json::Value request_to_json(const Request& r) {
   out.set("v", kProtocolVersion)
       .set("type", request_type_name(r.type))
       .set("id", r.id);
-  if (r.type == RequestType::Compile || r.type == RequestType::Run) {
+  if (carries_compile_payload(r.type)) {
     out.set("name", r.name)
         .set("source", r.source)
         .set("annotations", r.annotations)
         .set("options", pipeline_options_to_json(r.options));
     if (r.deadline_ms > 0) out.set("deadline_ms", r.deadline_ms);
   }
-  if (r.type == RequestType::Run)
-    out.set("interp", interp_options_to_json(r.interp));
+  bool wants_interp =
+      r.type == RequestType::Run ||
+      (r.type == RequestType::Forward && r.inner == RequestType::Run);
+  if (wants_interp) out.set("interp", interp_options_to_json(r.interp));
+  switch (r.type) {
+    case RequestType::Register:
+      out.set("worker", worker_info_to_json(r.worker));
+      break;
+    case RequestType::Heartbeat:
+      out.set("worker", worker_info_to_json(r.worker))
+          .set("load", worker_load_to_json(r.load));
+      if (r.leaving) out.set("leaving", true);
+      break;
+    case RequestType::CacheProbe:
+      out.set("key", r.key);
+      break;
+    case RequestType::CacheFill:
+      out.set("key", r.key).set("payload", r.payload);
+      break;
+    case RequestType::Forward:
+      out.set("inner", request_type_name(r.inner)).set("attempt", r.attempt);
+      break;
+    default:
+      break;
+  }
   return out;
 }
 
@@ -299,24 +409,32 @@ bool request_from_json(const json::Value& v, Request* out, std::string* err) {
     return false;
   }
   int64_t version = get_int(v, "v", 0);
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     if (err)
       *err = "unsupported protocol version " + std::to_string(version) +
-             " (want " + std::to_string(kProtocolVersion) + ")";
+             " (supported " + std::to_string(kMinProtocolVersion) + ".." +
+             std::to_string(kProtocolVersion) + ")";
     return false;
   }
   Request r;
+  r.version = static_cast<int>(version);
   std::string type = get_string(v, "type");
   if (type == "compile") r.type = RequestType::Compile;
   else if (type == "run") r.type = RequestType::Run;
   else if (type == "metrics") r.type = RequestType::Metrics;
   else if (type == "ping") r.type = RequestType::Ping;
+  else if (type == "hello") r.type = RequestType::Hello;
+  else if (type == "register") r.type = RequestType::Register;
+  else if (type == "heartbeat") r.type = RequestType::Heartbeat;
+  else if (type == "cache_probe") r.type = RequestType::CacheProbe;
+  else if (type == "cache_fill") r.type = RequestType::CacheFill;
+  else if (type == "forward") r.type = RequestType::Forward;
   else {
     if (err) *err = "unknown request type: " + type;
     return false;
   }
   r.id = get_int(v, "id", 0);
-  if (r.type == RequestType::Compile || r.type == RequestType::Run) {
+  if (carries_compile_payload(r.type)) {
     const json::Value* source = v.find("source");
     if (!source || !source->is_string()) {
       if (err) *err = "compile/run request requires a string \"source\"";
@@ -329,11 +447,59 @@ bool request_from_json(const json::Value& v, Request* out, std::string* err) {
     if (const json::Value* opts = v.find("options")) {
       if (!pipeline_options_from_json(*opts, &r.options, err)) return false;
     }
-    if (r.type == RequestType::Run) {
+  }
+  switch (r.type) {
+    case RequestType::Run:
       if (const json::Value* io = v.find("interp")) {
         if (!interp_options_from_json(*io, &r.interp, err)) return false;
       }
+      break;
+    case RequestType::Register:
+    case RequestType::Heartbeat: {
+      const json::Value* w = v.find("worker");
+      if (!w || !w->is_object()) {
+        if (err) *err = "register/heartbeat requires a \"worker\" object";
+        return false;
+      }
+      r.worker = worker_info_from_json(*w);
+      if (r.worker.id.empty()) {
+        if (err) *err = "worker id must be non-empty";
+        return false;
+      }
+      if (const json::Value* l = v.find("load"))
+        r.load = worker_load_from_json(*l);
+      r.leaving = get_bool(v, "leaving", false);
+      break;
     }
+    case RequestType::CacheProbe:
+    case RequestType::CacheFill: {
+      r.key = get_string(v, "key");
+      uint64_t parsed;
+      if (!parse_key(r.key, &parsed)) {
+        if (err) *err = "cache_probe/cache_fill requires a hex \"key\"";
+        return false;
+      }
+      if (r.type == RequestType::CacheFill) r.payload = get_string(v, "payload");
+      break;
+    }
+    case RequestType::Forward: {
+      std::string inner = get_string(v, "inner");
+      if (inner == "compile") r.inner = RequestType::Compile;
+      else if (inner == "run") r.inner = RequestType::Run;
+      else {
+        if (err) *err = "forward requires inner type compile or run";
+        return false;
+      }
+      r.attempt = static_cast<int>(get_int(v, "attempt", 0));
+      if (r.inner == RequestType::Run) {
+        if (const json::Value* io = v.find("interp")) {
+          if (!interp_options_from_json(*io, &r.interp, err)) return false;
+        }
+      }
+      break;
+    }
+    default:
+      break;
   }
   *out = r;
   return true;
@@ -348,6 +514,23 @@ json::Value response_to_json(const Response& r) {
   if (r.has_result) out.set("result", compile_result_to_json(r.result));
   if (r.has_run) out.set("run", run_payload_to_json(r.run));
   if (r.metrics.is_object()) out.set("metrics", r.metrics);
+  if (r.has_hello) {
+    json::Value hello = json::Value::object();
+    hello.set("min_version", r.hello.min_version)
+        .set("max_version", r.hello.max_version)
+        .set("role", r.hello.role)
+        .set("draining", r.hello.draining);
+    out.set("hello", std::move(hello));
+  }
+  if (r.found || !r.payload.empty()) {
+    out.set("found", r.found);
+    if (!r.payload.empty()) out.set("payload", r.payload);
+  }
+  if (r.has_peers) {
+    json::Value peers = json::Value::array();
+    for (const auto& p : r.peers) peers.push(worker_info_to_json(p));
+    out.set("peers", std::move(peers));
+  }
   return out;
 }
 
@@ -364,6 +547,8 @@ bool response_from_json(const json::Value& v, Response* out,
   else if (status == "error") r.status = Status::Error;
   else if (status == "overloaded") r.status = Status::Overloaded;
   else if (status == "deadline_exceeded") r.status = Status::DeadlineExceeded;
+  else if (status == "unsupported_version") r.status = Status::UnsupportedVersion;
+  else if (status == "worker_lost") r.status = Status::WorkerLost;
   else if (status == "protocol_error") r.status = Status::ProtocolError;
   else {
     if (err) *err = "unknown response status: " + status;
@@ -379,6 +564,22 @@ bool response_from_json(const json::Value& v, Response* out,
     r.run = run_payload_from_json(*run);
   }
   if (const json::Value* metrics = v.find("metrics")) r.metrics = *metrics;
+  if (const json::Value* hello = v.find("hello")) {
+    r.has_hello = true;
+    r.hello.min_version =
+        static_cast<int>(get_int(*hello, "min_version", kMinProtocolVersion));
+    r.hello.max_version =
+        static_cast<int>(get_int(*hello, "max_version", kProtocolVersion));
+    r.hello.role = get_string(*hello, "role");
+    r.hello.draining = get_bool(*hello, "draining", false);
+  }
+  r.found = get_bool(v, "found", false);
+  r.payload = get_string(v, "payload");
+  if (const json::Value* peers = v.find("peers")) {
+    r.has_peers = true;
+    for (const json::Value& p : peers->items())
+      r.peers.push_back(worker_info_from_json(p));
+  }
   *out = r;
   return true;
 }

@@ -1,36 +1,69 @@
 // The versioned JSON wire protocol spoken between apserved and apclient.
 //
 // Every frame payload is one JSON object. Requests carry `"v"` (protocol
-// version, must equal kProtocolVersion), `"type"`, a client-chosen `"id"`
-// echoed in the response, and per-type fields:
+// version, any value in [kMinProtocolVersion, kProtocolVersion]), `"type"`,
+// a client-chosen `"id"` echoed in the response, and per-type fields:
 //
-//   compile — source text, annotation text, full PipelineOptions
-//   run     — compile fields plus a full InterpOptions encoding; the
-//             server compiles (uncached path: execution needs the live
-//             AST with its OMP metadata) and executes the result
-//   metrics — no payload; returns cache + server counters
-//   ping    — no payload; liveness probe
+//   compile     — source text, annotation text, full PipelineOptions
+//   run         — compile fields plus a full InterpOptions encoding; the
+//                 server compiles (uncached path: execution needs the live
+//                 AST with its OMP metadata) and executes the result
+//   metrics     — no payload; returns cache + server counters
+//   ping        — no payload; liveness probe
+//   hello       — version negotiation: answered with the server's supported
+//                 version range, role, and drain state. Answered for ANY
+//                 claimed version — this is how a client discovers what to
+//                 speak before committing to a version.
+//
+// Fleet control plane (v3, the distributed tier of src/dist):
+//
+//   register    — a worker joins a coordinator: identity + address.
+//                 Response carries the current routable peer list.
+//   heartbeat   — periodic worker→coordinator liveness + load + cache
+//                 stats; `leaving: true` announces a graceful departure.
+//                 Response refreshes the peer list.
+//   cache_probe — "do you hold content hash K?" — answered from the local
+//                 result cache with the serialized CompileResult on hit.
+//                 The peer-lookup half of the distributed cache tier.
+//   cache_fill  — push a serialized result under K into the receiver's
+//                 cache (replication after a fresh compile).
+//   forward     — a coordinator-wrapped compile/run: same payload fields
+//                 plus the wrapped type and the routing attempt counter.
+//                 Workers must never re-forward (no routing loops).
 //
 // Responses carry the echoed id and a `"status"`:
 //
-//   ok                — per-type payload (result / run / metrics)
-//   error             — request was valid but the work failed
-//   overloaded        — bounded admission queue was full (or draining);
-//                       the request was NOT accepted, retry later
-//   deadline_exceeded — accepted, but not finished within the deadline;
-//                       the result was discarded
-//   protocol_error    — unparseable/oversized frame or bad version; the
-//                       server closes the connection after sending it
+//   ok                  — per-type payload (result / run / metrics / hello
+//                         / peers / probe outcome)
+//   error               — request was valid but the work failed
+//   overloaded          — bounded admission queue was full (or draining, or
+//                         a fleet has no routable workers); the request was
+//                         NOT accepted, retry later
+//   deadline_exceeded   — accepted, but not finished within the deadline;
+//                         the result was discarded
+//   unsupported_version — the request's "v" is outside the server's
+//                         supported range (or a v3-only type arrived under
+//                         an older version). Structured and non-fatal: the
+//                         connection stays open so the client can fall back
+//                         after a `hello`.
+//   worker_lost         — fleet only: every routable worker for the shard
+//                         failed mid-request (transport errors after
+//                         bounded retry/failover); safe to retry
+//   protocol_error      — unparseable/oversized frame or undecodable
+//                         request; the server closes the connection after
+//                         sending it (the stream cannot be resynchronized)
 //
 // Options encodings are total: every PipelineOptions and InterpOptions
 // field has a named key, so a compile over the wire is bit-equivalent to
 // an in-process run with the same options (tests/net_e2e_test.cpp holds
-// this as an invariant). Unknown request keys are ignored (forward
+// this as an invariant; tests/dist_e2e_test.cpp extends it across a
+// coordinator hop). Unknown request keys are ignored (forward
 // compatibility); unknown enum strings are errors.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "driver/pipeline.h"
 #include "interp/interp.h"
@@ -39,25 +72,85 @@
 
 namespace ap::net {
 
+// v3: fleet control plane (register/heartbeat/cache_probe/cache_fill/
+// forward), hello negotiation, unsupported_version + worker_lost statuses.
 // v2: per-pass timing records replace the fixed timing fields in compile
 // results; pipeline options gained stop_after/print_after.
-inline constexpr int kProtocolVersion = 2;
+inline constexpr int kProtocolVersion = 3;
+// v1 request bodies decode identically to v2 (absent fields keep their
+// defaults), so the full historical range stays accepted.
+inline constexpr int kMinProtocolVersion = 1;
 
-enum class RequestType : uint8_t { Compile, Run, Metrics, Ping };
+enum class RequestType : uint8_t {
+  Compile,
+  Run,
+  Metrics,
+  Ping,
+  Hello,
+  Register,
+  Heartbeat,
+  CacheProbe,
+  CacheFill,
+  Forward,
+};
 const char* request_type_name(RequestType t);
+
+// True for the v3 fleet control-plane types (register/heartbeat/probe/
+// fill/forward): requests of these types under an older claimed version
+// draw `unsupported_version`.
+bool request_type_requires_v3(RequestType t);
 
 enum class Status : uint8_t {
   Ok,
   Error,
   Overloaded,
   DeadlineExceeded,
+  UnsupportedVersion,
+  WorkerLost,
   ProtocolError,
 };
 const char* status_name(Status s);
 
+// Content-hash keys travel as fixed-width lowercase hex (the same value
+// service::cache_key computes; the coordinator shards by it and the cache
+// tier probes by it).
+std::string format_key(uint64_t key);
+bool parse_key(std::string_view hex, uint64_t* out);
+
+// A worker's identity and reachable address (register/heartbeat requests,
+// peer lists in their responses).
+struct WorkerInfo {
+  std::string id;    // stable identity; the rendezvous-hash token
+  std::string host;  // peer-reachable address (loopback deployments: 127.0.0.1)
+  int port = 0;      // wire-protocol port
+};
+
+// A worker's load + cache counters, piggybacked on heartbeats so the
+// coordinator's telemetry has a per-worker section without extra RPCs.
+struct WorkerLoad {
+  int64_t queue_depth = 0;   // admitted, not yet running
+  int64_t running = 0;       // jobs currently executing
+  uint64_t cache_entries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t peer_hits = 0;    // misses answered by the peer tier instead
+};
+
+// Hello response payload: what the server speaks and what it is.
+struct HelloInfo {
+  int min_version = kMinProtocolVersion;
+  int max_version = kProtocolVersion;
+  std::string role = "single";  // "single" | "coordinator" | "worker"
+  bool draining = false;
+};
+
 struct Request {
   RequestType type = RequestType::Ping;
   int64_t id = 0;
+  // The version the sender claimed ("v"). Encoders always stamp
+  // kProtocolVersion; decoders accept the full supported range and
+  // preserve the claim so servers can gate v3-only types.
+  int version = kProtocolVersion;
   std::string name;         // display label (app name); not semantic
   std::string source;       // F77-subset program text
   std::string annotations;  // annotation DSL text ("" = none)
@@ -66,6 +159,17 @@ struct Request {
   // Per-request deadline override in milliseconds; 0 = use the server's
   // --request-timeout-ms default.
   int64_t deadline_ms = 0;
+
+  // --- v3 fleet fields ---
+  WorkerInfo worker;    // register, heartbeat
+  WorkerLoad load;      // heartbeat
+  bool leaving = false; // heartbeat: graceful departure announcement
+  std::string key;      // cache_probe, cache_fill (format_key hex)
+  std::string payload;  // cache_fill: serialized CompileResult
+  // forward: the wrapped request type (Compile or Run) and the
+  // coordinator's 0-based routing attempt for this request.
+  RequestType inner = RequestType::Compile;
+  int attempt = 0;
 };
 
 // One interpreter execution, for run responses.
@@ -93,6 +197,16 @@ struct Response {
   RunPayload run;  // run responses
 
   json::Value metrics;  // metrics responses (object); null otherwise
+
+  // --- v3 fleet fields ---
+  bool has_hello = false;
+  HelloInfo hello;  // hello responses
+
+  bool found = false;   // cache_probe: the key was held
+  std::string payload;  // cache_probe hit: serialized CompileResult
+
+  bool has_peers = false;
+  std::vector<WorkerInfo> peers;  // register/heartbeat: routable peers
 };
 
 // Options <-> JSON (every field, round-trip exact).

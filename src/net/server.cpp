@@ -22,6 +22,12 @@ double ms_since(clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
 }
 
+int64_t steady_ms(clock::time_point t = clock::now()) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 Server::Server(const ServerOptions& opts) : opts_(opts) {
@@ -40,8 +46,8 @@ Server::~Server() {
 }
 
 bool Server::start(std::string* err) {
-  if (!opts_.scheduler) {
-    if (err) *err = "ServerOptions.scheduler is required";
+  if (!opts_.scheduler && !opts_.executor) {
+    if (err) *err = "ServerOptions.scheduler is required (or an executor)";
     return false;
   }
   listen_fd_ = listen_tcp(opts_.port, &port_, err);
@@ -101,6 +107,16 @@ service::ServerStats Server::stats() const {
   return stats_;
 }
 
+int64_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+int64_t Server::jobs_running() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return jobs_running_;
+}
+
 // ---------------------------------------------------------------------------
 // Event loop
 // ---------------------------------------------------------------------------
@@ -145,6 +161,20 @@ void Server::loop_main() {
           std::chrono::duration_cast<std::chrono::milliseconds>(nearest - now)
               .count();
       timeout_ms = static_cast<int>(std::clamp<int64_t>(delta, 0, 60'000));
+    }
+    // With live connections and idle reaping on, wake often enough that a
+    // silent peer is noticed without any poll activity on its socket.
+    if (opts_.idle_timeout_ms > 0) {
+      bool have_conns;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        have_conns = !conns_.empty();
+      }
+      if (have_conns) {
+        int tick = static_cast<int>(
+            std::clamp<int64_t>(opts_.idle_timeout_ms / 4, 10, 60'000));
+        if (timeout_ms < 0 || tick < timeout_ms) timeout_ms = tick;
+      }
     }
     ::poll(fds.data(), fds.size(), timeout_ms);
     now = clock::now();
@@ -192,6 +222,7 @@ void Server::loop_main() {
     }
 
     sweep_deadlines(now);
+    if (opts_.idle_timeout_ms > 0 && !draining_.load()) sweep_idle(now);
 
     // Opportunistic flush: handlers above may have queued responses on
     // connections that polled readable but not writable this round.
@@ -243,6 +274,7 @@ void Server::accept_new_connections() {
     set_nonblocking(fd);
     auto conn = std::make_shared<Connection>(opts_.max_frame_bytes);
     conn->fd = fd;
+    conn->last_activity_ms.store(steady_ms());
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conn->id = next_conn_id_++;
@@ -258,6 +290,7 @@ void Server::read_connection(const std::shared_ptr<Connection>& conn) {
   while (true) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      conn->last_activity_ms.store(steady_ms());
       conn->reader.feed(buf, static_cast<size_t>(n));
       continue;
     }
@@ -296,18 +329,78 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
     conn->outbox += encode_frame(response_to_json(resp).dump());
   };
 
+  auto hello_reply = [&](int64_t id) {
+    Response resp;
+    resp.id = id;
+    resp.has_hello = true;
+    resp.hello.min_version = kMinProtocolVersion;
+    resp.hello.max_version = kProtocolVersion;
+    resp.hello.role = opts_.role;
+    resp.hello.draining = draining_.load();
+    reply(resp);
+  };
+
   std::string parse_err;
   auto doc = json::parse(payload, &parse_err);
-  Request req;
-  std::string decode_err;
-  if (!doc || !request_from_json(*doc, &req, &decode_err)) {
+  if (!doc || !doc->is_object()) {
     Response resp;
     resp.status = Status::ProtocolError;
-    resp.error = doc ? decode_err : "malformed JSON payload: " + parse_err;
+    resp.error = doc ? "request must be a JSON object"
+                     : "malformed JSON payload: " + parse_err;
     reply(resp);
     conn->closing = true;
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.protocol_errors;
+    return;
+  }
+
+  // Negotiation happens before strict decoding: a `hello` is answered for
+  // ANY claimed version, and an out-of-range version draws a structured
+  // `unsupported_version` (connection stays open) rather than the fatal
+  // `protocol_error` path.
+  const json::Value* type_field = doc->find("type");
+  if (type_field && type_field->is_string() &&
+      type_field->as_string() == "hello") {
+    const json::Value* idf = doc->find("id");
+    hello_reply(idf ? idf->as_int() : 0);
+    return;
+  }
+  const json::Value* vf = doc->find("v");
+  int claimed = vf ? static_cast<int>(vf->as_int()) : kProtocolVersion;
+  if (claimed < kMinProtocolVersion || claimed > kProtocolVersion) {
+    const json::Value* idf = doc->find("id");
+    Response resp;
+    resp.id = idf ? idf->as_int() : 0;
+    resp.status = Status::UnsupportedVersion;
+    resp.error = "protocol version " + std::to_string(claimed) +
+                 " outside supported range [" +
+                 std::to_string(kMinProtocolVersion) + ", " +
+                 std::to_string(kProtocolVersion) + "]; send `hello`";
+    reply(resp);
+    return;
+  }
+
+  Request req;
+  std::string decode_err;
+  if (!request_from_json(*doc, &req, &decode_err)) {
+    Response resp;
+    resp.status = Status::ProtocolError;
+    resp.error = decode_err;
+    reply(resp);
+    conn->closing = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+    return;
+  }
+
+  if (request_type_requires_v3(req.type) && req.version < 3) {
+    Response resp;
+    resp.id = req.id;
+    resp.status = Status::UnsupportedVersion;
+    resp.error = std::string(request_type_name(req.type)) +
+                 " requires protocol v3 (request claimed v" +
+                 std::to_string(req.version) + ")";
+    reply(resp);
     return;
   }
 
@@ -318,6 +411,10 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       reply(resp);
       return;
     }
+    case RequestType::Hello: {
+      hello_reply(req.id);
+      return;
+    }
     case RequestType::Metrics: {
       Response resp;
       resp.id = req.id;
@@ -325,8 +422,26 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       reply(resp);
       return;
     }
+    case RequestType::Register:
+    case RequestType::Heartbeat:
+    case RequestType::CacheProbe:
+    case RequestType::CacheFill: {
+      // Fleet control plane: answered synchronously on the loop thread
+      // (handlers are lock-and-copy, never compile).
+      Response resp;
+      resp.id = req.id;
+      if (!opts_.control || !opts_.control(req, &resp)) {
+        resp.status = Status::Error;
+        resp.error = std::string(request_type_name(req.type)) +
+                     " not supported: not a fleet endpoint";
+      }
+      resp.id = req.id;
+      reply(resp);
+      return;
+    }
     case RequestType::Compile:
-    case RequestType::Run: {
+    case RequestType::Run:
+    case RequestType::Forward: {
       if (draining_.load()) {
         Response resp;
         resp.id = req.id;
@@ -364,6 +479,7 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
         stats_.queue_depth_peak = std::max(
             stats_.queue_depth_peak, static_cast<int64_t>(queue_.size()));
       }
+      conn->inflight.fetch_add(1);  // idle sweep must not reap mid-request
       queue_cv_.notify_one();
       if (job->deadline != clock::time_point::max())
         deadline_watch_.push_back(job);
@@ -440,6 +556,29 @@ void Server::sweep_deadlines(clock::time_point now) {
       deadline_watch_.end());
 }
 
+void Server::sweep_idle(clock::time_point now) {
+  int64_t now_ms = steady_ms(now);
+  std::vector<uint64_t> reap;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      if (conn->closing) continue;
+      if (conn->inflight.load() > 0) continue;
+      {
+        std::lock_guard<std::mutex> out_lock(conn->out_mu);
+        if (!conn->outbox.empty()) continue;
+      }
+      if (now_ms - conn->last_activity_ms.load() >= opts_.idle_timeout_ms)
+        reap.push_back(id);
+    }
+  }
+  for (uint64_t id : reap) close_connection(id);
+  if (!reap.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.idle_closed += reap.size();
+  }
+}
+
 json::Value Server::build_metrics() const {
   json::Value out = json::Value::object();
   if (opts_.scheduler && opts_.scheduler->cache()) {
@@ -462,9 +601,12 @@ json::Value Server::build_metrics() const {
       .set("rejected_overload", ss.rejected_overload)
       .set("timed_out", ss.timed_out)
       .set("protocol_errors", ss.protocol_errors)
+      .set("idle_closed", ss.idle_closed)
       .set("queue_depth_peak", ss.queue_depth_peak)
+      .set("role", opts_.role)
       .set("draining", draining_.load());
   out.set("server", std::move(server));
+  if (opts_.extra_metrics) opts_.extra_metrics(&out);
   return out;
 }
 
@@ -480,6 +622,8 @@ bool Server::deliver(uint64_t conn_id, const Response& resp) {
     std::lock_guard<std::mutex> out_lock(conn->out_mu);
     conn->outbox += encode_frame(response_to_json(resp).dump());
   }
+  conn->last_activity_ms.store(steady_ms());
+  conn->inflight.fetch_sub(1);  // exactly one deliver per admitted job
   nudge();
   return true;
 }
@@ -522,6 +666,18 @@ void Server::worker_main() {
 }
 
 Response Server::execute(const Request& req) {
+  if (opts_.executor) {
+    // Pluggable dispatch (the coordinator's shard/forward/failover path).
+    Response resp = opts_.executor(req);
+    resp.id = req.id;
+    return resp;
+  }
+
+  // A forward is the coordinator-wrapped form of compile/run; unwrap it
+  // and serve the inner request locally (workers never re-forward).
+  RequestType effective =
+      req.type == RequestType::Forward ? req.inner : req.type;
+
   Response resp;
   resp.id = req.id;
   try {
@@ -531,7 +687,7 @@ Response Server::execute(const Request& req) {
     job.app.annotations = req.annotations;
     job.opts = req.options;
 
-    if (req.type == RequestType::Compile) {
+    if (effective == RequestType::Compile) {
       auto t0 = clock::now();
       resp.result = opts_.scheduler->run_one(job);
       resp.has_result = true;

@@ -21,12 +21,26 @@
 //     deadline is answered `deadline_exceeded` right then; whatever a
 //     worker later computes for it is discarded.
 //   - A malformed or oversized frame draws a `protocol_error` response and
-//     the connection is closed (the stream cannot be resynchronized).
+//     the connection is closed (the stream cannot be resynchronized). A
+//     request claiming an unsupported protocol version draws a structured
+//     `unsupported_version` response and the connection STAYS open — the
+//     client can `hello` and fall back.
+//   - Idle reaping: a connection with no socket activity, no in-flight
+//     work, and an empty outbox for `idle_timeout_ms` is closed by the
+//     loop, so a silent or half-open peer cannot pin an fd forever.
 //   - Graceful drain (begin_drain(), or a byte 'q' on wake_fd() — the
 //     async-signal-safe path for SIGINT/SIGTERM handlers): stop accepting
 //     connections, answer new requests `overloaded`, finish all queued and
 //     running jobs, flush every outbox, then shut down. A hard
 //     `drain_timeout_ms` bounds the wait against clients that never read.
+//
+// Fleet hooks (src/dist)
+//   The serving core is role-agnostic: a coordinator is a Server whose
+//   `executor` forwards work to workers instead of compiling, and both
+//   coordinators and workers answer control-plane messages
+//   (register/heartbeat/cache_probe/cache_fill) synchronously on the loop
+//   thread through `control`. `extra_metrics` lets a role append its own
+//   sections (fleet membership, peer-cache counters) to metrics responses.
 #pragma once
 
 #include <atomic>
@@ -34,6 +48,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,9 +70,23 @@ struct ServerOptions {
   // larger "deadline_ms". 0 disables deadlines entirely.
   int64_t request_timeout_ms = 30'000;
   int64_t drain_timeout_ms = 30'000;  // hard bound on graceful drain
+  // Connections with no activity, no in-flight requests, and nothing to
+  // flush for this long are closed by the loop. 0 disables reaping.
+  int64_t idle_timeout_ms = 300'000;
   size_t max_frame_bytes = kDefaultMaxFrame;
-  service::Scheduler* scheduler = nullptr;  // required (cache-aware dispatch)
+  // Role reported in `hello` responses: "single", "coordinator", "worker".
+  std::string role = "single";
+  service::Scheduler* scheduler = nullptr;  // required unless `executor` set
   service::Telemetry* telemetry = nullptr;  // optional: job/exec/server rows
+  // When set, worker lanes dispatch admitted requests here instead of the
+  // built-in scheduler path (the coordinator's shard/forward/failover).
+  std::function<Response(const Request&)> executor;
+  // Loop-thread handler for fleet control-plane requests (register,
+  // heartbeat, cache_probe, cache_fill). Return true when handled; false
+  // draws a structured `error` reply ("not a fleet endpoint").
+  std::function<bool(const Request&, Response*)> control;
+  // Appends role-specific sections to metrics responses.
+  std::function<void(json::Value*)> extra_metrics;
 };
 
 class Server {
@@ -90,6 +119,10 @@ class Server {
 
   service::ServerStats stats() const;
 
+  // Load snapshot for heartbeats: admitted-but-not-running and running.
+  int64_t queue_depth() const;
+  int64_t jobs_running() const;
+
  private:
   enum JobPhase : int { kPending = 0, kRunning = 1, kDone = 2, kAbandoned = 3 };
 
@@ -107,6 +140,10 @@ class Server {
     std::mutex out_mu;
     std::string outbox;     // encoded frames awaiting the socket
     bool closing = false;   // loop thread only: close once outbox drains
+    // Idle-reap bookkeeping: last socket/deliver activity (steady-clock
+    // ms) and the number of admitted requests not yet answered.
+    std::atomic<int64_t> last_activity_ms{0};
+    std::atomic<int> inflight{0};
     explicit Connection(size_t max_frame) : reader(max_frame) {}
   };
 
@@ -121,6 +158,7 @@ class Server {
   void flush_connection(const std::shared_ptr<Connection>& conn);
   void close_connection(uint64_t conn_id);
   void sweep_deadlines(std::chrono::steady_clock::time_point now);
+  void sweep_idle(std::chrono::steady_clock::time_point now);
   json::Value build_metrics() const;
 
   // Any thread: queue an encoded response on a live connection and nudge
@@ -147,7 +185,7 @@ class Server {
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
   uint64_t next_conn_id_ = 1;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<JobState>> queue_;
   int jobs_running_ = 0;

@@ -41,6 +41,7 @@ struct CompileResult {
   bool ok = false;
   std::string error;
   bool cache_hit = false;  // set by the scheduler, not serialized
+  bool peer_hit = false;   // miss served by the peer tier; not serialized
   std::set<int64_t> parallel_loops;
   size_t code_lines = 0;
   size_t dep_tests = 0;         // logical pairwise tests

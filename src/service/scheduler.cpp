@@ -88,8 +88,20 @@ CompileResult Scheduler::run_one(const CompileJob& job) {
       return *hit;
     }
   }
+  // Local miss: the peer tier may already hold this key (compiled by
+  // another worker). A peer result is adopted into the local cache so the
+  // next request is a memory hit.
+  if (opts_.peer_lookup) {
+    if (auto peer = opts_.peer_lookup(key)) {
+      peer->cache_hit = true;
+      peer->peer_hit = true;
+      if (opts_.cache) opts_.cache->store(key, *peer);
+      return *peer;
+    }
+  }
   CompileResult r = to_compile_result(driver::run_pipeline(job.app, job.opts));
   if (opts_.cache) opts_.cache->store(key, r);
+  if (r.ok && opts_.on_store) opts_.on_store(key, r);
   return r;
 }
 

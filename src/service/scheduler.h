@@ -12,6 +12,8 @@
 // store the serialized outcome. Cache and telemetry are both optional.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,12 @@ class Scheduler {
     int threads = 1;                // lanes, including the calling thread
     ResultCache* cache = nullptr;   // optional
     Telemetry* telemetry = nullptr; // optional
+    // Distributed cache tier hooks (src/dist worker). `peer_lookup` runs
+    // after a local-cache miss and before compilation; a returned result
+    // is stored locally and reported as cache_hit + peer_hit. `on_store`
+    // runs after a fresh compile is cached (replication fan-out).
+    std::function<std::optional<CompileResult>(uint64_t key)> peer_lookup;
+    std::function<void(uint64_t key, const CompileResult&)> on_store;
   };
 
   explicit Scheduler(const Options& opts);

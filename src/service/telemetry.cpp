@@ -53,6 +53,18 @@ void Telemetry::record_server_stats(const ServerStats& stats) {
   has_server_ = true;
 }
 
+void Telemetry::record_peer_cache_stats(const PeerCacheStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_cache_ = stats;
+  has_peer_cache_ = true;
+}
+
+void Telemetry::record_fleet_stats(const FleetStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fleet_ = stats;
+  has_fleet_ = true;
+}
+
 void Telemetry::record_batch_wall_ms(double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   batch_wall_ms_ = ms;
@@ -135,7 +147,24 @@ std::string Telemetry::to_json() const {
       << ", \"rejected_overload\": " << server_.rejected_overload
       << ", \"timed_out\": " << server_.timed_out
       << ", \"protocol_errors\": " << server_.protocol_errors
+      << ", \"idle_closed\": " << server_.idle_closed
       << ", \"queue_depth_peak\": " << server_.queue_depth_peak << "},\n";
+  }
+  if (has_peer_cache_) {
+    s << "  \"peer_cache\": {\"probes_sent\": " << peer_cache_.probes_sent
+      << ", \"probe_hits\": " << peer_cache_.probe_hits
+      << ", \"fills_sent\": " << peer_cache_.fills_sent
+      << ", \"fills_received\": " << peer_cache_.fills_received
+      << ", \"peer_hits\": " << peer_cache_.peer_hits << "},\n";
+  }
+  if (has_fleet_) {
+    s << "  \"fleet\": {\"forwarded\": " << fleet_.forwarded
+      << ", \"retries\": " << fleet_.retries
+      << ", \"failovers\": " << fleet_.failovers
+      << ", \"worker_lost\": " << fleet_.worker_lost
+      << ", \"workers_joined\": " << fleet_.workers_joined
+      << ", \"workers_left\": " << fleet_.workers_left
+      << ", \"workers_dead\": " << fleet_.workers_dead << "},\n";
   }
   double queue_mean =
       queue_samples_ ? static_cast<double>(queue_depth_sum_) /

@@ -57,7 +57,30 @@ struct ServerStats {
   uint64_t rejected_overload = 0;  // answered `overloaded` (full queue/drain)
   uint64_t timed_out = 0;          // answered `deadline_exceeded`
   uint64_t protocol_errors = 0;    // malformed or oversized frames
+  uint64_t idle_closed = 0;        // connections reaped by the idle sweep
   int64_t queue_depth_peak = 0;    // admission-queue high-water mark
+};
+
+// Counters from the distributed cache tier (src/dist worker): peer probes
+// issued on local misses, replication fills in both directions, and the
+// misses ultimately answered by a peer instead of a recompile.
+struct PeerCacheStats {
+  uint64_t probes_sent = 0;      // cache_probe requests issued
+  uint64_t probe_hits = 0;       // probes answered `found`
+  uint64_t fills_sent = 0;       // replications pushed to peers
+  uint64_t fills_received = 0;   // replications accepted from peers
+  uint64_t peer_hits = 0;        // local misses served from the peer tier
+};
+
+// Counters from the coordinator's routing plane (src/dist coordinator).
+struct FleetStats {
+  uint64_t forwarded = 0;     // requests relayed to a worker
+  uint64_t retries = 0;       // re-sends after a transport error
+  uint64_t failovers = 0;     // reroutes to the next worker in the ring
+  uint64_t worker_lost = 0;   // requests answered `worker_lost`
+  uint64_t workers_joined = 0;
+  uint64_t workers_left = 0;  // graceful departures (leaving heartbeat)
+  uint64_t workers_dead = 0;  // declared dead (missed heartbeats/transport)
 };
 
 class Telemetry {
@@ -70,6 +93,8 @@ class Telemetry {
   void record_exec(const ExecRecord& rec);
   void record_cache_stats(const CacheStats& stats);
   void record_server_stats(const ServerStats& stats);
+  void record_peer_cache_stats(const PeerCacheStats& stats);
+  void record_fleet_stats(const FleetStats& stats);
   void record_batch_wall_ms(double ms);
   void record_threads(int threads);
 
@@ -89,6 +114,10 @@ class Telemetry {
   CacheStats cache_;
   ServerStats server_;
   bool has_server_ = false;  // "server" section emitted only when recorded
+  PeerCacheStats peer_cache_;
+  bool has_peer_cache_ = false;
+  FleetStats fleet_;
+  bool has_fleet_ = false;
   double batch_wall_ms_ = 0;
   int threads_ = 1;
   int64_t queue_samples_ = 0;

@@ -160,7 +160,8 @@ TEST(Protocol, RequestRoundTripPreservesEveryField) {
 TEST(Protocol, ResponseRoundTripEveryStatus) {
   for (auto status :
        {net::Status::Ok, net::Status::Error, net::Status::Overloaded,
-        net::Status::DeadlineExceeded, net::Status::ProtocolError}) {
+        net::Status::DeadlineExceeded, net::Status::UnsupportedVersion,
+        net::Status::WorkerLost, net::Status::ProtocolError}) {
     net::Response r;
     r.id = 9;
     r.status = status;
@@ -202,6 +203,103 @@ TEST(Protocol, ResponseRoundTripEveryStatus) {
     EXPECT_EQ(back.run.instructions, r.run.instructions);
     EXPECT_DOUBLE_EQ(back.run.wall_ms, r.run.wall_ms);
   }
+}
+
+TEST(Protocol, FleetMessagesRoundTrip) {
+  // register: worker identity survives the wire.
+  net::Request reg;
+  reg.type = net::RequestType::Register;
+  reg.id = 3;
+  reg.worker = {"w-42", "127.0.0.1", 9001};
+  net::Request back;
+  std::string err;
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(reg), &back, &err))
+      << err;
+  EXPECT_EQ(back.type, net::RequestType::Register);
+  EXPECT_EQ(back.worker.id, "w-42");
+  EXPECT_EQ(back.worker.port, 9001);
+
+  // heartbeat: load report + leaving flag.
+  net::Request hb;
+  hb.type = net::RequestType::Heartbeat;
+  hb.worker = {"w-42", "127.0.0.1", 9001};
+  hb.load.queue_depth = 4;
+  hb.load.running = 2;
+  hb.load.cache_entries = 17;
+  hb.load.cache_hits = 10;
+  hb.load.cache_misses = 7;
+  hb.load.peer_hits = 3;
+  hb.leaving = true;
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(hb), &back, &err))
+      << err;
+  EXPECT_EQ(back.load.queue_depth, 4);
+  EXPECT_EQ(back.load.running, 2);
+  EXPECT_EQ(back.load.cache_entries, 17u);
+  EXPECT_EQ(back.load.peer_hits, 3u);
+  EXPECT_TRUE(back.leaving);
+
+  // cache_probe / cache_fill: 16-hex key and opaque payload.
+  net::Request probe;
+  probe.type = net::RequestType::CacheProbe;
+  probe.key = net::format_key(0xdeadbeefcafef00dull);
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(probe), &back, &err))
+      << err;
+  uint64_t key = 0;
+  ASSERT_TRUE(net::parse_key(back.key, &key));
+  EXPECT_EQ(key, 0xdeadbeefcafef00dull);
+
+  net::Request fill;
+  fill.type = net::RequestType::CacheFill;
+  fill.key = net::format_key(1);
+  fill.payload = "opaque\nresult\tbytes";
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(fill), &back, &err))
+      << err;
+  EXPECT_EQ(back.payload, fill.payload);
+
+  // forward: wraps an inner compile and keeps the attempt counter.
+  net::Request fwd;
+  fwd.type = net::RequestType::Forward;
+  fwd.inner = net::RequestType::Compile;
+  fwd.attempt = 2;
+  fwd.name = "APP";
+  fwd.source = "      PROGRAM X\n      END\n";
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(fwd), &back, &err))
+      << err;
+  EXPECT_EQ(back.type, net::RequestType::Forward);
+  EXPECT_EQ(back.inner, net::RequestType::Compile);
+  EXPECT_EQ(back.attempt, 2);
+  EXPECT_EQ(back.source, fwd.source);
+
+  // v3-only types are flagged, v1/v2 types are not.
+  EXPECT_TRUE(net::request_type_requires_v3(net::RequestType::Forward));
+  EXPECT_TRUE(net::request_type_requires_v3(net::RequestType::CacheProbe));
+  EXPECT_FALSE(net::request_type_requires_v3(net::RequestType::Compile));
+  EXPECT_FALSE(net::request_type_requires_v3(net::RequestType::Hello));
+
+  // response: hello block, probe hit payload, and the peer list.
+  net::Response resp;
+  resp.status = net::Status::Ok;
+  resp.has_hello = true;
+  resp.hello = {1, 3, "coordinator", true};
+  resp.found = true;
+  resp.payload = "serialized result";
+  resp.has_peers = true;
+  resp.peers = {{"a", "127.0.0.1", 1}, {"b", "127.0.0.1", 2}};
+  net::Response rback;
+  ASSERT_TRUE(
+      net::response_from_json(net::response_to_json(resp), &rback, &err))
+      << err;
+  ASSERT_TRUE(rback.has_hello);
+  EXPECT_EQ(rback.hello.min_version, 1);
+  EXPECT_EQ(rback.hello.max_version, 3);
+  EXPECT_EQ(rback.hello.role, "coordinator");
+  EXPECT_TRUE(rback.hello.draining);
+  EXPECT_TRUE(rback.found);
+  EXPECT_EQ(rback.payload, "serialized result");
+  ASSERT_TRUE(rback.has_peers);
+  ASSERT_EQ(rback.peers.size(), 2u);
+  EXPECT_EQ(rback.peers[1].id, "b");
+  EXPECT_EQ(rback.peers[1].port, 2);
 }
 
 TEST(Protocol, RejectsWrongVersionAndMissingFields) {
@@ -520,6 +618,118 @@ TEST(Server, DrainRejectsNewWorkAndFinishesAccepted) {
   live.server.wait();
   service::ServerStats stats = live.server.stats();
   EXPECT_EQ(stats.accepted, stats.completed + stats.timed_out);
+}
+
+TEST(Server, HelloAnswersVersionNegotiation) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+  net::HelloInfo info;
+  ASSERT_TRUE(client.hello(&info, &err)) << err;
+  EXPECT_EQ(info.min_version, net::kMinProtocolVersion);
+  EXPECT_EQ(info.max_version, net::kProtocolVersion);
+  EXPECT_EQ(info.role, "single");
+  EXPECT_FALSE(info.draining);
+
+  // hello is answered even for a version we do not speak — that is the
+  // whole point of negotiation.
+  ASSERT_TRUE(client.send_frame(R"({"v": 999, "type": "hello", "id": 7})",
+                                &err))
+      << err;
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  net::Response resp;
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+  EXPECT_EQ(resp.id, 7);
+  ASSERT_TRUE(resp.has_hello);
+  EXPECT_EQ(resp.hello.max_version, net::kProtocolVersion);
+}
+
+TEST(Server, UnsupportedVersionIsStructuredAndNonFatal) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // A version outside the supported range draws unsupported_version (not
+  // protocol_error) and the connection survives for a retry after
+  // renegotiation.
+  ASSERT_TRUE(client.send_frame(R"({"v": 99, "type": "ping", "id": 1})", &err))
+      << err;
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  net::Response resp;
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::UnsupportedVersion);
+  EXPECT_NE(resp.error.find("hello"), std::string::npos);
+
+  // Same connection, supported version: served normally.
+  net::Request ping;
+  ping.type = net::RequestType::Ping;
+  ASSERT_TRUE(client.call(std::move(ping), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+
+  // Fleet-only message types under a pre-fleet version are a version
+  // problem too, not a protocol error.
+  ASSERT_TRUE(client.send_frame(
+      R"({"v": 1, "type": "cache_probe", "id": 2, "key": "0000000000000001"})",
+      &err))
+      << err;
+  payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::UnsupportedVersion);
+  EXPECT_EQ(live.server.stats().protocol_errors, 0u);
+}
+
+TEST(Server, IdleConnectionsAreReaped) {
+  net::ServerOptions opts;
+  opts.idle_timeout_ms = 250;
+  LiveServer live(opts);
+  std::string err;
+
+  // One connection goes silent; another stays active past the idle
+  // deadline. Only the silent one may be reaped.
+  net::Client idle;
+  ASSERT_TRUE(idle.connect(live.server.port(), &err, 30'000)) << err;
+  net::Client active;
+  ASSERT_TRUE(active.connect(live.server.port(), &err, 30'000)) << err;
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(5'000);
+  bool idle_was_closed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    net::Request ping;
+    ping.type = net::RequestType::Ping;
+    net::Response resp;
+    ASSERT_TRUE(active.call(std::move(ping), &resp, &err)) << err;
+    ASSERT_EQ(resp.status, net::Status::Ok);
+    if (live.server.stats().idle_closed >= 1) {
+      idle_was_closed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(idle_was_closed) << "idle connection was never reaped";
+
+  // The reaped socket is really closed: the read side reports EOF.
+  std::string read_err;
+  EXPECT_FALSE(idle.recv_frame(&read_err).has_value());
+
+  // The active connection kept its session the whole time.
+  net::Request ping;
+  ping.type = net::RequestType::Ping;
+  net::Response resp;
+  ASSERT_TRUE(active.call(std::move(ping), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
 }
 
 }  // namespace
