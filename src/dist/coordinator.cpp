@@ -10,8 +10,28 @@
 namespace ap::dist {
 
 namespace {
+
 using clock = std::chrono::steady_clock;
+
+// Routing fingerprint: the content cache key for a single compile/run; a
+// batch hashes its items' keys together (FNV-style fold), so identical
+// batches route identically and share a worker's warm cache.
+uint64_t route_key(const net::Request& req) {
+  net::RequestType effective =
+      req.type == net::RequestType::Forward ? req.inner : req.type;
+  if (effective == net::RequestType::CompileBatch) {
+    uint64_t key = 1469598103934665603ull;
+    for (const auto& item : req.batch) {
+      uint64_t k =
+          service::cache_key(item.source, item.annotations, item.options);
+      key = (key ^ k) * 1099511628211ull;
+    }
+    return key;
+  }
+  return service::cache_key(req.source, req.annotations, req.options);
 }
+
+}  // namespace
 
 Coordinator::Coordinator(const CoordinatorOptions& opts)
     : opts_(opts), membership_(opts.membership) {
@@ -85,7 +105,48 @@ service::FleetStats Coordinator::fleet_stats() const {
   s.workers_joined = membership_.joined();
   s.workers_left = membership_.left();
   s.workers_dead = membership_.died();
+  s.load_steers = load_steers_.load();
+  {
+    std::lock_guard<std::mutex> lock(channels_mu_);
+    s.channels_opened = retired_connects_;
+    s.channel_reconnects = retired_reconnects_;
+    uint64_t peak = retired_inflight_peak_;
+    for (const auto& [id, e] : channels_) {
+      s.channels_opened += e.ch->connects();
+      s.channel_reconnects += e.ch->reconnects();
+      peak = std::max(peak, e.ch->inflight_peak());
+    }
+    s.channel_inflight_peak = static_cast<int64_t>(peak);
+  }
   return s;
+}
+
+void Coordinator::retire_locked(const ChannelEntry& e) {
+  retired_connects_ += e.ch->connects();
+  retired_reconnects_ += e.ch->reconnects();
+  retired_inflight_peak_ = std::max(retired_inflight_peak_, e.ch->inflight_peak());
+}
+
+std::shared_ptr<net::Channel> Coordinator::channel_for(
+    const net::WorkerInfo& w) {
+  std::string host = w.host.empty() ? "127.0.0.1" : w.host;
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  auto it = channels_.find(w.id);
+  if (it != channels_.end()) {
+    if (it->second.host == host && it->second.port == w.port)
+      return it->second.ch;
+    // Re-registered at a new address: the pooled channel is stale.
+    retire_locked(it->second);
+    channels_.erase(it);
+  }
+  net::ChannelOptions co;
+  co.host = host;
+  co.port = w.port;
+  co.recv_timeout_ms = static_cast<int>(opts_.forward_timeout_ms);
+  ChannelEntry e{host, w.port, std::make_shared<net::Channel>(co)};
+  auto ch = e.ch;
+  channels_.emplace(w.id, std::move(e));
+  return ch;
 }
 
 // ---------------------------------------------------------------------------
@@ -98,23 +159,34 @@ net::Response Coordinator::route(const net::Request& req) {
 
   // Shard by the content fingerprint — the same key the cache tier uses,
   // so a key's route and its cache home coincide.
-  uint64_t key =
-      service::cache_key(req.source, req.annotations, req.options);
-  std::vector<net::WorkerInfo> routable = membership_.routable();
+  uint64_t key = route_key(req);
+  std::vector<Membership::RoutableWorker> routable =
+      membership_.routable_with_load();
   if (routable.empty()) {
     resp.status = net::Status::Overloaded;
     resp.error = "no workers joined the fleet";
     return resp;
   }
-  std::vector<std::string> ids;
-  ids.reserve(routable.size());
-  for (const auto& w : routable) ids.push_back(w.id);
-  ids = rank_workers(key, std::move(ids));
+  // Load-aware ranking: HRW order, saturated workers (per their last
+  // heartbeat) stably demoted. A route that leaves its hash home because
+  // of the demotion is a steer.
+  std::vector<RankCandidate> cands;
+  cands.reserve(routable.size());
+  for (const auto& w : routable)
+    cands.push_back({w.info.id, w.load.queue_depth + w.load.running});
+  std::vector<std::string> pure;
+  pure.reserve(routable.size());
+  for (const auto& w : routable) pure.push_back(w.info.id);
+  pure = rank_workers(key, std::move(pure));
+  std::vector<std::string> ids =
+      rank_workers_loaded(key, std::move(cands), opts_.saturation_queue_depth);
+  if (!ids.empty() && ids.front() != pure.front()) ++load_steers_;
 
   net::Request fwd = req;
   fwd.type = net::RequestType::Forward;
-  fwd.inner = req.type;  // Compile or Run (the admission path admits only
-                         // those plus Forward, which workers never resend)
+  fwd.inner = req.type;  // Compile, Run, or CompileBatch (the admission
+                         // path admits only those plus Forward, which
+                         // workers never resend)
 
   int attempts = std::min<int>(opts_.max_attempts,
                                static_cast<int>(ids.size()));
@@ -123,7 +195,7 @@ net::Response Coordinator::route(const net::Request& req) {
     const std::string& id = ids[static_cast<size_t>(attempt)];
     const net::WorkerInfo* target = nullptr;
     for (const auto& w : routable)
-      if (w.id == id) target = &w;
+      if (w.info.id == id) target = &w.info;
     if (!target) continue;
 
     if (attempt > 0) {
@@ -137,19 +209,22 @@ net::Response Coordinator::route(const net::Request& req) {
     fwd.attempt = attempt;
     net::Response out;
     bool delivered = false;
-    // One immediate same-worker retry on a fresh connection: a transport
-    // error often means a stale session, not a dead worker.
+    // Forward over the worker's pooled, pipelined channel — lanes share
+    // one connection per worker instead of dialing per request. One
+    // immediate same-worker retry after a reset: a transport error often
+    // means a stale session, not a dead worker.
+    std::shared_ptr<net::Channel> ch = channel_for(*target);
     for (int try_ = 0; try_ < 2 && !delivered; ++try_) {
-      if (try_ == 1) ++retries_;
-      net::Client client;
+      if (try_ == 1) {
+        ++retries_;
+        ch->reset();
+      }
       std::string err;
-      if (!client.connect(target->port, &err,
-                          static_cast<int>(opts_.forward_timeout_ms)))
-        continue;
       net::Request copy = fwd;
-      if (client.call(std::move(copy), &out, &err)) delivered = true;
+      if (ch->call(std::move(copy), &out, &err)) delivered = true;
     }
     if (!delivered) {
+      ch->reset();  // don't leave a poisoned stream pooled
       transport_failure = true;
       membership_.note_failure(id);
       continue;
@@ -209,7 +284,11 @@ void Coordinator::fleet_metrics(json::Value* out) const {
       .set("worker_lost", fs.worker_lost)
       .set("workers_joined", fs.workers_joined)
       .set("workers_left", fs.workers_left)
-      .set("workers_dead", fs.workers_dead);
+      .set("workers_dead", fs.workers_dead)
+      .set("channels_opened", fs.channels_opened)
+      .set("channel_reconnects", fs.channel_reconnects)
+      .set("channel_inflight_peak", fs.channel_inflight_peak)
+      .set("load_steers", fs.load_steers);
   json::Value workers = json::Value::array();
   for (const Member& m : membership_.snapshot()) {
     json::Value w = json::Value::object();

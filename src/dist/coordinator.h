@@ -28,12 +28,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "dist/membership.h"
+#include "net/channel.h"
 #include "net/server.h"
 #include "service/telemetry.h"
 
@@ -49,6 +51,11 @@ struct CoordinatorOptions {
   int max_attempts = 3;         // distinct workers tried per request
   int64_t backoff_ms = 25;      // base failover backoff (doubles per hop)
   int64_t forward_timeout_ms = 120'000;  // per forwarded call
+  // Load-aware routing: a worker whose last heartbeat reported
+  // queue_depth + running at or above this is stably demoted behind every
+  // unsaturated worker in the rendezvous ranking (cache affinity is kept
+  // within each group). 0 disables the demotion.
+  int64_t saturation_queue_depth = 8;
   Membership::Options membership;
   service::Telemetry* telemetry = nullptr;
 };
@@ -73,10 +80,22 @@ class Coordinator {
   net::Server* server() { return server_.get(); }
 
  private:
+  // One pooled, pipelined channel per worker. The entry remembers the
+  // endpoint it was dialed for, so a worker re-registering at a new
+  // address gets a fresh channel (the old one's counters are folded into
+  // the retired totals).
+  struct ChannelEntry {
+    std::string host;
+    int port = 0;
+    std::shared_ptr<net::Channel> ch;
+  };
+
   net::Response route(const net::Request& req);
   bool control(const net::Request& req, net::Response* resp);
   void fleet_metrics(json::Value* out) const;
   void tick_main();
+  std::shared_ptr<net::Channel> channel_for(const net::WorkerInfo& w);
+  void retire_locked(const ChannelEntry& e);  // channels_mu_ held
 
   CoordinatorOptions opts_;
   Membership membership_;
@@ -87,10 +106,17 @@ class Coordinator {
   std::condition_variable tick_cv_;
   bool tick_stop_ = false;
 
+  mutable std::mutex channels_mu_;
+  std::map<std::string, ChannelEntry> channels_;  // worker id -> channel
+  uint64_t retired_connects_ = 0;
+  uint64_t retired_reconnects_ = 0;
+  uint64_t retired_inflight_peak_ = 0;
+
   std::atomic<uint64_t> forwarded_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> worker_lost_{0};
+  std::atomic<uint64_t> load_steers_{0};
 };
 
 }  // namespace ap::dist

@@ -88,6 +88,15 @@ std::vector<net::WorkerInfo> Membership::routable() const {
   return out;
 }
 
+std::vector<Membership::RoutableWorker> Membership::routable_with_load()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RoutableWorker> out;
+  for (const auto& [id, m] : members_)
+    if (!m.left && m.health != Health::Dead) out.push_back({m.info, m.load});
+  return out;
+}
+
 std::vector<Member> Membership::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Member> out;

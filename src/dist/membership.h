@@ -80,6 +80,14 @@ class Membership {
   // (id-sorted) order — rank with dist::rank_workers.
   std::vector<net::WorkerInfo> routable() const;
 
+  // Routable workers with each one's last heartbeat load report, for
+  // load-aware ranking (dist::rank_workers_loaded).
+  struct RoutableWorker {
+    net::WorkerInfo info;
+    net::WorkerLoad load;
+  };
+  std::vector<RoutableWorker> routable_with_load() const;
+
   std::vector<Member> snapshot() const;
 
   // Lifetime counters for the fleet telemetry section.

@@ -40,4 +40,24 @@ std::vector<std::string> rank_workers(uint64_t key,
   return ids;
 }
 
+std::vector<std::string> rank_workers_loaded(uint64_t key,
+                                             std::vector<RankCandidate> cands,
+                                             int64_t saturation) {
+  std::sort(cands.begin(), cands.end(),
+            [key](const RankCandidate& a, const RankCandidate& b) {
+              uint64_t sa = hrw_score(key, a.id), sb = hrw_score(key, b.id);
+              if (sa != sb) return sa > sb;
+              return a.id < b.id;
+            });
+  if (saturation > 0) {
+    std::stable_partition(
+        cands.begin(), cands.end(),
+        [saturation](const RankCandidate& c) { return c.load < saturation; });
+  }
+  std::vector<std::string> out;
+  out.reserve(cands.size());
+  for (auto& c : cands) out.push_back(std::move(c.id));
+  return out;
+}
+
 }  // namespace ap::dist

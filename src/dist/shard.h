@@ -34,4 +34,21 @@ uint64_t hrw_score(uint64_t key, std::string_view worker_id);
 std::vector<std::string> rank_workers(uint64_t key,
                                       std::vector<std::string> ids);
 
+// A ranking candidate with its last-reported load (heartbeat queue depth
+// plus running jobs) for load-aware routing.
+struct RankCandidate {
+  std::string id;
+  int64_t load = 0;
+};
+
+// Load-aware variant: the HRW ranking for `key`, with saturated workers
+// (load >= saturation) stably demoted behind every unsaturated one. The
+// demotion preserves HRW order within each group, so cache affinity is
+// kept among equally-loaded workers and a key returns to its hash home as
+// soon as that worker's queue drains. saturation <= 0 disables the
+// demotion (pure HRW).
+std::vector<std::string> rank_workers_loaded(uint64_t key,
+                                             std::vector<RankCandidate> cands,
+                                             int64_t saturation);
+
 }  // namespace ap::dist

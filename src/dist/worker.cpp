@@ -84,7 +84,7 @@ bool Worker::start(std::string* err) {
 
   if (opts_.coordinator_port > 0) {
     net::Client client;
-    if (!client.connect(opts_.coordinator_port, err,
+    if (!client.connect(opts_.coordinator_host, opts_.coordinator_port, err,
                         static_cast<int>(opts_.peer_timeout_ms)))
       return false;
     net::Request req;
@@ -229,7 +229,8 @@ std::optional<service::CompileResult> Worker::peer_lookup(uint64_t key) {
     if (budget-- <= 0) break;
     net::Client client;
     std::string err;
-    if (!client.connect(peer.port, &err,
+    if (!client.connect(peer.host.empty() ? "127.0.0.1" : peer.host,
+                        peer.port, &err,
                         static_cast<int>(opts_.peer_timeout_ms)))
       continue;
     net::Request req;
@@ -258,7 +259,8 @@ void Worker::replicate(uint64_t key, const service::CompileResult& r) {
     if (budget-- <= 0) break;
     net::Client client;
     std::string err;
-    if (!client.connect(peer.port, &err,
+    if (!client.connect(peer.host.empty() ? "127.0.0.1" : peer.host,
+                        peer.port, &err,
                         static_cast<int>(opts_.peer_timeout_ms)))
       continue;
     net::Request req;
@@ -279,7 +281,7 @@ void Worker::replicate(uint64_t key, const service::CompileResult& r) {
 bool Worker::send_heartbeat(bool leaving) {
   net::Client client;
   std::string err;
-  if (!client.connect(opts_.coordinator_port, &err,
+  if (!client.connect(opts_.coordinator_host, opts_.coordinator_port, &err,
                       static_cast<int>(opts_.peer_timeout_ms)))
     return false;
   net::Request req;

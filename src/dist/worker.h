@@ -55,6 +55,7 @@ struct WorkerOptions {
   int64_t request_timeout_ms = 30'000;
   int64_t drain_timeout_ms = 30'000;
   int64_t idle_timeout_ms = 300'000;
+  std::string coordinator_host = "127.0.0.1";
   int coordinator_port = 0;      // 0 = standalone (no join, no peers)
   int64_t heartbeat_interval_ms = 500;
   int64_t peer_timeout_ms = 2'000;  // per probe/fill/heartbeat call

@@ -32,6 +32,14 @@
 //                        (default bytecode)
 //   --run-threads N      interpreter threads for --run (default 4)
 //   --connections N      concurrent connections for --matrix (default 1)
+//   --pipeline N         (--matrix) keep up to N requests in flight per
+//                        connection (pipelined; responses may return out
+//                        of order and are matched by id; default 1)
+//   --batch N            (--matrix) pack N files per `compile_batch`
+//                        frame (v4; incompatible with --run; default off)
+//   --codec C            wire codec: auto | json | binary (default auto:
+//                        hello-negotiate, binary when the server offers
+//                        it, JSON otherwise)
 //   --check              (--matrix) recompile in-process and exit 3 on
 //                        any mismatch in verdicts or program text
 //   --min-hit-rate F     (--matrix) exit 2 unless the server answered at
@@ -51,6 +59,7 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/client.h"
@@ -61,9 +70,14 @@ using namespace ap;
 
 namespace {
 
+enum class Codec { Auto, Json, Binary };
+
 struct Args {
   int port = -1;
   bool coordinator = false;
+  int pipeline = 1;
+  int batch = 0;
+  Codec codec = Codec::Auto;
   std::string source_file;
   std::string annot_file;
   std::string app_name;
@@ -90,7 +104,8 @@ struct Args {
                "[FILE.f | --app NAME "
                "| --matrix | --ping | --metrics] [--annot FILE] "
                "[--config none|conv|annot] [--run] [--engine tree|bytecode] "
-               "[--run-threads N] [--connections N] [--check] "
+               "[--run-threads N] [--connections N] [--pipeline N] "
+               "[--batch N] [--codec auto|json|binary] [--check] "
                "[--min-hit-rate F] [--stop-after PASS] [--print-after PASS] "
                "[--deadline-ms N] [--timeout-ms N] "
                "[--quiet]\n",
@@ -144,6 +159,18 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--connections") {
       a.connections = std::atoi(value());
       if (a.connections < 1) usage_error("--connections must be >= 1");
+    } else if (arg == "--pipeline") {
+      a.pipeline = std::atoi(value());
+      if (a.pipeline < 1) usage_error("--pipeline must be >= 1");
+    } else if (arg == "--batch") {
+      a.batch = std::atoi(value());
+      if (a.batch < 1) usage_error("--batch must be >= 1");
+    } else if (arg == "--codec") {
+      std::string_view c = value();
+      if (c == "auto") a.codec = Codec::Auto;
+      else if (c == "json") a.codec = Codec::Json;
+      else if (c == "binary") a.codec = Codec::Binary;
+      else usage_error("--codec must be auto, json, or binary");
     } else if (arg == "--min-hit-rate") {
       a.min_hit_rate = std::atof(value());
     } else if (arg == "--stop-after") {
@@ -168,7 +195,27 @@ Args parse_args(int argc, char** argv) {
   if (modes != 1)
     usage_error("pick exactly one of FILE.f, --app, --matrix, --ping, "
                 "--metrics");
+  if (a.batch > 0 && a.run)
+    usage_error("--batch is compile-only (incompatible with --run)");
+  if (a.batch > 0 && !a.matrix) usage_error("--batch requires --matrix");
+  if (a.pipeline > 1 && !a.matrix) usage_error("--pipeline requires --matrix");
   return a;
+}
+
+// Applies the requested codec after connecting: auto hello-negotiates
+// (binary iff the server offers it), binary forces it blind, json is the
+// wire default.
+bool setup_codec(net::Client* client, const Args& args, std::string* err) {
+  switch (args.codec) {
+    case Codec::Auto:
+      return client->negotiate(err);
+    case Codec::Binary:
+      client->set_binary(true);
+      return true;
+    case Codec::Json:
+      return true;
+  }
+  return true;
 }
 
 bool read_file(const std::string& path, std::string* out) {
@@ -194,34 +241,101 @@ int run_matrix(const Args& args) {
   auto jobs = service::suite_matrix(base);
   std::vector<WireResult> wire(jobs.size());
 
-  // `connections` clients each pull the next unclaimed job; results land
-  // in job-index slots so the summary is deterministic.
+  // `connections` clients each pull the next unclaimed job (or batch of
+  // jobs); results land in job-index slots so the summary is
+  // deterministic regardless of completion order.
   std::atomic<size_t> next{0};
   std::atomic<int> connect_failures{0};
+  auto build_request = [&](size_t i) {
+    net::Request req;
+    req.type = args.run ? net::RequestType::Run : net::RequestType::Compile;
+    req.name = jobs[i].app.name;
+    req.source = jobs[i].app.source;
+    req.annotations = jobs[i].app.annotations;
+    req.options = jobs[i].opts;
+    req.deadline_ms = args.deadline_ms;
+    if (args.run) {
+      req.interp.engine = args.engine;
+      req.interp.num_threads = args.run_threads;
+    }
+    return req;
+  };
   auto lane = [&]() {
     net::Client client;
     std::string err;
-    if (!client.connect(args.port, &err, args.timeout_ms)) {
+    if (!client.connect(args.port, &err, args.timeout_ms) ||
+        !setup_codec(&client, args, &err)) {
       ++connect_failures;
       return;
     }
-    while (true) {
-      size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
-      net::Request req;
-      req.type = args.run ? net::RequestType::Run : net::RequestType::Compile;
-      req.name = jobs[i].app.name;
-      req.source = jobs[i].app.source;
-      req.annotations = jobs[i].app.annotations;
-      req.options = jobs[i].opts;
-      req.deadline_ms = args.deadline_ms;
-      if (args.run) {
-        req.interp.engine = args.engine;
-        req.interp.num_threads = args.run_threads;
+    if (args.batch > 0) {
+      // Batch mode: claim `batch` consecutive jobs, send them as one
+      // `compile_batch` frame, explode the N results back into job slots.
+      size_t stride = static_cast<size_t>(args.batch);
+      while (true) {
+        size_t begin = next.fetch_add(stride);
+        if (begin >= jobs.size()) return;
+        size_t end = std::min(begin + stride, jobs.size());
+        net::Request req;
+        req.type = net::RequestType::CompileBatch;
+        req.deadline_ms = args.deadline_ms;
+        for (size_t i = begin; i < end; ++i)
+          req.batch.push_back({jobs[i].app.name, jobs[i].app.source,
+                               jobs[i].app.annotations, jobs[i].opts});
+        net::Response resp;
+        bool ok = client.call(std::move(req), &resp, &err);
+        for (size_t i = begin; i < end; ++i) {
+          wire[i].transport_ok = ok;
+          if (!ok) {
+            wire[i].transport_err = err;
+            continue;
+          }
+          wire[i].resp.status = resp.status;
+          wire[i].resp.error = resp.error;
+          size_t k = i - begin;
+          if (resp.has_batch && k < resp.batch.size()) {
+            wire[i].resp.has_result = true;
+            wire[i].resp.result = resp.batch[k];
+            if (!resp.batch[k].ok && resp.status == net::Status::Ok) {
+              wire[i].resp.status = net::Status::Error;
+              wire[i].resp.error = resp.batch[k].error;
+            }
+          }
+        }
+        if (!ok) return;  // connection is unusable
       }
-      wire[i].transport_ok =
-          client.call(std::move(req), &wire[i].resp, &wire[i].transport_err);
-      if (!wire[i].transport_ok) return;  // connection is unusable
+    }
+    // Pipelined mode: keep up to `pipeline` requests in flight, matching
+    // out-of-order responses to jobs by id.
+    std::unordered_map<int64_t, size_t> inflight;
+    bool exhausted = false;
+    while (true) {
+      while (!exhausted &&
+             inflight.size() < static_cast<size_t>(args.pipeline)) {
+        size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) {
+          exhausted = true;
+          break;
+        }
+        int64_t id = 0;
+        if (!client.submit(build_request(i), &id, &err)) {
+          wire[i].transport_err = err;
+          for (auto& [rid, j] : inflight) wire[j].transport_err = err;
+          return;
+        }
+        inflight[id] = i;
+      }
+      if (inflight.empty()) return;
+      net::Response resp;
+      if (!client.recv_any(&resp, &err)) {
+        for (auto& [rid, j] : inflight) wire[j].transport_err = err;
+        return;
+      }
+      auto it = inflight.find(resp.id);
+      if (it == inflight.end()) continue;  // stale id: ignore
+      wire[it->second].transport_ok = true;
+      wire[it->second].resp = std::move(resp);
+      inflight.erase(it);
     }
   };
   int lanes = std::min<int>(args.connections, static_cast<int>(jobs.size()));
@@ -347,7 +461,8 @@ int run_single(const Args& args) {
 
   net::Client client;
   std::string err;
-  if (!client.connect(args.port, &err, args.timeout_ms)) {
+  if (!client.connect(args.port, &err, args.timeout_ms) ||
+      !setup_codec(&client, args, &err)) {
     std::fprintf(stderr, "apclient: %s\n", err.c_str());
     return 1;
   }
@@ -388,7 +503,8 @@ int run_single(const Args& args) {
 int run_probe(const Args& args, net::RequestType type) {
   net::Client client;
   std::string err;
-  if (!client.connect(args.port, &err, args.timeout_ms)) {
+  if (!client.connect(args.port, &err, args.timeout_ms) ||
+      !setup_codec(&client, args, &err)) {
     std::fprintf(stderr, "apclient: %s\n", err.c_str());
     return 1;
   }

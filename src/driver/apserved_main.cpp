@@ -43,7 +43,11 @@
 //                          300000, 0 = never)
 //   --json FILE            write the telemetry JSON on shutdown ("-" =
 //                          stdout, the default)
-//   --join PORT            (--worker) the coordinator's port; required
+//   --join HOST:PORT       (--worker) the coordinator's address; a bare
+//                          PORT means 127.0.0.1; required
+//   --host HOST            (--worker) the address this worker advertises
+//                          to the fleet — what the coordinator and peers
+//                          dial it back on (default 127.0.0.1)
 //   --id ID                (--worker) stable worker identity (default:
 //                          derived from pid + port)
 //   --heartbeat-ms N       (--worker) heartbeat interval (default 500)
@@ -74,6 +78,8 @@ struct Args {
   bool coordinator = false;
   bool worker = false;
   int join_port = 0;
+  std::string join_host = "127.0.0.1";
+  std::string host = "127.0.0.1";
   std::string worker_id;
   int port = 0;
   int threads = 0;  // 0 = hardware concurrency
@@ -95,7 +101,8 @@ struct Args {
 [[noreturn]] void usage_error(const char* msg) {
   std::fprintf(
       stderr,
-      "apserved: %s\nusage: apserved [--coordinator | --worker --join PORT] "
+      "apserved: %s\nusage: apserved [--coordinator | --worker --join "
+      "[HOST:]PORT [--host HOST]] "
       "[--port N] [--threads N] [--cache-dir DIR] [--cache-capacity N] "
       "[--cache-max-mb N] [--max-queue N] [--request-timeout-ms N] "
       "[--drain-timeout-ms N] [--idle-timeout-ms N] [--json FILE] [--id ID] "
@@ -118,9 +125,20 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--worker") {
       a.worker = true;
     } else if (arg == "--join") {
-      a.join_port = std::atoi(value());
+      // HOST:PORT, or a bare PORT meaning 127.0.0.1.
+      std::string v = value();
+      size_t colon = v.rfind(':');
+      if (colon != std::string::npos) {
+        if (colon == 0) usage_error("--join HOST:PORT has an empty host");
+        a.join_host = v.substr(0, colon);
+        v = v.substr(colon + 1);
+      }
+      a.join_port = std::atoi(v.c_str());
       if (a.join_port < 1 || a.join_port > 65535)
         usage_error("--join out of range");
+    } else if (arg == "--host") {
+      a.host = value();
+      if (a.host.empty()) usage_error("--host must not be empty");
     } else if (arg == "--id") {
       a.worker_id = value();
     } else if (arg == "--port") {
@@ -276,6 +294,8 @@ int run_worker(const Args& args) {
   wo.request_timeout_ms = args.request_timeout_ms;
   wo.drain_timeout_ms = args.drain_timeout_ms;
   wo.idle_timeout_ms = args.idle_timeout_ms;
+  wo.host = args.host;
+  wo.coordinator_host = args.join_host;
   wo.coordinator_port = args.join_port;
   wo.heartbeat_interval_ms = args.heartbeat_ms;
   wo.replicate = args.replicate;

@@ -1,0 +1,73 @@
+// Wire protocol v4: the binary TLV codec.
+//
+// Encodes the exact message set of protocol.h (every request and response
+// type, v1–v4) as a compact tag-value stream instead of JSON. The first
+// payload byte is the magic 0xB4 — which can never open a JSON document —
+// so binary and JSON frames coexist on one connection and the receiver
+// dispatches per frame. A server answers each request in the codec it
+// arrived in; clients switch to binary only after a `hello` advertised
+// support (HelloInfo::binary / max_version >= 4).
+//
+// Layout of one payload:
+//
+//   +------+------+----------------------------+
+//   | 0xB4 | kind | fields ... | 0x00 end tag  |
+//   +------+------+----------------------------+
+//
+// `kind` is 0x01 for requests, 0x02 for responses. Each field is one tag
+// byte followed by a value whose wire form is fixed by the tag:
+// unsigned LEB128 varints for counters and enums, zigzag varints for
+// signed integers, length-prefixed bytes for strings, 8 little-endian
+// bytes for doubles, a single byte for bools, and end-tag-terminated
+// sub-streams (same tag-value form, closed by 0x00 — no length prefix,
+// so encoding is single-pass) for nested messages. Unknown tags
+// cannot be skipped (the type is not self-describing), so they are
+// decode errors — within one process this never happens, and
+// cross-version peers negotiate down to JSON, which ignores unknown
+// keys.
+//
+// The equivalence contract, held by tests/net_test.cpp: for every
+// message m, json(decode_binary(encode_binary(m))) is byte-identical to
+// json(m). The binary codec adds a transport encoding, never a semantic.
+//
+// Decoders never throw and never read out of bounds; any truncated,
+// oversized, or malformed stream returns false with *err set, which the
+// server maps to `protocol_error`.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/protocol.h"
+
+namespace ap::net {
+
+// First byte of every binary payload; never '{' or whitespace, so a JSON
+// receiver cannot confuse the two.
+inline constexpr unsigned char kBinaryMagic = 0xB4;
+
+// True when `payload` claims to be a binary v4 frame (magic byte match —
+// the cheap per-frame codec dispatch).
+inline bool is_binary_frame(std::string_view payload) {
+  return !payload.empty() &&
+         static_cast<unsigned char>(payload[0]) == kBinaryMagic;
+}
+
+// Append the binary encoding of the message to *out (existing contents
+// are preserved — callers reuse per-connection scratch buffers so the
+// warm path does not allocate per frame once capacity has grown).
+void encode_request_binary(const Request& r, std::string* out);
+void encode_response_binary(const Response& r, std::string* out);
+
+// Convenience forms returning a fresh buffer.
+std::string encode_request_binary(const Request& r);
+std::string encode_response_binary(const Response& r);
+
+// Strict decoders. False with *err on any malformed input (bad magic,
+// bad kind, unknown tag, truncated value, trailing bytes).
+bool decode_request_binary(std::string_view payload, Request* out,
+                           std::string* err);
+bool decode_response_binary(std::string_view payload, Response* out,
+                            std::string* err);
+
+}  // namespace ap::net

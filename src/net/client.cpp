@@ -3,6 +3,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "net/binproto.h"
+
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -14,6 +16,7 @@ Client::~Client() { close(); }
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_id_(other.next_id_),
+      binary_(other.binary_),
       reader_(std::move(other.reader_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
@@ -21,18 +24,24 @@ Client& Client::operator=(Client&& other) noexcept {
     close();
     fd_ = std::exchange(other.fd_, -1);
     next_id_ = other.next_id_;
+    binary_ = other.binary_;
     reader_ = std::move(other.reader_);
   }
   return *this;
 }
 
-bool Client::connect(int port, std::string* err, int recv_timeout_ms) {
+bool Client::connect(const std::string& host, int port, std::string* err,
+                     int recv_timeout_ms) {
   close();
-  fd_ = connect_tcp("127.0.0.1", port, err);
+  fd_ = connect_tcp(host, port, err);
   if (fd_ < 0) return false;
   if (recv_timeout_ms > 0) set_recv_timeout_ms(fd_, recv_timeout_ms);
   reader_ = FrameReader(kDefaultMaxFrame);
   return true;
+}
+
+bool Client::connect(int port, std::string* err, int recv_timeout_ms) {
+  return connect("127.0.0.1", port, err, recv_timeout_ms);
 }
 
 void Client::close() {
@@ -96,11 +105,32 @@ std::optional<std::string> Client::recv_frame(std::string* err) {
   }
 }
 
-bool Client::call(Request req, Response* resp, std::string* err) {
+bool Client::submit(Request req, int64_t* id_out, std::string* err) {
   if (req.id == 0) req.id = next_id_++;
-  if (!send_frame(request_to_json(req).dump(), err)) return false;
+  if (id_out) *id_out = req.id;
+  // Frame + payload are built in place in the reused send buffer: no
+  // per-request allocation once its capacity has grown.
+  sendbuf_.clear();
+  size_t hdr = begin_frame(&sendbuf_);
+  if (binary_)
+    encode_request_binary(req, &sendbuf_);
+  else
+    sendbuf_ += request_to_json(req).dump();
+  end_frame(&sendbuf_, hdr);
+  return send_raw(sendbuf_, err);
+}
+
+bool Client::recv_any(Response* resp, std::string* err) {
   auto payload = recv_frame(err);
   if (!payload) return false;
+  if (is_binary_frame(*payload)) {
+    std::string decode_err;
+    if (!decode_response_binary(*payload, resp, &decode_err)) {
+      if (err) *err = "undecodable response: " + decode_err;
+      return false;
+    }
+    return true;
+  }
   std::string parse_err;
   auto doc = json::parse(*payload, &parse_err);
   if (!doc) {
@@ -112,6 +142,19 @@ bool Client::call(Request req, Response* resp, std::string* err) {
     if (err) *err = "undecodable response: " + decode_err;
     return false;
   }
+  return true;
+}
+
+bool Client::call(Request req, Response* resp, std::string* err) {
+  if (!submit(std::move(req), nullptr, err)) return false;
+  return recv_any(resp, err);
+}
+
+bool Client::negotiate(std::string* err, HelloInfo* info) {
+  HelloInfo h;
+  if (!hello(&h, err)) return false;
+  binary_ = h.binary;
+  if (info) *info = h;
   return true;
 }
 

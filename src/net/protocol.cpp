@@ -36,6 +36,7 @@ const char* request_type_name(RequestType t) {
     case RequestType::CacheProbe: return "cache_probe";
     case RequestType::CacheFill: return "cache_fill";
     case RequestType::Forward: return "forward";
+    case RequestType::CompileBatch: return "compile_batch";
   }
   return "?";
 }
@@ -51,6 +52,10 @@ bool request_type_requires_v3(RequestType t) {
     default:
       return false;
   }
+}
+
+bool request_type_requires_v4(RequestType t) {
+  return t == RequestType::CompileBatch;
 }
 
 const char* status_name(Status s) {
@@ -355,26 +360,50 @@ WorkerLoad worker_load_from_json(const json::Value& v) {
   return l;
 }
 
-// Compile/run/forward bodies share the same payload fields.
-bool carries_compile_payload(RequestType t) {
-  return t == RequestType::Compile || t == RequestType::Run ||
-         t == RequestType::Forward;
+// Compile/run (and forwards of them) share the same payload fields.
+bool carries_compile_payload(RequestType t, RequestType inner) {
+  if (t == RequestType::Forward)
+    return inner == RequestType::Compile || inner == RequestType::Run;
+  return t == RequestType::Compile || t == RequestType::Run;
+}
+
+// compile_batch (and forwards of it) carry the batch array instead.
+bool carries_batch_payload(RequestType t, RequestType inner) {
+  return t == RequestType::CompileBatch ||
+         (t == RequestType::Forward && inner == RequestType::CompileBatch);
+}
+
+json::Value batch_item_to_json(const BatchItem& b) {
+  json::Value out = json::Value::object();
+  out.set("name", b.name)
+      .set("source", b.source)
+      .set("annotations", b.annotations)
+      .set("options", pipeline_options_to_json(b.options));
+  return out;
 }
 
 }  // namespace
 
 json::Value request_to_json(const Request& r) {
   json::Value out = json::Value::object();
-  out.set("v", kProtocolVersion)
+  out.set("v", r.version)
       .set("type", request_type_name(r.type))
       .set("id", r.id);
-  if (carries_compile_payload(r.type)) {
+  if (carries_compile_payload(r.type, r.inner)) {
     out.set("name", r.name)
         .set("source", r.source)
         .set("annotations", r.annotations)
         .set("options", pipeline_options_to_json(r.options));
-    if (r.deadline_ms > 0) out.set("deadline_ms", r.deadline_ms);
   }
+  if (carries_batch_payload(r.type, r.inner)) {
+    json::Value batch = json::Value::array();
+    for (const auto& b : r.batch) batch.push(batch_item_to_json(b));
+    out.set("batch", std::move(batch));
+  }
+  if ((carries_compile_payload(r.type, r.inner) ||
+       carries_batch_payload(r.type, r.inner)) &&
+      r.deadline_ms > 0)
+    out.set("deadline_ms", r.deadline_ms);
   bool wants_interp =
       r.type == RequestType::Run ||
       (r.type == RequestType::Forward && r.inner == RequestType::Run);
@@ -429,12 +458,26 @@ bool request_from_json(const json::Value& v, Request* out, std::string* err) {
   else if (type == "cache_probe") r.type = RequestType::CacheProbe;
   else if (type == "cache_fill") r.type = RequestType::CacheFill;
   else if (type == "forward") r.type = RequestType::Forward;
+  else if (type == "compile_batch") r.type = RequestType::CompileBatch;
   else {
     if (err) *err = "unknown request type: " + type;
     return false;
   }
   r.id = get_int(v, "id", 0);
-  if (carries_compile_payload(r.type)) {
+  if (r.type == RequestType::Forward) {
+    // The inner type decides which payload shape the forward carries, so
+    // it must be resolved before the payload fields.
+    std::string inner = get_string(v, "inner");
+    if (inner == "compile") r.inner = RequestType::Compile;
+    else if (inner == "run") r.inner = RequestType::Run;
+    else if (inner == "compile_batch") r.inner = RequestType::CompileBatch;
+    else {
+      if (err) *err = "forward requires inner type compile, run, or "
+                      "compile_batch";
+      return false;
+    }
+  }
+  if (carries_compile_payload(r.type, r.inner)) {
     const json::Value* source = v.find("source");
     if (!source || !source->is_string()) {
       if (err) *err = "compile/run request requires a string \"source\"";
@@ -446,6 +489,33 @@ bool request_from_json(const json::Value& v, Request* out, std::string* err) {
     r.deadline_ms = get_int(v, "deadline_ms", 0);
     if (const json::Value* opts = v.find("options")) {
       if (!pipeline_options_from_json(*opts, &r.options, err)) return false;
+    }
+  }
+  if (carries_batch_payload(r.type, r.inner)) {
+    const json::Value* batch = v.find("batch");
+    if (!batch || !batch->is_array()) {
+      if (err) *err = "compile_batch requires a \"batch\" array";
+      return false;
+    }
+    r.deadline_ms = get_int(v, "deadline_ms", 0);
+    for (const json::Value& item : batch->items()) {
+      if (!item.is_object()) {
+        if (err) *err = "batch items must be objects";
+        return false;
+      }
+      const json::Value* source = item.find("source");
+      if (!source || !source->is_string()) {
+        if (err) *err = "batch items require a string \"source\"";
+        return false;
+      }
+      BatchItem b;
+      b.name = get_string(item, "name");
+      b.source = source->as_string();
+      b.annotations = get_string(item, "annotations");
+      if (const json::Value* opts = item.find("options")) {
+        if (!pipeline_options_from_json(*opts, &b.options, err)) return false;
+      }
+      r.batch.push_back(std::move(b));
     }
   }
   switch (r.type) {
@@ -483,13 +553,6 @@ bool request_from_json(const json::Value& v, Request* out, std::string* err) {
       break;
     }
     case RequestType::Forward: {
-      std::string inner = get_string(v, "inner");
-      if (inner == "compile") r.inner = RequestType::Compile;
-      else if (inner == "run") r.inner = RequestType::Run;
-      else {
-        if (err) *err = "forward requires inner type compile or run";
-        return false;
-      }
       r.attempt = static_cast<int>(get_int(v, "attempt", 0));
       if (r.inner == RequestType::Run) {
         if (const json::Value* io = v.find("interp")) {
@@ -519,7 +582,8 @@ json::Value response_to_json(const Response& r) {
     hello.set("min_version", r.hello.min_version)
         .set("max_version", r.hello.max_version)
         .set("role", r.hello.role)
-        .set("draining", r.hello.draining);
+        .set("draining", r.hello.draining)
+        .set("binary", r.hello.binary);
     out.set("hello", std::move(hello));
   }
   if (r.found || !r.payload.empty()) {
@@ -530,6 +594,11 @@ json::Value response_to_json(const Response& r) {
     json::Value peers = json::Value::array();
     for (const auto& p : r.peers) peers.push(worker_info_to_json(p));
     out.set("peers", std::move(peers));
+  }
+  if (r.has_batch) {
+    json::Value batch = json::Value::array();
+    for (const auto& item : r.batch) batch.push(compile_result_to_json(item));
+    out.set("batch", std::move(batch));
   }
   return out;
 }
@@ -572,6 +641,7 @@ bool response_from_json(const json::Value& v, Response* out,
         static_cast<int>(get_int(*hello, "max_version", kProtocolVersion));
     r.hello.role = get_string(*hello, "role");
     r.hello.draining = get_bool(*hello, "draining", false);
+    r.hello.binary = get_bool(*hello, "binary", false);
   }
   r.found = get_bool(v, "found", false);
   r.payload = get_string(v, "payload");
@@ -579,6 +649,11 @@ bool response_from_json(const json::Value& v, Response* out,
     r.has_peers = true;
     for (const json::Value& p : peers->items())
       r.peers.push_back(worker_info_from_json(p));
+  }
+  if (const json::Value* batch = v.find("batch")) {
+    r.has_batch = true;
+    for (const json::Value& item : batch->items())
+      r.batch.push_back(compile_result_from_json(item));
   }
   *out = r;
   return true;

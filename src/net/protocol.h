@@ -72,11 +72,16 @@
 
 namespace ap::net {
 
+// v4: negotiated binary TLV codec (src/net/binproto.h — same message set,
+// bit-identical round-trip against this JSON codec), request pipelining
+// over one connection (ids were always echoed; v4 makes out-of-order
+// responses an explicit contract), and `compile_batch` (N files per
+// frame, answered as one frame).
 // v3: fleet control plane (register/heartbeat/cache_probe/cache_fill/
 // forward), hello negotiation, unsupported_version + worker_lost statuses.
 // v2: per-pass timing records replace the fixed timing fields in compile
 // results; pipeline options gained stop_after/print_after.
-inline constexpr int kProtocolVersion = 3;
+inline constexpr int kProtocolVersion = 4;
 // v1 request bodies decode identically to v2 (absent fields keep their
 // defaults), so the full historical range stays accepted.
 inline constexpr int kMinProtocolVersion = 1;
@@ -92,6 +97,7 @@ enum class RequestType : uint8_t {
   CacheProbe,
   CacheFill,
   Forward,
+  CompileBatch,
 };
 const char* request_type_name(RequestType t);
 
@@ -99,6 +105,10 @@ const char* request_type_name(RequestType t);
 // fill/forward): requests of these types under an older claimed version
 // draw `unsupported_version`.
 bool request_type_requires_v3(RequestType t);
+
+// True for the v4 types (compile_batch): older claimed versions draw
+// `unsupported_version`.
+bool request_type_requires_v4(RequestType t);
 
 enum class Status : uint8_t {
   Ok,
@@ -142,14 +152,28 @@ struct HelloInfo {
   int max_version = kProtocolVersion;
   std::string role = "single";  // "single" | "coordinator" | "worker"
   bool draining = false;
+  // The server accepts v4 binary TLV frames (binproto.h) interleaved with
+  // JSON frames on the same connection. Clients switch codecs only after
+  // seeing this (or max_version >= 4) in a hello.
+  bool binary = false;
+};
+
+// One file of a `compile_batch` request: the same payload fields a
+// standalone compile carries.
+struct BatchItem {
+  std::string name;
+  std::string source;
+  std::string annotations;
+  driver::PipelineOptions options;
 };
 
 struct Request {
   RequestType type = RequestType::Ping;
   int64_t id = 0;
-  // The version the sender claimed ("v"). Encoders always stamp
-  // kProtocolVersion; decoders accept the full supported range and
-  // preserve the claim so servers can gate v3-only types.
+  // The version the sender claimed ("v"). Encoders stamp this value (a
+  // v3 client is simulated by setting it below kProtocolVersion);
+  // decoders accept the full supported range and preserve the claim so
+  // servers can gate v3-/v4-only types.
   int version = kProtocolVersion;
   std::string name;         // display label (app name); not semantic
   std::string source;       // F77-subset program text
@@ -166,10 +190,13 @@ struct Request {
   bool leaving = false; // heartbeat: graceful departure announcement
   std::string key;      // cache_probe, cache_fill (format_key hex)
   std::string payload;  // cache_fill: serialized CompileResult
-  // forward: the wrapped request type (Compile or Run) and the
-  // coordinator's 0-based routing attempt for this request.
+  // forward: the wrapped request type (Compile, Run, or CompileBatch)
+  // and the coordinator's 0-based routing attempt for this request.
   RequestType inner = RequestType::Compile;
   int attempt = 0;
+
+  // --- v4 fields ---
+  std::vector<BatchItem> batch;  // compile_batch: N files in one frame
 };
 
 // One interpreter execution, for run responses.
@@ -207,6 +234,12 @@ struct Response {
 
   bool has_peers = false;
   std::vector<WorkerInfo> peers;  // register/heartbeat: routable peers
+
+  // --- v4 fields ---
+  bool has_batch = false;
+  // compile_batch: results[i] answers batch[i] (per-item failures are
+  // carried in CompileResult::ok/error; the frame status stays ok).
+  std::vector<service::CompileResult> batch;
 };
 
 // Options <-> JSON (every field, round-trip exact).

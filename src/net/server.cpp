@@ -1,13 +1,21 @@
 #include "net/server.h"
 
+#ifdef AP_NET_USE_POLL
 #include <poll.h>
+#else
+#include <sys/epoll.h>
+#endif
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 
 #include "interp/interp.h"
+#include "net/binproto.h"
 
 namespace ap::net {
 
@@ -17,6 +25,13 @@ using clock = std::chrono::steady_clock;
 
 constexpr char kWakeDrain = 'q';
 constexpr char kWakeNudge = 'n';
+
+#ifndef AP_NET_USE_POLL
+// epoll_event.data.u64 tags: connection ids start at 1, so these two
+// sentinels can never collide with one.
+constexpr uint64_t kWakeTag = 0;
+constexpr uint64_t kListenTag = UINT64_MAX;
+#endif
 
 double ms_since(clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
@@ -41,6 +56,7 @@ Server::~Server() {
     wait();
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_r_ >= 0) ::close(wake_r_);
   if (wake_w_ >= 0) ::close(wake_w_);
 }
@@ -65,6 +81,25 @@ bool Server::start(std::string* err) {
   wake_w_ = pipe_fds[1];
   set_nonblocking(wake_r_);
   set_nonblocking(wake_w_);
+
+#ifndef AP_NET_USE_POLL
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    if (err) *err = "epoll_create1 failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::close(wake_r_);
+    ::close(wake_w_);
+    wake_r_ = wake_w_ = -1;
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_r_, &ev);
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+#endif
 
   started_ = true;
   for (int i = 0; i < opts_.threads; ++i)
@@ -123,34 +158,22 @@ int64_t Server::jobs_running() const {
 
 void Server::loop_main() {
   clock::time_point drain_deadline = clock::time_point::max();
+
+  // Normalized readiness, shared by the epoll and poll paths.
+  struct Ready {
+    uint64_t id;
+    bool readable, writable, errored;
+  };
+  std::vector<Ready> ready;
+#ifdef AP_NET_USE_POLL
   std::vector<pollfd> fds;
   std::vector<uint64_t> fd_conn;  // conn id per pollfd slot (0 = not a conn)
+#else
+  std::array<epoll_event, 128> events;
+#endif
 
   while (true) {
-    fds.clear();
-    fd_conn.clear();
-    fds.push_back({wake_r_, POLLIN, 0});
-    fd_conn.push_back(0);
-    if (!draining_.load() && listen_fd_ >= 0) {
-      fds.push_back({listen_fd_, POLLIN, 0});
-      fd_conn.push_back(0);
-    }
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      for (auto& [id, conn] : conns_) {
-        short events = 0;
-        if (!conn->closing) events |= POLLIN;
-        {
-          std::lock_guard<std::mutex> out_lock(conn->out_mu);
-          if (!conn->outbox.empty()) events |= POLLOUT;
-        }
-        if (events == 0) events = POLLERR;  // still watch for hangup
-        fds.push_back({conn->fd, events, 0});
-        fd_conn.push_back(id);
-      }
-    }
-
-    // Poll timeout: nearest deadline (request or drain), else idle tick.
+    // Wait timeout: nearest deadline (request or drain), else idle tick.
     auto now = clock::now();
     clock::time_point nearest = drain_deadline;
     for (const auto& job : deadline_watch_)
@@ -163,7 +186,7 @@ void Server::loop_main() {
       timeout_ms = static_cast<int>(std::clamp<int64_t>(delta, 0, 60'000));
     }
     // With live connections and idle reaping on, wake often enough that a
-    // silent peer is noticed without any poll activity on its socket.
+    // silent peer is noticed without any readiness on its socket.
     if (opts_.idle_timeout_ms > 0) {
       bool have_conns;
       {
@@ -176,56 +199,112 @@ void Server::loop_main() {
         if (timeout_ms < 0 || tick < timeout_ms) timeout_ms = tick;
       }
     }
+
+    bool wake_ready = false;
+    bool accept_ready = false;
+    ready.clear();
+
+#ifdef AP_NET_USE_POLL
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_r_, POLLIN, 0});
+    fd_conn.push_back(0);
+    size_t listen_slot = 0;
+    if (!draining_.load() && listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+      listen_slot = fds.size() - 1;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [id, conn] : conns_) {
+        short want = 0;
+        if (!conn->closing) want |= POLLIN;
+        {
+          std::lock_guard<std::mutex> out_lock(conn->out_mu);
+          if (conn->out_bytes() > 0) want |= POLLOUT;
+        }
+        if (want == 0) want = POLLERR;  // still watch for hangup
+        fds.push_back({conn->fd, want, 0});
+        fd_conn.push_back(id);
+      }
+    }
     ::poll(fds.data(), fds.size(), timeout_ms);
+    wake_ready = (fds[0].revents & POLLIN) != 0;
+    accept_ready =
+        listen_slot != 0 && (fds[listen_slot].revents & POLLIN) != 0;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fd_conn[i] == 0 || fds[i].revents == 0) continue;
+      short re = fds[i].revents;
+      ready.push_back({fd_conn[i], (re & (POLLIN | POLLHUP)) != 0,
+                       (re & POLLOUT) != 0,
+                       (re & (POLLERR | POLLNVAL)) != 0});
+    }
+#else
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      uint32_t ev = events[i].events;
+      if (tag == kWakeTag) {
+        wake_ready = true;
+      } else if (tag == kListenTag) {
+        accept_ready = true;
+      } else {
+        ready.push_back({tag, (ev & (EPOLLIN | EPOLLHUP)) != 0,
+                         (ev & EPOLLOUT) != 0, (ev & EPOLLERR) != 0});
+      }
+    }
+#endif
     now = clock::now();
 
     // Wake pipe: drain any pending bytes; 'q' starts the drain.
-    if (fds[0].revents & POLLIN) {
+    if (wake_ready) {
       char buf[256];
-      ssize_t n;
-      while ((n = ::read(wake_r_, buf, sizeof(buf))) > 0) {
-        for (ssize_t i = 0; i < n; ++i) {
+      ssize_t m;
+      while ((m = ::read(wake_r_, buf, sizeof(buf))) > 0) {
+        for (ssize_t i = 0; i < m; ++i) {
           if (buf[i] == kWakeDrain && !draining_.load()) {
             draining_.store(true);
             drain_deadline =
                 opts_.drain_timeout_ms > 0
                     ? now + std::chrono::milliseconds(opts_.drain_timeout_ms)
                     : clock::time_point::max();
-            ::close(listen_fd_);
+            ::close(listen_fd_);  // epoll deregisters closed fds itself
             listen_fd_ = -1;
           }
         }
       }
     }
 
-    if (!draining_.load() && listen_fd_ >= 0) accept_new_connections();
+    if (!draining_.load() && listen_fd_ >= 0 && accept_ready)
+      accept_new_connections();
 
-    // Socket I/O per connection. Collect ids first: handlers mutate conns_.
-    std::vector<std::pair<uint64_t, short>> ready;
-    for (size_t i = 0; i < fds.size(); ++i)
-      if (fd_conn[i] != 0 && fds[i].revents != 0)
-        ready.emplace_back(fd_conn[i], fds[i].revents);
-    for (auto& [conn_id, revents] : ready) {
+    // Socket I/O per connection (handlers mutate conns_, hence the copy
+    // into `ready` above).
+    for (auto& r : ready) {
       std::shared_ptr<Connection> conn;
       {
         std::lock_guard<std::mutex> lock(conns_mu_);
-        auto it = conns_.find(conn_id);
+        auto it = conns_.find(r.id);
         if (it == conns_.end()) continue;
         conn = it->second;
       }
-      if (revents & (POLLERR | POLLNVAL)) {
-        close_connection(conn_id);
+      if (r.errored) {
+        close_connection(r.id);
         continue;
       }
-      if (revents & (POLLIN | POLLHUP)) read_connection(conn);
-      if (revents & POLLOUT) flush_connection(conn);
+      if (r.readable) read_connection(conn);
+      if (r.writable) flush_connection(conn);
     }
 
     sweep_deadlines(now);
     if (opts_.idle_timeout_ms > 0 && !draining_.load()) sweep_idle(now);
 
     // Opportunistic flush: handlers above may have queued responses on
-    // connections that polled readable but not writable this round.
+    // connections that signaled readable but not writable this round.
+    // Under epoll this pass also reconciles each connection's interest
+    // mask (EPOLL_CTL_MOD only on change).
     {
       std::vector<std::shared_ptr<Connection>> all;
       {
@@ -233,7 +312,10 @@ void Server::loop_main() {
         all.reserve(conns_.size());
         for (auto& [id, conn] : conns_) all.push_back(conn);
       }
-      for (auto& conn : all) flush_connection(conn);
+      for (auto& conn : all) {
+        flush_connection(conn);
+        update_interest(conn);
+      }
     }
 
     if (draining_.load()) {
@@ -251,7 +333,7 @@ void Server::loop_main() {
         std::lock_guard<std::mutex> lock(conns_mu_);
         for (auto& [id, conn] : conns_) {
           std::lock_guard<std::mutex> out_lock(conn->out_mu);
-          if (!conn->outbox.empty()) flushed = false;
+          if (conn->out_bytes() > 0) flushed = false;
         }
       }
       if ((work_done && flushed) || now >= drain_deadline) break;
@@ -270,8 +352,12 @@ void Server::loop_main() {
 void Server::accept_new_connections() {
   while (true) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) break;  // EAGAIN or transient error: try next poll round
+    if (fd < 0) break;  // EAGAIN or transient error: try next loop round
     set_nonblocking(fd);
+    // Nagle off: pipelined clients stream small response frames back to
+    // back, and coalescing them behind delayed ACKs costs ~40ms stalls.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>(opts_.max_frame_bytes);
     conn->fd = fd;
     conn->last_activity_ms.store(steady_ms());
@@ -280,9 +366,35 @@ void Server::accept_new_connections() {
       conn->id = next_conn_id_++;
       conns_[conn->id] = conn;
     }
+#ifndef AP_NET_USE_POLL
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    conn->epoll_mask = EPOLLIN;
+#endif
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.connections;
   }
+}
+
+void Server::update_interest(const std::shared_ptr<Connection>& conn) {
+#ifndef AP_NET_USE_POLL
+  if (epoll_fd_ < 0 || conn->fd < 0) return;
+  uint32_t want = conn->closing ? 0u : static_cast<uint32_t>(EPOLLIN);
+  {
+    std::lock_guard<std::mutex> out_lock(conn->out_mu);
+    if (conn->out_bytes() > 0) want |= EPOLLOUT;
+  }
+  if (want == conn->epoll_mask) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  conn->epoll_mask = want;
+#else
+  (void)conn;  // poll interest is rebuilt from scratch each round
+#endif
 }
 
 void Server::read_connection(const std::shared_ptr<Connection>& conn) {
@@ -304,7 +416,9 @@ void Server::read_connection(const std::shared_ptr<Connection>& conn) {
     return;
   }
 
-  while (auto payload = conn->reader.next()) {
+  // Decode straight from the reader's buffer — the view stays valid
+  // through handle_frame (nothing feeds the reader inside it).
+  while (auto payload = conn->reader.next_view()) {
     handle_frame(conn, *payload);
     if (conn->closing) return;  // protocol error: stop consuming the stream
   }
@@ -312,21 +426,61 @@ void Server::read_connection(const std::shared_ptr<Connection>& conn) {
     Response resp;
     resp.status = Status::ProtocolError;
     resp.error = conn->reader.error_message();
-    {
-      std::lock_guard<std::mutex> out_lock(conn->out_mu);
-      conn->outbox += encode_frame(response_to_json(resp).dump());
-    }
+    enqueue_response(conn, resp, false);
     conn->closing = true;
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.protocol_errors;
   }
 }
 
-void Server::handle_frame(const std::shared_ptr<Connection>& conn,
-                          const std::string& payload) {
-  auto reply = [&](const Response& resp) {
+void Server::enqueue_response(const std::shared_ptr<Connection>& conn,
+                              const Response& resp, bool binary) {
+  if (binary) {
+    bool sample;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      sample = (binary_reply_tick_++ % kBytesSavedSampleStride) == 0;
+    }
+    size_t bin_payload;
+    {
+      std::lock_guard<std::mutex> out_lock(conn->out_mu);
+      size_t hdr = begin_frame(&conn->out_back);
+      encode_response_binary(resp, &conn->out_back);
+      end_frame(&conn->out_back, hdr);
+      bin_payload = conn->out_back.size() - hdr - 4;
+    }
+    if (sample) {
+      // The comparison JSON-encodes the whole response, so it is sampled
+      // sparsely — it must not tax the warm fast path it is measuring.
+      size_t json_payload = response_to_json(resp).dump().size();
+      if (json_payload > bin_payload) {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        stats_.bytes_saved_vs_json +=
+            (json_payload - bin_payload) * kBytesSavedSampleStride;
+      }
+    }
+  } else {
+    std::string payload = response_to_json(resp).dump();
     std::lock_guard<std::mutex> out_lock(conn->out_mu);
-    conn->outbox += encode_frame(response_to_json(resp).dump());
+    append_frame(&conn->out_back, payload);
+  }
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          std::string_view payload) {
+  // Codec dispatch: binary TLV frames open with 0xB4, JSON with '{'.
+  // The reply always travels in the codec its request arrived in.
+  const bool bin = is_binary_frame(payload);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (bin)
+      ++stats_.binary_requests;
+    else
+      ++stats_.json_requests;
+  }
+
+  auto reply = [&](const Response& resp) {
+    enqueue_response(conn, resp, bin);
   };
 
   auto hello_reply = [&](int64_t id) {
@@ -337,70 +491,104 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
     resp.hello.max_version = kProtocolVersion;
     resp.hello.role = opts_.role;
     resp.hello.draining = draining_.load();
+    resp.hello.binary = true;
     reply(resp);
   };
 
-  std::string parse_err;
-  auto doc = json::parse(payload, &parse_err);
-  if (!doc || !doc->is_object()) {
+  auto protocol_error = [&](std::string why) {
     Response resp;
     resp.status = Status::ProtocolError;
-    resp.error = doc ? "request must be a JSON object"
-                     : "malformed JSON payload: " + parse_err;
+    resp.error = std::move(why);
     reply(resp);
     conn->closing = true;
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.protocol_errors;
-    return;
-  }
+  };
 
-  // Negotiation happens before strict decoding: a `hello` is answered for
-  // ANY claimed version, and an out-of-range version draws a structured
-  // `unsupported_version` (connection stays open) rather than the fatal
-  // `protocol_error` path.
-  const json::Value* type_field = doc->find("type");
-  if (type_field && type_field->is_string() &&
-      type_field->as_string() == "hello") {
-    const json::Value* idf = doc->find("id");
-    hello_reply(idf ? idf->as_int() : 0);
-    return;
-  }
-  const json::Value* vf = doc->find("v");
-  int claimed = vf ? static_cast<int>(vf->as_int()) : kProtocolVersion;
-  if (claimed < kMinProtocolVersion || claimed > kProtocolVersion) {
-    const json::Value* idf = doc->find("id");
+  auto unsupported = [&](int64_t id, std::string why) {
     Response resp;
-    resp.id = idf ? idf->as_int() : 0;
+    resp.id = id;
     resp.status = Status::UnsupportedVersion;
-    resp.error = "protocol version " + std::to_string(claimed) +
-                 " outside supported range [" +
-                 std::to_string(kMinProtocolVersion) + ", " +
-                 std::to_string(kProtocolVersion) + "]; send `hello`";
+    resp.error = std::move(why);
     reply(resp);
-    return;
-  }
+  };
 
   Request req;
-  std::string decode_err;
-  if (!request_from_json(*doc, &req, &decode_err)) {
-    Response resp;
-    resp.status = Status::ProtocolError;
-    resp.error = decode_err;
-    reply(resp);
-    conn->closing = true;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.protocol_errors;
-    return;
+  if (bin) {
+    // The binary decoder validates structure but not the version range,
+    // so an out-of-range claim can still draw the structured non-fatal
+    // `unsupported_version` (same contract as JSON).
+    std::string decode_err;
+    if (!decode_request_binary(payload, &req, &decode_err)) {
+      protocol_error(std::move(decode_err));
+      return;
+    }
+    if (req.type == RequestType::Hello) {
+      hello_reply(req.id);
+      return;
+    }
+    if (req.version < kMinProtocolVersion || req.version > kProtocolVersion) {
+      unsupported(req.id, "protocol version " + std::to_string(req.version) +
+                              " outside supported range [" +
+                              std::to_string(kMinProtocolVersion) + ", " +
+                              std::to_string(kProtocolVersion) +
+                              "]; send `hello`");
+      return;
+    }
+  } else {
+    std::string parse_err;
+    auto doc = json::parse(payload, &parse_err);
+    if (!doc || !doc->is_object()) {
+      protocol_error(doc ? "request must be a JSON object"
+                         : "malformed JSON payload: " + parse_err);
+      return;
+    }
+
+    // Negotiation happens before strict decoding: a `hello` is answered
+    // for ANY claimed version, and an out-of-range version draws a
+    // structured `unsupported_version` (connection stays open) rather
+    // than the fatal `protocol_error` path.
+    const json::Value* type_field = doc->find("type");
+    if (type_field && type_field->is_string() &&
+        type_field->as_string() == "hello") {
+      const json::Value* idf = doc->find("id");
+      hello_reply(idf ? idf->as_int() : 0);
+      return;
+    }
+    const json::Value* vf = doc->find("v");
+    int claimed = vf ? static_cast<int>(vf->as_int()) : kProtocolVersion;
+    if (claimed < kMinProtocolVersion || claimed > kProtocolVersion) {
+      const json::Value* idf = doc->find("id");
+      unsupported(idf ? idf->as_int() : 0,
+                  "protocol version " + std::to_string(claimed) +
+                      " outside supported range [" +
+                      std::to_string(kMinProtocolVersion) + ", " +
+                      std::to_string(kProtocolVersion) + "]; send `hello`");
+      return;
+    }
+
+    std::string decode_err;
+    if (!request_from_json(*doc, &req, &decode_err)) {
+      protocol_error(std::move(decode_err));
+      return;
+    }
   }
 
   if (request_type_requires_v3(req.type) && req.version < 3) {
-    Response resp;
-    resp.id = req.id;
-    resp.status = Status::UnsupportedVersion;
-    resp.error = std::string(request_type_name(req.type)) +
-                 " requires protocol v3 (request claimed v" +
-                 std::to_string(req.version) + ")";
-    reply(resp);
+    unsupported(req.id, std::string(request_type_name(req.type)) +
+                            " requires protocol v3 (request claimed v" +
+                            std::to_string(req.version) + ")");
+    return;
+  }
+  if ((request_type_requires_v4(req.type) ||
+       (req.type == RequestType::Forward &&
+        req.inner == RequestType::CompileBatch)) &&
+      req.version < 4) {
+    unsupported(req.id, std::string(request_type_name(req.type)) +
+                            (req.type == RequestType::Forward ? " of compile_batch"
+                                                              : "") +
+                            " requires protocol v4 (request claimed v" +
+                            std::to_string(req.version) + ")");
     return;
   }
 
@@ -441,7 +629,8 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
     }
     case RequestType::Compile:
     case RequestType::Run:
-    case RequestType::Forward: {
+    case RequestType::Forward:
+    case RequestType::CompileBatch: {
       if (draining_.load()) {
         Response resp;
         resp.id = req.id;
@@ -452,8 +641,53 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
         ++stats_.rejected_overload;
         return;
       }
+      // Warm-hit fast path: a compile whose result already sits in the
+      // memory cache is answered inline — no queue hop, no worker
+      // wake-up, no per-frame allocation. Only pure compiles qualify
+      // (runs execute, batches fan out, a pluggable executor owns its
+      // own routing), and only the memory tier is probed so the loop
+      // thread never blocks on disk.
+      if (!opts_.executor && opts_.scheduler) {
+        RequestType effective =
+            req.type == RequestType::Forward ? req.inner : req.type;
+        if (effective == RequestType::Compile) {
+          if (service::ResultCache* cache = opts_.scheduler->cache()) {
+            uint64_t key = service::cache_key(req.source, req.annotations,
+                                              req.options);
+            if (auto hit = cache->find_memory(key)) {
+              Response resp;
+              resp.id = req.id;
+              resp.has_result = true;
+              resp.result = std::move(*hit);
+              resp.result.cache_hit = true;
+              if (!resp.result.ok) {
+                resp.status = Status::Error;
+                resp.error = "compilation failed: " + resp.result.error;
+              }
+              if (opts_.telemetry) {
+                service::JobRecord rec;
+                rec.app = req.name.empty() ? "WIRE" : req.name;
+                rec.config = driver::config_name(req.options.config);
+                rec.ok = resp.result.ok;
+                rec.cache_hit = true;
+                rec.dep_tests = resp.result.dep_tests;
+                rec.dep_tests_unique = resp.result.dep_tests_unique;
+                rec.parallel_loops = resp.result.parallel_loops.size();
+                rec.code_lines = resp.result.code_lines;
+                opts_.telemetry->record_job(rec);
+              }
+              reply(resp);
+              std::lock_guard<std::mutex> lock(stats_mu_);
+              ++stats_.accepted;
+              ++stats_.completed;
+              return;
+            }
+          }
+        }
+      }
       auto job = std::make_shared<JobState>();
       job->conn_id = conn->id;
+      job->binary = bin;
       int64_t timeout = req.deadline_ms > 0 ? req.deadline_ms
                                             : opts_.request_timeout_ms;
       job->deadline = timeout > 0
@@ -479,7 +713,14 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
         stats_.queue_depth_peak = std::max(
             stats_.queue_depth_peak, static_cast<int64_t>(queue_.size()));
       }
-      conn->inflight.fetch_add(1);  // idle sweep must not reap mid-request
+      // Idle sweep must not reap mid-request; the post-increment depth is
+      // the connection's current pipelining depth.
+      int depth = conn->inflight.fetch_add(1) + 1;
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        stats_.pipeline_depth_peak =
+            std::max(stats_.pipeline_depth_peak, static_cast<int64_t>(depth));
+      }
       queue_cv_.notify_one();
       if (job->deadline != clock::time_point::max())
         deadline_watch_.push_back(job);
@@ -492,11 +733,38 @@ void Server::flush_connection(const std::shared_ptr<Connection>& conn) {
   bool close_now = false;
   {
     std::lock_guard<std::mutex> out_lock(conn->out_mu);
-    while (!conn->outbox.empty()) {
-      ssize_t n = ::send(conn->fd, conn->outbox.data(), conn->outbox.size(),
-                         MSG_NOSIGNAL);
+    while (conn->out_bytes() > 0) {
+      if (conn->front_pos == conn->out_front.size()) {
+        // Front drained: O(1) role swap, capacities recycled.
+        conn->out_front.clear();
+        conn->front_pos = 0;
+        std::swap(conn->out_front, conn->out_back);
+      }
+      iovec iov[2];
+      iov[0].iov_base = conn->out_front.data() + conn->front_pos;
+      iov[0].iov_len = conn->out_front.size() - conn->front_pos;
+      int iovcnt = 1;
+      if (!conn->out_back.empty()) {
+        iov[1].iov_base = conn->out_back.data();
+        iov[1].iov_len = conn->out_back.size();
+        iovcnt = 2;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = iovcnt;
+      ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
       if (n > 0) {
-        conn->outbox.erase(0, static_cast<size_t>(n));
+        size_t front_rem = iov[0].iov_len;
+        if (static_cast<size_t>(n) <= front_rem) {
+          conn->front_pos += static_cast<size_t>(n);
+        } else {
+          // The write ran into the back buffer: the front is fully sent;
+          // promote the back to front with the spill consumed.
+          size_t into_back = static_cast<size_t>(n) - front_rem;
+          conn->out_front.clear();
+          std::swap(conn->out_front, conn->out_back);
+          conn->front_pos = into_back;
+        }
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -504,7 +772,11 @@ void Server::flush_connection(const std::shared_ptr<Connection>& conn) {
       close_now = true;  // broken pipe / reset
       break;
     }
-    if (conn->outbox.empty() && conn->closing) close_now = true;
+    if (conn->out_bytes() == 0) {
+      conn->out_front.clear();
+      conn->front_pos = 0;
+      if (conn->closing) close_now = true;
+    }
   }
   if (close_now) close_connection(conn->id);
 }
@@ -518,6 +790,9 @@ void Server::close_connection(uint64_t conn_id) {
     conn = it->second;
     conns_.erase(it);
   }
+#ifndef AP_NET_USE_POLL
+  if (epoll_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+#endif
   ::close(conn->fd);
   conn->fd = -1;
 }
@@ -545,7 +820,7 @@ void Server::sweep_deadlines(clock::time_point now) {
       resp.id = job->req.id;
       resp.status = Status::DeadlineExceeded;
       resp.error = "request missed its deadline";
-      deliver(job->conn_id, resp);
+      deliver(job->conn_id, resp, job->binary);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.timed_out;
     }
@@ -566,7 +841,7 @@ void Server::sweep_idle(clock::time_point now) {
       if (conn->inflight.load() > 0) continue;
       {
         std::lock_guard<std::mutex> out_lock(conn->out_mu);
-        if (!conn->outbox.empty()) continue;
+        if (conn->out_bytes() > 0) continue;
       }
       if (now_ms - conn->last_activity_ms.load() >= opts_.idle_timeout_ms)
         reap.push_back(id);
@@ -603,6 +878,13 @@ json::Value Server::build_metrics() const {
       .set("protocol_errors", ss.protocol_errors)
       .set("idle_closed", ss.idle_closed)
       .set("queue_depth_peak", ss.queue_depth_peak)
+      .set("json_requests", ss.json_requests)
+      .set("binary_requests", ss.binary_requests)
+      .set("pipeline_depth_peak", ss.pipeline_depth_peak)
+      .set("bytes_saved_vs_json", ss.bytes_saved_vs_json)
+      .set("batches", ss.batches)
+      .set("batch_items", ss.batch_items)
+      .set("batch_max", ss.batch_max)
       .set("role", opts_.role)
       .set("draining", draining_.load());
   out.set("server", std::move(server));
@@ -610,7 +892,7 @@ json::Value Server::build_metrics() const {
   return out;
 }
 
-bool Server::deliver(uint64_t conn_id, const Response& resp) {
+bool Server::deliver(uint64_t conn_id, const Response& resp, bool binary) {
   std::shared_ptr<Connection> conn;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -618,10 +900,7 @@ bool Server::deliver(uint64_t conn_id, const Response& resp) {
     if (it == conns_.end()) return false;  // client went away
     conn = it->second;
   }
-  {
-    std::lock_guard<std::mutex> out_lock(conn->out_mu);
-    conn->outbox += encode_frame(response_to_json(resp).dump());
-  }
+  enqueue_response(conn, resp, binary);
   conn->last_activity_ms.store(steady_ms());
   conn->inflight.fetch_sub(1);  // exactly one deliver per admitted job
   nudge();
@@ -649,7 +928,7 @@ void Server::worker_main() {
       Response resp = execute(job->req);
       expected = kRunning;
       if (job->phase.compare_exchange_strong(expected, kDone)) {
-        deliver(job->conn_id, resp);
+        deliver(job->conn_id, resp, job->binary);
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.completed;
       }
@@ -673,14 +952,54 @@ Response Server::execute(const Request& req) {
     return resp;
   }
 
-  // A forward is the coordinator-wrapped form of compile/run; unwrap it
-  // and serve the inner request locally (workers never re-forward).
+  // A forward is the coordinator-wrapped form of compile/run/batch;
+  // unwrap it and serve the inner request locally (workers never
+  // re-forward).
   RequestType effective =
       req.type == RequestType::Forward ? req.inner : req.type;
 
   Response resp;
   resp.id = req.id;
   try {
+    if (effective == RequestType::CompileBatch) {
+      // One frame, N files: each item runs through the cache-aware
+      // scheduler on this lane (run_batch's pool is single-batch, and
+      // other lanes keep serving other connections meanwhile). Per-item
+      // failures stay in their CompileResult; the frame itself is ok.
+      resp.has_batch = true;
+      resp.batch.reserve(req.batch.size());
+      for (const auto& item : req.batch) {
+        service::CompileJob job;
+        job.app.name = item.name.empty() ? "WIRE" : item.name;
+        job.app.source = item.source;
+        job.app.annotations = item.annotations;
+        job.opts = item.options;
+        auto t0 = clock::now();
+        service::CompileResult r = opts_.scheduler->run_one(job);
+        if (opts_.telemetry) {
+          service::JobRecord rec;
+          rec.app = job.app.name;
+          rec.config = driver::config_name(job.opts.config);
+          rec.ok = r.ok;
+          rec.cache_hit = r.cache_hit;
+          rec.wall_ms = ms_since(t0);
+          rec.dep_tests = r.dep_tests;
+          rec.dep_tests_unique = r.dep_tests_unique;
+          rec.parallel_loops = r.parallel_loops.size();
+          rec.code_lines = r.code_lines;
+          if (!r.cache_hit) rec.timings = r.timings;
+          opts_.telemetry->record_job(rec);
+        }
+        resp.batch.push_back(std::move(r));
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches;
+      stats_.batch_items += req.batch.size();
+      stats_.batch_max = std::max(stats_.batch_max,
+                                  static_cast<uint64_t>(req.batch.size()));
+      return resp;
+    }
+
     service::CompileJob job;
     job.app.name = req.name.empty() ? "WIRE" : req.name;
     job.app.source = req.source;

@@ -1,6 +1,11 @@
-// The apserved serving core: a poll()-based event loop over nonblocking
-// loopback TCP sockets, speaking the length-prefixed JSON protocol of
-// protocol.h.
+// The apserved serving core: an epoll(7)-based event loop over
+// nonblocking loopback TCP sockets, speaking the length-prefixed protocol
+// of protocol.h in either codec — JSON (v1–v4) or binary TLV (v4,
+// binproto.h), dispatched per frame by the payload's first byte and
+// answered in the codec each request arrived in. Building with
+// -DANNOPAR_NET_POLL=ON swaps the readiness mechanism back to poll(2)
+// for platforms without epoll; everything above the readiness layer is
+// shared.
 //
 // Threading model
 //   One event-loop thread owns all socket I/O: accepting, reading frames,
@@ -11,6 +16,25 @@
 //   content-addressed cache — and its warm-hit fast path — with the batch
 //   CLI. Workers deliver finished responses into the owning connection's
 //   outbox and nudge the loop through a self-pipe.
+//
+// Pipelining
+//   Clients may submit any number of requests back to back on one
+//   connection; each admitted request is answered with a frame carrying
+//   its echoed id, in completion order (out-of-order responses are the
+//   v4 contract — they always were possible, v4 just names it). A
+//   `compile_batch` request carries N files in one frame and is answered
+//   as one frame of N results.
+//
+// Hot-path memory discipline
+//   Per-connection buffers are reused end to end: the FrameReader
+//   recycles its input buffer (offset-based consumption, no per-frame
+//   erase), requests are decoded straight from a view into it, and
+//   responses are encoded in place into the connection's output buffers
+//   (begin_frame/end_frame — no intermediate payload string). Output uses
+//   a front/back double buffer flushed with writev: workers append to the
+//   back buffer while the loop drains the front, and the two swap in O(1)
+//   when the front empties, so a warm-cache hit performs no per-frame
+//   heap allocation once the connection's buffers have grown.
 //
 // Robustness invariants (tested in tests/net_test.cpp)
 //   - Backpressure, not buffering: when the admission queue holds
@@ -129,6 +153,7 @@ class Server {
   struct JobState {
     Request req;
     uint64_t conn_id = 0;
+    bool binary = false;  // reply in the codec the request arrived in
     std::chrono::steady_clock::time_point deadline;  // max() = none
     std::atomic<int> phase{kPending};
   };
@@ -138,13 +163,24 @@ class Server {
     uint64_t id = 0;
     FrameReader reader;
     std::mutex out_mu;
-    std::string outbox;     // encoded frames awaiting the socket
+    // Output double buffer: writers (loop handlers, worker deliver)
+    // append encoded frames to `out_back`; the flusher drains `out_front`
+    // from `front_pos` and the two swap in O(1) when the front empties.
+    // Both writev'd together, both keep their capacity across frames.
+    std::string out_front;
+    std::string out_back;
+    size_t front_pos = 0;
     bool closing = false;   // loop thread only: close once outbox drains
+    uint32_t epoll_mask = 0;  // loop thread only: current epoll interest
     // Idle-reap bookkeeping: last socket/deliver activity (steady-clock
     // ms) and the number of admitted requests not yet answered.
     std::atomic<int64_t> last_activity_ms{0};
     std::atomic<int> inflight{0};
     explicit Connection(size_t max_frame) : reader(max_frame) {}
+    // out_mu must be held.
+    size_t out_bytes() const {
+      return out_front.size() - front_pos + out_back.size();
+    }
   };
 
   void loop_main();
@@ -154,16 +190,23 @@ class Server {
   void accept_new_connections();
   void read_connection(const std::shared_ptr<Connection>& conn);
   void handle_frame(const std::shared_ptr<Connection>& conn,
-                    const std::string& payload);
+                    std::string_view payload);
   void flush_connection(const std::shared_ptr<Connection>& conn);
+  void update_interest(const std::shared_ptr<Connection>& conn);
   void close_connection(uint64_t conn_id);
   void sweep_deadlines(std::chrono::steady_clock::time_point now);
   void sweep_idle(std::chrono::steady_clock::time_point now);
   json::Value build_metrics() const;
 
+  // Encodes `resp` in the connection's reply codec directly into its
+  // output buffer (with the sampled bytes-saved estimate for binary
+  // replies). Callable from any thread.
+  void enqueue_response(const std::shared_ptr<Connection>& conn,
+                        const Response& resp, bool binary);
+
   // Any thread: queue an encoded response on a live connection and nudge
   // the loop. False when the connection is gone.
-  bool deliver(uint64_t conn_id, const Response& resp);
+  bool deliver(uint64_t conn_id, const Response& resp, bool binary);
   void nudge();
 
   // Worker thread: execute one admitted request.
@@ -171,6 +214,7 @@ class Server {
 
   ServerOptions opts_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;  // unused (-1) under the poll fallback
   int wake_r_ = -1, wake_w_ = -1;
   int port_ = 0;
   bool started_ = false;
@@ -196,6 +240,12 @@ class Server {
 
   mutable std::mutex stats_mu_;
   service::ServerStats stats_;
+  // Sampling for the bytes_saved_vs_json estimate: one binary reply per
+  // stride is also JSON-encoded and the delta extrapolated, so the stat
+  // costs a fraction of one codec, not 100% — the JSON encode runs on
+  // the event-loop thread, inside the warm fast path it is measuring.
+  static constexpr uint64_t kBytesSavedSampleStride = 256;
+  uint64_t binary_reply_tick_ = 0;
 };
 
 }  // namespace ap::net

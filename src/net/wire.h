@@ -6,13 +6,20 @@
 //   | 4-byte big-endian length N | N bytes JSON payload |
 //   +----------------------------+----------------------+
 //
-// The length counts payload bytes only. A length prefix larger than the
-// receiver's configured maximum is a protocol error: the receiver answers
-// with a `protocol_error` response and closes the connection (it cannot
+// The length counts payload bytes only. The payload is one JSON document
+// (v1–v3, and v4 peers that stayed on JSON) or one binary TLV message
+// (v4, first byte 0xB4 — see binproto.h); the codec is dispatched per
+// frame by that first byte. A length prefix larger than the receiver's
+// configured maximum is a protocol error: the receiver answers with a
+// `protocol_error` response and closes the connection (it cannot
 // resynchronize inside an untrusted stream). FrameReader is the
 // incremental decoder used by both sides; it consumes bytes as they
 // arrive and yields complete payloads, so it works unchanged over
-// nonblocking sockets that deliver frames in arbitrary fragments.
+// nonblocking sockets that deliver frames in arbitrary fragments. The
+// buffer is reused across frames: consumption advances an offset instead
+// of erasing the front, and the allocation is recycled once drained, so a
+// busy connection settles into zero steady-state allocation in the reader
+// (`next_view` additionally avoids the payload copy-out).
 //
 // The socket helpers below are the thin POSIX layer the server and client
 // share: loopback TCP listen/connect and nonblocking mode. Everything
@@ -34,6 +41,19 @@ inline constexpr size_t kDefaultMaxFrame = 16 * 1024 * 1024;
 // Prepends the 4-byte big-endian length prefix.
 std::string encode_frame(std::string_view payload);
 
+// Allocation-free framing for senders that build payloads in place:
+// begin_frame appends a 4-byte length placeholder to *out and returns its
+// offset; the caller then appends the payload bytes directly, and
+// end_frame patches the placeholder with everything appended since. Lets
+// the server encode a response straight into a connection's reusable
+// output buffer with no intermediate payload string.
+size_t begin_frame(std::string* out);
+void end_frame(std::string* out, size_t header_pos);
+
+// Appends prefix + payload to *out (the reusable-buffer form of
+// encode_frame).
+void append_frame(std::string* out, std::string_view payload);
+
 class FrameReader {
  public:
   explicit FrameReader(size_t max_frame = kDefaultMaxFrame)
@@ -47,14 +67,20 @@ class FrameReader {
   // next() always returns nullopt and error() is true.
   std::optional<std::string> next();
 
+  // Zero-copy variant: a view into the internal buffer, valid only until
+  // the next feed()/next()/next_view() call. The server hot path decodes
+  // straight from this view.
+  std::optional<std::string_view> next_view();
+
   bool error() const { return error_; }
   const std::string& error_message() const { return error_msg_; }
 
-  // Bytes currently buffered (partial frame), for tests.
-  size_t buffered() const { return buf_.size(); }
+  // Bytes currently buffered and not yet consumed (partial frame).
+  size_t buffered() const { return buf_.size() - pos_; }
 
  private:
   std::string buf_;
+  size_t pos_ = 0;  // consumed prefix; reclaimed in feed(), never erased here
   size_t max_frame_;
   bool error_ = false;
   std::string error_msg_;
@@ -65,7 +91,8 @@ class FrameReader {
 // receives the actual port.
 int listen_tcp(int port, int* bound_port, std::string* err);
 
-// Blocking connect to host:port. Returns the fd, or -1 with *err set.
+// Blocking connect to host:port. `host` is an IPv4 literal or a hostname
+// (resolved via getaddrinfo). Returns the fd, or -1 with *err set.
 int connect_tcp(const std::string& host, int port, std::string* err);
 
 bool set_nonblocking(int fd);

@@ -66,10 +66,46 @@ std::string options_fingerprint(const driver::PipelineOptions& o) {
   return s.str();
 }
 
+namespace {
+
+// Folds one integral field into the hash as 8 tagged bytes. Hashing raw
+// field values keeps cache_key off the ostringstream path — it runs per
+// request on the server's event loop (the warm-hit fast path).
+uint64_t fnv_u64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
 uint64_t cache_key(std::string_view source, std::string_view annotations,
-                   const driver::PipelineOptions& opts) {
+                   const driver::PipelineOptions& o) {
+  // Same information as options_fingerprint() (which stays the canonical
+  // printable form for telemetry and tests), hashed field by field.
   uint64_t h = kFnvOffset;
-  h = fnv1a(h, options_fingerprint(opts));
+  h = fnv_u64(h, kCacheFormatVersion);
+  h = fnv_u64(h, static_cast<uint64_t>(static_cast<int>(o.config)));
+  h = fnv_u64(h, static_cast<uint64_t>(o.par.min_trip));
+  h = fnv_u64(h, (o.par.normalize ? 1u : 0u) | (o.par.mark_nested ? 2u : 0u) |
+                     (o.par.use_banerjee ? 4u : 0u) |
+                     (o.par.use_siv_refinement ? 8u : 0u) |
+                     (o.par.collect_all_blockers ? 16u : 0u));
+  h = fnv_u64(h, static_cast<uint64_t>(o.conv.max_stmts));
+  h = fnv_u64(h, static_cast<uint64_t>(o.conv.max_callee_calls));
+  h = fnv_u64(h, (o.conv.require_in_loop ? 1u : 0u) |
+                     (o.conv.eliminate_dead_units ? 2u : 0u));
+  h = fnv_u64(h, static_cast<uint64_t>(o.conv.max_passes));
+  h = fnv_u64(h, o.annot.require_in_loop ? 1u : 0u);
+  h = fnv_u64(h, (o.reverse.tolerate_reordering ? 1u : 0u) |
+                     (o.reverse.tolerate_forward_subst ? 2u : 0u) |
+                     (o.reverse.tolerate_literals ? 4u : 0u) |
+                     (o.reverse.fallback_to_hints ? 8u : 0u));
+  h = fnv1a(h, o.stop_after);
+  h = fnv1a(h, std::string_view("\0", 1));
+  h = fnv1a(h, o.print_after);
   h = fnv1a(h, std::string_view("\0", 1));
   h = fnv1a(h, source);
   h = fnv1a(h, std::string_view("\0", 1));
@@ -201,6 +237,15 @@ std::optional<CompileResult> ResultCache::find(uint64_t key) {
   }
   ++stats_.misses;
   return std::nullopt;
+}
+
+std::optional<CompileResult> ResultCache::find_memory(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.memory_hits;
+  return it->second->second;
 }
 
 void ResultCache::store(uint64_t key, const CompileResult& r) {

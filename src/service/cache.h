@@ -100,6 +100,12 @@ class ResultCache {
   // are promoted into the memory tier.
   std::optional<CompileResult> find(uint64_t key);
 
+  // Thread-safe memory-tier-only probe: never touches disk, so it is safe
+  // on a latency-critical thread (the server's event loop answers warm
+  // hits with it). A miss is NOT counted — the caller falls back to the
+  // full find(), which accounts the outcome.
+  std::optional<CompileResult> find_memory(uint64_t key);
+
   // Thread-safe. Stores under `key`, evicting the least-recently-used
   // memory entry at capacity; mirrors to disk when enabled. Failed
   // results (!r.ok) are ignored.

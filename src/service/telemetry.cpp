@@ -148,7 +148,14 @@ std::string Telemetry::to_json() const {
       << ", \"timed_out\": " << server_.timed_out
       << ", \"protocol_errors\": " << server_.protocol_errors
       << ", \"idle_closed\": " << server_.idle_closed
-      << ", \"queue_depth_peak\": " << server_.queue_depth_peak << "},\n";
+      << ", \"queue_depth_peak\": " << server_.queue_depth_peak
+      << ", \"json_requests\": " << server_.json_requests
+      << ", \"binary_requests\": " << server_.binary_requests
+      << ", \"pipeline_depth_peak\": " << server_.pipeline_depth_peak
+      << ", \"bytes_saved_vs_json\": " << server_.bytes_saved_vs_json
+      << ", \"batches\": " << server_.batches
+      << ", \"batch_items\": " << server_.batch_items
+      << ", \"batch_max\": " << server_.batch_max << "},\n";
   }
   if (has_peer_cache_) {
     s << "  \"peer_cache\": {\"probes_sent\": " << peer_cache_.probes_sent
@@ -164,7 +171,11 @@ std::string Telemetry::to_json() const {
       << ", \"worker_lost\": " << fleet_.worker_lost
       << ", \"workers_joined\": " << fleet_.workers_joined
       << ", \"workers_left\": " << fleet_.workers_left
-      << ", \"workers_dead\": " << fleet_.workers_dead << "},\n";
+      << ", \"workers_dead\": " << fleet_.workers_dead
+      << ", \"channels_opened\": " << fleet_.channels_opened
+      << ", \"channel_reconnects\": " << fleet_.channel_reconnects
+      << ", \"channel_inflight_peak\": " << fleet_.channel_inflight_peak
+      << ", \"load_steers\": " << fleet_.load_steers << "},\n";
   }
   double queue_mean =
       queue_samples_ ? static_cast<double>(queue_depth_sum_) /

@@ -59,6 +59,19 @@ struct ServerStats {
   uint64_t protocol_errors = 0;    // malformed or oversized frames
   uint64_t idle_closed = 0;        // connections reaped by the idle sweep
   int64_t queue_depth_peak = 0;    // admission-queue high-water mark
+  // v4 serving-path counters.
+  uint64_t json_requests = 0;      // frames decoded from the JSON codec
+  uint64_t binary_requests = 0;    // frames decoded from the binary codec
+  // Largest number of requests in flight on any single connection —
+  // the observed pipelining depth.
+  int64_t pipeline_depth_peak = 0;
+  // Estimated bytes the binary codec saved vs. encoding the same
+  // responses as JSON (sampled: every 16th binary reply is also
+  // JSON-encoded and the delta extrapolated).
+  uint64_t bytes_saved_vs_json = 0;
+  uint64_t batches = 0;            // compile_batch requests served
+  uint64_t batch_items = 0;        // files carried by those batches
+  uint64_t batch_max = 0;          // largest single batch
 };
 
 // Counters from the distributed cache tier (src/dist worker): peer probes
@@ -81,6 +94,11 @@ struct FleetStats {
   uint64_t workers_joined = 0;
   uint64_t workers_left = 0;  // graceful departures (leaving heartbeat)
   uint64_t workers_dead = 0;  // declared dead (missed heartbeats/transport)
+  // Pooled-channel counters (pipelined coordinator→worker connections).
+  uint64_t channels_opened = 0;     // worker channels dialed
+  uint64_t channel_reconnects = 0;  // redials after a transport failure
+  int64_t channel_inflight_peak = 0;  // deepest per-channel pipelining seen
+  uint64_t load_steers = 0;  // routes steered off a saturated worker
 };
 
 class Telemetry {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "dist/coordinator.h"
 #include "dist/fleet.h"
 #include "dist/membership.h"
 #include "dist/shard.h"
@@ -109,6 +110,38 @@ TEST(Shard, JoinStealsOnlyWhatTheNewWorkerWins) {
   // w9 should win roughly 1/5 of the keyspace.
   EXPECT_GT(stolen, keys.size() / 10);
   EXPECT_LT(stolen, keys.size() / 3);
+}
+
+TEST(Shard, LoadAwareRankingStablyDemotesSaturatedWorkers) {
+  auto ids = fleet_ids(5);
+  const uint64_t key = 42;
+  auto pure = dist::rank_workers(key, ids);
+
+  // Nobody saturated: identical to pure rendezvous order.
+  std::vector<dist::RankCandidate> cands;
+  for (const auto& id : ids) cands.push_back({id, 0});
+  EXPECT_EQ(dist::rank_workers_loaded(key, cands, 8), pure);
+
+  // saturation <= 0 disables the demotion no matter the load.
+  for (auto& c : cands) c.load = 1'000;
+  EXPECT_EQ(dist::rank_workers_loaded(key, cands, 0), pure);
+
+  // The hash winner saturates: it moves behind every unsaturated worker
+  // while the others keep their relative order — so failover targets
+  // (and their warm caches) are unchanged.
+  cands.clear();
+  for (const auto& id : ids) cands.push_back({id, id == pure[0] ? 20 : 0});
+  std::vector<std::string> expect(pure.begin() + 1, pure.end());
+  expect.push_back(pure[0]);
+  EXPECT_EQ(dist::rank_workers_loaded(key, cands, 8), expect);
+
+  // Two saturated (load == saturation counts): both demoted, rendezvous
+  // order preserved inside both groups.
+  cands.clear();
+  for (const auto& id : ids)
+    cands.push_back({id, (id == pure[0] || id == pure[2]) ? 8 : 7});
+  expect = {pure[1], pure[3], pure[4], pure[0], pure[2]};
+  EXPECT_EQ(dist::rank_workers_loaded(key, cands, 8), expect);
 }
 
 // ---------------------------------------------------------------------------
@@ -348,6 +381,79 @@ TEST(DistFleet, CacheProbeHitAvoidsRecompute) {
 
   worker.begin_drain();
   worker.wait();
+}
+
+TEST(DistFleet, SaturatedWorkerIsSteeredAround) {
+  // Two standalone workers enrolled by hand, so the test fully controls
+  // the heartbeat load reports: `wa` claims a deep queue, `wb` is idle.
+  // Every request must steer off the saturated worker — without a single
+  // failover, because steering is routing, not failure handling.
+  dist::CoordinatorOptions co;
+  co.membership = {/*suspect_after_ms=*/60'000, /*dead_after_ms=*/120'000};
+  dist::Coordinator coord(co);
+  std::string err;
+  ASSERT_TRUE(coord.start(&err)) << err;
+
+  service::ResultCache cache_a(64), cache_b(64);
+  dist::WorkerOptions wo;
+  wo.threads = 1;
+  wo.id = "wa";
+  wo.cache = &cache_a;
+  dist::Worker wa(wo);
+  ASSERT_TRUE(wa.start(&err)) << err;
+  wo.id = "wb";
+  wo.cache = &cache_b;
+  dist::Worker wb(wo);
+  ASSERT_TRUE(wb.start(&err)) << err;
+
+  net::Client ctl;
+  ASSERT_TRUE(ctl.connect(coord.port(), &err, 120'000)) << err;
+  auto enroll = [&](const std::string& id, int port, int64_t queue_depth) {
+    net::Request reg;
+    reg.type = net::RequestType::Register;
+    reg.worker = {id, "127.0.0.1", port};
+    net::Response resp;
+    ASSERT_TRUE(ctl.call(std::move(reg), &resp, &err)) << err;
+    ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+    net::Request hb;
+    hb.type = net::RequestType::Heartbeat;
+    hb.worker = {id, "127.0.0.1", port};
+    hb.load.queue_depth = queue_depth;
+    ASSERT_TRUE(ctl.call(std::move(hb), &resp, &err)) << err;
+    ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  };
+  enroll("wa", wa.port(), 100);  // far past the saturation threshold
+  enroll("wb", wb.port(), 0);
+
+  net::Client client;
+  ASSERT_TRUE(client.connect(coord.port(), &err, 120'000)) << err;
+  for (int i = 0; i < 12; ++i) {
+    net::Response resp;
+    ASSERT_TRUE(client.call(compile_request(tiny_app(i)), &resp, &err))
+        << "job " << i << ": " << err;
+    ASSERT_EQ(resp.status, net::Status::Ok) << "job " << i << ": "
+                                            << resp.error;
+  }
+
+  // Every compile landed on the idle worker; the saturated one was never
+  // asked. With 12 keys over 2 workers some surely hashed home to `wa`,
+  // so steers were counted — and none of this is failure handling.
+  EXPECT_EQ(cache_b.memory_entries(), 12u);
+  EXPECT_EQ(cache_a.memory_entries(), 0u);
+  service::FleetStats fs = coord.fleet_stats();
+  EXPECT_GE(fs.load_steers, 1u);
+  EXPECT_EQ(fs.failovers, 0u);
+  EXPECT_EQ(fs.worker_lost, 0u);
+  EXPECT_EQ(fs.forwarded, 12u);
+  // All 12 forwards shared one pooled channel to `wb`.
+  EXPECT_EQ(fs.channels_opened, 1u);
+
+  coord.begin_drain();
+  coord.wait();
+  wa.begin_drain();
+  wa.wait();
+  wb.begin_drain();
+  wb.wait();
 }
 
 TEST(DistFleet, GracefulLeaveIsAnnouncedNotDiscovered) {

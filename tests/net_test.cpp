@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "net/binproto.h"
+#include "net/channel.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "suite/suite.h"
@@ -730,6 +734,484 @@ TEST(Server, IdleConnectionsAreReaped) {
   net::Response resp;
   ASSERT_TRUE(active.call(std::move(ping), &resp, &err)) << err;
   EXPECT_EQ(resp.status, net::Status::Ok);
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec (v4): equivalence against JSON, hostile frames
+// ---------------------------------------------------------------------------
+
+// A request of the given type with every type-relevant field populated
+// with non-default values — so a codec that drops a field cannot pass.
+net::Request rich_request(net::RequestType type) {
+  net::Request r;
+  r.type = type;
+  r.id = 7741;
+  switch (type) {
+    case net::RequestType::Metrics:
+    case net::RequestType::Ping:
+    case net::RequestType::Hello:
+      break;
+    case net::RequestType::Compile:
+    case net::RequestType::Run:
+    case net::RequestType::Forward:
+      r.name = "APP \"quoted\" \xc3\xa9";
+      r.source = "      PROGRAM X\n      END\n";
+      r.annotations = "inline matmlt\n";
+      r.options = nondefault_pipeline_options();
+      r.deadline_ms = 777;
+      if (type != net::RequestType::Compile) {
+        r.interp.num_threads = 3;
+        r.interp.enable_parallel = false;
+        r.interp.max_steps = 1234567;
+        r.interp.check_bounds = false;
+        r.interp.engine = interp::Engine::Tree;
+      }
+      if (type == net::RequestType::Forward) {
+        r.inner = net::RequestType::Run;
+        r.attempt = 2;
+      }
+      break;
+    case net::RequestType::Register:
+      r.worker = {"w-42", "10.1.2.3", 9001};
+      break;
+    case net::RequestType::Heartbeat:
+      r.worker = {"w-42", "10.1.2.3", 9001};
+      r.load = {4, 2, 17, 10, 7, 3};
+      r.leaving = true;
+      break;
+    case net::RequestType::CacheProbe:
+      r.key = net::format_key(0xdeadbeefcafef00dull);
+      break;
+    case net::RequestType::CacheFill:
+      r.key = net::format_key(0x0123456789abcdefull);
+      r.payload = "opaque\nresult\tbytes ";
+      r.payload.push_back('\xff');  // opaque payloads are byte-exact
+      r.payload += " included";
+      break;
+    case net::RequestType::CompileBatch: {
+      net::BatchItem a;
+      a.name = "ONE";
+      a.source = "      PROGRAM ONE\n      END\n";
+      a.annotations = "inline foo\n";
+      a.options = nondefault_pipeline_options();
+      net::BatchItem b;
+      b.name = "TWO";
+      b.source = "      PROGRAM TWO\n      END\n";
+      r.batch = {std::move(a), std::move(b)};
+      break;
+    }
+  }
+  return r;
+}
+
+TEST(Binary, RequestRoundTripMatchesJsonForEveryType) {
+  for (auto type :
+       {net::RequestType::Compile, net::RequestType::Run,
+        net::RequestType::Metrics, net::RequestType::Ping,
+        net::RequestType::Hello, net::RequestType::Register,
+        net::RequestType::Heartbeat, net::RequestType::CacheProbe,
+        net::RequestType::CacheFill, net::RequestType::Forward,
+        net::RequestType::CompileBatch}) {
+    net::Request r = rich_request(type);
+    std::string bin = net::encode_request_binary(r);
+    ASSERT_TRUE(net::is_binary_frame(bin));
+    net::Request back;
+    std::string err;
+    ASSERT_TRUE(net::decode_request_binary(bin, &back, &err))
+        << net::request_type_name(type) << ": " << err;
+    // The equivalence contract: the binary codec is a pure transport
+    // encoding, so the JSON rendering of the round-tripped request is
+    // byte-identical to the original's.
+    EXPECT_EQ(net::request_to_json(back).dump(), net::request_to_json(r).dump())
+        << net::request_type_name(type);
+  }
+
+  // Forward wrapping a batch (the coordinator's fan-out shape).
+  net::Request fwd = rich_request(net::RequestType::CompileBatch);
+  fwd.type = net::RequestType::Forward;
+  fwd.inner = net::RequestType::CompileBatch;
+  fwd.attempt = 1;
+  net::Request back;
+  std::string err;
+  ASSERT_TRUE(
+      net::decode_request_binary(net::encode_request_binary(fwd), &back, &err))
+      << err;
+  EXPECT_EQ(net::request_to_json(back).dump(), net::request_to_json(fwd).dump());
+}
+
+TEST(Binary, ResponseRoundTripMatchesJsonForEveryShape) {
+  std::vector<net::Response> shapes;
+
+  // Every status with an error string.
+  for (auto status :
+       {net::Status::Ok, net::Status::Error, net::Status::Overloaded,
+        net::Status::DeadlineExceeded, net::Status::UnsupportedVersion,
+        net::Status::WorkerLost, net::Status::ProtocolError}) {
+    net::Response r;
+    r.id = 9;
+    r.status = status;
+    r.error = "reason\nwith newline";
+    shapes.push_back(std::move(r));
+  }
+
+  // Compile + run payloads, timing records included.
+  {
+    net::Response r;
+    r.id = 10;
+    r.has_result = true;
+    r.result.ok = true;
+    r.result.parallel_loops = {3, 17, 42};
+    r.result.code_lines = 120;
+    r.result.dep_tests = 55;
+    r.result.dep_tests_unique = 33;
+    r.result.program_text = "      PROGRAM X\n      END\n";
+    r.result.print_dump = "after pass dump";
+    r.result.stopped_early = true;
+    r.result.timings.total_ms = 12.5;
+    r.result.timings.passes = {{"parse", 1.5, 0, 2}, {"parallelize", 9.25, 4, 0}};
+    r.has_run = true;
+    r.run.ok = true;
+    r.run.stopped = true;
+    r.run.stop_message = "STOP 7";
+    r.run.output = "CHECKSUM 1.5\n";
+    r.run.statements = 1000;
+    r.run.statements_parallel = 900;
+    r.run.instructions = 5000;
+    r.run.wall_ms = 1.25;
+    shapes.push_back(std::move(r));
+  }
+
+  // Hello + peers + probe hit.
+  {
+    net::Response r;
+    r.id = 11;
+    r.has_hello = true;
+    r.hello = {1, 4, "coordinator", true, true};
+    r.found = true;
+    r.payload = "serialized result";
+    r.has_peers = true;
+    r.peers = {{"a", "10.0.0.1", 1}, {"b", "10.0.0.2", 2}};
+    shapes.push_back(std::move(r));
+  }
+
+  // Metrics object (carried as embedded JSON).
+  {
+    net::Response r;
+    r.id = 12;
+    json::Value m = json::Value::object();
+    m.set("depth", static_cast<int64_t>(3)).set("label", std::string("x"));
+    r.metrics = std::move(m);
+    shapes.push_back(std::move(r));
+  }
+
+  // Batch results with a per-item failure.
+  {
+    net::Response r;
+    r.id = 13;
+    r.has_batch = true;
+    service::CompileResult good;
+    good.ok = true;
+    good.parallel_loops = {10};
+    good.program_text = "      PROGRAM A\n      END\n";
+    service::CompileResult bad;
+    bad.ok = false;
+    bad.error = "parse error: unexpected token";
+    r.batch = {std::move(good), std::move(bad)};
+    shapes.push_back(std::move(r));
+  }
+
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    std::string bin = net::encode_response_binary(shapes[i]);
+    ASSERT_TRUE(net::is_binary_frame(bin));
+    net::Response back;
+    std::string err;
+    ASSERT_TRUE(net::decode_response_binary(bin, &back, &err))
+        << "shape " << i << ": " << err;
+    EXPECT_EQ(net::response_to_json(back).dump(),
+              net::response_to_json(shapes[i]).dump())
+        << "shape " << i;
+  }
+}
+
+TEST(Binary, TruncatedAndMutatedPayloadsNeverCrashTheDecoder) {
+  std::string bin =
+      net::encode_request_binary(rich_request(net::RequestType::Run));
+
+  // Every strict prefix must fail cleanly (never read out of bounds).
+  for (size_t len = 0; len < bin.size(); ++len) {
+    net::Request out;
+    std::string err;
+    EXPECT_FALSE(
+        net::decode_request_binary(std::string_view(bin).substr(0, len), &out,
+                                   &err))
+        << "prefix of " << len << " bytes decoded";
+  }
+
+  // Single-byte mutations either fail with an error or decode to some
+  // valid request — either way, no crash and no exception.
+  for (size_t pos = 0; pos < bin.size(); ++pos) {
+    std::string mutated = bin;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    net::Request out;
+    std::string err;
+    if (net::decode_request_binary(mutated, &out, &err))
+      (void)net::request_to_json(out).dump();  // decodable ⇒ renderable
+    else
+      EXPECT_FALSE(err.empty()) << "failure at byte " << pos << " without why";
+  }
+
+  // A request payload is not a response (kind byte is checked).
+  net::Response resp;
+  std::string err;
+  EXPECT_FALSE(net::decode_response_binary(bin, &resp, &err));
+}
+
+TEST(Server, BinaryGarbageDrawsProtocolErrorAndClose) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // Magic byte followed by garbage: undecodable binary frame. The reply
+  // must arrive in the codec the frame claimed — binary.
+  std::string garbage = "\xb4\x01 not a tlv stream at all";
+  ASSERT_TRUE(client.send_frame(garbage, &err)) << err;
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  ASSERT_TRUE(net::is_binary_frame(*payload));
+  net::Response resp;
+  ASSERT_TRUE(net::decode_response_binary(*payload, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::ProtocolError);
+
+  // The stream cannot be resynchronized: the server closes.
+  EXPECT_FALSE(client.recv_frame(&err).has_value());
+  EXPECT_GE(live.server.stats().protocol_errors, 1u);
+}
+
+TEST(Server, NegotiateSwitchesToBinaryAndServes) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  net::HelloInfo info;
+  ASSERT_TRUE(client.negotiate(&err, &info)) << err;
+  EXPECT_TRUE(info.binary);
+  EXPECT_GE(info.max_version, 4);
+  EXPECT_TRUE(client.binary());
+
+  // Binary compile, then the warm hit — both full round trips.
+  net::Response resp;
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  ASSERT_TRUE(resp.has_result);
+  EXPECT_TRUE(resp.result.ok);
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &resp, &err)) << err;
+  EXPECT_TRUE(resp.result.cache_hit);
+
+  service::ServerStats stats = live.server.stats();
+  EXPECT_GE(stats.binary_requests, 2u);  // the two compiles
+  EXPECT_GE(stats.json_requests, 1u);    // the hello that negotiated
+}
+
+TEST(Server, BinaryUnsupportedVersionIsStructuredAndNonFatal) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // A binary frame claiming v99 decodes fine; the out-of-range claim is
+  // answered structurally, in binary, with the connection left open.
+  net::Request ping;
+  ping.type = net::RequestType::Ping;
+  ping.id = 5;
+  ping.version = 99;
+  ASSERT_TRUE(client.send_frame(net::encode_request_binary(ping), &err)) << err;
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  ASSERT_TRUE(net::is_binary_frame(*payload));
+  net::Response resp;
+  ASSERT_TRUE(net::decode_response_binary(*payload, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::UnsupportedVersion);
+  EXPECT_EQ(resp.id, 5);
+
+  // Same connection still serves a well-versioned binary request.
+  client.set_binary(true);
+  net::Request again;
+  again.type = net::RequestType::Ping;
+  ASSERT_TRUE(client.call(std::move(again), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+  EXPECT_EQ(live.server.stats().protocol_errors, 0u);
+}
+
+TEST(Server, CompileBatchAnswersPerItem) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+  ASSERT_TRUE(client.negotiate(&err)) << err;
+
+  net::Request req;
+  req.type = net::RequestType::CompileBatch;
+  net::BatchItem good;
+  good.name = quick_app().name;
+  good.source = quick_app().source;
+  net::BatchItem bad;
+  bad.name = "BROKEN";
+  bad.source = "      THIS IS NOT FORTRAN AT ALL\n";
+  req.batch = {std::move(good), std::move(bad)};
+
+  net::Response resp;
+  ASSERT_TRUE(client.call(std::move(req), &resp, &err)) << err;
+  // Per-item failures ride inside the results; the frame stays ok.
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  ASSERT_TRUE(resp.has_batch);
+  ASSERT_EQ(resp.batch.size(), 2u);
+  EXPECT_TRUE(resp.batch[0].ok) << resp.batch[0].error;
+  EXPECT_FALSE(resp.batch[1].ok);
+  EXPECT_FALSE(resp.batch[1].error.empty());
+
+  service::ServerStats stats = live.server.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_items, 2u);
+  EXPECT_EQ(stats.batch_max, 2u);
+}
+
+TEST(Server, CompileBatchUnderV3DrawsUnsupportedVersion) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // A v3 JSON client sending the v4-only type: a version problem, not a
+  // protocol error, and the connection survives.
+  net::Request req;
+  req.type = net::RequestType::CompileBatch;
+  req.id = 21;
+  req.version = 3;
+  net::BatchItem item;
+  item.source = quick_app().source;
+  req.batch = {std::move(item)};
+  ASSERT_TRUE(client.send_frame(net::request_to_json(req).dump(), &err)) << err;
+
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  net::Response resp;
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::UnsupportedVersion);
+  EXPECT_EQ(resp.id, 21);
+
+  net::Request ping;
+  ping.type = net::RequestType::Ping;
+  ASSERT_TRUE(client.call(std::move(ping), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+  EXPECT_EQ(live.server.stats().protocol_errors, 0u);
+}
+
+TEST(Server, PipelinedResponsesReturnOutOfOrder) {
+  net::ServerOptions opts;
+  opts.threads = 2;  // both requests must run concurrently
+  LiveServer live(opts);
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 120'000)) << err;
+  ASSERT_TRUE(client.negotiate(&err)) << err;
+
+  // Submit a slow run, then a quick compile, without reading in between.
+  // The quick one's response overtakes on the shared connection.
+  int64_t slow_id = 0, quick_id = 0;
+  ASSERT_TRUE(client.submit(run_request(spin_app()), &slow_id, &err)) << err;
+  ASSERT_TRUE(client.submit(compile_request(quick_app()), &quick_id, &err))
+      << err;
+  ASSERT_NE(slow_id, quick_id);
+
+  net::Response first, second;
+  ASSERT_TRUE(client.recv_any(&first, &err)) << err;
+  ASSERT_TRUE(client.recv_any(&second, &err)) << err;
+  EXPECT_EQ(first.id, quick_id);
+  EXPECT_EQ(second.id, slow_id);
+  EXPECT_EQ(first.status, net::Status::Ok) << first.error;
+  EXPECT_EQ(second.status, net::Status::Ok) << second.error;
+
+  EXPECT_GE(live.server.stats().pipeline_depth_peak, 2);
+}
+
+TEST(Server, MixedCodecsInterleaveOnOneConnection) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // JSON ping, binary compile, JSON metrics — each answered in the codec
+  // it arrived in (call() sniffs the reply codec per frame).
+  net::Request ping;
+  ping.type = net::RequestType::Ping;
+  net::Response resp;
+  ASSERT_TRUE(client.call(std::move(ping), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+
+  client.set_binary(true);
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  EXPECT_TRUE(resp.has_result);
+
+  client.set_binary(false);
+  net::Request metrics;
+  metrics.type = net::RequestType::Metrics;
+  ASSERT_TRUE(client.call(std::move(metrics), &resp, &err)) << err;
+  ASSERT_TRUE(resp.metrics.is_object());
+
+  service::ServerStats stats = live.server.stats();
+  EXPECT_GE(stats.json_requests, 2u);
+  EXPECT_GE(stats.binary_requests, 1u);
+}
+
+TEST(Channel, ConcurrentCallsMultiplexOneConnection) {
+  LiveServer live;
+  net::ChannelOptions co;
+  co.port = live.server.port();
+  co.recv_timeout_ms = 120'000;
+  net::Channel ch(co);
+
+  constexpr int kThreads = 8, kCallsPerThread = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        net::Request ping;
+        ping.type = net::RequestType::Ping;
+        net::Response resp;
+        std::string err;
+        if (!ch.call(std::move(ping), &resp, &err) ||
+            resp.status != net::Status::Ok)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every call shared ONE negotiated connection.
+  EXPECT_EQ(ch.connects(), 1u);
+  EXPECT_EQ(ch.reconnects(), 0u);
+  EXPECT_TRUE(ch.binary());
+  EXPECT_GE(ch.inflight_peak(), 1u);
+  // The server saw exactly one transport connection too.
+  EXPECT_EQ(live.server.stats().connections, 1u);
+
+  // After a reset the next call redials transparently.
+  ch.reset();
+  net::Request ping;
+  ping.type = net::RequestType::Ping;
+  net::Response resp;
+  std::string err;
+  ASSERT_TRUE(ch.call(std::move(ping), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+  EXPECT_EQ(ch.connects(), 2u);
+  EXPECT_EQ(ch.reconnects(), 1u);
 }
 
 }  // namespace
