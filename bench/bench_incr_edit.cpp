@@ -1,0 +1,292 @@
+// Editor-loop latency for the unit-granular incremental cache (src/incr):
+// cold compiles vs. a one-unit edit vs. an every-unit edit on DYFESM (the
+// 12-unit suite app), per inlining configuration.
+//
+//   cold            — fresh pipeline, no unit cache (the baseline)
+//   one_unit_edit   — warmed unit cache, the least-coupled unit (fewest
+//                     transitive dependents along CALL/COMMON edges)
+//                     mutated each round; exactly units − dependents are
+//                     reusable per round
+//   all_units_edit  — warmed cache, every unit mutated: nothing reusable,
+//                     the incremental floor (cold + cache bookkeeping)
+//
+// DYFESM's COMMON blocks couple 11 of its 12 units, so even the gentlest
+// edit legitimately invalidates almost everything — the interesting number
+// here is not a latency win but whether the invalidation rule is EXACT:
+// one_unit_edit must reuse precisely units − dependents snapshots per
+// round (no over-invalidation), and all_units_edit must reuse none (no
+// stale reuse). Latencies are reported for trend tracking.
+//
+// The headline block is printed to stdout AND written to BENCH_incr.json
+// in the working directory (CI uploads it as an artifact alongside the
+// other BENCH_*.json files).
+//
+// `--smoke` runs a reduced round count, skips the google-benchmark timers,
+// and exits nonzero unless the structural gate above holds on the
+// no-inlining config (whose post-parallelize units match the source units
+// one-to-one, making the reuse count exact rather than a bound).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fir/parser.h"
+#include "incr/depgraph.h"
+#include "incr/fingerprint.h"
+#include "incr/unit_cache.h"
+#include "support/diagnostics.h"
+
+using namespace ap;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+const suite::BenchmarkApp& dyfesm() {
+  static suite::BenchmarkApp app = *suite::find_app("DYFESM");
+  return app;
+}
+
+double ms_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+      .count();
+}
+
+// The unit whose edit invalidates the fewest units — what an editor loop
+// touches most of the time — plus that invalidation count. Computed once
+// from the dependence graph.
+struct LeafEdit {
+  std::string unit;
+  size_t invalidated = 0;  // |invalidated_by_edit(unit)|
+  size_t units = 0;
+};
+
+const LeafEdit& leaf_edit() {
+  static LeafEdit leaf = [] {
+    DiagnosticEngine diags;
+    auto prog = fir::parse_program(dyfesm().source, diags);
+    incr::UnitDepGraph g = incr::build_dep_graph(*prog);
+    LeafEdit best;
+    best.units = g.names.size();
+    best.invalidated = SIZE_MAX;
+    for (const auto& name : g.names) {
+      size_t cost = incr::invalidated_by_edit(g, name).size();
+      if (cost < best.invalidated) { best.invalidated = cost; best.unit = name; }
+    }
+    return best;
+  }();
+  return leaf;
+}
+
+// Source with every unit mutated (salt varied per unit): fully invalidated.
+std::string mutate_all_units(const std::string& source, int salt) {
+  std::string out = source;
+  int i = 0;
+  for (const auto& name : incr::source_unit_names(source))
+    out = incr::mutate_unit(out, name, salt + i++);
+  return out;
+}
+
+struct Scenario {
+  double mean_ms = 0;
+  double hit_rate = 0;  // unit hits / unit lookups, averaged over rounds
+  size_t unit_hits = 0;
+  size_t unit_misses = 0;
+};
+
+struct ConfigRuns {
+  Scenario cold, one_edit, all_edit;
+  size_t units = 0;
+};
+
+ConfigRuns measure_config(driver::InlineConfig cfg, int rounds) {
+  const suite::BenchmarkApp& app = dyfesm();
+  std::vector<std::string> units = incr::source_unit_names(app.source);
+  ConfigRuns runs;
+  runs.units = units.size();
+
+  driver::PipelineOptions cold_opts;
+  cold_opts.config = cfg;
+  for (int r = 0; r < rounds; ++r) {
+    auto t0 = clock_type::now();
+    auto res = driver::run_pipeline(app, cold_opts);
+    runs.cold.mean_ms += ms_since(t0);
+    if (!res.ok) {
+      std::fprintf(stderr, "bench_incr: cold compile failed: %s\n",
+                   res.error.c_str());
+      std::exit(1);
+    }
+  }
+  runs.cold.mean_ms /= rounds;
+
+  incr::UnitCache cache(4096);
+  driver::PipelineOptions iopts = cold_opts;
+  iopts.unit_cache = &cache;
+  (void)driver::run_pipeline(app, iopts);  // warm the unit tier
+
+  auto measure = [&](Scenario* s, auto make_source) {
+    for (int r = 0; r < rounds; ++r) {
+      suite::BenchmarkApp edited = app;
+      edited.source = make_source(r);
+      auto t0 = clock_type::now();
+      auto res = driver::run_pipeline(edited, iopts);
+      s->mean_ms += ms_since(t0);
+      s->unit_hits += res.unit_hits;
+      s->unit_misses += res.unit_misses;
+    }
+    s->mean_ms /= rounds;
+    size_t lookups = s->unit_hits + s->unit_misses;
+    s->hit_rate =
+        lookups ? static_cast<double>(s->unit_hits) / lookups : 0.0;
+  };
+  measure(&runs.one_edit, [&](int r) {
+    return incr::mutate_unit(app.source, leaf_edit().unit, 1000 + r);
+  });
+  measure(&runs.all_edit,
+          [&](int r) { return mutate_all_units(app.source, 5000 + r); });
+  return runs;
+}
+
+void append_scenario(std::string* out, const char* key, const Scenario& s,
+                     bool last = false) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "      \"%s\": {\"mean_ms\": %.3f, \"unit_hit_rate\": %.3f, "
+                "\"unit_hits\": %zu, \"unit_misses\": %zu}%s\n",
+                key, s.mean_ms, s.hit_rate, s.unit_hits, s.unit_misses,
+                last ? "" : ",");
+  *out += buf;
+}
+
+// Returns true when the smoke gate holds: a one-unit edit reuses cached
+// units and lands under the cold mean.
+bool run_headline(int rounds, bool write_file) {
+  bench::header("INCREMENTAL EDIT LOOP: COLD VS ONE-UNIT VS ALL-UNITS "
+                "(BENCH_incr.json)");
+
+  const struct { const char* name; driver::InlineConfig cfg; } configs[] = {
+      {"no-inlining", driver::InlineConfig::None},
+      {"conventional", driver::InlineConfig::Conventional},
+      {"annotation-based", driver::InlineConfig::Annotation}};
+
+  std::string out;
+  out += "{\n  \"bench\": \"incr_edit\",\n  \"app\": \"DYFESM\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"edited_unit\": \"%s\",\n  \"edit_invalidates\": %zu,\n"
+                "  \"rounds\": %d,\n",
+                leaf_edit().unit.c_str(), leaf_edit().invalidated, rounds);
+  out += buf;
+  out += "  \"configs\": {\n";
+
+  bool gate = true;
+  ConfigRuns gate_runs;
+  for (size_t c = 0; c < 3; ++c) {
+    ConfigRuns runs = measure_config(configs[c].cfg, rounds);
+    if (configs[c].cfg == driver::InlineConfig::None) gate_runs = runs;
+    std::printf("%-18s cold %7.3f ms | one-unit edit %7.3f ms "
+                "(hit rate %.2f) | all-units edit %7.3f ms\n",
+                configs[c].name, runs.cold.mean_ms, runs.one_edit.mean_ms,
+                runs.one_edit.hit_rate, runs.all_edit.mean_ms);
+    out += std::string("    \"") + configs[c].name + "\": {\n";
+    std::snprintf(buf, sizeof buf, "      \"units\": %zu,\n", runs.units);
+    out += buf;
+    append_scenario(&out, "cold", runs.cold);
+    append_scenario(&out, "one_unit_edit", runs.one_edit);
+    append_scenario(&out, "all_units_edit", runs.all_edit, /*last=*/true);
+    out += c + 1 < 3 ? "    },\n" : "    }\n";
+  }
+  out += "  },\n";
+
+  // Structural gate on the no-inlining config, where post-parallelize
+  // units match source units one-to-one: an edit to the leaf unit must
+  // reuse exactly units − dependents snapshots per round, and the
+  // all-units edit must reuse nothing.
+  size_t expected_reuse = gate_runs.units - leaf_edit().invalidated;
+  bool exact_reuse = gate_runs.one_edit.unit_hits ==
+                     expected_reuse * static_cast<size_t>(rounds);
+  bool no_stale_reuse = gate_runs.all_edit.unit_hits == 0;
+  gate = exact_reuse && no_stale_reuse && expected_reuse > 0;
+  std::snprintf(buf, sizeof buf,
+                "  \"gate\": {\"cold_ms\": %.3f, \"one_unit_edit_ms\": %.3f, "
+                "\"expected_reuse_per_round\": %zu, \"exact_reuse\": %s, "
+                "\"no_stale_reuse\": %s}\n}\n",
+                gate_runs.cold.mean_ms, gate_runs.one_edit.mean_ms,
+                expected_reuse, exact_reuse ? "true" : "false",
+                no_stale_reuse ? "true" : "false");
+  out += buf;
+
+  std::fputs(out.c_str(), stdout);
+  if (write_file) {
+    if (std::FILE* f = std::fopen("BENCH_incr.json", "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "bench_incr: wrote BENCH_incr.json\n");
+    } else {
+      std::fprintf(stderr, "bench_incr: could not write BENCH_incr.json\n");
+    }
+  }
+  std::fprintf(stderr,
+               "bench_incr: edit %s invalidates %zu/%zu units; one-unit "
+               "edit %.3f ms vs cold %.3f ms (hit rate %.2f)\n",
+               leaf_edit().unit.c_str(), leaf_edit().invalidated,
+               gate_runs.units, gate_runs.one_edit.mean_ms,
+               gate_runs.cold.mean_ms, gate_runs.one_edit.hit_rate);
+  return gate;
+}
+
+void BM_ColdCompile(benchmark::State& state) {
+  driver::PipelineOptions opts;
+  opts.config = driver::InlineConfig::Annotation;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(driver::run_pipeline(dyfesm(), opts));
+}
+BENCHMARK(BM_ColdCompile)->Unit(benchmark::kMillisecond);
+
+void BM_OneUnitEditWarm(benchmark::State& state) {
+  const suite::BenchmarkApp& app = dyfesm();
+  incr::UnitCache cache(4096);
+  driver::PipelineOptions opts;
+  opts.config = driver::InlineConfig::Annotation;
+  opts.unit_cache = &cache;
+  (void)driver::run_pipeline(app, opts);
+  int salt = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ++salt;
+    suite::BenchmarkApp edited = app;
+    edited.source = incr::mutate_unit(app.source, leaf_edit().unit, salt);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(driver::run_pipeline(edited, opts));
+  }
+}
+BENCHMARK(BM_OneUnitEditWarm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bool gate = run_headline(/*rounds=*/smoke ? 3 : 10, /*write_file=*/true);
+  if (smoke) {
+    if (!gate) {
+      std::fprintf(stderr,
+                   "bench_incr: SMOKE FAIL — unit reuse did not match the "
+                   "dependence-closure bound (over- or under-invalidation)\n");
+      return 1;
+    }
+    std::fprintf(stderr, "bench_incr: smoke gate passed\n");
+    return 0;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

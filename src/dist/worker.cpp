@@ -40,6 +40,7 @@ bool Worker::start(std::string* err) {
   so.threads = opts_.threads;
   so.cache = opts_.cache;
   so.telemetry = opts_.telemetry;
+  so.unit_cache = opts_.unit_cache;
   if (opts_.coordinator_port > 0) {
     so.peer_lookup = [this](uint64_t key) { return peer_lookup(key); };
     so.on_store = [this](uint64_t key, const service::CompileResult& r) {

@@ -63,6 +63,7 @@ struct WorkerOptions {
   int replicate = 1;             // peers filled per fresh compile
   service::ResultCache* cache = nullptr;     // required
   service::Telemetry* telemetry = nullptr;   // optional
+  incr::UnitCache* unit_cache = nullptr;     // optional incremental tier
 };
 
 class Worker {

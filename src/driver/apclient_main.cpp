@@ -44,6 +44,18 @@
 //                        any mismatch in verdicts or program text
 //   --min-hit-rate F     (--matrix) exit 2 unless the server answered at
 //                        least this fraction of jobs from cache
+//   --edit-loop N        (--app) editor-loop demo against an --incremental
+//                        daemon: compile the app once to warm the unit
+//                        cache, then submit N single-unit edits (each a
+//                        distinct mutation, so every request misses the
+//                        whole-request cache) and print how many units
+//                        each recompile reused from the incremental tier
+//   --edit-unit NAME     (--edit-loop) always edit the named unit instead
+//                        of rotating round-robin through the program's
+//                        units (pin a leaf unit for a deterministic CI
+//                        hit-rate guard)
+//   --min-unit-hit-rate F  (--edit-loop) exit 2 unless unit cache hits /
+//                        unit lookups across the edit iterations >= F
 //   --stop-after PASS    stop the pipeline after the named pass (parse,
 //                        conv-inline, annot-inline, normalize, parallelize,
 //                        reverse-inline, collect-metrics)
@@ -52,6 +64,7 @@
 //   --deadline-ms N      per-request deadline override
 //   --timeout-ms N       client-side receive timeout (default 120000)
 //   --quiet              suppress the Table II summary
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +75,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "incr/fingerprint.h"
 #include "net/client.h"
 #include "service/scheduler.h"
 #include "suite/suite.h"
@@ -92,6 +106,9 @@ struct Args {
   int run_threads = 4;
   int connections = 1;
   double min_hit_rate = -1;
+  int edit_loop = 0;
+  std::string edit_unit;
+  double min_unit_hit_rate = -1;
   int64_t deadline_ms = 0;
   int timeout_ms = 120'000;
   std::string stop_after;
@@ -106,7 +123,9 @@ struct Args {
                "[--config none|conv|annot] [--run] [--engine tree|bytecode] "
                "[--run-threads N] [--connections N] [--pipeline N] "
                "[--batch N] [--codec auto|json|binary] [--check] "
-               "[--min-hit-rate F] [--stop-after PASS] [--print-after PASS] "
+               "[--min-hit-rate F] [--edit-loop N] [--edit-unit NAME] "
+               "[--min-unit-hit-rate F] "
+               "[--stop-after PASS] [--print-after PASS] "
                "[--deadline-ms N] [--timeout-ms N] "
                "[--quiet]\n",
                msg);
@@ -173,6 +192,13 @@ Args parse_args(int argc, char** argv) {
       else usage_error("--codec must be auto, json, or binary");
     } else if (arg == "--min-hit-rate") {
       a.min_hit_rate = std::atof(value());
+    } else if (arg == "--edit-loop") {
+      a.edit_loop = std::atoi(value());
+      if (a.edit_loop < 1) usage_error("--edit-loop must be >= 1");
+    } else if (arg == "--edit-unit") {
+      a.edit_unit = value();
+    } else if (arg == "--min-unit-hit-rate") {
+      a.min_unit_hit_rate = std::atof(value());
     } else if (arg == "--stop-after") {
       a.stop_after = value();
     } else if (arg == "--print-after") {
@@ -199,6 +225,10 @@ Args parse_args(int argc, char** argv) {
     usage_error("--batch is compile-only (incompatible with --run)");
   if (a.batch > 0 && !a.matrix) usage_error("--batch requires --matrix");
   if (a.pipeline > 1 && !a.matrix) usage_error("--pipeline requires --matrix");
+  if (a.edit_loop > 0 && a.app_name.empty())
+    usage_error("--edit-loop requires --app");
+  if ((!a.edit_unit.empty() || a.min_unit_hit_rate >= 0) && a.edit_loop == 0)
+    usage_error("--edit-unit/--min-unit-hit-rate require --edit-loop");
   return a;
 }
 
@@ -421,6 +451,121 @@ int run_matrix(const Args& args) {
   return 0;
 }
 
+// --edit-loop: the editor-loop demo. Warm the daemon's unit cache with
+// one cold compile of the app, then replay N single-unit edits — each a
+// unique mutation, so the whole-request cache never hits and every
+// iteration exercises the incremental tier. The per-iteration unit
+// counters come back over the wire in the CompileResult, so this doubles
+// as an end-to-end probe that the daemon really is reusing units.
+int run_edit_loop(const Args& args) {
+  const suite::BenchmarkApp* app = suite::find_app(args.app_name);
+  if (!app) {
+    std::fprintf(stderr, "apclient: unknown suite app: %s\n",
+                 args.app_name.c_str());
+    return 64;
+  }
+  std::vector<std::string> units = incr::source_unit_names(app->source);
+  if (units.empty()) {
+    std::fprintf(stderr, "apclient: %s: no program units found\n",
+                 app->name.c_str());
+    return 1;
+  }
+  if (!args.edit_unit.empty()) {
+    if (std::find(units.begin(), units.end(), args.edit_unit) == units.end()) {
+      std::fprintf(stderr, "apclient: --edit-unit %s: no such unit in %s\n",
+                   args.edit_unit.c_str(), app->name.c_str());
+      return 64;
+    }
+    units = {args.edit_unit};
+  }
+
+  net::Client client;
+  std::string err;
+  if (!client.connect(args.port, &err, args.timeout_ms) ||
+      !setup_codec(&client, args, &err)) {
+    std::fprintf(stderr, "apclient: %s\n", err.c_str());
+    return 1;
+  }
+  auto submit = [&](std::string source, service::CompileResult* out) -> bool {
+    net::Request req;
+    req.type = net::RequestType::Compile;
+    req.name = app->name;
+    req.source = std::move(source);
+    req.annotations = app->annotations;
+    req.options.config = args.config;
+    req.deadline_ms = args.deadline_ms;
+    net::Response resp;
+    if (!client.call(std::move(req), &resp, &err)) {
+      std::fprintf(stderr, "apclient: %s\n", err.c_str());
+      return false;
+    }
+    if (resp.status != net::Status::Ok || !resp.has_result) {
+      std::fprintf(stderr, "apclient: %s: %s\n", net::status_name(resp.status),
+                   resp.error.c_str());
+      return false;
+    }
+    *out = std::move(resp.result);
+    return out->ok;
+  };
+
+  service::CompileResult warm;
+  if (!submit(app->source, &warm)) {
+    std::fprintf(stderr, "apclient: edit-loop warm-up compile failed\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "apclient: edit-loop warm-up: %s/%s, editing %zu unit%s, "
+               "%zu unit hits / %zu misses%s\n",
+               app->name.c_str(), driver::config_name(args.config),
+               units.size(), units.size() == 1 ? "" : "s",
+               warm.unit_hits, warm.unit_misses,
+               warm.cache_hit ? " (request cache hit)" : "");
+
+  size_t unit_hits = 0, unit_misses = 0, unit_invalidated = 0;
+  int failed = 0;
+  for (int iter = 1; iter <= args.edit_loop; ++iter) {
+    const std::string& unit = units[(iter - 1) % units.size()];
+    // The salt makes every edit textually unique: no request-level hit
+    // can mask the unit-tier behaviour under test.
+    std::string edited = incr::mutate_unit(app->source, unit, iter);
+    if (edited == app->source) {
+      std::fprintf(stderr, "apclient: edit %d: could not mutate unit %s\n",
+                   iter, unit.c_str());
+      ++failed;
+      continue;
+    }
+    service::CompileResult r;
+    if (!submit(std::move(edited), &r)) {
+      std::fprintf(stderr, "apclient: edit %d (%s): compile failed\n", iter,
+                   unit.c_str());
+      ++failed;
+      continue;
+    }
+    unit_hits += r.unit_hits;
+    unit_misses += r.unit_misses;
+    unit_invalidated += r.unit_invalidated;
+    std::fprintf(stderr,
+                 "apclient: edit %d (%s): %zu unit hits, %zu misses "
+                 "(%zu invalidated by the edit)\n",
+                 iter, unit.c_str(), r.unit_hits, r.unit_misses,
+                 r.unit_invalidated);
+  }
+
+  size_t lookups = unit_hits + unit_misses;
+  double rate = lookups ? static_cast<double>(unit_hits) / lookups : 0.0;
+  std::fprintf(stderr,
+               "apclient: edit-loop: %d edits, unit hit rate %.2f "
+               "(%zu hits / %zu lookups, %zu invalidated)\n",
+               args.edit_loop, rate, unit_hits, lookups, unit_invalidated);
+  if (failed) return 1;
+  if (args.min_unit_hit_rate >= 0 && rate < args.min_unit_hit_rate) {
+    std::fprintf(stderr, "apclient: unit hit rate %.2f below required %.2f\n",
+                 rate, args.min_unit_hit_rate);
+    return 2;
+  }
+  return 0;
+}
+
 int run_single(const Args& args) {
   net::Request req;
   req.deadline_ms = args.deadline_ms;
@@ -571,6 +716,7 @@ int main(int argc, char** argv) {
     if (rc) return rc;
   }
   if (args.matrix) return run_matrix(args);
+  if (args.edit_loop > 0) return run_edit_loop(args);
   if (args.ping) return run_probe(args, net::RequestType::Ping);
   if (args.metrics) return run_probe(args, net::RequestType::Metrics);
   return run_single(args);

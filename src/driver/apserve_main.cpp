@@ -16,6 +16,11 @@
 //   --cache-capacity N  memory-tier LRU capacity in entries (default 256)
 //   --cache-max-mb N    disk-tier byte budget in MiB; oldest entries are
 //                       evicted on store once exceeded (0 = unlimited)
+//   --incremental       enable the unit-granular incremental cache
+//                       (src/incr): request-level misses reuse every unit
+//                       whose CALL/COMMON dependence closure is unchanged;
+//                       the disk tier lives under <cache-dir>/units when
+//                       --cache-dir is set
 //   --json FILE         write the telemetry JSON to FILE ("-" = stdout,
 //                       the default)
 //   --min-hit-rate F    exit 2 unless cache hits / jobs >= F (CI warm-run
@@ -43,8 +48,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <thread>
 
+#include "incr/unit_cache.h"
 #include "interp/interp.h"
 #include "service/scheduler.h"
 
@@ -57,6 +64,7 @@ struct Args {
   std::string cache_dir;
   size_t cache_capacity = 256;
   size_t cache_max_mb = 0;  // disk-tier byte budget; 0 = unlimited
+  bool incremental = false;
   std::string json_out = "-";
   double min_hit_rate = -1;
   bool check_sequential = false;
@@ -71,7 +79,8 @@ struct Args {
 [[noreturn]] void usage_error(const char* msg) {
   std::fprintf(stderr,
                "apserve: %s\nusage: apserve [--threads N] [--cache-dir DIR] "
-               "[--cache-capacity N] [--cache-max-mb N] [--json FILE] "
+               "[--cache-capacity N] [--cache-max-mb N] [--incremental] "
+               "[--json FILE] "
                "[--min-hit-rate F] "
                "[--check-sequential] [--quiet] "
                "[--stop-after PASS] [--print-after PASS] [--run] "
@@ -101,6 +110,8 @@ Args parse_args(int argc, char** argv) {
       long v = std::atol(value());
       if (v < 0) usage_error("--cache-max-mb must be >= 0");
       a.cache_max_mb = static_cast<size_t>(v);
+    } else if (arg == "--incremental") {
+      a.incremental = true;
     } else if (arg == "--json") {
       a.json_out = value();
     } else if (arg == "--min-hit-rate") {
@@ -141,11 +152,16 @@ int main(int argc, char** argv) {
 
   service::ResultCache cache(args.cache_capacity, args.cache_dir,
                              args.cache_max_mb * 1024 * 1024);
+  std::unique_ptr<incr::UnitCache> unit_cache;
+  if (args.incremental)
+    unit_cache = std::make_unique<incr::UnitCache>(
+        4096, args.cache_dir.empty() ? "" : args.cache_dir + "/units");
   service::Telemetry telemetry;
   service::Scheduler::Options sopts;
   sopts.threads = args.threads;
   sopts.cache = &cache;
   sopts.telemetry = &telemetry;
+  sopts.unit_cache = unit_cache.get();
   service::Scheduler scheduler(sopts);
 
   driver::PipelineOptions base;

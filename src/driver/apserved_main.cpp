@@ -63,11 +63,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <thread>
 #include <unistd.h>
 
 #include "dist/coordinator.h"
 #include "dist/worker.h"
+#include "incr/unit_cache.h"
 #include "net/server.h"
 
 using namespace ap;
@@ -95,8 +97,18 @@ struct Args {
   int64_t dead_after_ms = 6'000;
   int max_attempts = 3;
   int replicate = 1;
+  bool incremental = false;
   std::string json_out = "-";
 };
+
+// The unit-granular incremental tier (enabled by --incremental); shared by
+// the single-node and worker serving paths. The disk tier lives under
+// <cache-dir>/units when --cache-dir is set.
+std::unique_ptr<incr::UnitCache> make_unit_cache(const Args& args) {
+  if (!args.incremental) return nullptr;
+  return std::make_unique<incr::UnitCache>(
+      4096, args.cache_dir.empty() ? "" : args.cache_dir + "/units");
+}
 
 [[noreturn]] void usage_error(const char* msg) {
   std::fprintf(
@@ -107,7 +119,7 @@ struct Args {
       "[--cache-max-mb N] [--max-queue N] [--request-timeout-ms N] "
       "[--drain-timeout-ms N] [--idle-timeout-ms N] [--json FILE] [--id ID] "
       "[--heartbeat-ms N] [--suspect-after-ms N] [--dead-after-ms N] "
-      "[--max-attempts N] [--replicate N]\n",
+      "[--max-attempts N] [--replicate N] [--incremental]\n",
       msg);
   std::exit(64);
 }
@@ -188,6 +200,8 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--replicate") {
       a.replicate = std::atoi(value());
       if (a.replicate < 0) usage_error("--replicate must be >= 0");
+    } else if (arg == "--incremental") {
+      a.incremental = true;
     } else if (arg == "--json") {
       a.json_out = value();
     } else {
@@ -285,6 +299,7 @@ int run_coordinator(const Args& args) {
 int run_worker(const Args& args) {
   service::ResultCache cache(args.cache_capacity, args.cache_dir,
                              args.cache_max_mb * 1024 * 1024);
+  std::unique_ptr<incr::UnitCache> unit_cache = make_unit_cache(args);
   service::Telemetry telemetry;
   dist::WorkerOptions wo;
   wo.id = args.worker_id;
@@ -301,6 +316,7 @@ int run_worker(const Args& args) {
   wo.replicate = args.replicate;
   wo.cache = &cache;
   wo.telemetry = &telemetry;
+  wo.unit_cache = unit_cache.get();
 
   dist::Worker worker(wo);
   std::string err;
@@ -318,6 +334,7 @@ int run_worker(const Args& args) {
 
   telemetry.record_cache_stats(cache.stats());
   telemetry.record_peer_cache_stats(worker.peer_stats());
+  if (unit_cache) telemetry.record_incr_stats(unit_cache->stats());
   service::PeerCacheStats ps = worker.peer_stats();
   int rc = write_report(args, telemetry);
   std::fprintf(stderr,
@@ -334,6 +351,7 @@ int run_worker(const Args& args) {
 int run_single(const Args& args) {
   service::ResultCache cache(args.cache_capacity, args.cache_dir,
                              args.cache_max_mb * 1024 * 1024);
+  std::unique_ptr<incr::UnitCache> unit_cache = make_unit_cache(args);
   service::Telemetry telemetry;
   // The daemon's own worker lanes provide the concurrency; the scheduler
   // is used for its cache-aware dispatch, not its pool.
@@ -341,6 +359,7 @@ int run_single(const Args& args) {
   sopts.threads = 1;
   sopts.cache = &cache;
   sopts.telemetry = &telemetry;
+  sopts.unit_cache = unit_cache.get();
   service::Scheduler scheduler(sopts);
 
   net::ServerOptions nopts;
@@ -367,6 +386,7 @@ int run_single(const Args& args) {
 
   service::ServerStats ss = server.stats();
   telemetry.record_cache_stats(cache.stats());
+  if (unit_cache) telemetry.record_incr_stats(unit_cache->stats());
   int rc = write_report(args, telemetry);
   std::fprintf(stderr,
                "apserved: drained; %llu connections, %llu accepted, "

@@ -2,8 +2,11 @@
 
 #include "fir/parser.h"
 #include "fir/unparse.h"
+#include "incr/plan.h"
+#include "incr/unit_cache.h"
 #include "par/parallelizer.h"
 #include "sema/symbols.h"
+#include "support/fnv.h"
 #include "xform/normalize.h"
 
 namespace ap::driver {
@@ -143,11 +146,39 @@ class ParallelizePass : public pm::Pass {
     DiagnosticEngine scratch;
     sema_ = std::make_unique<sema::SemaContext>(*st.program, scratch);
     slots_.assign(st.program->units.size(), par::ParallelizeResult{});
+    if (cx_.opts.unit_cache) {
+      // The plan fingerprints the ORIGINAL source and closes over its
+      // pre-inline CALL/COMMON graph, so a post-inline unit's key covers
+      // every input that can shape it (inlining only moves content inward
+      // from the closure). Unusable plans (token split disagreeing with
+      // the parse) degrade to compiling every unit.
+      plan_ = incr::make_plan(
+          cx_.app->source, cx_.app->annotations,
+          hash_pipeline_options(kFnvOffset, cx_.opts));
+      outcomes_.assign(st.program->units.size(), kMiss);
+    }
   }
 
   void run_unit(fir::ProgramUnit& unit, size_t unit_index,
                 DiagnosticEngine&) override {
+    const incr::PlanEntry* entry =
+        plan_.usable ? plan_.find(unit.name) : nullptr;
+    if (entry) {
+      bool invalidated = false;
+      if (auto snap = cx_.opts.unit_cache->find(entry->key, entry->own_fp,
+                                                &invalidated)) {
+        if (incr::apply_snapshot(unit, *snap)) {
+          slots_[unit_index] = std::move(snap->par);
+          outcomes_[unit_index] = kHit;
+          return;
+        }
+      }
+      if (invalidated) outcomes_[unit_index] = kInvalidated;
+    }
     slots_[unit_index] = par::parallelize_unit(unit, *sema_, cx_.opts.par);
+    if (entry)
+      cx_.opts.unit_cache->store(entry->key, entry->own_fp,
+                                 incr::snapshot_unit(unit, slots_[unit_index]));
   }
 
   void end(pm::PassState&) override {
@@ -155,14 +186,26 @@ class ParallelizePass : public pm::Pass {
     // matter which lane finished first.
     for (auto& slot : slots_)
       par::merge_results(cx_.result->par, std::move(slot));
+    if (cx_.opts.unit_cache) {
+      for (uint8_t o : outcomes_) {
+        if (o == kHit) ++cx_.result->unit_hits;
+        else ++cx_.result->unit_misses;
+        if (o == kInvalidated) ++cx_.result->unit_invalidated;
+      }
+    }
     slots_.clear();
+    outcomes_.clear();
     sema_.reset();
   }
 
  private:
+  enum : uint8_t { kMiss = 0, kHit = 1, kInvalidated = 2 };
+
   PipelineContext& cx_;
   std::unique_ptr<sema::SemaContext> sema_;
   std::vector<par::ParallelizeResult> slots_;
+  incr::IncrPlan plan_;
+  std::vector<uint8_t> outcomes_;  // per unit index; lanes write disjoint slots
 };
 
 class ReverseInlinePass : public pm::Pass {

@@ -38,6 +38,10 @@ namespace ap {
 class ThreadPool;
 }
 
+namespace ap::incr {
+class UnitCache;
+}
+
 namespace ap::driver {
 
 enum class InlineConfig { None, Conventional, Annotation };
@@ -61,7 +65,21 @@ struct PipelineOptions {
   int unit_threads = 1;     // lanes for per-unit passes; <= 1 = sequential
   ThreadPool* unit_pool = nullptr;  // shared pool (overrides unit_threads)
   bool verify = false;  // force the AST verifier (also on via AP_VERIFY)
+
+  // Unit-granular incremental cache (src/incr). When set, the parallelize
+  // pass consults it per unit (keyed by the unit's dependence-closure
+  // fingerprint) and stores fresh results. Semantics-neutral like the
+  // execution knobs above — hits are bit-identical to a cold compile — and
+  // therefore NOT part of the request cache key.
+  incr::UnitCache* unit_cache = nullptr;
 };
+
+// Folds every PipelineOptions field that can change the produced result
+// (the same set options_fingerprint prints; execution knobs excluded) into
+// an FNV-1a hash. service::cache_key and the incr unit keys both build on
+// this, so the two cache tiers can never disagree about which options are
+// semantic.
+uint64_t hash_pipeline_options(uint64_t h, const PipelineOptions& opts);
 
 // Per-pass wall times for one pipeline run: one record per executed pass,
 // in execution order (passes a config skips don't appear). Consumers
@@ -97,6 +115,14 @@ struct PipelineResult {
   std::string print_dump;
   // True when stop_after cut the sequence short (later metrics are empty).
   bool stopped_early = false;
+
+  // Unit-cache outcome of this run (all zero when no unit_cache attached):
+  // units served from the incremental cache, units recomputed, and the
+  // subset of misses caused by a changed dependency rather than a changed
+  // unit (the invalidation-rule telemetry).
+  size_t unit_hits = 0;
+  size_t unit_misses = 0;
+  size_t unit_invalidated = 0;
 };
 
 PipelineResult run_pipeline(const suite::BenchmarkApp& app,

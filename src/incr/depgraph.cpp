@@ -1,0 +1,62 @@
+#include "incr/depgraph.h"
+
+#include <functional>
+
+namespace ap::incr {
+
+UnitDepGraph build_dep_graph(const fir::Program& prog) {
+  UnitDepGraph g;
+  for (const auto& u : prog.units) {
+    g.index.emplace(u->name, g.names.size());
+    g.names.push_back(u->name);
+  }
+  const size_t n = g.names.size();
+  g.deps.assign(n, {});
+
+  // CALL edges: caller depends on callee.
+  for (size_t i = 0; i < n; ++i) {
+    fir::walk_stmts(prog.units[i]->body, [&](const fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Call) {
+        auto it = g.index.find(s.name);
+        if (it != g.index.end() && it->second != i) g.deps[i].insert(it->second);
+      }
+      return true;
+    });
+  }
+
+  // COMMON edges: every pair of units declaring the same block depends on
+  // each other (shared-layout coupling is symmetric).
+  std::map<std::string, std::vector<size_t>> sharers;
+  for (size_t i = 0; i < n; ++i)
+    for (const auto& cb : prog.units[i]->commons)
+      sharers[cb.name].push_back(i);
+  for (const auto& [block, members] : sharers)
+    for (size_t a : members)
+      for (size_t b : members)
+        if (a != b) g.deps[a].insert(b);
+
+  // Transitive closure (DFS per unit; graphs are small — tens of units).
+  g.closure.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> stack{i};
+    while (!stack.empty()) {
+      size_t u = stack.back();
+      stack.pop_back();
+      if (!g.closure[i].insert(u).second) continue;
+      for (size_t d : g.deps[u]) stack.push_back(d);
+    }
+  }
+  return g;
+}
+
+std::set<std::string> invalidated_by_edit(const UnitDepGraph& g,
+                                          const std::string& edited) {
+  std::set<std::string> out{edited};
+  auto it = g.index.find(edited);
+  if (it == g.index.end()) return out;
+  for (size_t i = 0; i < g.names.size(); ++i)
+    if (g.closure[i].count(it->second)) out.insert(g.names[i]);
+  return out;
+}
+
+}  // namespace ap::incr

@@ -1,0 +1,44 @@
+// Unit dependence graph for incremental invalidation.
+//
+// deps(U) = direct CALL targets of U ∪ every unit sharing a COMMON block
+// with U. The graph is built from a parse of the ORIGINAL source (before
+// any inlining): inlining only moves content from callees into callers, so
+// the pre-inline transitive closure over-approximates every unit whose
+// source can influence U's post-pass state. COMMON edges are deliberately
+// conservative (bidirectional): a unit that redeclares a shared block can
+// change layout-sensitive analysis in every other sharer.
+//
+// The invalidation rule falls out of key structure rather than explicit
+// bookkeeping: a unit's cache key hashes the fingerprints of its whole
+// dependence closure (incr/plan.h), so editing V changes the keys of
+// exactly {U : V ∈ closure(U)} — V itself plus its transitive dependents —
+// and nothing else.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fir/ast.h"
+
+namespace ap::incr {
+
+struct UnitDepGraph {
+  std::vector<std::string> names;         // unit-index order of the parse
+  std::map<std::string, size_t> index;    // name -> position in `names`
+  std::vector<std::set<size_t>> deps;     // direct CALL + COMMON edges
+  std::vector<std::set<size_t>> closure;  // transitive deps, including self
+
+  bool contains(const std::string& name) const { return index.count(name); }
+};
+
+UnitDepGraph build_dep_graph(const fir::Program& prog);
+
+// The units whose cached state an edit to `edited` invalidates: the edited
+// unit plus every transitive dependent along CALL/COMMON edges. Returns
+// just {edited} when the unit is unknown (nothing else can depend on it).
+std::set<std::string> invalidated_by_edit(const UnitDepGraph& g,
+                                          const std::string& edited);
+
+}  // namespace ap::incr

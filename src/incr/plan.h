@@ -1,0 +1,54 @@
+// The incremental plan for one compile request: a cache key per unit.
+//
+//   key(U) = FNV( kUnitCacheFormatVersion,
+//                 opts_hash,                         — every semantic option
+//                 (name, fingerprint) of every unit in closure(U),
+//                 sorted by name )
+//
+// where closure(U) is U's transitive CALL/COMMON dependence closure over a
+// fresh parse of the ORIGINAL source (incr/depgraph.h), and the
+// fingerprints are the token-stream hashes of incr/fingerprint.h (own
+// annotations folded in). Editing unit V therefore changes the keys of
+// exactly V and its transitive dependents — the dependence-aware
+// invalidation rule is purely structural, with nothing to expire.
+//
+// The plan is built from (source, annotations, opts_hash) alone, before
+// any transformation, and consulted by name at parallelize time: the
+// post-inline program's units are a subset of the source units (inlining
+// and dead-unit elimination only remove or rewrite-in-place), and a
+// post-inline unit's content is a function of its pre-inline closure.
+//
+// When the token-level split disagrees with the real parse (defensive;
+// e.g. a variable shadowing a unit-header keyword), the plan is unusable
+// and the pipeline compiles every unit — slower, never wrong.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ap::incr {
+
+struct PlanEntry {
+  uint64_t key = 0;     // dependence-closure content hash
+  uint64_t own_fp = 0;  // the unit's own fingerprint (miss classification)
+};
+
+struct IncrPlan {
+  bool usable = false;
+  std::map<std::string, PlanEntry> entries;  // by unit name
+
+  const PlanEntry* find(const std::string& name) const {
+    auto it = entries.find(name);
+    return it == entries.end() ? nullptr : &it->second;
+  }
+};
+
+// Builds the plan. `opts_hash` must cover every PipelineOptions field that
+// can change the produced result (driver::hash_pipeline_options — the same
+// fields the whole-request cache key hashes).
+IncrPlan make_plan(std::string_view source, std::string_view annotations,
+                   uint64_t opts_hash);
+
+}  // namespace ap::incr

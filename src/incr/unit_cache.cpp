@@ -1,0 +1,257 @@
+#include "incr/unit_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ap::incr {
+
+namespace {
+
+std::string hex16(uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, key);
+  return buf;
+}
+
+void wr_str(std::ostream& s, const std::string& v) {
+  s << v.size() << "\n" << v << "\n";
+}
+
+bool rd_str(std::istream& in, std::string& v) {
+  size_t n = 0;
+  if (!(in >> n)) return false;
+  in.get();  // the newline terminating the length header
+  v.resize(n);
+  in.read(v.data(), static_cast<std::streamsize>(n));
+  if (in.gcount() != static_cast<std::streamsize>(n)) return false;
+  in.get();  // trailing newline
+  return true;
+}
+
+}  // namespace
+
+UnitSnapshot snapshot_unit(const fir::ProgramUnit& unit,
+                           const par::ParallelizeResult& par) {
+  UnitSnapshot snap;
+  snap.par = par;
+  size_t idx = 0;
+  fir::walk_stmts(unit.body, [&](const fir::Stmt& s) {
+    if (s.kind != fir::StmtKind::Do) return true;
+    const fir::OmpInfo& o = s.omp;
+    if (o.parallel || o.nowait || !o.privates.empty() ||
+        !o.firstprivates.empty() || !o.reductions.empty())
+      snap.marks.push_back({idx, o});
+    ++idx;
+    return true;
+  });
+  snap.do_count = idx;
+  return snap;
+}
+
+bool apply_snapshot(fir::ProgramUnit& unit, const UnitSnapshot& snap) {
+  // First pass: collect DO pointers in pre-order (the same enumeration
+  // snapshot_unit used) and check the shape matches.
+  std::vector<fir::Stmt*> dos;
+  fir::walk_stmts(unit.body, [&](fir::Stmt& s) {
+    if (s.kind == fir::StmtKind::Do) dos.push_back(&s);
+    return true;
+  });
+  if (dos.size() != snap.do_count) return false;
+  for (const auto& m : snap.marks)
+    if (m.do_index >= dos.size()) return false;
+  for (const auto& m : snap.marks) dos[m.do_index]->omp = m.omp;
+  return true;
+}
+
+std::string serialize_snapshot(const UnitSnapshot& snap) {
+  std::ostringstream s;
+  s << "APUNIT " << kUnitCacheFormatVersion << "\n";
+  s << "do_count " << snap.do_count << "\n";
+  s << "marks " << snap.marks.size() << "\n";
+  for (const auto& m : snap.marks) {
+    s << "mark " << m.do_index << ' ' << (m.omp.parallel ? 1 : 0) << ' '
+      << (m.omp.nowait ? 1 : 0) << ' ' << m.omp.privates.size() << ' '
+      << m.omp.firstprivates.size() << ' ' << m.omp.reductions.size() << "\n";
+    for (const auto& v : m.omp.privates) wr_str(s, v);
+    for (const auto& v : m.omp.firstprivates) wr_str(s, v);
+    for (const auto& r : m.omp.reductions) {
+      wr_str(s, r.op);
+      wr_str(s, r.var);
+    }
+  }
+  s << "par " << snap.par.parallelized << ' ' << snap.par.dep_tests << ' '
+    << snap.par.dep_tests_unique << "\n";
+  s << "loops " << snap.par.loops.size() << "\n";
+  for (const auto& v : snap.par.loops) {
+    s << "loop " << v.origin_id << ' ' << (v.parallel ? 1 : 0) << ' '
+      << v.blockers.size() << "\n";
+    wr_str(s, v.unit);
+    wr_str(s, v.do_var);
+    wr_str(s, v.reason);
+    for (const auto& b : v.blockers) {
+      s << "blocker " << static_cast<int>(b.kind) << "\n";
+      wr_str(s, b.subject);
+      wr_str(s, b.detail);
+    }
+  }
+  return s.str();
+}
+
+std::optional<UnitSnapshot> deserialize_snapshot(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string tag;
+  uint32_t version = 0;
+  if (!(in >> tag >> version) || tag != "APUNIT" ||
+      version != kUnitCacheFormatVersion)
+    return std::nullopt;
+
+  UnitSnapshot snap;
+  if (!(in >> tag >> snap.do_count) || tag != "do_count") return std::nullopt;
+  size_t nmarks = 0;
+  if (!(in >> tag >> nmarks) || tag != "marks") return std::nullopt;
+  for (size_t i = 0; i < nmarks; ++i) {
+    OmpMark m;
+    int parallel = 0, nowait = 0;
+    size_t npriv = 0, nfirst = 0, nred = 0;
+    if (!(in >> tag >> m.do_index >> parallel >> nowait >> npriv >> nfirst >>
+          nred) ||
+        tag != "mark")
+      return std::nullopt;
+    m.omp.parallel = parallel != 0;
+    m.omp.nowait = nowait != 0;
+    m.omp.privates.resize(npriv);
+    for (auto& v : m.omp.privates)
+      if (!rd_str(in, v)) return std::nullopt;
+    m.omp.firstprivates.resize(nfirst);
+    for (auto& v : m.omp.firstprivates)
+      if (!rd_str(in, v)) return std::nullopt;
+    m.omp.reductions.resize(nred);
+    for (auto& r : m.omp.reductions)
+      if (!rd_str(in, r.op) || !rd_str(in, r.var)) return std::nullopt;
+    snap.marks.push_back(std::move(m));
+  }
+  if (!(in >> tag >> snap.par.parallelized >> snap.par.dep_tests >>
+        snap.par.dep_tests_unique) ||
+      tag != "par")
+    return std::nullopt;
+  size_t nloops = 0;
+  if (!(in >> tag >> nloops) || tag != "loops") return std::nullopt;
+  for (size_t i = 0; i < nloops; ++i) {
+    par::LoopVerdict v;
+    int parallel = 0;
+    size_t nblockers = 0;
+    if (!(in >> tag >> v.origin_id >> parallel >> nblockers) || tag != "loop")
+      return std::nullopt;
+    v.parallel = parallel != 0;
+    if (!rd_str(in, v.unit) || !rd_str(in, v.do_var) || !rd_str(in, v.reason))
+      return std::nullopt;
+    for (size_t b = 0; b < nblockers; ++b) {
+      par::Blocker bl;
+      int kind = 0;
+      if (!(in >> tag >> kind) || tag != "blocker") return std::nullopt;
+      bl.kind = static_cast<par::Blocker::Kind>(kind);
+      if (!rd_str(in, bl.subject) || !rd_str(in, bl.detail))
+        return std::nullopt;
+      v.blockers.push_back(std::move(bl));
+    }
+    snap.par.loops.push_back(std::move(v));
+  }
+  return snap;
+}
+
+UnitCache::UnitCache(size_t capacity, std::string disk_dir)
+    : capacity_(capacity < 1 ? 1 : capacity), disk_dir_(std::move(disk_dir)) {
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(disk_dir_, ec);
+  }
+}
+
+std::string UnitCache::disk_path(uint64_t key) const {
+  return disk_dir_ + "/" + hex16(key) + ".apu";
+}
+
+std::optional<UnitSnapshot> UnitCache::find(uint64_t key, uint64_t own_fp,
+                                            bool* invalidated) {
+  if (invalidated) *invalidated = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.memory_hits;
+    return it->second->second;
+  }
+  if (!disk_dir_.empty()) {
+    std::ifstream f(disk_path(key), std::ios::binary);
+    if (f) {
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      auto snap = deserialize_snapshot(buf.str());
+      if (snap) {
+        insert_memory_locked(key, *snap);
+        ++stats_.disk_hits;
+        return snap;
+      }
+    }
+  }
+  ++stats_.misses;
+  auto fp_it = last_key_by_fp_.find(own_fp);
+  if (fp_it != last_key_by_fp_.end() && fp_it->second != key) {
+    ++stats_.invalidated_by_dep;
+    if (invalidated) *invalidated = true;
+  }
+  return std::nullopt;
+}
+
+void UnitCache::store(uint64_t key, uint64_t own_fp, const UnitSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_memory_locked(key, snap);
+  last_key_by_fp_[own_fp] = key;
+  ++stats_.stores;
+  if (!disk_dir_.empty()) {
+    // Atomic publish: write a temp file, then rename over the final name,
+    // so a concurrent reader (another process sharing the cache dir) never
+    // sees a torn entry.
+    const std::string path = disk_path(key);
+    const std::string tmp = path + ".tmp";
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (f) {
+      f << serialize_snapshot(snap);
+      f.close();
+      std::error_code ec;
+      std::filesystem::rename(tmp, path, ec);
+      if (ec) std::filesystem::remove(tmp, ec);
+    }
+  }
+}
+
+void UnitCache::insert_memory_locked(uint64_t key, const UnitSnapshot& snap) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = snap;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, snap);
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+IncrStats UnitCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t UnitCache::memory_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace ap::incr

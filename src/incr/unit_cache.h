@@ -1,0 +1,112 @@
+// Unit-level cache store: snapshots of a unit's post-`parallelize` state,
+// keyed by the dependence-closure content hash from incr/plan.h.
+//
+// A snapshot is everything `parallelize` produced for one unit: the OMP
+// metadata it attached to the unit's DO loops (addressed positionally by
+// pre-order DO index — the post-normalize AST a hit re-applies marks to is
+// byte-identical to the one the marks were collected from, because the key
+// covers every input that shapes it) and the unit's ParallelizeResult
+// (verdicts, blockers, dependence-test counters) so merged diagnostics and
+// telemetry are bit-identical to a cold compile.
+//
+// Two tiers, mirroring service::ResultCache: a memory LRU bounded by entry
+// count, and an optional disk tier under `<cache-dir>/units/` with one
+// `<hex-key>.apu` file per unit (dist-clang's file_cache shape), written
+// atomically (temp + rename) and format-versioned. Entries are only ever
+// superseded — a changed input changes the key — so there is no staleness.
+//
+// Miss classification: the cache remembers the last key stored per unit
+// fingerprint. A miss whose fingerprint was seen before under a different
+// key means the unit itself is unchanged but a dependency changed — it is
+// counted as invalidated_by_dep (the telemetry that proves the
+// invalidation rule touches only the dependence closure).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fir/ast.h"
+#include "par/parallelizer.h"
+
+namespace ap::incr {
+
+inline constexpr uint32_t kUnitCacheFormatVersion = 1;
+
+// One DO loop's OMP metadata, addressed by pre-order DO index in the unit.
+struct OmpMark {
+  size_t do_index = 0;
+  fir::OmpInfo omp;
+};
+
+struct UnitSnapshot {
+  size_t do_count = 0;           // total DO statements (apply-time check)
+  std::vector<OmpMark> marks;    // loops carrying non-default OMP state
+  par::ParallelizeResult par;    // this unit's verdicts + counters
+};
+
+// The OMP marks currently on `unit` (non-default OmpInfo only), with
+// do_count filled in.
+UnitSnapshot snapshot_unit(const fir::ProgramUnit& unit,
+                           const par::ParallelizeResult& par);
+
+// Re-applies `snap`'s marks onto a freshly normalized `unit`. Returns false
+// (leaving the unit untouched) when the DO shape does not match — the
+// caller recomputes; correctness never rests on the apply.
+bool apply_snapshot(fir::ProgramUnit& unit, const UnitSnapshot& snap);
+
+// Serialization for the disk tier (exposed for tests).
+std::string serialize_snapshot(const UnitSnapshot& snap);
+std::optional<UnitSnapshot> deserialize_snapshot(std::string_view text);
+
+struct IncrStats {
+  uint64_t memory_hits = 0;
+  uint64_t disk_hits = 0;
+  uint64_t misses = 0;              // includes invalidated_by_dep
+  uint64_t invalidated_by_dep = 0;  // miss, own unit unchanged, dep changed
+  uint64_t stores = 0;
+  uint64_t evictions = 0;  // memory-tier LRU evictions
+  uint64_t hits() const { return memory_hits + disk_hits; }
+  uint64_t lookups() const { return hits() + misses; }
+};
+
+class UnitCache {
+ public:
+  // `capacity` bounds the memory tier (entry count, >= 1); `disk_dir`
+  // enables the disk tier when non-empty (created on demand).
+  explicit UnitCache(size_t capacity = 4096, std::string disk_dir = "");
+
+  // Thread-safe. `own_fp` is the unit's own fingerprint, used only to
+  // classify misses (see header comment); `invalidated` (optional) reports
+  // that classification to the caller for per-request telemetry.
+  std::optional<UnitSnapshot> find(uint64_t key, uint64_t own_fp,
+                                   bool* invalidated = nullptr);
+
+  // Thread-safe. Stores under `key`; mirrors to disk when enabled.
+  void store(uint64_t key, uint64_t own_fp, const UnitSnapshot& snap);
+
+  IncrStats stats() const;
+  size_t memory_entries() const;
+  const std::string& disk_dir() const { return disk_dir_; }
+
+ private:
+  std::string disk_path(uint64_t key) const;
+  void insert_memory_locked(uint64_t key, const UnitSnapshot& snap);
+
+  const size_t capacity_;
+  const std::string disk_dir_;
+
+  mutable std::mutex mu_;
+  std::list<std::pair<uint64_t, UnitSnapshot>> lru_;  // MRU first
+  std::unordered_map<uint64_t,
+                     std::list<std::pair<uint64_t, UnitSnapshot>>::iterator>
+      index_;
+  std::unordered_map<uint64_t, uint64_t> last_key_by_fp_;
+  IncrStats stats_;
+};
+
+}  // namespace ap::incr

@@ -396,6 +396,10 @@ void enc_compile_result(std::string* out, const service::CompileResult& c) {
   field_bool(out, 10, c.stopped_early);
   field_str(out, 11, c.program_text);
   if (!c.print_dump.empty()) field_str(out, 12, c.print_dump);
+  field_bool(out, 13, c.peer_hit);
+  field_varint(out, 14, c.unit_hits);
+  field_varint(out, 15, c.unit_misses);
+  field_varint(out, 16, c.unit_invalidated);
   put_u8(out, kEnd);
 }
 
@@ -445,6 +449,10 @@ bool dec_compile_result(BinReader& r, service::CompileResult* out) {
       case 10: c.stopped_early = r.boolean(); break;
       case 11: c.program_text = std::string(r.str()); break;
       case 12: c.print_dump = std::string(r.str()); break;
+      case 13: c.peer_hit = r.boolean(); break;
+      case 14: c.unit_hits = static_cast<size_t>(r.varint()); break;
+      case 15: c.unit_misses = static_cast<size_t>(r.varint()); break;
+      case 16: c.unit_invalidated = static_cast<size_t>(r.varint()); break;
       default:
         r.set_fail("unknown compile-result tag");
         return false;

@@ -251,10 +251,14 @@ json::Value compile_result_to_json(const service::CompileResult& r) {
   out.set("ok", r.ok)
       .set("error", r.error)
       .set("cache_hit", r.cache_hit)
+      .set("peer_hit", r.peer_hit)
       .set("parallel_loops", std::move(loops))
       .set("code_lines", static_cast<int64_t>(r.code_lines))
       .set("dep_tests", static_cast<int64_t>(r.dep_tests))
       .set("dep_tests_unique", static_cast<int64_t>(r.dep_tests_unique))
+      .set("unit_hits", static_cast<int64_t>(r.unit_hits))
+      .set("unit_misses", static_cast<int64_t>(r.unit_misses))
+      .set("unit_invalidated", static_cast<int64_t>(r.unit_invalidated))
       .set("timings", std::move(timings))
       .set("stopped_early", r.stopped_early)
       .set("program", r.program_text);
@@ -267,6 +271,7 @@ service::CompileResult compile_result_from_json(const json::Value& v) {
   r.ok = get_bool(v, "ok", false);
   r.error = get_string(v, "error");
   r.cache_hit = get_bool(v, "cache_hit", false);
+  r.peer_hit = get_bool(v, "peer_hit", false);
   if (const json::Value* loops = v.find("parallel_loops")) {
     for (const json::Value& id : loops->items())
       r.parallel_loops.insert(id.as_int());
@@ -274,6 +279,9 @@ service::CompileResult compile_result_from_json(const json::Value& v) {
   r.code_lines = static_cast<size_t>(get_int(v, "code_lines", 0));
   r.dep_tests = static_cast<size_t>(get_int(v, "dep_tests", 0));
   r.dep_tests_unique = static_cast<size_t>(get_int(v, "dep_tests_unique", 0));
+  r.unit_hits = static_cast<size_t>(get_int(v, "unit_hits", 0));
+  r.unit_misses = static_cast<size_t>(get_int(v, "unit_misses", 0));
+  r.unit_invalidated = static_cast<size_t>(get_int(v, "unit_invalidated", 0));
   if (const json::Value* t = v.find("timings")) {
     if (const json::Value* total = t->find("total_ms"))
       r.timings.total_ms = total->as_double();

@@ -9,21 +9,11 @@
 #include <vector>
 
 #include "fir/unparse.h"
+#include "support/fnv.h"
 
 namespace ap::service {
 
 namespace {
-
-constexpr uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr uint64_t kFnvPrime = 1099511628211ull;
-
-uint64_t fnv1a(uint64_t h, std::string_view s) {
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= kFnvPrime;
-  }
-  return h;
-}
 
 std::string hex16(uint64_t key) {
   char buf[17];
@@ -44,6 +34,9 @@ CompileResult to_compile_result(const driver::PipelineResult& r) {
   out.timings = r.timings;
   out.print_dump = r.print_dump;
   out.stopped_early = r.stopped_early;
+  out.unit_hits = r.unit_hits;
+  out.unit_misses = r.unit_misses;
+  out.unit_invalidated = r.unit_invalidated;
   if (r.program) out.program_text = fir::unparse(*r.program);
   return out;
 }
@@ -66,47 +59,15 @@ std::string options_fingerprint(const driver::PipelineOptions& o) {
   return s.str();
 }
 
-namespace {
-
-// Folds one integral field into the hash as 8 tagged bytes. Hashing raw
-// field values keeps cache_key off the ostringstream path — it runs per
-// request on the server's event loop (the warm-hit fast path).
-uint64_t fnv_u64(uint64_t h, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xff;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-}  // namespace
-
 uint64_t cache_key(std::string_view source, std::string_view annotations,
                    const driver::PipelineOptions& o) {
   // Same information as options_fingerprint() (which stays the canonical
-  // printable form for telemetry and tests), hashed field by field.
+  // printable form for telemetry and tests), hashed field by field via the
+  // shared driver::hash_pipeline_options folding — byte-identical to the
+  // historical inline sequence, so existing disk tiers stay valid.
   uint64_t h = kFnvOffset;
   h = fnv_u64(h, kCacheFormatVersion);
-  h = fnv_u64(h, static_cast<uint64_t>(static_cast<int>(o.config)));
-  h = fnv_u64(h, static_cast<uint64_t>(o.par.min_trip));
-  h = fnv_u64(h, (o.par.normalize ? 1u : 0u) | (o.par.mark_nested ? 2u : 0u) |
-                     (o.par.use_banerjee ? 4u : 0u) |
-                     (o.par.use_siv_refinement ? 8u : 0u) |
-                     (o.par.collect_all_blockers ? 16u : 0u));
-  h = fnv_u64(h, static_cast<uint64_t>(o.conv.max_stmts));
-  h = fnv_u64(h, static_cast<uint64_t>(o.conv.max_callee_calls));
-  h = fnv_u64(h, (o.conv.require_in_loop ? 1u : 0u) |
-                     (o.conv.eliminate_dead_units ? 2u : 0u));
-  h = fnv_u64(h, static_cast<uint64_t>(o.conv.max_passes));
-  h = fnv_u64(h, o.annot.require_in_loop ? 1u : 0u);
-  h = fnv_u64(h, (o.reverse.tolerate_reordering ? 1u : 0u) |
-                     (o.reverse.tolerate_forward_subst ? 2u : 0u) |
-                     (o.reverse.tolerate_literals ? 4u : 0u) |
-                     (o.reverse.fallback_to_hints ? 8u : 0u));
-  h = fnv1a(h, o.stop_after);
-  h = fnv1a(h, std::string_view("\0", 1));
-  h = fnv1a(h, o.print_after);
-  h = fnv1a(h, std::string_view("\0", 1));
+  h = driver::hash_pipeline_options(h, o);
   h = fnv1a(h, source);
   h = fnv1a(h, std::string_view("\0", 1));
   h = fnv1a(h, annotations);
@@ -260,13 +221,24 @@ void ResultCache::store(uint64_t key, const CompileResult& r) {
     if (!ec) stats_.disk_bytes -= std::min<uint64_t>(stats_.disk_bytes,
                                                      old_size);
     std::string payload = serialize_result(r);
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    // Atomic publish: write a temp file, then rename over the final name.
+    // A reader in another process sharing the cache dir (fleet workers, a
+    // concurrently evicting instance) either sees the complete old entry
+    // or the complete new one — never a torn half-write.
+    const std::string tmp = path + ".tmp";
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (f) {
       f << payload;
       f.close();
-      stats_.disk_bytes += payload.size();
-      if (disk_max_bytes_ > 0 && stats_.disk_bytes > disk_max_bytes_)
-        evict_disk_locked(key);
+      std::error_code rec;
+      std::filesystem::rename(tmp, path, rec);
+      if (rec) {
+        std::filesystem::remove(tmp, rec);
+      } else {
+        stats_.disk_bytes += payload.size();
+        if (disk_max_bytes_ > 0 && stats_.disk_bytes > disk_max_bytes_)
+          evict_disk_locked(key);
+      }
     }
   }
 }

@@ -50,6 +50,13 @@ struct CompileResult {
   std::string program_text;         // unparsed final program
   std::string print_dump;           // --print-after capture ("" when unset)
   bool stopped_early = false;       // --stop-after cut the sequence short
+
+  // Unit-tier outcome of the compiling run (src/incr): per-request, like
+  // cache_hit, so not serialized — a whole-request hit did no unit work
+  // and reports zeros.
+  size_t unit_hits = 0;
+  size_t unit_misses = 0;
+  size_t unit_invalidated = 0;  // misses caused by a changed dependency
 };
 
 // Build a CompileResult from a finished pipeline run (unparses the final

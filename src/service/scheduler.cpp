@@ -85,6 +85,9 @@ CompileResult Scheduler::run_one(const CompileJob& job) {
   if (opts_.cache) {
     if (auto hit = opts_.cache->find(key)) {
       hit->cache_hit = true;
+      // A whole-request hit did no unit-granular work in THIS request;
+      // the memory tier may carry the compiling run's counters.
+      hit->unit_hits = hit->unit_misses = hit->unit_invalidated = 0;
       return *hit;
     }
   }
@@ -95,11 +98,17 @@ CompileResult Scheduler::run_one(const CompileJob& job) {
     if (auto peer = opts_.peer_lookup(key)) {
       peer->cache_hit = true;
       peer->peer_hit = true;
+      peer->unit_hits = peer->unit_misses = peer->unit_invalidated = 0;
       if (opts_.cache) opts_.cache->store(key, *peer);
       return *peer;
     }
   }
-  CompileResult r = to_compile_result(driver::run_pipeline(job.app, job.opts));
+  // Request-level miss: compile, consulting the unit tier when attached so
+  // only units with a changed dependence closure are re-analyzed.
+  driver::PipelineOptions popts = job.opts;
+  if (opts_.unit_cache && !popts.unit_cache)
+    popts.unit_cache = opts_.unit_cache;
+  CompileResult r = to_compile_result(driver::run_pipeline(job.app, popts));
   if (opts_.cache) opts_.cache->store(key, r);
   if (r.ok && opts_.on_store) opts_.on_store(key, r);
   return r;
@@ -139,17 +148,23 @@ std::vector<CompileResult> Scheduler::run_batch(
       rec.config = driver::config_name(jobs[i].opts.config);
       rec.ok = r.ok;
       rec.cache_hit = r.cache_hit;
+      rec.peer_hit = r.peer_hit;
       rec.wall_ms = wall_ms[i];
       rec.dep_tests = r.dep_tests;
       rec.dep_tests_unique = r.dep_tests_unique;
       rec.parallel_loops = r.parallel_loops.size();
       rec.code_lines = r.code_lines;
+      rec.unit_hits = r.unit_hits;
+      rec.unit_misses = r.unit_misses;
+      rec.unit_invalidated = r.unit_invalidated;
       // A hit's stored timings describe the original compilation, not work
       // done in this batch; report zeros so pass totals stay additive.
       if (!r.cache_hit) rec.timings = r.timings;
       opts_.telemetry->record_job(rec);
     }
     if (opts_.cache) opts_.telemetry->record_cache_stats(opts_.cache->stats());
+    if (opts_.unit_cache)
+      opts_.telemetry->record_incr_stats(opts_.unit_cache->stats());
     opts_.telemetry->record_batch_wall_ms(batch_ms);
     opts_.telemetry->record_threads(pool_.size());
   }

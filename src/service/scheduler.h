@@ -57,6 +57,10 @@ class Scheduler {
     int threads = 1;                // lanes, including the calling thread
     ResultCache* cache = nullptr;   // optional
     Telemetry* telemetry = nullptr; // optional
+    // Optional unit-granular incremental tier (src/incr): composes under
+    // the whole-request cache — a request-level miss still reuses every
+    // unit whose dependence closure is unchanged.
+    incr::UnitCache* unit_cache = nullptr;
     // Distributed cache tier hooks (src/dist worker). `peer_lookup` runs
     // after a local-cache miss and before compilation; a returned result
     // is stored locally and reported as cache_hit + peer_hit. `on_store`

@@ -47,6 +47,12 @@ void Telemetry::record_cache_stats(const CacheStats& stats) {
   cache_ = stats;
 }
 
+void Telemetry::record_incr_stats(const incr::IncrStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  incr_ = stats;
+  has_incr_ = true;
+}
+
 void Telemetry::record_server_stats(const ServerStats& stats) {
   std::lock_guard<std::mutex> lock(mu_);
   server_ = stats;
@@ -88,6 +94,17 @@ size_t Telemetry::cache_hits() const {
   return n;
 }
 
+double Telemetry::unit_hit_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t hits = 0, lookups = 0;
+  for (const auto& j : jobs_) {
+    hits += j.unit_hits;
+    lookups += j.unit_hits + j.unit_misses;
+  }
+  return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                 : 0;
+}
+
 double Telemetry::hit_rate() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (jobs_.empty()) return 0;
@@ -100,13 +117,18 @@ double Telemetry::hit_rate() const {
 std::string Telemetry::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
 
-  size_t ok = 0, hits = 0, dep_tests = 0, dep_tests_unique = 0;
+  size_t ok = 0, hits = 0, peer_hits = 0, dep_tests = 0, dep_tests_unique = 0;
+  size_t unit_hits = 0, unit_misses = 0, unit_invalidated = 0;
   // Aggregate per-pass wall time by pass name, ordered by first appearance
   // across jobs (job order is deterministic, so the rendering is too).
   driver::PipelineTimings pass{};
   for (const auto& j : jobs_) {
     if (j.ok) ++ok;
     if (j.cache_hit) ++hits;
+    if (j.peer_hit) ++peer_hits;
+    unit_hits += j.unit_hits;
+    unit_misses += j.unit_misses;
+    unit_invalidated += j.unit_invalidated;
     dep_tests += j.dep_tests;
     dep_tests_unique += j.dep_tests_unique;
     for (const auto& p : j.timings.passes) {
@@ -126,9 +148,19 @@ std::string Telemetry::to_json() const {
 
   std::ostringstream s;
   s << "{\n";
+  // Hit counters split by serving tier: job-level whole-request hits
+  // (cache_hits, of which cache_hits_memory/disk come from the local
+  // ResultCache counters and cache_hits_peer from the peer tier), plus
+  // the unit-granular tier summed over the compiling jobs.
   s << "  \"summary\": {\"jobs\": " << jobs_.size() << ", \"ok\": " << ok
     << ", \"failed\": " << jobs_.size() - ok << ", \"cache_hits\": " << hits
     << ", \"cache_misses\": " << jobs_.size() - hits
+    << ", \"cache_hits_memory\": " << cache_.memory_hits
+    << ", \"cache_hits_disk\": " << cache_.disk_hits
+    << ", \"cache_hits_peer\": " << peer_hits
+    << ", \"cache_hits_unit\": " << unit_hits
+    << ", \"unit_misses\": " << unit_misses
+    << ", \"unit_invalidated\": " << unit_invalidated
     << ", \"threads\": " << threads_
     << ", \"batch_wall_ms\": " << fmt_ms(batch_wall_ms_)
     << ", \"dep_tests\": " << dep_tests
@@ -140,6 +172,14 @@ std::string Telemetry::to_json() const {
     << ", \"evictions\": " << cache_.evictions
     << ", \"disk_evictions\": " << cache_.disk_evictions
     << ", \"disk_bytes\": " << cache_.disk_bytes << "},\n";
+  if (has_incr_) {
+    s << "  \"incr\": {\"memory_hits\": " << incr_.memory_hits
+      << ", \"disk_hits\": " << incr_.disk_hits
+      << ", \"misses\": " << incr_.misses
+      << ", \"invalidated_by_dep\": " << incr_.invalidated_by_dep
+      << ", \"stores\": " << incr_.stores
+      << ", \"evictions\": " << incr_.evictions << "},\n";
+  }
   if (has_server_) {
     s << "  \"server\": {\"connections\": " << server_.connections
       << ", \"accepted\": " << server_.accepted
@@ -190,11 +230,15 @@ std::string Telemetry::to_json() const {
     s << "    {\"app\": \"" << json_escape(j.app) << "\", \"config\": \""
       << json_escape(j.config) << "\", \"ok\": " << (j.ok ? "true" : "false")
       << ", \"cache_hit\": " << (j.cache_hit ? "true" : "false")
+      << ", \"peer_hit\": " << (j.peer_hit ? "true" : "false")
       << ", \"wall_ms\": " << fmt_ms(j.wall_ms)
       << ", \"dep_tests\": " << j.dep_tests
       << ", \"dep_tests_unique\": " << j.dep_tests_unique
       << ", \"parallel_loops\": " << j.parallel_loops
       << ", \"code_lines\": " << j.code_lines
+      << ", \"unit_hits\": " << j.unit_hits
+      << ", \"unit_misses\": " << j.unit_misses
+      << ", \"unit_invalidated\": " << j.unit_invalidated
       << ", \"passes_ms\": " << passes_json(j.timings) << "}"
       << (i + 1 < jobs_.size() ? ",\n" : "\n");
   }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "incr/unit_cache.h"
 #include "service/cache.h"
 #include "support/json.h"
 
@@ -22,11 +23,16 @@ struct JobRecord {
   std::string config;
   bool ok = false;
   bool cache_hit = false;
+  bool peer_hit = false;  // the hit was served by the peer tier
   double wall_ms = 0;  // scheduler-observed job time (hit or miss)
   size_t dep_tests = 0;         // logical pairwise tests
   size_t dep_tests_unique = 0;  // tests actually executed (memoized pass)
   size_t parallel_loops = 0;
   size_t code_lines = 0;
+  // Unit-tier outcome of the compiling run (zero on whole-request hits).
+  size_t unit_hits = 0;
+  size_t unit_misses = 0;
+  size_t unit_invalidated = 0;
   driver::PipelineTimings timings;  // of the compiling run (zero on hits)
 };
 
@@ -110,6 +116,7 @@ class Telemetry {
   void record_job(const JobRecord& rec);
   void record_exec(const ExecRecord& rec);
   void record_cache_stats(const CacheStats& stats);
+  void record_incr_stats(const incr::IncrStats& stats);
   void record_server_stats(const ServerStats& stats);
   void record_peer_cache_stats(const PeerCacheStats& stats);
   void record_fleet_stats(const FleetStats& stats);
@@ -120,6 +127,9 @@ class Telemetry {
   size_t jobs() const;
   size_t cache_hits() const;
   double hit_rate() const;  // hits / jobs, 0 when empty
+  // Unit-tier hit rate over recorded jobs: unit_hits / unit lookups,
+  // 0 when no job did unit-granular work.
+  double unit_hit_rate() const;
 
   // The JSON report: summary, pass totals, cache counters, queue stats,
   // and one row per job.
@@ -130,6 +140,8 @@ class Telemetry {
   std::vector<JobRecord> jobs_;
   std::vector<ExecRecord> execs_;
   CacheStats cache_;
+  incr::IncrStats incr_;
+  bool has_incr_ = false;  // "incr" section emitted only when recorded
   ServerStats server_;
   bool has_server_ = false;  // "server" section emitted only when recorded
   PeerCacheStats peer_cache_;

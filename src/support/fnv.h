@@ -1,0 +1,33 @@
+// FNV-1a 64-bit hashing, shared by the content-addressed caches
+// (service/cache.h request keys, incr/ unit fingerprints and keys).
+// One definition so every tier derives keys from the same byte folding.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ap {
+
+inline constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t fnv1a(uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Folds one integral field into the hash as 8 tagged bytes; keeps key
+// derivation off any ostringstream path (cache_key runs per request on the
+// server's event loop).
+inline uint64_t fnv_u64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace ap

@@ -1,0 +1,663 @@
+// Tests for the unit-granular incremental compilation cache (src/incr):
+// token-level unit fingerprints, the CALL/COMMON dependence graph and its
+// invalidation rule, snapshot (de)serialization, the two-tier unit cache,
+// and — the load-bearing property — that incremental recompiles are
+// bit-identical to cold compiles for every suite app under every inlining
+// configuration, including under randomized single-unit edits.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.h"
+#include "fir/parser.h"
+#include "fir/unparse.h"
+#include "incr/depgraph.h"
+#include "incr/fingerprint.h"
+#include "incr/plan.h"
+#include "incr/unit_cache.h"
+#include "interp/interp.h"
+#include "suite/suite.h"
+#include "support/diagnostics.h"
+#include "support/fnv.h"
+#include "tests/test_util.h"
+
+namespace ap {
+namespace {
+
+namespace fs = std::filesystem;
+using driver::InlineConfig;
+using driver::PipelineOptions;
+using driver::PipelineResult;
+
+// A unique per-test temp directory, removed on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ap_incr_test_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+// A six-unit app with a deliberately shaped dependence graph:
+//
+//   DRIVER --calls--> INITA, WORKB, LEAF
+//   INITA  --calls--> HUB       INITA <--/SHARED/--> CDEF
+//   WORKB  --calls--> HUB
+//   HUB, LEAF, CDEF: no outgoing edges
+//
+// so closure(LEAF) = {LEAF}, closure(WORKB) = {WORKB, HUB},
+// closure(INITA) = closure(CDEF) = {INITA, CDEF, HUB}, and
+// closure(DRIVER) = everything. LEAF is the satellite's "leaf unit", CDEF
+// the "COMMON-defining unit", HUB the "hub called by everyone".
+suite::BenchmarkApp shaped_app() {
+  suite::BenchmarkApp app;
+  app.name = "SHAPED";
+  app.description = "dependence-graph shape fixture";
+  app.source = R"(
+      PROGRAM DRIVER
+      DOUBLE PRECISION R(64)
+      CALL INITA(R)
+      CALL WORKB(R)
+      CALL LEAF(R)
+      S = 0.0D0
+      DO 90 I = 1, 64
+        S = S + R(I)
+90    CONTINUE
+      WRITE(*,*) 'SHAPED CHECKSUM', S
+      END
+
+      SUBROUTINE INITA(R)
+      DOUBLE PRECISION R(64)
+      COMMON /SHARED/ S1(64)
+      DO 10 I = 1, 64
+        S1(I) = I * 0.5D0
+10    CONTINUE
+      DO 11 I = 1, 64
+        R(I) = S1(I)
+11    CONTINUE
+      CALL HUB(R, 1)
+      END
+
+      SUBROUTINE WORKB(R)
+      DOUBLE PRECISION R(64)
+      DO 20 I = 1, 64
+        R(I) = R(I) + I * 0.25D0
+20    CONTINUE
+      CALL HUB(R, 2)
+      END
+
+      SUBROUTINE HUB(R, K)
+      DOUBLE PRECISION R(64)
+      DO 30 I = 1, 64
+        R(I) = R(I) + K * 0.125D0
+30    CONTINUE
+      END
+
+      SUBROUTINE CDEF
+      COMMON /SHARED/ S1(64)
+      DO 40 I = 1, 64
+        S1(I) = S1(I) * 1.5D0
+40    CONTINUE
+      END
+
+      SUBROUTINE LEAF(R)
+      DOUBLE PRECISION R(64)
+      DO 50 I = 1, 64
+        R(I) = R(I) + 1.0D0
+50    CONTINUE
+      END
+)";
+  return app;
+}
+
+std::set<std::string> names_of(const std::vector<incr::UnitFingerprint>& us) {
+  std::set<std::string> out;
+  for (const auto& u : us) out.insert(u.name);
+  return out;
+}
+
+// Every comparison the service caches care about: the final program text,
+// the paper metrics, and the full per-loop verdict list.
+void expect_identical(const PipelineResult& a, const PipelineResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.ok, b.ok) << what;
+  ASSERT_TRUE(a.program != nullptr) << what;
+  ASSERT_TRUE(b.program != nullptr) << what;
+  EXPECT_EQ(fir::unparse(*a.program), fir::unparse(*b.program)) << what;
+  EXPECT_EQ(a.parallel_loops, b.parallel_loops) << what;
+  EXPECT_EQ(a.code_lines, b.code_lines) << what;
+  EXPECT_EQ(a.par.parallelized, b.par.parallelized) << what;
+  EXPECT_EQ(a.par.dep_tests, b.par.dep_tests) << what;
+  EXPECT_EQ(a.par.dep_tests_unique, b.par.dep_tests_unique) << what;
+  ASSERT_EQ(a.par.loops.size(), b.par.loops.size()) << what;
+  for (size_t i = 0; i < a.par.loops.size(); ++i) {
+    const auto& la = a.par.loops[i];
+    const auto& lb = b.par.loops[i];
+    EXPECT_EQ(la.origin_id, lb.origin_id) << what << " loop " << i;
+    EXPECT_EQ(la.unit, lb.unit) << what << " loop " << i;
+    EXPECT_EQ(la.do_var, lb.do_var) << what << " loop " << i;
+    EXPECT_EQ(la.parallel, lb.parallel) << what << " loop " << i;
+    EXPECT_EQ(la.reason, lb.reason) << what << " loop " << i;
+    EXPECT_EQ(la.blockers.size(), lb.blockers.size()) << what << " loop " << i;
+  }
+}
+
+// Execute both programs on `engine` and require identical RunResults.
+void expect_identical_runs(const fir::Program& a, const fir::Program& b,
+                           interp::Engine engine, const std::string& what) {
+  interp::InterpOptions io;
+  io.engine = engine;
+  io.num_threads = 1;
+  interp::RunResult ra = interp::Interpreter(a, io).run();
+  interp::RunResult rb = interp::Interpreter(b, io).run();
+  EXPECT_EQ(ra.ok, rb.ok) << what;
+  EXPECT_EQ(ra.output, rb.output) << what;
+  EXPECT_EQ(ra.stop_message, rb.stop_message) << what;
+  EXPECT_EQ(ra.statements_executed, rb.statements_executed) << what;
+  EXPECT_EQ(ra.statements_in_parallel, rb.statements_in_parallel) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, SplitMatchesParseForEverySuiteApp) {
+  for (const auto& app : suite::perfect_suite()) {
+    auto fps = incr::fingerprint_units(app.source, app.annotations);
+    ASSERT_TRUE(fps.ok) << app.name;
+    auto prog = test::parse_ok(app.source);
+    ASSERT_TRUE(prog) << app.name;
+    ASSERT_EQ(fps.units.size(), prog->units.size()) << app.name;
+    for (size_t i = 0; i < fps.units.size(); ++i)
+      EXPECT_EQ(fps.units[i].name, prog->units[i]->name)
+          << app.name << " unit " << i;
+  }
+}
+
+TEST(Fingerprint, EditChangesExactlyTheEditedUnit) {
+  auto app = shaped_app();
+  auto before = incr::fingerprint_units(app.source, app.annotations);
+  ASSERT_TRUE(before.ok);
+  std::string edited = incr::mutate_unit(app.source, "WORKB", 7);
+  ASSERT_NE(edited, app.source);
+  auto after = incr::fingerprint_units(edited, app.annotations);
+  ASSERT_TRUE(after.ok);
+  ASSERT_EQ(before.units.size(), after.units.size());
+  for (size_t i = 0; i < before.units.size(); ++i) {
+    ASSERT_EQ(before.units[i].name, after.units[i].name);
+    if (before.units[i].name == "WORKB")
+      EXPECT_NE(before.units[i].fp, after.units[i].fp);
+    else
+      EXPECT_EQ(before.units[i].fp, after.units[i].fp) << before.units[i].name;
+  }
+}
+
+TEST(Fingerprint, CommentAndBlankLineEditsChangeNothing) {
+  auto app = shaped_app();
+  auto before = incr::fingerprint_units(app.source, app.annotations);
+  ASSERT_TRUE(before.ok);
+  // A comment inside LEAF and a blank line inside HUB: the lexer drops
+  // both, so every fingerprint must survive byte-for-byte.
+  std::string edited = app.source;
+  size_t at = edited.find("      SUBROUTINE LEAF");
+  ASSERT_NE(at, std::string::npos);
+  edited.insert(at, "C a developer comment that must not invalidate\n");
+  size_t hub = edited.find("      SUBROUTINE HUB");
+  ASSERT_NE(hub, std::string::npos);
+  edited.insert(hub, "\n\n");
+  auto after = incr::fingerprint_units(edited, app.annotations);
+  ASSERT_TRUE(after.ok);
+  ASSERT_EQ(before.units.size(), after.units.size());
+  for (size_t i = 0; i < before.units.size(); ++i)
+    EXPECT_EQ(before.units[i].fp, after.units[i].fp) << before.units[i].name;
+}
+
+TEST(Fingerprint, AnnotationEditInvalidatesOnlyTheNamedUnit) {
+  auto app = suite::make_adm();  // annotates SMOOTH
+  auto before = incr::fingerprint_units(app.source, app.annotations);
+  ASSERT_TRUE(before.ok);
+  std::string annots = app.annotations;
+  size_t at = annots.find("COL[1:64]");
+  ASSERT_NE(at, std::string::npos);
+  annots.replace(at, 9, "COL[2:63]");
+  auto after = incr::fingerprint_units(app.source, annots);
+  ASSERT_TRUE(after.ok);
+  ASSERT_EQ(before.units.size(), after.units.size());
+  for (size_t i = 0; i < before.units.size(); ++i) {
+    if (before.units[i].name == "SMOOTH")
+      EXPECT_NE(before.units[i].fp, after.units[i].fp);
+    else
+      EXPECT_EQ(before.units[i].fp, after.units[i].fp) << before.units[i].name;
+  }
+}
+
+TEST(Fingerprint, OrphanAnnotationEntrySaltsEveryUnit) {
+  auto app = suite::make_adm();
+  auto before = incr::fingerprint_units(app.source, app.annotations);
+  ASSERT_TRUE(before.ok);
+  std::string annots = app.annotations +
+                       "\nsubroutine NOSUCHUNIT(X) {\n  dimension X[4];\n}\n";
+  auto after = incr::fingerprint_units(app.source, annots);
+  ASSERT_TRUE(after.ok);
+  for (size_t i = 0; i < before.units.size(); ++i)
+    EXPECT_NE(before.units[i].fp, after.units[i].fp) << before.units[i].name;
+}
+
+TEST(Fingerprint, MutateUnitUnknownNameReturnsInputUnchanged) {
+  auto app = shaped_app();
+  EXPECT_EQ(incr::mutate_unit(app.source, "NOSUCH", 3), app.source);
+}
+
+// ---------------------------------------------------------------------------
+// Dependence graph
+// ---------------------------------------------------------------------------
+
+TEST(DepGraph, ExactClosuresOnShapedApp) {
+  auto app = shaped_app();
+  auto prog = test::parse_ok(app.source);
+  ASSERT_TRUE(prog);
+  auto g = incr::build_dep_graph(*prog);
+  ASSERT_EQ(g.names.size(), 6u);
+
+  auto closure_of = [&](const std::string& name) {
+    std::set<std::string> out;
+    for (size_t i : g.closure[g.index.at(name)]) out.insert(g.names[i]);
+    return out;
+  };
+  EXPECT_EQ(closure_of("LEAF"), (std::set<std::string>{"LEAF"}));
+  EXPECT_EQ(closure_of("HUB"), (std::set<std::string>{"HUB"}));
+  EXPECT_EQ(closure_of("WORKB"), (std::set<std::string>{"HUB", "WORKB"}));
+  EXPECT_EQ(closure_of("INITA"),
+            (std::set<std::string>{"CDEF", "HUB", "INITA"}));
+  EXPECT_EQ(closure_of("CDEF"),
+            (std::set<std::string>{"CDEF", "HUB", "INITA"}));
+  EXPECT_EQ(closure_of("DRIVER"),
+            (std::set<std::string>{"CDEF", "DRIVER", "HUB", "INITA", "LEAF",
+                                   "WORKB"}));
+}
+
+TEST(DepGraph, InvalidationSetsForLeafCommonAndHubEdits) {
+  auto app = shaped_app();
+  auto prog = test::parse_ok(app.source);
+  ASSERT_TRUE(prog);
+  auto g = incr::build_dep_graph(*prog);
+
+  // (a) leaf unit: only itself and the units that (transitively) call it.
+  EXPECT_EQ(incr::invalidated_by_edit(g, "LEAF"),
+            (std::set<std::string>{"DRIVER", "LEAF"}));
+  // (b) COMMON-defining unit: its block sharers and their callers, even
+  // though nothing ever CALLs it.
+  EXPECT_EQ(incr::invalidated_by_edit(g, "CDEF"),
+            (std::set<std::string>{"CDEF", "DRIVER", "INITA"}));
+  // (c) hub called by everyone: everything except the unrelated leaf.
+  EXPECT_EQ(incr::invalidated_by_edit(g, "HUB"),
+            (std::set<std::string>{"CDEF", "DRIVER", "HUB", "INITA",
+                                   "WORKB"}));
+  // Unknown units invalidate only themselves.
+  EXPECT_EQ(incr::invalidated_by_edit(g, "NOSUCH"),
+            (std::set<std::string>{"NOSUCH"}));
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+TEST(Plan, UsableForEverySuiteAppAndKeyedByClosure) {
+  for (const auto& app : suite::perfect_suite()) {
+    auto plan = incr::make_plan(app.source, app.annotations, kFnvOffset);
+    EXPECT_TRUE(plan.usable) << app.name;
+    EXPECT_FALSE(plan.entries.empty()) << app.name;
+  }
+}
+
+TEST(Plan, UnusableOnUnsplittableSource) {
+  auto plan = incr::make_plan("X = 1\n", "", kFnvOffset);
+  EXPECT_FALSE(plan.usable);
+}
+
+TEST(Plan, EditChangesExactlyTheInvalidatedKeys) {
+  auto app = shaped_app();
+  auto before = incr::make_plan(app.source, app.annotations, kFnvOffset);
+  ASSERT_TRUE(before.usable);
+  std::string edited = incr::mutate_unit(app.source, "CDEF", 11);
+  auto after = incr::make_plan(edited, app.annotations, kFnvOffset);
+  ASSERT_TRUE(after.usable);
+  std::set<std::string> expected{"CDEF", "DRIVER", "INITA"};
+  for (const auto& [name, entry] : before.entries) {
+    const incr::PlanEntry* e = after.find(name);
+    ASSERT_TRUE(e != nullptr) << name;
+    if (expected.count(name))
+      EXPECT_NE(entry.key, e->key) << name;
+    else
+      EXPECT_EQ(entry.key, e->key) << name;
+    // Only the edited unit's own fingerprint moves.
+    if (name == "CDEF")
+      EXPECT_NE(entry.own_fp, e->own_fp);
+    else
+      EXPECT_EQ(entry.own_fp, e->own_fp) << name;
+  }
+}
+
+TEST(Plan, OptionsHashSeparatesConfigs) {
+  auto app = shaped_app();
+  PipelineOptions none;
+  PipelineOptions conv;
+  conv.config = InlineConfig::Conventional;
+  auto pa = incr::make_plan(app.source, app.annotations,
+                            driver::hash_pipeline_options(kFnvOffset, none));
+  auto pb = incr::make_plan(app.source, app.annotations,
+                            driver::hash_pipeline_options(kFnvOffset, conv));
+  ASSERT_TRUE(pa.usable);
+  ASSERT_TRUE(pb.usable);
+  for (const auto& [name, entry] : pa.entries)
+    EXPECT_NE(entry.key, pb.find(name)->key) << name;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+incr::UnitSnapshot sample_snapshot() {
+  incr::UnitSnapshot snap;
+  snap.do_count = 5;
+  fir::OmpInfo omp;
+  omp.parallel = true;
+  omp.privates = {"I", "T"};
+  omp.firstprivates = {"S"};
+  omp.reductions.push_back({"+", "ACC"});
+  omp.nowait = true;
+  snap.marks.push_back({2, omp});
+  fir::OmpInfo plain;
+  plain.parallel = true;
+  snap.marks.push_back({4, plain});
+  par::LoopVerdict v;
+  v.origin_id = 42;
+  v.unit = "WORKB";
+  v.do_var = "I";
+  v.parallel = false;
+  v.reason = "scalar S written";
+  par::Blocker b;
+  b.kind = par::Blocker::Kind::Scalar;
+  b.subject = "S";
+  v.blockers.push_back(b);
+  snap.par.loops.push_back(v);
+  snap.par.parallelized = 1;
+  snap.par.dep_tests = 17;
+  snap.par.dep_tests_unique = 9;
+  return snap;
+}
+
+TEST(Snapshot, SerializeRoundTripPreservesEverything) {
+  incr::UnitSnapshot snap = sample_snapshot();
+  std::string text = serialize_snapshot(snap);
+  auto back = incr::deserialize_snapshot(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->do_count, snap.do_count);
+  ASSERT_EQ(back->marks.size(), snap.marks.size());
+  EXPECT_EQ(back->marks[0].do_index, 2u);
+  EXPECT_TRUE(back->marks[0].omp.parallel);
+  EXPECT_EQ(back->marks[0].omp.privates, snap.marks[0].omp.privates);
+  EXPECT_EQ(back->marks[0].omp.firstprivates,
+            snap.marks[0].omp.firstprivates);
+  ASSERT_EQ(back->marks[0].omp.reductions.size(), 1u);
+  EXPECT_EQ(back->marks[0].omp.reductions[0].op, "+");
+  EXPECT_EQ(back->marks[0].omp.reductions[0].var, "ACC");
+  EXPECT_TRUE(back->marks[0].omp.nowait);
+  EXPECT_EQ(back->marks[1].do_index, 4u);
+  ASSERT_EQ(back->par.loops.size(), 1u);
+  EXPECT_EQ(back->par.loops[0].origin_id, 42);
+  EXPECT_EQ(back->par.loops[0].unit, "WORKB");
+  EXPECT_EQ(back->par.loops[0].reason, "scalar S written");
+  ASSERT_EQ(back->par.loops[0].blockers.size(), 1u);
+  EXPECT_EQ(back->par.loops[0].blockers[0].kind, par::Blocker::Kind::Scalar);
+  EXPECT_EQ(back->par.loops[0].blockers[0].subject, "S");
+  EXPECT_EQ(back->par.parallelized, 1);
+  EXPECT_EQ(back->par.dep_tests, 17u);
+  EXPECT_EQ(back->par.dep_tests_unique, 9u);
+}
+
+TEST(Snapshot, DeserializeRejectsGarbageAndWrongVersion) {
+  EXPECT_FALSE(incr::deserialize_snapshot("").has_value());
+  EXPECT_FALSE(incr::deserialize_snapshot("not a snapshot").has_value());
+  std::string text = serialize_snapshot(sample_snapshot());
+  std::string wrong = text;
+  size_t at = wrong.find("APUNIT 1");
+  ASSERT_NE(at, std::string::npos);
+  wrong.replace(at, 8, "APUNIT 999");
+  EXPECT_FALSE(incr::deserialize_snapshot(wrong).has_value());
+}
+
+TEST(Snapshot, ApplyRejectsDoShapeMismatch) {
+  auto app = shaped_app();
+  auto prog = test::parse_ok(app.source);
+  ASSERT_TRUE(prog);
+  fir::ProgramUnit* unit = prog->find_unit("WORKB");
+  ASSERT_TRUE(unit != nullptr);
+  incr::UnitSnapshot snap;
+  snap.do_count = 99;  // WORKB has one DO loop
+  EXPECT_FALSE(incr::apply_snapshot(*unit, snap));
+  snap.do_count = 1;
+  snap.marks.push_back({7, fir::OmpInfo{}});  // index out of range
+  EXPECT_FALSE(incr::apply_snapshot(*unit, snap));
+}
+
+// ---------------------------------------------------------------------------
+// Unit cache store
+// ---------------------------------------------------------------------------
+
+TEST(UnitCacheStore, MemoryLruEvictsOldest) {
+  incr::UnitCache cache(2);
+  cache.store(1, 101, sample_snapshot());
+  cache.store(2, 102, sample_snapshot());
+  EXPECT_TRUE(cache.find(1, 101).has_value());  // 1 is now MRU
+  cache.store(3, 103, sample_snapshot());       // evicts 2
+  EXPECT_EQ(cache.memory_entries(), 2u);
+  EXPECT_TRUE(cache.find(1, 101).has_value());
+  EXPECT_FALSE(cache.find(2, 102).has_value());
+  EXPECT_TRUE(cache.find(3, 103).has_value());
+  incr::IncrStats s = cache.stats();
+  EXPECT_EQ(s.stores, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.memory_hits, 3u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(UnitCacheStore, DiskTierSurvivesRestartAndPromotes) {
+  TempDir dir("disk");
+  uint64_t key = 0xabcdef12345678ull;
+  {
+    incr::UnitCache cache(8, dir.path.string());
+    cache.store(key, 7, sample_snapshot());
+  }
+  incr::UnitCache cache(8, dir.path.string());
+  EXPECT_EQ(cache.memory_entries(), 0u);
+  auto hit = cache.find(key, 7);  // disk hit, promoted to memory
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->par.dep_tests, 17u);
+  EXPECT_EQ(cache.memory_entries(), 1u);
+  EXPECT_TRUE(cache.find(key, 7).has_value());  // now a memory hit
+  incr::IncrStats s = cache.stats();
+  EXPECT_EQ(s.disk_hits, 1u);
+  EXPECT_EQ(s.memory_hits, 1u);
+}
+
+TEST(UnitCacheStore, DiskTierRejectsWrongFormatVersion) {
+  TempDir dir("version");
+  uint64_t key = 42;
+  {
+    incr::UnitCache cache(8, dir.path.string());
+    cache.store(key, 7, sample_snapshot());
+  }
+  // Corrupt every stored file's version stamp.
+  for (const auto& e : fs::directory_iterator(dir.path)) {
+    std::ifstream in(e.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    size_t at = text.find("APUNIT");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 8, "APUNIT 0");
+    std::ofstream(e.path(), std::ios::trunc) << text;
+  }
+  incr::UnitCache cache(8, dir.path.string());
+  EXPECT_FALSE(cache.find(key, 7).has_value());
+}
+
+TEST(UnitCacheStore, MissWithKnownFingerprintCountsAsInvalidated) {
+  incr::UnitCache cache(8);
+  cache.store(/*key=*/100, /*own_fp=*/55, sample_snapshot());
+  bool invalidated = false;
+  // Same unit fingerprint under a new key: a dependency changed.
+  EXPECT_FALSE(cache.find(/*key=*/200, /*own_fp=*/55, &invalidated));
+  EXPECT_TRUE(invalidated);
+  // Unknown fingerprint: a plain (cold or self-edit) miss.
+  invalidated = false;
+  EXPECT_FALSE(cache.find(/*key=*/300, /*own_fp=*/66, &invalidated));
+  EXPECT_FALSE(invalidated);
+  incr::IncrStats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.invalidated_by_dep, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: incremental == cold
+// ---------------------------------------------------------------------------
+
+TEST(Incremental, WarmRecompileIsBitIdenticalForAllAppsAndConfigs) {
+  for (const auto& app : suite::perfect_suite()) {
+    for (InlineConfig cfg : {InlineConfig::None, InlineConfig::Conventional,
+                             InlineConfig::Annotation}) {
+      incr::UnitCache cache(4096);
+      PipelineOptions opts;
+      opts.config = cfg;
+      PipelineResult cold = driver::run_pipeline(app, opts);
+      ASSERT_TRUE(cold.ok) << app.name;
+
+      PipelineOptions iopts = opts;
+      iopts.unit_cache = &cache;
+      PipelineResult fill = driver::run_pipeline(app, iopts);
+      PipelineResult warm = driver::run_pipeline(app, iopts);
+      std::string what =
+          app.name + std::string("/") + driver::config_name(cfg);
+      expect_identical(fill, cold, what + " (fill)");
+      expect_identical(warm, cold, what + " (warm)");
+      // The fill run computes everything; the warm run computes nothing.
+      EXPECT_EQ(fill.unit_hits, 0u) << what;
+      EXPECT_GT(fill.unit_misses, 0u) << what;
+      EXPECT_GT(warm.unit_hits, 0u) << what;
+      EXPECT_EQ(warm.unit_misses, 0u) << what;
+    }
+  }
+}
+
+TEST(Incremental, SeededEditsExactCountersAndIdenticalRuns) {
+  auto app = shaped_app();
+  struct Case {
+    const char* unit;
+    size_t invalidated_set;  // |invalidated_by_edit|, edited unit included
+  };
+  // The closure sizes proven exact in DepGraph.InvalidationSets...
+  const Case cases[] = {{"LEAF", 2}, {"CDEF", 3}, {"HUB", 5}};
+  for (const auto& c : cases) {
+    incr::UnitCache cache(4096);
+    PipelineOptions opts;  // config None: all six units survive to the end
+    opts.unit_cache = &cache;
+    PipelineResult fill = driver::run_pipeline(app, opts);
+    ASSERT_TRUE(fill.ok);
+    EXPECT_EQ(fill.unit_misses, 6u) << c.unit;
+
+    suite::BenchmarkApp edited = app;
+    edited.source = incr::mutate_unit(app.source, c.unit, 31);
+    ASSERT_NE(edited.source, app.source) << c.unit;
+
+    PipelineResult incr_r = driver::run_pipeline(edited, opts);
+    ASSERT_TRUE(incr_r.ok) << c.unit;
+    // Exactly the dependence closure recompiles; of those, all but the
+    // edited unit itself are misses with an unchanged own fingerprint.
+    EXPECT_EQ(incr_r.unit_misses, c.invalidated_set) << c.unit;
+    EXPECT_EQ(incr_r.unit_hits, 6u - c.invalidated_set) << c.unit;
+    EXPECT_EQ(incr_r.unit_invalidated, c.invalidated_set - 1) << c.unit;
+
+    PipelineOptions cold_opts;
+    PipelineResult cold = driver::run_pipeline(edited, cold_opts);
+    ASSERT_TRUE(cold.ok) << c.unit;
+    expect_identical(incr_r, cold, std::string("edit ") + c.unit);
+    expect_identical_runs(*incr_r.program, *cold.program,
+                          interp::Engine::Tree,
+                          std::string("tree run, edit ") + c.unit);
+    expect_identical_runs(*incr_r.program, *cold.program,
+                          interp::Engine::Bytecode,
+                          std::string("bytecode run, edit ") + c.unit);
+  }
+}
+
+TEST(Incremental, RandomizedSingleUnitEditsStayBitIdentical) {
+  // A fixed seed keeps the walk reproducible; the property under test is
+  // that *any* single-unit edit leaves incremental == cold, with the cache
+  // carried across edits the way an editor loop would.
+  std::mt19937 rng(20260808);
+  for (const char* name : {"DYFESM", "TRFD"}) {
+    const suite::BenchmarkApp* app = suite::find_app(name);
+    ASSERT_TRUE(app != nullptr) << name;
+    std::vector<std::string> units = incr::source_unit_names(app->source);
+    ASSERT_FALSE(units.empty()) << name;
+    for (InlineConfig cfg : {InlineConfig::None, InlineConfig::Annotation}) {
+      incr::UnitCache cache(4096);
+      PipelineOptions iopts;
+      iopts.config = cfg;
+      iopts.unit_cache = &cache;
+      ASSERT_TRUE(driver::run_pipeline(*app, iopts).ok) << name;
+      for (int iter = 0; iter < 4; ++iter) {
+        size_t pick = rng() % units.size();
+        int salt = static_cast<int>(rng() % 100000);
+        suite::BenchmarkApp edited = *app;
+        edited.source = incr::mutate_unit(app->source, units[pick], salt);
+        ASSERT_NE(edited.source, app->source) << name << " " << units[pick];
+        PipelineResult incr_r = driver::run_pipeline(edited, iopts);
+        PipelineOptions cold_opts;
+        cold_opts.config = cfg;
+        PipelineResult cold = driver::run_pipeline(edited, cold_opts);
+        expect_identical(incr_r, cold,
+                         std::string(name) + "/" + driver::config_name(cfg) +
+                             " edit " + units[pick]);
+      }
+    }
+  }
+}
+
+TEST(Incremental, DiskTierServesAFreshProcess) {
+  TempDir dir("e2e");
+  auto app = shaped_app();
+  PipelineResult cold = driver::run_pipeline(app, PipelineOptions{});
+  ASSERT_TRUE(cold.ok);
+  {
+    incr::UnitCache cache(4096, dir.path.string());
+    PipelineOptions opts;
+    opts.unit_cache = &cache;
+    ASSERT_TRUE(driver::run_pipeline(app, opts).ok);
+  }
+  // A new cache over the same directory — the memory tier is empty, so
+  // every unit must come back from disk.
+  incr::UnitCache cache(4096, dir.path.string());
+  PipelineOptions opts;
+  opts.unit_cache = &cache;
+  PipelineResult warm = driver::run_pipeline(app, opts);
+  expect_identical(warm, cold, "disk-tier warm");
+  EXPECT_EQ(warm.unit_hits, 6u);
+  EXPECT_EQ(warm.unit_misses, 0u);
+  EXPECT_EQ(cache.stats().disk_hits, 6u);
+}
+
+}  // namespace
+}  // namespace ap

@@ -173,10 +173,14 @@ TEST(Protocol, ResponseRoundTripEveryStatus) {
     r.has_result = true;
     r.result.ok = true;
     r.result.cache_hit = true;
+    r.result.peer_hit = true;
     r.result.parallel_loops = {3, 17, 42};
     r.result.code_lines = 120;
     r.result.dep_tests = 55;
     r.result.dep_tests_unique = 33;
+    r.result.unit_hits = 7;
+    r.result.unit_misses = 2;
+    r.result.unit_invalidated = 1;
     r.result.program_text = "      PROGRAM X\n      END\n";
     r.has_run = true;
     r.run.ok = true;
@@ -200,6 +204,10 @@ TEST(Protocol, ResponseRoundTripEveryStatus) {
     EXPECT_EQ(back.result.dep_tests_unique, r.result.dep_tests_unique);
     EXPECT_EQ(back.result.program_text, r.result.program_text);
     EXPECT_TRUE(back.result.cache_hit);
+    EXPECT_TRUE(back.result.peer_hit);
+    EXPECT_EQ(back.result.unit_hits, 7u);
+    EXPECT_EQ(back.result.unit_misses, 2u);
+    EXPECT_EQ(back.result.unit_invalidated, 1u);
     ASSERT_TRUE(back.has_run);
     EXPECT_EQ(back.run.output, r.run.output);
     EXPECT_EQ(back.run.statements, r.run.statements);
@@ -864,6 +872,10 @@ TEST(Binary, ResponseRoundTripMatchesJsonForEveryShape) {
     r.result.code_lines = 120;
     r.result.dep_tests = 55;
     r.result.dep_tests_unique = 33;
+    r.result.peer_hit = true;
+    r.result.unit_hits = 7;
+    r.result.unit_misses = 2;
+    r.result.unit_invalidated = 1;
     r.result.program_text = "      PROGRAM X\n      END\n";
     r.result.print_dump = "after pass dump";
     r.result.stopped_early = true;

@@ -10,9 +10,11 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <random>
 #include <stdexcept>
 #include <thread>
 
+#include "incr/unit_cache.h"
 #include "service/scheduler.h"
 #include "suite/suite.h"
 #include "tests/test_util.h"
@@ -438,6 +440,143 @@ TEST(SupportThreadPool, ForEachIndexPropagatesExceptions) {
                                        throw std::runtime_error("boom");
                                    }),
                std::runtime_error);
+}
+
+// Satellite: two cache instances sharing one directory under a tight byte
+// budget, with concurrent store/find traffic. The atomic temp-file+rename
+// publish must guarantee that a reader either misses or deserializes a
+// complete entry — never a torn one — and the accounting stays sane while
+// the budget forces continuous eviction.
+TEST(ResultCache, ConcurrentSharedDirFillAndEvict) {
+  TempDir dir("race");
+  // One real compile provides the payload; distinct keys simulate many.
+  service::CompileResult payload;
+  {
+    service::ResultCache seed(8);
+    service::Scheduler::Options so;
+    so.cache = &seed;
+    payload = service::Scheduler(so).run_one(tiny_job());
+    ASSERT_TRUE(payload.ok);
+  }
+  const size_t entry_bytes = service::serialize_result(payload).size();
+  // Room for ~4 entries while 64 keys circulate: eviction runs constantly.
+  const size_t budget = entry_bytes * 4 + entry_bytes / 2;
+
+  service::ResultCache a(4, dir.path.string(), budget);
+  service::ResultCache b(4, dir.path.string(), budget);
+  std::atomic<int> torn{0};
+  std::atomic<int> found{0};
+  auto hammer = [&](service::ResultCache* mine,
+                    service::ResultCache* theirs, uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      uint64_t key = 1 + rng() % 64;
+      mine->store(key, payload);
+      if (auto hit = theirs->find(1 + rng() % 64)) {
+        ++found;
+        // A torn read would truncate the text or fail field checks.
+        if (hit->program_text != payload.program_text ||
+            hit->code_lines != payload.code_lines)
+          ++torn;
+      }
+    }
+  };
+  std::thread t1(hammer, &a, &b, 101);
+  std::thread t2(hammer, &b, &a, 202);
+  std::thread t3(hammer, &a, &b, 303);
+  std::thread t4(hammer, &b, &a, 404);
+  t1.join();
+  t2.join();
+  t3.join();
+  t4.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(found.load(), 0);
+  auto sa = a.stats();
+  auto sb = b.stats();
+  // Budget enforcement really ran, and accounting never went negative
+  // (disk_bytes is unsigned: underflow would read as an enormous value).
+  EXPECT_GT(sa.disk_evictions + sb.disk_evictions, 0u);
+  EXPECT_LE(sa.disk_bytes, budget + entry_bytes);
+  EXPECT_LE(sb.disk_bytes, budget + entry_bytes);
+  // No temp files left behind by the atomic publishes.
+  size_t tmp_files = 0;
+  for (const auto& e : fs::directory_iterator(dir.path))
+    if (e.path().extension() == ".tmp") ++tmp_files;
+  EXPECT_EQ(tmp_files, 0u);
+}
+
+// Satellite: the telemetry summary splits cache hits by tier.
+TEST(Telemetry, SummarySplitsHitsByTier) {
+  TempDir dir("tiers");
+  auto j = tiny_job();
+  {
+    service::ResultCache cache(8, dir.path.string());
+    service::Scheduler::Options so;
+    so.cache = &cache;
+    service::Scheduler(so).run_one(j);
+  }
+  service::ResultCache cache(8, dir.path.string());
+  service::Telemetry telemetry;
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  so.telemetry = &telemetry;
+  service::Scheduler sched(so);
+  sched.run_batch({j});  // disk hit
+  sched.run_batch({j});  // memory hit (promoted)
+  telemetry.record_cache_stats(cache.stats());
+
+  std::string json = telemetry.to_json();
+  EXPECT_NE(json.find("\"cache_hits\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_hits_memory\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_hits_disk\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_hits_peer\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_hits_unit\": 0"), std::string::npos) << json;
+}
+
+// Scheduler + unit tier: a request-level miss consults the unit cache; a
+// request-level hit reports zero unit activity; the incr stats land in the
+// telemetry JSON.
+TEST(Scheduler, UnitTierComposesUnderRequestCache) {
+  incr::UnitCache units(256);
+  service::ResultCache cache(8);
+  service::Telemetry telemetry;
+  service::Scheduler::Options so;
+  so.cache = &cache;
+  so.telemetry = &telemetry;
+  so.unit_cache = &units;
+  service::Scheduler sched(so);
+
+  auto j = tiny_job();
+  auto cold = sched.run_one(j);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.unit_hits, 0u);
+  EXPECT_GT(cold.unit_misses, 0u);
+
+  // Request-level hit: the pipeline never runs, so no unit lookups.
+  auto warm = sched.run_one(j);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.unit_hits, 0u);
+  EXPECT_EQ(warm.unit_misses, 0u);
+
+  // A textual variant misses the request cache but reuses every unit
+  // whose dependence closure is unchanged (the tiny app has one unit, and
+  // the comment edit does not change its fingerprint).
+  auto k = j;
+  k.app.source = "C edited comment\n" + k.app.source;
+  auto incr_hit = sched.run_one(k);
+  ASSERT_TRUE(incr_hit.ok);
+  EXPECT_FALSE(incr_hit.cache_hit);
+  EXPECT_GT(incr_hit.unit_hits, 0u);
+  EXPECT_EQ(incr_hit.unit_misses, 0u);
+  EXPECT_EQ(incr_hit.program_text, cold.program_text);
+
+  sched.run_batch({j, k});
+  telemetry.record_incr_stats(units.stats());
+  std::string json = telemetry.to_json();
+  EXPECT_NE(json.find("\"incr\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"invalidated_by_dep\""), std::string::npos) << json;
 }
 
 }  // namespace
