@@ -34,12 +34,6 @@ struct Measurement {
   double p95_ms = 0;
 };
 
-double percentile(std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0;
-  size_t idx = static_cast<size_t>(p * (sorted_ms.size() - 1));
-  return sorted_ms[idx];
-}
-
 // Drive the full matrix `rounds` times over `connections` parallel
 // clients against the coordinator, collecting per-request latencies.
 Measurement drive(int port, int connections, int rounds) {
@@ -85,8 +79,8 @@ Measurement drive(int port, int connections, int rounds) {
   Measurement m;
   std::sort(latencies.begin(), latencies.end());
   m.rps = wall_s > 0 ? static_cast<double>(latencies.size()) / wall_s : 0;
-  m.p50_ms = percentile(latencies, 0.50);
-  m.p95_ms = percentile(latencies, 0.95);
+  m.p50_ms = bench::percentile(latencies, 0.50);
+  m.p95_ms = bench::percentile(latencies, 0.95);
   return m;
 }
 

@@ -85,12 +85,6 @@ struct Measurement {
   double p95_ms = 0;
 };
 
-double percentile(std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0;
-  size_t idx = static_cast<size_t>(p * (sorted_ms.size() - 1));
-  return sorted_ms[idx];
-}
-
 net::Request to_request(const service::CompileJob& job) {
   net::Request req;
   req.type = net::RequestType::Compile;
@@ -116,8 +110,8 @@ Measurement finish(std::vector<double> latencies, size_t items,
   Measurement m;
   std::sort(latencies.begin(), latencies.end());
   m.rps = wall_s > 0 ? static_cast<double>(items) / wall_s : 0;
-  m.p50_ms = percentile(latencies, 0.50);
-  m.p95_ms = percentile(latencies, 0.95);
+  m.p50_ms = bench::percentile(latencies, 0.50);
+  m.p95_ms = bench::percentile(latencies, 0.95);
   return m;
 }
 

@@ -5,6 +5,7 @@
 
 #include "dist/shard.h"
 #include "net/client.h"
+#include "obs/histogram.h"
 #include "service/cache.h"
 
 namespace ap::dist {
@@ -12,6 +13,10 @@ namespace ap::dist {
 namespace {
 
 using clock = std::chrono::steady_clock;
+
+double ms_since(clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+}
 
 // Routing fingerprint: the content cache key for a single compile/run; a
 // batch hashes its items' keys together (FNV-style fold), so identical
@@ -55,11 +60,16 @@ bool Coordinator::start(std::string* err) {
   no.idle_timeout_ms = opts_.idle_timeout_ms;
   no.role = "coordinator";
   no.telemetry = opts_.telemetry;
-  no.executor = [this](const net::Request& req) { return route(req); };
+  no.slow_ms = opts_.slow_ms;
+  no.executor = [this](const net::Request& req,
+                       std::vector<obs::Span>* spans) {
+    return route(req, spans);
+  };
   no.control = [this](const net::Request& req, net::Response* resp) {
     return control(req, resp);
   };
   no.extra_metrics = [this](json::Value* out) { fleet_metrics(out); };
+  no.extra_stats = [this](json::Value* out) { fleet_stats_extra(out); };
   server_ = std::make_unique<net::Server>(no);
   if (!server_->start(err)) {
     server_.reset();
@@ -153,7 +163,8 @@ std::shared_ptr<net::Channel> Coordinator::channel_for(
 // Routing plane (worker lanes)
 // ---------------------------------------------------------------------------
 
-net::Response Coordinator::route(const net::Request& req) {
+net::Response Coordinator::route(const net::Request& req,
+                                 std::vector<obs::Span>* spans) {
   net::Response resp;
   resp.id = req.id;
 
@@ -209,6 +220,7 @@ net::Response Coordinator::route(const net::Request& req) {
     fwd.attempt = attempt;
     net::Response out;
     bool delivered = false;
+    auto t_fwd = clock::now();
     // Forward over the worker's pooled, pipelined channel — lanes share
     // one connection per worker instead of dialing per request. One
     // immediate same-worker retry after a reset: a transport error often
@@ -227,11 +239,29 @@ net::Response Coordinator::route(const net::Request& req) {
       ch->reset();  // don't leave a poisoned stream pooled
       transport_failure = true;
       membership_.note_failure(id);
+      if (spans)
+        spans->push_back(
+            {"forward", id + " transport_failure", ms_since(t_fwd), {}});
       continue;
     }
     membership_.note_success(id);
-    if (out.status == net::Status::Overloaded) continue;  // busy, not sick
+    if (out.status == net::Status::Overloaded) {  // busy, not sick
+      if (spans)
+        spans->push_back({"forward", id + " overloaded", ms_since(t_fwd), {}});
+      continue;
+    }
     ++forwarded_;
+    if (spans) {
+      // Graft the worker's span subtree (carried back in its response)
+      // under this hop's forward span; the coordinator's serving core
+      // roots the result, so the final tree covers every fleet hop.
+      obs::Span hop{"forward", id, ms_since(t_fwd), {}};
+      obs::Span sub;
+      if (out.trace.is_object() && obs::span_from_json(out.trace, &sub))
+        hop.children.push_back(std::move(sub));
+      out.trace = json::Value();  // replaced by the coordinator's own tree
+      spans->push_back(std::move(hop));
+    }
     out.id = req.id;
     return out;
   }
@@ -307,6 +337,31 @@ void Coordinator::fleet_metrics(json::Value* out) const {
   }
   fleet.set("workers", std::move(workers));
   out->set("fleet", std::move(fleet));
+}
+
+void Coordinator::fleet_stats_extra(json::Value* out) const {
+  // Fold each worker's heartbeat-carried histogram bundle bucket-wise
+  // into fleet-wide quantiles. Merge is associative and commutative, so
+  // the fold order (and heartbeat arrival order) is irrelevant.
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> merged;
+  auto slot = [&](const std::string& name) -> obs::HistogramSnapshot* {
+    for (auto& [n, s] : merged)
+      if (n == name) return &s;
+    merged.emplace_back(name, obs::HistogramSnapshot{});
+    return &merged.back().second;
+  };
+  int64_t reporting = 0;
+  for (const Member& m : membership_.snapshot()) {
+    if (m.load.hist.empty()) continue;
+    std::vector<std::pair<std::string, obs::HistogramSnapshot>> set;
+    if (!obs::decode_histogram_set(m.load.hist, &set)) continue;
+    ++reporting;
+    for (auto& [name, snap] : set) slot(name)->merge(snap);
+  }
+  json::Value fh = json::Value::object();
+  fh.set("workers_reporting", reporting);
+  for (auto& [name, snap] : merged) fh.set(name, snap.summary_json());
+  out->set("fleet_hist", std::move(fh));
 }
 
 void Coordinator::tick_main() {

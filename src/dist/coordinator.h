@@ -56,6 +56,9 @@ struct CoordinatorOptions {
   // unsaturated worker in the rendezvous ranking (cache affinity is kept
   // within each group). 0 disables the demotion.
   int64_t saturation_queue_depth = 8;
+  // Flight recorder: dump the recent-event ring when a routed request
+  // exceeds this (0 = never). See ServerOptions::slow_ms.
+  int64_t slow_ms = 0;
   Membership::Options membership;
   service::Telemetry* telemetry = nullptr;
 };
@@ -90,9 +93,17 @@ class Coordinator {
     std::shared_ptr<net::Channel> ch;
   };
 
-  net::Response route(const net::Request& req);
+  // Routes one admitted request. When the request is traced, appends one
+  // "forward" span per attempted worker (failed attempts marked) with the
+  // worker's own span subtree — carried back in its response — grafted
+  // under the successful one.
+  net::Response route(const net::Request& req,
+                      std::vector<obs::Span>* spans);
   bool control(const net::Request& req, net::Response* resp);
   void fleet_metrics(json::Value* out) const;
+  // Folds heartbeat-carried worker histogram summaries into fleet-wide
+  // quantiles for `stats` responses.
+  void fleet_stats_extra(json::Value* out) const;
   void tick_main();
   std::shared_ptr<net::Channel> channel_for(const net::WorkerInfo& w);
   void retire_locked(const ChannelEntry& e);  // channels_mu_ held

@@ -42,10 +42,12 @@ bool Worker::start(std::string* err) {
   so.telemetry = opts_.telemetry;
   so.unit_cache = opts_.unit_cache;
   if (opts_.coordinator_port > 0) {
-    so.peer_lookup = [this](uint64_t key) { return peer_lookup(key); };
-    so.on_store = [this](uint64_t key, const service::CompileResult& r) {
-      replicate(key, r);
+    so.peer_lookup = [this](uint64_t key, uint64_t trace_id,
+                            obs::Span* span) {
+      return peer_lookup(key, trace_id, span);
     };
+    so.on_store = [this](uint64_t key, const service::CompileResult& r,
+                         uint64_t trace_id) { replicate(key, r, trace_id); };
   }
   scheduler_ = std::make_unique<service::Scheduler>(so);
 
@@ -59,6 +61,7 @@ bool Worker::start(std::string* err) {
   no.role = "worker";
   no.scheduler = scheduler_.get();
   no.telemetry = opts_.telemetry;
+  no.slow_ms = opts_.slow_ms;
   no.control = [this](const net::Request& req, net::Response* resp) {
     return control(req, resp);
   };
@@ -223,34 +226,57 @@ static std::vector<net::WorkerInfo> ranked_peers(
   return out;
 }
 
-std::optional<service::CompileResult> Worker::peer_lookup(uint64_t key) {
+std::optional<service::CompileResult> Worker::peer_lookup(uint64_t key,
+                                                          uint64_t trace_id,
+                                                          obs::Span* span) {
   auto candidates = ranked_peers(peers(), id_, key);
   int budget = std::max(0, opts_.probe_peers);
   for (const auto& peer : candidates) {
     if (budget-- <= 0) break;
+    auto t0 = clock::now();
+    auto probe_span = [&](const char* outcome) {
+      if (span)
+        span->children.push_back(
+            {"peer:probe", peer.id + " " + outcome,
+             std::chrono::duration<double, std::milli>(clock::now() - t0)
+                 .count(),
+             {}});
+    };
     net::Client client;
     std::string err;
     if (!client.connect(peer.host.empty() ? "127.0.0.1" : peer.host,
                         peer.port, &err,
-                        static_cast<int>(opts_.peer_timeout_ms)))
+                        static_cast<int>(opts_.peer_timeout_ms))) {
+      probe_span("unreachable");
       continue;
+    }
     net::Request req;
     req.type = net::RequestType::CacheProbe;
     req.key = net::format_key(key);
+    req.trace_id = trace_id;
     net::Response resp;
     probes_sent_.fetch_add(1);
-    if (!client.call(std::move(req), &resp, &err)) continue;
-    if (resp.status != net::Status::Ok || !resp.found) continue;
+    if (!client.call(std::move(req), &resp, &err)) {
+      probe_span("unreachable");
+      continue;
+    }
+    if (resp.status != net::Status::Ok || !resp.found) {
+      probe_span("miss");
+      continue;
+    }
     if (auto r = service::deserialize_result(resp.payload)) {
       probe_hits_.fetch_add(1);
       peer_hits_.fetch_add(1);
+      probe_span("hit");
       return r;
     }
+    probe_span("miss");
   }
   return std::nullopt;
 }
 
-void Worker::replicate(uint64_t key, const service::CompileResult& r) {
+void Worker::replicate(uint64_t key, const service::CompileResult& r,
+                       uint64_t trace_id) {
   if (opts_.replicate <= 0) return;
   auto candidates = ranked_peers(peers(), id_, key);
   if (candidates.empty()) return;
@@ -268,6 +294,7 @@ void Worker::replicate(uint64_t key, const service::CompileResult& r) {
     req.type = net::RequestType::CacheFill;
     req.key = net::format_key(key);
     req.payload = payload;
+    req.trace_id = trace_id;
     net::Response resp;
     if (client.call(std::move(req), &resp, &err) &&
         resp.status == net::Status::Ok)
@@ -298,6 +325,9 @@ bool Worker::send_heartbeat(bool leaving) {
   req.load.cache_hits = cs.hits();
   req.load.cache_misses = cs.misses;
   req.load.peer_hits = peer_hits_.load();
+  // Latency summaries ride each heartbeat; the coordinator merges them
+  // bucket-wise into fleet-wide quantiles.
+  req.load.hist = obs::encode_histogram_set(server_->histogram_snapshots());
   net::Response resp;
   if (!client.call(std::move(req), &resp, &err)) return false;
   if (resp.status != net::Status::Ok) return false;

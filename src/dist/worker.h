@@ -61,6 +61,9 @@ struct WorkerOptions {
   int64_t peer_timeout_ms = 2'000;  // per probe/fill/heartbeat call
   int probe_peers = 2;           // peers probed per local miss
   int replicate = 1;             // peers filled per fresh compile
+  // Flight recorder: dump the recent-event ring when a served request
+  // exceeds this (0 = never). See ServerOptions::slow_ms.
+  int64_t slow_ms = 0;
   service::ResultCache* cache = nullptr;     // required
   service::Telemetry* telemetry = nullptr;   // optional
   incr::UnitCache* unit_cache = nullptr;     // optional incremental tier
@@ -100,8 +103,15 @@ class Worker {
 
  private:
   bool control(const net::Request& req, net::Response* resp);
-  std::optional<service::CompileResult> peer_lookup(uint64_t key);
-  void replicate(uint64_t key, const service::CompileResult& r);
+  // Probes ride the originating request's trace context: `trace_id` is
+  // stamped on the wire (0 = untraced) so the peer's flight recorder
+  // correlates, and a non-null `span` collects one "peer:probe" child per
+  // peer tried (detail: peer id + hit/miss/unreachable).
+  std::optional<service::CompileResult> peer_lookup(uint64_t key,
+                                                    uint64_t trace_id,
+                                                    obs::Span* span);
+  void replicate(uint64_t key, const service::CompileResult& r,
+                 uint64_t trace_id);
   void heartbeat_main();
   bool send_heartbeat(bool leaving);
   void adopt_peers(const std::vector<net::WorkerInfo>& peers);

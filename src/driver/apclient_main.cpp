@@ -15,6 +15,16 @@
 //   --matrix             drive the full 12×3 suite matrix
 //   --ping               liveness probe
 //   --metrics            print the server's cache/server counters
+//   --stats              print the live stats plane: everything --metrics
+//                        shows plus per-type and per-cache-outcome latency
+//                        quantiles (p50/p90/p99/max), trace and flight
+//                        recorder counters, and — on a coordinator — the
+//                        fleet-wide histogram merge. Answered on the
+//                        daemon's loop thread: polling never queues behind
+//                        compile work or drains anything.
+//   --top N              poll --stats N times (every --interval-ms) and
+//                        render the busiest request types as a latency
+//                        leaderboard, sorted by request count
 //
 // Options:
 //   --coordinator        expect a fleet coordinator behind --port: perform
@@ -61,11 +71,20 @@
 //                        reverse-inline, collect-metrics)
 //   --print-after PASS   print the program as unparsed after the named
 //                        pass (single-shot modes print it to stdout)
+//   --trace              (single-shot modes) request a distributed trace:
+//                        the response carries the request's span tree —
+//                        queueing, cache tiers, peer probes, every fleet
+//                        hop, per-pass compile times — rendered to stdout
+//                        with a verification line ("trace ok: ...").
+//                        Exits 4 when the tree is malformed (a span's wall
+//                        time fails to cover its children's sum)
+//   --interval-ms N      (--top) poll interval (default 1000)
 //   --deadline-ms N      per-request deadline override
 //   --timeout-ms N       client-side receive timeout (default 120000)
 //   --quiet              suppress the Table II summary
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,6 +96,7 @@
 
 #include "incr/fingerprint.h"
 #include "net/client.h"
+#include "obs/trace.h"
 #include "service/scheduler.h"
 #include "suite/suite.h"
 
@@ -98,6 +118,10 @@ struct Args {
   bool matrix = false;
   bool ping = false;
   bool metrics = false;
+  bool stats = false;
+  int top = 0;
+  int64_t interval_ms = 1'000;
+  bool trace = false;
   bool run = false;
   bool check = false;
   bool quiet = false;
@@ -119,7 +143,8 @@ struct Args {
   std::fprintf(stderr,
                "apclient: %s\nusage: apclient --port N [--coordinator] "
                "[FILE.f | --app NAME "
-               "| --matrix | --ping | --metrics] [--annot FILE] "
+               "| --matrix | --ping | --metrics | --stats | --top N] "
+               "[--trace] [--interval-ms N] [--annot FILE] "
                "[--config none|conv|annot] [--run] [--engine tree|bytecode] "
                "[--run-threads N] [--connections N] [--pipeline N] "
                "[--batch N] [--codec auto|json|binary] [--check] "
@@ -155,6 +180,16 @@ Args parse_args(int argc, char** argv) {
       a.ping = true;
     } else if (arg == "--metrics") {
       a.metrics = true;
+    } else if (arg == "--stats") {
+      a.stats = true;
+    } else if (arg == "--top") {
+      a.top = std::atoi(value());
+      if (a.top < 1) usage_error("--top must be >= 1");
+    } else if (arg == "--interval-ms") {
+      a.interval_ms = std::atol(value());
+      if (a.interval_ms < 1) usage_error("--interval-ms must be >= 1");
+    } else if (arg == "--trace") {
+      a.trace = true;
     } else if (arg == "--run") {
       a.run = true;
     } else if (arg == "--check") {
@@ -217,10 +252,12 @@ Args parse_args(int argc, char** argv) {
   }
   if (a.port < 0) usage_error("--port is required");
   int modes = (!a.source_file.empty()) + (!a.app_name.empty()) + a.matrix +
-              a.ping + a.metrics;
+              a.ping + a.metrics + a.stats + (a.top > 0);
   if (modes != 1)
     usage_error("pick exactly one of FILE.f, --app, --matrix, --ping, "
-                "--metrics");
+                "--metrics, --stats, --top");
+  if (a.trace && a.source_file.empty() && (a.app_name.empty() || a.edit_loop))
+    usage_error("--trace applies to single-shot FILE.f / --app modes");
   if (a.batch > 0 && a.run)
     usage_error("--batch is compile-only (incompatible with --run)");
   if (a.batch > 0 && !a.matrix) usage_error("--batch requires --matrix");
@@ -597,6 +634,7 @@ int run_single(const Args& args) {
   req.options.stop_after = args.stop_after;
   req.options.print_after = args.print_after;
   req.type = args.run ? net::RequestType::Run : net::RequestType::Compile;
+  req.trace = args.trace;
   if (args.run) {
     req.interp.engine = args.engine;
     req.interp.num_threads = args.run_threads;
@@ -642,6 +680,29 @@ int run_single(const Args& args) {
                  static_cast<unsigned long long>(resp.run.statements_parallel),
                  resp.run.wall_ms);
   }
+  if (args.trace) {
+    obs::Span root;
+    if (!resp.trace.is_object() || !obs::span_from_json(resp.trace, &root)) {
+      std::fprintf(stderr,
+                   "apclient: trace requested but the response carried no "
+                   "span tree\n");
+      return 4;
+    }
+    std::fputs(obs::render_span_tree(root).c_str(), stdout);
+    size_t spans = obs::span_count(root);
+    size_t violations = obs::span_tree_violations(root);
+    if (violations) {
+      std::fprintf(stderr,
+                   "apclient: trace MALFORMED: %zu of %zu spans have a wall "
+                   "time below the sum of their children\n",
+                   violations, spans);
+      return 4;
+    }
+    std::fprintf(stderr,
+                 "apclient: trace ok: %zu spans, 0 orphans, every span's "
+                 "wall covers its children\n",
+                 spans);
+  }
   return 0;
 }
 
@@ -665,10 +726,78 @@ int run_probe(const Args& args, net::RequestType type) {
                  resp.error.c_str());
     return 1;
   }
-  if (type == net::RequestType::Metrics)
-    std::printf("%s\n", resp.metrics.dump(2).c_str());
-  else
+  if (type == net::RequestType::Ping)
     std::printf("pong\n");
+  else
+    std::printf("%s\n", resp.metrics.dump(2).c_str());
+  return 0;
+}
+
+// --top: poll the stats plane and render the busiest request types as a
+// latency leaderboard, one refresh per round.
+int run_top(const Args& args) {
+  net::Client client;
+  std::string err;
+  if (!client.connect(args.port, &err, args.timeout_ms) ||
+      !setup_codec(&client, args, &err)) {
+    std::fprintf(stderr, "apclient: %s\n", err.c_str());
+    return 1;
+  }
+  for (int round = 0; round < args.top; ++round) {
+    if (round)
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+    net::Request req;
+    req.type = net::RequestType::Stats;
+    net::Response resp;
+    if (!client.call(std::move(req), &resp, &err)) {
+      std::fprintf(stderr, "apclient: %s\n", err.c_str());
+      return 1;
+    }
+    if (resp.status != net::Status::Ok) {
+      std::fprintf(stderr, "apclient: %s: %s\n",
+                   net::status_name(resp.status), resp.error.c_str());
+      return 1;
+    }
+    int64_t completed = 0, accepted = 0;
+    if (const json::Value* server = resp.metrics.find("server")) {
+      if (const json::Value* v = server->find("completed"))
+        completed = v->as_int();
+      if (const json::Value* v = server->find("accepted"))
+        accepted = v->as_int();
+    }
+    std::printf("apserved stats (round %d/%d): %lld accepted, %lld "
+                "completed\n",
+                round + 1, args.top, static_cast<long long>(accepted),
+                static_cast<long long>(completed));
+    std::printf("%-18s %10s %10s %10s %10s %10s\n", "type", "count",
+                "p50_ms", "p90_ms", "p99_ms", "max_ms");
+    // Rows sorted by count, descending; ties keep the server's order.
+    std::vector<std::pair<int64_t, const std::pair<std::string, json::Value>*>>
+        rows;
+    if (const json::Value* hist = resp.metrics.find("hist")) {
+      for (const auto& entry : hist->members()) {
+        const json::Value* count = entry.second.find("count");
+        rows.push_back({count ? count->as_int() : 0, &entry});
+      }
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    for (const auto& [count, entry] : rows) {
+      const json::Value& s = entry->second;
+      auto field = [&](const char* k) {
+        const json::Value* v = s.find(k);
+        return v ? v->as_double() : 0.0;
+      };
+      std::printf("%-18s %10lld %10.3f %10.3f %10.3f %10.3f\n",
+                  entry->first.c_str(), static_cast<long long>(count),
+                  field("p50_ms"), field("p90_ms"), field("p99_ms"),
+                  field("max_ms"));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -719,5 +848,7 @@ int main(int argc, char** argv) {
   if (args.edit_loop > 0) return run_edit_loop(args);
   if (args.ping) return run_probe(args, net::RequestType::Ping);
   if (args.metrics) return run_probe(args, net::RequestType::Metrics);
+  if (args.stats) return run_probe(args, net::RequestType::Stats);
+  if (args.top > 0) return run_top(args);
   return run_single(args);
 }

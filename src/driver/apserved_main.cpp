@@ -58,6 +58,10 @@
 //                          request before giving up (default 3)
 //   --replicate N          (--worker) peers to push each fresh result to
 //                          (default 1)
+//   --slow-ms N            dump the flight recorder (the ring of recent
+//                          request events) to stderr whenever a request
+//                          exceeds N ms (default 0 = never). SIGUSR1
+//                          dumps the ring on demand in every role.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -97,6 +101,7 @@ struct Args {
   int64_t dead_after_ms = 6'000;
   int max_attempts = 3;
   int replicate = 1;
+  int64_t slow_ms = 0;
   bool incremental = false;
   std::string json_out = "-";
 };
@@ -119,7 +124,7 @@ std::unique_ptr<incr::UnitCache> make_unit_cache(const Args& args) {
       "[--cache-max-mb N] [--max-queue N] [--request-timeout-ms N] "
       "[--drain-timeout-ms N] [--idle-timeout-ms N] [--json FILE] [--id ID] "
       "[--heartbeat-ms N] [--suspect-after-ms N] [--dead-after-ms N] "
-      "[--max-attempts N] [--replicate N] [--incremental]\n",
+      "[--max-attempts N] [--replicate N] [--slow-ms N] [--incremental]\n",
       msg);
   std::exit(64);
 }
@@ -200,6 +205,9 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--replicate") {
       a.replicate = std::atoi(value());
       if (a.replicate < 0) usage_error("--replicate must be >= 0");
+    } else if (arg == "--slow-ms") {
+      a.slow_ms = std::atol(value());
+      if (a.slow_ms < 0) usage_error("--slow-ms must be >= 0");
     } else if (arg == "--incremental") {
       a.incremental = true;
     } else if (arg == "--json") {
@@ -218,13 +226,14 @@ Args parse_args(int argc, char** argv) {
 }
 
 // Signal handlers may only touch async-signal-safe state: write one byte
-// to the server's self-pipe to begin the drain.
+// to the server's self-pipe — 'q' begins the drain (SIGINT/SIGTERM), 'u'
+// dumps the flight recorder to stderr (SIGUSR1).
 volatile sig_atomic_t g_wake_fd = -1;
 
-void on_signal(int) {
+void on_signal(int signum) {
   int fd = g_wake_fd;
   if (fd >= 0) {
-    char c = 'q';
+    char c = signum == SIGUSR1 ? 'u' : 'q';
     [[maybe_unused]] ssize_t n = ::write(fd, &c, 1);
   }
 }
@@ -235,6 +244,7 @@ void install_signal_handlers(int wake_fd) {
   sa.sa_handler = on_signal;
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGUSR1, &sa, nullptr);
 }
 
 int write_report(const Args& args, service::Telemetry& telemetry) {
@@ -264,6 +274,7 @@ int run_coordinator(const Args& args) {
   co.max_attempts = args.max_attempts;
   co.membership.suspect_after_ms = args.suspect_after_ms;
   co.membership.dead_after_ms = args.dead_after_ms;
+  co.slow_ms = args.slow_ms;
   co.telemetry = &telemetry;
 
   dist::Coordinator coordinator(co);
@@ -314,6 +325,7 @@ int run_worker(const Args& args) {
   wo.coordinator_port = args.join_port;
   wo.heartbeat_interval_ms = args.heartbeat_ms;
   wo.replicate = args.replicate;
+  wo.slow_ms = args.slow_ms;
   wo.cache = &cache;
   wo.telemetry = &telemetry;
   wo.unit_cache = unit_cache.get();
@@ -371,6 +383,7 @@ int run_single(const Args& args) {
   nopts.idle_timeout_ms = args.idle_timeout_ms;
   nopts.scheduler = &scheduler;
   nopts.telemetry = &telemetry;
+  nopts.slow_ms = args.slow_ms;
 
   net::Server server(nopts);
   std::string err;

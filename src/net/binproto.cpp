@@ -316,6 +316,7 @@ void enc_worker_load(std::string* out, const WorkerLoad& l) {
   field_varint(out, 4, l.cache_hits);
   field_varint(out, 5, l.cache_misses);
   field_varint(out, 6, l.peer_hits);
+  if (!l.hist.empty()) field_str(out, 7, l.hist);
   put_u8(out, kEnd);
 }
 
@@ -332,6 +333,7 @@ bool dec_worker_load(BinReader& r, WorkerLoad* out) {
       case 4: l.cache_hits = r.varint(); break;
       case 5: l.cache_misses = r.varint(); break;
       case 6: l.peer_hits = r.varint(); break;
+      case 7: l.hist = std::string(r.str()); break;
       default:
         r.set_fail("unknown worker-load tag");
         return false;
@@ -611,6 +613,10 @@ void encode_request_binary(const Request& r, std::string* out) {
     put_varint(out, r.batch.size());
     for (const auto& b : r.batch) enc_batch_item(out, b);
   }
+  // v5 trace context, emitted only when set (unknown tags are decode
+  // errors, so pre-v5 peers never see these).
+  if (r.trace) field_bool(out, 18, true);
+  if (r.trace_id) field_varint(out, 19, r.trace_id);
   put_u8(out, kEnd);
 }
 
@@ -635,7 +641,7 @@ bool decode_request_binary(std::string_view payload, Request* out,
     switch (tag) {
       case 1: {
         unsigned char t = r.u8();
-        if (t > static_cast<unsigned char>(RequestType::CompileBatch)) {
+        if (t > static_cast<unsigned char>(RequestType::Stats)) {
           if (err) *err = "unknown request type";
           return false;
         }
@@ -669,7 +675,7 @@ bool decode_request_binary(std::string_view payload, Request* out,
       case 14: q.payload = std::string(r.str()); break;
       case 15: {
         unsigned char t = r.u8();
-        if (t > static_cast<unsigned char>(RequestType::CompileBatch)) {
+        if (t > static_cast<unsigned char>(RequestType::Stats)) {
           if (err) *err = "unknown forward inner type";
           return false;
         }
@@ -687,6 +693,8 @@ bool decode_request_binary(std::string_view payload, Request* out,
         }
         break;
       }
+      case 18: q.trace = r.boolean(); break;
+      case 19: q.trace_id = r.varint(); break;
       default:
         if (err) *err = "unknown request tag";
         return false;
@@ -743,6 +751,8 @@ void encode_response_binary(const Response& r, std::string* out) {
   // Metrics responses are rare (operator polls) and schemaless, so the
   // object travels as embedded JSON text rather than gaining TLV tags.
   if (r.metrics.is_object()) field_str(out, 6, r.metrics.dump());
+  // Span trees follow the same reasoning (per traced request, rare).
+  if (r.trace.is_object()) field_str(out, 12, r.trace.dump());
   if (r.has_hello) {
     put_u8(out, 7);
     enc_hello(out, r.hello);
@@ -840,6 +850,18 @@ bool decode_response_binary(std::string_view payload, Response* out,
             return fail(err, r, "bad batch result");
           q.batch.push_back(std::move(c));
         }
+        break;
+      }
+      case 12: {
+        std::string_view text = r.str();
+        if (r.failed()) return fail(err, r, "bad trace");
+        std::string perr;
+        std::optional<json::Value> parsed = json::parse(text, &perr);
+        if (!parsed) {
+          if (err) *err = "bad trace JSON: " + perr;
+          return false;
+        }
+        q.trace = std::move(*parsed);
         break;
       }
       default:

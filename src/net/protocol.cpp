@@ -37,6 +37,7 @@ const char* request_type_name(RequestType t) {
     case RequestType::CacheFill: return "cache_fill";
     case RequestType::Forward: return "forward";
     case RequestType::CompileBatch: return "compile_batch";
+    case RequestType::Stats: return "stats";
   }
   return "?";
 }
@@ -56,6 +57,10 @@ bool request_type_requires_v3(RequestType t) {
 
 bool request_type_requires_v4(RequestType t) {
   return t == RequestType::CompileBatch;
+}
+
+bool request_type_requires_v5(RequestType t) {
+  return t == RequestType::Stats;
 }
 
 const char* status_name(Status s) {
@@ -354,6 +359,8 @@ json::Value worker_load_to_json(const WorkerLoad& l) {
       .set("cache_hits", l.cache_hits)
       .set("cache_misses", l.cache_misses)
       .set("peer_hits", l.peer_hits);
+  // v5: emitted only when set so pre-v5 heartbeat bodies are unchanged.
+  if (!l.hist.empty()) out.set("hist", l.hist);
   return out;
 }
 
@@ -365,6 +372,7 @@ WorkerLoad worker_load_from_json(const json::Value& v) {
   l.cache_hits = static_cast<uint64_t>(get_int(v, "cache_hits", 0));
   l.cache_misses = static_cast<uint64_t>(get_int(v, "cache_misses", 0));
   l.peer_hits = static_cast<uint64_t>(get_int(v, "peer_hits", 0));
+  l.hist = get_string(v, "hist");
   return l;
 }
 
@@ -397,6 +405,9 @@ json::Value request_to_json(const Request& r) {
   out.set("v", r.version)
       .set("type", request_type_name(r.type))
       .set("id", r.id);
+  // v5 trace context, emitted only when set: pre-v5 bodies are unchanged.
+  if (r.trace) out.set("trace", true);
+  if (r.trace_id) out.set("trace_id", format_key(r.trace_id));
   if (carries_compile_payload(r.type, r.inner)) {
     out.set("name", r.name)
         .set("source", r.source)
@@ -467,11 +478,18 @@ bool request_from_json(const json::Value& v, Request* out, std::string* err) {
   else if (type == "cache_fill") r.type = RequestType::CacheFill;
   else if (type == "forward") r.type = RequestType::Forward;
   else if (type == "compile_batch") r.type = RequestType::CompileBatch;
+  else if (type == "stats") r.type = RequestType::Stats;
   else {
     if (err) *err = "unknown request type: " + type;
     return false;
   }
   r.id = get_int(v, "id", 0);
+  r.trace = get_bool(v, "trace", false);
+  std::string trace_id = get_string(v, "trace_id");
+  if (!trace_id.empty() && !parse_key(trace_id, &r.trace_id)) {
+    if (err) *err = "trace_id must be hex";
+    return false;
+  }
   if (r.type == RequestType::Forward) {
     // The inner type decides which payload shape the forward carries, so
     // it must be resolved before the payload fields.
@@ -585,6 +603,7 @@ json::Value response_to_json(const Response& r) {
   if (r.has_result) out.set("result", compile_result_to_json(r.result));
   if (r.has_run) out.set("run", run_payload_to_json(r.run));
   if (r.metrics.is_object()) out.set("metrics", r.metrics);
+  if (r.trace.is_object()) out.set("trace", r.trace);
   if (r.has_hello) {
     json::Value hello = json::Value::object();
     hello.set("min_version", r.hello.min_version)
@@ -641,6 +660,7 @@ bool response_from_json(const json::Value& v, Response* out,
     r.run = run_payload_from_json(*run);
   }
   if (const json::Value* metrics = v.find("metrics")) r.metrics = *metrics;
+  if (const json::Value* trace = v.find("trace")) r.trace = *trace;
   if (const json::Value* hello = v.find("hello")) {
     r.has_hello = true;
     r.hello.min_version =

@@ -9,6 +9,11 @@
 //                 server compiles (uncached path: execution needs the live
 //                 AST with its OMP metadata) and executes the result
 //   metrics     — no payload; returns cache + server counters
+//   stats       — v5: no payload; returns the live metrics document plus
+//                 latency-histogram summaries (per request type and per
+//                 cache outcome) and trace-store counters, answered on
+//                 the loop thread so a busy daemon can be polled without
+//                 draining
 //   ping        — no payload; liveness probe
 //   hello       — version negotiation: answered with the server's supported
 //                 version range, role, and drain state. Answered for ANY
@@ -72,6 +77,14 @@
 
 namespace ap::net {
 
+// v5: observability plane — request tracing (`"trace": true` asks every
+// hop to record spans; the response carries the assembled span tree, and
+// the minted `trace_id` propagates on forward/cache_probe/cache_fill so
+// fleet hops correlate), the `stats` request (live ServerStats +
+// latency-histogram summaries from a running daemon, answered on the
+// loop thread without draining), and heartbeat-carried histogram
+// summaries (WorkerLoad.hist) the coordinator merges into fleet-wide
+// quantiles.
 // v4: negotiated binary TLV codec (src/net/binproto.h — same message set,
 // bit-identical round-trip against this JSON codec), request pipelining
 // over one connection (ids were always echoed; v4 makes out-of-order
@@ -81,7 +94,7 @@ namespace ap::net {
 // forward), hello negotiation, unsupported_version + worker_lost statuses.
 // v2: per-pass timing records replace the fixed timing fields in compile
 // results; pipeline options gained stop_after/print_after.
-inline constexpr int kProtocolVersion = 4;
+inline constexpr int kProtocolVersion = 5;
 // v1 request bodies decode identically to v2 (absent fields keep their
 // defaults), so the full historical range stays accepted.
 inline constexpr int kMinProtocolVersion = 1;
@@ -98,6 +111,7 @@ enum class RequestType : uint8_t {
   CacheFill,
   Forward,
   CompileBatch,
+  Stats,
 };
 const char* request_type_name(RequestType t);
 
@@ -109,6 +123,10 @@ bool request_type_requires_v3(RequestType t);
 // True for the v4 types (compile_batch): older claimed versions draw
 // `unsupported_version`.
 bool request_type_requires_v4(RequestType t);
+
+// True for the v5 types (stats): older claimed versions draw
+// `unsupported_version`.
+bool request_type_requires_v5(RequestType t);
 
 enum class Status : uint8_t {
   Ok,
@@ -144,6 +162,10 @@ struct WorkerLoad {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t peer_hits = 0;    // misses answered by the peer tier instead
+  // v5: this worker's latency-histogram summaries, as the compact
+  // obs::encode_histogram_set text ("" = none reported). The coordinator
+  // merges these into fleet-wide quantiles.
+  std::string hist;
 };
 
 // Hello response payload: what the server speaks and what it is.
@@ -197,6 +219,14 @@ struct Request {
 
   // --- v4 fields ---
   std::vector<BatchItem> batch;  // compile_batch: N files in one frame
+
+  // --- v5 fields ---
+  // Ask every hop to record spans; the response's `trace` carries the
+  // assembled tree. The serving core mints `trace_id` at admission when
+  // the client left it 0; internal hops (forward/cache_probe/cache_fill)
+  // propagate the minted id so fleet-side records correlate.
+  bool trace = false;
+  uint64_t trace_id = 0;
 };
 
 // One interpreter execution, for run responses.
@@ -223,7 +253,12 @@ struct Response {
   bool has_run = false;
   RunPayload run;  // run responses
 
-  json::Value metrics;  // metrics responses (object); null otherwise
+  json::Value metrics;  // metrics and stats responses (object); null otherwise
+
+  // --- v5 fields ---
+  // Traced requests: the span tree (obs::span_to_json form) assembled by
+  // the answering server; null when the request was not traced.
+  json::Value trace;
 
   // --- v3 fleet fields ---
   bool has_hello = false;

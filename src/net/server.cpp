@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cstdio>
+#include <cstring>
 
 #include "interp/interp.h"
 #include "net/binproto.h"
@@ -25,6 +27,7 @@ using clock = std::chrono::steady_clock;
 
 constexpr char kWakeDrain = 'q';
 constexpr char kWakeNudge = 'n';
+constexpr char kWakeDump = 'u';  // SIGUSR1 hook: dump the flight recorder
 
 #ifndef AP_NET_USE_POLL
 // epoll_event.data.u64 tags: connection ids start at 1, so these two
@@ -45,7 +48,10 @@ int64_t steady_ms(clock::time_point t = clock::now()) {
 
 }  // namespace
 
-Server::Server(const ServerOptions& opts) : opts_(opts) {
+Server::Server(const ServerOptions& opts)
+    : opts_(opts),
+      flight_(opts.flight_capacity),
+      traces_(opts.trace_capacity) {
   if (opts_.threads < 1) opts_.threads = 1;
   if (opts_.max_queue < 1) opts_.max_queue = 1;
 }
@@ -258,7 +264,8 @@ void Server::loop_main() {
 #endif
     now = clock::now();
 
-    // Wake pipe: drain any pending bytes; 'q' starts the drain.
+    // Wake pipe: drain any pending bytes; 'q' starts the drain, 'u' dumps
+    // the flight recorder (the async-signal-safe SIGUSR1 hook).
     if (wake_ready) {
       char buf[256];
       ssize_t m;
@@ -272,6 +279,13 @@ void Server::loop_main() {
                     : clock::time_point::max();
             ::close(listen_fd_);  // epoll deregisters closed fds itself
             listen_fd_ = -1;
+          } else if (buf[i] == kWakeDump) {
+            std::fprintf(stderr,
+                         "apserved[%s]: flight recorder dump (%llu events "
+                         "recorded, ring of %zu):\n%s",
+                         opts_.role.c_str(),
+                         static_cast<unsigned long long>(flight_.recorded()),
+                         flight_.capacity(), flight_.dump().c_str());
           }
         }
       }
@@ -468,6 +482,7 @@ void Server::enqueue_response(const std::shared_ptr<Connection>& conn,
 
 void Server::handle_frame(const std::shared_ptr<Connection>& conn,
                           std::string_view payload) {
+  const auto t_frame = clock::now();
   // Codec dispatch: binary TLV frames open with 0xB4, JSON with '{'.
   // The reply always travels in the codec its request arrived in.
   const bool bin = is_binary_frame(payload);
@@ -591,12 +606,19 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
                             std::to_string(req.version) + ")");
     return;
   }
+  if (request_type_requires_v5(req.type) && req.version < 5) {
+    unsupported(req.id, std::string(request_type_name(req.type)) +
+                            " requires protocol v5 (request claimed v" +
+                            std::to_string(req.version) + ")");
+    return;
+  }
 
   switch (req.type) {
     case RequestType::Ping: {
       Response resp;
       resp.id = req.id;
       reply(resp);
+      record_latency(req.type, ms_since(t_frame));
       return;
     }
     case RequestType::Hello: {
@@ -608,6 +630,18 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       resp.id = req.id;
       resp.metrics = build_metrics();
       reply(resp);
+      record_latency(req.type, ms_since(t_frame));
+      return;
+    }
+    case RequestType::Stats: {
+      // The live stats plane: histogram summaries + trace/flight counters,
+      // answered inline on the loop thread — polling a busy daemon never
+      // queues behind compile work or drains anything.
+      Response resp;
+      resp.id = req.id;
+      resp.metrics = build_stats();
+      reply(resp);
+      record_latency(req.type, ms_since(t_frame));
       return;
     }
     case RequestType::Register:
@@ -625,6 +659,16 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       }
       resp.id = req.id;
       reply(resp);
+      double wall = ms_since(t_frame);
+      record_latency(req.type, wall);
+      // Cache probes/fills carry the originating request's trace id, so
+      // the flight recorder correlates a peer hop with the request that
+      // caused it. Heartbeats/registers are periodic noise — not recorded.
+      if (req.type == RequestType::CacheProbe ||
+          req.type == RequestType::CacheFill) {
+        record_flight(req.trace_id, req.id, request_type_name(req.type),
+                      resp.status == Status::Ok ? "ok" : "error", wall, "");
+      }
       return;
     }
     case RequestType::Compile:
@@ -641,6 +685,11 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
         ++stats_.rejected_overload;
         return;
       }
+      // Trace context is minted at admission: a traced request arriving
+      // without an id gets one here (the fleet entry point); a forwarded
+      // hop keeps the id the coordinator stamped on it, so every span the
+      // fleet records for this request correlates.
+      if (req.trace && req.trace_id == 0) req.trace_id = mint_trace_id();
       // Warm-hit fast path: a compile whose result already sits in the
       // memory cache is answered inline — no queue hop, no worker
       // wake-up, no per-frame allocation. Only pure compiles qualify
@@ -676,7 +725,19 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
                 rec.code_lines = resp.result.code_lines;
                 opts_.telemetry->record_job(rec);
               }
+              double wall = ms_since(t_frame);
+              if (req.trace) {
+                obs::Span root{"request", "compile fastpath", wall, {}};
+                root.children.push_back({"cache", "memory_hit", wall, {}});
+                resp.trace = obs::span_to_json(root);
+                traces_.record(req.trace_id, resp.trace);
+              }
               reply(resp);
+              record_latency(req.type, wall);
+              record_cache_outcome("memory_hit", wall);
+              record_flight(req.trace_id, req.id,
+                            request_type_name(req.type), "memory_hit", wall,
+                            "cache memory_hit");
               std::lock_guard<std::mutex> lock(stats_mu_);
               ++stats_.accepted;
               ++stats_.completed;
@@ -693,6 +754,7 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       job->deadline = timeout > 0
                           ? clock::now() + std::chrono::milliseconds(timeout)
                           : clock::time_point::max();
+      job->t_admit = t_frame;
       job->req = std::move(req);
       {
         std::lock_guard<std::mutex> lock(queue_mu_);
@@ -892,6 +954,100 @@ json::Value Server::build_metrics() const {
   return out;
 }
 
+json::Value Server::build_stats() const {
+  json::Value out = build_metrics();
+  json::Value hist = json::Value::object();
+  for (auto& [name, snap] : histogram_snapshots())
+    hist.set(name, snap.summary_json());
+  out.set("hist", std::move(hist));
+  json::Value tr = json::Value::object();
+  tr.set("recorded", static_cast<int64_t>(traces_.recorded()))
+      .set("sampled", static_cast<int64_t>(traces_.size()));
+  out.set("traces", std::move(tr));
+  json::Value fl = json::Value::object();
+  fl.set("recorded", static_cast<int64_t>(flight_.recorded()))
+      .set("capacity", static_cast<int64_t>(flight_.capacity()));
+  out.set("flight", std::move(fl));
+  if (opts_.extra_stats) opts_.extra_stats(&out);
+  return out;
+}
+
+std::vector<std::pair<std::string, obs::HistogramSnapshot>>
+Server::histogram_snapshots() const {
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> out;
+  for (size_t i = 0; i < kTypeHistCount; ++i) {
+    obs::HistogramSnapshot snap = type_hist_[i].snapshot();
+    if (!snap.empty())
+      out.emplace_back(request_type_name(static_cast<RequestType>(i)),
+                       std::move(snap));
+  }
+  auto add = [&](const char* name, const obs::Histogram& h) {
+    obs::HistogramSnapshot s = h.snapshot();
+    if (!s.empty()) out.emplace_back(name, std::move(s));
+  };
+  add("cache:memory_hit", cache_hist_memory_);
+  add("cache:hit", cache_hist_hit_);
+  add("cache:peer", cache_hist_peer_);
+  add("cache:miss", cache_hist_miss_);
+  return out;
+}
+
+void Server::record_latency(RequestType type, double wall_ms) {
+  size_t i = static_cast<size_t>(type);
+  if (i < kTypeHistCount) type_hist_[i].record_ms(wall_ms);
+}
+
+void Server::record_cache_outcome(const char* outcome, double wall_ms) {
+  obs::Histogram* h = nullptr;
+  if (std::strcmp(outcome, "memory_hit") == 0)
+    h = &cache_hist_memory_;
+  else if (std::strcmp(outcome, "cache_hit") == 0)
+    h = &cache_hist_hit_;
+  else if (std::strcmp(outcome, "peer_hit") == 0)
+    h = &cache_hist_peer_;
+  else if (std::strcmp(outcome, "miss") == 0)
+    h = &cache_hist_miss_;
+  if (h) h->record_ms(wall_ms);
+}
+
+void Server::record_flight(uint64_t trace_id, int64_t request_id,
+                           const char* type, const char* outcome,
+                           double wall_ms, const std::string& digest) {
+  obs::FlightEvent ev;
+  ev.trace_id = trace_id;
+  ev.request_id = request_id;
+  ev.type = type;
+  ev.outcome = outcome;
+  ev.wall_ms = wall_ms;
+  ev.digest = digest;
+  flight_.record(std::move(ev));
+  // A slow request dumps the ring right now — the events *leading up to*
+  // it are still in the window.
+  if (opts_.slow_ms > 0 && wall_ms >= static_cast<double>(opts_.slow_ms)) {
+    std::fprintf(stderr,
+                 "apserved[%s]: slow request id=%lld type=%s (%.3fms >= "
+                 "--slow-ms %lld); flight recorder:\n%s",
+                 opts_.role.c_str(), static_cast<long long>(request_id), type,
+                 wall_ms, static_cast<long long>(opts_.slow_ms),
+                 flight_.dump().c_str());
+  }
+}
+
+uint64_t Server::mint_trace_id() {
+  // Port + monotonic clock + per-process sequence, mixed through the
+  // splitmix64 finalizer so ids from one daemon don't share a prefix.
+  uint64_t x = static_cast<uint64_t>(steady_ms()) << 20;
+  x ^= static_cast<uint64_t>(port_) << 48;
+  x += trace_seq_.fetch_add(1, std::memory_order_relaxed) +
+       0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x ? x : 1;  // 0 means "untraced" on the wire
+}
+
 bool Server::deliver(uint64_t conn_id, const Response& resp, bool binary) {
   std::shared_ptr<Connection> conn;
   {
@@ -925,12 +1081,59 @@ void Server::worker_main() {
 
     int expected = kPending;
     if (job->phase.compare_exchange_strong(expected, kRunning)) {
-      Response resp = execute(job->req);
+      const auto t_run = clock::now();
+      const bool traced = job->req.trace;
+      std::vector<obs::Span> spans;
+      Response resp = execute(job->req, traced ? &spans : nullptr);
+      const double wall = ms_since(job->t_admit);
+      // Outcome label shared by the flight recorder and the per-outcome
+      // cache histograms.
+      const char* outcome = "ok";
+      if (resp.status != Status::Ok)
+        outcome = "error";
+      else if (resp.has_result)
+        outcome = resp.result.peer_hit  ? "peer_hit"
+                  : resp.result.cache_hit ? "cache_hit"
+                                          : "miss";
+      std::string digest;
+      if (traced) {
+        // Root the phase spans under one "request" span whose wall time
+        // is the admission-to-completion interval; the queue span is the
+        // admit -> worker-pickup wait the executor never sees.
+        obs::Span root{"request", request_type_name(job->req.type), wall, {}};
+        root.children.push_back(
+            {"queue", "",
+             std::chrono::duration<double, std::milli>(t_run - job->t_admit)
+                 .count(),
+             {}});
+        for (auto& s : spans) root.children.push_back(std::move(s));
+        for (const auto& c : root.children) {
+          if (!digest.empty()) digest += '+';
+          digest += c.name;
+        }
+        resp.trace = obs::span_to_json(root);
+        traces_.record(job->req.trace_id, resp.trace);
+      }
+      record_latency(job->req.type, wall);
+      // Cache-outcome histograms are a compile-path concept; runs and
+      // batches would skew them.
+      RequestType eff = job->req.type == RequestType::Forward
+                            ? job->req.inner
+                            : job->req.type;
+      if (eff == RequestType::Compile && resp.has_result &&
+          resp.status == Status::Ok)
+        record_cache_outcome(outcome, wall);
+      record_flight(job->req.trace_id, job->req.id,
+                    request_type_name(job->req.type), outcome, wall, digest);
       expected = kRunning;
       if (job->phase.compare_exchange_strong(expected, kDone)) {
+        // Count before delivering: a client that holds the response (and
+        // then polls `stats`) must see it reflected in `completed`.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.completed;
+        }
         deliver(job->conn_id, resp, job->binary);
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.completed;
       }
       // else: abandoned mid-run — the loop already answered
       // deadline_exceeded; this result is discarded.
@@ -944,10 +1147,10 @@ void Server::worker_main() {
   }
 }
 
-Response Server::execute(const Request& req) {
+Response Server::execute(const Request& req, std::vector<obs::Span>* spans) {
   if (opts_.executor) {
     // Pluggable dispatch (the coordinator's shard/forward/failover path).
-    Response resp = opts_.executor(req);
+    Response resp = opts_.executor(req, spans);
     resp.id = req.id;
     return resp;
   }
@@ -975,7 +1178,13 @@ Response Server::execute(const Request& req) {
         job.app.annotations = item.annotations;
         job.opts = item.options;
         auto t0 = clock::now();
-        service::CompileResult r = opts_.scheduler->run_one(job);
+        obs::Span item_span{"item", job.app.name, 0, {}};
+        service::CompileResult r = opts_.scheduler->run_one(
+            job, spans ? &item_span : nullptr, req.trace_id);
+        if (spans) {
+          item_span.wall_ms = ms_since(t0);
+          spans->push_back(std::move(item_span));
+        }
         if (opts_.telemetry) {
           service::JobRecord rec;
           rec.app = job.app.name;
@@ -1008,7 +1217,13 @@ Response Server::execute(const Request& req) {
 
     if (effective == RequestType::Compile) {
       auto t0 = clock::now();
-      resp.result = opts_.scheduler->run_one(job);
+      // run_one appends its phase spans (cache, peer probes, compile with
+      // per-pass children) to a holder; they land flat under the root.
+      obs::Span holder;
+      resp.result = opts_.scheduler->run_one(job, spans ? &holder : nullptr,
+                                             req.trace_id);
+      if (spans)
+        for (auto& c : holder.children) spans->push_back(std::move(c));
       resp.has_result = true;
       if (!resp.result.ok) {
         resp.status = Status::Error;
@@ -1034,9 +1249,16 @@ Response Server::execute(const Request& req) {
     // Run: execution needs the live AST with its OMP metadata (the cached
     // program text parses the directives as comments), so run the pipeline
     // directly instead of through the cache.
+    auto t_compile = clock::now();
     auto pr = driver::run_pipeline(job.app, job.opts);
     resp.result = service::to_compile_result(pr);
     resp.has_result = true;
+    if (spans) {
+      obs::Span compile{"compile", "", ms_since(t_compile), {}};
+      for (const auto& p : resp.result.timings.passes)
+        compile.children.push_back({"pass:" + p.name, "", p.wall_ms, {}});
+      spans->push_back(std::move(compile));
+    }
     if (!pr.ok || !pr.program) {
       resp.status = Status::Error;
       resp.error = "compilation failed: " + pr.error;
@@ -1046,6 +1268,12 @@ Response Server::execute(const Request& req) {
     interp::Interpreter interp(*pr.program, req.interp);
     interp::RunResult rr = interp.run();
     double wall_ms = ms_since(t0);
+    if (spans)
+      spans->push_back(
+          {"interp",
+           req.interp.engine == interp::Engine::Tree ? "tree" : "bytecode",
+           wall_ms,
+           {}});
     resp.has_run = true;
     resp.run.ok = rr.ok;
     resp.run.stopped = rr.stopped;

@@ -67,6 +67,7 @@
 //   sections (fleet membership, peer-cache counters) to metrics responses.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -82,6 +83,9 @@
 
 #include "net/protocol.h"
 #include "net/wire.h"
+#include "obs/flight_recorder.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "service/scheduler.h"
 
 namespace ap::net {
@@ -104,13 +108,25 @@ struct ServerOptions {
   service::Telemetry* telemetry = nullptr;  // optional: job/exec/server rows
   // When set, worker lanes dispatch admitted requests here instead of the
   // built-in scheduler path (the coordinator's shard/forward/failover).
-  std::function<Response(const Request&)> executor;
+  // A traced request passes a non-null span vector; the executor appends
+  // the spans it measured (forward attempts, grafted worker subtrees) and
+  // the serving core roots them under its own "request" span.
+  std::function<Response(const Request&, std::vector<obs::Span>*)> executor;
   // Loop-thread handler for fleet control-plane requests (register,
   // heartbeat, cache_probe, cache_fill). Return true when handled; false
   // draws a structured `error` reply ("not a fleet endpoint").
   std::function<bool(const Request&, Response*)> control;
   // Appends role-specific sections to metrics responses.
   std::function<void(json::Value*)> extra_metrics;
+  // Appends role-specific sections to live `stats` responses (the
+  // coordinator's fleet-wide histogram merge).
+  std::function<void(json::Value*)> extra_stats;
+  // Flight recorder: requests slower than this dump the recent-event ring
+  // to stderr (0 = never); the ring holds `flight_capacity` events and is
+  // also dumped by a 'u' byte on wake_fd() (the SIGUSR1 hook).
+  int64_t slow_ms = 0;
+  size_t flight_capacity = 256;
+  size_t trace_capacity = 64;  // server-side sample of traced span trees
 };
 
 class Server {
@@ -147,6 +163,17 @@ class Server {
   int64_t queue_depth() const;
   int64_t jobs_running() const;
 
+  // Live latency distributions for heartbeats and the stats plane: one
+  // entry per request type seen ("compile", "metrics", ...) plus one per
+  // cache outcome ("cache:memory_hit", "cache:hit", "cache:peer",
+  // "cache:miss"). Empty histograms are omitted.
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>>
+  histogram_snapshots() const;
+
+  // Server-side sample of recent traced span trees (newest-match lookup
+  // by trace id); null when the id never ran traced or has aged out.
+  const obs::TraceStore& traces() const { return traces_; }
+
  private:
   enum JobPhase : int { kPending = 0, kRunning = 1, kDone = 2, kAbandoned = 3 };
 
@@ -155,6 +182,9 @@ class Server {
     uint64_t conn_id = 0;
     bool binary = false;  // reply in the codec the request arrived in
     std::chrono::steady_clock::time_point deadline;  // max() = none
+    // Admission time: the queue span (admit → worker pickup) and the
+    // request's total wall both measure from here.
+    std::chrono::steady_clock::time_point t_admit;
     std::atomic<int> phase{kPending};
   };
 
@@ -197,6 +227,20 @@ class Server {
   void sweep_deadlines(std::chrono::steady_clock::time_point now);
   void sweep_idle(std::chrono::steady_clock::time_point now);
   json::Value build_metrics() const;
+  // Everything metrics reports plus the latency plane: per-type and
+  // per-cache-outcome quantile summaries, trace-store counters, and the
+  // role's extra_stats sections. Answered inline on the loop thread.
+  json::Value build_stats() const;
+
+  // Observability taps, callable from any thread.
+  void record_latency(RequestType type, double wall_ms);
+  void record_cache_outcome(const char* outcome, double wall_ms);
+  void record_flight(uint64_t trace_id, int64_t request_id, const char* type,
+                     const char* outcome, double wall_ms,
+                     const std::string& digest);
+  // Mints a trace id for a traced request that arrived without one (the
+  // fleet entry point); forwarded hops keep the id they were handed.
+  uint64_t mint_trace_id();
 
   // Encodes `resp` in the connection's reply codec directly into its
   // output buffer (with the sampled bytes-saved estimate for binary
@@ -209,8 +253,9 @@ class Server {
   bool deliver(uint64_t conn_id, const Response& resp, bool binary);
   void nudge();
 
-  // Worker thread: execute one admitted request.
-  Response execute(const Request& req);
+  // Worker thread: execute one admitted request. When the request is
+  // traced, appends the phase spans it measured to `spans` (non-null).
+  Response execute(const Request& req, std::vector<obs::Span>* spans);
 
   ServerOptions opts_;
   int listen_fd_ = -1;
@@ -246,6 +291,19 @@ class Server {
   // the event-loop thread, inside the warm fast path it is measuring.
   static constexpr uint64_t kBytesSavedSampleStride = 256;
   uint64_t binary_reply_tick_ = 0;
+
+  // Latency plane: lock-cheap log-bucketed histograms, one per request
+  // type plus one per cache outcome. Indexed by RequestType value.
+  static constexpr size_t kTypeHistCount =
+      static_cast<size_t>(RequestType::Stats) + 1;
+  std::array<obs::Histogram, kTypeHistCount> type_hist_;
+  obs::Histogram cache_hist_memory_;  // loop-thread warm fast path
+  obs::Histogram cache_hist_hit_;     // local (memory or disk) hit
+  obs::Histogram cache_hist_peer_;    // adopted from a peer's cache
+  obs::Histogram cache_hist_miss_;    // compiled fresh
+  obs::FlightRecorder flight_;
+  obs::TraceStore traces_;
+  std::atomic<uint64_t> trace_seq_{0};
 };
 
 }  // namespace ap::net

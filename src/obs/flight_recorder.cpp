@@ -1,0 +1,63 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+namespace ap::obs {
+
+void FlightRecorder::record(FlightEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = ++seq_;
+  ring_.push_back(std::move(ev));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightEvent>(ring_.begin(), ring_.end());
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+std::string FlightRecorder::dump() const {
+  std::string out;
+  for (const FlightEvent& ev : snapshot()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "#%llu id=%lld %-13s %-10s %9.3fms",
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<long long>(ev.request_id), ev.type.c_str(),
+                  ev.outcome.c_str(), ev.wall_ms);
+    out += buf;
+    if (ev.trace_id) {
+      std::snprintf(buf, sizeof(buf), " trace=%016llx",
+                    static_cast<unsigned long long>(ev.trace_id));
+      out += buf;
+    }
+    if (!ev.digest.empty()) {
+      out += "  ";
+      out += ev.digest;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+json::Value FlightRecorder::to_json() const {
+  json::Value out = json::Value::array();
+  for (const FlightEvent& ev : snapshot()) {
+    json::Value row = json::Value::object();
+    row.set("seq", ev.seq)
+        .set("request_id", ev.request_id)
+        .set("type", ev.type)
+        .set("outcome", ev.outcome)
+        .set("wall_ms", ev.wall_ms);
+    if (ev.trace_id) row.set("trace_id", ev.trace_id);
+    if (!ev.digest.empty()) row.set("digest", ev.digest);
+    out.push(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace ap::obs

@@ -1,0 +1,59 @@
+// The flight recorder: a fixed-size ring of recent request events, kept
+// so a tail-latency incident is diagnosable after the fact.
+//
+// Every served request appends one event — trace id (0 when untraced),
+// request id, type, outcome, wall time, and a one-line span digest — at
+// the cost of one mutex acquire and a deque push; the ring holds the
+// last `capacity` events and drops the oldest beyond that.
+//
+// Two dump triggers (both in src/net/server.cpp): SIGUSR1 writes a 'u'
+// byte to the server's wake pipe and the event loop dumps the ring to
+// stderr; a request whose wall time exceeds --slow-ms dumps it
+// immediately, so the events *leading up to* the slow request are
+// captured before they age out.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace ap::obs {
+
+struct FlightEvent {
+  uint64_t seq = 0;       // monotonic, assigned by the recorder
+  uint64_t trace_id = 0;  // 0 = request was not traced
+  int64_t request_id = 0;
+  std::string type;       // wire request type name
+  std::string outcome;    // "ok", "error", cache outcome, ...
+  double wall_ms = 0;
+  std::string digest;     // compact span digest ("queue+forward>request")
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 256)
+      : capacity_(capacity ? capacity : 1) {}
+
+  void record(FlightEvent ev);
+
+  // Oldest-first copy of the ring.
+  std::vector<FlightEvent> snapshot() const;
+  uint64_t recorded() const;  // lifetime total
+  size_t capacity() const { return capacity_; }
+
+  // One line per event, oldest first — the stderr dump format.
+  std::string dump() const;
+  json::Value to_json() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<FlightEvent> ring_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace ap::obs

@@ -1,0 +1,204 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace ap::obs {
+
+uint32_t histogram_bucket(uint64_t us) {
+  if (us < kHistSubBuckets) return static_cast<uint32_t>(us);
+  // Octave = position of the highest set bit; the kHistSubBits bits just
+  // below it select the sub-bucket, so widths scale with magnitude.
+  int e = 63 - std::countl_zero(us);
+  uint32_t group = static_cast<uint32_t>(e - kHistSubBits + 1);
+  uint32_t sub =
+      static_cast<uint32_t>((us >> (e - kHistSubBits)) & (kHistSubBuckets - 1));
+  return (group << kHistSubBits) + sub;
+}
+
+uint64_t histogram_bucket_lower(uint32_t bucket) {
+  uint32_t group = bucket >> kHistSubBits;
+  uint32_t sub = bucket & (kHistSubBuckets - 1);
+  if (group == 0) return sub;
+  return static_cast<uint64_t>(kHistSubBuckets + sub) << (group - 1);
+}
+
+void Histogram::record_us(uint64_t us) {
+  counts_[histogram_bucket(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::record_ms(double ms) {
+  if (ms < 0 || !std::isfinite(ms)) ms = 0;
+  record_us(static_cast<uint64_t>(ms * 1000.0));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.max_us = max_us_.load(std::memory_order_relaxed);
+  for (uint32_t b = 0; b < kHistBuckets; ++b) {
+    uint64_t c = counts_[b].load(std::memory_order_relaxed);
+    if (c) s.buckets.emplace_back(b, c);
+  }
+  return s;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  max_us = std::max(max_us, other.max_us);
+  // Merge two sorted sparse vectors.
+  std::vector<std::pair<uint32_t, uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t i = 0, j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+uint64_t HistogramSnapshot::quantile_us(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  uint64_t cum = 0;
+  for (const auto& [b, c] : buckets) {
+    cum += c;
+    if (cum >= rank) {
+      uint64_t lower = histogram_bucket_lower(b);
+      uint64_t upper =
+          b + 1 < kHistBuckets ? histogram_bucket_lower(b + 1) - 1 : max_us;
+      uint64_t mid = lower + (upper - lower) / 2;
+      return std::min(mid, max_us);
+    }
+  }
+  return max_us;
+}
+
+std::string HistogramSnapshot::encode() const {
+  std::string out = std::to_string(count);
+  out += ';';
+  out += std::to_string(max_us);
+  out += ';';
+  bool first = true;
+  for (const auto& [b, c] : buckets) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(b);
+    out += ':';
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_u64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool HistogramSnapshot::decode(std::string_view text, HistogramSnapshot* out) {
+  HistogramSnapshot s;
+  size_t p1 = text.find(';');
+  if (p1 == std::string_view::npos) return false;
+  size_t p2 = text.find(';', p1 + 1);
+  if (p2 == std::string_view::npos) return false;
+  if (!parse_u64(text.substr(0, p1), &s.count)) return false;
+  if (!parse_u64(text.substr(p1 + 1, p2 - p1 - 1), &s.max_us)) return false;
+  std::string_view rest = text.substr(p2 + 1);
+  uint32_t prev = 0;
+  bool first = true;
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view entry =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) return false;
+    uint64_t b, c;
+    if (!parse_u64(entry.substr(0, colon), &b)) return false;
+    if (!parse_u64(entry.substr(colon + 1), &c)) return false;
+    if (b >= kHistBuckets || c == 0) return false;
+    if (!first && static_cast<uint32_t>(b) <= prev) return false;  // must be sorted
+    prev = static_cast<uint32_t>(b);
+    first = false;
+    s.buckets.emplace_back(static_cast<uint32_t>(b), c);
+  }
+  *out = std::move(s);
+  return true;
+}
+
+json::Value HistogramSnapshot::summary_json() const {
+  json::Value out = json::Value::object();
+  out.set("count", count)
+      .set("p50_ms", quantile_ms(0.50))
+      .set("p90_ms", quantile_ms(0.90))
+      .set("p99_ms", quantile_ms(0.99))
+      .set("max_ms", max_us / 1000.0);
+  return out;
+}
+
+std::string encode_histogram_set(
+    const std::vector<std::pair<std::string, HistogramSnapshot>>& set) {
+  std::string out;
+  for (const auto& [name, snap] : set) {
+    if (snap.empty()) continue;
+    if (name.find('=') != std::string::npos ||
+        name.find('|') != std::string::npos)
+      continue;
+    if (!out.empty()) out += '|';
+    out += name;
+    out += '=';
+    out += snap.encode();
+  }
+  return out;
+}
+
+bool decode_histogram_set(
+    std::string_view text,
+    std::vector<std::pair<std::string, HistogramSnapshot>>* out) {
+  out->clear();
+  while (!text.empty()) {
+    size_t bar = text.find('|');
+    std::string_view entry =
+        bar == std::string_view::npos ? text : text.substr(0, bar);
+    text = bar == std::string_view::npos ? std::string_view()
+                                         : text.substr(bar + 1);
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) return false;
+    HistogramSnapshot snap;
+    if (!HistogramSnapshot::decode(entry.substr(eq + 1), &snap)) return false;
+    out->emplace_back(std::string(entry.substr(0, eq)), std::move(snap));
+  }
+  return true;
+}
+
+}  // namespace ap::obs

@@ -1,0 +1,99 @@
+// Lock-cheap log-bucketed latency histograms (the HDR-histogram shape).
+//
+// Values are microseconds. Buckets cover the full uint64 range with a
+// bounded relative error: values below 32us get one exact bucket each;
+// above that, each power-of-two octave is split into 32 sub-buckets, so a
+// bucket's width is at most 1/32 (~3.1%) of its lower bound. A recorded
+// value touches two relaxed atomic counters and one CAS loop for the max
+// — no locks, safe from any thread, including a server's event loop.
+//
+// A HistogramSnapshot is the frozen, mergeable form: sparse (only
+// occupied buckets), with quantiles read by a cumulative walk that
+// reports each bucket's midpoint (clamped to the observed max, so p99 of
+// a single-valued distribution is that value, not its bucket ceiling).
+// Merging is bucket-wise addition — associative and commutative — which
+// is what lets a coordinator fold heartbeat-carried worker summaries
+// into fleet-wide quantiles without ever seeing a raw sample.
+//
+// Snapshots travel as a compact text encoding ("count;max;b:c,b:c"),
+// bundled per-name by encode_histogram_set/decode_histogram_set so a
+// whole per-type histogram family fits in one heartbeat string field.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/json.h"
+
+namespace ap::obs {
+
+// Sub-bucket resolution: 2^kSubBits buckets per octave.
+inline constexpr int kHistSubBits = 5;
+inline constexpr uint32_t kHistSubBuckets = 1u << kHistSubBits;
+// Groups: one for values < kHistSubBuckets plus one per octave above.
+inline constexpr uint32_t kHistBuckets = (64 - kHistSubBits + 1) * kHistSubBuckets;
+
+// Bucket index for a microsecond value (total order preserved).
+uint32_t histogram_bucket(uint64_t us);
+// Inclusive lower bound of a bucket (exact inverse of histogram_bucket
+// for bucket boundaries).
+uint64_t histogram_bucket_lower(uint32_t bucket);
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t max_us = 0;
+  // Occupied buckets only, sorted by bucket index.
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+
+  bool empty() const { return count == 0; }
+
+  // Bucket-wise addition; associative, so fleet merges can fold worker
+  // summaries in any order.
+  void merge(const HistogramSnapshot& other);
+
+  // Quantile q in [0,1] by cumulative walk; the returned value is the
+  // matched bucket's midpoint, clamped to max_us. 0 when empty.
+  uint64_t quantile_us(double q) const;
+  double quantile_ms(double q) const { return quantile_us(q) / 1000.0; }
+
+  // Compact text form: "count;max_us;bucket:count,bucket:count".
+  std::string encode() const;
+  static bool decode(std::string_view text, HistogramSnapshot* out);
+
+  // {"count":..,"p50_ms":..,"p90_ms":..,"p99_ms":..,"max_ms":..}
+  json::Value summary_json() const;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record_us(uint64_t us);
+  void record_ms(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+// Named-bundle form for heartbeats: "name=encoded|name=encoded". Names
+// must not contain '=' or '|'; empty snapshots are skipped.
+std::string encode_histogram_set(
+    const std::vector<std::pair<std::string, HistogramSnapshot>>& set);
+bool decode_histogram_set(
+    std::string_view text,
+    std::vector<std::pair<std::string, HistogramSnapshot>>* out);
+
+}  // namespace ap::obs

@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace ap::obs {
+
+json::Value span_to_json(const Span& s) {
+  json::Value out = json::Value::object();
+  out.set("name", s.name);
+  if (!s.detail.empty()) out.set("detail", s.detail);
+  out.set("wall_ms", s.wall_ms);
+  if (!s.children.empty()) {
+    json::Value kids = json::Value::array();
+    for (const Span& c : s.children) kids.push(span_to_json(c));
+    out.set("children", std::move(kids));
+  }
+  return out;
+}
+
+bool span_from_json(const json::Value& v, Span* out) {
+  if (!v.is_object()) return false;
+  Span s;
+  const json::Value* name = v.find("name");
+  if (!name || !name->is_string()) return false;
+  s.name = name->as_string();
+  if (const json::Value* d = v.find("detail")) s.detail = d->as_string();
+  if (const json::Value* w = v.find("wall_ms")) s.wall_ms = w->as_double();
+  if (const json::Value* kids = v.find("children")) {
+    if (!kids->is_array()) return false;
+    for (const json::Value& k : kids->items()) {
+      Span c;
+      if (!span_from_json(k, &c)) return false;
+      s.children.push_back(std::move(c));
+    }
+  }
+  *out = std::move(s);
+  return true;
+}
+
+size_t span_count(const Span& s) {
+  size_t n = 1;
+  for (const Span& c : s.children) n += span_count(c);
+  return n;
+}
+
+size_t span_tree_violations(const Span& s, double eps_ms) {
+  double child_sum = 0;
+  size_t bad = 0;
+  for (const Span& c : s.children) {
+    child_sum += c.wall_ms;
+    bad += span_tree_violations(c, eps_ms);
+  }
+  if (s.wall_ms + eps_ms < child_sum) ++bad;
+  return bad;
+}
+
+namespace {
+
+void render_rec(const Span& s, int depth, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%9.3fms  ", s.wall_ms);
+  *out += buf;
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += s.name;
+  if (!s.detail.empty()) {
+    *out += " [";
+    *out += s.detail;
+    *out += ']';
+  }
+  *out += '\n';
+  for (const Span& c : s.children) render_rec(c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string render_span_tree(const Span& s) {
+  std::string out;
+  render_rec(s, 0, &out);
+  return out;
+}
+
+void TraceStore::record(uint64_t trace_id, json::Value tree) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  ring_.emplace_back(trace_id, std::move(tree));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceStore::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+json::Value TraceStore::find(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Newest match wins: walk backward.
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it)
+    if (it->first == trace_id) return it->second;
+  return json::Value();
+}
+
+}  // namespace ap::obs

@@ -1,0 +1,82 @@
+// Request tracing: the span tree a traced request accumulates as it
+// crosses the fleet.
+//
+// A span is a named wall-time interval with children; the tree is built
+// bottom-up — each layer appends the spans it measured (queueing, cache
+// tiers, peer probes, per-pass compile work, interpreter runs) and the
+// serving core roots them under one "request" span whose wall time is
+// the admission-to-completion interval. A coordinator grafts the
+// worker's subtree (carried back in the response) under its own
+// "forward" span, so the final tree covers every hop:
+//
+//   request (coordinator)
+//     queue
+//     forward w-alpha
+//       request (worker)
+//         queue
+//         cache miss
+//         peer:probe w-beta miss
+//         compile
+//           pass:normalize ...
+//
+// Spans carry no timestamps, only durations: rendering is deterministic
+// (span_to_json emits keys in a fixed order and json::Value preserves
+// insertion order), which the tests hold as an exact-string invariant.
+//
+// TraceStore is the server-side sample ring: the most recent traced
+// trees, kept so an operator can fetch a trace id seen in the flight
+// recorder after the response is gone.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace ap::obs {
+
+struct Span {
+  std::string name;    // "request", "queue", "cache", "forward", "pass:X"...
+  std::string detail;  // outcome/qualifier: "memory_hit", worker id, ...
+  double wall_ms = 0;
+  std::vector<Span> children;
+};
+
+// Fixed key order (name, detail?, wall_ms, children?) — deterministic.
+json::Value span_to_json(const Span& s);
+bool span_from_json(const json::Value& v, Span* out);
+
+// Total spans in the tree (root included).
+size_t span_count(const Span& s);
+
+// Tree invariant check: every span's wall time must cover the sum of its
+// children's, within eps_ms of slack per span (clock reads between child
+// measurements). Returns the number of violating spans, 0 for a
+// well-formed tree.
+size_t span_tree_violations(const Span& s, double eps_ms = 0.5);
+
+// Human-readable indented rendering (apclient --trace).
+std::string render_span_tree(const Span& s);
+
+// Bounded ring of recent traced trees, newest last.
+class TraceStore {
+ public:
+  explicit TraceStore(size_t capacity = 64) : capacity_(capacity) {}
+
+  void record(uint64_t trace_id, json::Value tree);
+  size_t size() const;
+  uint64_t recorded() const;  // lifetime total
+  // Tree for `trace_id`, or null when it has aged out.
+  json::Value find(uint64_t trace_id) const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::pair<uint64_t, json::Value>> ring_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace ap::obs

@@ -80,10 +80,29 @@ driver::Table2Row evaluate_table2_row(const suite::BenchmarkApp& app,
 Scheduler::Scheduler(const Options& opts)
     : opts_(opts), pool_(opts.threads < 1 ? 1 : opts.threads) {}
 
-CompileResult Scheduler::run_one(const CompileJob& job) {
+CompileResult Scheduler::run_one(const CompileJob& job, obs::Span* parent,
+                                 uint64_t trace_id) {
+  using clock = std::chrono::steady_clock;
+  auto span_ms = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0)
+        .count();
+  };
   uint64_t key = cache_key(job.app.source, job.app.annotations, job.opts);
   if (opts_.cache) {
-    if (auto hit = opts_.cache->find(key)) {
+    auto t0 = clock::now();
+    // Memory tier first so the trace can name the serving tier; a
+    // find_memory hit counts memory_hits, a miss is unaccounted and the
+    // full find() owns the disk-or-miss outcome — exactly one accounting
+    // per lookup, same as a single find().
+    const char* tier = "memory_hit";
+    auto hit = opts_.cache->find_memory(key);
+    if (!hit) {
+      hit = opts_.cache->find(key);
+      tier = hit ? "disk_hit" : "miss";
+    }
+    if (parent)
+      parent->children.push_back({"cache", tier, span_ms(t0), {}});
+    if (hit) {
       hit->cache_hit = true;
       // A whole-request hit did no unit-granular work in THIS request;
       // the memory tier may carry the compiling run's counters.
@@ -95,7 +114,15 @@ CompileResult Scheduler::run_one(const CompileJob& job) {
   // another worker). A peer result is adopted into the local cache so the
   // next request is a memory hit.
   if (opts_.peer_lookup) {
-    if (auto peer = opts_.peer_lookup(key)) {
+    auto t0 = clock::now();
+    obs::Span peer_span{"peer", "", 0, {}};
+    auto peer = opts_.peer_lookup(key, trace_id, parent ? &peer_span : nullptr);
+    if (parent) {
+      peer_span.detail = peer ? "hit" : "miss";
+      peer_span.wall_ms = span_ms(t0);
+      parent->children.push_back(std::move(peer_span));
+    }
+    if (peer) {
       peer->cache_hit = true;
       peer->peer_hit = true;
       peer->unit_hits = peer->unit_misses = peer->unit_invalidated = 0;
@@ -108,9 +135,20 @@ CompileResult Scheduler::run_one(const CompileJob& job) {
   driver::PipelineOptions popts = job.opts;
   if (opts_.unit_cache && !popts.unit_cache)
     popts.unit_cache = opts_.unit_cache;
+  auto t_compile = clock::now();
   CompileResult r = to_compile_result(driver::run_pipeline(job.app, popts));
+  if (parent) {
+    obs::Span compile{"compile", "", span_ms(t_compile), {}};
+    if (r.unit_hits + r.unit_misses > 0)
+      compile.detail = "unit_hits=" + std::to_string(r.unit_hits) +
+                       " unit_misses=" + std::to_string(r.unit_misses);
+    // One child per pass, straight from the pipeline's PassRecords.
+    for (const auto& p : r.timings.passes)
+      compile.children.push_back({"pass:" + p.name, "", p.wall_ms, {}});
+    parent->children.push_back(std::move(compile));
+  }
   if (opts_.cache) opts_.cache->store(key, r);
-  if (r.ok && opts_.on_store) opts_.on_store(key, r);
+  if (r.ok && opts_.on_store) opts_.on_store(key, r, trace_id);
   return r;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "service/cache.h"
 #include "service/telemetry.h"
 #include "suite/suite.h"
@@ -64,9 +65,16 @@ class Scheduler {
     // Distributed cache tier hooks (src/dist worker). `peer_lookup` runs
     // after a local-cache miss and before compilation; a returned result
     // is stored locally and reported as cache_hit + peer_hit. `on_store`
-    // runs after a fresh compile is cached (replication fan-out).
-    std::function<std::optional<CompileResult>(uint64_t key)> peer_lookup;
-    std::function<void(uint64_t key, const CompileResult&)> on_store;
+    // runs after a fresh compile is cached (replication fan-out). Both
+    // receive the request's trace context: the minted trace id (0 when
+    // untraced, propagated on the wire so fleet hops correlate) and, for
+    // probes, a span to append per-peer probe records to (null when the
+    // request is not collecting spans).
+    std::function<std::optional<CompileResult>(uint64_t key, uint64_t trace_id,
+                                               obs::Span* span)>
+        peer_lookup;
+    std::function<void(uint64_t key, const CompileResult&, uint64_t trace_id)>
+        on_store;
   };
 
   explicit Scheduler(const Options& opts);
@@ -76,8 +84,13 @@ class Scheduler {
   // batch wall time into the telemetry sink when one is attached.
   std::vector<CompileResult> run_batch(const std::vector<CompileJob>& jobs);
 
-  // Compile one job through the cache (no telemetry, no pool).
-  CompileResult run_one(const CompileJob& job);
+  // Compile one job through the cache (no telemetry, no pool). When
+  // `parent` is non-null the request is being traced: spans for the
+  // cache lookup, peer probes, and the compile (with one child per pass,
+  // from the pipeline's PassRecords) are appended to it, and `trace_id`
+  // is the request's minted trace id (propagated to the peer hooks).
+  CompileResult run_one(const CompileJob& job, obs::Span* parent = nullptr,
+                        uint64_t trace_id = 0);
 
   int threads() const { return pool_.size(); }
   ResultCache* cache() const { return opts_.cache; }

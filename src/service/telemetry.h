@@ -72,8 +72,9 @@ struct ServerStats {
   // the observed pipelining depth.
   int64_t pipeline_depth_peak = 0;
   // Estimated bytes the binary codec saved vs. encoding the same
-  // responses as JSON (sampled: every 16th binary reply is also
-  // JSON-encoded and the delta extrapolated).
+  // responses as JSON. Sampled: one binary reply per
+  // Server::kBytesSavedSampleStride (currently 256) is also JSON-encoded
+  // and the delta extrapolated by the stride.
   uint64_t bytes_saved_vs_json = 0;
   uint64_t batches = 0;            // compile_batch requests served
   uint64_t batch_items = 0;        // files carried by those batches

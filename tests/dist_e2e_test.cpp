@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "dist/fleet.h"
+#include "dist/shard.h"
 #include "dist/worker.h"
 #include "net/client.h"
+#include "obs/trace.h"
 #include "service/scheduler.h"
 
 namespace ap {
@@ -147,6 +149,130 @@ TEST(DistE2E, FleetMatrixMatchesSingleNodeBitForBit) {
 
   late.begin_drain();
   late.wait();
+  fleet.drain_all();
+}
+
+TEST(DistE2E, ForwardedTraceCoversEveryHop) {
+  dist::FleetOptions fo;
+  fo.workers = 2;
+  fo.worker_threads = 2;
+  fo.heartbeat_interval_ms = 100;
+  dist::Fleet fleet(fo);
+  std::string err;
+  ASSERT_TRUE(fleet.start(&err)) << err;
+
+  auto jobs = service::suite_matrix();
+
+  // --- Cold traced compile: the tree must cover coordinator -> forward
+  // -> worker -> compile, with per-pass spans and zero orphans.
+  net::Client client;
+  ASSERT_TRUE(client.connect(fleet.coordinator_port(), &err, 120'000)) << err;
+  net::Request cold = to_request(jobs[0]);
+  cold.trace = true;
+  net::Response resp;
+  ASSERT_TRUE(client.call(std::move(cold), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  ASSERT_TRUE(resp.trace.is_object()) << "traced fleet compile lost its tree";
+
+  obs::Span root;
+  ASSERT_TRUE(obs::span_from_json(resp.trace, &root));
+  EXPECT_EQ(root.name, "request");
+  EXPECT_EQ(obs::span_tree_violations(root), 0u) << "orphan spans in:\n"
+                                                 << obs::render_span_tree(root);
+  // The acceptance invariant: the root's wall covers the sum of its
+  // children (queue + forward), which in turn cover the worker subtree.
+  double child_sum = 0;
+  const obs::Span* hop = nullptr;
+  for (const auto& c : root.children) {
+    child_sum += c.wall_ms;
+    if (c.name == "forward") hop = &c;
+  }
+  EXPECT_GE(root.wall_ms + 0.5, child_sum);
+  ASSERT_NE(hop, nullptr) << obs::render_span_tree(root);
+  ASSERT_EQ(hop->children.size(), 1u);
+  const obs::Span& worker = hop->children[0];
+  EXPECT_EQ(worker.name, "request");
+  bool saw_pass = false;
+  for (const auto& c : worker.children)
+    if (c.name == "compile") {
+      EXPECT_GE(c.children.size(), 1u);
+      for (const auto& p : c.children)
+        if (p.name.rfind("pass:", 0) == 0) saw_pass = true;
+    }
+  EXPECT_TRUE(saw_pass) << "no per-pass spans under the worker's compile:\n"
+                        << obs::render_span_tree(root);
+
+  // --- Forwarded warm hit from the PEER tier: pre-fill the non-primary
+  // worker's cache, so the routed worker misses locally and probes the
+  // peer. Routing is deterministic: an idle fleet ranks by pure HRW.
+  const auto& job = jobs[1];
+  uint64_t key =
+      service::cache_key(job.app.source, job.app.annotations, job.opts);
+  std::vector<std::string> ids = {fleet.worker(0)->id(),
+                                  fleet.worker(1)->id()};
+  std::string primary_id = dist::rank_workers(key, ids)[0];
+  size_t primary = fleet.worker(0)->id() == primary_id ? 0 : 1;
+  size_t other = 1 - primary;
+
+  // The primary must know its peer before it can probe it (peer views
+  // refresh on heartbeats).
+  for (int spin = 0; spin < 100 && fleet.worker(primary)->peers().size() < 2;
+       ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_GE(fleet.worker(primary)->peers().size(), 2u);
+
+  fleet.cache(other)->store(
+      key, service::to_compile_result(driver::run_pipeline(job.app, job.opts)));
+
+  net::Request warm = to_request(job);
+  warm.trace = true;
+  ASSERT_TRUE(client.call(std::move(warm), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  ASSERT_TRUE(resp.has_result);
+  EXPECT_TRUE(resp.result.peer_hit);
+  ASSERT_TRUE(resp.trace.is_object());
+  ASSERT_TRUE(obs::span_from_json(resp.trace, &root));
+  EXPECT_EQ(obs::span_tree_violations(root), 0u);
+
+  // coordinator -> forward -> worker -> peer probe hit on the peer.
+  hop = nullptr;
+  for (const auto& c : root.children)
+    if (c.name == "forward") hop = &c;
+  ASSERT_NE(hop, nullptr) << obs::render_span_tree(root);
+  EXPECT_EQ(hop->detail, primary_id);
+  ASSERT_EQ(hop->children.size(), 1u);
+  const obs::Span* peer = nullptr;
+  const obs::Span* cache_span = nullptr;
+  for (const auto& c : hop->children[0].children) {
+    if (c.name == "peer") peer = &c;
+    if (c.name == "cache") cache_span = &c;
+  }
+  ASSERT_NE(cache_span, nullptr) << obs::render_span_tree(root);
+  EXPECT_EQ(cache_span->detail, "miss");
+  ASSERT_NE(peer, nullptr) << obs::render_span_tree(root);
+  EXPECT_EQ(peer->detail, "hit");
+  ASSERT_GE(peer->children.size(), 1u);
+  EXPECT_EQ(peer->children.back().name, "peer:probe");
+  EXPECT_EQ(peer->children.back().detail,
+            fleet.worker(other)->id() + " hit");
+
+  // Fleet-wide stats: the coordinator folds heartbeat-carried worker
+  // histograms into one merged section.
+  net::Request stats;
+  stats.type = net::RequestType::Stats;
+  net::Response sresp;
+  bool fleet_hist_seen = false;
+  for (int spin = 0; spin < 100 && !fleet_hist_seen; ++spin) {
+    ASSERT_TRUE(client.call(net::Request(stats), &sresp, &err)) << err;
+    ASSERT_EQ(sresp.status, net::Status::Ok) << sresp.error;
+    const json::Value* fh = sresp.metrics.find("fleet_hist");
+    if (fh && fh->find("forward") != nullptr) fleet_hist_seen = true;
+    if (!fleet_hist_seen)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(fleet_hist_seen)
+      << "coordinator never merged worker histograms from heartbeats";
+
   fleet.drain_all();
 }
 

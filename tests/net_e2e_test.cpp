@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -309,6 +310,107 @@ TEST(NetE2E, RunOverWireMatchesInProcessExecution) {
     EXPECT_EQ(responses[i].run.statements, lr.statements_executed);
     EXPECT_EQ(responses[i].run.statements_parallel, lr.statements_in_parallel);
   }
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(NetE2E, LiveStatsAnswerMidRunWithoutDraining) {
+  service::ResultCache cache(64);
+  service::Scheduler::Options so;
+  so.threads = 1;
+  so.cache = &cache;
+  service::Scheduler scheduler(so);
+  net::ServerOptions nopts;
+  nopts.threads = 1;  // the single lane stays busy with compiles
+  nopts.scheduler = &scheduler;
+  nopts.request_timeout_ms = 120'000;
+  net::Server server(nopts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  auto jobs = service::suite_matrix();
+  jobs.resize(8);
+
+  // A submitter drives compiles while the main thread polls stats on a
+  // separate connection: the poll must answer between compiles (it is
+  // served inline on the loop thread), and the completed counter must
+  // advance between two polls taken mid-run.
+  std::thread submitter(
+      [&] { submit_matrix(server.port(), jobs, 1); });
+
+  net::Client poller;
+  ASSERT_TRUE(poller.connect(server.port(), &err, 30'000)) << err;
+  auto poll = [&](net::Response* out) {
+    net::Request stats;
+    stats.type = net::RequestType::Stats;
+    ASSERT_TRUE(poller.call(std::move(stats), out, &err)) << err;
+    ASSERT_EQ(out->status, net::Status::Ok) << out->error;
+    ASSERT_TRUE(out->metrics.is_object());
+  };
+
+  // Wait until at least one compile completed, then take two polls with
+  // traffic in between.
+  net::Response first;
+  int64_t completed = 0;
+  for (int spin = 0; spin < 2000 && completed < 1; ++spin) {
+    poll(&first);
+    completed = first.metrics.find("server")->find("completed")->as_int(0);
+    if (completed < 1) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(completed, 1);
+
+  submitter.join();
+  net::Response second;
+  poll(&second);
+  int64_t completed2 =
+      second.metrics.find("server")->find("completed")->as_int(0);
+  EXPECT_GE(completed2, completed);
+  EXPECT_GE(completed2, static_cast<int64_t>(jobs.size()));
+
+  // The counter advances across polls: one more compile between two
+  // stats reads moves it by exactly one.
+  submit_matrix(server.port(), {jobs[0]}, 1);
+  net::Response third;
+  poll(&third);
+  EXPECT_EQ(third.metrics.find("server")->find("completed")->as_int(0),
+            completed2 + 1);
+
+  // Bench-side agreement: quantiles computed from the server's own
+  // snapshot (the heartbeat form) equal the stats-plane numbers — same
+  // histogram, same cumulative walk. Latencies are recorded before the
+  // response is delivered, so the snapshot taken after the third poll
+  // covers exactly the samples the third poll summarized.
+  const json::Value* hist3 = third.metrics.find("hist")->find("compile");
+  ASSERT_NE(hist3, nullptr);
+  bool compared = false;
+  for (const auto& [name, snap] : server.histogram_snapshots())
+    if (name == "compile") {
+      compared = true;
+      EXPECT_EQ(static_cast<int64_t>(snap.count),
+                hist3->find("count")->as_int(0));
+      EXPECT_DOUBLE_EQ(snap.quantile_ms(0.50),
+                       hist3->find("p50_ms")->as_double(-1));
+      EXPECT_DOUBLE_EQ(snap.quantile_ms(0.99),
+                       hist3->find("p99_ms")->as_double(-1));
+    }
+  EXPECT_TRUE(compared);
+
+  // The per-type histogram carries quantiles for the compile family.
+  const json::Value* hist = second.metrics.find("hist");
+  ASSERT_NE(hist, nullptr);
+  const json::Value* compile = hist->find("compile");
+  ASSERT_NE(compile, nullptr);
+  EXPECT_EQ(compile->find("count")->as_int(0),
+            static_cast<int64_t>(jobs.size()));
+  double p50 = compile->find("p50_ms")->as_double(-1);
+  double p90 = compile->find("p90_ms")->as_double(-1);
+  double p99 = compile->find("p99_ms")->as_double(-1);
+  double mx = compile->find("max_ms")->as_double(-1);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, mx);
 
   server.begin_drain();
   server.wait();

@@ -17,6 +17,8 @@
 #include "net/channel.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "suite/suite.h"
 
 namespace ap {
@@ -758,6 +760,7 @@ net::Request rich_request(net::RequestType type) {
     case net::RequestType::Metrics:
     case net::RequestType::Ping:
     case net::RequestType::Hello:
+    case net::RequestType::Stats:
       break;
     case net::RequestType::Compile:
     case net::RequestType::Run:
@@ -784,7 +787,7 @@ net::Request rich_request(net::RequestType type) {
       break;
     case net::RequestType::Heartbeat:
       r.worker = {"w-42", "10.1.2.3", 9001};
-      r.load = {4, 2, 17, 10, 7, 3};
+      r.load = {4, 2, 17, 10, 7, 3, ""};
       r.leaving = true;
       break;
     case net::RequestType::CacheProbe:
@@ -819,7 +822,7 @@ TEST(Binary, RequestRoundTripMatchesJsonForEveryType) {
         net::RequestType::Hello, net::RequestType::Register,
         net::RequestType::Heartbeat, net::RequestType::CacheProbe,
         net::RequestType::CacheFill, net::RequestType::Forward,
-        net::RequestType::CompileBatch}) {
+        net::RequestType::CompileBatch, net::RequestType::Stats}) {
     net::Request r = rich_request(type);
     std::string bin = net::encode_request_binary(r);
     ASSERT_TRUE(net::is_binary_frame(bin));
@@ -1224,6 +1227,235 @@ TEST(Channel, ConcurrentCallsMultiplexOneConnection) {
   EXPECT_EQ(resp.status, net::Status::Ok);
   EXPECT_EQ(ch.connects(), 2u);
   EXPECT_EQ(ch.reconnects(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// v5 observability plane
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, TraceAndStatsFieldsRoundTripBothCodecs) {
+  std::string err;
+  net::Request back;
+
+  // Trace flag + minted id on a compile, both codecs.
+  net::Request traced = rich_request(net::RequestType::Compile);
+  traced.trace = true;
+  traced.trace_id = 0xfeedfacecafebeefull;
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(traced), &back, &err))
+      << err;
+  EXPECT_TRUE(back.trace);
+  EXPECT_EQ(back.trace_id, traced.trace_id);
+  ASSERT_TRUE(net::decode_request_binary(net::encode_request_binary(traced),
+                                         &back, &err))
+      << err;
+  EXPECT_EQ(net::request_to_json(back).dump(),
+            net::request_to_json(traced).dump());
+
+  // The trace id alone rides control-plane hops (peer probes/fills).
+  net::Request probe = rich_request(net::RequestType::CacheProbe);
+  probe.trace_id = 42;
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(probe), &back, &err))
+      << err;
+  EXPECT_EQ(back.trace_id, 42u);
+  EXPECT_FALSE(back.trace);
+
+  // Heartbeats carry the encoded histogram bundle byte-exactly.
+  net::Request hb = rich_request(net::RequestType::Heartbeat);
+  hb.load.hist = "compile=3;4000;96:3|cache:hit=1;5;5:1";
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(hb), &back, &err))
+      << err;
+  EXPECT_EQ(back.load.hist, hb.load.hist);
+  ASSERT_TRUE(
+      net::decode_request_binary(net::encode_request_binary(hb), &back, &err))
+      << err;
+  EXPECT_EQ(net::request_to_json(back).dump(), net::request_to_json(hb).dump());
+
+  // The stats type round-trips and is v5-gated; v4 types are not.
+  net::Request stats;
+  stats.type = net::RequestType::Stats;
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(stats), &back, &err))
+      << err;
+  EXPECT_EQ(back.type, net::RequestType::Stats);
+  EXPECT_TRUE(net::request_type_requires_v5(net::RequestType::Stats));
+  EXPECT_FALSE(net::request_type_requires_v5(net::RequestType::Compile));
+  EXPECT_FALSE(net::request_type_requires_v5(net::RequestType::CompileBatch));
+  EXPECT_FALSE(net::request_type_requires_v5(net::RequestType::Forward));
+
+  // A response span tree survives both codecs.
+  net::Response resp;
+  resp.id = 7;
+  obs::Span root{"request", "compile", 4.0, {{"queue", "", 0.5, {}}}};
+  resp.trace = obs::span_to_json(root);
+  net::Response rback;
+  ASSERT_TRUE(
+      net::response_from_json(net::response_to_json(resp), &rback, &err))
+      << err;
+  obs::Span got;
+  ASSERT_TRUE(obs::span_from_json(rback.trace, &got));
+  EXPECT_EQ(got.name, "request");
+  ASSERT_EQ(got.children.size(), 1u);
+  EXPECT_EQ(got.children[0].name, "queue");
+  ASSERT_TRUE(net::decode_response_binary(net::encode_response_binary(resp),
+                                          &rback, &err))
+      << err;
+  EXPECT_EQ(net::response_to_json(rback).dump(),
+            net::response_to_json(resp).dump());
+
+  // An untraced response carries no trace member at all (pre-v5 clients
+  // never see an unknown key).
+  net::Response plain;
+  plain.id = 8;
+  EXPECT_EQ(net::response_to_json(plain).find("trace"), nullptr);
+}
+
+TEST(Server, StatsUnderV4DrawsUnsupportedVersion) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // A v4 client sending the v5-only stats poll: a version problem, not a
+  // protocol error, and the connection survives.
+  net::Request req;
+  req.type = net::RequestType::Stats;
+  req.id = 31;
+  req.version = 4;
+  ASSERT_TRUE(client.send_frame(net::request_to_json(req).dump(), &err)) << err;
+
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  net::Response resp;
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::UnsupportedVersion);
+  EXPECT_EQ(resp.id, 31);
+
+  net::Request ping;
+  ping.type = net::RequestType::Ping;
+  ASSERT_TRUE(client.call(std::move(ping), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+  EXPECT_EQ(live.server.stats().protocol_errors, 0u);
+}
+
+TEST(Server, StatsAnswersLiveHistograms) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // Some traffic so the histograms are populated: a cold compile (miss)
+  // and a warm one (memory hit).
+  net::Response cresp;
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &cresp, &err)) << err;
+  ASSERT_EQ(cresp.status, net::Status::Ok) << cresp.error;
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &cresp, &err)) << err;
+  ASSERT_EQ(cresp.status, net::Status::Ok) << cresp.error;
+  EXPECT_TRUE(cresp.result.cache_hit);
+
+  net::Request stats;
+  stats.type = net::RequestType::Stats;
+  net::Response resp;
+  ASSERT_TRUE(client.call(std::move(stats), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  ASSERT_TRUE(resp.metrics.is_object());
+
+  const json::Value* hist = resp.metrics.find("hist");
+  ASSERT_NE(hist, nullptr);
+  const json::Value* compile = hist->find("compile");
+  ASSERT_NE(compile, nullptr);
+  EXPECT_EQ(compile->find("count")->as_int(0), 2);
+  EXPECT_GE(compile->find("p50_ms")->as_double(-1), 0.0);
+  EXPECT_GE(compile->find("p99_ms")->as_double(-1),
+            compile->find("p50_ms")->as_double(-1));
+  // One cold miss, one memory hit — each in its outcome family.
+  ASSERT_NE(hist->find("cache:miss"), nullptr);
+  EXPECT_EQ(hist->find("cache:miss")->find("count")->as_int(0), 1);
+  ASSERT_NE(hist->find("cache:memory_hit"), nullptr);
+  EXPECT_EQ(hist->find("cache:memory_hit")->find("count")->as_int(0), 1);
+
+  // The flight recorder saw the compiles; no traces were requested.
+  const json::Value* flight = resp.metrics.find("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_GE(flight->find("recorded")->as_int(0), 2);
+  const json::Value* traces = resp.metrics.find("traces");
+  ASSERT_NE(traces, nullptr);
+  EXPECT_EQ(traces->find("recorded")->as_int(-1), 0);
+
+  // And the regular metrics sections ride along (server block included).
+  ASSERT_NE(resp.metrics.find("server"), nullptr);
+
+  // The histograms match what the server reports for heartbeats: the
+  // encoded set decodes back to the same counts.
+  auto snaps = live.server.histogram_snapshots();
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> decoded;
+  ASSERT_TRUE(obs::decode_histogram_set(obs::encode_histogram_set(snaps),
+                                        &decoded));
+  bool saw_compile = false;
+  for (const auto& [name, snap] : decoded)
+    if (name == "compile") {
+      saw_compile = true;
+      EXPECT_EQ(snap.count, 2u);
+    }
+  EXPECT_TRUE(saw_compile);
+}
+
+TEST(Server, TracedCompileReturnsWellFormedSpanTree) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // Cold traced compile: the worker path roots queue + cache + compile
+  // spans under one "request" span.
+  net::Request req = compile_request(quick_app());
+  req.trace = true;
+  net::Response resp;
+  ASSERT_TRUE(client.call(std::move(req), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  ASSERT_TRUE(resp.trace.is_object()) << "traced compile returned no tree";
+  obs::Span root;
+  ASSERT_TRUE(obs::span_from_json(resp.trace, &root));
+  EXPECT_EQ(root.name, "request");
+  EXPECT_EQ(obs::span_tree_violations(root), 0u);
+  ASSERT_GE(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "queue");
+  bool saw_compile_span = false;
+  double child_sum = 0;
+  for (const auto& c : root.children) {
+    child_sum += c.wall_ms;
+    if (c.name == "compile") {
+      saw_compile_span = true;
+      // Per-pass spans ride under the compile span.
+      EXPECT_GE(c.children.size(), 1u);
+      for (const auto& p : c.children)
+        EXPECT_EQ(p.name.rfind("pass:", 0), 0u) << p.name;
+    }
+  }
+  EXPECT_TRUE(saw_compile_span);
+  // The acceptance invariant: root wall covers the sum of child spans.
+  EXPECT_GE(root.wall_ms + 0.5, child_sum);
+
+  // Warm traced compile: the fast path still answers with a tree.
+  net::Request warm = compile_request(quick_app());
+  warm.trace = true;
+  ASSERT_TRUE(client.call(std::move(warm), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  ASSERT_TRUE(resp.trace.is_object());
+  obs::Span fast;
+  ASSERT_TRUE(obs::span_from_json(resp.trace, &fast));
+  EXPECT_EQ(obs::span_tree_violations(fast), 0u);
+  ASSERT_EQ(fast.children.size(), 1u);
+  EXPECT_EQ(fast.children[0].name, "cache");
+  EXPECT_EQ(fast.children[0].detail, "memory_hit");
+
+  // Both trees were sampled server-side, retrievable by trace id.
+  EXPECT_EQ(live.server.traces().recorded(), 2u);
+
+  // An untraced request draws no tree.
+  net::Response plain;
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &plain, &err)) << err;
+  EXPECT_TRUE(plain.trace.is_null());
 }
 
 }  // namespace

@@ -1,0 +1,364 @@
+// Unit tests for the observability layer: the log-bucketed latency
+// histogram (bucket geometry, merge algebra, quantile error bound, wire
+// encoding), the trace span tree (deterministic JSON, the wall-covers-
+// children invariant, the sample ring), and the flight recorder ring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace ap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket geometry
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  // Below one octave of sub-buckets every microsecond is its own bucket.
+  for (uint64_t us = 0; us < obs::kHistSubBuckets; ++us) {
+    EXPECT_EQ(obs::histogram_bucket(us), us);
+    EXPECT_EQ(obs::histogram_bucket_lower(static_cast<uint32_t>(us)), us);
+  }
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndLowerBoundInverts) {
+  // Walk bucket boundaries across many octaves: the index is strictly
+  // increasing bucket to bucket, lower(bucket(v)) <= v, and the lower
+  // bound is the exact inverse at each boundary.
+  uint32_t prev = 0;
+  for (uint32_t b = 0; b < 40 * obs::kHistSubBuckets; ++b) {
+    uint64_t lo = obs::histogram_bucket_lower(b);
+    EXPECT_EQ(obs::histogram_bucket(lo), b) << "boundary of bucket " << b;
+    if (b > 0) {
+      EXPECT_GT(lo, obs::histogram_bucket_lower(b - 1));
+      EXPECT_GE(b, prev);
+    }
+    prev = b;
+  }
+  // Continuity at an octave edge: the last value of a bucket still maps
+  // to that bucket (no gaps between buckets).
+  for (uint32_t b = 1; b < 30 * obs::kHistSubBuckets; ++b) {
+    uint64_t next_lo = obs::histogram_bucket_lower(b + 1);
+    EXPECT_EQ(obs::histogram_bucket(next_lo - 1), b);
+  }
+}
+
+TEST(Histogram, BucketWidthIsBoundedRelativeError) {
+  // Above the exact range, a bucket's width is at most lower/2^kSubBits
+  // (~3.1% of its lower bound) — the quantile error bound rests on this.
+  for (uint32_t b = obs::kHistSubBuckets; b < 50 * obs::kHistSubBuckets;
+       ++b) {
+    uint64_t lo = obs::histogram_bucket_lower(b);
+    uint64_t hi = obs::histogram_bucket_lower(b + 1);
+    EXPECT_LE(hi - lo, std::max<uint64_t>(1, lo >> obs::kHistSubBits))
+        << "bucket " << b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merge algebra
+// ---------------------------------------------------------------------------
+
+obs::HistogramSnapshot snap_of(const std::vector<uint64_t>& us) {
+  obs::Histogram h;
+  for (uint64_t v : us) h.record_us(v);
+  return h.snapshot();
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  auto a = snap_of({1, 5, 40, 900, 1'000'000});
+  auto b = snap_of({2, 40, 41, 77'000});
+  auto c = snap_of({0, 999, 40, 12'345'678});
+
+  // (a+b)+c
+  obs::HistogramSnapshot left = a;
+  left.merge(b);
+  left.merge(c);
+  // a+(b+c)
+  obs::HistogramSnapshot bc = b;
+  bc.merge(c);
+  obs::HistogramSnapshot right = a;
+  right.merge(bc);
+  // c+(b+a): commuted order
+  obs::HistogramSnapshot ba = b;
+  ba.merge(a);
+  obs::HistogramSnapshot comm = c;
+  comm.merge(ba);
+
+  // The encoding is canonical (sorted sparse buckets), so string equality
+  // is snapshot equality.
+  EXPECT_EQ(left.encode(), right.encode());
+  EXPECT_EQ(left.encode(), comm.encode());
+  EXPECT_EQ(left.count, a.count + b.count + c.count);
+
+  // Merging an empty snapshot is the identity.
+  obs::HistogramSnapshot id = left;
+  id.merge(obs::HistogramSnapshot{});
+  EXPECT_EQ(id.encode(), left.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Quantile error bound
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, QuantileWithinOneBucketOfExact) {
+  // A deterministic pseudo-random latency population spanning five orders
+  // of magnitude; every quantile the stats plane quotes must land inside
+  // the bucket that holds the exact (sorted-rank) value.
+  std::vector<uint64_t> us;
+  uint64_t x = 0x243f6a8885a308d3ull;  // fixed seed, no global RNG
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    us.push_back(50 + x % 2'000'000);  // 50us .. 2s
+  }
+  auto snap = snap_of(us);
+  std::vector<uint64_t> sorted = us;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (double q : {0.50, 0.90, 0.99}) {
+    uint64_t exact =
+        sorted[static_cast<size_t>(std::ceil(q * sorted.size())) - 1];
+    uint64_t approx = snap.quantile_us(q);
+    uint32_t bucket = obs::histogram_bucket(exact);
+    uint64_t lo = obs::histogram_bucket_lower(bucket);
+    uint64_t hi = obs::histogram_bucket_lower(bucket + 1);
+    EXPECT_GE(approx, lo) << "q=" << q;
+    EXPECT_LT(approx, hi) << "q=" << q;
+  }
+
+  // Degenerate distribution: every quantile is the single value, not the
+  // bucket ceiling (midpoints clamp to the observed max).
+  auto single = snap_of({777'777});
+  EXPECT_EQ(single.quantile_us(0.50), 777'777u);
+  EXPECT_EQ(single.quantile_us(0.99), 777'777u);
+  EXPECT_EQ(obs::HistogramSnapshot{}.quantile_us(0.99), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire encoding
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, EncodeDecodeRoundTrip) {
+  auto snap = snap_of({3, 3, 3, 64, 65, 900'000});
+  obs::HistogramSnapshot back;
+  ASSERT_TRUE(obs::HistogramSnapshot::decode(snap.encode(), &back));
+  EXPECT_EQ(back.encode(), snap.encode());
+  EXPECT_EQ(back.count, snap.count);
+  EXPECT_EQ(back.max_us, snap.max_us);
+  EXPECT_EQ(back.buckets, snap.buckets);
+
+  // Malformed inputs are rejected, never crash.
+  obs::HistogramSnapshot junk;
+  EXPECT_FALSE(obs::HistogramSnapshot::decode("", &junk));
+  EXPECT_FALSE(obs::HistogramSnapshot::decode("5", &junk));
+  EXPECT_FALSE(obs::HistogramSnapshot::decode("5;9;x:1", &junk));
+  EXPECT_FALSE(obs::HistogramSnapshot::decode("5;9;3:0", &junk));     // zero count
+  EXPECT_FALSE(obs::HistogramSnapshot::decode("5;9;7:1,3:1", &junk)); // unsorted
+  EXPECT_FALSE(obs::HistogramSnapshot::decode("5;9;999999:1", &junk));
+}
+
+TEST(Histogram, SetEncodingCarriesNamedFamilies) {
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> set;
+  set.emplace_back("compile", snap_of({100, 200, 300}));
+  set.emplace_back("empty", obs::HistogramSnapshot{});  // skipped
+  set.emplace_back("cache:hit", snap_of({5}));
+
+  std::string wire = obs::encode_histogram_set(set);
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> back;
+  ASSERT_TRUE(obs::decode_histogram_set(wire, &back));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].first, "compile");
+  EXPECT_EQ(back[0].second.count, 3u);
+  EXPECT_EQ(back[1].first, "cache:hit");
+  EXPECT_EQ(back[1].second.count, 1u);
+
+  EXPECT_TRUE(obs::encode_histogram_set({}).empty());
+  ASSERT_TRUE(obs::decode_histogram_set("", &back));
+  EXPECT_TRUE(back.empty());
+  EXPECT_FALSE(obs::decode_histogram_set("=1;2;", &back));
+  EXPECT_FALSE(obs::decode_histogram_set("name", &back));
+}
+
+TEST(Histogram, SummaryJsonHasTheStatsPlaneFields) {
+  auto snap = snap_of({1'000, 2'000, 4'000});
+  json::Value v = snap.summary_json();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("count")->as_int(0), 3);
+  EXPECT_GT(v.find("p50_ms")->as_double(0), 0.0);
+  EXPECT_GT(v.find("p90_ms")->as_double(0), 0.0);
+  EXPECT_GT(v.find("p99_ms")->as_double(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.find("max_ms")->as_double(0), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Span trees
+// ---------------------------------------------------------------------------
+
+obs::Span forwarded_warm_hit_tree() {
+  // The shape a forwarded warm hit produces: coordinator request →
+  // forward hop → worker request → cache tier + peer probe.
+  obs::Span worker{"request",
+                   "compile",
+                   4.0,
+                   {{"queue", "", 0.5, {}},
+                    {"cache", "miss", 0.25, {}},
+                    {"peer:probe", "w-beta hit", 3.0, {}}}};
+  obs::Span root{"request", "compile", 6.0, {{"queue", "", 0.25, {}}}};
+  obs::Span hop{"forward", "w-alpha", 5.0, {}};
+  hop.children.push_back(std::move(worker));
+  root.children.push_back(std::move(hop));
+  return root;
+}
+
+TEST(Trace, JsonRenderingIsDeterministic) {
+  obs::Span root = forwarded_warm_hit_tree();
+  // Exact string: fixed key order, insertion-ordered objects, details
+  // omitted when empty. Any change to the rendering is a wire change.
+  EXPECT_EQ(
+      obs::span_to_json(root).dump(),
+      R"({"name": "request", "detail": "compile", "wall_ms": 6, "children": [)"
+      R"({"name": "queue", "wall_ms": 0.25}, )"
+      R"({"name": "forward", "detail": "w-alpha", "wall_ms": 5, "children": [)"
+      R"({"name": "request", "detail": "compile", "wall_ms": 4, "children": [)"
+      R"({"name": "queue", "wall_ms": 0.5}, )"
+      R"({"name": "cache", "detail": "miss", "wall_ms": 0.25}, )"
+      R"({"name": "peer:probe", "detail": "w-beta hit", "wall_ms": 3}]}]}]})");
+  // And twice in a row is byte-identical.
+  EXPECT_EQ(obs::span_to_json(root).dump(), obs::span_to_json(root).dump());
+}
+
+TEST(Trace, RoundTripAndTreeShape) {
+  obs::Span root = forwarded_warm_hit_tree();
+  obs::Span back;
+  ASSERT_TRUE(obs::span_from_json(obs::span_to_json(root), &back));
+  EXPECT_EQ(obs::span_to_json(back).dump(), obs::span_to_json(root).dump());
+
+  // The forwarded warm hit covers every hop: coordinator root, forward
+  // hop, worker request, and the peer probe under it.
+  EXPECT_EQ(obs::span_count(root), 7u);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[1].name, "forward");
+  const obs::Span& worker = root.children[1].children[0];
+  EXPECT_EQ(worker.name, "request");
+  EXPECT_EQ(worker.children[2].name, "peer:probe");
+  EXPECT_EQ(worker.children[2].detail, "w-beta hit");
+
+  // Zero orphans: every span's wall covers its children.
+  EXPECT_EQ(obs::span_tree_violations(root), 0u);
+
+  // Break the invariant: a child wider than its parent is flagged once.
+  obs::Span bad = root;
+  bad.children[1].children[0].wall_ms = 50.0;
+  EXPECT_EQ(obs::span_tree_violations(bad), 1u);
+
+  // Malformed JSON shapes are rejected.
+  obs::Span out;
+  EXPECT_FALSE(obs::span_from_json(json::Value(), &out));
+  auto doc = json::parse(R"({"wall_ms": 1})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(obs::span_from_json(*doc, &out));
+}
+
+TEST(Trace, RenderIsIndentedWithDetails) {
+  obs::Span root = forwarded_warm_hit_tree();
+  std::string text = obs::render_span_tree(root);
+  EXPECT_NE(text.find("    6.000ms  request [compile]"), std::string::npos);
+  EXPECT_NE(text.find("    5.000ms    forward [w-alpha]"), std::string::npos);
+  EXPECT_NE(text.find("    3.000ms        peer:probe [w-beta hit]"),
+            std::string::npos);
+  EXPECT_EQ(static_cast<size_t>(std::count(text.begin(), text.end(), '\n')),
+            obs::span_count(root));
+}
+
+TEST(Trace, StoreIsABoundedRingNewestWins) {
+  obs::TraceStore store(3);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    json::Value v = json::Value::object();
+    v.set("name", "request").set("wall_ms", static_cast<double>(id));
+    store.record(id, std::move(v));
+  }
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.recorded(), 5u);
+  EXPECT_TRUE(store.find(1).is_null());  // aged out
+  EXPECT_TRUE(store.find(2).is_null());
+  ASSERT_TRUE(store.find(5).is_object());
+
+  // Same id recorded twice: the newest tree wins.
+  json::Value again = json::Value::object();
+  again.set("name", "request").set("wall_ms", 99.0);
+  store.record(5, std::move(again));
+  EXPECT_DOUBLE_EQ(store.find(5).find("wall_ms")->as_double(0), 99.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsTheLastCapacityEvents) {
+  obs::FlightRecorder rec(4);
+  for (int i = 1; i <= 10; ++i) {
+    obs::FlightEvent ev;
+    ev.request_id = i;
+    ev.type = "compile";
+    ev.outcome = i % 2 ? "ok" : "miss";
+    ev.wall_ms = i * 1.5;
+    rec.record(std::move(ev));
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest first, seq monotonic, the first six dropped.
+  EXPECT_EQ(snap.front().seq, 7u);
+  EXPECT_EQ(snap.back().seq, 10u);
+  EXPECT_EQ(snap.front().request_id, 7);
+  for (size_t i = 1; i < snap.size(); ++i)
+    EXPECT_EQ(snap[i].seq, snap[i - 1].seq + 1);
+}
+
+TEST(FlightRecorder, DumpAndJsonCarryTraceIdsWhenPresent) {
+  obs::FlightRecorder rec(8);
+  obs::FlightEvent traced;
+  traced.trace_id = 0xabcdef0123456789ull;
+  traced.request_id = 1;
+  traced.type = "compile";
+  traced.outcome = "cache_hit";
+  traced.wall_ms = 2.5;
+  traced.digest = "queue+cache";
+  rec.record(std::move(traced));
+  obs::FlightEvent plain;
+  plain.request_id = 2;
+  plain.type = "ping";
+  plain.outcome = "ok";
+  rec.record(std::move(plain));
+
+  std::string dump = rec.dump();
+  EXPECT_NE(dump.find("trace=abcdef0123456789"), std::string::npos);
+  EXPECT_NE(dump.find("queue+cache"), std::string::npos);
+  EXPECT_NE(dump.find("ping"), std::string::npos);
+  EXPECT_EQ(static_cast<size_t>(std::count(dump.begin(), dump.end(), '\n')),
+            2u);
+
+  json::Value rows = rec.to_json();
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.items().size(), 2u);
+  EXPECT_NE(rows.items()[0].find("trace_id"), nullptr);
+  EXPECT_EQ(rows.items()[1].find("trace_id"), nullptr);
+
+  // capacity 0 clamps to 1: the recorder never silently drops everything.
+  obs::FlightRecorder tiny(0);
+  EXPECT_EQ(tiny.capacity(), 1u);
+}
+
+}  // namespace
+}  // namespace ap
