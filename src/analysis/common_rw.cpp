@@ -1,0 +1,102 @@
+#include "analysis/common_rw.h"
+
+namespace ap::analysis {
+
+namespace {
+
+using namespace ap::fir;
+
+struct Collector {
+  // Member name -> owning block, from the unit's own COMMON declarations.
+  std::map<std::string, std::string> member_block;
+  CommonRW out;
+
+  void read_name(const std::string& name) {
+    auto it = member_block.find(name);
+    if (it != member_block.end()) out.reads[it->second].insert(name);
+  }
+  void write_name(const std::string& name) {
+    auto it = member_block.find(name);
+    if (it != member_block.end()) out.writes[it->second].insert(name);
+  }
+
+  // Every VarRef/ArrayRef reachable from `e` reads (subscripts included).
+  void read_expr(const Expr* e) {
+    if (!e) return;
+    walk_expr_tree(*e, [&](const Expr& x) {
+      if (x.kind == ExprKind::VarRef || x.kind == ExprKind::ArrayRef)
+        read_name(x.name);
+    });
+  }
+
+  // A CALL argument passes by reference: the callee may read or write any
+  // member the expression mentions.
+  void readwrite_expr(const Expr* e) {
+    if (!e) return;
+    walk_expr_tree(*e, [&](const Expr& x) {
+      if (x.kind == ExprKind::VarRef || x.kind == ExprKind::ArrayRef) {
+        read_name(x.name);
+        write_name(x.name);
+      }
+    });
+  }
+
+  // Assignment target: the base writes, its subscripts read.
+  void write_target(const Expr* e) {
+    if (!e) return;
+    if (e->kind == ExprKind::VarRef || e->kind == ExprKind::ArrayRef) {
+      write_name(e->name);
+      for (const auto& sub : e->args) read_expr(sub.get());
+      return;
+    }
+    // Defensive: an unexpected target shape degrades to read+write.
+    readwrite_expr(e);
+  }
+
+  void visit(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign:
+      case StmtKind::TupleAssign:
+        for (const auto& t : s.lhs) write_target(t.get());
+        read_expr(s.rhs.get());
+        break;
+      case StmtKind::Do:
+        write_name(s.do_var);
+        read_expr(s.do_lo.get());
+        read_expr(s.do_hi.get());
+        read_expr(s.do_step.get());
+        break;
+      case StmtKind::If:
+        read_expr(s.cond.get());
+        break;
+      case StmtKind::Call:
+        for (const auto& a : s.args) readwrite_expr(a.get());
+        break;
+      case StmtKind::Write:
+        for (const auto& a : s.args) read_expr(a.get());
+        break;
+      case StmtKind::TaggedRegion:
+        for (const auto& a : s.arg_hints) readwrite_expr(a.get());
+        break;
+      case StmtKind::Stop:
+      case StmtKind::Return:
+      case StmtKind::Continue:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+CommonRW common_rw_summary(const fir::ProgramUnit& unit) {
+  Collector c;
+  for (const auto& cb : unit.commons)
+    for (const auto& v : cb.vars) c.member_block.emplace(v, cb.name);
+  fir::walk_stmts(unit.body, [&](const fir::Stmt& s) {
+    c.visit(s);
+    return true;  // recurse into Do/If/TaggedRegion bodies
+  });
+  return c.out;
+}
+
+}  // namespace ap::analysis

@@ -6,6 +6,7 @@
 #include <chrono>
 
 #include "dist/shard.h"
+#include "incr/unit_cache.h"
 
 namespace ap::dist {
 
@@ -48,6 +49,20 @@ bool Worker::start(std::string* err) {
     };
     so.on_store = [this](uint64_t key, const service::CompileResult& r,
                          uint64_t trace_id) { replicate(key, r, trace_id); };
+    // Unit-artifact tier: a pass-boundary miss asks the fleet before the
+    // pass recomputes, and fresh snapshots replicate to the same ranked
+    // peers. Hooks fire outside the cache mutex (they do network I/O).
+    if (opts_.unit_cache) {
+      opts_.unit_cache->set_peer_lookup(
+          [this](const std::string&, uint64_t key) {
+            return unit_peer_lookup(key);
+          });
+      opts_.unit_cache->set_store_hook(
+          [this](const std::string& boundary, uint64_t key,
+                 const std::string& payload) {
+            unit_replicate(boundary, key, payload);
+          });
+    }
   }
   scheduler_ = std::make_unique<service::Scheduler>(so);
 
@@ -72,7 +87,12 @@ bool Worker::start(std::string* err) {
         .set("probe_hits", ps.probe_hits)
         .set("fills_sent", ps.fills_sent)
         .set("fills_received", ps.fills_received)
-        .set("peer_hits", ps.peer_hits);
+        .set("peer_hits", ps.peer_hits)
+        .set("unit_probes_sent", ps.unit_probes_sent)
+        .set("unit_probe_hits", ps.unit_probe_hits)
+        .set("unit_fills_sent", ps.unit_fills_sent)
+        .set("unit_fills_received", ps.unit_fills_received)
+        .set("unit_peer_hits", ps.unit_peer_hits);
     out->set("peer_cache", std::move(peer));
   };
   server_ = std::make_unique<net::Server>(no);
@@ -158,6 +178,13 @@ service::PeerCacheStats Worker::peer_stats() const {
   s.fills_sent = fills_sent_.load();
   s.fills_received = fills_received_.load();
   s.peer_hits = peer_hits_.load();
+  s.unit_probes_sent = unit_probes_sent_.load();
+  s.unit_probe_hits = unit_probe_hits_.load();
+  s.unit_fills_sent = unit_fills_sent_.load();
+  s.unit_fills_received = unit_fills_received_.load();
+  // A successful unit probe IS a unit served from the peer tier (the
+  // UnitCache adopts the payload and counts the hit on its side too).
+  s.unit_peer_hits = unit_probe_hits_.load();
   return s;
 }
 
@@ -204,6 +231,44 @@ bool Worker::control(const net::Request& req, net::Response* resp) {
       }
       resp->status = net::Status::Error;
       resp->error = "undecodable cache_fill payload";
+      return true;
+    }
+    case net::RequestType::UnitProbe: {
+      uint64_t key = 0;
+      if (!net::parse_key(req.key, &key)) {
+        resp->status = net::Status::Error;
+        resp->error = "unparseable unit key";
+        return true;
+      }
+      // Local tiers only (peek): answering a probe must never recurse
+      // into this worker's own peer hook.
+      if (opts_.unit_cache) {
+        if (auto payload = opts_.unit_cache->peek(key)) {
+          resp->found = true;
+          resp->payload = std::move(*payload);
+        }
+      }
+      return true;
+    }
+    case net::RequestType::UnitFill: {
+      uint64_t key = 0;
+      if (!net::parse_key(req.key, &key)) {
+        resp->status = net::Status::Error;
+        resp->error = "unparseable unit key";
+        return true;
+      }
+      if (req.boundary.empty()) {
+        resp->status = net::Status::Error;
+        resp->error = "unit_fill requires a \"boundary\"";
+        return true;
+      }
+      // The payload is opaque here — only the snapshotting pass that
+      // owns the boundary can validate it, and a bad payload is caught
+      // at restore time (the unit just recomputes).
+      if (opts_.unit_cache) {
+        opts_.unit_cache->adopt(req.boundary, key, req.payload);
+        unit_fills_received_.fetch_add(1);
+      }
       return true;
     }
     default:
@@ -299,6 +364,58 @@ void Worker::replicate(uint64_t key, const service::CompileResult& r,
     if (client.call(std::move(req), &resp, &err) &&
         resp.status == net::Status::Ok)
       fills_sent_.fetch_add(1);
+  }
+}
+
+std::optional<std::string> Worker::unit_peer_lookup(uint64_t key) {
+  // Same rendezvous ranking as whole-result probes: the unit keyspace is
+  // shared fleet-wide, so the most likely holder of a key is the worker
+  // that owns (or recently owned) its shard.
+  auto candidates = ranked_peers(peers(), id_, key);
+  int budget = std::max(0, opts_.probe_peers);
+  for (const auto& peer : candidates) {
+    if (budget-- <= 0) break;
+    net::Client client;
+    std::string err;
+    if (!client.connect(peer.host.empty() ? "127.0.0.1" : peer.host,
+                        peer.port, &err,
+                        static_cast<int>(opts_.peer_timeout_ms)))
+      continue;
+    net::Request req;
+    req.type = net::RequestType::UnitProbe;
+    req.key = net::format_key(key);
+    net::Response resp;
+    unit_probes_sent_.fetch_add(1);
+    if (!client.call(std::move(req), &resp, &err)) continue;
+    if (resp.status != net::Status::Ok || !resp.found) continue;
+    unit_probe_hits_.fetch_add(1);
+    return std::move(resp.payload);
+  }
+  return std::nullopt;
+}
+
+void Worker::unit_replicate(const std::string& boundary, uint64_t key,
+                            const std::string& payload) {
+  if (opts_.replicate <= 0) return;
+  auto candidates = ranked_peers(peers(), id_, key);
+  int budget = opts_.replicate;
+  for (const auto& peer : candidates) {
+    if (budget-- <= 0) break;
+    net::Client client;
+    std::string err;
+    if (!client.connect(peer.host.empty() ? "127.0.0.1" : peer.host,
+                        peer.port, &err,
+                        static_cast<int>(opts_.peer_timeout_ms)))
+      continue;
+    net::Request req;
+    req.type = net::RequestType::UnitFill;
+    req.key = net::format_key(key);
+    req.payload = payload;
+    req.boundary = boundary;
+    net::Response resp;
+    if (client.call(std::move(req), &resp, &err) &&
+        resp.status == net::Status::Ok)
+      unit_fills_sent_.fetch_add(1);
   }
 }
 

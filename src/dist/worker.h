@@ -17,6 +17,14 @@
 // `replicate` peers in the same ranking, so the natural failover targets
 // are warm before they are ever asked.
 //
+// Unit-artifact tier (wire v6): when a UnitCache is attached, the same
+// pattern runs one level down. A unit whose pass-boundary key misses both
+// local tiers is probed from peers with `unit_probe` before the pass
+// recomputes it, and fresh unit snapshots are pushed with `unit_fill` —
+// so a late-joining or resharded worker resumes apps mid-pipeline from
+// artifacts its peers already computed, without ever holding the
+// whole-request result.
+//
 // Serving: the worker accepts coordinator-wrapped `forward` requests and
 // plain compile/run (it remains a valid single-node endpoint), and
 // answers `cache_probe`/`cache_fill` from peers on the loop thread
@@ -112,6 +120,11 @@ class Worker {
                                                     obs::Span* span);
   void replicate(uint64_t key, const service::CompileResult& r,
                  uint64_t trace_id);
+  // Unit-artifact hooks (installed on the attached UnitCache): probe the
+  // ranked peers for one pass-boundary artifact / push a fresh one.
+  std::optional<std::string> unit_peer_lookup(uint64_t key);
+  void unit_replicate(const std::string& boundary, uint64_t key,
+                      const std::string& payload);
   void heartbeat_main();
   bool send_heartbeat(bool leaving);
   void adopt_peers(const std::vector<net::WorkerInfo>& peers);
@@ -138,6 +151,10 @@ class Worker {
   std::atomic<uint64_t> fills_sent_{0};
   std::atomic<uint64_t> fills_received_{0};
   std::atomic<uint64_t> peer_hits_{0};
+  std::atomic<uint64_t> unit_probes_sent_{0};
+  std::atomic<uint64_t> unit_probe_hits_{0};
+  std::atomic<uint64_t> unit_fills_sent_{0};
+  std::atomic<uint64_t> unit_fills_received_{0};
 };
 
 }  // namespace ap::dist

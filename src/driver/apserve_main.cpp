@@ -54,6 +54,7 @@
 #include "incr/unit_cache.h"
 #include "interp/interp.h"
 #include "service/scheduler.h"
+#include "support/disk_budget.h"
 
 using namespace ap;
 
@@ -150,12 +151,15 @@ int main(int argc, char** argv) {
     args.threads = hw ? static_cast<int>(hw) : 1;
   }
 
-  service::ResultCache cache(args.cache_capacity, args.cache_dir,
-                             args.cache_max_mb * 1024 * 1024);
+  // One byte budget across both disk tiers: --cache-max-mb caps the
+  // combined footprint of whole-request results and unit artifacts.
+  support::DiskBudget budget(args.cache_max_mb * 1024 * 1024);
+  service::ResultCache cache(args.cache_capacity, args.cache_dir, 0, &budget);
   std::unique_ptr<incr::UnitCache> unit_cache;
   if (args.incremental)
     unit_cache = std::make_unique<incr::UnitCache>(
-        4096, args.cache_dir.empty() ? "" : args.cache_dir + "/units");
+        4096, args.cache_dir.empty() ? "" : args.cache_dir + "/units",
+        &budget);
   service::Telemetry telemetry;
   service::Scheduler::Options sopts;
   sopts.threads = args.threads;

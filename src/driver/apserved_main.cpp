@@ -75,6 +75,7 @@
 #include "dist/worker.h"
 #include "incr/unit_cache.h"
 #include "net/server.h"
+#include "support/disk_budget.h"
 
 using namespace ap;
 
@@ -108,11 +109,14 @@ struct Args {
 
 // The unit-granular incremental tier (enabled by --incremental); shared by
 // the single-node and worker serving paths. The disk tier lives under
-// <cache-dir>/units when --cache-dir is set.
-std::unique_ptr<incr::UnitCache> make_unit_cache(const Args& args) {
+// <cache-dir>/units when --cache-dir is set, and charges the SAME byte
+// budget as the whole-request tier so --cache-max-mb caps their combined
+// footprint.
+std::unique_ptr<incr::UnitCache> make_unit_cache(const Args& args,
+                                                 support::DiskBudget* budget) {
   if (!args.incremental) return nullptr;
   return std::make_unique<incr::UnitCache>(
-      4096, args.cache_dir.empty() ? "" : args.cache_dir + "/units");
+      4096, args.cache_dir.empty() ? "" : args.cache_dir + "/units", budget);
 }
 
 [[noreturn]] void usage_error(const char* msg) {
@@ -308,9 +312,11 @@ int run_coordinator(const Args& args) {
 }
 
 int run_worker(const Args& args) {
-  service::ResultCache cache(args.cache_capacity, args.cache_dir,
-                             args.cache_max_mb * 1024 * 1024);
-  std::unique_ptr<incr::UnitCache> unit_cache = make_unit_cache(args);
+  // One byte budget across both disk tiers (results + unit artifacts).
+  support::DiskBudget budget(args.cache_max_mb * 1024 * 1024);
+  service::ResultCache cache(args.cache_capacity, args.cache_dir, 0, &budget);
+  std::unique_ptr<incr::UnitCache> unit_cache =
+      make_unit_cache(args, &budget);
   service::Telemetry telemetry;
   dist::WorkerOptions wo;
   wo.id = args.worker_id;
@@ -361,9 +367,11 @@ int run_worker(const Args& args) {
 }
 
 int run_single(const Args& args) {
-  service::ResultCache cache(args.cache_capacity, args.cache_dir,
-                             args.cache_max_mb * 1024 * 1024);
-  std::unique_ptr<incr::UnitCache> unit_cache = make_unit_cache(args);
+  // One byte budget across both disk tiers (results + unit artifacts).
+  support::DiskBudget budget(args.cache_max_mb * 1024 * 1024);
+  service::ResultCache cache(args.cache_capacity, args.cache_dir, 0, &budget);
+  std::unique_ptr<incr::UnitCache> unit_cache =
+      make_unit_cache(args, &budget);
   service::Telemetry telemetry;
   // The daemon's own worker lanes provide the concurrency; the scheduler
   // is used for its cache-aware dispatch, not its pool.

@@ -2,11 +2,10 @@
 
 #include "fir/parser.h"
 #include "fir/unparse.h"
-#include "incr/plan.h"
 #include "incr/unit_cache.h"
+#include "incr/unit_serial.h"
 #include "par/parallelizer.h"
 #include "sema/symbols.h"
-#include "support/fnv.h"
 #include "xform/normalize.h"
 
 namespace ap::driver {
@@ -129,6 +128,45 @@ class NormalizePass : public pm::Pass {
     if (cx_.opts.par.normalize) xform::normalize_unit(unit);
   }
 
+  // Artifact hooks: the payload is the whole post-normalize unit
+  // (incr/unit_serial.h). A restore replaces the current post-inline unit
+  // with the cached normalized one, so a warm compile skips normalize for
+  // that unit. The driver only enrolls this boundary when par.normalize is
+  // on (a disabled normalize is a no-op not worth a payload).
+  bool snapshotable() const override { return true; }
+
+  std::string snapshot_unit_artifact(const fir::ProgramUnit& unit,
+                                     size_t) override {
+    return incr::serialize_unit(unit);
+  }
+
+  bool restore_unit_artifact(fir::ProgramUnit& unit, size_t,
+                             const std::string& payload) override {
+    auto restored = incr::deserialize_unit(payload);
+    if (!restored || !*restored) return false;
+    // The snapshot carries origin_ids from ITS parse; the parser numbers
+    // loops globally, so an edit elsewhere in the program can renumber
+    // this unit's loops without changing its content. normalize_unit never
+    // adds, removes or reorders DO statements, so the current (pre-
+    // normalize) unit's pre-order ids are reassigned positionally onto the
+    // restored body.
+    std::vector<int64_t> current_ids;
+    fir::walk_stmts(unit.body, [&](const fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Do) current_ids.push_back(s.origin_id);
+      return true;
+    });
+    std::vector<fir::Stmt*> restored_dos;
+    fir::walk_stmts((*restored)->body, [&](fir::Stmt& s) {
+      if (s.kind == fir::StmtKind::Do) restored_dos.push_back(&s);
+      return true;
+    });
+    if (current_ids.size() != restored_dos.size()) return false;
+    for (size_t i = 0; i < restored_dos.size(); ++i)
+      restored_dos[i]->origin_id = current_ids[i];
+    unit = std::move(**restored);
+    return true;
+  }
+
  private:
   PipelineContext& cx_;
 };
@@ -146,39 +184,32 @@ class ParallelizePass : public pm::Pass {
     DiagnosticEngine scratch;
     sema_ = std::make_unique<sema::SemaContext>(*st.program, scratch);
     slots_.assign(st.program->units.size(), par::ParallelizeResult{});
-    if (cx_.opts.unit_cache) {
-      // The plan fingerprints the ORIGINAL source and closes over its
-      // pre-inline CALL/COMMON graph, so a post-inline unit's key covers
-      // every input that can shape it (inlining only moves content inward
-      // from the closure). Unusable plans (token split disagreeing with
-      // the parse) degrade to compiling every unit.
-      plan_ = incr::make_plan(
-          cx_.app->source, cx_.app->annotations,
-          hash_pipeline_options(kFnvOffset, cx_.opts));
-      outcomes_.assign(st.program->units.size(), kMiss);
-    }
   }
 
   void run_unit(fir::ProgramUnit& unit, size_t unit_index,
                 DiagnosticEngine&) override {
-    const incr::PlanEntry* entry =
-        plan_.usable ? plan_.find(unit.name) : nullptr;
-    if (entry) {
-      bool invalidated = false;
-      if (auto snap = cx_.opts.unit_cache->find(entry->key, entry->own_fp,
-                                                &invalidated)) {
-        if (incr::apply_snapshot(unit, *snap)) {
-          slots_[unit_index] = std::move(snap->par);
-          outcomes_[unit_index] = kHit;
-          return;
-        }
-      }
-      if (invalidated) outcomes_[unit_index] = kInvalidated;
-    }
     slots_[unit_index] = par::parallelize_unit(unit, *sema_, cx_.opts.par);
-    if (entry)
-      cx_.opts.unit_cache->store(entry->key, entry->own_fp,
-                                 incr::snapshot_unit(unit, slots_[unit_index]));
+  }
+
+  // Artifact hooks: the payload is the unit's OMP marks plus its
+  // ParallelizeResult ("APUNIT", incr/unit_cache.h). A restore re-applies
+  // the marks onto the freshly normalized unit (remapping verdict
+  // origin_ids onto the current parse's numbering) and fills the unit's
+  // result slot, so a warm compile skips dependence testing entirely.
+  bool snapshotable() const override { return true; }
+
+  std::string snapshot_unit_artifact(const fir::ProgramUnit& unit,
+                                     size_t unit_index) override {
+    return incr::serialize_snapshot(
+        incr::snapshot_unit(unit, slots_[unit_index]));
+  }
+
+  bool restore_unit_artifact(fir::ProgramUnit& unit, size_t unit_index,
+                             const std::string& payload) override {
+    auto snap = incr::deserialize_snapshot(payload);
+    if (!snap || !incr::apply_snapshot(unit, *snap)) return false;
+    slots_[unit_index] = std::move(snap->par);
+    return true;
   }
 
   void end(pm::PassState&) override {
@@ -186,26 +217,14 @@ class ParallelizePass : public pm::Pass {
     // matter which lane finished first.
     for (auto& slot : slots_)
       par::merge_results(cx_.result->par, std::move(slot));
-    if (cx_.opts.unit_cache) {
-      for (uint8_t o : outcomes_) {
-        if (o == kHit) ++cx_.result->unit_hits;
-        else ++cx_.result->unit_misses;
-        if (o == kInvalidated) ++cx_.result->unit_invalidated;
-      }
-    }
     slots_.clear();
-    outcomes_.clear();
     sema_.reset();
   }
 
  private:
-  enum : uint8_t { kMiss = 0, kHit = 1, kInvalidated = 2 };
-
   PipelineContext& cx_;
   std::unique_ptr<sema::SemaContext> sema_;
-  std::vector<par::ParallelizeResult> slots_;
-  incr::IncrPlan plan_;
-  std::vector<uint8_t> outcomes_;  // per unit index; lanes write disjoint slots
+  std::vector<par::ParallelizeResult> slots_;  // lanes write disjoint slots
 };
 
 class ReverseInlinePass : public pm::Pass {

@@ -1,0 +1,63 @@
+#include "incr/artifacts.h"
+
+#include "incr/unit_cache.h"
+#include "support/fnv.h"
+
+namespace ap::incr {
+
+uint64_t PassArtifacts::full_key(std::string_view pass_name,
+                                 uint64_t prefix_fp, const PlanEntry& entry,
+                                 uint64_t opts_hash) const {
+  uint64_t h = entry.key;
+  h = fnv_u64(h, opts_hash);
+  h = fnv_u64(h, prefix_fp);
+  h = fnv1a(h, pass_name);
+  return h;
+}
+
+pm::ArtifactProbe PassArtifacts::find_unit(std::string_view pass_name,
+                                           uint64_t prefix_fp,
+                                           const std::string& unit_name) {
+  pm::ArtifactProbe probe;
+  if (!cache_) return probe;
+  auto bit = boundaries_.find(pass_name);
+  if (bit == boundaries_.end()) return probe;
+  probe.participating = true;
+
+  const PlanEntry* entry = plan_.usable ? plan_.find(unit_name) : nullptr;
+  if (!entry) return probe;  // unusable plan: every unit is a plain miss
+
+  uint64_t key = full_key(pass_name, prefix_fp, *entry, bit->second);
+  UnitFindResult r = cache_->find(bit->first, key, entry->own_fp);
+  probe.invalidated = r.invalidated;
+  probe.payload = std::move(r.payload);
+  switch (r.tier) {
+    case UnitTier::None:
+      probe.tier = pm::ArtifactTier::None;
+      break;
+    case UnitTier::Memory:
+      probe.tier = pm::ArtifactTier::Memory;
+      break;
+    case UnitTier::Disk:
+      probe.tier = pm::ArtifactTier::Disk;
+      break;
+    case UnitTier::Peer:
+      probe.tier = pm::ArtifactTier::Peer;
+      break;
+  }
+  return probe;
+}
+
+void PassArtifacts::store_unit(std::string_view pass_name, uint64_t prefix_fp,
+                               const std::string& unit_name,
+                               const std::string& payload) {
+  if (!cache_) return;
+  auto bit = boundaries_.find(pass_name);
+  if (bit == boundaries_.end()) return;
+  const PlanEntry* entry = plan_.usable ? plan_.find(unit_name) : nullptr;
+  if (!entry) return;
+  uint64_t key = full_key(pass_name, prefix_fp, *entry, bit->second);
+  cache_->store(bit->first, key, entry->own_fp, payload);
+}
+
+}  // namespace ap::incr

@@ -1,12 +1,34 @@
 // Unit dependence graph for incremental invalidation.
 //
-// deps(U) = direct CALL targets of U ∪ every unit sharing a COMMON block
-// with U. The graph is built from a parse of the ORIGINAL source (before
-// any inlining): inlining only moves content from callees into callers, so
-// the pre-inline transitive closure over-approximates every unit whose
-// source can influence U's post-pass state. COMMON edges are deliberately
-// conservative (bidirectional): a unit that redeclares a shared block can
-// change layout-sensitive analysis in every other sharer.
+// deps(U) = direct CALL targets of U ∪ the COMMON sharers that can
+// influence U. The graph is built from a parse of the ORIGINAL source
+// (before any inlining): inlining only moves content from callees into
+// callers, so the pre-inline transitive closure over-approximates every
+// unit whose source can influence U's post-pass state.
+//
+// COMMON edges come in two flavours (DepMode):
+//
+//   Directed (default) — V -> U only when V writes a member of a shared
+//     block that U reads (analysis/common_rw.h computes per-unit
+//     read/write member sets). A unit that only READS a shared block
+//     cannot influence its sharers, so editing it leaves their closures
+//     untouched. COMMON edges are also SUMMARY dependence, not text
+//     dependence: the reader consults the writer's intraprocedural
+//     read/write summary, so its key needs the writer's own fingerprint —
+//     one hop — and not the writer's closure. CALL edges stay transitive
+//     (the callee's text is inlined into the caller). The combination is
+//     what lifts DYFESM-shaped apps past the 1/|clique| reuse ceiling of
+//     the symmetric rule: the main program writes most members and calls
+//     most units, so a uniform transitive closure would cycle through it
+//     and saturate every unit's closure. When two sharers declare a block
+//     with different member lists the layout coupling is positional, name
+//     matching is meaningless, and that block falls back to symmetric
+//     (but still one-hop) edges among its sharers.
+//
+//   Bidirectional — the historical conservative rule: every pair of units
+//     declaring the same block depends on each other. Kept as a
+//     verification mode; the differential suite test proves both modes
+//     produce bit-identical results.
 //
 // The invalidation rule falls out of key structure rather than explicit
 // bookkeeping: a unit's cache key hashes the fingerprints of its whole
@@ -24,6 +46,8 @@
 
 namespace ap::incr {
 
+enum class DepMode : uint8_t { Directed, Bidirectional };
+
 struct UnitDepGraph {
   std::vector<std::string> names;         // unit-index order of the parse
   std::map<std::string, size_t> index;    // name -> position in `names`
@@ -33,7 +57,8 @@ struct UnitDepGraph {
   bool contains(const std::string& name) const { return index.count(name); }
 };
 
-UnitDepGraph build_dep_graph(const fir::Program& prog);
+UnitDepGraph build_dep_graph(const fir::Program& prog,
+                             DepMode mode = DepMode::Directed);
 
 // The units whose cached state an edit to `edited` invalidates: the edited
 // unit plus every transitive dependent along CALL/COMMON edges. Returns

@@ -13,7 +13,7 @@
 namespace ap::incr {
 
 IncrPlan make_plan(std::string_view source, std::string_view annotations,
-                   uint64_t opts_hash) {
+                   DepMode mode) {
   IncrPlan plan;
 
   SourceFingerprints fps = fingerprint_units(source, annotations);
@@ -23,7 +23,7 @@ IncrPlan make_plan(std::string_view source, std::string_view annotations,
   auto prog = fir::parse_program(source, diags);
   if (!prog) return plan;  // the pipeline will report the parse error
 
-  UnitDepGraph g = build_dep_graph(*prog);
+  UnitDepGraph g = build_dep_graph(*prog, mode);
 
   // The token-level split must name exactly the parsed units, in order —
   // otherwise a fingerprint could be attributed to the wrong unit.
@@ -40,7 +40,6 @@ IncrPlan make_plan(std::string_view source, std::string_view annotations,
     });
     uint64_t h = kFnvOffset;
     h = fnv_u64(h, kUnitCacheFormatVersion);
-    h = fnv_u64(h, opts_hash);
     // The unit's own name first: two units sharing one dependence closure
     // (e.g. an all-to-all COMMON clique) must still key separately, or
     // their snapshots would overwrite each other under a single key.

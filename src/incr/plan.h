@@ -1,22 +1,32 @@
-// The incremental plan for one compile request: a cache key per unit.
+// The incremental plan for one compile request: a closure fingerprint per
+// unit.
 //
 //   key(U) = FNV( kUnitCacheFormatVersion,
-//                 opts_hash,                         — every semantic option
+//                 U's own name,
 //                 (name, fingerprint) of every unit in closure(U),
 //                 sorted by name )
 //
 // where closure(U) is U's transitive CALL/COMMON dependence closure over a
-// fresh parse of the ORIGINAL source (incr/depgraph.h), and the
-// fingerprints are the token-stream hashes of incr/fingerprint.h (own
-// annotations folded in). Editing unit V therefore changes the keys of
-// exactly V and its transitive dependents — the dependence-aware
-// invalidation rule is purely structural, with nothing to expire.
+// fresh parse of the ORIGINAL source (incr/depgraph.h — directed COMMON
+// edges by default), and the fingerprints are the token-stream hashes of
+// incr/fingerprint.h (own annotations folded in). Editing unit V therefore
+// changes the keys of exactly V and its transitive dependents — the
+// dependence-aware invalidation rule is purely structural, with nothing to
+// expire.
 //
-// The plan is built from (source, annotations, opts_hash) alone, before
-// any transformation, and consulted by name at parallelize time: the
-// post-inline program's units are a subset of the source units (inlining
-// and dead-unit elimination only remove or rewrite-in-place), and a
-// post-inline unit's content is a function of its pre-inline closure.
+// The key deliberately covers CONTENT only. The per-boundary artifact
+// layer (incr/artifacts.h) folds in everything else that scopes a cached
+// payload — the pass name, the pass-sequence prefix fingerprint, and the
+// boundary's semantic option hash — so one plan serves every snapshotting
+// pass in the pipeline.
+//
+// The plan is built from (source, annotations) alone, before any
+// transformation, and consulted by name at snapshot time: the post-inline
+// program's units are a subset of the source units (inlining and dead-unit
+// elimination only remove or rewrite-in-place), and a post-inline unit's
+// content is a function of its pre-inline closure (the inliners' fresh
+// name and tag counters are per-unit deterministic for exactly this
+// reason).
 //
 // When the token-level split disagrees with the real parse (defensive;
 // e.g. a variable shadowing a unit-header keyword), the plan is unusable
@@ -27,6 +37,8 @@
 #include <map>
 #include <string>
 #include <string_view>
+
+#include "incr/depgraph.h"
 
 namespace ap::incr {
 
@@ -45,10 +57,11 @@ struct IncrPlan {
   }
 };
 
-// Builds the plan. `opts_hash` must cover every PipelineOptions field that
-// can change the produced result (driver::hash_pipeline_options — the same
-// fields the whole-request cache key hashes).
+// Builds the plan over closure(U) per `mode`. Directed mode shrinks
+// closures on read-only COMMON sharers; Bidirectional reproduces the
+// historical symmetric rule (verification mode — results are bit-identical
+// either way, only hit rates differ).
 IncrPlan make_plan(std::string_view source, std::string_view annotations,
-                   uint64_t opts_hash);
+                   DepMode mode = DepMode::Directed);
 
 }  // namespace ap::incr

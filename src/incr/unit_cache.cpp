@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/disk_budget.h"
+
 namespace ap::incr {
 
 namespace {
@@ -44,6 +46,7 @@ UnitSnapshot snapshot_unit(const fir::ProgramUnit& unit,
     if (o.parallel || o.nowait || !o.privates.empty() ||
         !o.firstprivates.empty() || !o.reductions.empty())
       snap.marks.push_back({idx, o});
+    snap.origin_ids.push_back(s.origin_id);
     ++idx;
     return true;
   });
@@ -51,7 +54,7 @@ UnitSnapshot snapshot_unit(const fir::ProgramUnit& unit,
   return snap;
 }
 
-bool apply_snapshot(fir::ProgramUnit& unit, const UnitSnapshot& snap) {
+bool apply_snapshot(fir::ProgramUnit& unit, UnitSnapshot& snap) {
   // First pass: collect DO pointers in pre-order (the same enumeration
   // snapshot_unit used) and check the shape matches.
   std::vector<fir::Stmt*> dos;
@@ -62,6 +65,27 @@ bool apply_snapshot(fir::ProgramUnit& unit, const UnitSnapshot& snap) {
   if (dos.size() != snap.do_count) return false;
   for (const auto& m : snap.marks)
     if (m.do_index >= dos.size()) return false;
+
+  // Remap the snapshot's verdict origin_ids onto the current parse's ids
+  // (an edit elsewhere in the program can renumber every later loop).
+  // Positional: the i-th pre-order DO at snapshot time is the i-th now —
+  // the key guarantees identical unit content. A conflicting map (same
+  // old id at two positions with different new ids) bails to recompute.
+  if (snap.origin_ids.size() == dos.size()) {
+    std::map<int64_t, int64_t> remap;
+    for (size_t i = 0; i < dos.size(); ++i) {
+      auto [it, inserted] =
+          remap.emplace(snap.origin_ids[i], dos[i]->origin_id);
+      if (!inserted && it->second != dos[i]->origin_id) return false;
+    }
+    for (auto& v : snap.par.loops) {
+      auto it = remap.find(v.origin_id);
+      if (it != remap.end()) v.origin_id = it->second;
+    }
+  } else if (!snap.origin_ids.empty()) {
+    return false;
+  }
+
   for (const auto& m : snap.marks) dos[m.do_index]->omp = m.omp;
   return true;
 }
@@ -70,6 +94,9 @@ std::string serialize_snapshot(const UnitSnapshot& snap) {
   std::ostringstream s;
   s << "APUNIT " << kUnitCacheFormatVersion << "\n";
   s << "do_count " << snap.do_count << "\n";
+  s << "origin_ids " << snap.origin_ids.size();
+  for (int64_t id : snap.origin_ids) s << ' ' << id;
+  s << "\n";
   s << "marks " << snap.marks.size() << "\n";
   for (const auto& m : snap.marks) {
     s << "mark " << m.do_index << ' ' << (m.omp.parallel ? 1 : 0) << ' '
@@ -110,6 +137,11 @@ std::optional<UnitSnapshot> deserialize_snapshot(std::string_view text) {
 
   UnitSnapshot snap;
   if (!(in >> tag >> snap.do_count) || tag != "do_count") return std::nullopt;
+  size_t nids = 0;
+  if (!(in >> tag >> nids) || tag != "origin_ids") return std::nullopt;
+  snap.origin_ids.resize(nids);
+  for (auto& id : snap.origin_ids)
+    if (!(in >> id)) return std::nullopt;
   size_t nmarks = 0;
   if (!(in >> tag >> nmarks) || tag != "marks") return std::nullopt;
   for (size_t i = 0; i < nmarks; ++i) {
@@ -162,26 +194,49 @@ std::optional<UnitSnapshot> deserialize_snapshot(std::string_view text) {
   return snap;
 }
 
-UnitCache::UnitCache(size_t capacity, std::string disk_dir)
-    : capacity_(capacity < 1 ? 1 : capacity), disk_dir_(std::move(disk_dir)) {
+void IncrStats::add(const IncrStats& o) {
+  memory_hits += o.memory_hits;
+  disk_hits += o.disk_hits;
+  peer_hits += o.peer_hits;
+  misses += o.misses;
+  invalidated_by_dep += o.invalidated_by_dep;
+  stores += o.stores;
+  evictions += o.evictions;
+}
+
+UnitCache::UnitCache(size_t capacity, std::string disk_dir,
+                     support::DiskBudget* budget)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      disk_dir_(std::move(disk_dir)),
+      budget_(budget) {
   if (!disk_dir_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(disk_dir_, ec);
+    if (budget_) budget_->add_dir(disk_dir_, ".apu");
   }
+}
+
+void UnitCache::set_peer_lookup(PeerLookup fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_lookup_ = std::move(fn);
+}
+
+void UnitCache::set_store_hook(StoreHook fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_hook_ = std::move(fn);
 }
 
 std::string UnitCache::disk_path(uint64_t key) const {
   return disk_dir_ + "/" + hex16(key) + ".apu";
 }
 
-std::optional<UnitSnapshot> UnitCache::find(uint64_t key, uint64_t own_fp,
-                                            bool* invalidated) {
-  if (invalidated) *invalidated = false;
-  std::lock_guard<std::mutex> lock(mu_);
+std::optional<std::string> UnitCache::probe_local_locked(
+    const std::string& boundary, uint64_t key, UnitTier* tier) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    ++stats_.memory_hits;
+    ++stats_[boundary].memory_hits;
+    *tier = UnitTier::Memory;
     return it->second->second;
   }
   if (!disk_dir_.empty()) {
@@ -189,64 +244,149 @@ std::optional<UnitSnapshot> UnitCache::find(uint64_t key, uint64_t own_fp,
     if (f) {
       std::ostringstream buf;
       buf << f.rdbuf();
-      auto snap = deserialize_snapshot(buf.str());
-      if (snap) {
-        insert_memory_locked(key, *snap);
-        ++stats_.disk_hits;
-        return snap;
+      std::string payload = buf.str();
+      if (!payload.empty()) {
+        insert_memory_locked(key, payload);
+        ++stats_[boundary].disk_hits;
+        *tier = UnitTier::Disk;
+        return payload;
       }
     }
-  }
-  ++stats_.misses;
-  auto fp_it = last_key_by_fp_.find(own_fp);
-  if (fp_it != last_key_by_fp_.end() && fp_it->second != key) {
-    ++stats_.invalidated_by_dep;
-    if (invalidated) *invalidated = true;
   }
   return std::nullopt;
 }
 
-void UnitCache::store(uint64_t key, uint64_t own_fp, const UnitSnapshot& snap) {
-  std::lock_guard<std::mutex> lock(mu_);
-  insert_memory_locked(key, snap);
-  last_key_by_fp_[own_fp] = key;
-  ++stats_.stores;
-  if (!disk_dir_.empty()) {
-    // Atomic publish: write a temp file, then rename over the final name,
-    // so a concurrent reader (another process sharing the cache dir) never
-    // sees a torn entry.
-    const std::string path = disk_path(key);
-    const std::string tmp = path + ".tmp";
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (f) {
-      f << serialize_snapshot(snap);
-      f.close();
-      std::error_code ec;
-      std::filesystem::rename(tmp, path, ec);
-      if (ec) std::filesystem::remove(tmp, ec);
+UnitFindResult UnitCache::find(const std::string& boundary, uint64_t key,
+                               uint64_t own_fp) {
+  UnitFindResult res;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto payload = probe_local_locked(boundary, key, &res.tier)) {
+    res.payload = std::move(payload);
+    return res;
+  }
+  PeerLookup peer = peer_lookup_;
+  if (peer) {
+    // Network I/O outside the mutex; other lanes keep probing meanwhile.
+    lock.unlock();
+    auto payload = peer(boundary, key);
+    lock.lock();
+    if (payload) {
+      insert_memory_locked(key, *payload);
+      write_disk_locked(key, *payload);
+      ++stats_[boundary].peer_hits;
+      res.tier = UnitTier::Peer;
+      res.payload = std::move(payload);
+      return res;
     }
   }
+  IncrStats& st = stats_[boundary];
+  ++st.misses;
+  auto& by_fp = last_key_by_fp_[boundary];
+  auto fp_it = by_fp.find(own_fp);
+  if (fp_it != by_fp.end() && fp_it->second != key) {
+    ++st.invalidated_by_dep;
+    res.invalidated = true;
+  }
+  return res;
 }
 
-void UnitCache::insert_memory_locked(uint64_t key, const UnitSnapshot& snap) {
+void UnitCache::store(const std::string& boundary, uint64_t key,
+                      uint64_t own_fp, const std::string& payload) {
+  StoreHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    insert_memory_locked(key, payload);
+    last_key_by_fp_[boundary][own_fp] = key;
+    ++stats_[boundary].stores;
+    write_disk_locked(key, payload);
+    hook = store_hook_;
+  }
+  if (hook) hook(boundary, key, payload);
+}
+
+std::optional<std::string> UnitCache::peek(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = snap;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  if (!disk_dir_.empty()) {
+    std::ifstream f(disk_path(key), std::ios::binary);
+    if (f) {
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      std::string payload = buf.str();
+      if (!payload.empty()) {
+        insert_memory_locked(key, payload);
+        return payload;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void UnitCache::adopt(const std::string& boundary, uint64_t key,
+                      const std::string& payload) {
+  (void)boundary;  // payloads adopt into the shared keyspace
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_memory_locked(key, payload);
+  write_disk_locked(key, payload);
+}
+
+void UnitCache::write_disk_locked(uint64_t key, const std::string& payload) {
+  if (disk_dir_.empty()) return;
+  // Atomic publish: write a temp file, then rename over the final name,
+  // so a concurrent reader (another process sharing the cache dir) never
+  // sees a torn entry.
+  const std::string path = disk_path(key);
+  std::error_code ec;
+  uint64_t old_size = std::filesystem::file_size(path, ec);
+  if (ec) old_size = 0;
+  const std::string tmp = path + ".tmp";
+  std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+  if (!f) return;
+  f << payload;
+  f.close();
+  std::error_code rec;
+  std::filesystem::rename(tmp, path, rec);
+  if (rec) {
+    std::filesystem::remove(tmp, rec);
+    return;
+  }
+  if (budget_) budget_->charge(path, old_size, payload.size());
+}
+
+void UnitCache::insert_memory_locked(uint64_t key, const std::string& payload) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = payload;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, snap);
+  lru_.emplace_front(key, payload);
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++stats_.evictions;
+    // Evictions are not attributable to one boundary; account them under
+    // the aggregate-only bucket.
+    ++stats_[""].evictions;
   }
 }
 
 IncrStats UnitCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  IncrStats total;
+  for (const auto& [boundary, st] : stats_) total.add(st);
+  return total;
+}
+
+std::map<std::string, IncrStats> UnitCache::boundary_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, IncrStats> out = stats_;
+  out.erase("");  // the aggregate-only eviction bucket
+  return out;
 }
 
 size_t UnitCache::memory_entries() const {

@@ -1,0 +1,465 @@
+#include "incr/unit_serial.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ap::incr {
+
+namespace {
+
+using namespace ap::fir;
+
+constexpr char kMagic[] = "APUSER 1 ";
+
+// ---------------------------------------------------------------------------
+// Writer: appends space-separated tokens to a growing string.
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  std::string take() { return std::move(out_); }
+
+  void num(int64_t v) {
+    char buf[24];
+    int n = std::snprintf(buf, sizeof(buf), "%" PRId64 " ", v);
+    out_.append(buf, static_cast<size_t>(n));
+  }
+  void num(size_t v) { num(static_cast<int64_t>(v)); }
+  void num(int v) { num(static_cast<int64_t>(v)); }
+  void boolean(bool v) { out_.append(v ? "1 " : "0 "); }
+  // %a round-trips doubles exactly through strtod.
+  void real(double v) {
+    char buf[48];
+    int n = std::snprintf(buf, sizeof(buf), "%a ", v);
+    out_.append(buf, static_cast<size_t>(n));
+  }
+  void str(const std::string& s) {
+    num(s.size());
+    out_.append(s);
+    out_.push_back(' ');
+  }
+  void raw(const char* s) { out_.append(s); }
+
+ private:
+  std::string out_;
+};
+
+void write_loc(Writer& w, const SourceLoc& loc) {
+  w.num(static_cast<int64_t>(loc.line));
+  w.num(static_cast<int64_t>(loc.column));
+}
+
+void write_expr(Writer& w, const Expr* e);
+
+void write_args(Writer& w, const std::vector<ExprPtr>& args) {
+  w.num(args.size());
+  for (const auto& a : args) write_expr(w, a.get());
+}
+
+// Every expression is written with a leading null flag so nullable slots
+// (Section parts, DO step) and required children share one encoding.
+void write_expr(Writer& w, const Expr* e) {
+  if (!e) {
+    w.raw("~ ");
+    return;
+  }
+  w.num(static_cast<int>(e->kind));
+  write_loc(w, e->loc);
+  switch (e->kind) {
+    case ExprKind::IntLit: w.num(e->int_val); break;
+    case ExprKind::RealLit: w.real(e->real_val); break;
+    case ExprKind::LogicalLit: w.boolean(e->logical_val); break;
+    case ExprKind::StrLit: w.str(e->str_val); break;
+    case ExprKind::VarRef: w.str(e->name); break;
+    case ExprKind::ArrayRef:
+    case ExprKind::Intrinsic:
+      w.str(e->name);
+      write_args(w, e->args);
+      break;
+    case ExprKind::Section:
+    case ExprKind::Unknown:
+    case ExprKind::Unique:
+      write_args(w, e->args);
+      break;
+    case ExprKind::Unary:
+      w.num(static_cast<int>(e->un_op));
+      write_args(w, e->args);
+      break;
+    case ExprKind::Binary:
+      w.num(static_cast<int>(e->bin_op));
+      write_args(w, e->args);
+      break;
+  }
+}
+
+void write_stmts(Writer& w, const std::vector<StmtPtr>& body);
+
+void write_stmt(Writer& w, const Stmt& s) {
+  w.num(static_cast<int>(s.kind));
+  write_loc(w, s.loc);
+  switch (s.kind) {
+    case StmtKind::Assign:
+    case StmtKind::TupleAssign:
+      write_args(w, s.lhs);
+      write_expr(w, s.rhs.get());
+      break;
+    case StmtKind::Do: {
+      w.str(s.do_var);
+      w.num(s.origin_id);
+      write_expr(w, s.do_lo.get());
+      write_expr(w, s.do_hi.get());
+      write_expr(w, s.do_step.get());
+      w.boolean(s.omp.parallel);
+      w.boolean(s.omp.nowait);
+      w.num(s.omp.privates.size());
+      for (const auto& v : s.omp.privates) w.str(v);
+      w.num(s.omp.firstprivates.size());
+      for (const auto& v : s.omp.firstprivates) w.str(v);
+      w.num(s.omp.reductions.size());
+      for (const auto& r : s.omp.reductions) {
+        w.str(r.op);
+        w.str(r.var);
+      }
+      write_stmts(w, s.body);
+      break;
+    }
+    case StmtKind::If:
+      write_expr(w, s.cond.get());
+      write_stmts(w, s.body);
+      write_stmts(w, s.else_body);
+      break;
+    case StmtKind::Call:
+    case StmtKind::Write:
+      w.str(s.name);
+      write_args(w, s.args);
+      break;
+    case StmtKind::Stop:
+      w.str(s.name);
+      break;
+    case StmtKind::Return:
+    case StmtKind::Continue:
+      break;
+    case StmtKind::TaggedRegion:
+      w.str(s.name);
+      w.num(s.tag_id);
+      write_stmts(w, s.body);
+      write_args(w, s.arg_hints);
+      break;
+  }
+}
+
+void write_stmts(Writer& w, const std::vector<StmtPtr>& body) {
+  w.num(body.size());
+  for (const auto& s : body) write_stmt(w, *s);
+}
+
+// ---------------------------------------------------------------------------
+// Reader: scans the same token stream; any mismatch poisons the reader.
+// ---------------------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : p_(text.data()), end_(p_ + text.size()) {}
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return p_ == end_; }
+  void fail() { ok_ = false; }
+
+  int64_t num() {
+    if (!ok_) return 0;
+    char* after = nullptr;
+    long long v = std::strtoll(p_, &after, 10);
+    if (after == p_ || after >= end_ || *after != ' ') {
+      ok_ = false;
+      return 0;
+    }
+    p_ = after + 1;
+    return v;
+  }
+  bool boolean() { return num() != 0; }
+  double real() {
+    if (!ok_) return 0;
+    char* after = nullptr;
+    double v = std::strtod(p_, &after);
+    if (after == p_ || after >= end_ || *after != ' ') {
+      ok_ = false;
+      return 0;
+    }
+    p_ = after + 1;
+    return v;
+  }
+  std::string str() {
+    int64_t n = num();
+    if (!ok_ || n < 0 || end_ - p_ < n + 1 || p_[n] != ' ') {
+      ok_ = false;
+      return {};
+    }
+    std::string s(p_, static_cast<size_t>(n));
+    p_ += n + 1;
+    return s;
+  }
+  // A count used to size a container; bounded by the remaining input so a
+  // corrupt header cannot trigger a huge allocation.
+  size_t count() {
+    int64_t n = num();
+    if (n < 0 || n > end_ - p_) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<size_t>(n);
+  }
+  bool null_expr() {
+    if (!ok_) return true;
+    if (end_ - p_ >= 2 && p_[0] == '~' && p_[1] == ' ') {
+      p_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+SourceLoc read_loc(Reader& r) {
+  SourceLoc loc;
+  loc.line = static_cast<uint32_t>(r.num());
+  loc.column = static_cast<uint32_t>(r.num());
+  return loc;
+}
+
+ExprPtr read_expr(Reader& r, int depth);
+
+bool read_args(Reader& r, std::vector<ExprPtr>& out, int depth) {
+  size_t n = r.count();
+  out.reserve(n);
+  for (size_t i = 0; i < n && r.ok(); ++i) out.push_back(read_expr(r, depth));
+  return r.ok();
+}
+
+constexpr int kMaxDepth = 512;
+
+ExprPtr read_expr(Reader& r, int depth) {
+  if (depth > kMaxDepth) {
+    r.fail();
+    return nullptr;
+  }
+  if (r.null_expr()) return nullptr;
+  int64_t kind = r.num();
+  if (!r.ok() || kind < 0 || kind > static_cast<int>(ExprKind::Unique)) {
+    r.fail();
+    return nullptr;
+  }
+  auto e = std::make_unique<Expr>();
+  e->kind = static_cast<ExprKind>(kind);
+  e->loc = read_loc(r);
+  switch (e->kind) {
+    case ExprKind::IntLit: e->int_val = r.num(); break;
+    case ExprKind::RealLit: e->real_val = r.real(); break;
+    case ExprKind::LogicalLit: e->logical_val = r.boolean(); break;
+    case ExprKind::StrLit: e->str_val = r.str(); break;
+    case ExprKind::VarRef: e->name = r.str(); break;
+    case ExprKind::ArrayRef:
+    case ExprKind::Intrinsic:
+      e->name = r.str();
+      read_args(r, e->args, depth + 1);
+      break;
+    case ExprKind::Section:
+    case ExprKind::Unknown:
+    case ExprKind::Unique:
+      read_args(r, e->args, depth + 1);
+      break;
+    case ExprKind::Unary: {
+      int64_t op = r.num();
+      if (op < 0 || op > static_cast<int>(UnOp::Plus)) r.fail();
+      e->un_op = static_cast<UnOp>(op);
+      read_args(r, e->args, depth + 1);
+      break;
+    }
+    case ExprKind::Binary: {
+      int64_t op = r.num();
+      if (op < 0 || op > static_cast<int>(BinOp::Or)) r.fail();
+      e->bin_op = static_cast<BinOp>(op);
+      read_args(r, e->args, depth + 1);
+      break;
+    }
+  }
+  if (!r.ok()) return nullptr;
+  return e;
+}
+
+bool read_stmts(Reader& r, std::vector<StmtPtr>& out, int depth);
+
+StmtPtr read_stmt(Reader& r, int depth) {
+  if (depth > kMaxDepth) {
+    r.fail();
+    return nullptr;
+  }
+  int64_t kind = r.num();
+  if (!r.ok() || kind < 0 ||
+      kind > static_cast<int>(StmtKind::TaggedRegion)) {
+    r.fail();
+    return nullptr;
+  }
+  auto s = std::make_unique<Stmt>();
+  s->kind = static_cast<StmtKind>(kind);
+  s->loc = read_loc(r);
+  switch (s->kind) {
+    case StmtKind::Assign:
+    case StmtKind::TupleAssign:
+      read_args(r, s->lhs, depth + 1);
+      s->rhs = read_expr(r, depth + 1);
+      break;
+    case StmtKind::Do: {
+      s->do_var = r.str();
+      s->origin_id = r.num();
+      s->do_lo = read_expr(r, depth + 1);
+      s->do_hi = read_expr(r, depth + 1);
+      s->do_step = read_expr(r, depth + 1);
+      s->omp.parallel = r.boolean();
+      s->omp.nowait = r.boolean();
+      size_t n = r.count();
+      for (size_t i = 0; i < n && r.ok(); ++i)
+        s->omp.privates.push_back(r.str());
+      n = r.count();
+      for (size_t i = 0; i < n && r.ok(); ++i)
+        s->omp.firstprivates.push_back(r.str());
+      n = r.count();
+      for (size_t i = 0; i < n && r.ok(); ++i) {
+        OmpInfo::Reduction red;
+        red.op = r.str();
+        red.var = r.str();
+        s->omp.reductions.push_back(std::move(red));
+      }
+      read_stmts(r, s->body, depth + 1);
+      break;
+    }
+    case StmtKind::If:
+      s->cond = read_expr(r, depth + 1);
+      read_stmts(r, s->body, depth + 1);
+      read_stmts(r, s->else_body, depth + 1);
+      break;
+    case StmtKind::Call:
+    case StmtKind::Write:
+      s->name = r.str();
+      read_args(r, s->args, depth + 1);
+      break;
+    case StmtKind::Stop:
+      s->name = r.str();
+      break;
+    case StmtKind::Return:
+    case StmtKind::Continue:
+      break;
+    case StmtKind::TaggedRegion:
+      s->name = r.str();
+      s->tag_id = r.num();
+      read_stmts(r, s->body, depth + 1);
+      read_args(r, s->arg_hints, depth + 1);
+      break;
+  }
+  if (!r.ok()) return nullptr;
+  return s;
+}
+
+bool read_stmts(Reader& r, std::vector<StmtPtr>& out, int depth) {
+  size_t n = r.count();
+  out.reserve(n);
+  for (size_t i = 0; i < n && r.ok(); ++i) {
+    StmtPtr s = read_stmt(r, depth);
+    if (!s) return false;
+    out.push_back(std::move(s));
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+std::string serialize_unit(const fir::ProgramUnit& unit) {
+  Writer w;
+  w.raw(kMagic);
+  w.num(static_cast<int>(unit.kind));
+  w.boolean(unit.external_library);
+  write_loc(w, unit.loc);
+  w.str(unit.name);
+  w.num(unit.params.size());
+  for (const auto& p : unit.params) w.str(p);
+  w.num(unit.decls.size());
+  for (const auto& d : unit.decls) {
+    w.num(static_cast<int>(d.type));
+    w.boolean(d.is_param_const);
+    w.boolean(d.annot_imported);
+    write_loc(w, d.loc);
+    w.str(d.name);
+    w.num(d.dims.size());
+    for (const auto& dim : d.dims) {
+      write_expr(w, dim.lo.get());
+      write_expr(w, dim.hi.get());
+    }
+    write_expr(w, d.param_value.get());
+  }
+  w.num(unit.commons.size());
+  for (const auto& cb : unit.commons) {
+    w.str(cb.name);
+    w.num(cb.vars.size());
+    for (const auto& v : cb.vars) w.str(v);
+  }
+  write_stmts(w, unit.body);
+  return w.take();
+}
+
+std::optional<std::unique_ptr<fir::ProgramUnit>> deserialize_unit(
+    std::string_view text) {
+  const size_t magic_len = sizeof(kMagic) - 1;
+  if (text.size() < magic_len ||
+      text.compare(0, magic_len, kMagic) != 0)
+    return std::nullopt;
+  Reader r(text.substr(magic_len));
+
+  auto u = std::make_unique<fir::ProgramUnit>();
+  int64_t kind = r.num();
+  if (kind < 0 || kind > static_cast<int>(fir::UnitKind::Subroutine))
+    return std::nullopt;
+  u->kind = static_cast<fir::UnitKind>(kind);
+  u->external_library = r.boolean();
+  u->loc = read_loc(r);
+  u->name = r.str();
+  size_t n = r.count();
+  for (size_t i = 0; i < n && r.ok(); ++i) u->params.push_back(r.str());
+  n = r.count();
+  for (size_t i = 0; i < n && r.ok(); ++i) {
+    fir::VarDecl d;
+    int64_t t = r.num();
+    if (t < 0 || t > static_cast<int>(fir::Type::Unknown)) return std::nullopt;
+    d.type = static_cast<fir::Type>(t);
+    d.is_param_const = r.boolean();
+    d.annot_imported = r.boolean();
+    d.loc = read_loc(r);
+    d.name = r.str();
+    size_t nd = r.count();
+    for (size_t k = 0; k < nd && r.ok(); ++k) {
+      fir::Dim dim;
+      dim.lo = read_expr(r, 0);
+      dim.hi = read_expr(r, 0);
+      d.dims.push_back(std::move(dim));
+    }
+    d.param_value = read_expr(r, 0);
+    u->decls.push_back(std::move(d));
+  }
+  n = r.count();
+  for (size_t i = 0; i < n && r.ok(); ++i) {
+    fir::CommonBlock cb;
+    cb.name = r.str();
+    size_t nv = r.count();
+    for (size_t k = 0; k < nv && r.ok(); ++k) cb.vars.push_back(r.str());
+    u->commons.push_back(std::move(cb));
+  }
+  if (!read_stmts(r, u->body, 0)) return std::nullopt;
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return u;
+}
+
+}  // namespace ap::incr

@@ -1,0 +1,38 @@
+// Exact serializer for one fir::ProgramUnit: the payload of the
+// `normalize` pass-boundary artifact (incr/artifacts.h).
+//
+// Unlike the whole-request tier, which round-trips programs through
+// fir::unparse + reparse, a pass-boundary snapshot must reproduce the
+// mid-pipeline AST EXACTLY — reparsing would renumber origin_ids, lose
+// source locations and annot_imported flags, and reject mid-pipeline
+// constructs (TaggedRegion bodies, unknown()/unique() operators) that are
+// only legal inside the annotation window. This serializer therefore
+// walks the AST directly and restores every semantic field bit-for-bit:
+// statement and expression kinds, literals (doubles as hexfloat),
+// declarations, COMMON blocks, OMP metadata, origin/tag ids and source
+// locations.
+//
+// The format is a flat space-separated token stream with length-prefixed
+// strings — hand-rolled append/scan, no iostreams — because restore speed
+// is the whole point: resuming a unit at the normalize boundary only pays
+// off while deserializing is cheaper than re-running normalization.
+//
+// deserialize_unit returns nullopt on any malformed input (truncated
+// stream, unknown kind byte, trailing garbage); callers fall back to
+// recomputing — correctness never rests on the restore.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fir/ast.h"
+
+namespace ap::incr {
+
+std::string serialize_unit(const fir::ProgramUnit& unit);
+std::optional<std::unique_ptr<fir::ProgramUnit>> deserialize_unit(
+    std::string_view text);
+
+}  // namespace ap::incr

@@ -393,6 +393,15 @@ void enc_compile_result(std::string* out, const service::CompileResult& c) {
     field_double(out, 2, p.wall_ms);
     field_svarint(out, 3, p.units);
     field_svarint(out, 4, p.diagnostics);
+    // v6 per-boundary counters, emitted only when the pass snapshotted
+    // (mirrors the JSON codec's emit-when-nonzero rule).
+    if (p.unit_hits + p.unit_misses > 0) {
+      field_svarint(out, 5, p.unit_hits);
+      field_svarint(out, 6, p.unit_misses);
+      field_svarint(out, 7, p.unit_disk_hits);
+      field_svarint(out, 8, p.unit_peer_hits);
+      field_svarint(out, 9, p.unit_invalidated);
+    }
     put_u8(out, kEnd);
   }
   field_bool(out, 10, c.stopped_early);
@@ -402,6 +411,8 @@ void enc_compile_result(std::string* out, const service::CompileResult& c) {
   field_varint(out, 14, c.unit_hits);
   field_varint(out, 15, c.unit_misses);
   field_varint(out, 16, c.unit_invalidated);
+  field_varint(out, 17, c.unit_disk_hits);
+  field_varint(out, 18, c.unit_peer_hits);
   put_u8(out, kEnd);
 }
 
@@ -438,6 +449,17 @@ bool dec_compile_result(BinReader& r, service::CompileResult* out) {
               case 2: p.wall_ms = r.dbl(); break;
               case 3: p.units = static_cast<int>(r.svarint()); break;
               case 4: p.diagnostics = static_cast<int>(r.svarint()); break;
+              case 5: p.unit_hits = static_cast<int>(r.svarint()); break;
+              case 6: p.unit_misses = static_cast<int>(r.svarint()); break;
+              case 7:
+                p.unit_disk_hits = static_cast<int>(r.svarint());
+                break;
+              case 8:
+                p.unit_peer_hits = static_cast<int>(r.svarint());
+                break;
+              case 9:
+                p.unit_invalidated = static_cast<int>(r.svarint());
+                break;
               default:
                 r.set_fail("unknown pass-record tag");
                 return false;
@@ -455,6 +477,8 @@ bool dec_compile_result(BinReader& r, service::CompileResult* out) {
       case 14: c.unit_hits = static_cast<size_t>(r.varint()); break;
       case 15: c.unit_misses = static_cast<size_t>(r.varint()); break;
       case 16: c.unit_invalidated = static_cast<size_t>(r.varint()); break;
+      case 17: c.unit_disk_hits = static_cast<size_t>(r.varint()); break;
+      case 18: c.unit_peer_hits = static_cast<size_t>(r.varint()); break;
       default:
         r.set_fail("unknown compile-result tag");
         return false;
@@ -601,6 +625,14 @@ void encode_request_binary(const Request& r, std::string* out) {
       field_str(out, 13, r.key);
       field_str(out, 14, r.payload);
       break;
+    case RequestType::UnitProbe:
+      field_str(out, 13, r.key);
+      break;
+    case RequestType::UnitFill:
+      field_str(out, 13, r.key);
+      field_str(out, 14, r.payload);
+      field_str(out, 20, r.boundary);
+      break;
     case RequestType::Forward:
       field_u8(out, 15, static_cast<unsigned char>(r.inner));
       field_svarint(out, 16, r.attempt);
@@ -641,7 +673,7 @@ bool decode_request_binary(std::string_view payload, Request* out,
     switch (tag) {
       case 1: {
         unsigned char t = r.u8();
-        if (t > static_cast<unsigned char>(RequestType::Stats)) {
+        if (t > static_cast<unsigned char>(RequestType::UnitFill)) {
           if (err) *err = "unknown request type";
           return false;
         }
@@ -695,6 +727,7 @@ bool decode_request_binary(std::string_view payload, Request* out,
       }
       case 18: q.trace = r.boolean(); break;
       case 19: q.trace_id = r.varint(); break;
+      case 20: q.boundary = std::string(r.str()); break;
       default:
         if (err) *err = "unknown request tag";
         return false;
@@ -724,6 +757,13 @@ bool decode_request_binary(std::string_view payload, Request* out,
     uint64_t parsed;
     if (!parse_key(q.key, &parsed)) {
       if (err) *err = "cache_probe/cache_fill requires a hex \"key\"";
+      return false;
+    }
+  }
+  if (q.type == RequestType::UnitProbe || q.type == RequestType::UnitFill) {
+    uint64_t parsed;
+    if (!parse_key(q.key, &parsed)) {
+      if (err) *err = "unit_probe/unit_fill requires a hex \"key\"";
       return false;
     }
   }

@@ -38,6 +38,8 @@ const char* request_type_name(RequestType t) {
     case RequestType::Forward: return "forward";
     case RequestType::CompileBatch: return "compile_batch";
     case RequestType::Stats: return "stats";
+    case RequestType::UnitProbe: return "unit_probe";
+    case RequestType::UnitFill: return "unit_fill";
   }
   return "?";
 }
@@ -61,6 +63,10 @@ bool request_type_requires_v4(RequestType t) {
 
 bool request_type_requires_v5(RequestType t) {
   return t == RequestType::Stats;
+}
+
+bool request_type_requires_v6(RequestType t) {
+  return t == RequestType::UnitProbe || t == RequestType::UnitFill;
 }
 
 const char* status_name(Status s) {
@@ -247,6 +253,15 @@ json::Value compile_result_to_json(const service::CompileResult& r) {
         .set("wall_ms", p.wall_ms)
         .set("units", static_cast<int64_t>(p.units))
         .set("diags", static_cast<int64_t>(p.diagnostics));
+    // v6 per-boundary counters, emitted only when non-zero so pre-v6
+    // bodies are unchanged for non-snapshotting runs.
+    if (p.unit_hits + p.unit_misses > 0) {
+      rec.set("unit_hits", static_cast<int64_t>(p.unit_hits))
+          .set("unit_misses", static_cast<int64_t>(p.unit_misses))
+          .set("unit_disk_hits", static_cast<int64_t>(p.unit_disk_hits))
+          .set("unit_peer_hits", static_cast<int64_t>(p.unit_peer_hits))
+          .set("unit_invalidated", static_cast<int64_t>(p.unit_invalidated));
+    }
     passes.push(std::move(rec));
   }
   json::Value timings = json::Value::object();
@@ -264,6 +279,8 @@ json::Value compile_result_to_json(const service::CompileResult& r) {
       .set("unit_hits", static_cast<int64_t>(r.unit_hits))
       .set("unit_misses", static_cast<int64_t>(r.unit_misses))
       .set("unit_invalidated", static_cast<int64_t>(r.unit_invalidated))
+      .set("unit_disk_hits", static_cast<int64_t>(r.unit_disk_hits))
+      .set("unit_peer_hits", static_cast<int64_t>(r.unit_peer_hits))
       .set("timings", std::move(timings))
       .set("stopped_early", r.stopped_early)
       .set("program", r.program_text);
@@ -287,6 +304,8 @@ service::CompileResult compile_result_from_json(const json::Value& v) {
   r.unit_hits = static_cast<size_t>(get_int(v, "unit_hits", 0));
   r.unit_misses = static_cast<size_t>(get_int(v, "unit_misses", 0));
   r.unit_invalidated = static_cast<size_t>(get_int(v, "unit_invalidated", 0));
+  r.unit_disk_hits = static_cast<size_t>(get_int(v, "unit_disk_hits", 0));
+  r.unit_peer_hits = static_cast<size_t>(get_int(v, "unit_peer_hits", 0));
   if (const json::Value* t = v.find("timings")) {
     if (const json::Value* total = t->find("total_ms"))
       r.timings.total_ms = total->as_double();
@@ -298,6 +317,12 @@ service::CompileResult compile_result_from_json(const json::Value& v) {
           p.wall_ms = w->as_double();
         p.units = static_cast<int>(get_int(rec, "units", 0));
         p.diagnostics = static_cast<int>(get_int(rec, "diags", 0));
+        p.unit_hits = static_cast<int>(get_int(rec, "unit_hits", 0));
+        p.unit_misses = static_cast<int>(get_int(rec, "unit_misses", 0));
+        p.unit_disk_hits = static_cast<int>(get_int(rec, "unit_disk_hits", 0));
+        p.unit_peer_hits = static_cast<int>(get_int(rec, "unit_peer_hits", 0));
+        p.unit_invalidated =
+            static_cast<int>(get_int(rec, "unit_invalidated", 0));
         r.timings.passes.push_back(std::move(p));
       }
     }
@@ -442,6 +467,14 @@ json::Value request_to_json(const Request& r) {
     case RequestType::CacheFill:
       out.set("key", r.key).set("payload", r.payload);
       break;
+    case RequestType::UnitProbe:
+      out.set("key", r.key);
+      break;
+    case RequestType::UnitFill:
+      out.set("key", r.key)
+          .set("payload", r.payload)
+          .set("boundary", r.boundary);
+      break;
     case RequestType::Forward:
       out.set("inner", request_type_name(r.inner)).set("attempt", r.attempt);
       break;
@@ -479,6 +512,8 @@ bool request_from_json(const json::Value& v, Request* out, std::string* err) {
   else if (type == "forward") r.type = RequestType::Forward;
   else if (type == "compile_batch") r.type = RequestType::CompileBatch;
   else if (type == "stats") r.type = RequestType::Stats;
+  else if (type == "unit_probe") r.type = RequestType::UnitProbe;
+  else if (type == "unit_fill") r.type = RequestType::UnitFill;
   else {
     if (err) *err = "unknown request type: " + type;
     return false;
@@ -576,6 +611,20 @@ bool request_from_json(const json::Value& v, Request* out, std::string* err) {
         return false;
       }
       if (r.type == RequestType::CacheFill) r.payload = get_string(v, "payload");
+      break;
+    }
+    case RequestType::UnitProbe:
+    case RequestType::UnitFill: {
+      r.key = get_string(v, "key");
+      uint64_t parsed;
+      if (!parse_key(r.key, &parsed)) {
+        if (err) *err = "unit_probe/unit_fill requires a hex \"key\"";
+        return false;
+      }
+      if (r.type == RequestType::UnitFill) {
+        r.payload = get_string(v, "payload");
+        r.boundary = get_string(v, "boundary");
+      }
       break;
     }
     case RequestType::Forward: {

@@ -32,6 +32,14 @@
 //                 The peer-lookup half of the distributed cache tier.
 //   cache_fill  — push a serialized result under K into the receiver's
 //                 cache (replication after a fresh compile).
+//   unit_probe  — v6: "do you hold unit-artifact key K?" — answered from
+//                 the local unit cache (incr::UnitCache::peek) with the
+//                 opaque pass-boundary payload on hit. Lets a late-joining
+//                 or resharded worker resume a unit mid-pipeline from a
+//                 peer's snapshot instead of recomputing.
+//   unit_fill   — v6: push a unit artifact under K (with its boundary
+//                 label) into the receiver's unit cache (replication after
+//                 a fresh per-unit compute).
 //   forward     — a coordinator-wrapped compile/run: same payload fields
 //                 plus the wrapped type and the routing attempt counter.
 //                 Workers must never re-forward (no routing loops).
@@ -77,6 +85,12 @@
 
 namespace ap::net {
 
+// v6: fleet-shared unit artifacts — unit_probe/unit_fill move single
+// pass-boundary snapshots (incr::UnitCache payloads) between workers the
+// way cache_probe/cache_fill move whole results, and compile results
+// carry the per-boundary unit counters (per-pass unit_hits/unit_misses/
+// unit_disk_hits/unit_peer_hits/unit_invalidated plus the request-level
+// disk/peer split).
 // v5: observability plane — request tracing (`"trace": true` asks every
 // hop to record spans; the response carries the assembled span tree, and
 // the minted `trace_id` propagates on forward/cache_probe/cache_fill so
@@ -94,7 +108,7 @@ namespace ap::net {
 // forward), hello negotiation, unsupported_version + worker_lost statuses.
 // v2: per-pass timing records replace the fixed timing fields in compile
 // results; pipeline options gained stop_after/print_after.
-inline constexpr int kProtocolVersion = 5;
+inline constexpr int kProtocolVersion = 6;
 // v1 request bodies decode identically to v2 (absent fields keep their
 // defaults), so the full historical range stays accepted.
 inline constexpr int kMinProtocolVersion = 1;
@@ -112,6 +126,8 @@ enum class RequestType : uint8_t {
   Forward,
   CompileBatch,
   Stats,
+  UnitProbe,
+  UnitFill,
 };
 const char* request_type_name(RequestType t);
 
@@ -127,6 +143,10 @@ bool request_type_requires_v4(RequestType t);
 // True for the v5 types (stats): older claimed versions draw
 // `unsupported_version`.
 bool request_type_requires_v5(RequestType t);
+
+// True for the v6 types (unit_probe/unit_fill): older claimed versions
+// draw `unsupported_version`.
+bool request_type_requires_v6(RequestType t);
 
 enum class Status : uint8_t {
   Ok,
@@ -210,8 +230,13 @@ struct Request {
   WorkerInfo worker;    // register, heartbeat
   WorkerLoad load;      // heartbeat
   bool leaving = false; // heartbeat: graceful departure announcement
-  std::string key;      // cache_probe, cache_fill (format_key hex)
-  std::string payload;  // cache_fill: serialized CompileResult
+  std::string key;      // cache_probe, cache_fill, unit_probe/fill (hex)
+  std::string payload;  // cache_fill / unit_fill: serialized payload
+
+  // --- v6 fields ---
+  // unit_fill: the snapshotting pass's name ("normalize", "parallelize")
+  // — the receiver's stats bucket for the adopted artifact.
+  std::string boundary;
   // forward: the wrapped request type (Compile, Run, or CompileBatch)
   // and the coordinator's 0-based routing attempt for this request.
   RequestType inner = RequestType::Compile;

@@ -612,6 +612,12 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
                             std::to_string(req.version) + ")");
     return;
   }
+  if (request_type_requires_v6(req.type) && req.version < 6) {
+    unsupported(req.id, std::string(request_type_name(req.type)) +
+                            " requires protocol v6 (request claimed v" +
+                            std::to_string(req.version) + ")");
+    return;
+  }
 
   switch (req.type) {
     case RequestType::Ping: {
@@ -647,7 +653,9 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
     case RequestType::Register:
     case RequestType::Heartbeat:
     case RequestType::CacheProbe:
-    case RequestType::CacheFill: {
+    case RequestType::CacheFill:
+    case RequestType::UnitProbe:
+    case RequestType::UnitFill: {
       // Fleet control plane: answered synchronously on the loop thread
       // (handlers are lock-and-copy, never compile).
       Response resp;
@@ -665,7 +673,9 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       // the flight recorder correlates a peer hop with the request that
       // caused it. Heartbeats/registers are periodic noise — not recorded.
       if (req.type == RequestType::CacheProbe ||
-          req.type == RequestType::CacheFill) {
+          req.type == RequestType::CacheFill ||
+          req.type == RequestType::UnitProbe ||
+          req.type == RequestType::UnitFill) {
         record_flight(req.trace_id, req.id, request_type_name(req.type),
                       resp.status == Status::Ok ? "ok" : "error", wall, "");
       }

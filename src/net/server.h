@@ -113,8 +113,9 @@ struct ServerOptions {
   // the serving core roots them under its own "request" span.
   std::function<Response(const Request&, std::vector<obs::Span>*)> executor;
   // Loop-thread handler for fleet control-plane requests (register,
-  // heartbeat, cache_probe, cache_fill). Return true when handled; false
-  // draws a structured `error` reply ("not a fleet endpoint").
+  // heartbeat, cache_probe, cache_fill, unit_probe, unit_fill). Return
+  // true when handled; false draws a structured `error` reply ("not a
+  // fleet endpoint").
   std::function<bool(const Request&, Response*)> control;
   // Appends role-specific sections to metrics responses.
   std::function<void(json::Value*)> extra_metrics;
@@ -295,7 +296,7 @@ class Server {
   // Latency plane: lock-cheap log-bucketed histograms, one per request
   // type plus one per cache outcome. Indexed by RequestType value.
   static constexpr size_t kTypeHistCount =
-      static_cast<size_t>(RequestType::Stats) + 1;
+      static_cast<size_t>(RequestType::UnitFill) + 1;
   std::array<obs::Histogram, kTypeHistCount> type_hist_;
   obs::Histogram cache_hist_memory_;  // loop-thread warm fast path
   obs::Histogram cache_hist_hit_;     // local (memory or disk) hit

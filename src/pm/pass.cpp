@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "fir/unparse.h"
+#include "support/fnv.h"
 
 namespace ap::pm {
 
@@ -17,6 +18,7 @@ bool PassManager::run(PassState& st) {
   error_.clear();
   print_dump_.clear();
   stopped_early_ = false;
+  seq_fp_ = kFnvOffset;
   vopts_ = VerifyOptions{};
 
   for (const std::string* flag : {&opts_.stop_after, &opts_.print_after}) {
@@ -27,7 +29,12 @@ bool PassManager::run(PassState& st) {
   }
 
   for (const auto& pass : passes_) {
-    if (!run_one(*pass, st)) return false;
+    bool ok = run_one(*pass, st);
+    // The pass is part of the executed prefix from the moment it ran —
+    // fold AFTER run_one so its own probe saw the prior prefix.
+    seq_fp_ = fnv1a(seq_fp_, pass->name());
+    seq_fp_ = fnv1a(seq_fp_, std::string_view("\0", 1));
+    if (!ok) return false;
     if (!opts_.print_after.empty() && pass->name() == opts_.print_after &&
         st.program)
       print_dump_ = fir::unparse(*st.program);
@@ -58,14 +65,78 @@ bool PassManager::run_one(Pass& pass, PassState& st) {
       std::vector<DiagnosticEngine> unit_diags(units.size());
       if (st.diags)
         for (auto& d : unit_diags) d.set_stream(st.diags->stream());
+
+      // Artifact protocol: when the pass snapshots and a store is
+      // attached, probe per unit before running it. Outcomes are recorded
+      // per unit and aggregated after the fan-out so the counters are
+      // deterministic under any lane interleaving.
+      bool snap = opts_.artifacts && pass.snapshotable();
+      enum class Outcome : uint8_t {
+        kNone,  // not enrolled (no probe, or probe said not participating)
+        kMemHit,
+        kDiskHit,
+        kPeerHit,
+        kMiss,
+        kInvalidated,
+      };
+      std::vector<Outcome> outcomes(units.size(), Outcome::kNone);
+      uint64_t prefix_fp = seq_fp_;
+
       auto run_unit = [&](int64_t i) {
-        pass.run_unit(*units[static_cast<size_t>(i)], static_cast<size_t>(i),
-                      unit_diags[static_cast<size_t>(i)]);
+        auto idx = static_cast<size_t>(i);
+        fir::ProgramUnit& unit = *units[idx];
+        if (snap) {
+          ArtifactProbe probe =
+              opts_.artifacts->find_unit(pass.name(), prefix_fp, unit.name);
+          if (probe.participating) {
+            if (probe.payload &&
+                pass.restore_unit_artifact(unit, idx, *probe.payload)) {
+              outcomes[idx] = probe.tier == ArtifactTier::Peer
+                                  ? Outcome::kPeerHit
+                              : probe.tier == ArtifactTier::Disk
+                                  ? Outcome::kDiskHit
+                                  : Outcome::kMemHit;
+              return;  // restored — skip the recompute entirely
+            }
+            outcomes[idx] =
+                probe.invalidated ? Outcome::kInvalidated : Outcome::kMiss;
+          }
+        }
+        pass.run_unit(unit, idx, unit_diags[idx]);
+        if (snap && outcomes[idx] != Outcome::kNone) {
+          std::string payload = pass.snapshot_unit_artifact(unit, idx);
+          if (!payload.empty())
+            opts_.artifacts->store_unit(pass.name(), prefix_fp, unit.name,
+                                        payload);
+        }
       };
       if (opts_.pool && opts_.pool->size() > 1 && n > 1) {
         opts_.pool->for_each_index(n, [&](int64_t i, int) { run_unit(i); });
       } else {
         for (int64_t i = 0; i < n; ++i) run_unit(i);
+      }
+      for (Outcome o : outcomes) {
+        switch (o) {
+          case Outcome::kNone:
+            break;
+          case Outcome::kMemHit:
+            ++rec.unit_hits;
+            break;
+          case Outcome::kDiskHit:
+            ++rec.unit_hits;
+            ++rec.unit_disk_hits;
+            break;
+          case Outcome::kPeerHit:
+            ++rec.unit_hits;
+            ++rec.unit_peer_hits;
+            break;
+          case Outcome::kInvalidated:
+            ++rec.unit_invalidated;
+            [[fallthrough]];
+          case Outcome::kMiss:
+            ++rec.unit_misses;
+            break;
+        }
       }
       // Deterministic merge: unit-index order, independent of which lane
       // finished first.

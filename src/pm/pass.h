@@ -17,9 +17,22 @@
 // units fanned out, diagnostics added — which the driver exposes as
 // PipelineTimings and the service forwards into telemetry, the cache and
 // the wire protocol. --stop-after/--print-after map to PassManagerOptions.
+//
+// Artifact protocol: a PerUnit pass that overrides the snapshot hooks
+// participates in pass-boundary snapshotting. Before running a unit
+// through such a pass the manager probes the attached ArtifactStore under
+// (pass name, pass-sequence prefix fingerprint, unit name); a payload the
+// pass successfully restores skips the unit's run entirely, and a
+// recomputed unit is snapshotted back into the store. The store owns key
+// construction and tiering (memory/disk/fleet peers — src/incr
+// implements it); the manager owns the per-boundary hit/miss counters in
+// PassRecord. A restore that fails falls back to recomputing —
+// correctness never rests on the protocol.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,12 +46,51 @@ namespace ap::pm {
 
 enum class PassKind : uint8_t { WholeProgram, PerUnit };
 
+// Which artifact tier served a restored unit; None = miss.
+enum class ArtifactTier : uint8_t { None, Memory, Disk, Peer };
+
+// One artifact probe's outcome: whether this (pass, unit) is enrolled in
+// the protocol at all, the payload when one was found, the tier that
+// served it, and the miss classification (own unit unchanged, dependency
+// changed) that feeds invalidation telemetry.
+struct ArtifactProbe {
+  bool participating = false;
+  bool invalidated = false;
+  ArtifactTier tier = ArtifactTier::None;
+  std::optional<std::string> payload;
+};
+
+// Pass-boundary artifact store: opaque per-unit payloads addressed by
+// (pass name, pass-sequence prefix fingerprint, unit name). The store
+// decides participation (a pass can be enrolled for some runs and not
+// others), computes real cache keys (content closures, option hashes) and
+// owns tiering; src/incr provides the production implementation.
+class ArtifactStore {
+ public:
+  virtual ~ArtifactStore() = default;
+  virtual ArtifactProbe find_unit(std::string_view pass_name,
+                                  uint64_t prefix_fp,
+                                  const std::string& unit_name) = 0;
+  virtual void store_unit(std::string_view pass_name, uint64_t prefix_fp,
+                          const std::string& unit_name,
+                          const std::string& payload) = 0;
+};
+
 // One executed pass, in execution order.
 struct PassRecord {
   std::string name;
   double wall_ms = 0;
   int units = 0;        // units fanned out (0 for whole-program passes)
   int diagnostics = 0;  // diagnostics this pass added to the shared engine
+  // Artifact-protocol outcome at this boundary (all zero when the pass
+  // does not snapshot or no store is attached). unit_hits counts restores
+  // from any tier; disk/peer break the tier down (memory = hits - disk -
+  // peer); unit_misses counts enrolled units that recomputed.
+  int unit_hits = 0;
+  int unit_misses = 0;
+  int unit_disk_hits = 0;
+  int unit_peer_hits = 0;
+  int unit_invalidated = 0;  // misses caused by a changed dependency
 };
 
 // Mutable state threaded through the sequence. The program starts null; a
@@ -79,6 +131,22 @@ class Pass {
                         DiagnosticEngine&) {}
   virtual void end(PassState&) {}
 
+  // Artifact protocol (PerUnit passes only; see header comment). A pass
+  // opting in returns true from snapshotable(); the manager then probes
+  // the attached ArtifactStore per unit before run_unit. snapshot must be
+  // safe to call concurrently under the same confinement rules as
+  // run_unit; restore returns false when the payload does not apply (the
+  // unit is left untouched and recomputed).
+  virtual bool snapshotable() const { return false; }
+  virtual std::string snapshot_unit_artifact(const fir::ProgramUnit&,
+                                             size_t /*unit_index*/) {
+    return {};
+  }
+  virtual bool restore_unit_artifact(fir::ProgramUnit&, size_t /*unit_index*/,
+                                     const std::string& /*payload*/) {
+    return false;
+  }
+
   // Pass-specific invariant check, run after the structural verifier.
   // Returns "" when fine, else a description of the violation.
   virtual std::string verify_after(const fir::Program&) { return {}; }
@@ -97,6 +165,8 @@ struct PassManagerOptions {
   std::string stop_after;
   // Capture fir::unparse of the program after the named pass.
   std::string print_after;
+  // Pass-boundary artifact store (not owned; null disables the protocol).
+  ArtifactStore* artifacts = nullptr;
 };
 
 class PassManager {
@@ -124,6 +194,10 @@ class PassManager {
   PassManagerOptions opts_;
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<PassRecord> records_;
+  // FNV fingerprint of the names of the passes executed SO FAR — the
+  // "prefix" in artifact keys. A pass's probe sees the fingerprint of the
+  // sequence before it; the pass's own name is folded after it runs.
+  uint64_t seq_fp_ = 0;
   VerifyOptions vopts_;
   std::string error_;
   std::string print_dump_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fir/unparse.h"
+#include "support/disk_budget.h"
 #include "support/fnv.h"
 
 namespace ap::service {
@@ -37,6 +38,8 @@ CompileResult to_compile_result(const driver::PipelineResult& r) {
   out.unit_hits = r.unit_hits;
   out.unit_misses = r.unit_misses;
   out.unit_invalidated = r.unit_invalidated;
+  out.unit_disk_hits = r.unit_disk_hits;
+  out.unit_peer_hits = r.unit_peer_hits;
   if (r.program) out.program_text = fir::unparse(*r.program);
   return out;
 }
@@ -87,8 +90,10 @@ std::string serialize_result(const CompileResult& r) {
   s << t;
   s << "passes " << r.timings.passes.size() << "\n";
   for (const auto& p : r.timings.passes) {
-    std::snprintf(t, sizeof(t), "pass %s %.6f %d %d\n", p.name.c_str(),
-                  p.wall_ms, p.units, p.diagnostics);
+    std::snprintf(t, sizeof(t), "pass %s %.6f %d %d %d %d %d %d %d\n",
+                  p.name.c_str(), p.wall_ms, p.units, p.diagnostics,
+                  p.unit_hits, p.unit_misses, p.unit_disk_hits,
+                  p.unit_peer_hits, p.unit_invalidated);
     s << t;
   }
   s << "print_dump " << r.print_dump.size() << "\n";
@@ -127,7 +132,9 @@ std::optional<CompileResult> deserialize_result(std::string_view text) {
   if (!(in >> tag >> npasses) || tag != "passes") return std::nullopt;
   for (size_t i = 0; i < npasses; ++i) {
     pm::PassRecord p;
-    if (!(in >> tag >> p.name >> p.wall_ms >> p.units >> p.diagnostics) ||
+    if (!(in >> tag >> p.name >> p.wall_ms >> p.units >> p.diagnostics >>
+          p.unit_hits >> p.unit_misses >> p.unit_disk_hits >>
+          p.unit_peer_hits >> p.unit_invalidated) ||
         tag != "pass")
       return std::nullopt;
     r.timings.passes.push_back(std::move(p));
@@ -153,23 +160,24 @@ std::optional<CompileResult> deserialize_result(std::string_view text) {
 }
 
 ResultCache::ResultCache(size_t capacity, std::string disk_dir,
-                         size_t disk_max_bytes)
-    : capacity_(capacity < 1 ? 1 : capacity),
-      disk_dir_(std::move(disk_dir)),
-      disk_max_bytes_(disk_max_bytes) {
+                         size_t disk_max_bytes, support::DiskBudget* budget)
+    : capacity_(capacity < 1 ? 1 : capacity), disk_dir_(std::move(disk_dir)) {
   if (!disk_dir_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(disk_dir_, ec);
-    // Pre-existing entries (warm restarts) count against the byte budget.
-    for (const auto& entry :
-         std::filesystem::directory_iterator(disk_dir_, ec)) {
-      if (entry.path().extension() != ".apc") continue;
-      std::error_code sec;
-      auto size = std::filesystem::file_size(entry.path(), sec);
-      if (!sec) stats_.disk_bytes += size;
+    if (budget) {
+      budget_ = budget;
+    } else {
+      // Private budget over disk_max_bytes (0 = unlimited accounting).
+      owned_budget_ = std::make_unique<support::DiskBudget>(disk_max_bytes);
+      budget_ = owned_budget_.get();
     }
+    // Pre-existing entries (warm restarts) count against the byte budget.
+    budget_->add_dir(disk_dir_, ".apc");
   }
 }
+
+ResultCache::~ResultCache() = default;
 
 std::string ResultCache::disk_path(uint64_t key) const {
   return disk_dir_ + "/" + hex16(key) + ".apc";
@@ -217,9 +225,8 @@ void ResultCache::store(uint64_t key, const CompileResult& r) {
   if (!disk_dir_.empty()) {
     const std::string path = disk_path(key);
     std::error_code ec;
-    auto old_size = std::filesystem::file_size(path, ec);
-    if (!ec) stats_.disk_bytes -= std::min<uint64_t>(stats_.disk_bytes,
-                                                     old_size);
+    uint64_t old_size = std::filesystem::file_size(path, ec);
+    if (ec) old_size = 0;
     std::string payload = serialize_result(r);
     // Atomic publish: write a temp file, then rename over the final name.
     // A reader in another process sharing the cache dir (fleet workers, a
@@ -235,52 +242,12 @@ void ResultCache::store(uint64_t key, const CompileResult& r) {
       if (rec) {
         std::filesystem::remove(tmp, rec);
       } else {
-        stats_.disk_bytes += payload.size();
-        if (disk_max_bytes_ > 0 && stats_.disk_bytes > disk_max_bytes_)
-          evict_disk_locked(key);
+        // The budget may evict oldest-mtime files across every tier
+        // sharing it (this entry itself is exempt).
+        budget_->charge(path, old_size, payload.size());
       }
     }
   }
-}
-
-// Removes oldest-mtime .apc files until the tier fits the byte budget.
-// `keep_key` (the entry whose store triggered the eviction) is exempt so a
-// store can never evict its own result.
-void ResultCache::evict_disk_locked(uint64_t keep_key) {
-  namespace fs = std::filesystem;
-  struct DiskEntry {
-    fs::file_time_type mtime;
-    uint64_t size;
-    fs::path path;
-  };
-  std::vector<DiskEntry> entries;
-  uint64_t total = 0;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(disk_dir_, ec)) {
-    if (entry.path().extension() != ".apc") continue;
-    std::error_code sec, tec;
-    uint64_t size = fs::file_size(entry.path(), sec);
-    auto mtime = fs::last_write_time(entry.path(), tec);
-    if (sec || tec) continue;
-    total += size;
-    entries.push_back({mtime, size, entry.path()});
-  }
-  std::sort(entries.begin(), entries.end(),
-            [](const DiskEntry& a, const DiskEntry& b) {
-              if (a.mtime != b.mtime) return a.mtime < b.mtime;
-              return a.path < b.path;  // deterministic tie-break
-            });
-  const std::string keep = disk_path(keep_key);
-  for (const auto& e : entries) {
-    if (total <= disk_max_bytes_) break;
-    if (e.path == keep) continue;
-    std::error_code rec;
-    if (fs::remove(e.path, rec)) {
-      total -= e.size;
-      ++stats_.disk_evictions;
-    }
-  }
-  stats_.disk_bytes = total;
 }
 
 void ResultCache::insert_memory_locked(uint64_t key, const CompileResult& r) {
@@ -301,7 +268,12 @@ void ResultCache::insert_memory_locked(uint64_t key, const CompileResult& r) {
 
 CacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats s = stats_;
+  if (budget_) {
+    s.disk_bytes = budget_->dir_bytes(disk_dir_);
+    s.disk_evictions = budget_->dir_evictions(disk_dir_);
+  }
+  return s;
 }
 
 size_t ResultCache::memory_entries() const {

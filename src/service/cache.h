@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -31,6 +32,10 @@
 #include <unordered_map>
 
 #include "driver/pipeline.h"
+
+namespace ap::support {
+class DiskBudget;
+}
 
 namespace ap::service {
 
@@ -53,10 +58,13 @@ struct CompileResult {
 
   // Unit-tier outcome of the compiling run (src/incr): per-request, like
   // cache_hit, so not serialized — a whole-request hit did no unit work
-  // and reports zeros.
+  // and reports zeros. Reported for the deepest (parallelize) boundary;
+  // per-boundary detail is in timings.passes[*].unit_*.
   size_t unit_hits = 0;
   size_t unit_misses = 0;
-  size_t unit_invalidated = 0;  // misses caused by a changed dependency
+  size_t unit_invalidated = 0;   // misses caused by a changed dependency
+  size_t unit_disk_hits = 0;     // hits served from the disk tier
+  size_t unit_peer_hits = 0;     // hits served by a fleet peer
 };
 
 // Build a CompileResult from a finished pipeline run (unparses the final
@@ -66,7 +74,7 @@ CompileResult to_compile_result(const driver::PipelineResult& r);
 // Content hash of (source, annotations, options). Stable across runs and
 // platforms; bump kCacheFormatVersion when CompileResult serialization or
 // pipeline semantics change.
-inline constexpr uint32_t kCacheFormatVersion = 3;
+inline constexpr uint32_t kCacheFormatVersion = 4;
 
 uint64_t cache_key(std::string_view source, std::string_view annotations,
                    const driver::PipelineOptions& opts);
@@ -100,8 +108,17 @@ class ResultCache {
   // just stored is never evicted by its own store). 0 = unlimited,
   // preserving historical behavior. Pre-existing files in `disk_dir` are
   // counted against the budget at construction.
+  //
+  // `budget` (optional, not owned) shares one byte budget across cache
+  // tiers — the server hands the same support::DiskBudget to this cache
+  // and the unit-artifact cache so --cache-max-mb caps their COMBINED
+  // footprint. When null, the cache owns a private budget over
+  // `disk_max_bytes`; when set, `disk_max_bytes` is ignored (the shared
+  // budget's cap governs).
   explicit ResultCache(size_t capacity = 256, std::string disk_dir = "",
-                       size_t disk_max_bytes = 0);
+                       size_t disk_max_bytes = 0,
+                       support::DiskBudget* budget = nullptr);
+  ~ResultCache();  // out of line: owned_budget_ needs the complete type
 
   // Thread-safe. On hit the entry becomes most-recently-used; disk hits
   // are promoted into the memory tier.
@@ -124,12 +141,12 @@ class ResultCache {
 
  private:
   void insert_memory_locked(uint64_t key, const CompileResult& r);
-  void evict_disk_locked(uint64_t keep_key);
   std::string disk_path(uint64_t key) const;
 
   const size_t capacity_;
   const std::string disk_dir_;
-  const size_t disk_max_bytes_;
+  std::unique_ptr<support::DiskBudget> owned_budget_;
+  support::DiskBudget* budget_ = nullptr;  // owned_budget_ or the shared one
 
   mutable std::mutex mu_;
   // MRU-first list; map values point into it.

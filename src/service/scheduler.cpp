@@ -107,6 +107,7 @@ CompileResult Scheduler::run_one(const CompileJob& job, obs::Span* parent,
       // A whole-request hit did no unit-granular work in THIS request;
       // the memory tier may carry the compiling run's counters.
       hit->unit_hits = hit->unit_misses = hit->unit_invalidated = 0;
+      hit->unit_disk_hits = hit->unit_peer_hits = 0;
       return *hit;
     }
   }
@@ -126,6 +127,7 @@ CompileResult Scheduler::run_one(const CompileJob& job, obs::Span* parent,
       peer->cache_hit = true;
       peer->peer_hit = true;
       peer->unit_hits = peer->unit_misses = peer->unit_invalidated = 0;
+      peer->unit_disk_hits = peer->unit_peer_hits = 0;
       if (opts_.cache) opts_.cache->store(key, *peer);
       return *peer;
     }
@@ -142,9 +144,16 @@ CompileResult Scheduler::run_one(const CompileJob& job, obs::Span* parent,
     if (r.unit_hits + r.unit_misses > 0)
       compile.detail = "unit_hits=" + std::to_string(r.unit_hits) +
                        " unit_misses=" + std::to_string(r.unit_misses);
-    // One child per pass, straight from the pipeline's PassRecords.
-    for (const auto& p : r.timings.passes)
-      compile.children.push_back({"pass:" + p.name, "", p.wall_ms, {}});
+    // One child per pass, straight from the pipeline's PassRecords; a
+    // snapshotting boundary's child names its own hit/miss outcome.
+    for (const auto& p : r.timings.passes) {
+      std::string detail;
+      if (p.unit_hits + p.unit_misses > 0)
+        detail = "unit_hits=" + std::to_string(p.unit_hits) +
+                 " unit_misses=" + std::to_string(p.unit_misses);
+      compile.children.push_back(
+          {"pass:" + p.name, std::move(detail), p.wall_ms, {}});
+    }
     parent->children.push_back(std::move(compile));
   }
   if (opts_.cache) opts_.cache->store(key, r);
@@ -201,8 +210,11 @@ std::vector<CompileResult> Scheduler::run_batch(
       opts_.telemetry->record_job(rec);
     }
     if (opts_.cache) opts_.telemetry->record_cache_stats(opts_.cache->stats());
-    if (opts_.unit_cache)
+    if (opts_.unit_cache) {
       opts_.telemetry->record_incr_stats(opts_.unit_cache->stats());
+      opts_.telemetry->record_incr_boundary_stats(
+          opts_.unit_cache->boundary_stats());
+    }
     opts_.telemetry->record_batch_wall_ms(batch_ms);
     opts_.telemetry->record_threads(pool_.size());
   }

@@ -53,6 +53,12 @@ void Telemetry::record_incr_stats(const incr::IncrStats& stats) {
   has_incr_ = true;
 }
 
+void Telemetry::record_incr_boundary_stats(
+    const std::map<std::string, incr::IncrStats>& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  incr_boundaries_ = stats;
+}
+
 void Telemetry::record_server_stats(const ServerStats& stats) {
   std::lock_guard<std::mutex> lock(mu_);
   server_ = stats;
@@ -175,10 +181,27 @@ std::string Telemetry::to_json() const {
   if (has_incr_) {
     s << "  \"incr\": {\"memory_hits\": " << incr_.memory_hits
       << ", \"disk_hits\": " << incr_.disk_hits
+      << ", \"peer_hits\": " << incr_.peer_hits
       << ", \"misses\": " << incr_.misses
       << ", \"invalidated_by_dep\": " << incr_.invalidated_by_dep
       << ", \"stores\": " << incr_.stores
-      << ", \"evictions\": " << incr_.evictions << "},\n";
+      << ", \"evictions\": " << incr_.evictions;
+    if (!incr_boundaries_.empty()) {
+      s << ", \"boundaries\": {";
+      bool first = true;
+      for (const auto& [name, b] : incr_boundaries_) {
+        if (!first) s << ", ";
+        first = false;
+        s << "\"" << json_escape(name) << "\": {\"memory_hits\": "
+          << b.memory_hits << ", \"disk_hits\": " << b.disk_hits
+          << ", \"peer_hits\": " << b.peer_hits
+          << ", \"misses\": " << b.misses
+          << ", \"invalidated_by_dep\": " << b.invalidated_by_dep
+          << ", \"stores\": " << b.stores << "}";
+      }
+      s << "}";
+    }
+    s << "},\n";
   }
   if (has_server_) {
     s << "  \"server\": {\"connections\": " << server_.connections
@@ -202,7 +225,12 @@ std::string Telemetry::to_json() const {
       << ", \"probe_hits\": " << peer_cache_.probe_hits
       << ", \"fills_sent\": " << peer_cache_.fills_sent
       << ", \"fills_received\": " << peer_cache_.fills_received
-      << ", \"peer_hits\": " << peer_cache_.peer_hits << "},\n";
+      << ", \"peer_hits\": " << peer_cache_.peer_hits
+      << ", \"unit_probes_sent\": " << peer_cache_.unit_probes_sent
+      << ", \"unit_probe_hits\": " << peer_cache_.unit_probe_hits
+      << ", \"unit_fills_sent\": " << peer_cache_.unit_fills_sent
+      << ", \"unit_fills_received\": " << peer_cache_.unit_fills_received
+      << ", \"unit_peer_hits\": " << peer_cache_.unit_peer_hits << "},\n";
   }
   if (has_fleet_) {
     s << "  \"fleet\": {\"forwarded\": " << fleet_.forwarded

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -90,6 +91,13 @@ struct PeerCacheStats {
   uint64_t fills_sent = 0;       // replications pushed to peers
   uint64_t fills_received = 0;   // replications accepted from peers
   uint64_t peer_hits = 0;        // local misses served from the peer tier
+  // Unit-artifact tier (wire v6 unit_probe/unit_fill): same shape, one
+  // level down — per-unit pass snapshots instead of whole results.
+  uint64_t unit_probes_sent = 0;
+  uint64_t unit_probe_hits = 0;
+  uint64_t unit_fills_sent = 0;
+  uint64_t unit_fills_received = 0;
+  uint64_t unit_peer_hits = 0;   // unit misses served from the peer tier
 };
 
 // Counters from the coordinator's routing plane (src/dist coordinator).
@@ -118,6 +126,10 @@ class Telemetry {
   void record_exec(const ExecRecord& rec);
   void record_cache_stats(const CacheStats& stats);
   void record_incr_stats(const incr::IncrStats& stats);
+  // Per-boundary breakdown of the unit tier ("normalize", "parallelize"):
+  // shows WHERE in the pipeline edits resume.
+  void record_incr_boundary_stats(
+      const std::map<std::string, incr::IncrStats>& stats);
   void record_server_stats(const ServerStats& stats);
   void record_peer_cache_stats(const PeerCacheStats& stats);
   void record_fleet_stats(const FleetStats& stats);
@@ -143,6 +155,7 @@ class Telemetry {
   CacheStats cache_;
   incr::IncrStats incr_;
   bool has_incr_ = false;  // "incr" section emitted only when recorded
+  std::map<std::string, incr::IncrStats> incr_boundaries_;
   ServerStats server_;
   bool has_server_ = false;  // "server" section emitted only when recorded
   PeerCacheStats peer_cache_;

@@ -44,6 +44,12 @@ class AnnotInliner {
   void run() {
     for (auto& u : prog_.units) {
       if (u->external_library) continue;
+      // Per-caller-unit counters: a caller's post-inline text (tag ids,
+      // renamed DO variables) must be a pure function of its own
+      // dependence closure so pass-boundary snapshots of one unit stay
+      // valid when other units change.
+      tag_counter_ = 0;
+      rename_counter_ = 0;
       process_body(u->body, *u, 0);
     }
   }

@@ -102,13 +102,15 @@ class Inliner {
   ConvInlineReport& report_;
   std::unique_ptr<sema::SemaContext> sema_;
   DiagnosticEngine scratch_diags_;
-  // Fresh-name counter lives in the report so multi-pass runs stay unique
+  // Fresh-name counters live in the report so multi-pass runs stay unique
   // while distinct inline_conventional() invocations are deterministic.
 
   void note(const std::string& msg) { report_.notes.push_back(msg); }
 
-  std::string fresh_name_(const std::string& base) {
-    return base + "_IL" + std::to_string(report_.fresh_counter++);
+  std::string fresh_name_(const std::string& base,
+                          const fir::ProgramUnit& caller) {
+    return base + "_IL" +
+           std::to_string(report_.fresh_counters[caller.name]++);
   }
 
   bool process_body(std::vector<StmtPtr>& body, fir::ProgramUnit& caller,
@@ -242,7 +244,7 @@ class Inliner {
           scalar_subst[formal] = actual;
         } else {
           // Copy-in / copy-out temporary.
-          std::string tmp = fresh_name_(formal);
+          std::string tmp = fresh_name_(formal, caller);
           pre.push_back(fir::make_assign(fir::make_var(tmp), actual->clone()));
           if (actual->kind == ExprKind::VarRef ||
               actual->kind == ExprKind::ArrayRef)
@@ -325,7 +327,7 @@ class Inliner {
       if (callee->is_param(d.name) || common_vars.count(d.name) ||
           d.is_param_const)
         continue;
-      std::string nn = fresh_name_(d.name);
+      std::string nn = fresh_name_(d.name, caller);
       renames[d.name] = nn;
       fir::VarDecl nd = d.clone();
       nd.name = nn;
@@ -346,7 +348,7 @@ class Inliner {
         if (renames.count(m) || common_vars.count(m) || callee->is_param(m) ||
             callee->find_decl(m))
           continue;
-        std::string nn = fresh_name_(m);
+        std::string nn = fresh_name_(m, caller);
         renames[m] = nn;
         fir::VarDecl nd;
         nd.name = nn;

@@ -31,6 +31,8 @@
 //     parallelism" into a measurable #par-loss in Table II.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -51,7 +53,11 @@ struct ConvInlineReport {
   int sites_inlined = 0;
   int sites_skipped = 0;
   int units_removed = 0;
-  int64_t fresh_counter = 0;  // fresh-name counter shared across passes
+  // Fresh-name counters, one per caller unit, shared across the
+  // max_passes iterations. Per-unit (not program-global) so a caller's
+  // post-inline text is a pure function of its own dependence closure —
+  // the invariant the pass-boundary snapshot keys rely on.
+  std::map<std::string, int64_t> fresh_counters;
   std::vector<std::string> notes;  // one line per decision, for tests/logs
 };
 

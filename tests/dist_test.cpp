@@ -17,6 +17,10 @@
 #include "dist/membership.h"
 #include "dist/shard.h"
 #include "dist/worker.h"
+#include "driver/pipeline.h"
+#include "fir/unparse.h"
+#include "incr/fingerprint.h"
+#include "incr/unit_cache.h"
 #include "net/client.h"
 #include "service/cache.h"
 #include "suite/suite.h"
@@ -447,6 +451,187 @@ TEST(DistFleet, SaturatedWorkerIsSteeredAround) {
   EXPECT_EQ(fs.forwarded, 12u);
   // All 12 forwards shared one pooled channel to `wb`.
   EXPECT_EQ(fs.channels_opened, 1u);
+
+  coord.begin_drain();
+  coord.wait();
+  wa.begin_drain();
+  wa.wait();
+  wb.begin_drain();
+  wb.wait();
+}
+
+// A three-unit app for the unit-artifact tier tests: editing UTWO leaves
+// UONE's dependence closure untouched, so exactly one unit is reusable
+// across the edit.
+suite::BenchmarkApp three_unit_app() {
+  suite::BenchmarkApp app;
+  app.name = "TRIPLET";
+  app.source = "      PROGRAM MAIN\n"
+               "      REAL A(16)\n"
+               "      CALL UONE(A)\n"
+               "      CALL UTWO(A)\n"
+               "      S = 0.0\n"
+               "      DO 10 I = 1, 16\n"
+               "        S = S + A(I)\n"
+               "   10 CONTINUE\n"
+               "      WRITE(*,*) S\n"
+               "      END\n"
+               "\n"
+               "      SUBROUTINE UONE(A)\n"
+               "      REAL A(16)\n"
+               "      DO 20 I = 1, 16\n"
+               "        A(I) = I * 2.0\n"
+               "   20 CONTINUE\n"
+               "      END\n"
+               "\n"
+               "      SUBROUTINE UTWO(A)\n"
+               "      REAL A(16)\n"
+               "      DO 30 I = 1, 16\n"
+               "        A(I) = A(I) + 1.0\n"
+               "   30 CONTINUE\n"
+               "      END\n";
+  return app;
+}
+
+TEST(DistFleet, UnitProbeAndFillAnswerFromTheUnitCache) {
+  // A standalone worker answers the v6 unit-artifact messages directly
+  // from its attached incr::UnitCache, byte-exactly and without ever
+  // recursing into its own peer hooks.
+  service::ResultCache cache(64);
+  incr::UnitCache units(64);
+  dist::WorkerOptions wo;
+  wo.id = "solo";
+  wo.threads = 1;
+  wo.cache = &cache;
+  wo.unit_cache = &units;
+  dist::Worker worker(wo);
+  std::string err;
+  ASSERT_TRUE(worker.start(&err)) << err;
+
+  std::string payload = "APUNIT 2\nopaque snapshot ";
+  payload.push_back('\0');
+  payload += "bytes";
+  units.adopt("parallelize", 0xbeef, payload);
+
+  net::Client client;
+  ASSERT_TRUE(client.connect(worker.port(), &err, 120'000)) << err;
+
+  // Probe the held key: found, payload byte-exact.
+  net::Request probe;
+  probe.type = net::RequestType::UnitProbe;
+  probe.key = net::format_key(0xbeef);
+  net::Response resp;
+  ASSERT_TRUE(client.call(std::move(probe), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  ASSERT_TRUE(resp.found);
+  EXPECT_EQ(resp.payload, payload);
+
+  // An unknown key is a clean miss, not an error.
+  net::Request miss;
+  miss.type = net::RequestType::UnitProbe;
+  miss.key = net::format_key(0xdead);
+  ASSERT_TRUE(client.call(std::move(miss), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Ok);
+  EXPECT_FALSE(resp.found);
+
+  // A fill lands in the cache under its boundary and is servable back.
+  net::Request fill;
+  fill.type = net::RequestType::UnitFill;
+  fill.key = net::format_key(0xf111);
+  fill.boundary = "normalize";
+  fill.payload = "APUSER 1 pushed";
+  ASSERT_TRUE(client.call(std::move(fill), &resp, &err)) << err;
+  ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+  auto held = units.peek(0xf111);
+  ASSERT_TRUE(held.has_value());
+  EXPECT_EQ(*held, "APUSER 1 pushed");
+  EXPECT_GE(worker.peer_stats().unit_fills_received, 1u);
+
+  // A fill without its boundary label is a structured error — the
+  // receiver cannot bucket the artifact. (A malformed key never reaches
+  // the handler: the codec rejects it at decode time.)
+  net::Request nobound;
+  nobound.type = net::RequestType::UnitFill;
+  nobound.key = net::format_key(0xf222);
+  ASSERT_TRUE(client.call(std::move(nobound), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Error);
+  EXPECT_NE(resp.error.find("boundary"), std::string::npos);
+
+  worker.begin_drain();
+  worker.wait();
+}
+
+TEST(DistFleet, LateJoiningWorkerResumesUnitsFromPeer) {
+  // Worker A compiles an app and holds its unit artifacts. Worker B joins
+  // AFTER that compile, then receives an edited version of the same app:
+  // B's whole-result probe misses everywhere (nobody compiled the edited
+  // source), but the unchanged unit's pass-boundary keys hit A via
+  // unit_probe — B resumes mid-pipeline from a peer's snapshots, and the
+  // result is bit-identical to a cold local compile.
+  dist::CoordinatorOptions co;
+  co.membership = {/*suspect_after_ms=*/60'000, /*dead_after_ms=*/120'000};
+  dist::Coordinator coord(co);
+  std::string err;
+  ASSERT_TRUE(coord.start(&err)) << err;
+
+  service::ResultCache cache_a(64), cache_b(64);
+  incr::UnitCache units_a(64), units_b(64);
+  dist::WorkerOptions wo;
+  wo.threads = 1;
+  wo.coordinator_port = coord.port();
+  wo.heartbeat_interval_ms = 100;
+  wo.id = "wa";
+  wo.cache = &cache_a;
+  wo.unit_cache = &units_a;
+  dist::Worker wa(wo);
+  ASSERT_TRUE(wa.start(&err)) << err;
+
+  suite::BenchmarkApp app = three_unit_app();
+  net::Client to_a;
+  ASSERT_TRUE(to_a.connect(wa.port(), &err, 120'000)) << err;
+  net::Response built;
+  ASSERT_TRUE(to_a.call(compile_request(app), &built, &err)) << err;
+  ASSERT_EQ(built.status, net::Status::Ok) << built.error;
+  EXPECT_EQ(built.result.unit_misses, 3u);  // cold fill of A's unit tier
+
+  // B joins late: its registration response lists A as a routable peer.
+  dist::Worker wb([&] {
+    dist::WorkerOptions o = wo;
+    o.id = "wb";
+    o.cache = &cache_b;
+    o.unit_cache = &units_b;
+    return o;
+  }());
+  ASSERT_TRUE(wb.start(&err)) << err;
+  ASSERT_FALSE(wb.peers().empty());
+
+  suite::BenchmarkApp edited = app;
+  edited.source = incr::mutate_unit(app.source, "UTWO", 5);
+  ASSERT_NE(edited.source, app.source);
+
+  net::Client to_b;
+  ASSERT_TRUE(to_b.connect(wb.port(), &err, 120'000)) << err;
+  net::Response resumed;
+  ASSERT_TRUE(to_b.call(compile_request(edited), &resumed, &err)) << err;
+  ASSERT_EQ(resumed.status, net::Status::Ok) << resumed.error;
+  EXPECT_FALSE(resumed.result.cache_hit);
+  // UONE resumed from A's snapshot; MAIN and UTWO recompiled.
+  EXPECT_EQ(resumed.result.unit_hits, 1u);
+  EXPECT_EQ(resumed.result.unit_peer_hits, 1u);
+  EXPECT_EQ(resumed.result.unit_misses, 2u);
+  service::PeerCacheStats bstats = wb.peer_stats();
+  EXPECT_GE(bstats.unit_probes_sent, 1u);
+  EXPECT_GE(bstats.unit_probe_hits, 1u);
+  // B's fresh unit computes were pushed back to A (unit_fill replication).
+  EXPECT_GE(bstats.unit_fills_sent, 1u);
+  EXPECT_GE(wa.peer_stats().unit_fills_received, 1u);
+
+  // Peer-resumed output is bit-identical to a cold local compile.
+  driver::PipelineResult cold =
+      driver::run_pipeline(edited, driver::PipelineOptions{});
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(cold.program != nullptr);
+  EXPECT_EQ(resumed.result.program_text, fir::unparse(*cold.program));
 
   coord.begin_drain();
   coord.wait();

@@ -1,9 +1,12 @@
 // Tests for the unit-granular incremental compilation cache (src/incr):
-// token-level unit fingerprints, the CALL/COMMON dependence graph and its
-// invalidation rule, snapshot (de)serialization, the two-tier unit cache,
-// and — the load-bearing property — that incremental recompiles are
-// bit-identical to cold compiles for every suite app under every inlining
-// configuration, including under randomized single-unit edits.
+// token-level unit fingerprints, the CALL/COMMON dependence graph (directed
+// summary-dependence rule and the bidirectional verification mode) and its
+// invalidation sets, content-only plan keys, snapshot (de)serialization,
+// the tiered unit-artifact cache with its peer hooks, and — the
+// load-bearing property — that incremental recompiles are bit-identical to
+// cold compiles for every suite app under every inlining configuration,
+// including under randomized single-unit edits, parallelizer option flips
+// that resume at the normalize boundary, and both dependence modes.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -21,6 +24,7 @@
 #include "incr/fingerprint.h"
 #include "incr/plan.h"
 #include "incr/unit_cache.h"
+#include "incr/unit_serial.h"
 #include "interp/interp.h"
 #include "suite/suite.h"
 #include "support/diagnostics.h"
@@ -56,8 +60,11 @@ struct TempDir {
 //   WORKB  --calls--> HUB
 //   HUB, LEAF, CDEF: no outgoing edges
 //
-// so closure(LEAF) = {LEAF}, closure(WORKB) = {WORKB, HUB},
-// closure(INITA) = closure(CDEF) = {INITA, CDEF, HUB}, and
+// INITA and CDEF each both read and write S1, so their COMMON edges point
+// both ways. COMMON edges are one-hop summary dependence: closure(CDEF)
+// = {CDEF, INITA} — CDEF consults INITA's read/write summary, which does
+// not embed HUB's text, so HUB stays out even though INITA calls it. CALL
+// edges stay transitive: closure(INITA) = {INITA, HUB, CDEF} and
 // closure(DRIVER) = everything. LEAF is the satellite's "leaf unit", CDEF
 // the "COMMON-defining unit", HUB the "hub called by everyone".
 suite::BenchmarkApp shaped_app() {
@@ -121,12 +128,6 @@ suite::BenchmarkApp shaped_app() {
   return app;
 }
 
-std::set<std::string> names_of(const std::vector<incr::UnitFingerprint>& us) {
-  std::set<std::string> out;
-  for (const auto& u : us) out.insert(u.name);
-  return out;
-}
-
 // Every comparison the service caches care about: the final program text,
 // the paper metrics, and the full per-loop verdict list.
 void expect_identical(const PipelineResult& a, const PipelineResult& b,
@@ -166,6 +167,13 @@ void expect_identical_runs(const fir::Program& a, const fir::Program& b,
   EXPECT_EQ(ra.stop_message, rb.stop_message) << what;
   EXPECT_EQ(ra.statements_executed, rb.statements_executed) << what;
   EXPECT_EQ(ra.statements_in_parallel, rb.statements_in_parallel) << what;
+}
+
+std::set<std::string> closure_names(const incr::UnitDepGraph& g,
+                                    const std::string& name) {
+  std::set<std::string> out;
+  for (size_t i : g.closure[g.index.at(name)]) out.insert(g.names[i]);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -270,19 +278,17 @@ TEST(DepGraph, ExactClosuresOnShapedApp) {
   auto g = incr::build_dep_graph(*prog);
   ASSERT_EQ(g.names.size(), 6u);
 
-  auto closure_of = [&](const std::string& name) {
-    std::set<std::string> out;
-    for (size_t i : g.closure[g.index.at(name)]) out.insert(g.names[i]);
-    return out;
-  };
-  EXPECT_EQ(closure_of("LEAF"), (std::set<std::string>{"LEAF"}));
-  EXPECT_EQ(closure_of("HUB"), (std::set<std::string>{"HUB"}));
-  EXPECT_EQ(closure_of("WORKB"), (std::set<std::string>{"HUB", "WORKB"}));
-  EXPECT_EQ(closure_of("INITA"),
+  EXPECT_EQ(closure_names(g, "LEAF"), (std::set<std::string>{"LEAF"}));
+  EXPECT_EQ(closure_names(g, "HUB"), (std::set<std::string>{"HUB"}));
+  EXPECT_EQ(closure_names(g, "WORKB"),
+            (std::set<std::string>{"HUB", "WORKB"}));
+  EXPECT_EQ(closure_names(g, "INITA"),
             (std::set<std::string>{"CDEF", "HUB", "INITA"}));
-  EXPECT_EQ(closure_of("CDEF"),
-            (std::set<std::string>{"CDEF", "HUB", "INITA"}));
-  EXPECT_EQ(closure_of("DRIVER"),
+  // One-hop summary dependence: CDEF consults INITA's read/write summary,
+  // not INITA's inlined text, so INITA's callee HUB stays out.
+  EXPECT_EQ(closure_names(g, "CDEF"),
+            (std::set<std::string>{"CDEF", "INITA"}));
+  EXPECT_EQ(closure_names(g, "DRIVER"),
             (std::set<std::string>{"CDEF", "DRIVER", "HUB", "INITA", "LEAF",
                                    "WORKB"}));
 }
@@ -300,13 +306,138 @@ TEST(DepGraph, InvalidationSetsForLeafCommonAndHubEdits) {
   // though nothing ever CALLs it.
   EXPECT_EQ(incr::invalidated_by_edit(g, "CDEF"),
             (std::set<std::string>{"CDEF", "DRIVER", "INITA"}));
-  // (c) hub called by everyone: everything except the unrelated leaf.
+  // (c) hub called by everyone that calls: its callers, but NOT CDEF —
+  // CDEF's dependence on INITA is summary-level, and HUB cannot change
+  // INITA's read/write summary.
   EXPECT_EQ(incr::invalidated_by_edit(g, "HUB"),
-            (std::set<std::string>{"CDEF", "DRIVER", "HUB", "INITA",
-                                   "WORKB"}));
+            (std::set<std::string>{"DRIVER", "HUB", "INITA", "WORKB"}));
   // Unknown units invalidate only themselves.
   EXPECT_EQ(incr::invalidated_by_edit(g, "NOSUCH"),
             (std::set<std::string>{"NOSUCH"}));
+}
+
+// The saturation-breaking property of directed mode: COMMON dependence is
+// one hop (the reader needs the writer's own fingerprint, because the
+// read/write summary is intraprocedural), so an edit to the WRITER's
+// helper callee does not leak to the reader. Bidirectional mode, which
+// closes every edge transitively, does leak it — that is exactly the
+// over-invalidation the directed rule removes.
+TEST(DepGraph, CommonSummaryDependenceIsOneHop) {
+  const char* src = R"(
+      PROGRAM TOP
+      CALL WRITER
+      CALL READER
+      END
+
+      SUBROUTINE WRITER
+      COMMON /B/ X(8)
+      CALL HELPER
+      DO 10 I = 1, 8
+        X(I) = I * 2.0
+10    CONTINUE
+      END
+
+      SUBROUTINE HELPER
+      T = 1.0
+      DO 20 I = 1, 4
+        T = T + I
+20    CONTINUE
+      END
+
+      SUBROUTINE READER
+      COMMON /B/ X(8)
+      S = 0.0
+      DO 30 I = 1, 8
+        S = S + X(I)
+30    CONTINUE
+      WRITE(*,*) S
+      END
+)";
+  auto prog = test::parse_ok(src);
+  ASSERT_TRUE(prog);
+
+  auto g = incr::build_dep_graph(*prog, incr::DepMode::Directed);
+  // READER depends on WRITER (it writes X) but not on WRITER's callee.
+  EXPECT_EQ(closure_names(g, "READER"),
+            (std::set<std::string>{"READER", "WRITER"}));
+  EXPECT_EQ(closure_names(g, "WRITER"),
+            (std::set<std::string>{"HELPER", "WRITER"}));
+  // Editing the helper invalidates its callers, not the COMMON reader.
+  EXPECT_EQ(incr::invalidated_by_edit(g, "HELPER"),
+            (std::set<std::string>{"HELPER", "TOP", "WRITER"}));
+  // Editing the read-only READER invalidates no sharer.
+  EXPECT_EQ(incr::invalidated_by_edit(g, "READER"),
+            (std::set<std::string>{"READER", "TOP"}));
+
+  auto b = incr::build_dep_graph(*prog, incr::DepMode::Bidirectional);
+  // The symmetric rule chains READER -> WRITER -> HELPER.
+  EXPECT_EQ(closure_names(b, "READER"),
+            (std::set<std::string>{"HELPER", "READER", "WRITER"}));
+  EXPECT_TRUE(incr::invalidated_by_edit(b, "HELPER").count("READER"));
+  EXPECT_TRUE(incr::invalidated_by_edit(b, "READER").count("WRITER"));
+}
+
+// Sharers that disagree on a block's member list are positionally coupled;
+// name matching is meaningless, so the block falls back to symmetric
+// edges — even between two units that only read it.
+TEST(DepGraph, LayoutMismatchFallsBackToSymmetricEdges) {
+  const char* src = R"(
+      PROGRAM TOP
+      WRITE(*,*) 'OK'
+      END
+
+      SUBROUTINE RA
+      COMMON /B/ X(4)
+      S = X(1)
+      WRITE(*,*) S
+      END
+
+      SUBROUTINE RB
+      COMMON /B/ Y(4)
+      T = Y(2)
+      WRITE(*,*) T
+      END
+)";
+  auto prog = test::parse_ok(src);
+  ASSERT_TRUE(prog);
+  auto g = incr::build_dep_graph(*prog, incr::DepMode::Directed);
+  EXPECT_EQ(closure_names(g, "RA"), (std::set<std::string>{"RA", "RB"}));
+  EXPECT_EQ(closure_names(g, "RB"), (std::set<std::string>{"RA", "RB"}));
+  EXPECT_EQ(incr::invalidated_by_edit(g, "RA"),
+            (std::set<std::string>{"RA", "RB"}));
+}
+
+// The tentpole measurement on the real fixture: DYFESM's main program
+// initialises most COMMON members and calls most units, so the symmetric
+// rule (and a naively transitive directed rule) saturates — any edit
+// invalidates 11 of 12 units. Directed one-hop COMMON dependence keeps a
+// FORMP edit down to {FORMP, its caller FSMP, the main program}: 9 of 12
+// units reusable, against the 1/12 ceiling.
+TEST(DepGraph, DirectedDyfesmFormpEditInvalidatesOnlyCallChain) {
+  const suite::BenchmarkApp* app = suite::find_app("DYFESM");
+  ASSERT_TRUE(app != nullptr);
+  auto prog = test::parse_ok(app->source);
+  ASSERT_TRUE(prog);
+  ASSERT_EQ(prog->units.size(), 12u);
+
+  auto g = incr::build_dep_graph(*prog, incr::DepMode::Directed);
+  EXPECT_EQ(incr::invalidated_by_edit(g, "FORMP"),
+            (std::set<std::string>{"DYFESM", "FORMP", "FSMP"}));
+  // A subroutine's closure reaches the main program (which writes what it
+  // reads) but stops there — no cycle back through the call tree.
+  EXPECT_EQ(closure_names(g, "GETCR"),
+            (std::set<std::string>{"DYFESM", "GETCR"}));
+
+  auto b = incr::build_dep_graph(*prog, incr::DepMode::Bidirectional);
+  EXPECT_EQ(incr::invalidated_by_edit(b, "FORMP").size(), 11u);
+
+  // Directed never invalidates more than bidirectional, for any edit.
+  for (const auto& name : g.names) {
+    auto dv = incr::invalidated_by_edit(g, name);
+    auto bv = incr::invalidated_by_edit(b, name);
+    for (const auto& u : dv)
+      EXPECT_TRUE(bv.count(u)) << "edit " << name << " unit " << u;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -315,23 +446,23 @@ TEST(DepGraph, InvalidationSetsForLeafCommonAndHubEdits) {
 
 TEST(Plan, UsableForEverySuiteAppAndKeyedByClosure) {
   for (const auto& app : suite::perfect_suite()) {
-    auto plan = incr::make_plan(app.source, app.annotations, kFnvOffset);
+    auto plan = incr::make_plan(app.source, app.annotations);
     EXPECT_TRUE(plan.usable) << app.name;
     EXPECT_FALSE(plan.entries.empty()) << app.name;
   }
 }
 
 TEST(Plan, UnusableOnUnsplittableSource) {
-  auto plan = incr::make_plan("X = 1\n", "", kFnvOffset);
+  auto plan = incr::make_plan("X = 1\n", "");
   EXPECT_FALSE(plan.usable);
 }
 
 TEST(Plan, EditChangesExactlyTheInvalidatedKeys) {
   auto app = shaped_app();
-  auto before = incr::make_plan(app.source, app.annotations, kFnvOffset);
+  auto before = incr::make_plan(app.source, app.annotations);
   ASSERT_TRUE(before.usable);
   std::string edited = incr::mutate_unit(app.source, "CDEF", 11);
-  auto after = incr::make_plan(edited, app.annotations, kFnvOffset);
+  auto after = incr::make_plan(edited, app.annotations);
   ASSERT_TRUE(after.usable);
   std::set<std::string> expected{"CDEF", "DRIVER", "INITA"};
   for (const auto& [name, entry] : before.entries) {
@@ -349,19 +480,26 @@ TEST(Plan, EditChangesExactlyTheInvalidatedKeys) {
   }
 }
 
-TEST(Plan, OptionsHashSeparatesConfigs) {
-  auto app = shaped_app();
-  PipelineOptions none;
-  PipelineOptions conv;
-  conv.config = InlineConfig::Conventional;
-  auto pa = incr::make_plan(app.source, app.annotations,
-                            driver::hash_pipeline_options(kFnvOffset, none));
-  auto pb = incr::make_plan(app.source, app.annotations,
-                            driver::hash_pipeline_options(kFnvOffset, conv));
-  ASSERT_TRUE(pa.usable);
-  ASSERT_TRUE(pb.usable);
-  for (const auto& [name, entry] : pa.entries)
-    EXPECT_NE(entry.key, pb.find(name)->key) << name;
+// Plan keys are content-only (the artifact layer adds option hashes per
+// boundary): the same source always produces the same keys, and the two
+// dependence modes differ exactly where their closures differ.
+TEST(Plan, KeysAreContentOnlyAndModeAware) {
+  const suite::BenchmarkApp* app = suite::find_app("DYFESM");
+  ASSERT_TRUE(app != nullptr);
+  auto a = incr::make_plan(app->source, app->annotations);
+  auto b = incr::make_plan(app->source, app->annotations);
+  ASSERT_TRUE(a.usable);
+  ASSERT_TRUE(b.usable);
+  for (const auto& [name, entry] : a.entries)
+    EXPECT_EQ(entry.key, b.find(name)->key) << name;
+
+  auto bid = incr::make_plan(app->source, app->annotations,
+                             incr::DepMode::Bidirectional);
+  ASSERT_TRUE(bid.usable);
+  // GETCR's closure is {DYFESM, GETCR} directed vs all 12 bidirectional.
+  EXPECT_NE(a.find("GETCR")->key, bid.find("GETCR")->key);
+  // CHOFAC shares no COMMON block: closure {CHOFAC} in both modes.
+  EXPECT_EQ(a.find("CHOFAC")->key, bid.find("CHOFAC")->key);
 }
 
 // ---------------------------------------------------------------------------
@@ -432,7 +570,7 @@ TEST(Snapshot, DeserializeRejectsGarbageAndWrongVersion) {
   EXPECT_FALSE(incr::deserialize_snapshot("not a snapshot").has_value());
   std::string text = serialize_snapshot(sample_snapshot());
   std::string wrong = text;
-  size_t at = wrong.find("APUNIT 1");
+  size_t at = wrong.find("APUNIT 2");
   ASSERT_NE(at, std::string::npos);
   wrong.replace(at, 8, "APUNIT 999");
   EXPECT_FALSE(incr::deserialize_snapshot(wrong).has_value());
@@ -452,20 +590,54 @@ TEST(Snapshot, ApplyRejectsDoShapeMismatch) {
   EXPECT_FALSE(incr::apply_snapshot(*unit, snap));
 }
 
+// The normalize boundary's payload: an exact AST round trip.
+TEST(Snapshot, UnitSerialRoundTripIsExact) {
+  for (const char* name : {"DYFESM", "TRFD"}) {
+    const suite::BenchmarkApp* app = suite::find_app(name);
+    ASSERT_TRUE(app != nullptr) << name;
+    auto prog = test::parse_ok(app->source);
+    ASSERT_TRUE(prog) << name;
+    for (const auto& unit : prog->units) {
+      std::string payload = incr::serialize_unit(*unit);
+      auto back = incr::deserialize_unit(payload);
+      ASSERT_TRUE(back.has_value() && *back) << name << "/" << unit->name;
+      EXPECT_EQ(fir::unparse_unit(**back), fir::unparse_unit(*unit))
+          << name << "/" << unit->name;
+      // Semantic fields the unparser does not show must round-trip too.
+      std::vector<int64_t> ids_a, ids_b;
+      fir::walk_stmts(unit->body, [&](const fir::Stmt& s) {
+        if (s.kind == fir::StmtKind::Do) ids_a.push_back(s.origin_id);
+        return true;
+      });
+      fir::walk_stmts((*back)->body, [&](const fir::Stmt& s) {
+        if (s.kind == fir::StmtKind::Do) ids_b.push_back(s.origin_id);
+        return true;
+      });
+      EXPECT_EQ(ids_a, ids_b) << name << "/" << unit->name;
+    }
+  }
+  EXPECT_FALSE(incr::deserialize_unit("").has_value());
+  EXPECT_FALSE(incr::deserialize_unit("APUSER 1 garbage").has_value());
+}
+
 // ---------------------------------------------------------------------------
 // Unit cache store
 // ---------------------------------------------------------------------------
 
 TEST(UnitCacheStore, MemoryLruEvictsOldest) {
   incr::UnitCache cache(2);
-  cache.store(1, 101, sample_snapshot());
-  cache.store(2, 102, sample_snapshot());
-  EXPECT_TRUE(cache.find(1, 101).has_value());  // 1 is now MRU
-  cache.store(3, 103, sample_snapshot());       // evicts 2
+  cache.store("parallelize", 1, 101, "p-one");
+  cache.store("parallelize", 2, 102, "p-two");
+  // 1 is now MRU.
+  EXPECT_TRUE(cache.find("parallelize", 1, 101).payload.has_value());
+  cache.store("parallelize", 3, 103, "p-three");  // evicts 2
   EXPECT_EQ(cache.memory_entries(), 2u);
-  EXPECT_TRUE(cache.find(1, 101).has_value());
-  EXPECT_FALSE(cache.find(2, 102).has_value());
-  EXPECT_TRUE(cache.find(3, 103).has_value());
+  auto r1 = cache.find("parallelize", 1, 101);
+  ASSERT_TRUE(r1.payload.has_value());
+  EXPECT_EQ(*r1.payload, "p-one");
+  EXPECT_EQ(r1.tier, incr::UnitTier::Memory);
+  EXPECT_FALSE(cache.find("parallelize", 2, 102).payload.has_value());
+  EXPECT_TRUE(cache.find("parallelize", 3, 103).payload.has_value());
   incr::IncrStats s = cache.stats();
   EXPECT_EQ(s.stores, 3u);
   EXPECT_EQ(s.evictions, 1u);
@@ -476,58 +648,106 @@ TEST(UnitCacheStore, MemoryLruEvictsOldest) {
 TEST(UnitCacheStore, DiskTierSurvivesRestartAndPromotes) {
   TempDir dir("disk");
   uint64_t key = 0xabcdef12345678ull;
+  std::string payload = serialize_snapshot(sample_snapshot());
   {
     incr::UnitCache cache(8, dir.path.string());
-    cache.store(key, 7, sample_snapshot());
+    cache.store("parallelize", key, 7, payload);
   }
   incr::UnitCache cache(8, dir.path.string());
   EXPECT_EQ(cache.memory_entries(), 0u);
-  auto hit = cache.find(key, 7);  // disk hit, promoted to memory
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->par.dep_tests, 17u);
+  auto hit = cache.find("parallelize", key, 7);  // disk hit, promoted
+  ASSERT_TRUE(hit.payload.has_value());
+  EXPECT_EQ(hit.tier, incr::UnitTier::Disk);
+  auto snap = incr::deserialize_snapshot(*hit.payload);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->par.dep_tests, 17u);
   EXPECT_EQ(cache.memory_entries(), 1u);
-  EXPECT_TRUE(cache.find(key, 7).has_value());  // now a memory hit
+  EXPECT_EQ(cache.find("parallelize", key, 7).tier, incr::UnitTier::Memory);
   incr::IncrStats s = cache.stats();
   EXPECT_EQ(s.disk_hits, 1u);
   EXPECT_EQ(s.memory_hits, 1u);
 }
 
-TEST(UnitCacheStore, DiskTierRejectsWrongFormatVersion) {
-  TempDir dir("version");
-  uint64_t key = 42;
-  {
-    incr::UnitCache cache(8, dir.path.string());
-    cache.store(key, 7, sample_snapshot());
-  }
-  // Corrupt every stored file's version stamp.
-  for (const auto& e : fs::directory_iterator(dir.path)) {
-    std::ifstream in(e.path());
-    std::string text((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-    in.close();
-    size_t at = text.find("APUNIT");
-    ASSERT_NE(at, std::string::npos);
-    text.replace(at, 8, "APUNIT 0");
-    std::ofstream(e.path(), std::ios::trunc) << text;
-  }
-  incr::UnitCache cache(8, dir.path.string());
-  EXPECT_FALSE(cache.find(key, 7).has_value());
-}
-
 TEST(UnitCacheStore, MissWithKnownFingerprintCountsAsInvalidated) {
   incr::UnitCache cache(8);
-  cache.store(/*key=*/100, /*own_fp=*/55, sample_snapshot());
-  bool invalidated = false;
+  cache.store("parallelize", /*key=*/100, /*own_fp=*/55, "payload");
   // Same unit fingerprint under a new key: a dependency changed.
-  EXPECT_FALSE(cache.find(/*key=*/200, /*own_fp=*/55, &invalidated));
-  EXPECT_TRUE(invalidated);
+  auto r = cache.find("parallelize", /*key=*/200, /*own_fp=*/55);
+  EXPECT_FALSE(r.payload.has_value());
+  EXPECT_TRUE(r.invalidated);
   // Unknown fingerprint: a plain (cold or self-edit) miss.
-  invalidated = false;
-  EXPECT_FALSE(cache.find(/*key=*/300, /*own_fp=*/66, &invalidated));
-  EXPECT_FALSE(invalidated);
+  r = cache.find("parallelize", /*key=*/300, /*own_fp=*/66);
+  EXPECT_FALSE(r.payload.has_value());
+  EXPECT_FALSE(r.invalidated);
   incr::IncrStats s = cache.stats();
   EXPECT_EQ(s.misses, 2u);
   EXPECT_EQ(s.invalidated_by_dep, 1u);
+}
+
+TEST(UnitCacheStore, StatsAreKeptPerBoundary) {
+  incr::UnitCache cache(8);
+  cache.store("normalize", 1, 11, "n");
+  cache.store("parallelize", 2, 22, "p");
+  EXPECT_TRUE(cache.find("normalize", 1, 11).payload.has_value());
+  EXPECT_FALSE(cache.find("parallelize", 9, 22).payload.has_value());
+  auto by = cache.boundary_stats();
+  ASSERT_TRUE(by.count("normalize"));
+  ASSERT_TRUE(by.count("parallelize"));
+  EXPECT_EQ(by["normalize"].memory_hits, 1u);
+  EXPECT_EQ(by["normalize"].misses, 0u);
+  EXPECT_EQ(by["parallelize"].memory_hits, 0u);
+  EXPECT_EQ(by["parallelize"].misses, 1u);
+  EXPECT_EQ(by["parallelize"].invalidated_by_dep, 1u);
+  incr::IncrStats total = cache.stats();
+  EXPECT_EQ(total.memory_hits, 1u);
+  EXPECT_EQ(total.misses, 1u);
+  EXPECT_EQ(total.stores, 2u);
+}
+
+// The peer tier: a local miss consults the hook and adopts the payload;
+// peek/adopt (the wire-serving entry points) never recurse into the hooks.
+TEST(UnitCacheStore, PeerHookServesMissesWithoutRecursion) {
+  incr::UnitCache cache(8);
+  int lookups = 0, fills = 0;
+  cache.set_peer_lookup(
+      [&](const std::string& boundary, uint64_t key)
+          -> std::optional<std::string> {
+        ++lookups;
+        EXPECT_EQ(boundary, "parallelize");
+        if (key == 7) return std::string("from-peer");
+        return std::nullopt;
+      });
+  cache.set_store_hook(
+      [&](const std::string&, uint64_t, const std::string&) { ++fills; });
+
+  auto r = cache.find("parallelize", 7, 1);
+  ASSERT_TRUE(r.payload.has_value());
+  EXPECT_EQ(*r.payload, "from-peer");
+  EXPECT_EQ(r.tier, incr::UnitTier::Peer);
+  EXPECT_EQ(lookups, 1);
+  // The adopted payload was NOT replicated back (no fill recursion).
+  EXPECT_EQ(fills, 0);
+  // Second find: served from memory, no second probe.
+  EXPECT_EQ(cache.find("parallelize", 7, 1).tier, incr::UnitTier::Memory);
+  EXPECT_EQ(lookups, 1);
+  // A genuine miss probes the peer and still misses.
+  EXPECT_FALSE(cache.find("parallelize", 8, 2).payload.has_value());
+  EXPECT_EQ(lookups, 2);
+  incr::IncrStats s = cache.stats();
+  EXPECT_EQ(s.peer_hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+
+  // peek (peer-serving read) never consults the peer hook.
+  EXPECT_FALSE(cache.peek(9).has_value());
+  EXPECT_EQ(lookups, 2);
+  ASSERT_TRUE(cache.peek(7).has_value());
+  // adopt (peer-pushed fill) never fires the store hook.
+  cache.adopt("parallelize", 10, "pushed");
+  EXPECT_EQ(fills, 0);
+  EXPECT_TRUE(cache.peek(10).has_value());
+  // A local store DOES fire it (replication to peers).
+  cache.store("parallelize", 11, 3, "local");
+  EXPECT_EQ(fills, 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -557,6 +777,11 @@ TEST(Incremental, WarmRecompileIsBitIdenticalForAllAppsAndConfigs) {
       EXPECT_GT(fill.unit_misses, 0u) << what;
       EXPECT_GT(warm.unit_hits, 0u) << what;
       EXPECT_EQ(warm.unit_misses, 0u) << what;
+      // Both snapshotting boundaries resumed on the warm run.
+      const pm::PassRecord* nrec = warm.timings.find("normalize");
+      ASSERT_TRUE(nrec != nullptr) << what;
+      EXPECT_GT(nrec->unit_hits, 0) << what;
+      EXPECT_EQ(nrec->unit_misses, 0) << what;
     }
   }
 }
@@ -568,7 +793,7 @@ TEST(Incremental, SeededEditsExactCountersAndIdenticalRuns) {
     size_t invalidated_set;  // |invalidated_by_edit|, edited unit included
   };
   // The closure sizes proven exact in DepGraph.InvalidationSets...
-  const Case cases[] = {{"LEAF", 2}, {"CDEF", 3}, {"HUB", 5}};
+  const Case cases[] = {{"LEAF", 2}, {"CDEF", 3}, {"HUB", 4}};
   for (const auto& c : cases) {
     incr::UnitCache cache(4096);
     PipelineOptions opts;  // config None: all six units survive to the end
@@ -588,6 +813,13 @@ TEST(Incremental, SeededEditsExactCountersAndIdenticalRuns) {
     EXPECT_EQ(incr_r.unit_misses, c.invalidated_set) << c.unit;
     EXPECT_EQ(incr_r.unit_hits, 6u - c.invalidated_set) << c.unit;
     EXPECT_EQ(incr_r.unit_invalidated, c.invalidated_set - 1) << c.unit;
+    // The normalize boundary shares the plan, so the same units resume.
+    const pm::PassRecord* nrec = incr_r.timings.find("normalize");
+    ASSERT_TRUE(nrec != nullptr) << c.unit;
+    EXPECT_EQ(static_cast<size_t>(nrec->unit_hits), 6u - c.invalidated_set)
+        << c.unit;
+    EXPECT_EQ(static_cast<size_t>(nrec->unit_misses), c.invalidated_set)
+        << c.unit;
 
     PipelineOptions cold_opts;
     PipelineResult cold = driver::run_pipeline(edited, cold_opts);
@@ -599,6 +831,86 @@ TEST(Incremental, SeededEditsExactCountersAndIdenticalRuns) {
     expect_identical_runs(*incr_r.program, *cold.program,
                           interp::Engine::Bytecode,
                           std::string("bytecode run, edit ") + c.unit);
+  }
+}
+
+// The tentpole end-to-end: an editor loop touching DYFESM's FORMP reuses
+// 9 of 12 units under directed dependence; the bidirectional verification
+// mode reuses only 1 of 12 (the COMMON-free CHOFAC) — and both produce
+// output bit-identical to a cold compile.
+TEST(Incremental, DyfesmFormpEditReusesNineOfTwelveUnits) {
+  const suite::BenchmarkApp* app = suite::find_app("DYFESM");
+  ASSERT_TRUE(app != nullptr);
+
+  incr::UnitCache directed_cache(4096);
+  incr::UnitCache bidir_cache(4096);
+  PipelineOptions dopts;
+  dopts.unit_cache = &directed_cache;
+  PipelineOptions bopts;
+  bopts.unit_cache = &bidir_cache;
+  bopts.bidirectional_common = true;
+
+  PipelineResult dfill = driver::run_pipeline(*app, dopts);
+  PipelineResult bfill = driver::run_pipeline(*app, bopts);
+  ASSERT_TRUE(dfill.ok);
+  ASSERT_TRUE(bfill.ok);
+  EXPECT_EQ(dfill.unit_misses, 12u);
+
+  suite::BenchmarkApp edited = *app;
+  edited.source = incr::mutate_unit(app->source, "FORMP", 17);
+  ASSERT_NE(edited.source, app->source);
+
+  PipelineResult directed = driver::run_pipeline(edited, dopts);
+  PipelineResult bidir = driver::run_pipeline(edited, bopts);
+  ASSERT_TRUE(directed.ok);
+  ASSERT_TRUE(bidir.ok);
+
+  // Directed: only {FORMP, FSMP, DYFESM} recompile.
+  EXPECT_EQ(directed.unit_hits, 9u);
+  EXPECT_EQ(directed.unit_misses, 3u);
+  EXPECT_EQ(directed.unit_invalidated, 2u);
+  // Bidirectional: the 1/12 reuse ceiling (CHOFAC shares no COMMON).
+  EXPECT_EQ(bidir.unit_hits, 1u);
+  EXPECT_EQ(bidir.unit_misses, 11u);
+
+  PipelineOptions cold_opts;
+  PipelineResult cold = driver::run_pipeline(edited, cold_opts);
+  ASSERT_TRUE(cold.ok);
+  expect_identical(directed, cold, "DYFESM directed");
+  expect_identical(bidir, cold, "DYFESM bidirectional");
+  expect_identical_runs(*directed.program, *cold.program,
+                        interp::Engine::Bytecode, "DYFESM directed run");
+}
+
+// Differential proof over the whole suite: directed and bidirectional
+// dependence produce bit-identical results after any single-unit edit;
+// directed never reuses less.
+TEST(Incremental, DirectedAndBidirectionalModesAreBitIdentical) {
+  std::mt19937 rng(20260809);
+  for (const auto& app : suite::perfect_suite()) {
+    std::vector<std::string> units = incr::source_unit_names(app.source);
+    ASSERT_FALSE(units.empty()) << app.name;
+    incr::UnitCache dcache(4096);
+    incr::UnitCache bcache(4096);
+    PipelineOptions dopts;
+    dopts.unit_cache = &dcache;
+    PipelineOptions bopts;
+    bopts.unit_cache = &bcache;
+    bopts.bidirectional_common = true;
+    ASSERT_TRUE(driver::run_pipeline(app, dopts).ok) << app.name;
+    ASSERT_TRUE(driver::run_pipeline(app, bopts).ok) << app.name;
+
+    size_t pick = rng() % units.size();
+    int salt = static_cast<int>(rng() % 100000);
+    suite::BenchmarkApp edited = app;
+    edited.source = incr::mutate_unit(app.source, units[pick], salt);
+    ASSERT_NE(edited.source, app.source) << app.name << " " << units[pick];
+
+    PipelineResult directed = driver::run_pipeline(edited, dopts);
+    PipelineResult bidir = driver::run_pipeline(edited, bopts);
+    std::string what = app.name + std::string(" edit ") + units[pick];
+    expect_identical(directed, bidir, what);
+    EXPECT_GE(directed.unit_hits, bidir.unit_hits) << what;
   }
 }
 
@@ -636,6 +948,63 @@ TEST(Incremental, RandomizedSingleUnitEditsStayBitIdentical) {
   }
 }
 
+// Flipping a dependence-test option invalidates only the parallelize
+// boundary: the pipeline resumes from the cached normalize artifacts
+// instead of recomputing the inline+normalize prefix. This is the
+// pass-sequence scoping the per-boundary option hashes buy.
+TEST(Incremental, NormalizeArtifactsSurviveParallelizerOptionChange) {
+  auto app = shaped_app();
+  incr::UnitCache cache(4096);
+  PipelineOptions opts;
+  opts.unit_cache = &cache;
+  ASSERT_TRUE(driver::run_pipeline(app, opts).ok);
+
+  PipelineOptions flipped = opts;
+  flipped.par.use_banerjee = false;
+  PipelineResult resumed = driver::run_pipeline(app, flipped);
+  ASSERT_TRUE(resumed.ok);
+  const pm::PassRecord* nrec = resumed.timings.find("normalize");
+  ASSERT_TRUE(nrec != nullptr);
+  EXPECT_EQ(nrec->unit_hits, 6);
+  EXPECT_EQ(nrec->unit_misses, 0);
+  // The parallelize boundary saw a changed option hash: every unit is a
+  // miss classified as invalidated (its own fingerprint is unchanged).
+  EXPECT_EQ(resumed.unit_hits, 0u);
+  EXPECT_EQ(resumed.unit_misses, 6u);
+  EXPECT_EQ(resumed.unit_invalidated, 6u);
+
+  PipelineOptions cold_opts;
+  cold_opts.par.use_banerjee = false;
+  PipelineResult cold = driver::run_pipeline(app, cold_opts);
+  expect_identical(resumed, cold, "banerjee flip");
+}
+
+// --snapshot-boundaries filters participation per pass: with only
+// "normalize" enabled, the parallelize boundary runs cold with zero
+// counters while normalize still resumes.
+TEST(Incremental, SnapshotBoundariesFilterLimitsParticipation) {
+  auto app = shaped_app();
+  incr::UnitCache cache(4096);
+  PipelineOptions opts;
+  opts.unit_cache = &cache;
+  opts.snapshot_boundaries = {"normalize"};
+  ASSERT_TRUE(driver::run_pipeline(app, opts).ok);
+  PipelineResult warm = driver::run_pipeline(app, opts);
+  ASSERT_TRUE(warm.ok);
+  const pm::PassRecord* nrec = warm.timings.find("normalize");
+  ASSERT_TRUE(nrec != nullptr);
+  EXPECT_EQ(nrec->unit_hits, 6);
+  // Result-level counters mirror the (unenrolled) parallelize boundary.
+  EXPECT_EQ(warm.unit_hits, 0u);
+  EXPECT_EQ(warm.unit_misses, 0u);
+  const pm::PassRecord* prec = warm.timings.find("parallelize");
+  ASSERT_TRUE(prec != nullptr);
+  EXPECT_EQ(prec->unit_hits + prec->unit_misses, 0);
+
+  PipelineResult cold = driver::run_pipeline(app, PipelineOptions{});
+  expect_identical(warm, cold, "normalize-only boundary");
+}
+
 TEST(Incremental, DiskTierServesAFreshProcess) {
   TempDir dir("e2e");
   auto app = shaped_app();
@@ -648,7 +1017,7 @@ TEST(Incremental, DiskTierServesAFreshProcess) {
     ASSERT_TRUE(driver::run_pipeline(app, opts).ok);
   }
   // A new cache over the same directory — the memory tier is empty, so
-  // every unit must come back from disk.
+  // every unit at both boundaries must come back from disk.
   incr::UnitCache cache(4096, dir.path.string());
   PipelineOptions opts;
   opts.unit_cache = &cache;
@@ -656,7 +1025,41 @@ TEST(Incremental, DiskTierServesAFreshProcess) {
   expect_identical(warm, cold, "disk-tier warm");
   EXPECT_EQ(warm.unit_hits, 6u);
   EXPECT_EQ(warm.unit_misses, 0u);
-  EXPECT_EQ(cache.stats().disk_hits, 6u);
+  EXPECT_EQ(warm.unit_disk_hits, 6u);
+  auto by = cache.boundary_stats();
+  EXPECT_EQ(by["normalize"].disk_hits, 6u);
+  EXPECT_EQ(by["parallelize"].disk_hits, 6u);
+  EXPECT_EQ(cache.stats().disk_hits, 12u);
+}
+
+// Corrupted disk payloads must never poison a compile: the pass-level
+// restore rejects them and the unit recomputes (and re-stores).
+TEST(Incremental, CorruptDiskPayloadsFallBackToRecompute) {
+  TempDir dir("corrupt");
+  auto app = shaped_app();
+  PipelineResult cold = driver::run_pipeline(app, PipelineOptions{});
+  ASSERT_TRUE(cold.ok);
+  {
+    incr::UnitCache cache(4096, dir.path.string());
+    PipelineOptions opts;
+    opts.unit_cache = &cache;
+    ASSERT_TRUE(driver::run_pipeline(app, opts).ok);
+  }
+  size_t corrupted = 0;
+  for (const auto& e : fs::directory_iterator(dir.path)) {
+    std::ofstream(e.path(), std::ios::trunc) << "APUNIT 999 not a payload";
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+  incr::UnitCache cache(4096, dir.path.string());
+  PipelineOptions opts;
+  opts.unit_cache = &cache;
+  PipelineResult warm = driver::run_pipeline(app, opts);
+  ASSERT_TRUE(warm.ok);
+  expect_identical(warm, cold, "corrupt disk tier");
+  // Every probe found a payload, every restore rejected it.
+  EXPECT_EQ(warm.unit_hits, 0u);
+  EXPECT_EQ(warm.unit_misses, 6u);
 }
 
 }  // namespace

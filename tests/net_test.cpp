@@ -316,6 +316,63 @@ TEST(Protocol, FleetMessagesRoundTrip) {
   EXPECT_EQ(rback.peers[1].port, 2);
 }
 
+// v6 unit-artifact messages: unit_probe/unit_fill carry the same hex key
+// shape as the whole-result tier plus the boundary label, and the payload
+// stays byte-exact (it is an opaque pass snapshot).
+TEST(Protocol, UnitMessagesRoundTripAndRequireV6) {
+  net::Request probe;
+  probe.type = net::RequestType::UnitProbe;
+  probe.id = 21;
+  probe.key = net::format_key(0xfeedface00c0ffeeull);
+  net::Request back;
+  std::string err;
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(probe), &back, &err))
+      << err;
+  EXPECT_EQ(back.type, net::RequestType::UnitProbe);
+  uint64_t key = 0;
+  ASSERT_TRUE(net::parse_key(back.key, &key));
+  EXPECT_EQ(key, 0xfeedface00c0ffeeull);
+
+  net::Request fill;
+  fill.type = net::RequestType::UnitFill;
+  fill.key = net::format_key(7);
+  fill.boundary = "normalize";
+  fill.payload = "APUSER 1 opaque";
+  fill.payload.push_back('\xfe');
+  ASSERT_TRUE(net::request_from_json(net::request_to_json(fill), &back, &err))
+      << err;
+  EXPECT_EQ(back.type, net::RequestType::UnitFill);
+  EXPECT_EQ(back.boundary, "normalize");
+  EXPECT_EQ(back.payload, fill.payload);
+
+  // The version predicate: exactly the unit types are v6-gated (they are
+  // also fleet types, so the v3 gate catches truly ancient claims first).
+  EXPECT_TRUE(net::request_type_requires_v6(net::RequestType::UnitProbe));
+  EXPECT_TRUE(net::request_type_requires_v6(net::RequestType::UnitFill));
+  EXPECT_FALSE(net::request_type_requires_v6(net::RequestType::CacheProbe));
+  EXPECT_FALSE(net::request_type_requires_v6(net::RequestType::Stats));
+  EXPECT_FALSE(net::request_type_requires_v6(net::RequestType::Compile));
+
+  // A probe hit response is the same found/payload shape the result tier
+  // uses — byte-exact through both codecs.
+  net::Response resp;
+  resp.id = 21;
+  resp.found = true;
+  resp.payload = fill.payload;
+  net::Response rback;
+  ASSERT_TRUE(
+      net::response_from_json(net::response_to_json(resp), &rback, &err))
+      << err;
+  EXPECT_TRUE(rback.found);
+  EXPECT_EQ(rback.payload, fill.payload);
+  net::Response bback;
+  ASSERT_TRUE(net::decode_response_binary(net::encode_response_binary(resp),
+                                          &bback, &err))
+      << err;
+  EXPECT_EQ(net::response_to_json(bback).dump(),
+            net::response_to_json(resp).dump());
+}
+
 TEST(Protocol, RejectsWrongVersionAndMissingFields) {
   net::Request out;
   std::string err;
@@ -704,6 +761,44 @@ TEST(Server, UnsupportedVersionIsStructuredAndNonFatal) {
   EXPECT_EQ(live.server.stats().protocol_errors, 0u);
 }
 
+// unit_probe/unit_fill are v6-gated at the server front door, and on a
+// non-fleet server a correctly-versioned probe draws a structured error
+// (not a crash, not a protocol error) — the connection survives both.
+TEST(Server, UnitProbeIsVersionGatedAndStructuredWithoutFleet) {
+  LiveServer live;
+  net::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect(live.server.port(), &err, 30'000)) << err;
+
+  // A v5 client naming a v6 type: unsupported_version, connection stays.
+  ASSERT_TRUE(client.send_frame(
+      R"({"v": 5, "type": "unit_probe", "id": 4, "key": "00000000000000aa"})",
+      &err))
+      << err;
+  auto payload = client.recv_frame(&err);
+  ASSERT_TRUE(payload.has_value()) << err;
+  auto doc = json::parse(*payload);
+  ASSERT_TRUE(doc.has_value());
+  net::Response resp;
+  ASSERT_TRUE(net::response_from_json(*doc, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::UnsupportedVersion);
+  EXPECT_NE(resp.error.find("v6"), std::string::npos);
+
+  // Proper v6 probe against a single (non-fleet) server: structured error.
+  net::Request probe;
+  probe.type = net::RequestType::UnitProbe;
+  probe.key = net::format_key(0xaa);
+  ASSERT_TRUE(client.call(std::move(probe), &resp, &err)) << err;
+  EXPECT_EQ(resp.status, net::Status::Error);
+  EXPECT_NE(resp.error.find("not a fleet endpoint"), std::string::npos);
+  EXPECT_EQ(live.server.stats().protocol_errors, 0u);
+
+  // The connection is still good for real work.
+  net::Response ok;
+  ASSERT_TRUE(client.call(compile_request(quick_app()), &ok, &err)) << err;
+  EXPECT_EQ(ok.status, net::Status::Ok);
+}
+
 TEST(Server, IdleConnectionsAreReaped) {
   net::ServerOptions opts;
   opts.idle_timeout_ms = 250;
@@ -811,6 +906,16 @@ net::Request rich_request(net::RequestType type) {
       r.batch = {std::move(a), std::move(b)};
       break;
     }
+    case net::RequestType::UnitProbe:
+      r.key = net::format_key(0xfeedface00c0ffeeull);
+      break;
+    case net::RequestType::UnitFill:
+      r.key = net::format_key(0xfeedface00c0ffeeull);
+      r.boundary = "parallelize";
+      r.payload = "APUNIT 2\nopaque ";
+      r.payload.push_back('\0');  // unit payloads are byte-exact too
+      r.payload += "bytes";
+      break;
   }
   return r;
 }
@@ -822,7 +927,8 @@ TEST(Binary, RequestRoundTripMatchesJsonForEveryType) {
         net::RequestType::Hello, net::RequestType::Register,
         net::RequestType::Heartbeat, net::RequestType::CacheProbe,
         net::RequestType::CacheFill, net::RequestType::Forward,
-        net::RequestType::CompileBatch, net::RequestType::Stats}) {
+        net::RequestType::CompileBatch, net::RequestType::Stats,
+        net::RequestType::UnitProbe, net::RequestType::UnitFill}) {
     net::Request r = rich_request(type);
     std::string bin = net::encode_request_binary(r);
     ASSERT_TRUE(net::is_binary_frame(bin));

@@ -321,6 +321,213 @@ TEST(PassManager, PerUnitDiagnosticsMergeInUnitOrder) {
   }
 }
 
+// --- Artifact protocol ------------------------------------------------------
+
+// In-memory ArtifactStore that records every probe and store, with
+// per-unit knobs for participation, served tier, and the invalidated
+// miss classification — everything the manager's counters must reflect.
+class FakeArtifactStore : public pm::ArtifactStore {
+ public:
+  struct Call {
+    std::string pass;
+    uint64_t prefix_fp;
+    std::string unit;
+  };
+
+  pm::ArtifactProbe find_unit(std::string_view pass_name, uint64_t prefix_fp,
+                              const std::string& unit_name) override {
+    probes.push_back({std::string(pass_name), prefix_fp, unit_name});
+    pm::ArtifactProbe p;
+    p.participating = participating;
+    if (!participating) return p;
+    auto it = payloads.find(unit_name);
+    if (it != payloads.end()) {
+      p.payload = it->second;
+      auto t = tiers.find(unit_name);
+      p.tier = t == tiers.end() ? pm::ArtifactTier::Memory : t->second;
+    } else {
+      p.invalidated = invalidated_units.count(unit_name) > 0;
+    }
+    return p;
+  }
+
+  void store_unit(std::string_view pass_name, uint64_t prefix_fp,
+                  const std::string& unit_name,
+                  const std::string& payload) override {
+    stores.push_back({std::string(pass_name), prefix_fp, unit_name});
+    payloads[unit_name] = payload;
+  }
+
+  bool participating = true;
+  std::map<std::string, std::string> payloads;
+  std::map<std::string, pm::ArtifactTier> tiers;
+  std::set<std::string> invalidated_units;
+  std::vector<Call> probes;
+  std::vector<Call> stores;
+};
+
+// A snapshotable PerUnit pass whose effect is observable from outside:
+// run_unit records the unit as computed; restore accepts exactly the
+// payloads this pass snapshots and records the unit as restored.
+class SnapshotPass : public pm::Pass {
+ public:
+  std::string_view name() const override { return "snap"; }
+  pm::PassKind kind() const override { return pm::PassKind::PerUnit; }
+  bool snapshotable() const override { return true; }
+  void run_unit(fir::ProgramUnit& unit, size_t, DiagnosticEngine&) override {
+    computed.push_back(unit.name);
+  }
+  std::string snapshot_unit_artifact(const fir::ProgramUnit& unit,
+                                     size_t) override {
+    return "snap:" + unit.name;
+  }
+  bool restore_unit_artifact(fir::ProgramUnit& unit, size_t,
+                             const std::string& payload) override {
+    if (payload != "snap:" + unit.name) return false;
+    restored.push_back(unit.name);
+    return true;
+  }
+
+  std::vector<std::string> computed;
+  std::vector<std::string> restored;
+};
+
+TEST(PassManager, ArtifactProtocolProbesRestoresAndStores) {
+  FakeArtifactStore store;
+
+  // Cold run: every unit probed, missed, computed, snapshotted back.
+  {
+    pm::PassManagerOptions opts;
+    opts.artifacts = &store;
+    pm::PassManager mgr(opts);
+    auto pass = std::make_unique<SnapshotPass>();
+    SnapshotPass* snap = pass.get();
+    mgr.add(std::move(pass));
+    pm::PassState st;
+    st.program = four_unit_program();
+    ASSERT_TRUE(mgr.run(st));
+    EXPECT_EQ(snap->computed.size(), 4u);
+    EXPECT_TRUE(snap->restored.empty());
+    ASSERT_EQ(mgr.records().size(), 1u);
+    const pm::PassRecord& rec = mgr.records()[0];
+    EXPECT_EQ(rec.unit_hits, 0);
+    EXPECT_EQ(rec.unit_misses, 4);
+    ASSERT_EQ(store.probes.size(), 4u);
+    ASSERT_EQ(store.stores.size(), 4u);
+    EXPECT_EQ(store.probes[0].pass, "snap");
+    // The probe and the store of one run see the SAME prefix: the pass's
+    // own name is folded into the sequence fingerprint only after it ran.
+    EXPECT_EQ(store.probes[0].prefix_fp, store.stores[0].prefix_fp);
+    EXPECT_EQ(store.payloads["S1"], "snap:S1");
+  }
+
+  // Warm run with tier labels: every unit restores, nothing recomputes,
+  // and the per-tier counters split the hits the way the store reported.
+  store.probes.clear();
+  store.stores.clear();
+  store.tiers["S1"] = pm::ArtifactTier::Disk;
+  store.tiers["S2"] = pm::ArtifactTier::Peer;
+  {
+    pm::PassManagerOptions opts;
+    opts.artifacts = &store;
+    pm::PassManager mgr(opts);
+    auto pass = std::make_unique<SnapshotPass>();
+    SnapshotPass* snap = pass.get();
+    mgr.add(std::move(pass));
+    pm::PassState st;
+    st.program = four_unit_program();
+    ASSERT_TRUE(mgr.run(st));
+    EXPECT_TRUE(snap->computed.empty());
+    EXPECT_EQ(snap->restored.size(), 4u);
+    const pm::PassRecord& rec = mgr.records()[0];
+    EXPECT_EQ(rec.unit_hits, 4);
+    EXPECT_EQ(rec.unit_misses, 0);
+    EXPECT_EQ(rec.unit_disk_hits, 1);
+    EXPECT_EQ(rec.unit_peer_hits, 1);
+    EXPECT_TRUE(store.stores.empty());  // restores are not re-stored
+  }
+
+  // A corrupt payload and an invalidated miss: both recompute (and the
+  // recompute re-stores a good payload); the invalidated miss is counted
+  // separately so telemetry can tell "my edit" from "a dependency's".
+  store.stores.clear();
+  store.payloads["T"] = "garbage payload";
+  store.payloads.erase("S3");
+  store.invalidated_units.insert("S3");
+  {
+    pm::PassManagerOptions opts;
+    opts.artifacts = &store;
+    pm::PassManager mgr(opts);
+    auto pass = std::make_unique<SnapshotPass>();
+    SnapshotPass* snap = pass.get();
+    mgr.add(std::move(pass));
+    pm::PassState st;
+    st.program = four_unit_program();
+    ASSERT_TRUE(mgr.run(st));
+    EXPECT_EQ(snap->computed, (std::vector<std::string>{"T", "S3"}));
+    EXPECT_EQ(snap->restored.size(), 2u);
+    const pm::PassRecord& rec = mgr.records()[0];
+    EXPECT_EQ(rec.unit_hits, 2);
+    EXPECT_EQ(rec.unit_misses, 2);
+    EXPECT_EQ(rec.unit_invalidated, 1);
+    ASSERT_EQ(store.stores.size(), 2u);  // both recomputes snapshotted back
+    EXPECT_EQ(store.payloads["T"], "snap:T");
+  }
+}
+
+TEST(PassManager, ArtifactKeysAreScopedByPassSequencePrefix) {
+  // The same pass probed under two different upstream sequences must see
+  // two different prefix fingerprints — a cached artifact can never leak
+  // across pipelines whose earlier passes differ.
+  auto prefix_under = [](std::vector<std::string> before) {
+    FakeArtifactStore store;
+    std::vector<std::string> trace;
+    pm::PassManagerOptions opts;
+    opts.artifacts = &store;
+    pm::PassManager mgr(opts);
+    for (auto& name : before)
+      mgr.add(std::make_unique<NamedPass>(name, &trace));
+    mgr.add(std::make_unique<SnapshotPass>());
+    pm::PassState st;
+    st.program = four_unit_program();
+    EXPECT_TRUE(mgr.run(st));
+    EXPECT_EQ(store.probes.size(), 4u);
+    return store.probes.empty() ? 0u : store.probes[0].prefix_fp;
+  };
+
+  uint64_t bare = prefix_under({});
+  uint64_t after_a = prefix_under({"a"});
+  uint64_t after_ab = prefix_under({"a", "b"});
+  EXPECT_NE(bare, after_a);
+  EXPECT_NE(after_a, after_ab);
+  EXPECT_NE(bare, after_ab);
+  // Deterministic: the same sequence reproduces the same prefix.
+  EXPECT_EQ(after_a, prefix_under({"a"}));
+}
+
+TEST(PassManager, NonParticipatingStoreLeavesCountersAndPassAlone) {
+  // The store can decline per run (e.g. no usable plan): the pass runs
+  // exactly as if no store were attached, with all counters zero and no
+  // snapshots taken.
+  FakeArtifactStore store;
+  store.participating = false;
+  pm::PassManagerOptions opts;
+  opts.artifacts = &store;
+  pm::PassManager mgr(opts);
+  auto pass = std::make_unique<SnapshotPass>();
+  SnapshotPass* snap = pass.get();
+  mgr.add(std::move(pass));
+  pm::PassState st;
+  st.program = four_unit_program();
+  ASSERT_TRUE(mgr.run(st));
+  EXPECT_EQ(snap->computed.size(), 4u);
+  EXPECT_TRUE(snap->restored.empty());
+  const pm::PassRecord& rec = mgr.records()[0];
+  EXPECT_EQ(rec.unit_hits + rec.unit_misses + rec.unit_invalidated, 0);
+  EXPECT_EQ(store.probes.size(), 4u);  // asked, declined
+  EXPECT_TRUE(store.stores.empty());
+}
+
 // --- DiagnosticEngine::merge -----------------------------------------------
 
 TEST(DiagnosticEngine, MergeAppendsInOrderAndSumsErrors) {

@@ -16,6 +16,7 @@
 
 #include "incr/unit_cache.h"
 #include "service/scheduler.h"
+#include "support/disk_budget.h"
 #include "suite/suite.h"
 #include "tests/test_util.h"
 
@@ -577,6 +578,84 @@ TEST(Scheduler, UnitTierComposesUnderRequestCache) {
   std::string json = telemetry.to_json();
   EXPECT_NE(json.find("\"incr\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"invalidated_by_dep\""), std::string::npos) << json;
+}
+
+// Satellite: unit-snapshot files are charged to the SAME --cache-max-mb
+// byte budget as whole-request results — one support::DiskBudget spanning
+// `<dir>/*.apc` and `<dir>/units/*.apu`. Under concurrent store traffic
+// from both tiers the combined footprint must respect the cap, each tier
+// must be able to evict the other's files, the accounting must never tear
+// (unsigned underflow would read as an enormous used_bytes), and every
+// readable payload must come back complete.
+TEST(ResultCache, SharedBudgetSpansResultAndUnitTiers) {
+  TempDir dir("sharedbudget");
+  service::CompileResult payload;
+  {
+    service::ResultCache seed(8);
+    service::Scheduler::Options so;
+    so.cache = &seed;
+    payload = service::Scheduler(so).run_one(tiny_job());
+    ASSERT_TRUE(payload.ok);
+  }
+  const size_t entry_bytes = service::serialize_result(payload).size();
+  std::string unit_payload = "APUNIT 2\n";
+  unit_payload.append(entry_bytes, 'u');
+  const size_t cap = entry_bytes * 6;
+
+  support::DiskBudget budget(cap);
+  service::ResultCache results(4, dir.path.string(), 0, &budget);
+  incr::UnitCache units(4, dir.path.string() + "/units", &budget);
+
+  std::atomic<int> torn{0};
+  std::atomic<int> found{0};
+  auto result_hammer = [&](uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < 150; ++i) {
+      results.store(1 + rng() % 32, payload);
+      if (auto hit = results.find(1 + rng() % 32)) {
+        ++found;
+        if (hit->program_text != payload.program_text) ++torn;
+      }
+    }
+  };
+  auto unit_hammer = [&](uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < 150; ++i) {
+      uint64_t key = 1000 + rng() % 32;
+      units.store("parallelize", key, key, unit_payload);
+      auto r = units.find("parallelize", 1000 + rng() % 32, 0);
+      if (r.payload.has_value()) {
+        ++found;
+        if (*r.payload != unit_payload) ++torn;
+      }
+    }
+  };
+  std::thread t1(result_hammer, 11);
+  std::thread t2(unit_hammer, 22);
+  std::thread t3(result_hammer, 33);
+  std::thread t4(unit_hammer, 44);
+  t1.join();
+  t2.join();
+  t3.join();
+  t4.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(found.load(), 0);
+  // The cap held across BOTH directories (one in-flight entry of slack:
+  // the file whose store triggered eviction is itself exempt).
+  const size_t slack = std::max(entry_bytes, unit_payload.size());
+  EXPECT_LE(budget.used_bytes(), cap + slack);
+  EXPECT_EQ(budget.used_bytes(),
+            budget.dir_bytes(dir.path.string()) +
+                budget.dir_bytes(dir.path.string() + "/units"));
+  // Cross-tier pressure was real: files were evicted from both tiers.
+  EXPECT_GT(budget.dir_evictions(dir.path.string()), 0u);
+  EXPECT_GT(budget.dir_evictions(dir.path.string() + "/units"), 0u);
+  // The on-disk truth agrees with the accounting.
+  size_t on_disk = 0;
+  for (const auto& e : fs::recursive_directory_iterator(dir.path))
+    if (e.is_regular_file()) on_disk += fs::file_size(e.path());
+  EXPECT_EQ(on_disk, budget.used_bytes());
 }
 
 }  // namespace
